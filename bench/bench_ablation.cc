@@ -1,0 +1,93 @@
+// Ablation bench: quantifies the contribution of each AID design choice
+// called out in DESIGN.md, beyond the Figure 8 variant comparison:
+//
+//   1. junction width (branch pruning's leverage grows with B);
+//   2. causal-chain length D (predicate pruning's leverage grows with D,
+//      matching Theorem 3's D(D-1) S2 / 2N term);
+//   3. trials per intervention (robustness cost on nondeterministic
+//      targets: rounds stay constant, executions scale linearly).
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "synth/generator.h"
+#include "synth/model.h"
+
+namespace {
+
+using namespace aid;
+
+double AverageRounds(const GroundTruthModel& model, const AcDag& dag,
+                     EngineOptions options, int repeats) {
+  double total = 0;
+  for (int i = 0; i < repeats; ++i) {
+    ModelTarget target(&model);
+    options.seed = static_cast<uint64_t>(i) + 1;
+    CausalPathDiscovery discovery(&dag, &target, options);
+    auto report = discovery.Run();
+    if (!report.ok()) return -1;
+    total += report->rounds;
+  }
+  return total / repeats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation 1: junction width B (symmetric DAG, J=2, n=3, D=3)\n");
+  std::printf("%4s | %10s %10s %12s\n", "B", "AID", "AID-P", "no branches");
+  for (int b : {2, 4, 8, 16}) {
+    auto model = MakeSymmetricModel(2, b, 3, 3, /*seed=*/9);
+    if (!model.ok()) continue;
+    auto dag = (*model)->BuildAcDag();
+    if (!dag.ok()) continue;
+    std::printf("%4d | %10.1f %10.1f %12.1f\n", b,
+                AverageRounds(**model, *dag, EngineOptions::Aid(), 5),
+                AverageRounds(**model, *dag,
+                              EngineOptions::AidNoPredicatePruning(), 5),
+                AverageRounds(**model, *dag, EngineOptions::AidNoPruning(), 5));
+  }
+
+  std::printf("\nAblation 2: causal chain length D (symmetric DAG, J=3, B=4, "
+              "n=4)\n");
+  std::printf("%4s | %10s %14s %10s\n", "D", "AID", "AID no pred-prune",
+              "TAGT");
+  for (int d : {1, 3, 6, 9, 12}) {
+    auto model = MakeSymmetricModel(3, 4, 4, d, /*seed=*/4);
+    if (!model.ok()) continue;
+    auto dag = (*model)->BuildAcDag();
+    if (!dag.ok()) continue;
+    std::printf("%4d | %10.1f %14.1f %10.1f\n", d,
+                AverageRounds(**model, *dag, EngineOptions::Aid(), 5),
+                AverageRounds(**model, *dag,
+                              EngineOptions::AidNoPredicatePruning(), 5),
+                AverageRounds(**model, *dag, EngineOptions::Tagt(), 5));
+  }
+
+  std::printf("\nAblation 3: trials per intervention (rounds constant, "
+              "executions linear)\n");
+  std::printf("%7s | %7s %12s\n", "trials", "rounds", "executions");
+  {
+    SyntheticAppOptions options;
+    options.max_threads = 12;
+    options.seed = 21;
+    auto model = GenerateSyntheticApp(options);
+    if (model.ok()) {
+      auto dag = (*model)->BuildAcDag();
+      if (dag.ok()) {
+        for (int trials : {1, 3, 5, 10}) {
+          ModelTarget target(model->get());
+          EngineOptions engine = EngineOptions::Aid();
+          engine.trials_per_intervention = trials;
+          CausalPathDiscovery discovery(&*dag, &target, engine);
+          auto report = discovery.Run();
+          if (report.ok()) {
+            std::printf("%7d | %7d %12d\n", trials, report->rounds,
+                        report->executions);
+          }
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Microbenchmarks for the core data structures and algorithms: AC-DAG
+// construction, synthetic-app generation, model execution, and full
+// causal-path discovery at several scales.
+
+#include <benchmark/benchmark.h>
+
+#include "causal/acdag.h"
+#include "core/engine.h"
+#include "synth/generator.h"
+#include "synth/model.h"
+
+namespace aid {
+namespace {
+
+void BM_GenerateSyntheticApp(benchmark::State& state) {
+  SyntheticAppOptions options;
+  options.max_threads = static_cast<int>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    options.seed = seed++;
+    auto model = GenerateSyntheticApp(options);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_GenerateSyntheticApp)->Arg(4)->Arg(16)->Arg(40);
+
+void BM_BuildAcDag(benchmark::State& state) {
+  SyntheticAppOptions options;
+  options.max_threads = static_cast<int>(state.range(0));
+  options.seed = 42;
+  auto model = GenerateSyntheticApp(options);
+  for (auto _ : state) {
+    auto dag = (*model)->BuildAcDag();
+    benchmark::DoNotOptimize(dag);
+  }
+  state.counters["predicates"] =
+      static_cast<double>((*model)->size());
+}
+BENCHMARK(BM_BuildAcDag)->Arg(4)->Arg(16)->Arg(40);
+
+void BM_ModelExecute(benchmark::State& state) {
+  SyntheticAppOptions options;
+  options.max_threads = static_cast<int>(state.range(0));
+  options.seed = 7;
+  auto model = GenerateSyntheticApp(options);
+  const std::vector<PredicateId> intervened{(*model)->causal_chain().front()};
+  for (auto _ : state) {
+    PredicateLog log = (*model)->Execute(intervened);
+    benchmark::DoNotOptimize(log);
+  }
+}
+BENCHMARK(BM_ModelExecute)->Arg(4)->Arg(16)->Arg(40);
+
+void BM_CausalPathDiscovery(benchmark::State& state) {
+  SyntheticAppOptions options;
+  options.max_threads = static_cast<int>(state.range(0));
+  options.seed = 99;
+  auto model = GenerateSyntheticApp(options);
+  auto dag = (*model)->BuildAcDag();
+  for (auto _ : state) {
+    ModelTarget target(model->get());
+    CausalPathDiscovery discovery(&*dag, &target, EngineOptions::Aid());
+    auto report = discovery.Run();
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_CausalPathDiscovery)->Arg(4)->Arg(16)->Arg(40);
+
+}  // namespace
+}  // namespace aid

@@ -1,0 +1,58 @@
+// Walkthrough of the Kafka use-after-free case study (paper Section 7.1.2,
+// confluent-kafka-dotnet issue #279): a slow work item makes the child
+// thread commit on a consumer the main thread has already disposed.
+//
+// Demonstrates the *explanation* value of AID: statistical debugging alone
+// surfaces a pile of fully-discriminative predicates (wrong returns from
+// every status probe, slow durations, the commit exception) with no
+// indication which one to fix; AID prunes the symptoms and delivers the
+// chain from the slow work item to the crash.
+//
+// Build & run:  ./build/examples/kafka_use_after_free
+
+#include <cstdio>
+
+#include "casestudies/case_study.h"
+#include "casestudies/pipeline.h"
+#include "sd/statistical_debugger.h"
+
+using namespace aid;
+
+int main() {
+  auto study_or = MakeKafkaUseAfterFree();
+  if (!study_or.ok()) {
+    std::fprintf(stderr, "%s\n", study_or.status().ToString().c_str());
+    return 1;
+  }
+  const CaseStudy& study = *study_or;
+
+  std::printf("== %s (%s) ==\n\n", study.name.c_str(), study.origin.c_str());
+
+  PipelineConfig config;
+  config.aid.trials_per_intervention = 3;
+  config.tagt.trials_per_intervention = 3;
+  auto outcome_or = RunPipeline(study, config);
+  if (!outcome_or.ok()) {
+    std::fprintf(stderr, "%s\n", outcome_or.status().ToString().c_str());
+    return 1;
+  }
+  const PipelineOutcome& outcome = *outcome_or;
+
+  std::printf("what a developer gets from statistical debugging alone:\n");
+  std::printf("  %d fully-discriminative predicates, no causal structure\n\n",
+              outcome.fully_discriminative);
+
+  std::printf("what AID adds:\n");
+  std::printf("  root cause: %s\n", outcome.root_cause.c_str());
+  std::printf("  causal explanation:\n");
+  for (size_t i = 0; i < outcome.causal_path.size(); ++i) {
+    std::printf("    %zu. %s\n", i + 1, outcome.causal_path[i].c_str());
+  }
+  std::printf("\n  interventions: %d rounds (TAGT on the same target: %d)\n",
+              outcome.aid.rounds, outcome.tagt.rounds);
+  std::printf("  predicates proven spurious: %zu\n",
+              outcome.aid.spurious.size());
+  std::printf("\npaper reference: 72 SD predicates, 5-predicate path, 17 AID "
+              "vs 33 TAGT interventions\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Quickstart: debug an intermittently failing program with AID.
+//
+// The subject program has a classic atomicity bug: a writer thread updates
+// a config version and only later updates the matching checksum, while a
+// reader validates (version, checksum) consistency. When the reader lands
+// inside the writer's update window, validation throws.
+//
+// The example walks the full AID workflow:
+//   1. observe: run the program across seeds, collect predicate logs
+//   2. statistical debugging: fully-discriminative predicates
+//   3. AC-DAG: approximate causality from temporal precedence
+//   4. causality-guided interventions: root cause + causal path
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "causal/acdag.h"
+#include "core/engine.h"
+#include "core/vm_target.h"
+#include "runtime/program.h"
+#include "sd/statistical_debugger.h"
+
+using namespace aid;
+
+namespace {
+
+Result<Program> BuildSubjectProgram() {
+  ProgramBuilder b;
+  b.Global("version", 1);
+  b.Global("checksum", 1);
+
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "Writer").Spawn(1, "Reader").Join(0).Join(1).Return();
+  }
+  {
+    // The writer thread picks its moment, then publishes the new config.
+    auto m = b.Method("Writer");
+    m.Random(0, 2);
+    const size_t late = m.JumpIfNonZeroPlaceholder(0);
+    m.Delay(10);
+    const size_t go = m.JumpPlaceholder();
+    m.PatchTarget(late);
+    m.Delay(70);
+    m.PatchTarget(go);
+    m.CallVoid("PublishConfig").Return();
+  }
+  {
+    // PublishConfig bumps the version, then (non-atomically) the checksum:
+    // its whole execution is the inconsistency window.
+    auto m = b.Method("PublishConfig");
+    m.LoadConst(1, 2)
+        .StoreGlobal("version", 1)
+        .Delay(30)
+        .StoreGlobal("checksum", 1)
+        .Return();
+  }
+  {
+    auto m = b.Method("Reader");
+    m.Random(0, 2);
+    const size_t late = m.JumpIfNonZeroPlaceholder(0);
+    m.Delay(30);
+    const size_t go = m.JumpPlaceholder();
+    m.PatchTarget(late);
+    m.Delay(85);
+    m.PatchTarget(go);
+    m.CallVoid("ValidateConfig").Return();
+  }
+  {
+    auto m = b.Method("ValidateConfig");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "version")
+        .LoadGlobal(1, "checksum")
+        .CmpEq(2, 0, 1)
+        .ThrowIfZero(2, "ChecksumMismatch")
+        .Return(2);
+  }
+  return b.Build("Main");
+}
+
+}  // namespace
+
+int main() {
+  auto program_or = BuildSubjectProgram();
+  if (!program_or.ok()) {
+    std::fprintf(stderr, "program: %s\n", program_or.status().ToString().c_str());
+    return 1;
+  }
+  const Program& program = *program_or;
+
+  std::printf("== AID quickstart: intermittent checksum mismatch ==\n\n");
+
+  // 1. Observation phase.
+  VmTargetOptions options;
+  options.min_successes = 50;
+  options.min_failures = 50;
+  auto target_or = VmTarget::Create(&program, options);
+  if (!target_or.ok()) {
+    std::fprintf(stderr, "observe: %s\n", target_or.status().ToString().c_str());
+    return 1;
+  }
+  VmTarget& target = **target_or;
+  std::printf("observed %d executions (%d failing)\n", target.executions(),
+              target.observed_failures());
+
+  // 2. Statistical debugging.
+  auto sd_or = StatisticalDebugger::Analyze(target.extractor().catalog(),
+                                            target.extractor().logs());
+  if (!sd_or.ok()) {
+    std::fprintf(stderr, "sd: %s\n", sd_or.status().ToString().c_str());
+    return 1;
+  }
+  const auto discriminative = sd_or->FullyDiscriminative();
+  std::printf("statistical debugging: %zu fully-discriminative predicates\n",
+              discriminative.size());
+  for (PredicateId id : discriminative) {
+    std::printf("  - %s\n",
+                target.extractor()
+                    .catalog()
+                    .Describe(id, &program.method_names(),
+                              &program.object_names())
+                    .c_str());
+  }
+
+  // 3. AC-DAG.
+  auto dag_or = target.BuildAcDag();
+  if (!dag_or.ok()) {
+    std::fprintf(stderr, "acdag: %s\n", dag_or.status().ToString().c_str());
+    return 1;
+  }
+  const AcDag& dag = *dag_or;
+  std::printf("\nAC-DAG: %zu nodes (after safety & reachability filters)\n",
+              dag.size());
+
+  // 4. Causality-guided interventions.
+  EngineOptions engine_options = EngineOptions::Aid();
+  engine_options.trials_per_intervention = 3;
+  CausalPathDiscovery discovery(&dag, &target, engine_options);
+  auto report_or = discovery.Run();
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "aid: %s\n", report_or.status().ToString().c_str());
+    return 1;
+  }
+  const DiscoveryReport& report = *report_or;
+
+  std::printf("\nAID finished in %d intervention rounds (%d re-executions)\n",
+              report.rounds, report.executions);
+  std::printf("\nroot cause:\n  %s\n",
+              report.root_cause() == kInvalidPredicate
+                  ? "(none found)"
+                  : target.extractor()
+                        .catalog()
+                        .Describe(report.root_cause(), &program.method_names(),
+                                  &program.object_names())
+                        .c_str());
+  std::printf("\ncausal explanation path:\n");
+  for (size_t i = 0; i < report.causal_path.size(); ++i) {
+    std::printf("  %zu. %s\n", i + 1,
+                target.extractor()
+                    .catalog()
+                    .Describe(report.causal_path[i], &program.method_names(),
+                              &program.object_names())
+                    .c_str());
+  }
+  return 0;
+}

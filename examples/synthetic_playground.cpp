@@ -1,0 +1,86 @@
+// Synthetic playground: generate a random multi-threaded application with a
+// known root cause (the paper's Section 7.2 benchmark methodology) and
+// watch all four engine variants debug it.
+//
+// Usage: ./build/examples/synthetic_playground [max_threads] [seed]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.h"
+#include "synth/generator.h"
+#include "synth/model.h"
+
+using namespace aid;
+
+int main(int argc, char** argv) {
+  SyntheticAppOptions options;
+  options.max_threads = argc > 1 ? std::max(2, std::atoi(argv[1])) : 12;
+  options.seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 7;
+
+  auto model_or = GenerateSyntheticApp(options);
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "%s\n", model_or.status().ToString().c_str());
+    return 1;
+  }
+  const GroundTruthModel& model = **model_or;
+
+  std::printf("generated application: %zu predicates, %zu-predicate causal "
+              "chain (MAXt=%d, seed=%llu)\n",
+              model.size(), model.causal_chain().size(), options.max_threads,
+              static_cast<unsigned long long>(options.seed));
+  std::printf("ground-truth causal chain: ");
+  for (PredicateId id : model.causal_chain()) {
+    std::printf("P%d ", model.catalog().Get(id).occurrence);
+  }
+  std::printf("-> F\n\n");
+
+  auto dag_or = model.BuildAcDag();
+  if (!dag_or.ok()) {
+    std::fprintf(stderr, "%s\n", dag_or.status().ToString().c_str());
+    return 1;
+  }
+  const AcDag& dag = *dag_or;
+  int junctions = 0;
+  for (const auto& level : dag.TopoLevels()) {
+    if (level.size() > 1) ++junctions;
+  }
+  std::printf("AC-DAG: %zu nodes, %d junction levels\n\n", dag.size(),
+              junctions);
+
+  struct Variant {
+    const char* name;
+    EngineOptions options;
+  };
+  const Variant kVariants[] = {
+      {"AID (full)", EngineOptions::Aid()},
+      {"AID-P (no predicate pruning)", EngineOptions::AidNoPredicatePruning()},
+      {"AID-P-B (topological only)", EngineOptions::AidNoPruning()},
+      {"TAGT (random order)", EngineOptions::Tagt()},
+  };
+
+  std::vector<PredicateId> truth = model.causal_chain();
+  truth.push_back(model.failure());
+  std::sort(truth.begin(), truth.end());
+
+  for (const Variant& variant : kVariants) {
+    ModelTarget target(&model);
+    CausalPathDiscovery discovery(&dag, &target, variant.options);
+    auto report = discovery.Run();
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s: %s\n", variant.name,
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<PredicateId> got = report->causal_path;
+    std::sort(got.begin(), got.end());
+    std::printf("%-32s %3d rounds, %3d executions -> %s\n", variant.name,
+                report->rounds, report->executions,
+                got == truth ? "exact causal path" : "MISMATCH");
+  }
+
+  std::printf("\n(naive one-at-a-time repair would need %zu executions)\n",
+              model.size());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// "BuildAndTest": the large-scale build-and-test platform (paper Section
+// 7.1.4). Root cause: an order violation between two events -- the test
+// runner starts consuming the build artifact before the publisher has
+// finished publishing it. When the publisher is slow, the fetch reads an
+// empty artifact and verification fails.
+
+#include "casestudies/case_study.h"
+
+namespace aid {
+
+Result<CaseStudy> MakeBuildAndTestOrder() {
+  ProgramBuilder b;
+  b.Global("artifact_ready", 0);
+  b.Global("artifact_data", 0);
+
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "Publisher").Spawn(1, "TestRunner").Join(0).Join(1).Return();
+  }
+  {
+    // Publishing takes 8 (warm cache) or 48 (cold cache) ticks.
+    auto m = b.Method("Publisher");
+    m.Random(0, 2);
+    const size_t slow = m.JumpIfNonZeroPlaceholder(0);
+    m.Delay(8);
+    const size_t publish = m.JumpPlaceholder();
+    m.PatchTarget(slow);
+    m.Delay(48);
+    m.PatchTarget(publish);
+    m.LoadConst(1, 99)
+        .StoreGlobal("artifact_data", 1)
+        .LoadConst(2, 1)
+        .StoreGlobal("artifact_ready", 2)
+        .Return();
+  }
+  {
+    // The test runner starts on its own schedule (the order bug): it never
+    // waits for the publisher. Writes test reports, hence not s.e.f.
+    auto m = b.Method("TestRunner");
+    m.Delay(24)
+        .Call(0, "FetchArtifact")
+        .Call(1, "ReadBuildNumber")
+        .CallVoid("VerifyArtifact")
+        .Return();
+  }
+  {
+    auto m = b.Method("FetchArtifact");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "artifact_data").Return(0);  // 99 when published
+  }
+  {
+    auto m = b.Method("ReadBuildNumber");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "artifact_ready")
+        .LoadConst(1, 7)
+        .Mul(2, 0, 1)
+        .AddImm(3, 2, 3)
+        .Return(3);  // 10 when published, 3 before
+  }
+  {
+    auto m = b.Method("VerifyArtifact");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "artifact_ready")
+        .ThrowIfZero(0, "ArtifactMissingException")
+        .Return(0);
+  }
+
+  AID_ASSIGN_OR_RETURN(Program program, b.Build("Main"));
+
+  CaseStudy study;
+  study.name = "BuildAndTest";
+  study.origin = "proprietary build-and-test platform";
+  study.root_cause =
+      "order violation: tests fetch the artifact before the publisher "
+      "finishes publishing it";
+  study.paper = {.sd_predicates = 25,
+                 .causal_path = 3,
+                 .aid_interventions = 10,
+                 .tagt_interventions = 15};
+  study.program = std::move(program);
+  study.expected_root_substring = "starts before Publisher finishes";
+  return study;
+}
+
+}  // namespace aid

@@ -1,0 +1,125 @@
+// Azure Cosmos DB .NET SDK pull request #713 (paper Section 7.1.3).
+//
+// Timing bug: the application populates a cache whose entries expire after
+// a fixed interval (the Janitor thread), runs a few tasks, and then reads a
+// cached entry. A transient fault in Task2 triggers expensive fault
+// handling that pushes the task sequence past the expiry, so the final
+// lookup misses and the application crashes.
+//
+// The causal chain mirrors the paper's seven-step explanation: Task2 too
+// slow -> RunTasks too slow -> the cache check chain returns stale results
+// (CheckCache -> ValidateEntry -> FetchMetadata) -> GetCachedEntry throws.
+
+#include "casestudies/case_study.h"
+
+namespace aid {
+
+Result<CaseStudy> MakeCosmosDbCacheExpiry() {
+  ProgramBuilder b;
+  b.Global("cache_valid", 0);
+
+  {
+    auto m = b.Method("Main");
+    m.CallVoid("PopulateCache")
+        .Spawn(0, "Janitor")
+        .CallVoid("RunTasks")
+        .CallVoid("VerifyFreshness")
+        .CallVoid("ReadEntryAge")
+        .Call(1, "GetCachedEntry")
+        .Join(0)
+        .Return(1);
+  }
+  {
+    auto m = b.Method("PopulateCache");
+    m.LoadConst(0, 1).StoreGlobal("cache_valid", 0).Return();
+  }
+  {
+    // Cache TTL: entries expire 100 ticks after population.
+    auto m = b.Method("Janitor");
+    m.Delay(100).LoadConst(0, 0).StoreGlobal("cache_valid", 0).Return();
+  }
+  {
+    auto m = b.Method("RunTasks");
+    m.SideEffectFree();
+    m.CallVoid("Task1").CallVoid("Task2").CallVoid("Task3").Return();
+  }
+  {
+    auto m = b.Method("Task1");
+    m.SideEffectFree();
+    m.DelayRand(8, 14).Return();
+  }
+  {
+    // Task2 occasionally hits a transient fault whose handling is costly.
+    auto m = b.Method("Task2");
+    m.SideEffectFree();
+    m.Random(0, 6);
+    const size_t no_fault = m.JumpIfNonZeroPlaceholder(0);
+    m.CallVoid("HandleTransientFault");
+    m.PatchTarget(no_fault);
+    m.DelayRand(8, 14).Return();
+  }
+  {
+    auto m = b.Method("HandleTransientFault");
+    m.SideEffectFree();
+    m.Delay(90).Return();
+  }
+  {
+    auto m = b.Method("Task3");
+    m.SideEffectFree();
+    m.DelayRand(8, 14).Return();
+  }
+  {
+    // Read-only freshness probes (symptoms, not causes).
+    auto m = b.Method("VerifyFreshness");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "cache_valid").AddImm(1, 0, 10).Return(1);  // 11 fresh
+  }
+  {
+    auto m = b.Method("ReadEntryAge");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "cache_valid").LoadConst(1, 5).Mul(2, 0, 1).Return(2);
+  }
+  {
+    // The lookup chain: GetCachedEntry -> FetchMetadata -> ValidateEntry ->
+    // CheckCache; each link propagates the staleness upward.
+    auto m = b.Method("CheckCache");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "cache_valid").Return(0);
+  }
+  {
+    auto m = b.Method("ValidateEntry");
+    m.SideEffectFree();
+    m.Call(0, "CheckCache").Return(0);
+  }
+  {
+    auto m = b.Method("FetchMetadata");
+    m.SideEffectFree();
+    m.Call(0, "ValidateEntry").Return(0);
+  }
+  {
+    auto m = b.Method("GetCachedEntry");
+    m.SideEffectFree();
+    m.Call(0, "FetchMetadata")
+        .ThrowIfZero(0, "CacheMissException")
+        .LoadConst(1, 7)
+        .Return(1);
+  }
+
+  AID_ASSIGN_OR_RETURN(Program program, b.Build("Main"));
+
+  CaseStudy study;
+  study.name = "CosmosDB";
+  study.origin = "Azure Cosmos DB .NET SDK pull request #713";
+  study.root_cause =
+      "transient-fault handling makes Task2 outlive the cache expiry, so "
+      "the entry is gone when the application finally reads it";
+  study.paper = {.sd_predicates = 64,
+                 .causal_path = 7,
+                 .aid_interventions = 15,
+                 .tagt_interventions = 42};
+  study.program = std::move(program);
+  study.expected_root_substring = "Task2 runs too slow";
+  return study;
+}
+
+}  // namespace aid

@@ -1,0 +1,107 @@
+// "HealthTelemetry": the runtime-health reporting module (paper Section
+// 7.1.4). Root cause: a race condition -- two reporters perform an unlocked
+// read-modify-write on the metric counter; when their windows interleave,
+// one update is lost. The corrupted count then flows through a seven-stage
+// aggregation pipeline, and the final report validation throws. The long
+// pipeline gives the paper's longest causal path (10 predicates).
+
+#include "casestudies/case_study.h"
+
+#include "common/strings.h"
+
+namespace aid {
+
+Result<CaseStudy> MakeHealthTelemetryRace() {
+  ProgramBuilder b;
+  b.Global("metric_count", 0);
+
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "Reporter1").Spawn(1, "Reporter2").Join(0).Join(1);
+    for (int i = 1; i <= 8; ++i) {
+      m.CallVoid(StrFormat("Probe%d", i));
+    }
+    m.Call(2, "ValidateReport").Return(2);
+  }
+  {
+    // Reporter1 reports at offset 2 or 36; Reporter2 at 36 or 70. Only the
+    // (36, 36) combination overlaps the read-modify-write windows.
+    auto m = b.Method("Reporter1");
+    m.Random(0, 2);
+    const size_t late = m.JumpIfNonZeroPlaceholder(0);
+    m.Delay(2);
+    const size_t go = m.JumpPlaceholder();
+    m.PatchTarget(late);
+    m.Delay(36);
+    m.PatchTarget(go);
+    m.CallVoid("Report").Return();
+  }
+  {
+    auto m = b.Method("Reporter2");
+    m.Random(0, 2);
+    const size_t late = m.JumpIfNonZeroPlaceholder(0);
+    m.Delay(36);
+    const size_t go = m.JumpPlaceholder();
+    m.PatchTarget(late);
+    m.Delay(70);
+    m.PatchTarget(go);
+    m.CallVoid("Report").Return();
+  }
+  {
+    // Unlocked read-modify-write; the delay widens the lost-update window.
+    auto m = b.Method("Report");
+    m.LoadGlobal(0, "metric_count")
+        .Delay(6)
+        .AddImm(1, 0, 1)
+        .StoreGlobal("metric_count", 1)
+        .Return(1);
+  }
+  // Read-only probes: symptoms of the corrupted counter.
+  for (int i = 1; i <= 8; ++i) {
+    auto m = b.Method(StrFormat("Probe%d", i));
+    m.SideEffectFree();
+    m.LoadGlobal(0, "metric_count").AddImm(1, 0, 10 * i).Return(1);
+  }
+  {
+    auto m = b.Method("GetCount");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "metric_count").Return(0);  // 2 when both updates land
+  }
+  // Aggregation pipeline: Stage1 .. Stage7, each adds one to the previous.
+  for (int i = 1; i <= 7; ++i) {
+    auto m = b.Method(StrFormat("Stage%d", i));
+    m.SideEffectFree();
+    m.Call(0, i == 1 ? std::string("GetCount") : StrFormat("Stage%d", i - 1))
+        .AddImm(1, 0, 1)
+        .Return(1);
+  }
+  {
+    // The healthy report value is 2 + 7 = 9.
+    auto m = b.Method("ValidateReport");
+    m.SideEffectFree();
+    m.Call(0, "Stage7")
+        .LoadConst(1, 9)
+        .CmpEq(2, 0, 1)
+        .ThrowIfZero(2, "TelemetryMismatchException")
+        .Return(0);
+  }
+
+  AID_ASSIGN_OR_RETURN(Program program, b.Build("Main"));
+
+  CaseStudy study;
+  study.name = "HealthTelemetry";
+  study.origin = "proprietary service-health telemetry module";
+  study.root_cause =
+      "race condition: unlocked read-modify-write on the metric counter "
+      "loses an update, corrupting the aggregation pipeline";
+  study.paper = {.sd_predicates = 93,
+                 .causal_path = 10,
+                 .aid_interventions = 40,
+                 .tagt_interventions = 70};
+  study.program = std::move(program);
+  study.target_options.extraction.duration_slack = 4;
+  study.expected_root_substring = "between Report and Report";
+  return study;
+}
+
+}  // namespace aid

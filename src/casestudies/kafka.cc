@@ -1,0 +1,122 @@
+// Kafka (confluent-kafka-dotnet) GitHub issue #279 (paper Section 7.1.2).
+//
+// Use-after-free: the main thread disposes the consumer on a fixed
+// schedule; a child thread's work item sometimes runs long, and its commit
+// then touches the disposed consumer, raising ObjectDisposedException.
+//
+// Causal story (paper): child runs too slow -> main disposes consumer ->
+// child commits on disposed consumer -> exception -> crash. Between the
+// slow work and the commit, several read-only status methods observe the
+// disposed flag and return "wrong" values -- fully-discriminative symptoms
+// that are *not* causes, which AID must prune (like P7/P10 in Figure 4).
+
+#include "casestudies/case_study.h"
+
+namespace aid {
+
+Result<CaseStudy> MakeKafkaUseAfterFree() {
+  ProgramBuilder b;
+  b.Global("disposed", 0);
+
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "Worker")
+        .Spawn(1, "LagMonitor")
+        .Delay(90)
+        .CallVoid("DisposeConsumer")
+        .Join(0)
+        .Return();
+  }
+  {
+    auto m = b.Method("Worker");
+    m.SideEffectFree();
+    m.CallVoid("DoWork")
+        .Call(1, "PrepareCommit")
+        .Call(2, "CheckConnection")
+        .Call(3, "GetRetryBudget")
+        .CallVoid("CommitOffsets")
+        .Return();
+  }
+  {
+    // Work duration in {10, 30, 120, 140}: the slow half clearly outlives
+    // the dispose at ~90, the fast half clearly finishes before it.
+    auto m = b.Method("DoWork");
+    m.SideEffectFree();
+    m.Random(0, 4);
+    m.LoadConst(1, 0).CmpEq(2, 0, 1);
+    const size_t d10 = m.JumpIfNonZeroPlaceholder(2);
+    m.LoadConst(1, 1).CmpEq(2, 0, 1);
+    const size_t d30 = m.JumpIfNonZeroPlaceholder(2);
+    m.LoadConst(1, 2).CmpEq(2, 0, 1);
+    const size_t d120 = m.JumpIfNonZeroPlaceholder(2);
+    m.Delay(140);
+    const size_t end140 = m.JumpPlaceholder();
+    m.PatchTarget(d10);
+    m.Delay(10);
+    const size_t end10 = m.JumpPlaceholder();
+    m.PatchTarget(d30);
+    m.Delay(30);
+    const size_t end30 = m.JumpPlaceholder();
+    m.PatchTarget(d120);
+    m.Delay(120);
+    m.PatchTarget(end140).PatchTarget(end10).PatchTarget(end30);
+    m.Return();
+  }
+  {
+    auto m = b.Method("DisposeConsumer");
+    m.LoadConst(0, 1).StoreGlobal("disposed", 0).Return();
+  }
+  {
+    // Read-only status probes: wrong values once the consumer is disposed.
+    auto m = b.Method("PrepareCommit");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "disposed").Return(0);  // 0 healthy, 1 disposed
+  }
+  {
+    auto m = b.Method("CheckConnection");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "disposed").LoadConst(1, 1).Sub(2, 1, 0).Return(2);
+  }
+  {
+    auto m = b.Method("GetRetryBudget");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "disposed")
+        .LoadConst(1, 2)
+        .Mul(2, 0, 1)
+        .LoadConst(3, 5)
+        .Sub(4, 3, 2)
+        .Return(4);  // 5 healthy, 3 disposed
+  }
+  {
+    auto m = b.Method("CommitOffsets");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "disposed")
+        .ThrowIfNonZero(0, "ObjectDisposedException")
+        .LoadConst(1, 0)
+        .Return(1);
+  }
+  {
+    // Unrelated long-lived monitor; crashes cut it short (symptom only).
+    auto m = b.Method("LagMonitor");
+    m.Delay(400).LoadGlobal(0, "disposed").Return(0);
+  }
+
+  AID_ASSIGN_OR_RETURN(Program program, b.Build("Main"));
+
+  CaseStudy study;
+  study.name = "Kafka";
+  study.origin = "confluent-kafka-dotnet GitHub issue #279";
+  study.root_cause =
+      "the child thread's work item runs too slow, the main thread disposes "
+      "the consumer meanwhile, and the child's commit hits the disposed "
+      "consumer";
+  study.paper = {.sd_predicates = 72,
+                 .causal_path = 5,
+                 .aid_interventions = 17,
+                 .tagt_interventions = 33};
+  study.program = std::move(program);
+  study.expected_root_substring = "DoWork runs too slow";
+  return study;
+}
+
+}  // namespace aid

@@ -1,0 +1,96 @@
+// "Network": the data-center network control plane (paper Section 7.1.4).
+//
+// The paper reports the root cause as a random number collision. Two
+// services allocate random identifiers concurrently; when the identifiers
+// collide, registry validation fails and the control plane crashes. The
+// root-cause predicate is the return-value collision between the two
+// allocators; the repair steers the second allocator away from the first
+// allocator's value.
+
+#include "casestudies/case_study.h"
+
+namespace aid {
+
+Result<CaseStudy> MakeNetworkCollision() {
+  ProgramBuilder b;
+  b.Global("id_a", -1);
+  b.Global("id_b", -1);
+
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "ServiceA")
+        .Spawn(1, "ServiceB")
+        .Join(0)
+        .Join(1)
+        .Call(2, "CheckDistinct")
+        .Call(3, "CountHealthy")
+        .CallVoid("ValidateRegistry")
+        .Return();
+  }
+  {
+    auto m = b.Method("ServiceA");
+    m.Call(0, "AllocateIdA").StoreGlobal("id_a", 0).Return();
+  }
+  {
+    auto m = b.Method("ServiceB");
+    m.Call(0, "AllocateIdB").StoreGlobal("id_b", 0).Return();
+  }
+  {
+    auto m = b.Method("AllocateIdA");
+    m.SideEffectFree();
+    m.DelayRand(2, 6).Random(0, 4).Return(0);
+  }
+  {
+    auto m = b.Method("AllocateIdB");
+    m.SideEffectFree();
+    m.DelayRand(2, 6).Random(0, 4).Return(0);
+  }
+  {
+    // Read-only probe: 1 when the ids are distinct (the healthy value).
+    auto m = b.Method("CheckDistinct");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "id_a")
+        .LoadGlobal(1, "id_b")
+        .CmpEq(2, 0, 1)
+        .LoadConst(3, 1)
+        .Sub(4, 3, 2)
+        .Return(4);
+  }
+  {
+    // Another probe, deliberately *not* side-effect-free: SD sees its wrong
+    // return, but AID must exclude it from the AC-DAG (Section 3.3).
+    auto m = b.Method("CountHealthy");
+    m.LoadGlobal(0, "id_a")
+        .LoadGlobal(1, "id_b")
+        .CmpEq(2, 0, 1)
+        .LoadConst(3, 2)
+        .Sub(4, 3, 2)
+        .Return(4);  // 2 healthy, 1 on collision
+  }
+  {
+    // Registry commit: mutates external state, hence not intervenable.
+    auto m = b.Method("ValidateRegistry");
+    m.LoadGlobal(0, "id_a")
+        .LoadGlobal(1, "id_b")
+        .CmpEq(2, 0, 1)
+        .ThrowIfNonZero(2, "RegistrationConflict")
+        .Return();
+  }
+
+  AID_ASSIGN_OR_RETURN(Program program, b.Build("Main"));
+
+  CaseStudy study;
+  study.name = "Network";
+  study.origin = "proprietary data-center network control plane";
+  study.root_cause = "random identifier collision between two services";
+  study.paper = {.sd_predicates = 24,
+                 .causal_path = 1,
+                 .aid_interventions = 2,
+                 .tagt_interventions = 5};
+  study.program = std::move(program);
+  study.target_options.extraction.return_equals = true;
+  study.expected_root_substring = "return the same value";
+  return study;
+}
+
+}  // namespace aid

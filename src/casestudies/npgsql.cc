@@ -1,0 +1,114 @@
+// Npgsql GitHub issue #2485 (paper Section 7.1.1, Figure 9).
+//
+// A data race on the array-index variable `_nextSlot`: GetOrAdd increments
+// the index and only later resizes `_pools`, while the lock-free
+// TryGetValue reads the index and immediately dereferences the array. When
+// the read lands inside GetOrAdd's increment-to-resize window, TryGetValue
+// indexes one past the array bound and the resulting IndexOutOfRange
+// exception crashes the connection-opening thread.
+//
+// Thread start offsets are drawn from coarse discrete grids so the racing
+// window either clearly overlaps (deterministic failure) or stays clearly
+// apart (deterministic success) regardless of scheduler jitter -- this is
+// what makes the race predicate fully discriminative, as in the paper's
+// Figure 9(c).
+
+#include "casestudies/case_study.h"
+
+namespace aid {
+
+Result<CaseStudy> MakeNpgsqlRace() {
+  ProgramBuilder b;
+  b.Global("_nextSlot", 4);
+  b.Array("_pools", 4);
+
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "Opener")
+        .Spawn(1, "Expander")
+        .Spawn(2, "Watchdog")
+        .Spawn(3, "MetricsFlusher")
+        .Join(0)
+        .Join(1)
+        .Return();
+  }
+  {
+    // Opener waits 0, 50, or 140 ticks, then opens a connection.
+    auto m = b.Method("Opener");
+    m.Random(0, 3);
+    m.LoadConst(1, 1).CmpEq(2, 0, 1);
+    const size_t to_mid = m.JumpIfNonZeroPlaceholder(2);
+    m.LoadConst(1, 2).CmpEq(2, 0, 1);
+    const size_t to_late = m.JumpIfNonZeroPlaceholder(2);
+    const size_t to_call_a = m.JumpPlaceholder();
+    m.PatchTarget(to_mid);
+    m.Delay(60);
+    const size_t to_call_b = m.JumpPlaceholder();
+    m.PatchTarget(to_late);
+    m.Delay(150);
+    m.PatchTarget(to_call_a).PatchTarget(to_call_b);
+    m.Call(3, "TryGetValue").Return(3);
+  }
+  {
+    // Expander grows the pool after 45 or 135 ticks.
+    auto m = b.Method("Expander");
+    m.Random(0, 2);
+    const size_t slow = m.JumpIfNonZeroPlaceholder(0);
+    m.Delay(45);
+    const size_t go = m.JumpPlaceholder();
+    m.PatchTarget(slow);
+    m.Delay(135);
+    m.PatchTarget(go);
+    m.CallVoid("GetOrAdd").Return();
+  }
+  {
+    // Figure 9(a): lock-free read of _nextSlot, then the array access.
+    auto m = b.Method("TryGetValue");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "_nextSlot")
+        .AddImm(1, 0, -1)
+        .ArrayLoad(2, "_pools", 1)  // IndexOutOfRange when the index is stale
+        .Return(2);
+  }
+  {
+    // Figure 9(a): increment first, resize (much) later.
+    auto m = b.Method("GetOrAdd");
+    m.LoadGlobal(0, "_nextSlot")
+        .AddImm(1, 0, 1)
+        .StoreGlobal("_nextSlot", 1)
+        .Delay(30)  // the danger window: index published, array still small
+        .LoadConst(2, 8)
+        .ArrayResize("_pools", 2)
+        .LoadConst(3, 42)
+        .ArrayStore("_pools", 0, 3)
+        .Return(1);
+  }
+  {
+    auto m = b.Method("Watchdog");
+    m.Delay(400).LoadGlobal(0, "_nextSlot").Return(0);
+  }
+  {
+    auto m = b.Method("MetricsFlusher");
+    m.Delay(500).Return();
+  }
+
+  AID_ASSIGN_OR_RETURN(Program program, b.Build("Main"));
+
+  CaseStudy study;
+  study.name = "Npgsql";
+  study.origin = "Npgsql GitHub issue #2485";
+  study.root_cause =
+      "data race on the _nextSlot index: a thread reads the incremented "
+      "index before the backing array is resized and accesses beyond the "
+      "array bound";
+  study.paper = {.sd_predicates = 14,
+                 .causal_path = 3,
+                 .aid_interventions = 5,
+                 .tagt_interventions = 11};
+  study.program = std::move(program);
+  // Canonical race naming orders the methods by interning id.
+  study.expected_root_substring = "data race between TryGetValue and GetOrAdd";
+  return study;
+}
+
+}  // namespace aid

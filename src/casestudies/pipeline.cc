@@ -1,0 +1,46 @@
+#include "casestudies/pipeline.h"
+
+#include "sd/statistical_debugger.h"
+
+namespace aid {
+
+Result<PipelineOutcome> RunPipeline(const CaseStudy& study,
+                                    const PipelineConfig& config) {
+  AID_ASSIGN_OR_RETURN(std::unique_ptr<VmTarget> target,
+                       VmTarget::Create(&study.program, study.target_options));
+
+  AID_ASSIGN_OR_RETURN(StatisticalDebugger sd,
+                       StatisticalDebugger::Analyze(
+                           target->extractor().catalog(),
+                           target->extractor().logs()));
+
+  PipelineOutcome outcome;
+  outcome.fully_discriminative =
+      static_cast<int>(sd.FullyDiscriminative().size());
+
+  AID_ASSIGN_OR_RETURN(AcDag dag, target->BuildAcDag());
+  outcome.acdag_nodes = static_cast<int>(dag.size());
+
+  {
+    CausalPathDiscovery discovery(&dag, target.get(), config.aid);
+    AID_ASSIGN_OR_RETURN(outcome.aid, discovery.Run());
+  }
+  if (config.run_tagt) {
+    CausalPathDiscovery discovery(&dag, target.get(), config.tagt);
+    AID_ASSIGN_OR_RETURN(outcome.tagt, discovery.Run());
+  }
+
+  const PredicateCatalog& catalog = target->extractor().catalog();
+  const SymbolTable* methods = &study.program.method_names();
+  const SymbolTable* objects = &study.program.object_names();
+  if (outcome.aid.root_cause() != kInvalidPredicate) {
+    outcome.root_cause =
+        catalog.Describe(outcome.aid.root_cause(), methods, objects);
+  }
+  for (PredicateId id : outcome.aid.causal_path) {
+    outcome.causal_path.push_back(catalog.Describe(id, methods, objects));
+  }
+  return outcome;
+}
+
+}  // namespace aid

@@ -1,0 +1,45 @@
+// End-to-end AID pipeline driver for a case study: observe -> SD -> AC-DAG
+// -> causality-guided interventions, plus the TAGT baseline on the same
+// target, producing the measurements of the paper's Figure 7.
+
+#ifndef AID_CASESTUDIES_PIPELINE_H_
+#define AID_CASESTUDIES_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "casestudies/case_study.h"
+#include "core/engine.h"
+
+namespace aid {
+
+struct PipelineOutcome {
+  /// Measured statistics.
+  int fully_discriminative = 0;  ///< SD output size (the paper's column 3)
+  int acdag_nodes = 0;           ///< after safety + reachability filtering
+  DiscoveryReport aid;
+  DiscoveryReport tagt;
+  /// Human-readable root cause and causal path (AID).
+  std::string root_cause;
+  std::vector<std::string> causal_path;
+
+  int aid_path_len() const {
+    // Predicates in the causal path, excluding F (the paper's column 4).
+    return static_cast<int>(aid.causal_path.size()) - 1;
+  }
+};
+
+struct PipelineConfig {
+  EngineOptions aid = EngineOptions::Aid();
+  EngineOptions tagt = EngineOptions::Tagt();
+  bool run_tagt = true;
+};
+
+/// Runs the whole pipeline on one case study.
+Result<PipelineOutcome> RunPipeline(const CaseStudy& study,
+                                    const PipelineConfig& config = {});
+
+}  // namespace aid
+
+#endif  // AID_CASESTUDIES_PIPELINE_H_

@@ -1,0 +1,34 @@
+#include "casestudies/case_study.h"
+
+namespace aid {
+
+Result<std::vector<CaseStudy>> AllCaseStudies() {
+  std::vector<CaseStudy> studies;
+  {
+    AID_ASSIGN_OR_RETURN(CaseStudy study, MakeNpgsqlRace());
+    studies.push_back(std::move(study));
+  }
+  {
+    AID_ASSIGN_OR_RETURN(CaseStudy study, MakeKafkaUseAfterFree());
+    studies.push_back(std::move(study));
+  }
+  {
+    AID_ASSIGN_OR_RETURN(CaseStudy study, MakeCosmosDbCacheExpiry());
+    studies.push_back(std::move(study));
+  }
+  {
+    AID_ASSIGN_OR_RETURN(CaseStudy study, MakeNetworkCollision());
+    studies.push_back(std::move(study));
+  }
+  {
+    AID_ASSIGN_OR_RETURN(CaseStudy study, MakeBuildAndTestOrder());
+    studies.push_back(std::move(study));
+  }
+  {
+    AID_ASSIGN_OR_RETURN(CaseStudy study, MakeHealthTelemetryRace());
+    studies.push_back(std::move(study));
+  }
+  return studies;
+}
+
+}  // namespace aid

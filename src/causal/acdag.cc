@@ -1,0 +1,323 @@
+#include "causal/acdag.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aid {
+
+Result<AcDag> AcDag::Build(const PredicateCatalog* catalog,
+                           const std::vector<PredicateLog>& logs,
+                           const std::vector<PredicateId>& candidates,
+                           PredicateId failure,
+                           const PrecedenceConfig& config) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("catalog must not be null");
+  }
+  std::vector<PredicateId> nodes = candidates;
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  if (!std::binary_search(nodes.begin(), nodes.end(), failure)) {
+    return Status::InvalidArgument(
+        "failure predicate must be among the candidates");
+  }
+
+  const size_t n = nodes.size();
+  // precedes[i][j]: time(i) < time(j) in every failed log where both were
+  // observed; co_occurred[i][j]: they were observed together at least once.
+  // Fully-discriminative predicates co-occur in every failed log, making
+  // this the paper's "in all logs where both appear" rule.
+  std::vector<std::vector<bool>> precedes(n, std::vector<bool>(n, true));
+  std::vector<std::vector<bool>> co_occurred(n, std::vector<bool>(n, false));
+
+  int failed_logs = 0;
+  std::vector<Tick> times(n);
+  std::vector<bool> present(n);
+  for (const PredicateLog& log : logs) {
+    if (!log.failed) continue;
+    ++failed_logs;
+    for (size_t i = 0; i < n; ++i) {
+      auto it = log.observed.find(nodes[i]);
+      present[i] = it != log.observed.end();
+      if (present[i]) {
+        times[i] = config.TimeOf(catalog->Get(nodes[i]), it->second);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!present[i]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j || !present[j]) continue;
+        co_occurred[i][j] = true;
+        if (times[i] >= times[j]) precedes[i][j] = false;
+      }
+    }
+  }
+  if (failed_logs == 0) {
+    return Status::InvalidArgument("no failed logs to build the AC-DAG from");
+  }
+
+  // The intersection of per-log strict orders is a strict partial order:
+  // irreflexive, transitive, acyclic. It is its own transitive closure.
+  std::vector<std::vector<bool>> closure(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      closure[i][j] = i != j && co_occurred[i][j] && precedes[i][j];
+    }
+  }
+  return FromClosure(catalog, std::move(nodes), std::move(closure), failure,
+                     /*drop_unreachable=*/true);
+}
+
+Result<AcDag> AcDag::FromEdges(
+    const PredicateCatalog* catalog, const std::vector<PredicateId>& nodes_in,
+    const std::vector<std::pair<PredicateId, PredicateId>>& edges,
+    PredicateId failure) {
+  std::vector<PredicateId> nodes = nodes_in;
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  if (!std::binary_search(nodes.begin(), nodes.end(), failure)) {
+    return Status::InvalidArgument(
+        "failure predicate must be among the nodes");
+  }
+  const size_t n = nodes.size();
+  std::unordered_map<PredicateId, size_t> index;
+  for (size_t i = 0; i < n; ++i) index[nodes[i]] = i;
+
+  std::vector<std::vector<size_t>> adj(n);
+  for (const auto& [from, to] : edges) {
+    auto fi = index.find(from);
+    auto ti = index.find(to);
+    if (fi == index.end() || ti == index.end()) {
+      return Status::InvalidArgument("edge endpoint not among the nodes");
+    }
+    if (fi->second == ti->second) {
+      return Status::InvalidArgument("self-loop edge");
+    }
+    adj[fi->second].push_back(ti->second);
+  }
+
+  // Closure via iterative DFS from each node: O(n * E), which keeps the
+  // synthetic benchmark (thousands of generated DAGs) fast.
+  std::vector<std::vector<bool>> closure(n, std::vector<bool>(n, false));
+  std::vector<size_t> stack;
+  for (size_t src = 0; src < n; ++src) {
+    stack.assign(adj[src].begin(), adj[src].end());
+    while (!stack.empty()) {
+      const size_t v = stack.back();
+      stack.pop_back();
+      if (closure[src][v]) continue;
+      closure[src][v] = true;
+      for (size_t next : adj[v]) {
+        if (!closure[src][next]) stack.push_back(next);
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (closure[i][i]) {
+      return Status::InvalidArgument("edges contain a cycle");
+    }
+  }
+  return FromClosure(catalog, std::move(nodes), std::move(closure), failure,
+                     /*drop_unreachable=*/true);
+}
+
+Result<AcDag> AcDag::FromClosure(const PredicateCatalog* catalog,
+                                 std::vector<PredicateId> nodes,
+                                 std::vector<std::vector<bool>> closure,
+                                 PredicateId failure, bool drop_unreachable) {
+  const size_t n = nodes.size();
+  if (drop_unreachable) {
+    // Keep the failure node and every node that reaches it: a predicate with
+    // no path to F cannot cause F under the temporal over-approximation.
+    size_t failure_index = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (nodes[i] == failure) failure_index = i;
+    }
+    AID_CHECK(failure_index < n);
+    std::vector<size_t> keep;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == failure_index || closure[i][failure_index]) keep.push_back(i);
+    }
+    if (keep.size() != n) {
+      std::vector<PredicateId> kept_nodes;
+      std::vector<std::vector<bool>> kept_closure(
+          keep.size(), std::vector<bool>(keep.size(), false));
+      kept_nodes.reserve(keep.size());
+      for (size_t a = 0; a < keep.size(); ++a) {
+        kept_nodes.push_back(nodes[keep[a]]);
+        for (size_t b = 0; b < keep.size(); ++b) {
+          kept_closure[a][b] = closure[keep[a]][keep[b]];
+        }
+      }
+      nodes = std::move(kept_nodes);
+      closure = std::move(kept_closure);
+    }
+  }
+
+  AcDag dag;
+  dag.catalog_ = catalog;
+  dag.nodes_ = std::move(nodes);
+  dag.closure_ = std::move(closure);
+  dag.failure_ = failure;
+  for (size_t i = 0; i < dag.nodes_.size(); ++i) {
+    dag.index_[dag.nodes_[i]] = static_cast<int>(i);
+  }
+  return dag;
+}
+
+void AcDag::BuildReduction() const {
+  if (reduction_built_) return;
+  const size_t n = nodes_.size();
+  children_.assign(n, {});
+  parents_.assign(n, {});
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (!closure_[i][j]) continue;
+      // (i, j) is a reduction edge iff no k mediates i ; k ; j.
+      bool mediated = false;
+      for (size_t k = 0; k < n && !mediated; ++k) {
+        mediated = closure_[i][k] && closure_[k][j];
+      }
+      if (!mediated) {
+        children_[i].push_back(nodes_[j]);
+        parents_[j].push_back(nodes_[i]);
+      }
+    }
+  }
+  for (auto& v : children_) std::sort(v.begin(), v.end());
+  for (auto& v : parents_) std::sort(v.begin(), v.end());
+  reduction_built_ = true;
+}
+
+int AcDag::IndexOf(PredicateId id) const {
+  auto it = index_.find(id);
+  AID_CHECK(it != index_.end());
+  return it->second;
+}
+
+bool AcDag::Reaches(PredicateId from, PredicateId to) const {
+  return closure_[static_cast<size_t>(IndexOf(from))]
+                 [static_cast<size_t>(IndexOf(to))];
+}
+
+const std::vector<PredicateId>& AcDag::Children(PredicateId id) const {
+  BuildReduction();
+  return children_[static_cast<size_t>(IndexOf(id))];
+}
+
+const std::vector<PredicateId>& AcDag::Parents(PredicateId id) const {
+  BuildReduction();
+  return parents_[static_cast<size_t>(IndexOf(id))];
+}
+
+std::vector<PredicateId> AcDag::TopoOrder() const {
+  // Kahn's algorithm over the closure with a min-heap for determinism.
+  const size_t n = nodes_.size();
+  std::vector<int> indegree(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (closure_[j][i]) ++indegree[i];
+    }
+  }
+  std::priority_queue<PredicateId, std::vector<PredicateId>,
+                      std::greater<PredicateId>>
+      ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push(nodes_[i]);
+  }
+  std::vector<PredicateId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const PredicateId id = ready.top();
+    ready.pop();
+    order.push_back(id);
+    const size_t i = static_cast<size_t>(IndexOf(id));
+    for (size_t j = 0; j < n; ++j) {
+      if (closure_[i][j] && --indegree[j] == 0) ready.push(nodes_[j]);
+    }
+  }
+  AID_CHECK(order.size() == n);  // acyclic by construction
+  return order;
+}
+
+std::vector<std::vector<PredicateId>> AcDag::TopoLevels() const {
+  // Longest-path layering computed over closure parents: the longest chain
+  // below a node has the same length whether counted over the reduction or
+  // the closure.
+  const size_t n = nodes_.size();
+  std::vector<int> level(n, 0);
+  int max_level = 0;
+  for (PredicateId id : TopoOrder()) {
+    const size_t i = static_cast<size_t>(IndexOf(id));
+    for (size_t p = 0; p < n; ++p) {
+      if (closure_[p][i]) level[i] = std::max(level[i], level[p] + 1);
+    }
+    max_level = std::max(max_level, level[i]);
+  }
+  std::vector<std::vector<PredicateId>> levels(
+      static_cast<size_t>(max_level) + 1);
+  for (size_t i = 0; i < n; ++i) {
+    levels[static_cast<size_t>(level[i])].push_back(nodes_[i]);
+  }
+  for (auto& v : levels) std::sort(v.begin(), v.end());
+  return levels;
+}
+
+AcDag AcDag::Restrict(const std::vector<PredicateId>& keep) const {
+  std::vector<PredicateId> kept = keep;
+  kept.push_back(failure_);
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  std::vector<PredicateId> nodes;
+  for (PredicateId id : kept) {
+    if (Contains(id)) nodes.push_back(id);
+  }
+  const size_t m = nodes.size();
+  std::vector<std::vector<bool>> closure(m, std::vector<bool>(m, false));
+  for (size_t a = 0; a < m; ++a) {
+    for (size_t b = 0; b < m; ++b) {
+      if (a != b) closure[a][b] = Reaches(nodes[a], nodes[b]);
+    }
+  }
+  auto result = FromClosure(catalog_, std::move(nodes), std::move(closure),
+                            failure_, /*drop_unreachable=*/false);
+  AID_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+std::vector<PredicateId> AcDag::Descendants(PredicateId id) const {
+  const size_t i = static_cast<size_t>(IndexOf(id));
+  std::vector<PredicateId> out;
+  for (size_t j = 0; j < nodes_.size(); ++j) {
+    if (closure_[i][j]) out.push_back(nodes_[j]);
+  }
+  return out;
+}
+
+std::string AcDag::ToDot(const SymbolTable* methods,
+                         const SymbolTable* objects) const {
+  std::ostringstream out;
+  out << "digraph acdag {\n  rankdir=TB;\n";
+  for (PredicateId id : nodes_) {
+    std::string label = catalog_ != nullptr
+                            ? catalog_->Describe(id, methods, objects)
+                            : StrFormat("P%d", id);
+    for (auto& c : label) {
+      if (c == '"') c = '\'';
+    }
+    out << StrFormat("  n%d [label=\"%s\"%s];\n", id, label.c_str(),
+                     id == failure_ ? ", shape=doubleoctagon" : "");
+  }
+  for (PredicateId id : nodes_) {
+    for (PredicateId child : Children(id)) {
+      out << StrFormat("  n%d -> n%d;\n", id, child);
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace aid

@@ -1,0 +1,108 @@
+// The Approximate Causal DAG (paper Section 4).
+//
+// Nodes are the fully-discriminative predicates; an edge P -> Q means P's
+// policy timestamp precedes Q's in *every* failed log. Because each log
+// orders predicates totally (strictly, ties excluded) and the edge relation
+// is the intersection of those orders, the relation is a strict partial
+// order: transitively closed and acyclic by construction. The stored edge
+// set therefore *is* the transitive closure (the paper's AC-DAG "includes
+// all edges implied by transitive closure"); a transitive reduction is kept
+// alongside for traversal, junction detection, and display.
+//
+// Nodes with no path to the failure predicate are discarded at build time --
+// they cannot be causes (this is how the Kafka case study drops 30 of its 72
+// discriminative predicates).
+
+#ifndef AID_CAUSAL_ACDAG_H_
+#define AID_CAUSAL_ACDAG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "causal/precedence.h"
+#include "common/status.h"
+#include "predicates/predicate.h"
+
+namespace aid {
+
+class AcDag {
+ public:
+  /// Builds the AC-DAG from the failed observation logs.
+  ///
+  /// `candidates` are the fully-discriminative predicate ids (from
+  /// StatisticalDebugger::FullyDiscriminative); `failure` must be among
+  /// them. Successful logs in `logs` are ignored.
+  static Result<AcDag> Build(const PredicateCatalog* catalog,
+                             const std::vector<PredicateLog>& logs,
+                             const std::vector<PredicateId>& candidates,
+                             PredicateId failure,
+                             const PrecedenceConfig& config =
+                                 PrecedenceConfig::Default());
+
+  /// Builds directly from explicit edges (synthetic targets, tests). Edges
+  /// are transitively closed internally; must be acyclic.
+  static Result<AcDag> FromEdges(
+      const PredicateCatalog* catalog, const std::vector<PredicateId>& nodes,
+      const std::vector<std::pair<PredicateId, PredicateId>>& edges,
+      PredicateId failure);
+
+  /// All nodes (ascending id), including the failure predicate.
+  const std::vector<PredicateId>& nodes() const { return nodes_; }
+  size_t size() const { return nodes_.size(); }
+  PredicateId failure() const { return failure_; }
+  const PredicateCatalog* catalog() const { return catalog_; }
+
+  bool Contains(PredicateId id) const { return index_.count(id) > 0; }
+
+  /// True iff `from` strictly precedes `to` in the closure (from ; to).
+  bool Reaches(PredicateId from, PredicateId to) const;
+
+  /// Children/parents in the transitive reduction (computed lazily; the
+  /// engine itself operates on the closure, the reduction serves display
+  /// and white-box tests).
+  const std::vector<PredicateId>& Children(PredicateId id) const;
+  const std::vector<PredicateId>& Parents(PredicateId id) const;
+
+  /// Deterministic topological order (ids break ties among incomparables).
+  std::vector<PredicateId> TopoOrder() const;
+
+  /// Longest-path layering: level(n) = 0 for roots, else
+  /// 1 + max(level(parents)). Returned ascending by level; members sorted.
+  /// A level with more than one member is a junction (Algorithm 2).
+  std::vector<std::vector<PredicateId>> TopoLevels() const;
+
+  /// Subgraph induced on `keep` (the failure node is always retained).
+  AcDag Restrict(const std::vector<PredicateId>& keep) const;
+
+  /// All descendants of `id` in the closure (excluding `id`).
+  std::vector<PredicateId> Descendants(PredicateId id) const;
+
+  /// Graphviz rendering (transitive reduction) for reports.
+  std::string ToDot(const SymbolTable* methods, const SymbolTable* objects) const;
+
+ private:
+  AcDag() = default;
+  /// Validates and applies reachability-to-failure pruning.
+  static Result<AcDag> FromClosure(const PredicateCatalog* catalog,
+                                   std::vector<PredicateId> nodes,
+                                   std::vector<std::vector<bool>> closure,
+                                   PredicateId failure,
+                                   bool drop_unreachable);
+  void BuildReduction() const;
+  int IndexOf(PredicateId id) const;
+
+  const PredicateCatalog* catalog_ = nullptr;
+  std::vector<PredicateId> nodes_;
+  std::unordered_map<PredicateId, int> index_;
+  PredicateId failure_ = kInvalidPredicate;
+  /// closure_[i][j]: nodes_[i] ; nodes_[j].
+  std::vector<std::vector<bool>> closure_;
+  mutable bool reduction_built_ = false;
+  mutable std::vector<std::vector<PredicateId>> children_;  ///< reduction
+  mutable std::vector<std::vector<PredicateId>> parents_;   ///< reduction
+};
+
+}  // namespace aid
+
+#endif  // AID_CAUSAL_ACDAG_H_

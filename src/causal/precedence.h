@@ -1,0 +1,59 @@
+// Temporal-precedence policies (paper Section 4).
+//
+// Predicates are associated with time windows, and the correct point to
+// compare depends on predicate semantics. The paper's two cases:
+//
+//   Case 1 ("runs slow"):   end-time implies precedence -- a callee being
+//                           slow causes its caller to be slow, and the
+//                           callee *ends* first.
+//   Case 2 ("starts late"): start-time implies precedence.
+//
+// Any conservative policy is admissible as long as it creates no cycles
+// (Section 4's closing remark); spurious edges are pruned by interventions.
+
+#ifndef AID_CAUSAL_PRECEDENCE_H_
+#define AID_CAUSAL_PRECEDENCE_H_
+
+#include <array>
+
+#include "predicates/predicate.h"
+
+namespace aid {
+
+enum class TimestampPolicy : uint8_t { kStart, kEnd };
+
+/// Maps each predicate kind to the timestamp used for precedence.
+class PrecedenceConfig {
+ public:
+  /// The paper's defaults: duration predicates order by end time (Case 1);
+  /// races, order inversions, and point predicates by start time (Case 2);
+  /// the failure predicate by end time (it closes every failed run).
+  static PrecedenceConfig Default() {
+    PrecedenceConfig config;
+    config.Set(PredKind::kTooSlow, TimestampPolicy::kEnd);
+    config.Set(PredKind::kTooFast, TimestampPolicy::kEnd);
+    config.Set(PredKind::kFailure, TimestampPolicy::kEnd);
+    return config;
+  }
+
+  void Set(PredKind kind, TimestampPolicy policy) {
+    policies_[static_cast<size_t>(kind)] = policy;
+  }
+
+  TimestampPolicy PolicyFor(PredKind kind) const {
+    return policies_[static_cast<size_t>(kind)];
+  }
+
+  /// The comparison timestamp of one observation of `pred`.
+  Tick TimeOf(const Predicate& pred, const PredicateObservation& obs) const {
+    return PolicyFor(pred.kind) == TimestampPolicy::kStart ? obs.start
+                                                           : obs.end;
+  }
+
+ private:
+  std::array<TimestampPolicy, 16> policies_{};  // default kStart
+};
+
+}  // namespace aid
+
+#endif  // AID_CAUSAL_PRECEDENCE_H_

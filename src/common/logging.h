@@ -1,0 +1,79 @@
+// Minimal leveled logging and check macros.
+//
+// The library logs to stderr only. Verbosity is a process-wide setting so
+// that benchmark binaries can silence progress chatter. AID_CHECK* are used
+// for programmer-error invariants (never for recoverable conditions, which
+// return Status).
+
+#ifndef AID_COMMON_LOGGING_H_
+#define AID_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace aid {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level that is actually emitted (default kWarning so
+/// library users see problems but not progress chatter).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class LogMessageVoidify {
+ public:
+  // Operator with lower precedence than << but higher than ?:.
+  void operator&(std::ostream&) {}
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& what);
+
+}  // namespace internal
+}  // namespace aid
+
+#define AID_LOG_DEBUG ::aid::LogLevel::kDebug
+#define AID_LOG_INFO ::aid::LogLevel::kInfo
+#define AID_LOG_WARNING ::aid::LogLevel::kWarning
+#define AID_LOG_ERROR ::aid::LogLevel::kError
+
+#define AID_LOG(level)                                       \
+  (AID_LOG_##level < ::aid::GetLogLevel())                   \
+      ? (void)0                                              \
+      : ::aid::internal::LogMessageVoidify() &               \
+            ::aid::internal::LogMessage(AID_LOG_##level, __FILE__, __LINE__) \
+                .stream()
+
+#define AID_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::aid::internal::CheckFailed(__FILE__, __LINE__,                    \
+                                   "AID_CHECK failed: " #cond);           \
+    }                                                                     \
+  } while (false)
+
+#define AID_CHECK_OK(expr)                                                 \
+  do {                                                                     \
+    ::aid::Status _aid_check_status = (expr);                              \
+    if (!_aid_check_status.ok()) {                                         \
+      ::aid::internal::CheckFailed(__FILE__, __LINE__,                     \
+                                   "AID_CHECK_OK failed: " #expr " -> " +  \
+                                       _aid_check_status.ToString());      \
+    }                                                                      \
+  } while (false)
+
+#endif  // AID_COMMON_LOGGING_H_

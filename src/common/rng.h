@@ -1,0 +1,103 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (the VM scheduler, the synthetic
+// application generator, tie-breaking in the intervention engine) draws from
+// an explicitly seeded Rng so that experiments and tests are reproducible
+// bit-for-bit. The generator is xoshiro256**, seeded through SplitMix64,
+// which is the standard recommendation for seeding xoshiro-family states.
+
+#ifndef AID_COMMON_RNG_H_
+#define AID_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace aid {
+
+/// SplitMix64 step; used for seeding and for cheap hash mixing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic, copyable random number generator (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds produce equal streams on every
+  /// platform; the generator never consults global state.
+  explicit Rng(uint64_t seed = 0x5eed0fa1d2020ULL) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    const uint64_t threshold = -n % n;  // (2^64 - n) mod n
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[Uniform(i)]);
+    }
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[Uniform(v.size())];
+  }
+
+  /// Derives an independent child generator; `stream` distinguishes children
+  /// forked from the same parent state.
+  Rng Fork(uint64_t stream) {
+    uint64_t mix = Next() ^ (stream * 0x9e3779b97f4a7c15ULL);
+    return Rng(SplitMix64(mix));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace aid
+
+#endif  // AID_COMMON_RNG_H_

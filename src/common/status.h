@@ -1,0 +1,151 @@
+// Status and Result<T>: exception-free error propagation for the AID library.
+//
+// Follows the RocksDB/Arrow idiom: every fallible public operation returns a
+// Status (or a Result<T> carrying either a value or a Status). Exceptions are
+// reserved for the *simulated* programs executed by aid::runtime -- the
+// library code itself never throws across module boundaries.
+
+#ifndef AID_COMMON_STATUS_H_
+#define AID_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace aid {
+
+/// Canonical error space, modeled after absl::StatusCode / rocksdb::Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kAborted = 7,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// The OK status carries no allocation; error statuses carry a message that
+/// should identify the failing operation and the offending input.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error wrapper, used as the return type of fallible factories.
+///
+/// Access to the value of a non-OK Result is a programming error and aborts
+/// in debug builds (assert). Callers are expected to test `ok()` or use the
+/// AID_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from an error status. `status.ok()` is illegal.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;  // nullopt iff !ok(); T need not be default-constructible
+};
+
+}  // namespace aid
+
+/// Propagates a non-OK Status from the current function.
+#define AID_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::aid::Status _aid_status = (expr);          \
+    if (!_aid_status.ok()) return _aid_status;   \
+  } while (false)
+
+#define AID_MACRO_CONCAT_INNER(x, y) x##y
+#define AID_MACRO_CONCAT(x, y) AID_MACRO_CONCAT_INNER(x, y)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define AID_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  auto AID_MACRO_CONCAT(_aid_result_, __LINE__) = (rexpr);                \
+  if (!AID_MACRO_CONCAT(_aid_result_, __LINE__).ok())                     \
+    return AID_MACRO_CONCAT(_aid_result_, __LINE__).status();             \
+  lhs = std::move(AID_MACRO_CONCAT(_aid_result_, __LINE__)).value()
+
+#endif  // AID_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+// Small string helpers (printf-style formatting, join, split).
+//
+// libstdc++ 12 does not ship <format>, so StrFormat wraps vsnprintf.
+
+#ifndef AID_COMMON_STRINGS_H_
+#define AID_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aid {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins elements with `sep`, using `to_string`-able or string elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `sep` (single char), keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading/trailing whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+}  // namespace aid
+
+#endif  // AID_COMMON_STRINGS_H_

@@ -1,0 +1,58 @@
+// SymbolTable: bidirectional name <-> dense-id registry.
+//
+// The runtime, trace, and predicate layers all refer to methods, shared
+// objects, mutexes, and exception types by small dense integer ids; the
+// SymbolTable owns the mapping back to human-readable names for reports.
+
+#ifndef AID_COMMON_SYMBOL_TABLE_H_
+#define AID_COMMON_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace aid {
+
+/// Dense id type used across the library. -1 (kInvalidSymbol) means "none".
+using SymbolId = int32_t;
+inline constexpr SymbolId kInvalidSymbol = -1;
+
+/// Bidirectional string<->id interning table. Ids are dense and assigned in
+/// insertion order, which makes them usable as vector indexes.
+class SymbolTable {
+ public:
+  /// Returns the id for `name`, interning it on first use.
+  SymbolId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    const SymbolId id = static_cast<SymbolId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name` or kInvalidSymbol if never interned.
+  SymbolId Find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kInvalidSymbol : it->second;
+  }
+
+  /// Name for a valid id; "<invalid>" for kInvalidSymbol.
+  const std::string& Name(SymbolId id) const {
+    static const std::string kInvalid = "<invalid>";
+    if (id < 0 || static_cast<size_t>(id) >= names_.size()) return kInvalid;
+    return names_[static_cast<size_t>(id)];
+  }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace aid
+
+#endif  // AID_COMMON_SYMBOL_TABLE_H_

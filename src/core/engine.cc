@@ -1,0 +1,307 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace aid {
+
+CausalPathDiscovery::CausalPathDiscovery(const AcDag* dag,
+                                         InterventionTarget* target,
+                                         EngineOptions options)
+    : dag_(dag), target_(target), options_(options), rng_(options.seed) {}
+
+Result<DiscoveryReport> CausalPathDiscovery::Run() {
+  report_ = DiscoveryReport{};
+  causal_.clear();
+  spurious_.clear();
+  const int executions_before = target_->executions();
+
+  candidates_.clear();
+  for (PredicateId id : dag_->nodes()) {
+    if (id != dag_->failure()) candidates_.push_back(id);
+  }
+
+  if (options_.branch_pruning && options_.topological_order) {
+    AID_RETURN_IF_ERROR(BranchPrune());
+  }
+
+  MakeSingletonItems(candidates_);
+  AID_RETURN_IF_ERROR(Giwp(UndecidedItems()));
+
+  // Assemble the causal path: causal predicates in topological order, then F
+  // (Definition 1: C0 .. Cn with Cn = F).
+  std::sort(causal_.begin(), causal_.end());
+  causal_.erase(std::unique(causal_.begin(), causal_.end()), causal_.end());
+  std::unordered_map<PredicateId, int> topo_pos;
+  {
+    int pos = 0;
+    for (PredicateId id : dag_->TopoOrder()) topo_pos[id] = pos++;
+  }
+  std::sort(causal_.begin(), causal_.end(),
+            [&](PredicateId a, PredicateId b) {
+              return topo_pos[a] < topo_pos[b];
+            });
+  report_.causal_path = causal_;
+  report_.causal_path.push_back(dag_->failure());
+
+  // Definition 1 sanity: the causal predicates should be totally ordered by
+  // reachability. When they are not (e.g. a conjunctive root cause on
+  // disjoint branches), flag the assumption violation instead of silently
+  // presenting an unordered set as a chain (Section 5.1).
+  report_.path_is_chain = true;
+  for (size_t i = 0; i + 1 < causal_.size(); ++i) {
+    if (!dag_->Reaches(causal_[i], causal_[i + 1])) {
+      report_.path_is_chain = false;
+      break;
+    }
+  }
+
+  std::sort(spurious_.begin(), spurious_.end());
+  spurious_.erase(std::unique(spurious_.begin(), spurious_.end()),
+                  spurious_.end());
+  report_.spurious = spurious_;
+  report_.executions = target_->executions() - executions_before;
+  return report_;
+}
+
+void CausalPathDiscovery::MakeSingletonItems(
+    const std::vector<PredicateId>& preds) {
+  items_.clear();
+  decisions_.clear();
+  std::unordered_map<PredicateId, int> topo_pos;
+  {
+    int pos = 0;
+    for (PredicateId id : dag_->TopoOrder()) topo_pos[id] = pos++;
+  }
+  std::vector<PredicateId> ordered = preds;
+  if (options_.topological_order) {
+    std::sort(ordered.begin(), ordered.end(),
+              [&](PredicateId a, PredicateId b) {
+                return topo_pos[a] < topo_pos[b];
+              });
+  } else {
+    rng_.Shuffle(ordered);
+  }
+  items_.reserve(ordered.size());
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    items_.push_back(Item{{ordered[i]}, static_cast<int>(i)});
+  }
+  decisions_.assign(items_.size(), ItemDecision::kUndecided);
+}
+
+std::vector<size_t> CausalPathDiscovery::UndecidedItems() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (decisions_[i] == ItemDecision::kUndecided) out.push_back(i);
+  }
+  return out;
+}
+
+Status CausalPathDiscovery::Giwp(std::vector<size_t> pool) {
+  while (true) {
+    // Line 18: drop items decided in this or deeper/earlier rounds.
+    pool.erase(std::remove_if(pool.begin(), pool.end(),
+                              [&](size_t i) {
+                                return decisions_[i] !=
+                                       ItemDecision::kUndecided;
+                              }),
+               pool.end());
+    if (pool.empty()) return Status::OK();
+
+    // Line 4: the first half in (topological) order -- or a single item in
+    // linear-scan mode (the D >= N/log N regime, Section 2).
+    const size_t half = options_.linear_scan ? 1 : (pool.size() + 1) / 2;
+    std::vector<size_t> selected(pool.begin(), pool.begin() + half);
+
+    AID_ASSIGN_OR_RETURN(TargetRunResult result, Intervene(selected, "giwp"));
+    const bool failure_stopped = !result.AnyFailed();
+
+    if (failure_stopped) {
+      // Lines 6-12: a counterfactual cause is inside the group.
+      if (selected.size() == 1) {
+        decisions_[selected[0]] = ItemDecision::kCausal;
+        for (PredicateId id : items_[selected[0]].preds) {
+          causal_.push_back(id);
+        }
+      } else {
+        AID_RETURN_IF_ERROR(Giwp(selected));
+      }
+    } else {
+      // Lines 13-14: intervened predicates did not avert the failure.
+      for (size_t i : selected) {
+        decisions_[i] = ItemDecision::kSpurious;
+        for (PredicateId id : items_[i].preds) spurious_.push_back(id);
+      }
+    }
+
+    // Lines 15-17 (Definition 2): prune by counterfactual violations.
+    if (options_.predicate_pruning) {
+      InterventionalPruning(selected, result);
+    }
+  }
+}
+
+Status CausalPathDiscovery::BranchPrune() {
+  // Iteratively reduce the AC-DAG (restricted to surviving candidates) to a
+  // chain by resolving one junction at a time.
+  std::vector<PredicateId> remaining = candidates_;
+  while (true) {
+    AcDag sub = dag_->Restrict(remaining);
+    std::vector<std::vector<PredicateId>> levels = sub.TopoLevels();
+    std::vector<PredicateId> junction_members;
+    for (auto& level : levels) {
+      // The failure predicate is never part of a junction (it cannot be
+      // intervened); a level with >= 2 other members is a junction.
+      std::erase(level, sub.failure());
+      if (level.size() >= 2) {
+        junction_members = level;
+        break;
+      }
+    }
+    if (junction_members.empty()) break;
+    const std::vector<PredicateId>* junction = &junction_members;
+
+    // Algorithm 2 lines 8-12: one branch per junction member P --
+    // P plus all descendants of P that descend from no other member.
+    items_.clear();
+    for (PredicateId p : *junction) {
+      Item item;
+      item.preds.push_back(p);
+      for (PredicateId q : sub.Descendants(p)) {
+        if (q == sub.failure()) continue;
+        bool exclusive = true;
+        for (PredicateId other : *junction) {
+          if (other != p && sub.Reaches(other, q)) {
+            exclusive = false;
+            break;
+          }
+        }
+        if (exclusive) item.preds.push_back(q);
+      }
+      items_.push_back(std::move(item));
+    }
+    decisions_.assign(items_.size(), ItemDecision::kUndecided);
+
+    // Binary search for the (at most one) causal branch: under the
+    // deterministic-effect assumption the causal path continues through one
+    // branch, so log2(B) interventions resolve a B-way junction (S 6.3.1).
+    std::vector<size_t> live(items_.size());
+    for (size_t i = 0; i < live.size(); ++i) live[i] = i;
+    while (live.size() > 1) {
+      const size_t half = (live.size() + 1) / 2;
+      std::vector<size_t> tested(live.begin(), live.begin() + half);
+      std::vector<size_t> rest(live.begin() + half, live.end());
+      AID_ASSIGN_OR_RETURN(TargetRunResult result,
+                           Intervene(tested, "branch"));
+      const bool failure_stopped = !result.AnyFailed();
+      const std::vector<size_t>& losers = failure_stopped ? rest : tested;
+      for (size_t i : losers) {
+        decisions_[i] = ItemDecision::kSpurious;
+        for (PredicateId id : items_[i].preds) spurious_.push_back(id);
+      }
+      live = failure_stopped ? tested : rest;
+      if (options_.predicate_pruning) {
+        InterventionalPruning(tested, result);
+        // Pruning may have decided survivors; drop them from `live`.
+        live.erase(std::remove_if(live.begin(), live.end(),
+                                  [&](size_t i) {
+                                    return decisions_[i] ==
+                                           ItemDecision::kSpurious;
+                                  }),
+                   live.end());
+        if (live.empty()) break;
+      }
+    }
+
+    // Remove the losing branches' predicates from the candidate set.
+    std::unordered_set<PredicateId> removed;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (decisions_[i] == ItemDecision::kSpurious) {
+        for (PredicateId id : items_[i].preds) removed.insert(id);
+      }
+    }
+    std::vector<PredicateId> next;
+    next.reserve(remaining.size());
+    for (PredicateId id : remaining) {
+      if (!removed.count(id)) next.push_back(id);
+    }
+    AID_CHECK(next.size() < remaining.size());  // progress is guaranteed
+    remaining = std::move(next);
+  }
+  candidates_ = remaining;
+  return Status::OK();
+}
+
+Result<TargetRunResult> CausalPathDiscovery::Intervene(
+    const std::vector<size_t>& item_indexes, const char* phase) {
+  std::vector<PredicateId> preds;
+  for (size_t i : item_indexes) {
+    preds.insert(preds.end(), items_[i].preds.begin(), items_[i].preds.end());
+  }
+  std::sort(preds.begin(), preds.end());
+  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+
+  AID_ASSIGN_OR_RETURN(
+      TargetRunResult result,
+      target_->RunIntervened(preds, options_.trials_per_intervention));
+
+  ++report_.rounds;
+  InterventionRound round;
+  round.intervened = preds;
+  round.failure_stopped = !result.AnyFailed();
+  round.phase = phase;
+  report_.history.push_back(std::move(round));
+  return result;
+}
+
+bool CausalPathDiscovery::ItemReachesItem(size_t a, size_t b) const {
+  for (PredicateId pa : items_[a].preds) {
+    for (PredicateId pb : items_[b].preds) {
+      if (dag_->Reaches(pa, pb)) return true;
+    }
+  }
+  return false;
+}
+
+bool CausalPathDiscovery::ItemObserved(const Item& item,
+                                       const PredicateLog& log) const {
+  // A branch is a disjunction over its predicates (Algorithm 2 line 10).
+  for (PredicateId id : item.preds) {
+    if (log.Has(id)) return true;
+  }
+  return false;
+}
+
+void CausalPathDiscovery::InterventionalPruning(
+    const std::vector<size_t>& intervened, const TargetRunResult& result) {
+  std::unordered_set<size_t> intervened_set(intervened.begin(),
+                                            intervened.end());
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (decisions_[i] != ItemDecision::kUndecided) continue;
+    if (intervened_set.count(i)) continue;
+    // Ancestor guard (Definition 2): an ancestor of an intervened predicate
+    // may have had its causal influence muted by the intervention.
+    bool is_ancestor = false;
+    for (size_t j : intervened) {
+      if (ItemReachesItem(i, j)) {
+        is_ancestor = true;
+        break;
+      }
+    }
+    if (is_ancestor) continue;
+
+    for (const PredicateLog& log : result.logs) {
+      const bool observed = ItemObserved(items_[i], log);
+      if ((observed && !log.failed) || (!observed && log.failed)) {
+        decisions_[i] = ItemDecision::kSpurious;
+        for (PredicateId id : items_[i].preds) spurious_.push_back(id);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace aid

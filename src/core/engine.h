@@ -1,0 +1,166 @@
+// The AID intervention engine: causality-guided causal path discovery.
+//
+// Implements the paper's Section 5:
+//   * Algorithm 1 (GIWP)  -- group intervention with pruning: divide and
+//     conquer over the candidate predicates in topological order; a stopped
+//     failure certifies a causal predicate in the intervened group; a
+//     persisting failure marks the whole group spurious; every round's logs
+//     additionally prune candidates via Definition 2;
+//   * Algorithm 2 (Branch-Prune) -- at each junction of the AC-DAG, binary-
+//     search the branches (at most one can carry the causal path under the
+//     deterministic-effect assumption) to reduce the DAG to a chain;
+//   * Algorithm 3 (Causal-Path-Discovery) -- optional branch pruning, then
+//     GIWP over what remains.
+//
+// The engine variants of the paper's Section 7.2 are option presets:
+//   AID      = topological order + branch pruning + predicate pruning
+//   AID-P    = AID without predicate pruning
+//   AID-P-B  = AID without predicate or branch pruning (topological order)
+//   TAGT     = random order, no pruning (traditional adaptive group testing)
+
+#ifndef AID_CORE_ENGINE_H_
+#define AID_CORE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "causal/acdag.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/target.h"
+
+namespace aid {
+
+struct EngineOptions {
+  /// Group candidates by AC-DAG topological order (false: random order, as
+  /// in traditional group testing).
+  bool topological_order = true;
+  /// Apply Definition 2 interventional pruning after every round.
+  bool predicate_pruning = true;
+  /// Run Algorithm 2 before the final GIWP pass.
+  bool branch_pruning = true;
+  /// Intervene on one predicate at a time instead of halving groups -- the
+  /// preferable strategy when D >= N / log2(N) (paper Section 2).
+  bool linear_scan = false;
+  /// Executions per intervention round (paper footnote 1; deterministic
+  /// model targets need only 1).
+  int trials_per_intervention = 1;
+  /// Seed for random ordering / tie-breaking.
+  uint64_t seed = 0x41d5eedULL;
+
+  static EngineOptions Aid() { return EngineOptions{}; }
+  static EngineOptions AidNoPredicatePruning() {
+    EngineOptions o;
+    o.predicate_pruning = false;
+    return o;
+  }
+  static EngineOptions AidNoPruning() {
+    EngineOptions o;
+    o.predicate_pruning = false;
+    o.branch_pruning = false;
+    return o;
+  }
+  static EngineOptions Tagt() {
+    EngineOptions o;
+    o.topological_order = false;
+    o.predicate_pruning = false;
+    o.branch_pruning = false;
+    return o;
+  }
+  /// One-predicate-at-a-time repair (with pruning still available).
+  static EngineOptions Linear() {
+    EngineOptions o;
+    o.linear_scan = true;
+    o.branch_pruning = false;
+    return o;
+  }
+};
+
+/// One intervention round, for reports and debugging.
+struct InterventionRound {
+  std::vector<PredicateId> intervened;
+  bool failure_stopped = false;
+  std::string phase;  ///< "branch" or "giwp"
+};
+
+/// The outcome of causal path discovery.
+struct DiscoveryReport {
+  /// Causal predicates in topological order, ending with the failure
+  /// predicate: the paper's causal path <C0, .., Cn = F>. C0 is the root
+  /// cause.
+  std::vector<PredicateId> causal_path;
+  /// Predicates proven non-causal.
+  std::vector<PredicateId> spurious;
+  /// Number of intervention rounds (the paper's "#interventions").
+  int rounds = 0;
+  /// Number of application executions (rounds * trials for VM targets).
+  int executions = 0;
+  std::vector<InterventionRound> history;
+  /// True iff the causal predicates are totally ordered by AC-DAG
+  /// reachability -- the Definition 1 chain. False signals a violation of
+  /// the single-root-cause / deterministic-effect assumptions (e.g. a
+  /// conjunctive root cause on separate branches, Section 5.1), in which
+  /// case the "path" is the set of counterfactual causes in topological
+  /// order rather than a proper chain.
+  bool path_is_chain = true;
+
+  /// Root cause (first causal predicate), or kInvalidPredicate if none.
+  PredicateId root_cause() const {
+    return causal_path.size() >= 2 ? causal_path.front() : kInvalidPredicate;
+  }
+};
+
+/// Discovers the causal path explaining the failure in `dag` by intervening
+/// on `target`. The AC-DAG nodes must be intervenable on the target (the
+/// pipeline filters unsafe predicates before building the DAG).
+class CausalPathDiscovery {
+ public:
+  CausalPathDiscovery(const AcDag* dag, InterventionTarget* target,
+                      EngineOptions options = {});
+
+  /// Runs Algorithm 3. Returns the discovery report.
+  Result<DiscoveryReport> Run();
+
+ private:
+  /// An engine item: a single predicate, or a branch (disjunction of the
+  /// branch predicates, Algorithm 2 lines 10-12) intervened as one unit.
+  struct Item {
+    std::vector<PredicateId> preds;
+    int order_key = 0;  ///< topological position (or random key for TAGT)
+  };
+  enum class ItemDecision : uint8_t { kUndecided, kCausal, kSpurious };
+
+  /// Algorithm 1 over the given items (indexes into items_).
+  Status Giwp(std::vector<size_t> pool);
+  /// Algorithm 2; reduces candidate_ to the nodes of a chain.
+  Status BranchPrune();
+  /// Runs one group intervention; records history and returns the outcome.
+  Result<TargetRunResult> Intervene(const std::vector<size_t>& item_indexes,
+                                    const char* phase);
+  /// Definition 2: prunes undecided items using this round's logs.
+  void InterventionalPruning(const std::vector<size_t>& intervened,
+                             const TargetRunResult& result);
+  /// True iff any predicate of items_[a] reaches (;) any of items_[b].
+  bool ItemReachesItem(size_t a, size_t b) const;
+  bool ItemObserved(const Item& item, const PredicateLog& log) const;
+  /// Rebuilds items_ as singleton items over `preds`, ordered per options.
+  void MakeSingletonItems(const std::vector<PredicateId>& preds);
+  std::vector<size_t> UndecidedItems() const;
+
+  const AcDag* dag_;
+  InterventionTarget* target_;
+  EngineOptions options_;
+  Rng rng_;
+
+  std::vector<Item> items_;
+  std::vector<ItemDecision> decisions_;
+  std::vector<PredicateId> causal_;
+  std::vector<PredicateId> spurious_;
+  /// Candidate predicates surviving branch pruning.
+  std::vector<PredicateId> candidates_;
+  DiscoveryReport report_;
+};
+
+}  // namespace aid
+
+#endif  // AID_CORE_ENGINE_H_

@@ -1,0 +1,67 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace aid {
+namespace {
+
+std::string Describe(const AcDag& dag, PredicateId id,
+                     const ReportRenderOptions& options) {
+  if (dag.catalog() == nullptr) return StrFormat("predicate %d", id);
+  return dag.catalog()->Describe(id, options.methods, options.objects);
+}
+
+}  // namespace
+
+std::string RenderReport(const DiscoveryReport& report, const AcDag& dag,
+                         const ReportRenderOptions& options) {
+  std::ostringstream out;
+  if (report.root_cause() == kInvalidPredicate) {
+    out << "no root cause identified (no candidate predicate was "
+           "counterfactual for the failure)\n";
+  } else {
+    out << "root cause:\n  " << Describe(dag, report.root_cause(), options)
+        << "\n";
+  }
+
+  out << "causal explanation path:\n";
+  for (size_t i = 0; i < report.causal_path.size(); ++i) {
+    out << StrFormat("  %zu. %s\n", i + 1,
+                     Describe(dag, report.causal_path[i], options).c_str());
+  }
+  if (!report.path_is_chain) {
+    out << "WARNING: the causal predicates are not totally ordered -- the "
+           "single-root-cause / deterministic-effect assumptions look "
+           "violated (e.g. a conjunctive root cause); the list above is the "
+           "set of counterfactual causes in topological order.\n";
+  }
+
+  out << StrFormat("interventions: %d rounds, %d executions\n", report.rounds,
+                   report.executions);
+
+  if (options.include_spurious && !report.spurious.empty()) {
+    out << "proven spurious:\n";
+    for (PredicateId id : report.spurious) {
+      out << "  - " << Describe(dag, id, options) << "\n";
+    }
+  }
+
+  if (options.include_history) {
+    out << "intervention transcript:\n";
+    for (size_t i = 0; i < report.history.size(); ++i) {
+      const InterventionRound& round = report.history[i];
+      out << StrFormat("  %zu. [%s] {", i + 1, round.phase.c_str());
+      for (size_t j = 0; j < round.intervened.size(); ++j) {
+        if (j > 0) out << "; ";
+        out << Describe(dag, round.intervened[j], options);
+      }
+      out << "} -> failure " << (round.failure_stopped ? "stopped" : "persists")
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace aid

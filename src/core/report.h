@@ -1,0 +1,31 @@
+// Human-readable rendering of a DiscoveryReport: the artifact AID hands a
+// developer -- the root cause, the causal explanation path, the intervention
+// transcript, and the assumption-violation warnings.
+
+#ifndef AID_CORE_REPORT_H_
+#define AID_CORE_REPORT_H_
+
+#include <string>
+
+#include "causal/acdag.h"
+#include "core/engine.h"
+
+namespace aid {
+
+struct ReportRenderOptions {
+  /// Resolve method/object names through these tables (either may be null).
+  const SymbolTable* methods = nullptr;
+  const SymbolTable* objects = nullptr;
+  /// Include the per-round intervention transcript.
+  bool include_history = true;
+  /// Include the predicates proven spurious.
+  bool include_spurious = false;
+};
+
+/// Renders `report` (discovered over `dag`) as a multi-line string.
+std::string RenderReport(const DiscoveryReport& report, const AcDag& dag,
+                         const ReportRenderOptions& options = {});
+
+}  // namespace aid
+
+#endif  // AID_CORE_REPORT_H_

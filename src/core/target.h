@@ -1,0 +1,54 @@
+// InterventionTarget: the engine's view of the application under debug.
+//
+// Algorithms 1-3 never touch the VM or the synthetic model directly; they
+// re-execute an abstract target under a set of forced-false predicates and
+// read back labeled predicate logs. Two backends exist:
+//
+//   * core::VmTarget     -- recompiles the predicate set into fault
+//                           injections and re-runs the real VM program
+//                           (case studies, examples);
+//   * synth::ModelTarget -- propagates occurrence through a ground-truth
+//                           causal model (the paper's synthetic benchmark).
+
+#ifndef AID_CORE_TARGET_H_
+#define AID_CORE_TARGET_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "predicates/predicate.h"
+
+namespace aid {
+
+/// Outcome of one intervention round (possibly several executions, paper
+/// footnote 1: nondeterministic programs are re-run multiple times per
+/// intervention).
+struct TargetRunResult {
+  /// One predicate log per execution; log.failed reflects that execution.
+  std::vector<PredicateLog> logs;
+
+  /// True iff any execution failed.
+  bool AnyFailed() const {
+    for (const auto& log : logs) {
+      if (log.failed) return true;
+    }
+    return false;
+  }
+};
+
+class InterventionTarget {
+ public:
+  virtual ~InterventionTarget() = default;
+
+  /// Re-executes the application `trials` times while forcing every
+  /// predicate in `intervened` to its successful-execution value.
+  virtual Result<TargetRunResult> RunIntervened(
+      const std::vector<PredicateId>& intervened, int trials) = 0;
+
+  /// Total application executions performed so far (cost accounting).
+  virtual int executions() const = 0;
+};
+
+}  // namespace aid
+
+#endif  // AID_CORE_TARGET_H_

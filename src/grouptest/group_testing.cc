@@ -1,0 +1,73 @@
+#include "grouptest/group_testing.h"
+
+#include <algorithm>
+
+namespace aid {
+
+SetOracle::SetOracle(std::vector<int> defectives) {
+  for (int d : defectives) max_item_ = std::max(max_item_, d);
+  is_defective_.assign(static_cast<size_t>(max_item_ + 1), false);
+  for (int d : defectives) is_defective_[static_cast<size_t>(d)] = true;
+}
+
+bool SetOracle::Test(const std::vector<int>& items) {
+  ++tests_;
+  for (int item : items) {
+    if (item <= max_item_ && is_defective_[static_cast<size_t>(item)]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Recursively isolates the defectives in `items`, which is known positive.
+void Isolate(std::vector<int> items, GroupTestOracle& oracle,
+             std::vector<int>* defectives, int* tests) {
+  if (items.size() == 1) {
+    defectives->push_back(items[0]);
+    return;
+  }
+  const size_t half = (items.size() + 1) / 2;
+  std::vector<int> left(items.begin(), items.begin() + half);
+  std::vector<int> right(items.begin() + half, items.end());
+  ++*tests;
+  if (oracle.Test(left)) {
+    Isolate(std::move(left), oracle, defectives, tests);
+    // The right half may or may not contain further defectives.
+    ++*tests;
+    if (oracle.Test(right)) {
+      Isolate(std::move(right), oracle, defectives, tests);
+    }
+  } else {
+    // Left negative and the parent was positive: right must be positive.
+    Isolate(std::move(right), oracle, defectives, tests);
+  }
+}
+
+}  // namespace
+
+GroupTestResult AdaptiveGroupTest(int n, GroupTestOracle& oracle) {
+  GroupTestResult result;
+  if (n <= 0) return result;
+  std::vector<int> all(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+  ++result.tests;
+  if (oracle.Test(all)) {
+    Isolate(std::move(all), oracle, &result.defectives, &result.tests);
+  }
+  std::sort(result.defectives.begin(), result.defectives.end());
+  return result;
+}
+
+GroupTestResult LinearScan(int n, GroupTestOracle& oracle) {
+  GroupTestResult result;
+  for (int i = 0; i < n; ++i) {
+    ++result.tests;
+    if (oracle.Test({i})) result.defectives.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace aid

@@ -1,0 +1,77 @@
+// Generic adaptive group testing (paper Section 2).
+//
+// Identifies the D defective items among N using group tests, where a test
+// on a group is positive iff the group contains at least one defective. The
+// classic adaptive strategy -- test, then binary-split positive groups --
+// achieves O(D log N) tests (Hwang 1972). In AID's setting a "test" is a
+// group intervention and "defective" is "causal", with the polarity flipped:
+// intervening on a group *stops* the failure iff the group contains a causal
+// predicate. This module keeps the abstract combinatorial form; the
+// intervention-based variant lives in aid::core.
+
+#ifndef AID_GROUPTEST_GROUP_TESTING_H_
+#define AID_GROUPTEST_GROUP_TESTING_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace aid {
+
+/// Oracle answering group tests. Implementations should count invocations.
+class GroupTestOracle {
+ public:
+  virtual ~GroupTestOracle() = default;
+  /// True iff `items` contains at least one defective.
+  virtual bool Test(const std::vector<int>& items) = 0;
+};
+
+/// Oracle over a fixed defective set, counting tests (for tests/benchmarks).
+class SetOracle : public GroupTestOracle {
+ public:
+  explicit SetOracle(std::vector<int> defectives);
+  bool Test(const std::vector<int>& items) override;
+  int tests() const { return tests_; }
+
+ private:
+  std::vector<bool> is_defective_;
+  int max_item_ = -1;
+  int tests_ = 0;
+};
+
+struct GroupTestResult {
+  std::vector<int> defectives;  ///< ascending
+  int tests = 0;                ///< oracle invocations
+};
+
+/// Adaptive binary-splitting group testing over items {0, .., n-1}.
+///
+/// Tests the whole pool; a positive pool is split in half and both halves
+/// are processed recursively (with the standard refinement that when the
+/// left half is negative the right half is known positive and its
+/// whole-group test is skipped). Worst case ~ D * ceil(log2 N) + D tests.
+GroupTestResult AdaptiveGroupTest(int n, GroupTestOracle& oracle);
+
+/// Non-adaptive baseline: tests every item individually (n tests). The
+/// preferable strategy when D >= N / log2(N) (paper Section 2).
+GroupTestResult LinearScan(int n, GroupTestOracle& oracle);
+
+/// Upper bound on adaptive group tests: D * ceil(log2 N) (paper Section 2's
+/// trivial bound via per-defective binary search).
+inline int64_t AdaptiveGroupTestUpperBound(int64_t n, int64_t d) {
+  if (n <= 0 || d <= 0) return 0;
+  return d * CeilLog2(static_cast<uint64_t>(n));
+}
+
+/// Information-theoretic lower bound: log2 C(N, D) tests.
+inline double GroupTestLowerBound(int64_t n, int64_t d) {
+  if (n <= 0 || d < 0 || d > n) return 0;
+  return Log2Binomial(n, d);
+}
+
+}  // namespace aid
+
+#endif  // AID_GROUPTEST_GROUP_TESTING_H_

@@ -1,0 +1,171 @@
+#include "inject/compiler.h"
+
+#include "common/strings.h"
+
+namespace aid {
+namespace {
+
+int64_t BaselineReturn(
+    const std::unordered_map<SymbolId, MethodBaseline>* baselines,
+    SymbolId method) {
+  auto it = baselines->find(method);
+  if (it == baselines->end()) return 0;
+  return it->second.consistent_return.value_or(0);
+}
+
+}  // namespace
+
+bool InterventionCompiler::IsSafelyIntervenable(PredicateId id) const {
+  const Predicate& p = catalog_->Get(id);
+  auto side_effect_free = [this](SymbolId m) {
+    return m != kInvalidSymbol && program_->method(m).side_effect_free;
+  };
+  switch (p.kind) {
+    case PredKind::kDataRace:
+    case PredKind::kAtomicityViolation:
+    case PredKind::kTooFast:
+    case PredKind::kOrder:
+      // Timing/locking interventions occur naturally under the runtime and
+      // are always safe (Section 3.3).
+      return true;
+    case PredKind::kMethodFails:
+    case PredKind::kTooSlow:
+    case PredKind::kWrongReturn:
+    case PredKind::kReturnEquals:
+      // These alter return values or swallow exceptions: the developer must
+      // have declared the method side-effect-free.
+      return side_effect_free(p.m1) ||
+             (p.kind == PredKind::kReturnEquals && side_effect_free(p.m2));
+    case PredKind::kCompound:
+      return IsSafelyIntervenable(p.sub1) && IsSafelyIntervenable(p.sub2);
+    case PredKind::kSynthetic:
+      return true;  // model targets intervene abstractly
+    case PredKind::kFailure:
+      return false;
+  }
+  return false;
+}
+
+Result<std::vector<VmAction>> InterventionCompiler::Compile(
+    PredicateId id) const {
+  if (!IsSafelyIntervenable(id)) {
+    return Status::FailedPrecondition(
+        StrFormat("predicate %d is not safely intervenable", id));
+  }
+  const Predicate& p = catalog_->Get(id);
+  std::vector<VmAction> actions;
+  switch (p.kind) {
+    case PredKind::kDataRace:
+    case PredKind::kAtomicityViolation: {
+      // "Put locks around the code segments within M1 and M2 that access X"
+      // (Figure 2): serializing the two methods removes both the race and
+      // the atomicity intrusion.
+      VmAction a;
+      a.kind = VmActionKind::kSerializeMethods;
+      a.method = p.m1;
+      a.method2 = p.m2;
+      a.mutex = InterventionMutexId(id);
+      actions.push_back(a);
+      break;
+    }
+    case PredKind::kMethodFails: {
+      VmAction a;
+      a.kind = VmActionKind::kCatchExceptions;
+      a.method = p.m1;
+      a.occurrence = p.occurrence;
+      a.value = BaselineReturn(baselines_, p.m1);
+      a.has_value = true;
+      actions.push_back(a);
+      break;
+    }
+    case PredKind::kTooFast: {
+      auto it = baselines_->find(p.m1);
+      VmAction a;
+      a.kind = VmActionKind::kDelayBeforeReturn;
+      a.method = p.m1;
+      a.occurrence = p.occurrence;
+      // Pushing the duration above the successful minimum repairs "too
+      // fast"; the min duration itself is a sufficient delay.
+      a.ticks = it == baselines_->end() ? 1 : it->second.min_duration + 1;
+      actions.push_back(a);
+      break;
+    }
+    case PredKind::kTooSlow: {
+      auto it = baselines_->find(p.m1);
+      VmAction a;
+      a.kind = VmActionKind::kPrematureReturn;
+      a.method = p.m1;
+      a.occurrence = p.occurrence;
+      // "Prematurely return the correct value that M returns in all
+      // successful executions" (Figure 2); take a typical successful
+      // duration so downstream timing matches a good run.
+      a.ticks = it == baselines_->end()
+                    ? 1
+                    : (it->second.min_duration + it->second.max_duration) / 2;
+      a.value = BaselineReturn(baselines_, p.m1);
+      a.has_value = true;
+      actions.push_back(a);
+      break;
+    }
+    case PredKind::kWrongReturn: {
+      VmAction a;
+      a.kind = VmActionKind::kForceReturnValue;
+      a.method = p.m1;
+      a.occurrence = p.occurrence;
+      a.value = p.expected;
+      a.has_value = true;
+      actions.push_back(a);
+      break;
+    }
+    case PredKind::kOrder: {
+      // The predicate is "m1 started before m2 finished"; the repair makes
+      // m1 wait for m2, restoring the successful order.
+      VmAction a;
+      a.kind = VmActionKind::kEnforceOrder;
+      a.method = p.m1;
+      a.method2 = p.m2;
+      actions.push_back(a);
+      break;
+    }
+    case PredKind::kReturnEquals: {
+      // Repair the collision by steering whichever method returns *second*
+      // away from the other's value. Both directions are armed (for every
+      // side-effect-free member); only the later return sees a recorded
+      // value for its peer, so exactly one adjustment fires per run.
+      for (const auto& [self, peer] :
+           {std::pair{p.m1, p.m2}, std::pair{p.m2, p.m1}}) {
+        if (!program_->method(self).side_effect_free) continue;
+        VmAction a;
+        a.kind = VmActionKind::kForceReturnDistinct;
+        a.method = self;
+        a.method2 = peer;
+        actions.push_back(a);
+      }
+      break;
+    }
+    case PredKind::kCompound: {
+      AID_ASSIGN_OR_RETURN(std::vector<VmAction> first, Compile(p.sub1));
+      AID_ASSIGN_OR_RETURN(std::vector<VmAction> second, Compile(p.sub2));
+      actions = std::move(first);
+      actions.insert(actions.end(), second.begin(), second.end());
+      break;
+    }
+    case PredKind::kSynthetic:
+    case PredKind::kFailure:
+      return Status::InvalidArgument(
+          "predicate kind has no VM-level intervention");
+  }
+  return actions;
+}
+
+Result<InterventionPlan> InterventionCompiler::CompilePlan(
+    const std::vector<PredicateId>& ids) const {
+  InterventionPlan plan;
+  for (PredicateId id : ids) {
+    AID_ASSIGN_OR_RETURN(std::vector<VmAction> actions, Compile(id));
+    for (const VmAction& action : actions) plan.Add(action);
+  }
+  return plan;
+}
+
+}  // namespace aid

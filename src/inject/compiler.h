@@ -1,0 +1,63 @@
+// InterventionCompiler: predicate -> fault-injection actions.
+//
+// Realizes the paper's Figure 2 (column 3) mapping. An intervention forces
+// a predicate to the value it has in successful executions:
+//
+//   data race (M1, M2, X)  -> lock around the racing methods
+//   M fails                -> wrap M in try/catch (return the successful
+//                             value) -- safe only for side-effect-free M
+//   M runs too fast        -> delay before M's return
+//   M runs too slow        -> prematurely return the correct value, taking
+//                             the successful duration -- side-effect-free only
+//   M returns wrong value  -> force the correct return value -- s.e.f. only
+//   order inversion (A, B) -> block A's entry until B has finished
+//   return collision (A,B) -> force B to return a value distinct from A's
+//   compound (P1 && P2)    -> both members' actions (falsifying either
+//                             falsifies the conjunction; we falsify both)
+//
+// Safety (paper Section 3.3): return-value and exception interventions are
+// restricted to methods declared side-effect-free; IsSafelyIntervenable
+// reports whether a predicate admits a safe intervention, and the pipeline
+// drops unsafe predicates before the AC-DAG is built.
+
+#ifndef AID_INJECT_COMPILER_H_
+#define AID_INJECT_COMPILER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "predicates/extractor.h"
+#include "predicates/predicate.h"
+#include "runtime/intervention.h"
+#include "runtime/program.h"
+
+namespace aid {
+
+class InterventionCompiler {
+ public:
+  /// All pointers must outlive the compiler.
+  InterventionCompiler(const Program* program, const PredicateCatalog* catalog,
+                       const std::unordered_map<SymbolId, MethodBaseline>* baselines)
+      : program_(program), catalog_(catalog), baselines_(baselines) {}
+
+  /// True iff `id` can be forced to its successful value without unsafe
+  /// side effects. The failure predicate itself is never intervenable.
+  bool IsSafelyIntervenable(PredicateId id) const;
+
+  /// VM actions that falsify `id`. Fails for unsafe or non-intervenable
+  /// predicates.
+  Result<std::vector<VmAction>> Compile(PredicateId id) const;
+
+  /// Union plan over several predicates (one simultaneous group
+  /// intervention, paper Section 5's group intervention).
+  Result<InterventionPlan> CompilePlan(const std::vector<PredicateId>& ids) const;
+
+ private:
+  const Program* program_;
+  const PredicateCatalog* catalog_;
+  const std::unordered_map<SymbolId, MethodBaseline>* baselines_;
+};
+
+}  // namespace aid
+
+#endif  // AID_INJECT_COMPILER_H_

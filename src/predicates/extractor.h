@@ -1,0 +1,106 @@
+// Predicate extraction: offline analysis of execution traces.
+//
+// Mirrors the paper's two-phase design (Appendix A): the instrumentation
+// (the VM) records raw traces; the extractor evaluates predicates over them
+// afterwards. Extraction is relative to *baselines* computed from the
+// successful runs (min/max durations, consistent return values), exactly as
+// Figure 2's extraction conditions prescribe.
+//
+// Usage:
+//   PredicateExtractor extractor(options);
+//   AID_RETURN_IF_ERROR(extractor.Observe(traces));   // 50 + 50 runs
+//   ... extractor.catalog(), extractor.logs() ...
+//   PredicateLog log = extractor.Evaluate(new_trace); // intervened re-runs
+
+#ifndef AID_PREDICATES_EXTRACTOR_H_
+#define AID_PREDICATES_EXTRACTOR_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "predicates/predicate.h"
+#include "trace/trace.h"
+
+namespace aid {
+
+/// Per-method facts established from the successful executions.
+struct MethodBaseline {
+  Tick min_duration = 0;  ///< fastest successful execution
+  Tick max_duration = 0;  ///< slowest successful execution
+  /// Set iff every successful execution returned the same value.
+  std::optional<int64_t> consistent_return;
+  int executions = 0;  ///< successful executions observed
+};
+
+struct ExtractionOptions {
+  bool data_races = true;
+  /// Atomicity violations (Jin et al.-style, the paper's reference predicate
+  /// design for concurrency bugs): another thread's conflicting access lands
+  /// between two consecutive accesses of one method execution.
+  bool atomicity_violations = true;
+  bool method_failures = true;
+  bool durations = true;      ///< too-slow / too-fast
+  bool wrong_returns = true;
+  bool order_inversions = true;
+  bool return_equals = false;  ///< M1/M2 return-value collision predicates
+  /// Headroom added to [min,max] successful durations before an execution
+  /// counts as too fast / too slow (absorbs scheduler jitter).
+  Tick duration_slack = 0;
+  /// Distinguish dynamic occurrences of duration/return predicates
+  /// (occurrence-indexed predicates; paper Appendix A). When false the
+  /// predicate refers to any execution of the method.
+  bool per_occurrence = false;
+};
+
+/// Extracts predicates from traces and evaluates later traces against the
+/// frozen catalog + baselines.
+class PredicateExtractor {
+ public:
+  explicit PredicateExtractor(ExtractionOptions options = {})
+      : options_(options) {}
+
+  /// Observation phase over labeled traces (must contain at least one
+  /// successful and one failed run). Computes baselines from the successful
+  /// runs, extracts predicates from every run, interns them, and appends the
+  /// failure predicate F. Can be called once.
+  Status Observe(const std::vector<ExecutionTrace>& traces);
+
+  /// Evaluates a trace against the frozen catalog (no new predicates are
+  /// interned) -- used for intervened re-executions.
+  Result<PredicateLog> Evaluate(const ExecutionTrace& trace) const;
+
+  const PredicateCatalog& catalog() const { return catalog_; }
+  PredicateCatalog& mutable_catalog() { return catalog_; }
+  /// One log per observed trace, in input order.
+  const std::vector<PredicateLog>& logs() const { return logs_; }
+  PredicateId failure_predicate() const { return failure_predicate_; }
+  const std::unordered_map<SymbolId, MethodBaseline>& baselines() const {
+    return baselines_;
+  }
+
+  /// Registers a compound (conjunction) predicate over two interned
+  /// predicates and re-evaluates all observation logs so the compound's
+  /// observations are present (paper Section 3.2, modeling nondeterminism).
+  Result<PredicateId> AddCompound(PredicateId a, PredicateId b);
+
+ private:
+  /// Extracts (predicate, observation) pairs from one trace. When
+  /// `intern_into` is non-null unseen predicates are added to it; otherwise
+  /// they are looked up in the frozen catalog and dropped if absent.
+  Status ExtractInto(const ExecutionTrace& trace,
+                     PredicateCatalog* intern_into, PredicateLog* log) const;
+
+  ExtractionOptions options_;
+  bool observed_ = false;
+  PredicateCatalog catalog_;
+  std::vector<PredicateLog> logs_;
+  std::unordered_map<SymbolId, MethodBaseline> baselines_;
+  PredicateId failure_predicate_ = kInvalidPredicate;
+  std::vector<std::pair<PredicateId, PredicateId>> compounds_;
+};
+
+}  // namespace aid
+
+#endif  // AID_PREDICATES_EXTRACTOR_H_

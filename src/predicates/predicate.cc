@@ -1,0 +1,100 @@
+#include "predicates/predicate.h"
+
+#include "common/strings.h"
+
+namespace aid {
+namespace {
+
+std::string MethodName(const SymbolTable* methods, SymbolId id) {
+  if (id == kInvalidSymbol) return "?";
+  if (methods == nullptr) return StrFormat("m%d", id);
+  return methods->Name(id);
+}
+
+std::string ObjectName(const SymbolTable* objects, SymbolId id) {
+  if (id == kInvalidSymbol) return "?";
+  if (objects == nullptr) return StrFormat("o%d", id);
+  return objects->Name(id);
+}
+
+}  // namespace
+
+std::string_view PredKindName(PredKind kind) {
+  switch (kind) {
+    case PredKind::kDataRace:
+      return "DataRace";
+    case PredKind::kAtomicityViolation:
+      return "AtomicityViolation";
+    case PredKind::kMethodFails:
+      return "MethodFails";
+    case PredKind::kTooSlow:
+      return "TooSlow";
+    case PredKind::kTooFast:
+      return "TooFast";
+    case PredKind::kWrongReturn:
+      return "WrongReturn";
+    case PredKind::kOrder:
+      return "OrderInversion";
+    case PredKind::kReturnEquals:
+      return "ReturnEquals";
+    case PredKind::kCompound:
+      return "Compound";
+    case PredKind::kSynthetic:
+      return "Synthetic";
+    case PredKind::kFailure:
+      return "Failure";
+  }
+  return "Unknown";
+}
+
+std::string PredicateCatalog::Describe(PredicateId id,
+                                       const SymbolTable* methods,
+                                       const SymbolTable* objects) const {
+  const Predicate& p = Get(id);
+  const std::string occ =
+      p.occurrence > 0 ? StrFormat("#%d", p.occurrence) : std::string();
+  switch (p.kind) {
+    case PredKind::kDataRace:
+      return StrFormat("data race between %s and %s on %s",
+                       MethodName(methods, p.m1).c_str(),
+                       MethodName(methods, p.m2).c_str(),
+                       ObjectName(objects, p.obj).c_str());
+    case PredKind::kAtomicityViolation:
+      return StrFormat("%s interleaves %s's atomic section on %s",
+                       MethodName(methods, p.m2).c_str(),
+                       MethodName(methods, p.m1).c_str(),
+                       ObjectName(objects, p.obj).c_str());
+    case PredKind::kMethodFails:
+      return StrFormat("%s%s throws an exception",
+                       MethodName(methods, p.m1).c_str(), occ.c_str());
+    case PredKind::kTooSlow:
+      return StrFormat("%s%s runs too slow", MethodName(methods, p.m1).c_str(),
+                       occ.c_str());
+    case PredKind::kTooFast:
+      return StrFormat("%s%s runs too fast", MethodName(methods, p.m1).c_str(),
+                       occ.c_str());
+    case PredKind::kWrongReturn:
+      return StrFormat("%s%s returns incorrect value (expected %lld)",
+                       MethodName(methods, p.m1).c_str(), occ.c_str(),
+                       static_cast<long long>(p.expected));
+    case PredKind::kOrder:
+      return StrFormat("%s starts before %s finishes",
+                       MethodName(methods, p.m1).c_str(),
+                       MethodName(methods, p.m2).c_str());
+    case PredKind::kReturnEquals:
+      return StrFormat("%s and %s return the same value",
+                       MethodName(methods, p.m1).c_str(),
+                       MethodName(methods, p.m2).c_str());
+    case PredKind::kCompound:
+      return StrFormat("(%s) and (%s)",
+                       Describe(p.sub1, methods, objects).c_str(),
+                       Describe(p.sub2, methods, objects).c_str());
+    case PredKind::kSynthetic:
+      return StrFormat("P%d", p.occurrence);
+    case PredKind::kFailure:
+      return "FAILURE";
+  }
+  return "unknown predicate";
+}
+
+}  // namespace aid

@@ -1,0 +1,27 @@
+#include "runtime/intervention.h"
+
+namespace aid {
+
+std::string_view VmActionKindName(VmActionKind kind) {
+  switch (kind) {
+    case VmActionKind::kSerializeMethods:
+      return "serialize-methods";
+    case VmActionKind::kCatchExceptions:
+      return "catch-exceptions";
+    case VmActionKind::kDelayBeforeReturn:
+      return "delay-before-return";
+    case VmActionKind::kDelayAtEnter:
+      return "delay-at-enter";
+    case VmActionKind::kPrematureReturn:
+      return "premature-return";
+    case VmActionKind::kForceReturnValue:
+      return "force-return-value";
+    case VmActionKind::kEnforceOrder:
+      return "enforce-order";
+    case VmActionKind::kForceReturnDistinct:
+      return "force-return-distinct";
+  }
+  return "unknown";
+}
+
+}  // namespace aid

@@ -1,0 +1,385 @@
+#include "runtime/program.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aid {
+
+ProgramBuilder::ProgramBuilder() {
+  program_.index_out_of_range_ =
+      program_.exception_names_.Intern("IndexOutOfRange");
+  program_.deadlock_ = program_.exception_names_.Intern("Deadlock");
+}
+
+SymbolId ProgramBuilder::InternObject(std::string_view name, ObjectKind kind) {
+  const SymbolId id = program_.object_names_.Intern(name);
+  auto [it, inserted] = program_.object_kinds_.emplace(id, kind);
+  AID_CHECK(it->second == kind);  // one name, one kind
+  (void)inserted;
+  return id;
+}
+
+SymbolId ProgramBuilder::InternMethod(std::string_view name) {
+  const SymbolId id = program_.method_names_.Intern(name);
+  if (static_cast<size_t>(id) >= program_.methods_.size()) {
+    MethodDef def;
+    def.id = id;
+    def.name = std::string(name);
+    program_.methods_.push_back(std::move(def));
+  }
+  return id;
+}
+
+ProgramBuilder& ProgramBuilder::Global(std::string_view name,
+                                       int64_t initial_value) {
+  program_.globals_[InternObject(name, ObjectKind::kGlobal)] = initial_value;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Array(std::string_view name,
+                                      int64_t initial_length) {
+  AID_CHECK(initial_length >= 0);
+  program_.arrays_[InternObject(name, ObjectKind::kArray)] = initial_length;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Mutex(std::string_view name) {
+  const SymbolId id = InternObject(name, ObjectKind::kMutex);
+  for (SymbolId existing : program_.mutexes_) {
+    if (existing == id) return *this;
+  }
+  program_.mutexes_.push_back(id);
+  return *this;
+}
+
+MethodBuilder ProgramBuilder::Method(std::string_view name) {
+  const SymbolId id = InternMethod(name);
+  return MethodBuilder(this, static_cast<size_t>(id));
+}
+
+Result<Program> ProgramBuilder::Build(std::string_view entry) {
+  const SymbolId entry_id = program_.method_names_.Find(entry);
+  if (entry_id == kInvalidSymbol) {
+    return Status::InvalidArgument(
+        StrFormat("entry method '%s' not defined", std::string(entry).c_str()));
+  }
+  program_.entry_ = entry_id;
+
+  for (const MethodDef& method : program_.methods_) {
+    if (method.code.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("method '%s' referenced but has no body", method.name.c_str()));
+    }
+    for (size_t pc = 0; pc < method.code.size(); ++pc) {
+      const Instr& instr = method.code[pc];
+      auto check_reg = [&](Reg r, bool allow_none) -> Status {
+        if (r == kNoReg && allow_none) return Status::OK();
+        if (r < 0 || r >= kNumRegs) {
+          return Status::InvalidArgument(
+              StrFormat("method '%s' pc %zu: register %d out of range",
+                        method.name.c_str(), pc, r));
+        }
+        return Status::OK();
+      };
+      switch (instr.op) {
+        case Op::kJump:
+        case Op::kJumpIfZero:
+        case Op::kJumpIfNonZero:
+          if (instr.imm < 0 ||
+              static_cast<size_t>(instr.imm) >= method.code.size()) {
+            return Status::InvalidArgument(
+                StrFormat("method '%s' pc %zu: jump target %lld out of range",
+                          method.name.c_str(), pc,
+                          static_cast<long long>(instr.imm)));
+          }
+          if (instr.op != Op::kJump) AID_RETURN_IF_ERROR(check_reg(instr.a, false));
+          break;
+        case Op::kCall:
+        case Op::kSpawn: {
+          const auto callee = static_cast<size_t>(instr.imm);
+          if (callee >= program_.methods_.size() ||
+              program_.methods_[callee].code.empty()) {
+            return Status::InvalidArgument(StrFormat(
+                "method '%s' pc %zu: callee '%s' has no body",
+                method.name.c_str(), pc,
+                callee < program_.methods_.size()
+                    ? program_.methods_[callee].name.c_str()
+                    : "<unknown>"));
+          }
+          AID_RETURN_IF_ERROR(check_reg(instr.a, true));
+          break;
+        }
+        case Op::kReturn:
+          AID_RETURN_IF_ERROR(check_reg(instr.a, true));
+          break;
+        case Op::kNop:
+        case Op::kDelay:
+        case Op::kDelayRand:
+        case Op::kThrow:
+        case Op::kLock:
+        case Op::kUnlock:
+          break;
+        case Op::kAdd:
+        case Op::kSub:
+        case Op::kMul:
+        case Op::kCmpEq:
+        case Op::kCmpLt:
+          AID_RETURN_IF_ERROR(check_reg(instr.a, false));
+          AID_RETURN_IF_ERROR(check_reg(instr.b, false));
+          AID_RETURN_IF_ERROR(check_reg(instr.c, false));
+          break;
+        case Op::kAddImm:
+          AID_RETURN_IF_ERROR(check_reg(instr.a, false));
+          AID_RETURN_IF_ERROR(check_reg(instr.b, false));
+          break;
+        case Op::kArrayLoad:
+        case Op::kArrayStore:
+          AID_RETURN_IF_ERROR(check_reg(instr.a, false));
+          AID_RETURN_IF_ERROR(check_reg(instr.b, false));
+          break;
+        default:
+          AID_RETURN_IF_ERROR(check_reg(instr.a, false));
+          break;
+      }
+      if (instr.cost < 1) {
+        return Status::InvalidArgument(
+            StrFormat("method '%s' pc %zu: non-positive cost",
+                      method.name.c_str(), pc));
+      }
+    }
+    // Require a terminating return so pc never runs off the end.
+    if (method.code.back().op != Op::kReturn &&
+        method.code.back().op != Op::kThrow &&
+        method.code.back().op != Op::kJump) {
+      return Status::InvalidArgument(StrFormat(
+          "method '%s' must end with return/throw/jump", method.name.c_str()));
+    }
+  }
+  return program_;
+}
+
+Instr& MethodBuilder::Emit(Instr instr) {
+  auto& code = program_->program_.methods_[method_index_].code;
+  code.push_back(instr);
+  return code.back();
+}
+
+MethodBuilder& MethodBuilder::LoadConst(Reg dst, int64_t value) {
+  Emit({.op = Op::kLoadConst, .a = dst, .imm = value});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::LoadGlobal(Reg dst, std::string_view global) {
+  Emit({.op = Op::kLoadGlobal,
+        .a = dst,
+        .obj = program_->InternObject(global, ObjectKind::kGlobal)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::StoreGlobal(std::string_view global, Reg src) {
+  Emit({.op = Op::kStoreGlobal,
+        .a = src,
+        .obj = program_->InternObject(global, ObjectKind::kGlobal)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Add(Reg dst, Reg lhs, Reg rhs) {
+  Emit({.op = Op::kAdd, .a = dst, .b = lhs, .c = rhs});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Sub(Reg dst, Reg lhs, Reg rhs) {
+  Emit({.op = Op::kSub, .a = dst, .b = lhs, .c = rhs});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Mul(Reg dst, Reg lhs, Reg rhs) {
+  Emit({.op = Op::kMul, .a = dst, .b = lhs, .c = rhs});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::AddImm(Reg dst, Reg src, int64_t imm) {
+  Emit({.op = Op::kAddImm, .a = dst, .b = src, .imm = imm});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::CmpEq(Reg dst, Reg lhs, Reg rhs) {
+  Emit({.op = Op::kCmpEq, .a = dst, .b = lhs, .c = rhs});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::CmpLt(Reg dst, Reg lhs, Reg rhs) {
+  Emit({.op = Op::kCmpLt, .a = dst, .b = lhs, .c = rhs});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::ArrayLen(Reg dst, std::string_view array) {
+  Emit({.op = Op::kArrayLen,
+        .a = dst,
+        .obj = program_->InternObject(array, ObjectKind::kArray)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::ArrayLoad(Reg dst, std::string_view array,
+                                        Reg index) {
+  Emit({.op = Op::kArrayLoad,
+        .a = dst,
+        .b = index,
+        .obj = program_->InternObject(array, ObjectKind::kArray)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::ArrayStore(std::string_view array, Reg index,
+                                         Reg src) {
+  Emit({.op = Op::kArrayStore,
+        .a = src,
+        .b = index,
+        .obj = program_->InternObject(array, ObjectKind::kArray)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::ArrayResize(std::string_view array, Reg new_len) {
+  Emit({.op = Op::kArrayResize,
+        .a = new_len,
+        .obj = program_->InternObject(array, ObjectKind::kArray)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Delay(Tick ticks) {
+  AID_CHECK(ticks >= 0);
+  Emit({.op = Op::kDelay, .imm = ticks});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::DelayRand(Tick min_ticks, Tick max_ticks) {
+  AID_CHECK(0 <= min_ticks && min_ticks <= max_ticks);
+  Emit({.op = Op::kDelayRand, .imm = min_ticks, .imm2 = max_ticks});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Random(Reg dst, int64_t bound) {
+  AID_CHECK(bound > 0);
+  Emit({.op = Op::kRandom, .a = dst, .imm = bound});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Call(Reg dst, std::string_view method) {
+  Emit({.op = Op::kCall, .a = dst, .imm = program_->InternMethod(method)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::CallVoid(std::string_view method) {
+  return Call(kNoReg, method);
+}
+
+MethodBuilder& MethodBuilder::Spawn(Reg dst_thread, std::string_view method) {
+  Emit({.op = Op::kSpawn,
+        .a = dst_thread,
+        .imm = program_->InternMethod(method)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Join(Reg thread) {
+  Emit({.op = Op::kJoin, .a = thread});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Lock(std::string_view mutex) {
+  program_->Mutex(mutex);
+  Emit({.op = Op::kLock,
+        .obj = program_->program_.object_names_.Find(mutex)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Unlock(std::string_view mutex) {
+  program_->Mutex(mutex);
+  Emit({.op = Op::kUnlock,
+        .obj = program_->program_.object_names_.Find(mutex)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Throw(std::string_view exception) {
+  Emit({.op = Op::kThrow,
+        .obj = program_->program_.exception_names_.Intern(exception)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::ThrowIfZero(Reg cond, std::string_view exception) {
+  Emit({.op = Op::kThrowIfZero,
+        .a = cond,
+        .obj = program_->program_.exception_names_.Intern(exception)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::ThrowIfNonZero(Reg cond,
+                                             std::string_view exception) {
+  Emit({.op = Op::kThrowIfNonZero,
+        .a = cond,
+        .obj = program_->program_.exception_names_.Intern(exception)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Return(Reg src) {
+  Emit({.op = Op::kReturn, .a = src});
+  return *this;
+}
+
+size_t MethodBuilder::JumpPlaceholder() {
+  Emit({.op = Op::kJump, .imm = -1});
+  return program_->program_.methods_[method_index_].code.size() - 1;
+}
+
+size_t MethodBuilder::JumpIfZeroPlaceholder(Reg cond) {
+  Emit({.op = Op::kJumpIfZero, .a = cond, .imm = -1});
+  return program_->program_.methods_[method_index_].code.size() - 1;
+}
+
+size_t MethodBuilder::JumpIfNonZeroPlaceholder(Reg cond) {
+  Emit({.op = Op::kJumpIfNonZero, .a = cond, .imm = -1});
+  return program_->program_.methods_[method_index_].code.size() - 1;
+}
+
+MethodBuilder& MethodBuilder::JumpTo(size_t target) {
+  Emit({.op = Op::kJump, .imm = static_cast<int64_t>(target)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::JumpIfNonZeroTo(Reg cond, size_t target) {
+  Emit({.op = Op::kJumpIfNonZero,
+        .a = cond,
+        .imm = static_cast<int64_t>(target)});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::PatchTarget(size_t jump_index) {
+  auto& code = program_->program_.methods_[method_index_].code;
+  AID_CHECK(jump_index < code.size());
+  code[jump_index].imm = static_cast<int64_t>(code.size());
+  return *this;
+}
+
+size_t MethodBuilder::Here() const {
+  return program_->program_.methods_[method_index_].code.size();
+}
+
+MethodBuilder& MethodBuilder::WithCost(Tick cost) {
+  auto& code = program_->program_.methods_[method_index_].code;
+  AID_CHECK(!code.empty());
+  AID_CHECK(cost >= 1);
+  code.back().cost = cost;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::SideEffectFree() {
+  program_->program_.methods_[method_index_].side_effect_free = true;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::CatchesExceptions(int64_t fallback) {
+  auto& def = program_->program_.methods_[method_index_];
+  def.catches_exceptions = true;
+  def.catch_fallback = fallback;
+  return *this;
+}
+
+}  // namespace aid

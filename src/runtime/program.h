@@ -1,0 +1,240 @@
+// Program model for the AID concurrent-program VM.
+//
+// The paper instruments real database applications (Npgsql, Kafka clients,
+// Cosmos DB clients) whose intermittent failures stem from runtime
+// nondeterminism: thread interleaving and timing. We reproduce that substrate
+// with a small register VM whose programs have exactly the ingredients those
+// bugs need -- shared variables, arrays with bounds checks, reentrant
+// mutexes, thread spawn/join, virtual-time delays, exceptions -- executed
+// under a seeded scheduler (see vm.h). The VM emits the trace schema of the
+// paper's Figure 9(b), so every downstream AID stage is exercised unchanged.
+
+#ifndef AID_RUNTIME_PROGRAM_H_
+#define AID_RUNTIME_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/symbol_table.h"
+#include "trace/event.h"
+
+namespace aid {
+
+/// Register index within a call frame. Frames have kNumRegs registers; -1
+/// denotes "no register" (e.g. void returns).
+using Reg = int32_t;
+inline constexpr int kNumRegs = 16;
+inline constexpr Reg kNoReg = -1;
+
+/// VM opcodes. Operand conventions are documented per opcode; `a`, `b`, `c`
+/// are registers, `obj` is a symbol (global/array/mutex/exception), `imm`
+/// and `imm2` are immediates.
+enum class Op : uint8_t {
+  kNop,            ///< no effect
+  kLoadConst,      ///< regs[a] = imm
+  kLoadGlobal,     ///< regs[a] = globals[obj]        (records a read access)
+  kStoreGlobal,    ///< globals[obj] = regs[a]        (records a write access)
+  kAdd,            ///< regs[a] = regs[b] + regs[c]
+  kSub,            ///< regs[a] = regs[b] - regs[c]
+  kMul,            ///< regs[a] = regs[b] * regs[c]
+  kAddImm,         ///< regs[a] = regs[b] + imm
+  kCmpEq,          ///< regs[a] = (regs[b] == regs[c])
+  kCmpLt,          ///< regs[a] = (regs[b] <  regs[c])
+  kJump,           ///< pc = imm
+  kJumpIfZero,     ///< if (regs[a] == 0) pc = imm
+  kJumpIfNonZero,  ///< if (regs[a] != 0) pc = imm
+  kArrayLen,       ///< regs[a] = length(arrays[obj]) (read access)
+  kArrayLoad,      ///< regs[a] = arrays[obj][regs[b]]; IndexOutOfRange if OOB
+  kArrayStore,     ///< arrays[obj][regs[b]] = regs[c]; IndexOutOfRange if OOB
+  kArrayResize,    ///< resize(arrays[obj], regs[a])  (write access)
+  kDelay,          ///< sleep imm virtual ticks
+  kDelayRand,      ///< sleep uniform[imm, imm2] virtual ticks (app RNG stream)
+  kRandom,         ///< regs[a] = app-rng uniform [0, imm)
+  kCall,           ///< regs[a] = invoke method imm (a == kNoReg: drop retval)
+  kSpawn,          ///< regs[a] = index of new thread running method imm
+  kJoin,           ///< block until thread regs[a] finishes
+  kLock,           ///< acquire reentrant mutex obj
+  kUnlock,         ///< release mutex obj
+  kThrow,          ///< raise exception obj
+  kThrowIfZero,    ///< if (regs[a] == 0) raise exception obj
+  kThrowIfNonZero, ///< if (regs[a] != 0) raise exception obj
+  kReturn,         ///< return regs[a] (a == kNoReg: void return)
+};
+
+/// One VM instruction. `cost` is the virtual-time price of executing it.
+struct Instr {
+  Op op = Op::kNop;
+  Reg a = kNoReg;
+  Reg b = kNoReg;
+  Reg c = kNoReg;
+  SymbolId obj = kInvalidSymbol;
+  int64_t imm = 0;
+  int64_t imm2 = 0;
+  Tick cost = 1;
+};
+
+/// A method: a named instruction sequence.
+struct MethodDef {
+  SymbolId id = kInvalidSymbol;
+  std::string name;
+  std::vector<Instr> code;
+  /// Whether the method mutates no shared state. Only side-effect-free
+  /// methods admit return-value and exception-swallowing interventions
+  /// (paper Section 3.3, "Validity of intervention").
+  bool side_effect_free = false;
+  /// Method-level try/catch: exceptions raised in the body (or callees) are
+  /// contained here and `catch_fallback` is returned instead.
+  bool catches_exceptions = false;
+  int64_t catch_fallback = 0;
+};
+
+/// Kinds of named shared state.
+enum class ObjectKind : uint8_t { kGlobal, kArray, kMutex };
+
+/// A complete executable program: methods + shared state declarations.
+class Program {
+ public:
+  const std::vector<MethodDef>& methods() const { return methods_; }
+  const MethodDef& method(SymbolId id) const { return methods_[static_cast<size_t>(id)]; }
+  SymbolId entry() const { return entry_; }
+
+  const SymbolTable& method_names() const { return method_names_; }
+  const SymbolTable& object_names() const { return object_names_; }
+  const SymbolTable& exception_names() const { return exception_names_; }
+
+  /// Initial values of globals, indexed by object symbol id.
+  const std::unordered_map<SymbolId, int64_t>& globals() const { return globals_; }
+  /// Initial lengths of arrays, indexed by object symbol id.
+  const std::unordered_map<SymbolId, int64_t>& arrays() const { return arrays_; }
+  /// Declared mutex symbols.
+  const std::vector<SymbolId>& mutexes() const { return mutexes_; }
+
+  ObjectKind object_kind(SymbolId id) const { return object_kinds_.at(id); }
+
+  /// Exception type raised by out-of-bounds array accesses.
+  SymbolId index_out_of_range() const { return index_out_of_range_; }
+  /// Failure signature exception used for deadlocks.
+  SymbolId deadlock() const { return deadlock_; }
+
+ private:
+  friend class ProgramBuilder;
+  friend class MethodBuilder;
+  std::vector<MethodDef> methods_;
+  SymbolId entry_ = kInvalidSymbol;
+  SymbolTable method_names_;
+  SymbolTable object_names_;
+  SymbolTable exception_names_;
+  std::unordered_map<SymbolId, int64_t> globals_;
+  std::unordered_map<SymbolId, int64_t> arrays_;
+  std::vector<SymbolId> mutexes_;
+  std::unordered_map<SymbolId, ObjectKind> object_kinds_;
+  SymbolId index_out_of_range_ = kInvalidSymbol;
+  SymbolId deadlock_ = kInvalidSymbol;
+};
+
+class ProgramBuilder;
+
+/// Fluent builder for one method body. Obtained from ProgramBuilder::Method.
+/// Emitters append instructions; jump emitters return the instruction index
+/// so the target can be patched with PatchTarget once the destination is
+/// reached (or pass an explicit target obtained from Here()).
+class MethodBuilder {
+ public:
+  MethodBuilder(ProgramBuilder* program, size_t method_index)
+      : program_(program), method_index_(method_index) {}
+
+  MethodBuilder& LoadConst(Reg dst, int64_t value);
+  MethodBuilder& LoadGlobal(Reg dst, std::string_view global);
+  MethodBuilder& StoreGlobal(std::string_view global, Reg src);
+  MethodBuilder& Add(Reg dst, Reg lhs, Reg rhs);
+  MethodBuilder& Sub(Reg dst, Reg lhs, Reg rhs);
+  MethodBuilder& Mul(Reg dst, Reg lhs, Reg rhs);
+  MethodBuilder& AddImm(Reg dst, Reg src, int64_t imm);
+  MethodBuilder& CmpEq(Reg dst, Reg lhs, Reg rhs);
+  MethodBuilder& CmpLt(Reg dst, Reg lhs, Reg rhs);
+  MethodBuilder& ArrayLen(Reg dst, std::string_view array);
+  MethodBuilder& ArrayLoad(Reg dst, std::string_view array, Reg index);
+  MethodBuilder& ArrayStore(std::string_view array, Reg index, Reg src);
+  MethodBuilder& ArrayResize(std::string_view array, Reg new_len);
+  MethodBuilder& Delay(Tick ticks);
+  MethodBuilder& DelayRand(Tick min_ticks, Tick max_ticks);
+  MethodBuilder& Random(Reg dst, int64_t bound);
+  MethodBuilder& Call(Reg dst, std::string_view method);
+  MethodBuilder& CallVoid(std::string_view method);
+  MethodBuilder& Spawn(Reg dst_thread, std::string_view method);
+  MethodBuilder& Join(Reg thread);
+  MethodBuilder& Lock(std::string_view mutex);
+  MethodBuilder& Unlock(std::string_view mutex);
+  MethodBuilder& Throw(std::string_view exception);
+  MethodBuilder& ThrowIfZero(Reg cond, std::string_view exception);
+  MethodBuilder& ThrowIfNonZero(Reg cond, std::string_view exception);
+  MethodBuilder& Return(Reg src = kNoReg);
+
+  /// Emits a forward jump whose target is patched later; returns the
+  /// instruction index to pass to PatchTarget.
+  size_t JumpPlaceholder();
+  size_t JumpIfZeroPlaceholder(Reg cond);
+  size_t JumpIfNonZeroPlaceholder(Reg cond);
+  /// Emits a backward jump to an already-known target.
+  MethodBuilder& JumpTo(size_t target);
+  MethodBuilder& JumpIfNonZeroTo(Reg cond, size_t target);
+  /// Sets the pending jump at `jump_index` to land on the next instruction.
+  MethodBuilder& PatchTarget(size_t jump_index);
+  /// Index of the next instruction to be emitted (a jump label).
+  size_t Here() const;
+
+  /// Overrides the virtual-time cost of the most recent instruction.
+  MethodBuilder& WithCost(Tick cost);
+
+  /// Marks the method safe for return-value/exception interventions.
+  MethodBuilder& SideEffectFree();
+  /// Adds a method-level try/catch returning `fallback` on any exception.
+  MethodBuilder& CatchesExceptions(int64_t fallback = 0);
+
+ private:
+  friend class ProgramBuilder;
+  Instr& Emit(Instr instr);
+  ProgramBuilder* program_;
+  size_t method_index_;
+};
+
+/// Builder for whole programs. Typical use:
+///
+///   ProgramBuilder b;
+///   b.Global("_nextSlot", 10);
+///   b.Array("_pools", 10);
+///   auto main = b.Method("Main");
+///   main.Spawn(0, "Writer").Spawn(1, "Reader").Join(0).Join(1).Return();
+///   ...
+///   AID_ASSIGN_OR_RETURN(Program p, b.Build("Main"));
+class ProgramBuilder {
+ public:
+  ProgramBuilder();
+
+  /// Declares a shared integer variable with an initial value.
+  ProgramBuilder& Global(std::string_view name, int64_t initial_value);
+  /// Declares a shared array with an initial length (elements start at 0).
+  ProgramBuilder& Array(std::string_view name, int64_t initial_length);
+  /// Declares a mutex.
+  ProgramBuilder& Mutex(std::string_view name);
+
+  /// Starts (or resumes) building the method `name`.
+  MethodBuilder Method(std::string_view name);
+
+  /// Validates and produces the program with `entry` as the main method.
+  Result<Program> Build(std::string_view entry);
+
+ private:
+  friend class MethodBuilder;
+  SymbolId InternObject(std::string_view name, ObjectKind kind);
+  SymbolId InternMethod(std::string_view name);
+
+  Program program_;
+};
+
+}  // namespace aid
+
+#endif  // AID_RUNTIME_PROGRAM_H_

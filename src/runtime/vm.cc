@@ -1,0 +1,666 @@
+#include "runtime/vm.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace aid {
+
+Result<ExecutionTrace> Vm::Run(const VmOptions& options,
+                               const InterventionPlan* plan) {
+  // Reset all run state.
+  options_ = options;
+  plan_ = plan;
+  sched_rng_ = Rng(options.seed);
+  recorder_ = TraceRecorder();
+  now_ = 0;
+  threads_.clear();
+  globals_.clear();
+  arrays_.clear();
+  mutexes_.clear();
+  enter_counts_.clear();
+  exited_.clear();
+  exit_totals_.clear();
+  last_return_.clear();
+  failed_ = false;
+  stop_ = false;
+  signature_ = FailureSignature{};
+
+  for (const auto& [id, value] : program_->globals()) globals_[id] = value;
+  for (const auto& [id, len] : program_->arrays()) {
+    arrays_[id] = std::vector<int64_t>(static_cast<size_t>(len), 0);
+  }
+
+  ThreadState main;
+  main.index = 0;
+  main.pending.active = true;
+  main.pending.method = program_->entry();
+  main.pending.ret_reg = kNoReg;
+  uint64_t mix = options.seed;
+  main.app_rng = Rng(SplitMix64(mix));
+  threads_.push_back(std::move(main));
+
+  int64_t steps = 0;
+  std::vector<size_t> runnable;
+  while (!stop_) {
+    if (++steps > options_.max_steps) {
+      return Status::Aborted(
+          StrFormat("program exceeded max_steps=%lld (livelock or runaway loop)",
+                    static_cast<long long>(options_.max_steps)));
+    }
+
+    runnable.clear();
+    bool any_sleeping = false;
+    bool any_blocked = false;
+    bool any_live = false;
+    Tick min_wake = 0;
+    for (size_t i = 0; i < threads_.size(); ++i) {
+      switch (threads_[i].status) {
+        case ThreadStatus::kRunnable:
+          runnable.push_back(i);
+          any_live = true;
+          break;
+        case ThreadStatus::kSleeping:
+          if (!any_sleeping || threads_[i].wake_tick < min_wake) {
+            min_wake = threads_[i].wake_tick;
+          }
+          any_sleeping = true;
+          any_live = true;
+          break;
+        case ThreadStatus::kBlockedLock:
+        case ThreadStatus::kBlockedJoin:
+        case ThreadStatus::kBlockedOrder:
+          any_blocked = true;
+          any_live = true;
+          break;
+        case ThreadStatus::kFinished:
+        case ThreadStatus::kCrashed:
+          break;
+      }
+    }
+    if (!any_live) break;  // all threads done
+
+    if (runnable.empty()) {
+      if (any_sleeping) {
+        // Advance virtual time to the next wake-up.
+        now_ = std::max(now_, min_wake);
+        for (auto& t : threads_) {
+          if (t.status == ThreadStatus::kSleeping && t.wake_tick <= now_) {
+            t.status = ThreadStatus::kRunnable;
+          }
+        }
+        continue;
+      }
+      // Only blocked threads remain: deadlock. The run fails with the
+      // dedicated deadlock signature.
+      AID_CHECK(any_blocked);
+      failed_ = true;
+      signature_.exception_type = program_->deadlock();
+      signature_.method = kInvalidSymbol;
+      break;
+    }
+
+    ThreadState& t = threads_[runnable[sched_rng_.Uniform(runnable.size())]];
+    StepThread(t);
+
+    // Wake sleepers whose time has come as the clock advanced.
+    for (auto& th : threads_) {
+      if (th.status == ThreadStatus::kSleeping && th.wake_tick <= now_) {
+        th.status = ThreadStatus::kRunnable;
+      }
+    }
+  }
+
+  int thread_count = static_cast<int>(threads_.size());
+  // The run's end strictly follows every recorded event, so the failure
+  // predicate F is temporally last (its AC-DAG position).
+  return recorder_.Finish(failed_, signature_, now_ + 1, thread_count);
+}
+
+void Vm::StepThread(ThreadState& t) {
+  if (t.pending.active) {
+    BeginPendingCall(t);
+    return;
+  }
+  AID_CHECK(!t.stack.empty());
+  Frame& frame = t.stack.back();
+  if (frame.premature) {
+    // Woke up from the injected sleep; complete the premature return.
+    now_ += 1;
+    ExitMethod(t, /*has_value=*/true, frame.premature_value);
+    return;
+  }
+  ExecuteInstr(t);
+}
+
+void Vm::BeginPendingCall(ThreadState& t) {
+  const SymbolId callee = t.pending.method;
+  const int next_occurrence = enter_counts_[callee] + 1;
+
+  if (plan_ != nullptr) {
+    // Order enforcement: hold the call until the prerequisite has exited.
+    bool order_blocked = false;
+    SymbolId wait_method = kInvalidSymbol;
+    int wait_occurrence = kAllOccurrences;
+    plan_->ForEachMatching(
+        VmActionKind::kEnforceOrder, callee, next_occurrence,
+        [&](const VmAction& action) {
+          if (!OrderSatisfied(action.method2, action.occurrence2)) {
+            order_blocked = true;
+            wait_method = action.method2;
+            wait_occurrence = action.occurrence2;
+          }
+        });
+    if (order_blocked) {
+      t.status = ThreadStatus::kBlockedOrder;
+      t.order_method = wait_method;
+      t.order_occurrence = wait_occurrence;
+      return;
+    }
+
+    // Serialization: acquire every matching intervention mutex before entry.
+    // Mutexes are gathered in sorted order so concurrent entries of the two
+    // racing methods cannot deadlock against each other.
+    std::vector<SymbolId> needed;
+    plan_->ForEachMatching(
+        VmActionKind::kSerializeMethods, callee, next_occurrence,
+        [&](const VmAction& action) { needed.push_back(action.mutex); });
+    std::sort(needed.begin(), needed.end());
+    needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+    while (t.pending.mutexes_acquired < needed.size()) {
+      const SymbolId mutex = needed[t.pending.mutexes_acquired];
+      if (!TryAcquire(mutex, t.index)) {
+        t.status = ThreadStatus::kBlockedLock;
+        t.waiting_mutex = mutex;
+        return;
+      }
+      ++t.pending.mutexes_acquired;
+    }
+  }
+
+  // Commit the entry.
+  const int occurrence = ++enter_counts_[callee];
+  now_ += 1;
+  const CallUid uid = recorder_.MethodEnter(t.index, callee, now_);
+
+  Frame frame;
+  frame.method = callee;
+  frame.uid = uid;
+  frame.ret_reg = t.pending.ret_reg;
+  frame.occurrence = occurrence;
+  frame.enter_tick = now_;
+
+  const MethodDef& def = program_->method(callee);
+  frame.catches = def.catches_exceptions;
+  frame.catch_fallback = def.catch_fallback;
+
+  Tick enter_delay = 0;
+  bool premature = false;
+  if (plan_ != nullptr) {
+    plan_->ForEachMatching(VmActionKind::kSerializeMethods, callee, occurrence,
+                           [&](const VmAction& action) {
+                             frame.serialize_mutexes.push_back(action.mutex);
+                           });
+    std::sort(frame.serialize_mutexes.begin(), frame.serialize_mutexes.end());
+    frame.serialize_mutexes.erase(
+        std::unique(frame.serialize_mutexes.begin(),
+                    frame.serialize_mutexes.end()),
+        frame.serialize_mutexes.end());
+    plan_->ForEachMatching(VmActionKind::kCatchExceptions, callee, occurrence,
+                           [&](const VmAction& action) {
+                             frame.catches = true;
+                             frame.catch_fallback = action.value;
+                           });
+    plan_->ForEachMatching(VmActionKind::kForceReturnValue, callee, occurrence,
+                           [&](const VmAction& action) {
+                             frame.force_return = true;
+                             frame.forced_value = action.value;
+                           });
+    plan_->ForEachMatching(VmActionKind::kDelayBeforeReturn, callee, occurrence,
+                           [&](const VmAction& action) {
+                             frame.delay_before_return += action.ticks;
+                           });
+    plan_->ForEachMatching(VmActionKind::kDelayAtEnter, callee, occurrence,
+                           [&](const VmAction& action) { enter_delay += action.ticks; });
+    plan_->ForEachMatching(VmActionKind::kPrematureReturn, callee, occurrence,
+                           [&](const VmAction& action) {
+                             premature = true;
+                             frame.premature_value = action.value;
+                             enter_delay = action.ticks;
+                           });
+  }
+  frame.premature = premature;
+
+  t.pending = PendingCall{};
+  t.stack.push_back(std::move(frame));
+  if (enter_delay > 0) {
+    Sleep(t, enter_delay);
+  }
+}
+
+void Vm::ExecuteInstr(ThreadState& t) {
+  Frame& frame = t.stack.back();
+  const MethodDef& def = program_->method(frame.method);
+  AID_CHECK(frame.pc < def.code.size());
+  const Instr& instr = def.code[frame.pc];
+
+  auto reg = [&](Reg r) -> int64_t& { return frame.regs[static_cast<size_t>(r)]; };
+
+  switch (instr.op) {
+    case Op::kNop:
+      now_ += instr.cost;
+      ++frame.pc;
+      break;
+    case Op::kLoadConst:
+      reg(instr.a) = instr.imm;
+      now_ += instr.cost;
+      ++frame.pc;
+      break;
+    case Op::kLoadGlobal: {
+      const int64_t value = globals_[instr.obj];
+      reg(instr.a) = value;
+      now_ += instr.cost;
+      recorder_.Access(t.index, frame.method, frame.uid, instr.obj,
+                       /*is_write=*/false, value, now_);
+      ++frame.pc;
+      break;
+    }
+    case Op::kStoreGlobal: {
+      const int64_t value = reg(instr.a);
+      globals_[instr.obj] = value;
+      now_ += instr.cost;
+      recorder_.Access(t.index, frame.method, frame.uid, instr.obj,
+                       /*is_write=*/true, value, now_);
+      ++frame.pc;
+      break;
+    }
+    case Op::kAdd:
+      reg(instr.a) = reg(instr.b) + reg(instr.c);
+      now_ += instr.cost;
+      ++frame.pc;
+      break;
+    case Op::kSub:
+      reg(instr.a) = reg(instr.b) - reg(instr.c);
+      now_ += instr.cost;
+      ++frame.pc;
+      break;
+    case Op::kMul:
+      reg(instr.a) = reg(instr.b) * reg(instr.c);
+      now_ += instr.cost;
+      ++frame.pc;
+      break;
+    case Op::kAddImm:
+      reg(instr.a) = reg(instr.b) + instr.imm;
+      now_ += instr.cost;
+      ++frame.pc;
+      break;
+    case Op::kCmpEq:
+      reg(instr.a) = (reg(instr.b) == reg(instr.c)) ? 1 : 0;
+      now_ += instr.cost;
+      ++frame.pc;
+      break;
+    case Op::kCmpLt:
+      reg(instr.a) = (reg(instr.b) < reg(instr.c)) ? 1 : 0;
+      now_ += instr.cost;
+      ++frame.pc;
+      break;
+    case Op::kJump:
+      now_ += instr.cost;
+      frame.pc = static_cast<size_t>(instr.imm);
+      break;
+    case Op::kJumpIfZero:
+      now_ += instr.cost;
+      frame.pc = (reg(instr.a) == 0) ? static_cast<size_t>(instr.imm)
+                                     : frame.pc + 1;
+      break;
+    case Op::kJumpIfNonZero:
+      now_ += instr.cost;
+      frame.pc = (reg(instr.a) != 0) ? static_cast<size_t>(instr.imm)
+                                     : frame.pc + 1;
+      break;
+    case Op::kArrayLen: {
+      const auto& arr = arrays_[instr.obj];
+      reg(instr.a) = static_cast<int64_t>(arr.size());
+      now_ += instr.cost;
+      recorder_.Access(t.index, frame.method, frame.uid, instr.obj,
+                       /*is_write=*/false, reg(instr.a), now_);
+      ++frame.pc;
+      break;
+    }
+    case Op::kArrayLoad: {
+      auto& arr = arrays_[instr.obj];
+      const int64_t index = reg(instr.b);
+      now_ += instr.cost;
+      recorder_.Access(t.index, frame.method, frame.uid, instr.obj,
+                       /*is_write=*/false, index, now_);
+      if (index < 0 || static_cast<size_t>(index) >= arr.size()) {
+        RaiseException(t, program_->index_out_of_range());
+        return;
+      }
+      reg(instr.a) = arr[static_cast<size_t>(index)];
+      ++frame.pc;
+      break;
+    }
+    case Op::kArrayStore: {
+      auto& arr = arrays_[instr.obj];
+      const int64_t index = reg(instr.b);
+      now_ += instr.cost;
+      recorder_.Access(t.index, frame.method, frame.uid, instr.obj,
+                       /*is_write=*/true, index, now_);
+      if (index < 0 || static_cast<size_t>(index) >= arr.size()) {
+        RaiseException(t, program_->index_out_of_range());
+        return;
+      }
+      arr[static_cast<size_t>(index)] = reg(instr.a);  // a = source register
+      ++frame.pc;
+      break;
+    }
+    case Op::kArrayResize: {
+      auto& arr = arrays_[instr.obj];
+      const int64_t new_len = std::max<int64_t>(0, reg(instr.a));
+      arr.resize(static_cast<size_t>(new_len), 0);
+      now_ += instr.cost;
+      recorder_.Access(t.index, frame.method, frame.uid, instr.obj,
+                       /*is_write=*/true, new_len, now_);
+      ++frame.pc;
+      break;
+    }
+    case Op::kDelay:
+      ++frame.pc;
+      Sleep(t, instr.imm);
+      break;
+    case Op::kDelayRand: {
+      const Tick ticks = t.app_rng.UniformRange(instr.imm, instr.imm2);
+      ++frame.pc;
+      Sleep(t, ticks);
+      break;
+    }
+    case Op::kRandom:
+      reg(instr.a) = static_cast<int64_t>(
+          t.app_rng.Uniform(static_cast<uint64_t>(instr.imm)));
+      now_ += instr.cost;
+      ++frame.pc;
+      break;
+    case Op::kCall:
+      now_ += instr.cost;
+      ++frame.pc;
+      t.pending.active = true;
+      t.pending.method = static_cast<SymbolId>(instr.imm);
+      t.pending.ret_reg = instr.a;
+      t.pending.mutexes_acquired = 0;
+      break;
+    case Op::kSpawn: {
+      now_ += instr.cost;
+      ThreadState child;
+      child.index = static_cast<ThreadIndex>(threads_.size());
+      child.pending.active = true;
+      child.pending.method = static_cast<SymbolId>(instr.imm);
+      child.pending.ret_reg = kNoReg;
+      uint64_t mix = options_.seed + 0x9e3779b97f4a7c15ULL *
+                                         static_cast<uint64_t>(child.index);
+      child.app_rng = Rng(SplitMix64(mix));
+      if (instr.a != kNoReg) reg(instr.a) = child.index;
+      recorder_.Spawn(t.index, frame.method, frame.uid, child.index, now_);
+      ++frame.pc;
+      threads_.push_back(std::move(child));
+      // NOTE: threads_ may have reallocated; `t` and `frame` are dead now.
+      return;
+    }
+    case Op::kJoin: {
+      const int64_t target = reg(instr.a);
+      if (target < 0 || static_cast<size_t>(target) >= threads_.size()) {
+        RaiseException(t, program_->deadlock());
+        return;
+      }
+      const ThreadState& other = threads_[static_cast<size_t>(target)];
+      if (other.status == ThreadStatus::kFinished ||
+          other.status == ThreadStatus::kCrashed) {
+        now_ += instr.cost;
+        recorder_.Join(t.index, frame.method, frame.uid,
+                       static_cast<ThreadIndex>(target), now_);
+        ++frame.pc;
+      } else {
+        t.status = ThreadStatus::kBlockedJoin;
+        t.waiting_thread = static_cast<ThreadIndex>(target);
+      }
+      break;
+    }
+    case Op::kLock:
+      if (TryAcquire(instr.obj, t.index)) {
+        now_ += instr.cost;
+        if (mutexes_[instr.obj].depth == 1) {
+          recorder_.LockAcquire(t.index, frame.method, frame.uid, instr.obj,
+                                now_);
+        }
+        ++frame.pc;
+      } else {
+        t.status = ThreadStatus::kBlockedLock;
+        t.waiting_mutex = instr.obj;
+      }
+      break;
+    case Op::kUnlock: {
+      MutexState& m = mutexes_[instr.obj];
+      if (m.owner != t.index || m.depth <= 0) {
+        RaiseException(t, program_->deadlock());
+        return;
+      }
+      now_ += instr.cost;
+      if (m.depth == 1) {
+        recorder_.LockRelease(t.index, frame.method, frame.uid, instr.obj,
+                              now_);
+      }
+      Release(instr.obj, t.index);
+      ++frame.pc;
+      break;
+    }
+    case Op::kThrow:
+      now_ += instr.cost;
+      RaiseException(t, instr.obj);
+      return;
+    case Op::kThrowIfZero:
+      now_ += instr.cost;
+      if (reg(instr.a) == 0) {
+        RaiseException(t, instr.obj);
+        return;
+      }
+      ++frame.pc;
+      break;
+    case Op::kThrowIfNonZero:
+      now_ += instr.cost;
+      if (reg(instr.a) != 0) {
+        RaiseException(t, instr.obj);
+        return;
+      }
+      ++frame.pc;
+      break;
+    case Op::kReturn: {
+      if (frame.delay_before_return > 0 && !frame.return_delay_done) {
+        // "Method runs too fast" intervention: stall before returning.
+        frame.return_delay_done = true;
+        Sleep(t, frame.delay_before_return);
+        return;  // pc unchanged: re-executes kReturn after waking
+      }
+      now_ += instr.cost;
+      const bool has_value = instr.a != kNoReg;
+      ExitMethod(t, has_value, has_value ? reg(instr.a) : 0);
+      break;
+    }
+  }
+}
+
+void Vm::ExitMethod(ThreadState& t, bool has_value, int64_t value) {
+  Frame frame = std::move(t.stack.back());
+  t.stack.pop_back();
+
+  if (frame.force_return) {
+    value = frame.forced_value;
+    has_value = true;
+  }
+  if (plan_ != nullptr) {
+    plan_->ForEachMatching(
+        VmActionKind::kForceReturnDistinct, frame.method, frame.occurrence,
+        [&](const VmAction& action) {
+          auto it = last_return_.find(action.method2);
+          if (it != last_return_.end() && has_value && value == it->second) {
+            value = it->second + 1;
+          }
+        });
+  }
+  if (has_value) last_return_[frame.method] = value;
+
+  recorder_.MethodExit(t.index, frame.method, frame.uid, now_, has_value,
+                       value);
+  for (auto it = frame.serialize_mutexes.rbegin();
+       it != frame.serialize_mutexes.rend(); ++it) {
+    Release(*it, t.index);
+  }
+  exited_.insert({frame.method, frame.occurrence});
+  ++exit_totals_[frame.method];
+  WakeOrderWaiters();
+
+  if (t.stack.empty()) {
+    if (has_value && frame.ret_reg != kNoReg) {
+      // Root method return value is discarded.
+    }
+    FinishThread(t, /*crashed=*/false);
+    return;
+  }
+  if (frame.ret_reg != kNoReg) {
+    t.stack.back().regs[static_cast<size_t>(frame.ret_reg)] =
+        has_value ? value : 0;
+  }
+}
+
+void Vm::RaiseException(ThreadState& t, SymbolId exception_type) {
+  AID_CHECK(!t.stack.empty());
+  const SymbolId origin_method = t.stack.back().method;
+  recorder_.Throw(t.index, origin_method, t.stack.back().uid, exception_type,
+                  now_);
+
+  // Unwind until a catching frame is found. Each frame unwound costs one
+  // tick, so an exception's escape through nested frames is temporally
+  // ordered (innermost method fails strictly before its caller does).
+  while (!t.stack.empty()) {
+    Frame& frame = t.stack.back();
+    now_ += 1;
+    if (frame.catches) {
+      recorder_.Catch(t.index, frame.method, frame.uid, exception_type, now_);
+      // The catching method returns its fallback value.
+      ExitMethod(t, /*has_value=*/true, frame.catch_fallback);
+      return;
+    }
+    // Abnormal exit: record, release intervention locks, pop.
+    recorder_.MethodExit(t.index, frame.method, frame.uid, now_,
+                         /*has_value=*/false, 0);
+    for (auto it = frame.serialize_mutexes.rbegin();
+         it != frame.serialize_mutexes.rend(); ++it) {
+      Release(*it, t.index);
+    }
+    exited_.insert({frame.method, frame.occurrence});
+    ++exit_totals_[frame.method];
+    t.stack.pop_back();
+  }
+  WakeOrderWaiters();
+
+  // Escaped the root frame: the thread crashes and the run fails.
+  failed_ = true;
+  signature_.exception_type = exception_type;
+  signature_.method = origin_method;
+  FinishThread(t, /*crashed=*/true);
+  if (options_.stop_on_failure) stop_ = true;
+}
+
+void Vm::FinishThread(ThreadState& t, bool crashed) {
+  // Release any program locks the thread still holds (crash hygiene keeps
+  // other threads runnable so deadlock detection stays meaningful).
+  for (auto& [mutex, state] : mutexes_) {
+    if (state.owner == t.index) {
+      state.owner = -1;
+      state.depth = 0;
+      WakeLockWaiters(mutex);
+    }
+  }
+  t.status = crashed ? ThreadStatus::kCrashed : ThreadStatus::kFinished;
+  WakeJoinWaiters(t.index);
+}
+
+bool Vm::TryAcquire(SymbolId mutex, ThreadIndex thread) {
+  MutexState& m = mutexes_[mutex];
+  if (m.depth == 0 || m.owner == thread) {
+    m.owner = thread;
+    ++m.depth;
+    return true;
+  }
+  return false;
+}
+
+void Vm::Release(SymbolId mutex, ThreadIndex thread) {
+  MutexState& m = mutexes_[mutex];
+  if (m.owner != thread || m.depth == 0) return;
+  if (--m.depth == 0) {
+    m.owner = -1;
+    WakeLockWaiters(mutex);
+  }
+}
+
+void Vm::WakeLockWaiters(SymbolId mutex) {
+  for (auto& t : threads_) {
+    if (t.status == ThreadStatus::kBlockedLock && t.waiting_mutex == mutex) {
+      t.status = ThreadStatus::kRunnable;
+      t.waiting_mutex = kInvalidSymbol;
+    }
+  }
+}
+
+void Vm::WakeJoinWaiters(ThreadIndex finished) {
+  for (auto& t : threads_) {
+    if (t.status == ThreadStatus::kBlockedJoin &&
+        t.waiting_thread == finished) {
+      t.status = ThreadStatus::kRunnable;
+      t.waiting_thread = -1;
+    }
+  }
+}
+
+bool Vm::OrderSatisfied(SymbolId method, int occurrence) const {
+  if (occurrence == kAllOccurrences) {
+    auto it = exit_totals_.find(method);
+    return it != exit_totals_.end() && it->second > 0;
+  }
+  return exited_.count({method, occurrence}) > 0;
+}
+
+void Vm::WakeOrderWaiters() {
+  for (auto& t : threads_) {
+    if (t.status == ThreadStatus::kBlockedOrder &&
+        OrderSatisfied(t.order_method, t.order_occurrence)) {
+      t.status = ThreadStatus::kRunnable;
+      t.order_method = kInvalidSymbol;
+    }
+  }
+}
+
+void Vm::Sleep(ThreadState& t, Tick ticks) {
+  if (ticks <= 0) return;
+  t.status = ThreadStatus::kSleeping;
+  t.wake_tick = now_ + ticks;
+}
+
+Result<std::vector<ExecutionTrace>> CollectTraces(const Program& program,
+                                                  uint64_t first_seed,
+                                                  int count,
+                                                  const VmOptions& base) {
+  std::vector<ExecutionTrace> traces;
+  traces.reserve(static_cast<size_t>(count));
+  Vm vm(&program);
+  for (int i = 0; i < count; ++i) {
+    VmOptions options = base;
+    options.seed = first_seed + static_cast<uint64_t>(i);
+    AID_ASSIGN_OR_RETURN(ExecutionTrace trace, vm.Run(options));
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+}  // namespace aid

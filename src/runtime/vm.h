@@ -1,0 +1,158 @@
+// The AID concurrent-program VM.
+//
+// A discrete-event interpreter: every thread is a stack of call frames over
+// a shared virtual clock, and a seeded scheduler picks which runnable thread
+// executes its next instruction. Nondeterminism is therefore *controlled*:
+// the same (program, seed) pair always produces the same trace, while
+// different seeds explore different interleavings -- exactly the class of
+// nondeterminism (thread scheduling and timing) the paper targets, but
+// reproducible enough for CI.
+//
+// The VM consults an InterventionPlan at method enter/exit/throw, which is
+// how AID's fault injections (Figure 2, column 3) are realized.
+
+#ifndef AID_RUNTIME_VM_H_
+#define AID_RUNTIME_VM_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "runtime/intervention.h"
+#include "runtime/program.h"
+#include "trace/recorder.h"
+#include "trace/trace.h"
+
+namespace aid {
+
+struct VmOptions {
+  /// Scheduler + application RNG seed. Same seed => identical trace.
+  uint64_t seed = 1;
+  /// Abort guard against runaway programs (returns Status::Aborted).
+  int64_t max_steps = 2'000'000;
+  /// End the run at the first uncaught exception (the paper's subject
+  /// applications crash); remaining threads are frozen.
+  bool stop_on_failure = true;
+};
+
+/// Executes programs and produces execution traces.
+class Vm {
+ public:
+  explicit Vm(const Program* program) : program_(program) {}
+
+  /// Runs the program once. `plan` may be null (no interventions).
+  Result<ExecutionTrace> Run(const VmOptions& options,
+                             const InterventionPlan* plan = nullptr);
+
+ private:
+  enum class ThreadStatus : uint8_t {
+    kRunnable,
+    kSleeping,      // until wake_tick
+    kBlockedLock,   // on waiting_mutex
+    kBlockedJoin,   // on waiting_thread
+    kBlockedOrder,  // on (order_method, order_occurrence) having exited
+    kFinished,
+    kCrashed,
+  };
+
+  struct Frame {
+    SymbolId method = kInvalidSymbol;
+    CallUid uid = -1;
+    size_t pc = 0;
+    std::array<int64_t, kNumRegs> regs{};
+    Reg ret_reg = kNoReg;  ///< caller register receiving the return value
+    int occurrence = 0;
+    Tick enter_tick = 0;
+    bool catches = false;  ///< method-level or injected try/catch
+    int64_t catch_fallback = 0;
+    bool force_return = false;
+    int64_t forced_value = 0;
+    Tick delay_before_return = 0;
+    bool return_delay_done = false;
+    bool premature = false;  ///< injected premature return in progress
+    int64_t premature_value = 0;
+    std::vector<SymbolId> serialize_mutexes;  ///< to release on exit
+  };
+
+  struct PendingCall {
+    bool active = false;
+    SymbolId method = kInvalidSymbol;
+    Reg ret_reg = kNoReg;
+    size_t mutexes_acquired = 0;  ///< progress through serialize-mutex list
+  };
+
+  struct ThreadState {
+    ThreadIndex index = -1;
+    ThreadStatus status = ThreadStatus::kRunnable;
+    std::vector<Frame> stack;
+    PendingCall pending;
+    Tick wake_tick = 0;
+    SymbolId waiting_mutex = kInvalidSymbol;
+    ThreadIndex waiting_thread = -1;
+    SymbolId order_method = kInvalidSymbol;
+    int order_occurrence = kAllOccurrences;
+    /// Application-level randomness (kRandom/kDelayRand) is drawn from a
+    /// per-thread stream keyed by (run seed, thread index). This keeps a
+    /// program's random choices independent of scheduling, so an
+    /// intervention that perturbs the schedule cannot silently change the
+    /// inputs that made a failing seed fail.
+    Rng app_rng{0};
+  };
+
+  struct MutexState {
+    ThreadIndex owner = -1;
+    int depth = 0;
+  };
+
+  // --- execution steps -----------------------------------------------------
+  void StepThread(ThreadState& t);
+  void BeginPendingCall(ThreadState& t);
+  void ExecuteInstr(ThreadState& t);
+  void ExitMethod(ThreadState& t, bool has_value, int64_t value);
+  void RaiseException(ThreadState& t, SymbolId exception_type);
+  void FinishThread(ThreadState& t, bool crashed);
+
+  // --- blocking helpers ----------------------------------------------------
+  bool TryAcquire(SymbolId mutex, ThreadIndex thread);
+  void Release(SymbolId mutex, ThreadIndex thread);
+  void WakeLockWaiters(SymbolId mutex);
+  void WakeJoinWaiters(ThreadIndex finished);
+  void WakeOrderWaiters();
+  bool OrderSatisfied(SymbolId method, int occurrence) const;
+  void Sleep(ThreadState& t, Tick ticks);
+
+  // --- state ---------------------------------------------------------------
+  const Program* program_;
+  const InterventionPlan* plan_ = nullptr;
+  VmOptions options_;
+  Rng sched_rng_{0};
+  TraceRecorder recorder_;
+  Tick now_ = 0;
+  std::vector<ThreadState> threads_;
+  std::unordered_map<SymbolId, int64_t> globals_;
+  std::unordered_map<SymbolId, std::vector<int64_t>> arrays_;
+  std::map<SymbolId, MutexState> mutexes_;
+  std::unordered_map<SymbolId, int> enter_counts_;  ///< per-method occurrences
+  std::set<std::pair<SymbolId, int>> exited_;       ///< (method, occurrence)
+  std::unordered_map<SymbolId, int> exit_totals_;
+  std::unordered_map<SymbolId, int64_t> last_return_;
+  bool failed_ = false;
+  bool stop_ = false;
+  FailureSignature signature_;
+};
+
+/// Convenience: run `program` across `count` seeds starting at `first_seed`,
+/// returning the traces (failures and successes interleaved as they come).
+Result<std::vector<ExecutionTrace>> CollectTraces(const Program& program,
+                                                  uint64_t first_seed,
+                                                  int count,
+                                                  const VmOptions& base = {});
+
+}  // namespace aid
+
+#endif  // AID_RUNTIME_VM_H_

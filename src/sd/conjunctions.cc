@@ -1,0 +1,47 @@
+#include "sd/conjunctions.h"
+
+#include "sd/statistical_debugger.h"
+
+namespace aid {
+
+std::vector<ConjunctionCandidate> FindDiscriminativeConjunctions(
+    const PredicateCatalog& catalog, const std::vector<PredicateLog>& logs,
+    size_t max_results) {
+  std::vector<ConjunctionCandidate> out;
+  auto sd = StatisticalDebugger::Analyze(catalog, logs);
+  if (!sd.ok()) return out;
+
+  // Candidate members: perfect recall, imperfect precision, and not a
+  // compound already (no nesting by default).
+  std::vector<PredicateId> members;
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    const PredicateId id = static_cast<PredicateId>(i);
+    if (catalog.Get(id).kind == PredKind::kCompound) continue;
+    if (catalog.Get(id).kind == PredKind::kFailure) continue;
+    const PredicateStats& stats = sd->stats(id);
+    if (stats.recall() == 1.0 && !stats.fully_discriminative()) {
+      members.push_back(id);
+    }
+  }
+
+  for (size_t a = 0; a < members.size() && out.size() < max_results; ++a) {
+    for (size_t b = a + 1; b < members.size() && out.size() < max_results;
+         ++b) {
+      // The conjunction must vanish from every successful run. (Recall is
+      // already perfect for both members, so it holds for the pair.)
+      bool seen_in_success = false;
+      for (const PredicateLog& log : logs) {
+        if (!log.failed && log.Has(members[a]) && log.Has(members[b])) {
+          seen_in_success = true;
+          break;
+        }
+      }
+      if (!seen_in_success) {
+        out.push_back({members[a], members[b]});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aid

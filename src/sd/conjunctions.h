@@ -1,0 +1,39 @@
+// Compound-predicate mining (paper Section 3.2, "Modeling nondeterminism").
+//
+// Two predicates A and B may cause the failure only in conjunction: each
+// alone has perfect recall but imperfect precision (the failure always sees
+// both, but each also appears in successful runs), so neither is fully
+// discriminative and AID would drop them. Their conjunction A && B *is*
+// fully discriminative and can stand in as a single root-cause predicate.
+//
+// FindDiscriminativeConjunctions proposes exactly those pairs; callers
+// register them with PredicateExtractor::AddCompound so the logs carry the
+// compound's observations.
+
+#ifndef AID_SD_CONJUNCTIONS_H_
+#define AID_SD_CONJUNCTIONS_H_
+
+#include <vector>
+
+#include "predicates/predicate.h"
+
+namespace aid {
+
+struct ConjunctionCandidate {
+  PredicateId first = kInvalidPredicate;
+  PredicateId second = kInvalidPredicate;
+};
+
+/// Returns pairs (A, B), A < B, such that neither A nor B is fully
+/// discriminative over `logs` but their conjunction is: observed together
+/// in every failed run and never together in a successful run. Both members
+/// must individually have perfect recall (a compound with a low-recall
+/// member could never explain every failure). At most `max_results` pairs
+/// are returned (ordered by id).
+std::vector<ConjunctionCandidate> FindDiscriminativeConjunctions(
+    const PredicateCatalog& catalog, const std::vector<PredicateLog>& logs,
+    size_t max_results = 16);
+
+}  // namespace aid
+
+#endif  // AID_SD_CONJUNCTIONS_H_

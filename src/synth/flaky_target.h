@@ -1,0 +1,57 @@
+// FlakyModelTarget: a ground-truth target whose root cause manifests only
+// probabilistically, modeling the real-world situation of the paper's
+// footnote 1 -- a concurrency bug that needs the "right" interleaving even
+// on a failing input, which is why AID executes every intervention several
+// times and treats a single failing run as proof that the failure was not
+// repressed.
+
+#ifndef AID_SYNTH_FLAKY_TARGET_H_
+#define AID_SYNTH_FLAKY_TARGET_H_
+
+#include "common/rng.h"
+#include "core/target.h"
+#include "synth/model.h"
+
+namespace aid {
+
+class FlakyModelTarget : public InterventionTarget {
+ public:
+  /// On each execution, the root cause spontaneously fires only with
+  /// `manifest_probability`; when it does not fire, the run behaves like a
+  /// lucky interleaving (no failure, downstream chain absent).
+  FlakyModelTarget(const GroundTruthModel* model, double manifest_probability,
+                   uint64_t seed)
+      : model_(model),
+        manifest_probability_(manifest_probability),
+        rng_(seed) {}
+
+  Result<TargetRunResult> RunIntervened(
+      const std::vector<PredicateId>& intervened, int trials) override {
+    TargetRunResult result;
+    if (trials < 1) trials = 1;
+    for (int i = 0; i < trials; ++i) {
+      ++executions_;
+      if (rng_.Bernoulli(manifest_probability_)) {
+        result.logs.push_back(model_->Execute(intervened));
+      } else {
+        // The nondeterminism did not line up: suppress the root cause too.
+        std::vector<PredicateId> blocked = intervened;
+        blocked.push_back(model_->root_cause());
+        result.logs.push_back(model_->Execute(blocked));
+      }
+    }
+    return result;
+  }
+
+  int executions() const override { return executions_; }
+
+ private:
+  const GroundTruthModel* model_;
+  double manifest_probability_;
+  Rng rng_;
+  int executions_ = 0;
+};
+
+}  // namespace aid
+
+#endif  // AID_SYNTH_FLAKY_TARGET_H_

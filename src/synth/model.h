@@ -1,0 +1,92 @@
+// Ground-truth synthetic applications (paper Section 7.2).
+//
+// A GroundTruthModel is an abstract "application" defined directly at the
+// predicate level: a set of fully-discriminative predicates, a known causal
+// chain from the root cause to the failure, and true-cause rules for the
+// remaining (correlated but non-causal) predicates. "Executing" the model
+// under an intervention propagates occurrence through the true-cause rules:
+//
+//   P occurs  iff  P is not intervened  and  all true parents of P occurred
+//   (no parents = spontaneous: occurs unless intervened)
+//
+// The observable AC-DAG is the temporal over-approximation the generator
+// also emits: it contains the true causal edges plus the merely-temporal
+// ones, exactly the superset relationship of the paper's Figure 4(a)/(b).
+
+#ifndef AID_SYNTH_MODEL_H_
+#define AID_SYNTH_MODEL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "causal/acdag.h"
+#include "common/status.h"
+#include "core/target.h"
+#include "predicates/predicate.h"
+
+namespace aid {
+
+class GroundTruthModel {
+ public:
+  GroundTruthModel() = default;
+
+  /// Adds a predicate node; returns its id. `index` is a display index.
+  PredicateId AddPredicate(int index);
+  /// Adds the failure predicate (exactly once).
+  PredicateId AddFailure();
+
+  /// Declares P's true causes: P occurs iff all of `parents` occurred
+  /// (conjunction). No declaration = spontaneous.
+  void SetTrueParents(PredicateId id, std::vector<PredicateId> parents);
+
+  /// Declares the counterfactual causal chain c0 -> .. -> ck (-> F): wires
+  /// each element to the previous one and F to the last.
+  void SetCausalChain(std::vector<PredicateId> chain);
+
+  /// Adds an observed temporal edge (AC-DAG construction input).
+  void AddTemporalEdge(PredicateId from, PredicateId to);
+
+  /// Evaluates which predicates occur under `intervened`.
+  /// Returns a PredicateLog (failed = F occurred).
+  PredicateLog Execute(const std::vector<PredicateId>& intervened) const;
+
+  /// Builds the observable AC-DAG (temporal edges, transitively closed).
+  /// The model must outlive the returned DAG (it borrows the catalog).
+  Result<AcDag> BuildAcDag() const;
+
+  const PredicateCatalog& catalog() const { return catalog_; }
+  PredicateId failure() const { return failure_; }
+  const std::vector<PredicateId>& predicates() const { return predicates_; }
+  const std::vector<PredicateId>& causal_chain() const { return causal_chain_; }
+  PredicateId root_cause() const {
+    return causal_chain_.empty() ? kInvalidPredicate : causal_chain_.front();
+  }
+  size_t size() const { return predicates_.size(); }
+
+ private:
+  PredicateCatalog catalog_;
+  std::vector<PredicateId> predicates_;  ///< excludes F
+  PredicateId failure_ = kInvalidPredicate;
+  std::unordered_map<PredicateId, std::vector<PredicateId>> true_parents_;
+  std::vector<PredicateId> causal_chain_;
+  std::vector<std::pair<PredicateId, PredicateId>> temporal_edges_;
+};
+
+/// InterventionTarget over a ground-truth model. Deterministic: one trial is
+/// sufficient, and `trials` executions produce identical logs.
+class ModelTarget : public InterventionTarget {
+ public:
+  explicit ModelTarget(const GroundTruthModel* model) : model_(model) {}
+
+  Result<TargetRunResult> RunIntervened(
+      const std::vector<PredicateId>& intervened, int trials) override;
+  int executions() const override { return executions_; }
+
+ private:
+  const GroundTruthModel* model_;
+  int executions_ = 0;
+};
+
+}  // namespace aid
+
+#endif  // AID_SYNTH_MODEL_H_

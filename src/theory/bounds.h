@@ -1,0 +1,143 @@
+// Closed forms from the paper's Section 6: search spaces (Lemma 1 and the
+// symmetric AC-DAG), information-theoretic lower bounds (Theorem 2), and
+// intervention upper bounds (Theorem 3 and Section 6.3.1), as summarized in
+// the paper's Figure 6.
+//
+// All search-space sizes are reported in log2 (bit) units: the quantities
+// themselves (e.g. 2^{JBn}) overflow any integer type at realistic sizes.
+
+#ifndef AID_THEORY_BOUNDS_H_
+#define AID_THEORY_BOUNDS_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/math_util.h"
+
+namespace aid {
+
+/// The symmetric AC-DAG of Figure 5(c): J junctions, B branches per
+/// junction, n predicates per branch; N = J * B * n.
+struct SymmetricDagShape {
+  int junctions = 1;   // J
+  int branches = 2;    // B
+  int chain_len = 1;   // n
+  int64_t total() const {
+    return static_cast<int64_t>(junctions) * branches * chain_len;
+  }
+};
+
+// --- Search space (Section 6.1) ---------------------------------------------
+
+/// log2 of GT's search space over N predicates: all subsets, 2^N.
+inline double GtSearchSpaceLog2(int64_t n) { return static_cast<double>(n); }
+
+/// log2 of CPD's search space on the symmetric AC-DAG:
+/// W_CPD = (B(2^n - 1) + 1)^J.
+inline double CpdSearchSpaceLog2Symmetric(const SymmetricDagShape& shape) {
+  const double per_block =
+      static_cast<double>(shape.branches) *
+          (std::pow(2.0, static_cast<double>(shape.chain_len)) - 1.0) +
+      1.0;
+  return static_cast<double>(shape.junctions) * std::log2(per_block);
+}
+
+/// Lemma 1, horizontal expansion: W(GH) = 1 + (W(G1)-1) + (W(G2)-1),
+/// in raw counts (use for small DAGs only).
+inline uint64_t HorizontalExpansion(uint64_t w1, uint64_t w2) {
+  return 1 + (w1 - 1) + (w2 - 1);
+}
+
+/// Lemma 1, vertical expansion: W(GV) = W(G1) * W(G2).
+inline uint64_t VerticalExpansion(uint64_t w1, uint64_t w2) {
+  return w1 * w2;
+}
+
+// --- Lower bounds (Section 6.2) ---------------------------------------------
+
+/// GT information-theoretic lower bound: log2 C(N, D).
+inline double GtLowerBound(int64_t n, int64_t d) { return Log2Binomial(n, d); }
+
+/// Theorem 2: CPD lower bound when every group intervention discards at
+/// least S1 predicates: log2 C(N, D) / (1 + D*S1/N), equivalently
+/// N/(N + D*S1) * log2 C(N, D).
+inline double CpdLowerBound(int64_t n, int64_t d, double s1) {
+  if (n <= 0) return 0.0;
+  const double scale = static_cast<double>(n) /
+                       (static_cast<double>(n) + static_cast<double>(d) * s1);
+  return scale * Log2Binomial(n, d);
+}
+
+// --- Upper bounds (Section 6.3) ---------------------------------------------
+
+/// TAGT upper bound on a flat pool: D log2 N (Section 2's trivial bound).
+inline double TagtUpperBound(int64_t n, int64_t d) {
+  if (n <= 1 || d <= 0) return 0.0;
+  return static_cast<double>(d) * std::log2(static_cast<double>(n));
+}
+
+/// Theorem 3: AID with predicate pruning discarding at least S2 predicates
+/// per causal-predicate discovery: D log2 N - D(D-1) S2 / (2N).
+inline double AidUpperBoundPredicatePruning(int64_t n, int64_t d, double s2) {
+  if (n <= 1 || d <= 0) return 0.0;
+  return TagtUpperBound(n, d) -
+         static_cast<double>(d) * static_cast<double>(d - 1) * s2 /
+             (2.0 * static_cast<double>(n));
+}
+
+/// Section 6.3.1: with branch pruning, J junctions of at most T branches and
+/// a maximum path length N_M: J log2 T + D log2 N_M. AID beats TAGT's
+/// D log2 T + D log2 N_M whenever J < D.
+inline double AidUpperBoundBranchPruning(int64_t junctions, int64_t max_branches,
+                                         int64_t max_path_len, int64_t d) {
+  const double jt = max_branches > 1
+                        ? static_cast<double>(junctions) *
+                              std::log2(static_cast<double>(max_branches))
+                        : 0.0;
+  const double dn = (max_path_len > 1 && d > 0)
+                        ? static_cast<double>(d) *
+                              std::log2(static_cast<double>(max_path_len))
+                        : 0.0;
+  return jt + dn;
+}
+
+/// Figure 6, upper-bound row for the symmetric AC-DAG.
+/// AID:  J log2 B + D log2(J n) - D(D-1) S2 / (2 J n)
+/// TAGT: D log2 B + D log2(J n) - D(D-1) / (2 J B n)
+struct SymmetricUpperBounds {
+  double aid = 0.0;
+  double tagt = 0.0;
+};
+inline SymmetricUpperBounds Figure6UpperBounds(const SymmetricDagShape& shape,
+                                               int64_t d, double s2) {
+  const double log_b =
+      shape.branches > 1 ? std::log2(static_cast<double>(shape.branches)) : 0.0;
+  const double jn =
+      static_cast<double>(shape.junctions) * shape.chain_len;
+  const double log_jn = jn > 1 ? std::log2(jn) : 0.0;
+  const double dd1 = static_cast<double>(d) * static_cast<double>(d - 1);
+  SymmetricUpperBounds out;
+  out.aid = shape.junctions * log_b + static_cast<double>(d) * log_jn -
+            dd1 * s2 / (2.0 * jn);
+  out.tagt = static_cast<double>(d) * log_b +
+             static_cast<double>(d) * log_jn -
+             dd1 / (2.0 * jn * shape.branches);
+  return out;
+}
+
+/// Figure 6, lower-bound row for the symmetric AC-DAG.
+struct SymmetricLowerBounds {
+  double cpd = 0.0;
+  double gt = 0.0;
+};
+inline SymmetricLowerBounds Figure6LowerBounds(const SymmetricDagShape& shape,
+                                               int64_t d, double s1) {
+  SymmetricLowerBounds out;
+  out.gt = GtLowerBound(shape.total(), d);
+  out.cpd = CpdLowerBound(shape.total(), d, s1);
+  return out;
+}
+
+}  // namespace aid
+
+#endif  // AID_THEORY_BOUNDS_H_

@@ -1,0 +1,25 @@
+#include "theory/enumerate.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace aid {
+
+uint64_t CountCpdSolutions(const AcDag& dag) {
+  std::unordered_map<PredicateId, uint64_t> ending_at;
+  uint64_t total = 1;  // the empty chain
+  for (PredicateId v : dag.TopoOrder()) {
+    if (v == dag.failure()) continue;
+    uint64_t count = 1;  // the chain {v}
+    for (PredicateId u : dag.nodes()) {
+      if (u != v && u != dag.failure() && dag.Reaches(u, v)) {
+        count += ending_at[u];
+      }
+    }
+    ending_at[v] = count;
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace aid

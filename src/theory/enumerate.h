@@ -1,0 +1,30 @@
+// Exact enumeration of CPD's search space for validating Lemma 1 and the
+// symmetric-DAG formula on small AC-DAGs.
+//
+// A candidate CPD solution is a set of predicates that could form a causal
+// path: under the deterministic-effect assumption its members must be
+// totally ordered by the AC-DAG's reachability relation (a chain of the
+// partial order). The empty set is a valid candidate (no causal predicate
+// beyond F itself), giving e.g. 2 * (2^3 - 1) + 1 = 15 for the paper's
+// Example 3.
+
+#ifndef AID_THEORY_ENUMERATE_H_
+#define AID_THEORY_ENUMERATE_H_
+
+#include <cstdint>
+
+#include "causal/acdag.h"
+
+namespace aid {
+
+/// Counts the chains (totally-ordered subsets, including the empty set) of
+/// the AC-DAG's reachability order over the non-failure nodes.
+///
+/// DP over topological order: chains_ending_at(v) = 1 + sum over u ; v of
+/// chains_ending_at(u); total = 1 + sum over v. Exact while it fits in
+/// uint64_t; intended for small validation DAGs.
+uint64_t CountCpdSolutions(const AcDag& dag);
+
+}  // namespace aid
+
+#endif  // AID_THEORY_ENUMERATE_H_

@@ -1,0 +1,31 @@
+#include "trace/event.h"
+
+namespace aid {
+
+std::string_view EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kMethodEnter:
+      return "enter";
+    case EventKind::kMethodExit:
+      return "exit";
+    case EventKind::kRead:
+      return "read";
+    case EventKind::kWrite:
+      return "write";
+    case EventKind::kThrow:
+      return "throw";
+    case EventKind::kCatch:
+      return "catch";
+    case EventKind::kLockAcquire:
+      return "lock";
+    case EventKind::kLockRelease:
+      return "unlock";
+    case EventKind::kSpawn:
+      return "spawn";
+    case EventKind::kJoin:
+      return "join";
+  }
+  return "unknown";
+}
+
+}  // namespace aid

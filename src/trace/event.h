@@ -1,0 +1,95 @@
+// Event model for execution traces.
+//
+// The paper's instrumentation (Appendix A, Figure 9b) records, per executed
+// method: start and end time, thread id, ids of accessed objects, access
+// type, return values, and whether an exception was thrown. aid::runtime
+// emits exactly this schema; the predicate extractors (aid::predicates)
+// consume it offline, mirroring the paper's separation of instrumentation
+// from predicate extraction.
+
+#ifndef AID_TRACE_EVENT_H_
+#define AID_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/symbol_table.h"
+
+namespace aid {
+
+/// Virtual time, in scheduler ticks. The VM clock is discrete and global, so
+/// tick comparisons across threads are meaningful (the paper relies on
+/// computer clocks the same way, Section 4 "Temporal precedence").
+using Tick = int64_t;
+
+/// Dense thread index assigned by the VM in spawn order (main thread = 0).
+using ThreadIndex = int32_t;
+
+/// Unique id of one dynamic method execution (call instance) within a run.
+using CallUid = int64_t;
+
+enum class EventKind : uint8_t {
+  kMethodEnter,
+  kMethodExit,
+  kRead,         ///< shared-object read (object field set)
+  kWrite,        ///< shared-object write
+  kThrow,        ///< exception raised (object = exception type symbol)
+  kCatch,        ///< exception swallowed by a handler or an intervention
+  kLockAcquire,  ///< mutex acquired (object = mutex symbol)
+  kLockRelease,
+  kSpawn,  ///< new thread created (spawned_thread set)
+  kJoin,   ///< joined on spawned_thread
+};
+
+std::string_view EventKindName(EventKind kind);
+
+/// One trace record. Fields not applicable to `kind` hold their defaults.
+struct Event {
+  EventKind kind = EventKind::kMethodEnter;
+  ThreadIndex thread = -1;
+  SymbolId method = kInvalidSymbol;  ///< enclosing method
+  CallUid call_uid = -1;             ///< enclosing dynamic call instance
+  SymbolId object = kInvalidSymbol;  ///< accessed object/mutex/exception type
+  int64_t value = 0;                 ///< retval (kMethodExit) or datum (access)
+  bool has_value = false;
+  Tick tick = 0;          ///< global virtual time of the event
+  uint64_t seq = 0;       ///< global total-order sequence number (logical clock)
+  ThreadIndex spawned_thread = -1;
+  std::vector<SymbolId> locks_held;  ///< lockset at access time (race detection)
+};
+
+/// A derived interval view: one dynamic execution of a method, assembled from
+/// its kMethodEnter/kMethodExit pair (plus contained throw/access events).
+struct MethodExecution {
+  SymbolId method = kInvalidSymbol;
+  CallUid call_uid = -1;
+  ThreadIndex thread = -1;
+  Tick enter_tick = 0;
+  Tick exit_tick = 0;
+  uint64_t enter_seq = 0;
+  uint64_t exit_seq = 0;
+  bool has_return_value = false;
+  int64_t return_value = 0;
+  bool threw = false;                        ///< raised an exception
+  bool exception_escaped = false;            ///< exception left this frame
+  SymbolId exception_type = kInvalidSymbol;  ///< type of raised exception
+  Tick throw_tick = 0;                       ///< when the exception was raised
+  /// 1-based index among the dynamic executions of the same method within the
+  /// run, ordered by enter time. Used to occurrence-index predicates so that
+  /// loop iterations map to distinct predicates (paper Appendix A).
+  int occurrence = 0;
+  /// Indexes (into ExecutionTrace::events) of access events inside this call,
+  /// excluding those of nested calls.
+  std::vector<size_t> access_events;
+
+  Tick duration() const { return exit_tick - enter_tick; }
+  /// True if the two executions overlap in virtual time.
+  bool Overlaps(const MethodExecution& other) const {
+    return enter_tick < other.exit_tick && other.enter_tick < exit_tick;
+  }
+};
+
+}  // namespace aid
+
+#endif  // AID_TRACE_EVENT_H_

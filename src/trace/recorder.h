@@ -1,0 +1,172 @@
+// TraceRecorder: the instrumentation sink used by the VM while executing a
+// program. It assigns the global sequence numbers (a total-order logical
+// clock; see Section 4's note on clock granularity -- a total order
+// sidesteps the tie problems of wall clocks) and tracks per-thread locksets
+// so that access events carry the information race detection needs.
+
+#ifndef AID_TRACE_RECORDER_H_
+#define AID_TRACE_RECORDER_H_
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace aid {
+
+/// Builds an ExecutionTrace incrementally. One recorder per run.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  /// Records entry into `method` on `thread`; returns the fresh call uid.
+  CallUid MethodEnter(ThreadIndex thread, SymbolId method, Tick tick) {
+    const CallUid uid = next_call_uid_++;
+    Event e;
+    e.kind = EventKind::kMethodEnter;
+    e.thread = thread;
+    e.method = method;
+    e.call_uid = uid;
+    e.tick = tick;
+    Push(std::move(e));
+    return uid;
+  }
+
+  /// Records a normal or unwinding exit of a call.
+  void MethodExit(ThreadIndex thread, SymbolId method, CallUid uid, Tick tick,
+                  bool has_return_value, int64_t return_value) {
+    Event e;
+    e.kind = EventKind::kMethodExit;
+    e.thread = thread;
+    e.method = method;
+    e.call_uid = uid;
+    e.tick = tick;
+    e.has_value = has_return_value;
+    e.value = return_value;
+    Push(std::move(e));
+  }
+
+  /// Records a shared-object access with the thread's current lockset.
+  void Access(ThreadIndex thread, SymbolId method, CallUid uid, SymbolId object,
+              bool is_write, int64_t value, Tick tick) {
+    Event e;
+    e.kind = is_write ? EventKind::kWrite : EventKind::kRead;
+    e.thread = thread;
+    e.method = method;
+    e.call_uid = uid;
+    e.object = object;
+    e.value = value;
+    e.has_value = true;
+    e.tick = tick;
+    e.locks_held = locksets_[thread];
+    Push(std::move(e));
+  }
+
+  void Throw(ThreadIndex thread, SymbolId method, CallUid uid,
+             SymbolId exception_type, Tick tick) {
+    Event e;
+    e.kind = EventKind::kThrow;
+    e.thread = thread;
+    e.method = method;
+    e.call_uid = uid;
+    e.object = exception_type;
+    e.tick = tick;
+    Push(std::move(e));
+  }
+
+  /// Records that the call `uid` contained the in-flight exception.
+  void Catch(ThreadIndex thread, SymbolId method, CallUid uid,
+             SymbolId exception_type, Tick tick) {
+    Event e;
+    e.kind = EventKind::kCatch;
+    e.thread = thread;
+    e.method = method;
+    e.call_uid = uid;
+    e.object = exception_type;
+    e.tick = tick;
+    Push(std::move(e));
+  }
+
+  void LockAcquire(ThreadIndex thread, SymbolId method, CallUid uid,
+                   SymbolId mutex, Tick tick) {
+    locksets_[thread].push_back(mutex);
+    Event e;
+    e.kind = EventKind::kLockAcquire;
+    e.thread = thread;
+    e.method = method;
+    e.call_uid = uid;
+    e.object = mutex;
+    e.tick = tick;
+    Push(std::move(e));
+  }
+
+  void LockRelease(ThreadIndex thread, SymbolId method, CallUid uid,
+                   SymbolId mutex, Tick tick) {
+    auto& set = locksets_[thread];
+    auto it = std::find(set.begin(), set.end(), mutex);
+    if (it != set.end()) set.erase(it);
+    Event e;
+    e.kind = EventKind::kLockRelease;
+    e.thread = thread;
+    e.method = method;
+    e.call_uid = uid;
+    e.object = mutex;
+    e.tick = tick;
+    Push(std::move(e));
+  }
+
+  void Spawn(ThreadIndex thread, SymbolId method, CallUid uid,
+             ThreadIndex spawned, Tick tick) {
+    Event e;
+    e.kind = EventKind::kSpawn;
+    e.thread = thread;
+    e.method = method;
+    e.call_uid = uid;
+    e.spawned_thread = spawned;
+    e.tick = tick;
+    Push(std::move(e));
+  }
+
+  void Join(ThreadIndex thread, SymbolId method, CallUid uid,
+            ThreadIndex joined, Tick tick) {
+    Event e;
+    e.kind = EventKind::kJoin;
+    e.thread = thread;
+    e.method = method;
+    e.call_uid = uid;
+    e.spawned_thread = joined;
+    e.tick = tick;
+    Push(std::move(e));
+  }
+
+  /// Finalizes and returns the trace. The recorder is left empty.
+  ExecutionTrace Finish(bool failed, FailureSignature signature, Tick end_tick,
+                        int thread_count) {
+    trace_.set_failed(failed);
+    trace_.set_failure_signature(signature);
+    trace_.set_end_tick(end_tick);
+    trace_.set_thread_count(thread_count);
+    ExecutionTrace out = std::move(trace_);
+    trace_ = ExecutionTrace();
+    next_seq_ = 0;
+    next_call_uid_ = 0;
+    locksets_.clear();
+    return out;
+  }
+
+ private:
+  void Push(Event e) {
+    e.seq = next_seq_++;
+    trace_.Append(std::move(e));
+  }
+
+  ExecutionTrace trace_;
+  uint64_t next_seq_ = 0;
+  CallUid next_call_uid_ = 0;
+  std::unordered_map<ThreadIndex, std::vector<SymbolId>> locksets_;
+};
+
+}  // namespace aid
+
+#endif  // AID_TRACE_RECORDER_H_

@@ -1,0 +1,89 @@
+#include "trace/serialize.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace aid {
+namespace {
+
+std::string ResolveObject(const TraceSymbols& symbols, const Event& e) {
+  if (e.object == kInvalidSymbol) return "-";
+  if (e.kind == EventKind::kThrow || e.kind == EventKind::kCatch) {
+    return symbols.exceptions ? symbols.exceptions->Name(e.object)
+                              : std::to_string(e.object);
+  }
+  return symbols.objects ? symbols.objects->Name(e.object)
+                         : std::to_string(e.object);
+}
+
+}  // namespace
+
+std::string TraceToTsv(const ExecutionTrace& trace,
+                       const TraceSymbols& symbols) {
+  std::ostringstream out;
+  out << "seq\ttick\tthread\tkind\tmethod\tcall\tobject\tvalue\tspawned\tlocks\n";
+  for (const Event& e : trace.events()) {
+    out << e.seq << '\t' << e.tick << '\t' << e.thread << '\t'
+        << EventKindName(e.kind) << '\t'
+        << (symbols.methods && e.method != kInvalidSymbol
+                ? symbols.methods->Name(e.method)
+                : std::string("-"))
+        << '\t' << e.call_uid << '\t' << ResolveObject(symbols, e) << '\t';
+    if (e.has_value) {
+      out << e.value;
+    } else {
+      out << '-';
+    }
+    out << '\t' << e.spawned_thread << '\t';
+    for (size_t i = 0; i < e.locks_held.size(); ++i) {
+      if (i > 0) out << ',';
+      out << (symbols.objects ? symbols.objects->Name(e.locks_held[i])
+                              : std::to_string(e.locks_held[i]));
+    }
+    if (e.locks_held.empty()) out << '-';
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string TraceSummary(const ExecutionTrace& trace,
+                         const TraceSymbols& symbols) {
+  size_t accesses = 0;
+  size_t throws = 0;
+  size_t calls = 0;
+  for (const Event& e : trace.events()) {
+    switch (e.kind) {
+      case EventKind::kMethodEnter:
+        ++calls;
+        break;
+      case EventKind::kRead:
+      case EventKind::kWrite:
+        ++accesses;
+        break;
+      case EventKind::kThrow:
+        ++throws;
+        break;
+      default:
+        break;
+    }
+  }
+  std::string outcome = trace.failed() ? "FAILED" : "ok";
+  std::string signature = "-";
+  if (trace.failed() && symbols.exceptions != nullptr &&
+      trace.failure_signature().exception_type != kInvalidSymbol) {
+    signature = symbols.exceptions->Name(trace.failure_signature().exception_type);
+    if (symbols.methods != nullptr &&
+        trace.failure_signature().method != kInvalidSymbol) {
+      signature += " @ " + symbols.methods->Name(trace.failure_signature().method);
+    }
+  }
+  return StrFormat(
+      "%s: %zu events, %zu calls, %zu accesses, %zu throws, %d threads, "
+      "%lld ticks, signature=%s",
+      outcome.c_str(), trace.events().size(), calls, accesses, throws,
+      trace.thread_count(), static_cast<long long>(trace.end_tick()),
+      signature.c_str());
+}
+
+}  // namespace aid

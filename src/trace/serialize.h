@@ -1,0 +1,35 @@
+// Plain-text (TSV) serialization of execution traces, for golden tests and
+// offline inspection. One event per line:
+//
+//   seq <TAB> tick <TAB> thread <TAB> kind <TAB> method <TAB> call_uid
+//       <TAB> object <TAB> value <TAB> has_value <TAB> spawned <TAB> locks
+//
+// where names are resolved through the program's SymbolTables.
+
+#ifndef AID_TRACE_SERIALIZE_H_
+#define AID_TRACE_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/symbol_table.h"
+#include "trace/trace.h"
+
+namespace aid {
+
+/// Symbol tables needed to render a trace with human-readable names.
+struct TraceSymbols {
+  const SymbolTable* methods = nullptr;
+  const SymbolTable* objects = nullptr;  ///< shared vars, arrays, mutexes
+  const SymbolTable* exceptions = nullptr;
+};
+
+/// Renders the trace as TSV text (header line + one line per event).
+std::string TraceToTsv(const ExecutionTrace& trace, const TraceSymbols& symbols);
+
+/// Renders a short human-readable summary: outcome, duration, counts.
+std::string TraceSummary(const ExecutionTrace& trace, const TraceSymbols& symbols);
+
+}  // namespace aid
+
+#endif  // AID_TRACE_SERIALIZE_H_

@@ -1,0 +1,123 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace aid {
+
+Result<std::vector<MethodExecution>> ExecutionTrace::BuildMethodExecutions()
+    const {
+  std::vector<MethodExecution> executions;
+  // Per-thread stack of open call frames (indexes into `executions`).
+  std::unordered_map<ThreadIndex, std::vector<size_t>> open_frames;
+
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    switch (e.kind) {
+      case EventKind::kMethodEnter: {
+        MethodExecution exec;
+        exec.method = e.method;
+        exec.call_uid = e.call_uid;
+        exec.thread = e.thread;
+        exec.enter_tick = e.tick;
+        exec.enter_seq = e.seq;
+        executions.push_back(exec);
+        open_frames[e.thread].push_back(executions.size() - 1);
+        break;
+      }
+      case EventKind::kMethodExit: {
+        auto& stack = open_frames[e.thread];
+        if (stack.empty()) {
+          return Status::InvalidArgument(StrFormat(
+              "method exit without enter (thread %d, seq %llu)", e.thread,
+              static_cast<unsigned long long>(e.seq)));
+        }
+        MethodExecution& exec = executions[stack.back()];
+        if (exec.call_uid != e.call_uid) {
+          return Status::InvalidArgument(StrFormat(
+              "mismatched call uid at exit (thread %d: open %lld, exit %lld)",
+              e.thread, static_cast<long long>(exec.call_uid),
+              static_cast<long long>(e.call_uid)));
+        }
+        exec.exit_tick = e.tick;
+        exec.exit_seq = e.seq;
+        exec.has_return_value = e.has_value;
+        exec.return_value = e.value;
+        stack.pop_back();
+        break;
+      }
+      case EventKind::kRead:
+      case EventKind::kWrite: {
+        auto& stack = open_frames[e.thread];
+        if (!stack.empty()) {
+          executions[stack.back()].access_events.push_back(i);
+        }
+        break;
+      }
+      case EventKind::kThrow: {
+        auto& stack = open_frames[e.thread];
+        // The exception is attributed to every open frame on this thread: it
+        // was raised inside the innermost and escapes through the rest unless
+        // a kCatch event intervenes (handled below by clearing the flag).
+        for (size_t frame : stack) {
+          MethodExecution& exec = executions[frame];
+          if (!exec.threw) exec.throw_tick = e.tick;
+          exec.threw = true;
+          exec.exception_escaped = true;
+          exec.exception_type = e.object;
+        }
+        break;
+      }
+      case EventKind::kCatch: {
+        // A catch at frame F stops the escape at F: frames *outer* than the
+        // catching frame never see the exception. The recorder emits kCatch
+        // with the catching call's uid; mark outer frames clean again.
+        auto& stack = open_frames[e.thread];
+        bool inside_catcher = false;
+        for (size_t frame : stack) {
+          MethodExecution& exec = executions[frame];
+          if (!inside_catcher) {
+            exec.threw = false;
+            exec.exception_escaped = false;
+            exec.exception_type = kInvalidSymbol;
+          }
+          if (exec.call_uid == e.call_uid) {
+            // The catching frame itself observed the exception but contains
+            // it; record that it threw internally without escaping.
+            exec.threw = true;
+            exec.exception_escaped = false;
+            exec.exception_type = e.object;
+            inside_catcher = true;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Close any frames left open by an uncaught exception that aborted the
+  // thread: give them the trace end time as exit time.
+  for (auto& [thread, stack] : open_frames) {
+    (void)thread;
+    for (size_t frame : stack) {
+      executions[frame].exit_tick = end_tick_;
+      executions[frame].exit_seq =
+          events_.empty() ? 0 : events_.back().seq + 1;
+    }
+  }
+
+  // Occurrence indexes: k-th dynamic execution of the same method, in enter
+  // order. `executions` is already in enter order (push on kMethodEnter).
+  std::unordered_map<SymbolId, int> counts;
+  for (auto& exec : executions) {
+    exec.occurrence = ++counts[exec.method];
+  }
+  return executions;
+}
+
+}  // namespace aid

@@ -1,0 +1,63 @@
+// ExecutionTrace: the complete instrumentation record of one program run.
+
+#ifndef AID_TRACE_TRACE_H_
+#define AID_TRACE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/event.h"
+
+namespace aid {
+
+/// A failure signature groups failures caused by the same root cause, as the
+/// paper's Assumption 1 discussion prescribes (metadata such as the failure
+/// location and exception type collected by failure trackers).
+struct FailureSignature {
+  SymbolId exception_type = kInvalidSymbol;
+  SymbolId method = kInvalidSymbol;  ///< method from which it escaped last
+  bool operator==(const FailureSignature&) const = default;
+};
+
+/// The full event log of one execution plus its success/failure label.
+class ExecutionTrace {
+ public:
+  ExecutionTrace() = default;
+
+  /// Appends an event (recorder use only; events must be seq-ordered).
+  void Append(Event event) { events_.push_back(std::move(event)); }
+
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Whether the run ended with an exception escaping a thread's root frame.
+  bool failed() const { return failed_; }
+  void set_failed(bool failed) { failed_ = failed; }
+
+  const FailureSignature& failure_signature() const { return signature_; }
+  void set_failure_signature(FailureSignature sig) { signature_ = sig; }
+
+  /// Virtual time at which the run finished.
+  Tick end_tick() const { return end_tick_; }
+  void set_end_tick(Tick t) { end_tick_ = t; }
+
+  /// Number of threads that participated in the run.
+  int thread_count() const { return thread_count_; }
+  void set_thread_count(int n) { thread_count_ = n; }
+
+  /// Assembles the per-call interval view (one MethodExecution per dynamic
+  /// call), ordered by enter time, with occurrence indexes filled in.
+  /// Returns InvalidArgument on malformed traces (unbalanced enter/exit).
+  Result<std::vector<MethodExecution>> BuildMethodExecutions() const;
+
+ private:
+  std::vector<Event> events_;
+  bool failed_ = false;
+  FailureSignature signature_;
+  Tick end_tick_ = 0;
+  int thread_count_ = 0;
+};
+
+}  // namespace aid
+
+#endif  // AID_TRACE_TRACE_H_

@@ -1,0 +1,172 @@
+// Integration tests over the six real-world case studies (paper Section
+// 7.1, Figure 7): the full pipeline must identify the documented root cause
+// and reproduce the paper's comparison shape (SD reports far more
+// predicates than the causal path; AID uses fewer interventions than
+// TAGT's worst case).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "casestudies/case_study.h"
+#include "casestudies/pipeline.h"
+#include "common/math_util.h"
+
+namespace aid {
+namespace {
+
+class CaseStudyTest : public ::testing::TestWithParam<int> {
+ protected:
+  static PipelineConfig Config() {
+    PipelineConfig config;
+    config.aid.trials_per_intervention = 3;
+    config.tagt.trials_per_intervention = 3;
+    return config;
+  }
+};
+
+TEST_P(CaseStudyTest, PipelineFindsTheDocumentedRootCause) {
+  auto studies = AllCaseStudies();
+  ASSERT_TRUE(studies.ok());
+  const CaseStudy& study = (*studies)[static_cast<size_t>(GetParam())];
+
+  auto outcome = RunPipeline(study, Config());
+  ASSERT_TRUE(outcome.ok()) << study.name << ": " << outcome.status();
+
+  // The discovered root cause matches the developers' explanation.
+  EXPECT_NE(outcome->root_cause.find(study.expected_root_substring),
+            std::string::npos)
+      << study.name << ": got root '" << outcome->root_cause << "'";
+
+  // The causal path is non-trivial and ends at the failure predicate.
+  EXPECT_GE(outcome->aid_path_len(), 1) << study.name;
+  ASSERT_FALSE(outcome->causal_path.empty());
+  EXPECT_EQ(outcome->causal_path.back(), "FAILURE");
+
+  // SD reports more predicates than the causal path contains -- the
+  // imprecision AID resolves (Figure 7, columns 3 vs 4).
+  EXPECT_GT(outcome->fully_discriminative, outcome->aid_path_len())
+      << study.name;
+
+  // AID stays below TAGT's worst case D * ceil(log2 N) on the same DAG.
+  const int worst_tagt =
+      static_cast<int>(outcome->aid_path_len()) *
+      CeilLog2(static_cast<uint64_t>(std::max(outcome->acdag_nodes, 2)));
+  EXPECT_LE(outcome->aid.rounds, std::max(worst_tagt, outcome->tagt.rounds))
+      << study.name;
+
+  // Both engines find the same root cause.
+  EXPECT_EQ(outcome->aid.root_cause(), outcome->tagt.root_cause())
+      << study.name;
+
+  // Causal and spurious sets are disjoint and cover the AC-DAG candidates.
+  for (PredicateId causal : outcome->aid.causal_path) {
+    for (PredicateId spurious : outcome->aid.spurious) {
+      EXPECT_NE(causal, spurious) << study.name;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(outcome->aid.causal_path.size() - 1 +
+                             outcome->aid.spurious.size()),
+            outcome->acdag_nodes - 1)
+      << study.name;
+}
+
+std::string CaseStudyName(const ::testing::TestParamInfo<int>& info) {
+  static const char* kNames[] = {"Npgsql",  "Kafka",        "CosmosDB",
+                                 "Network", "BuildAndTest", "HealthTelemetry"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, CaseStudyTest, ::testing::Range(0, 6),
+                         CaseStudyName);
+
+TEST(CaseStudyRegistryTest, AllSixAreRegisteredWithPaperNumbers) {
+  auto studies = AllCaseStudies();
+  ASSERT_TRUE(studies.ok());
+  ASSERT_EQ(studies->size(), 6u);
+  for (const CaseStudy& study : *studies) {
+    EXPECT_FALSE(study.name.empty());
+    EXPECT_FALSE(study.origin.empty());
+    EXPECT_FALSE(study.root_cause.empty());
+    EXPECT_GT(study.paper.sd_predicates, 0);
+    EXPECT_GT(study.paper.causal_path, 0);
+    EXPECT_GT(study.paper.aid_interventions, 0);
+    // The paper's headline comparison: AID beats TAGT on every case.
+    EXPECT_LT(study.paper.aid_interventions, study.paper.tagt_interventions);
+  }
+}
+
+TEST(CaseStudySpecificTest, NpgsqlExplanationMatchesIssue2485) {
+  auto study = MakeNpgsqlRace();
+  ASSERT_TRUE(study.ok());
+  PipelineConfig config;
+  config.aid.trials_per_intervention = 3;
+  config.run_tagt = false;
+  auto outcome = RunPipeline(*study, config);
+  ASSERT_TRUE(outcome.ok());
+  // Path: race on the index variable -> premature read -> exception.
+  ASSERT_GE(outcome->causal_path.size(), 3u);
+  EXPECT_NE(outcome->causal_path[0].find("_nextSlot"), std::string::npos);
+  bool mentions_exception = false;
+  for (const auto& step : outcome->causal_path) {
+    if (step.find("throws an exception") != std::string::npos) {
+      mentions_exception = true;
+    }
+  }
+  EXPECT_TRUE(mentions_exception);
+}
+
+TEST(CaseStudySpecificTest, KafkaPathLinksSlownessToDisposedCommit) {
+  auto study = MakeKafkaUseAfterFree();
+  ASSERT_TRUE(study.ok());
+  PipelineConfig config;
+  config.aid.trials_per_intervention = 3;
+  config.run_tagt = false;
+  auto outcome = RunPipeline(*study, config);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_NE(outcome->root_cause.find("DoWork runs too slow"),
+            std::string::npos);
+  bool commit_fails = false;
+  for (const auto& step : outcome->causal_path) {
+    if (step.find("CommitOffsets throws") != std::string::npos) {
+      commit_fails = true;
+    }
+  }
+  EXPECT_TRUE(commit_fails);
+}
+
+TEST(CaseStudySpecificTest, NetworkPathIsJustTheCollision) {
+  auto study = MakeNetworkCollision();
+  ASSERT_TRUE(study.ok());
+  PipelineConfig config;
+  config.aid.trials_per_intervention = 3;
+  config.run_tagt = false;
+  auto outcome = RunPipeline(*study, config);
+  ASSERT_TRUE(outcome.ok());
+  // The paper reports a single-predicate causal path for Network.
+  EXPECT_EQ(outcome->aid_path_len(), 1);
+  EXPECT_NE(outcome->root_cause.find("same value"), std::string::npos);
+}
+
+TEST(CaseStudySpecificTest, HealthTelemetryHasTheLongestPath) {
+  auto studies = AllCaseStudies();
+  ASSERT_TRUE(studies.ok());
+  PipelineConfig config;
+  config.aid.trials_per_intervention = 3;
+  config.run_tagt = false;
+  int health_len = 0;
+  int max_other = 0;
+  for (const CaseStudy& study : *studies) {
+    auto outcome = RunPipeline(study, config);
+    ASSERT_TRUE(outcome.ok()) << study.name;
+    if (study.name == "HealthTelemetry") {
+      health_len = outcome->aid_path_len();
+    } else {
+      max_other = std::max(max_other, outcome->aid_path_len());
+    }
+  }
+  EXPECT_GT(health_len, max_other);
+}
+
+}  // namespace
+}  // namespace aid

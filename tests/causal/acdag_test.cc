@@ -1,0 +1,269 @@
+#include "causal/acdag.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace aid {
+namespace {
+
+class AcDagTest : public ::testing::Test {
+ protected:
+  PredicateId Pred(int index) {
+    return catalog_.Intern(
+        Predicate{.kind = PredKind::kSynthetic, .occurrence = index});
+  }
+  PredicateId Failure() {
+    return catalog_.Intern(Predicate{.kind = PredKind::kFailure});
+  }
+
+  /// Failed log observing each (id, tick) pair.
+  PredicateLog FailedLog(std::vector<std::pair<PredicateId, Tick>> obs) {
+    PredicateLog log;
+    log.failed = true;
+    for (auto [id, tick] : obs) log.observed[id] = {tick, tick};
+    return log;
+  }
+
+  PredicateCatalog catalog_;
+};
+
+TEST_F(AcDagTest, BuildFromConsistentTimesYieldsChain) {
+  const PredicateId a = Pred(1);
+  const PredicateId b = Pred(2);
+  const PredicateId f = Failure();
+  std::vector<PredicateLog> logs{FailedLog({{a, 1}, {b, 5}, {f, 9}}),
+                                 FailedLog({{a, 2}, {b, 6}, {f, 9}})};
+  auto dag = AcDag::Build(&catalog_, logs, {a, b, f}, f);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->size(), 3u);
+  EXPECT_TRUE(dag->Reaches(a, b));
+  EXPECT_TRUE(dag->Reaches(a, f));
+  EXPECT_TRUE(dag->Reaches(b, f));
+  EXPECT_FALSE(dag->Reaches(b, a));
+  EXPECT_EQ(dag->TopoOrder(), (std::vector<PredicateId>{a, b, f}));
+}
+
+TEST_F(AcDagTest, InconsistentOrderDropsBothEdges) {
+  const PredicateId a = Pred(1);
+  const PredicateId b = Pred(2);
+  const PredicateId f = Failure();
+  // a before b in one log, after in the other.
+  std::vector<PredicateLog> logs{FailedLog({{a, 1}, {b, 5}, {f, 9}}),
+                                 FailedLog({{a, 6}, {b, 2}, {f, 9}})};
+  auto dag = AcDag::Build(&catalog_, logs, {a, b, f}, f);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_FALSE(dag->Reaches(a, b));
+  EXPECT_FALSE(dag->Reaches(b, a));
+  // Both still precede the failure.
+  EXPECT_TRUE(dag->Reaches(a, f));
+  EXPECT_TRUE(dag->Reaches(b, f));
+  // They form a junction: one topo level with two members.
+  const auto levels = dag->TopoLevels();
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0].size(), 2u);
+}
+
+TEST_F(AcDagTest, TiedTimesProduceNoEdge) {
+  const PredicateId a = Pred(1);
+  const PredicateId b = Pred(2);
+  const PredicateId f = Failure();
+  std::vector<PredicateLog> logs{FailedLog({{a, 5}, {b, 5}, {f, 9}})};
+  auto dag = AcDag::Build(&catalog_, logs, {a, b, f}, f);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_FALSE(dag->Reaches(a, b));
+  EXPECT_FALSE(dag->Reaches(b, a));
+}
+
+TEST_F(AcDagTest, NodesNotReachingFailureAreDropped) {
+  const PredicateId a = Pred(1);
+  const PredicateId late = Pred(2);  // occurs after F's timestamp
+  const PredicateId f = Failure();
+  std::vector<PredicateLog> logs{FailedLog({{a, 1}, {late, 20}, {f, 9}})};
+  auto dag = AcDag::Build(&catalog_, logs, {a, late, f}, f);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->size(), 2u);
+  EXPECT_TRUE(dag->Contains(a));
+  EXPECT_FALSE(dag->Contains(late));
+}
+
+TEST_F(AcDagTest, SuccessfulLogsAreIgnored) {
+  const PredicateId a = Pred(1);
+  const PredicateId f = Failure();
+  PredicateLog success;
+  success.failed = false;
+  success.observed[a] = {100, 100};  // would invert the order if counted
+  std::vector<PredicateLog> logs{FailedLog({{a, 1}, {f, 9}}), success};
+  auto dag = AcDag::Build(&catalog_, logs, {a, f}, f);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_TRUE(dag->Reaches(a, f));
+}
+
+TEST_F(AcDagTest, FailureMustBeAmongCandidates) {
+  const PredicateId a = Pred(1);
+  const PredicateId f = Failure();
+  std::vector<PredicateLog> logs{FailedLog({{a, 1}, {f, 9}})};
+  EXPECT_FALSE(AcDag::Build(&catalog_, logs, {a}, f).ok());
+}
+
+TEST_F(AcDagTest, PrecedencePolicySelectsTimestamp) {
+  // A too-slow predicate (interval [0, 30]) vs a point predicate at 10:
+  // with the end policy the slow predicate comes *after* the point one.
+  PredicateCatalog catalog;
+  const PredicateId slow = catalog.Intern(
+      Predicate{.kind = PredKind::kTooSlow, .m1 = 1});
+  const PredicateId point = catalog.Intern(
+      Predicate{.kind = PredKind::kMethodFails, .m1 = 2});
+  const PredicateId f = catalog.Intern(Predicate{.kind = PredKind::kFailure});
+  PredicateLog log;
+  log.failed = true;
+  log.observed[slow] = {0, 30};
+  log.observed[point] = {10, 10};
+  log.observed[f] = {40, 40};
+  std::vector<PredicateLog> logs{log};
+
+  auto dag = AcDag::Build(&catalog, logs, {slow, point, f}, f);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_TRUE(dag->Reaches(point, slow));
+  EXPECT_FALSE(dag->Reaches(slow, point));
+
+  // With a start policy for kTooSlow the direction flips.
+  PrecedenceConfig config = PrecedenceConfig::Default();
+  config.Set(PredKind::kTooSlow, TimestampPolicy::kStart);
+  auto dag2 = AcDag::Build(&catalog, logs, {slow, point, f}, f, config);
+  ASSERT_TRUE(dag2.ok());
+  EXPECT_TRUE(dag2->Reaches(slow, point));
+}
+
+TEST_F(AcDagTest, FromEdgesComputesClosure) {
+  const PredicateId a = Pred(1);
+  const PredicateId b = Pred(2);
+  const PredicateId c = Pred(3);
+  const PredicateId f = Failure();
+  auto dag = AcDag::FromEdges(&catalog_, {a, b, c, f},
+                              {{a, b}, {b, c}, {c, f}}, f);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_TRUE(dag->Reaches(a, c));
+  EXPECT_TRUE(dag->Reaches(a, f));
+  // The reduction keeps only direct edges.
+  EXPECT_EQ(dag->Children(a), (std::vector<PredicateId>{b}));
+  EXPECT_EQ(dag->Parents(c), (std::vector<PredicateId>{b}));
+}
+
+TEST_F(AcDagTest, FromEdgesRejectsCycles) {
+  const PredicateId a = Pred(1);
+  const PredicateId b = Pred(2);
+  const PredicateId f = Failure();
+  EXPECT_FALSE(
+      AcDag::FromEdges(&catalog_, {a, b, f}, {{a, b}, {b, a}, {a, f}}, f).ok());
+}
+
+TEST_F(AcDagTest, FromEdgesRejectsUnknownEndpointsAndSelfLoops) {
+  const PredicateId a = Pred(1);
+  const PredicateId f = Failure();
+  EXPECT_FALSE(AcDag::FromEdges(&catalog_, {a, f}, {{a, 999}}, f).ok());
+  EXPECT_FALSE(AcDag::FromEdges(&catalog_, {a, f}, {{a, a}}, f).ok());
+}
+
+TEST_F(AcDagTest, RestrictKeepsInducedClosure) {
+  const PredicateId a = Pred(1);
+  const PredicateId b = Pred(2);
+  const PredicateId c = Pred(3);
+  const PredicateId f = Failure();
+  auto dag = AcDag::FromEdges(&catalog_, {a, b, c, f},
+                              {{a, b}, {b, c}, {c, f}}, f);
+  ASSERT_TRUE(dag.ok());
+  AcDag sub = dag->Restrict({a, c});
+  EXPECT_EQ(sub.size(), 3u);  // failure retained automatically
+  EXPECT_TRUE(sub.Reaches(a, c));  // via the removed b, preserved in closure
+  EXPECT_TRUE(sub.Contains(f));
+}
+
+TEST_F(AcDagTest, DescendantsAndLevels) {
+  // Diamond: a -> {b, c} -> d -> f.
+  const PredicateId a = Pred(1);
+  const PredicateId b = Pred(2);
+  const PredicateId c = Pred(3);
+  const PredicateId d = Pred(4);
+  const PredicateId f = Failure();
+  auto dag = AcDag::FromEdges(&catalog_, {a, b, c, d, f},
+                              {{a, b}, {a, c}, {b, d}, {c, d}, {d, f}}, f);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->Descendants(a).size(), 4u);
+  EXPECT_EQ(dag->Descendants(d).size(), 1u);
+  const auto levels = dag->TopoLevels();
+  ASSERT_EQ(levels.size(), 4u);
+  EXPECT_EQ(levels[0], (std::vector<PredicateId>{a}));
+  EXPECT_EQ(levels[1].size(), 2u);  // the junction {b, c}
+  EXPECT_EQ(levels[2], (std::vector<PredicateId>{d}));
+}
+
+TEST_F(AcDagTest, ToDotMentionsEveryNode) {
+  const PredicateId a = Pred(1);
+  const PredicateId f = Failure();
+  auto dag = AcDag::FromEdges(&catalog_, {a, f}, {{a, f}}, f);
+  ASSERT_TRUE(dag.ok());
+  const std::string dot = dag->ToDot(nullptr, nullptr);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("doubleoctagon"), std::string::npos);  // failure node
+}
+
+// Property: the Build() relation is transitively closed and acyclic for
+// random fully-discriminative logs.
+class AcDagPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AcDagPropertyTest, ClosureIsTransitiveAndAcyclic) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  PredicateCatalog catalog;
+  std::vector<PredicateId> preds;
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    preds.push_back(catalog.Intern(
+        Predicate{.kind = PredKind::kSynthetic, .occurrence = i}));
+  }
+  const PredicateId f = catalog.Intern(Predicate{.kind = PredKind::kFailure});
+
+  // Several failed logs with random times; F always last.
+  std::vector<PredicateLog> logs;
+  for (int r = 0; r < 4; ++r) {
+    PredicateLog log;
+    log.failed = true;
+    for (PredicateId id : preds) {
+      const Tick t = static_cast<Tick>(rng.Uniform(50));
+      log.observed[id] = {t, t};
+    }
+    log.observed[f] = {100, 100};
+    logs.push_back(std::move(log));
+  }
+  std::vector<PredicateId> candidates = preds;
+  candidates.push_back(f);
+  auto dag = AcDag::Build(&catalog, logs, candidates, f);
+  ASSERT_TRUE(dag.ok());
+
+  // Transitivity of Reaches over the surviving nodes.
+  for (PredicateId x : dag->nodes()) {
+    EXPECT_FALSE(dag->Reaches(x, x));
+    for (PredicateId y : dag->nodes()) {
+      for (PredicateId z : dag->nodes()) {
+        if (dag->Reaches(x, y) && dag->Reaches(y, z)) {
+          EXPECT_TRUE(dag->Reaches(x, z));
+        }
+      }
+      if (x != y && dag->Reaches(x, y)) {
+        EXPECT_FALSE(dag->Reaches(y, x));  // antisymmetry
+      }
+    }
+  }
+  // TopoOrder is consistent with Reaches.
+  const auto order = dag->TopoOrder();
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (size_t j = i + 1; j < order.size(); ++j) {
+      EXPECT_FALSE(dag->Reaches(order[j], order[i]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcDagPropertyTest, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace aid

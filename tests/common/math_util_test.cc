@@ -1,0 +1,50 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace aid {
+namespace {
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 2), 5);
+  EXPECT_EQ(CeilDiv(11, 2), 6);
+  EXPECT_EQ(CeilDiv(1, 7), 1);
+  EXPECT_EQ(CeilDiv(0, 7), 0);
+}
+
+TEST(MathUtilTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(MathUtilTest, Log2BinomialMatchesSmallCases) {
+  // C(5, 2) = 10.
+  EXPECT_NEAR(Log2Binomial(5, 2), std::log2(10.0), 1e-9);
+  // C(10, 5) = 252.
+  EXPECT_NEAR(Log2Binomial(10, 5), std::log2(252.0), 1e-9);
+  EXPECT_DOUBLE_EQ(Log2Binomial(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Log2Binomial(7, 7), 0.0);
+}
+
+TEST(MathUtilTest, Log2BinomialLargeDoesNotOverflow) {
+  const double v = Log2Binomial(300, 30);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 300.0);  // at most N bits
+}
+
+TEST(MathUtilTest, GroupTestingCrossover) {
+  // D < N / log2(N): worthwhile.
+  EXPECT_TRUE(GroupTestingWorthwhile(64, 5));   // 64/6 ~ 10.7
+  EXPECT_FALSE(GroupTestingWorthwhile(64, 11));
+  EXPECT_FALSE(GroupTestingWorthwhile(2, 1));
+}
+
+}  // namespace
+}  // namespace aid

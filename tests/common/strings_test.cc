@@ -1,0 +1,45 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace aid {
+namespace {
+
+TEST(StringsTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("x=%d", 5), "x=5");
+  EXPECT_EQ(StrFormat("%s-%s", "a", "b"), "a-b");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, StrFormatLongOutput) {
+  std::string big(500, 'x');
+  EXPECT_EQ(StrFormat("%s!", big.c_str()).size(), 501u);
+}
+
+TEST(StringsTest, JoinVariants) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(Split(",a,", ',').size(), 3u);
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  const auto parts = Split("x\ty", '\t');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "x");
+  EXPECT_EQ(parts[1], "y");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("\t\na b\n"), "a b");
+}
+
+}  // namespace
+}  // namespace aid

@@ -1,0 +1,33 @@
+#include "common/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+namespace aid {
+namespace {
+
+TEST(SymbolTableTest, InternAssignsDenseIds) {
+  SymbolTable t;
+  EXPECT_EQ(t.Intern("a"), 0);
+  EXPECT_EQ(t.Intern("b"), 1);
+  EXPECT_EQ(t.Intern("a"), 0);  // idempotent
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(SymbolTableTest, FindWithoutIntern) {
+  SymbolTable t;
+  t.Intern("x");
+  EXPECT_EQ(t.Find("x"), 0);
+  EXPECT_EQ(t.Find("y"), kInvalidSymbol);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(SymbolTableTest, NameRoundTrip) {
+  SymbolTable t;
+  const SymbolId id = t.Intern("method_name");
+  EXPECT_EQ(t.Name(id), "method_name");
+  EXPECT_EQ(t.Name(kInvalidSymbol), "<invalid>");
+  EXPECT_EQ(t.Name(999), "<invalid>");
+}
+
+}  // namespace
+}  // namespace aid

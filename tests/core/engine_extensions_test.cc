@@ -1,0 +1,202 @@
+// Tests of the engine extensions: linear-scan mode (Section 2's crossover
+// regime), assumption-violation detection (Section 5.1), robustness to
+// flaky targets (footnote 1), and report rendering.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/report.h"
+#include "synth/flaky_target.h"
+#include "synth/generator.h"
+#include "synth/model.h"
+
+namespace aid {
+namespace {
+
+GroundTruthModel MakeChainModel(int n, std::vector<int> causal_positions) {
+  GroundTruthModel model;
+  model.AddFailure();
+  std::vector<PredicateId> chain;
+  for (int i = 0; i < n; ++i) chain.push_back(model.AddPredicate(i));
+  for (int i = 0; i + 1 < n; ++i) {
+    model.AddTemporalEdge(chain[static_cast<size_t>(i)],
+                          chain[static_cast<size_t>(i) + 1]);
+  }
+  std::vector<PredicateId> causal;
+  for (int pos : causal_positions) {
+    causal.push_back(chain[static_cast<size_t>(pos)]);
+  }
+  model.SetCausalChain(causal);
+  return model;
+}
+
+TEST(LinearScanTest, InterveneOneAtATime) {
+  GroundTruthModel model = MakeChainModel(6, {2});
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  ModelTarget target(&model);
+  EngineOptions options = EngineOptions::Linear();
+  options.predicate_pruning = false;
+  CausalPathDiscovery discovery(&*dag, &target, options);
+  auto report = discovery.Run();
+  ASSERT_TRUE(report.ok());
+  // Every round touches exactly one predicate; all six get visited.
+  EXPECT_EQ(report->rounds, 6);
+  for (const auto& round : report->history) {
+    EXPECT_EQ(round.intervened.size(), 1u);
+  }
+  EXPECT_EQ(report->root_cause(), model.causal_chain().front());
+}
+
+TEST(LinearScanTest, PruningStillShortensTheScan) {
+  // With predicate pruning on, intervening on the single cause stops the
+  // failure and prunes every still-occurring candidate downstream.
+  GroundTruthModel model = MakeChainModel(8, {0});
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  ModelTarget target(&model);
+  CausalPathDiscovery discovery(&*dag, &target, EngineOptions::Linear());
+  auto report = discovery.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->rounds, 8);
+  EXPECT_EQ(report->root_cause(), model.causal_chain().front());
+}
+
+TEST(AssumptionViolationTest, ConjunctiveCausesOnDisjointBranchesAreFlagged) {
+  // a and b sit on parallel branches and the failure needs both: each is
+  // individually counterfactual. Pruning is disabled here because both
+  // branch pruning and Definition 2 *embody* the single-root-cause
+  // assumption (see the companion test below); plain group intervention
+  // confirms both causes and the unordered pair trips the chain check.
+  GroundTruthModel model;
+  model.AddFailure();
+  const PredicateId root = model.AddPredicate(0);
+  const PredicateId a = model.AddPredicate(1);
+  const PredicateId b = model.AddPredicate(2);
+  model.AddTemporalEdge(root, a);
+  model.AddTemporalEdge(root, b);
+  model.SetTrueParents(a, {});
+  model.SetTrueParents(b, {});
+  // Wire F = a AND b directly (bypassing SetCausalChain).
+  model.SetTrueParents(model.failure(), {a, b});
+
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  ModelTarget target(&model);
+  CausalPathDiscovery discovery(&*dag, &target, EngineOptions::AidNoPruning());
+  auto report = discovery.Run();
+  ASSERT_TRUE(report.ok());
+  // Both causes found (plus F)...
+  EXPECT_EQ(report->causal_path.size(), 3u);
+  // ...and the chain violation is reported.
+  EXPECT_FALSE(report->path_is_chain);
+}
+
+TEST(AssumptionViolationTest, PruningEmbodiesTheSingleRootCauseAssumption) {
+  // With full AID, intervening on one conjunctive cause stops the failure
+  // while the other still occurs; Definition 2 then (correctly, under the
+  // paper's Assumption 1) discards the other as spurious. The result is a
+  // well-formed chain containing one of the two causes -- the documented
+  // behavior when the assumption is violated.
+  GroundTruthModel model;
+  model.AddFailure();
+  const PredicateId a = model.AddPredicate(0);
+  const PredicateId b = model.AddPredicate(1);
+  model.SetTrueParents(model.failure(), {a, b});
+
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  ModelTarget target(&model);
+  CausalPathDiscovery discovery(&*dag, &target, EngineOptions::Aid());
+  auto report = discovery.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->causal_path.size(), 2u);  // one cause + F
+  EXPECT_TRUE(report->path_is_chain);
+  const PredicateId found = report->root_cause();
+  EXPECT_TRUE(found == a || found == b);
+}
+
+TEST(AssumptionViolationTest, ProperChainsAreNotFlagged) {
+  GroundTruthModel model = MakeChainModel(5, {1, 3});
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  ModelTarget target(&model);
+  CausalPathDiscovery discovery(&*dag, &target, EngineOptions::Aid());
+  auto report = discovery.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->path_is_chain);
+}
+
+TEST(FlakyTargetTest, EnoughTrialsRecoverTheTruth) {
+  GroundTruthModel model = MakeChainModel(7, {2, 4});
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  // The failure manifests on 60% of executions; 8 trials make a silent
+  // miss (0.4^8 ~ 0.07%) negligible for this seed.
+  FlakyModelTarget target(&model, /*manifest_probability=*/0.6, /*seed=*/11);
+  EngineOptions options = EngineOptions::Aid();
+  options.trials_per_intervention = 8;
+  CausalPathDiscovery discovery(&*dag, &target, options);
+  auto report = discovery.Run();
+  ASSERT_TRUE(report.ok());
+  std::vector<PredicateId> expected = model.causal_chain();
+  expected.push_back(model.failure());
+  EXPECT_EQ(report->causal_path, expected);
+  EXPECT_EQ(report->executions, report->rounds * 8);
+}
+
+TEST(FlakyTargetTest, SingleTrialCanBeFooledButTerminates) {
+  GroundTruthModel model = MakeChainModel(7, {2, 4});
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  FlakyModelTarget target(&model, /*manifest_probability=*/0.5, /*seed=*/3);
+  EngineOptions options = EngineOptions::Aid();
+  options.trials_per_intervention = 1;
+  CausalPathDiscovery discovery(&*dag, &target, options);
+  auto report = discovery.Run();
+  // No correctness guarantee with one trial on a flaky target, but the
+  // engine must terminate cleanly with a well-formed report.
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->causal_path.empty());
+  EXPECT_EQ(report->causal_path.back(), model.failure());
+}
+
+TEST(ReportTest, RendersRootCausePathAndTranscript) {
+  GroundTruthModel model = MakeChainModel(4, {1});
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  ModelTarget target(&model);
+  CausalPathDiscovery discovery(&*dag, &target, EngineOptions::Aid());
+  auto report = discovery.Run();
+  ASSERT_TRUE(report.ok());
+
+  ReportRenderOptions options;
+  options.include_spurious = true;
+  const std::string text = RenderReport(*report, *dag, options);
+  EXPECT_NE(text.find("root cause:"), std::string::npos);
+  EXPECT_NE(text.find("causal explanation path:"), std::string::npos);
+  EXPECT_NE(text.find("intervention transcript:"), std::string::npos);
+  EXPECT_NE(text.find("proven spurious:"), std::string::npos);
+  EXPECT_NE(text.find("FAILURE"), std::string::npos);
+  EXPECT_EQ(text.find("WARNING"), std::string::npos);
+}
+
+TEST(ReportTest, WarnsOnAssumptionViolation) {
+  GroundTruthModel model;
+  model.AddFailure();
+  const PredicateId a = model.AddPredicate(0);
+  const PredicateId b = model.AddPredicate(1);
+  model.SetTrueParents(model.failure(), {a, b});
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  ModelTarget target(&model);
+  CausalPathDiscovery discovery(&*dag, &target, EngineOptions::AidNoPruning());
+  auto report = discovery.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->path_is_chain);
+  const std::string text = RenderReport(*report, *dag);
+  EXPECT_NE(text.find("WARNING"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aid

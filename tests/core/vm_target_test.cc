@@ -1,0 +1,165 @@
+#include "core/vm_target.h"
+
+#include <gtest/gtest.h>
+
+#include "sd/statistical_debugger.h"
+
+namespace aid {
+namespace {
+
+/// A flaky program: reader validates a flag the writer publishes late on
+/// half the runs.
+Result<Program> FlakyProgram() {
+  ProgramBuilder b;
+  b.Global("ready", 0);
+  {
+    auto m = b.Method("Publisher");
+    m.Random(0, 2);
+    const size_t slow = m.JumpIfNonZeroPlaceholder(0);
+    m.Delay(5);
+    const size_t pub = m.JumpPlaceholder();
+    m.PatchTarget(slow);
+    m.Delay(80);
+    m.PatchTarget(pub);
+    m.LoadConst(0, 1).StoreGlobal("ready", 0).Return();
+  }
+  {
+    auto m = b.Method("Check");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "ready").ThrowIfZero(0, "NotReady").Return(0);
+  }
+  {
+    auto m = b.Method("Consumer");
+    m.Delay(40).CallVoid("Check").Return();
+  }
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "Publisher").Spawn(1, "Consumer").Join(0).Join(1).Return();
+  }
+  return b.Build("Main");
+}
+
+TEST(VmTargetTest, ObservationCollectsBothOutcomes) {
+  auto program = FlakyProgram();
+  ASSERT_TRUE(program.ok());
+  VmTargetOptions options;
+  options.min_successes = 20;
+  options.min_failures = 20;
+  auto target = VmTarget::Create(&*program, options);
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ((*target)->observed_failures(), 20);
+  EXPECT_EQ((*target)->observation_logs().size(), 40u);
+  EXPECT_GE((*target)->executions(), 40);
+}
+
+TEST(VmTargetTest, FailsWhenProgramNeverFails) {
+  ProgramBuilder b;
+  b.Method("Main").Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  VmTargetOptions options;
+  options.max_seed_scan = 50;
+  EXPECT_FALSE(VmTarget::Create(&*program, options).ok());
+}
+
+TEST(VmTargetTest, AcDagFiltersUnsafeAndUnreachable) {
+  auto program = FlakyProgram();
+  ASSERT_TRUE(program.ok());
+  VmTargetOptions options;
+  options.min_successes = 25;
+  options.min_failures = 25;
+  auto target = VmTarget::Create(&*program, options);
+  ASSERT_TRUE(target.ok());
+
+  auto sd = StatisticalDebugger::Analyze((*target)->extractor().catalog(),
+                                         (*target)->extractor().logs());
+  ASSERT_TRUE(sd.ok());
+  auto dag = (*target)->BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  // The DAG is a subset of the fully-discriminative predicates.
+  EXPECT_LE(dag->size(), sd->FullyDiscriminative().size());
+  EXPECT_GE(dag->size(), 2u);  // at least a root cause and F
+  EXPECT_TRUE(dag->Contains((*target)->extractor().failure_predicate()));
+}
+
+TEST(VmTargetTest, RunIntervenedEmptySetStillFails) {
+  auto program = FlakyProgram();
+  ASSERT_TRUE(program.ok());
+  VmTargetOptions options;
+  options.min_successes = 15;
+  options.min_failures = 15;
+  auto target = VmTarget::Create(&*program, options);
+  ASSERT_TRUE(target.ok());
+
+  // Re-running failing seeds without interventions must reproduce the
+  // failure (the basis of counterfactual reasoning).
+  auto result = (*target)->RunIntervened({}, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->logs.size(), 5u);
+  EXPECT_TRUE(result->AnyFailed());
+}
+
+TEST(VmTargetTest, RunIntervenedOnRootCauseStopsFailure) {
+  auto program = FlakyProgram();
+  ASSERT_TRUE(program.ok());
+  VmTargetOptions options;
+  options.min_successes = 15;
+  options.min_failures = 15;
+  auto target = VmTarget::Create(&*program, options);
+  ASSERT_TRUE(target.ok());
+
+  // Find the order-inversion predicate (Check before Publisher finishes).
+  const PredicateCatalog& catalog = (*target)->extractor().catalog();
+  PredicateId order = kInvalidPredicate;
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    const Predicate& p = catalog.Get(static_cast<PredicateId>(i));
+    if (p.kind == PredKind::kOrder &&
+        p.m1 == program->method_names().Find("Check") &&
+        p.m2 == program->method_names().Find("Publisher")) {
+      order = static_cast<PredicateId>(i);
+    }
+  }
+  ASSERT_NE(order, kInvalidPredicate);
+
+  auto result = (*target)->RunIntervened({order}, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->AnyFailed());
+}
+
+TEST(VmTargetTest, SignatureGroupingKeepsDominantFailure) {
+  // Two failure modes with distinct signatures; the more common one is kept.
+  ProgramBuilder b;
+  {
+    auto m = b.Method("Main");
+    m.Random(0, 8);  // 0 -> rare failure; 1..3 -> common failure; else ok
+    m.LoadConst(1, 0).CmpEq(2, 0, 1);
+    const size_t rare = m.JumpIfNonZeroPlaceholder(2);
+    m.LoadConst(1, 4).CmpLt(2, 0, 1);
+    const size_t common = m.JumpIfNonZeroPlaceholder(2);
+    m.Return();
+    m.PatchTarget(common);
+    m.CallVoid("CommonCrash").Return();
+    m.PatchTarget(rare);
+    m.CallVoid("RareCrash").Return();
+  }
+  b.Method("CommonCrash").Throw("CommonException");
+  b.Method("RareCrash").Throw("RareException");
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  VmTargetOptions options;
+  options.min_successes = 20;
+  options.min_failures = 20;
+  auto target = VmTarget::Create(&*program, options);
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ((*target)->primary_signature().exception_type,
+            program->exception_names().Find("CommonException"));
+  // Only primary-signature failures are in the observation set.
+  EXPECT_LE((*target)->observed_failures(), 20);
+  for (const auto& log : (*target)->observation_logs()) {
+    (void)log;  // all retained failures share the primary signature
+  }
+}
+
+}  // namespace
+}  // namespace aid

@@ -1,0 +1,86 @@
+#include "grouptest/group_testing.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace aid {
+namespace {
+
+TEST(GroupTestingTest, NoDefectivesNeedsOneTest) {
+  SetOracle oracle({});
+  auto result = AdaptiveGroupTest(16, oracle);
+  EXPECT_TRUE(result.defectives.empty());
+  EXPECT_EQ(result.tests, 1);
+}
+
+TEST(GroupTestingTest, SingleDefectiveBinarySearch) {
+  SetOracle oracle({11});
+  auto result = AdaptiveGroupTest(16, oracle);
+  EXPECT_EQ(result.defectives, (std::vector<int>{11}));
+  // 1 whole-pool test + at most ceil(log2 16) splits (each costing <= 2).
+  EXPECT_LE(result.tests, 1 + 2 * 4);
+  EXPECT_EQ(result.tests, oracle.tests());
+}
+
+TEST(GroupTestingTest, AllDefective) {
+  SetOracle oracle({0, 1, 2, 3});
+  auto result = AdaptiveGroupTest(4, oracle);
+  EXPECT_EQ(result.defectives, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(GroupTestingTest, LinearScanFindsAll) {
+  SetOracle oracle({2, 5});
+  auto result = LinearScan(8, oracle);
+  EXPECT_EQ(result.defectives, (std::vector<int>{2, 5}));
+  EXPECT_EQ(result.tests, 8);
+}
+
+TEST(GroupTestingTest, EmptyPool) {
+  SetOracle oracle({});
+  EXPECT_TRUE(AdaptiveGroupTest(0, oracle).defectives.empty());
+  EXPECT_EQ(AdaptiveGroupTest(0, oracle).tests, 0);
+}
+
+TEST(GroupTestingTest, BoundsHelpers) {
+  EXPECT_EQ(AdaptiveGroupTestUpperBound(16, 2), 8);
+  EXPECT_EQ(AdaptiveGroupTestUpperBound(0, 5), 0);
+  EXPECT_GT(GroupTestLowerBound(16, 2), 0.0);
+  EXPECT_LE(GroupTestLowerBound(16, 2),
+            static_cast<double>(AdaptiveGroupTestUpperBound(16, 2)));
+}
+
+// Property sweep over (N, D): correctness and the O(D log N) test bound.
+class GroupTestPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GroupTestPropertyTest, FindsExactDefectiveSetWithinBound) {
+  const auto [n, d_raw, seed] = GetParam();
+  const int d = std::min(n, d_raw);
+  Rng rng(static_cast<uint64_t>(seed));
+  std::vector<int> all(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+  rng.Shuffle(all);
+  std::vector<int> defectives(all.begin(), all.begin() + d);
+  std::sort(defectives.begin(), defectives.end());
+
+  SetOracle oracle(defectives);
+  auto result = AdaptiveGroupTest(n, oracle);
+  EXPECT_EQ(result.defectives, defectives);
+  // Generous constant over the D ceil(log N) bound (split overhead).
+  const int bound =
+      1 + 2 * d * (CeilLog2(static_cast<uint64_t>(n)) + 1);
+  EXPECT_LE(result.tests, bound) << "n=" << n << " d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GroupTestPropertyTest,
+    ::testing::Combine(::testing::Values(4, 16, 64, 200),
+                       ::testing::Values(1, 2, 5),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace aid

@@ -1,0 +1,188 @@
+// Tests of the predicate -> fault-injection mapping (Figure 2, column 3)
+// and the safety rules of Section 3.3.
+
+#include "inject/compiler.h"
+
+#include <gtest/gtest.h>
+
+namespace aid {
+namespace {
+
+class CompilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ProgramBuilder b;
+    b.Global("g", 0);
+    b.Method("Pure").SideEffectFree().LoadConst(0, 1).Return(0);
+    b.Method("Impure").LoadConst(0, 1).StoreGlobal("g", 0).Return(0);
+    b.Method("Main").CallVoid("Pure").CallVoid("Impure").Return();
+    auto program = b.Build("Main");
+    ASSERT_TRUE(program.ok());
+    program_ = std::make_unique<Program>(std::move(*program));
+    pure_ = program_->method_names().Find("Pure");
+    impure_ = program_->method_names().Find("Impure");
+
+    MethodBaseline baseline;
+    baseline.min_duration = 10;
+    baseline.max_duration = 20;
+    baseline.consistent_return = 1;
+    baseline.executions = 5;
+    baselines_[pure_] = baseline;
+    baselines_[impure_] = baseline;
+  }
+
+  PredicateId Intern(Predicate p) { return catalog_.Intern(p); }
+
+  InterventionCompiler MakeCompiler() {
+    return InterventionCompiler(program_.get(), &catalog_, &baselines_);
+  }
+
+  std::unique_ptr<Program> program_;
+  PredicateCatalog catalog_;
+  std::unordered_map<SymbolId, MethodBaseline> baselines_;
+  SymbolId pure_ = kInvalidSymbol;
+  SymbolId impure_ = kInvalidSymbol;
+};
+
+TEST_F(CompilerTest, DataRaceCompilesToSerialization) {
+  const PredicateId id = Intern(Predicate{
+      .kind = PredKind::kDataRace, .m1 = pure_, .m2 = impure_, .obj = 0});
+  auto compiler = MakeCompiler();
+  EXPECT_TRUE(compiler.IsSafelyIntervenable(id));  // locking is always safe
+  auto actions = compiler.Compile(id);
+  ASSERT_TRUE(actions.ok());
+  ASSERT_EQ(actions->size(), 1u);
+  EXPECT_EQ((*actions)[0].kind, VmActionKind::kSerializeMethods);
+  EXPECT_EQ((*actions)[0].mutex, InterventionMutexId(id));
+}
+
+TEST_F(CompilerTest, AtomicityViolationCompilesToSerialization) {
+  const PredicateId id = Intern(Predicate{.kind = PredKind::kAtomicityViolation,
+                                          .m1 = impure_,
+                                          .m2 = impure_,
+                                          .obj = 0});
+  auto compiler = MakeCompiler();
+  EXPECT_TRUE(compiler.IsSafelyIntervenable(id));
+  auto actions = compiler.Compile(id);
+  ASSERT_TRUE(actions.ok());
+  EXPECT_EQ((*actions)[0].kind, VmActionKind::kSerializeMethods);
+}
+
+TEST_F(CompilerTest, MethodFailsRequiresSideEffectFreedom) {
+  const PredicateId safe =
+      Intern(Predicate{.kind = PredKind::kMethodFails, .m1 = pure_});
+  const PredicateId unsafe =
+      Intern(Predicate{.kind = PredKind::kMethodFails, .m1 = impure_});
+  auto compiler = MakeCompiler();
+  EXPECT_TRUE(compiler.IsSafelyIntervenable(safe));
+  EXPECT_FALSE(compiler.IsSafelyIntervenable(unsafe));
+  EXPECT_FALSE(compiler.Compile(unsafe).ok());
+
+  auto actions = compiler.Compile(safe);
+  ASSERT_TRUE(actions.ok());
+  EXPECT_EQ((*actions)[0].kind, VmActionKind::kCatchExceptions);
+  EXPECT_EQ((*actions)[0].value, 1);  // the consistent successful value
+}
+
+TEST_F(CompilerTest, TooSlowCompilesToPrematureReturnWithBaselineTiming) {
+  const PredicateId id =
+      Intern(Predicate{.kind = PredKind::kTooSlow, .m1 = pure_});
+  auto compiler = MakeCompiler();
+  auto actions = compiler.Compile(id);
+  ASSERT_TRUE(actions.ok());
+  EXPECT_EQ((*actions)[0].kind, VmActionKind::kPrematureReturn);
+  EXPECT_EQ((*actions)[0].ticks, 15);  // (10 + 20) / 2
+  EXPECT_EQ((*actions)[0].value, 1);
+}
+
+TEST_F(CompilerTest, TooSlowOnImpureMethodIsUnsafe) {
+  const PredicateId id =
+      Intern(Predicate{.kind = PredKind::kTooSlow, .m1 = impure_});
+  EXPECT_FALSE(MakeCompiler().IsSafelyIntervenable(id));
+}
+
+TEST_F(CompilerTest, TooFastCompilesToDelay) {
+  const PredicateId id =
+      Intern(Predicate{.kind = PredKind::kTooFast, .m1 = impure_});
+  auto compiler = MakeCompiler();
+  EXPECT_TRUE(compiler.IsSafelyIntervenable(id));  // delays are always safe
+  auto actions = compiler.Compile(id);
+  ASSERT_TRUE(actions.ok());
+  EXPECT_EQ((*actions)[0].kind, VmActionKind::kDelayBeforeReturn);
+  EXPECT_EQ((*actions)[0].ticks, 11);  // min_duration + 1
+}
+
+TEST_F(CompilerTest, WrongReturnForcesExpectedValue) {
+  const PredicateId id = Intern(Predicate{
+      .kind = PredKind::kWrongReturn, .m1 = pure_, .expected = 42});
+  auto actions = MakeCompiler().Compile(id);
+  ASSERT_TRUE(actions.ok());
+  EXPECT_EQ((*actions)[0].kind, VmActionKind::kForceReturnValue);
+  EXPECT_EQ((*actions)[0].value, 42);
+}
+
+TEST_F(CompilerTest, OrderCompilesToEnforceOrder) {
+  const PredicateId id = Intern(
+      Predicate{.kind = PredKind::kOrder, .m1 = pure_, .m2 = impure_});
+  auto actions = MakeCompiler().Compile(id);
+  ASSERT_TRUE(actions.ok());
+  EXPECT_EQ((*actions)[0].kind, VmActionKind::kEnforceOrder);
+  EXPECT_EQ((*actions)[0].method, pure_);   // the too-early method waits
+  EXPECT_EQ((*actions)[0].method2, impure_);
+}
+
+TEST_F(CompilerTest, ReturnEqualsArmsEverySideEffectFreeDirection) {
+  const PredicateId both_pure = Intern(Predicate{
+      .kind = PredKind::kReturnEquals, .m1 = pure_, .m2 = pure_});
+  auto actions = MakeCompiler().Compile(both_pure);
+  ASSERT_TRUE(actions.ok());
+  EXPECT_EQ(actions->size(), 2u);
+
+  const PredicateId mixed = Intern(Predicate{
+      .kind = PredKind::kReturnEquals, .m1 = impure_, .m2 = pure_});
+  auto mixed_actions = MakeCompiler().Compile(mixed);
+  ASSERT_TRUE(mixed_actions.ok());
+  ASSERT_EQ(mixed_actions->size(), 1u);
+  EXPECT_EQ((*mixed_actions)[0].method, pure_);
+}
+
+TEST_F(CompilerTest, FailurePredicateIsNotIntervenable) {
+  const PredicateId id = Intern(Predicate{.kind = PredKind::kFailure});
+  auto compiler = MakeCompiler();
+  EXPECT_FALSE(compiler.IsSafelyIntervenable(id));
+  EXPECT_FALSE(compiler.Compile(id).ok());
+}
+
+TEST_F(CompilerTest, CompoundRequiresBothMembersSafe) {
+  const PredicateId safe =
+      Intern(Predicate{.kind = PredKind::kMethodFails, .m1 = pure_});
+  const PredicateId unsafe =
+      Intern(Predicate{.kind = PredKind::kMethodFails, .m1 = impure_});
+  const PredicateId race = Intern(Predicate{
+      .kind = PredKind::kDataRace, .m1 = pure_, .m2 = impure_, .obj = 0});
+
+  const PredicateId good = Intern(
+      Predicate{.kind = PredKind::kCompound, .sub1 = safe, .sub2 = race});
+  const PredicateId bad = Intern(
+      Predicate{.kind = PredKind::kCompound, .sub1 = safe, .sub2 = unsafe});
+  auto compiler = MakeCompiler();
+  EXPECT_TRUE(compiler.IsSafelyIntervenable(good));
+  EXPECT_FALSE(compiler.IsSafelyIntervenable(bad));
+
+  auto actions = compiler.Compile(good);
+  ASSERT_TRUE(actions.ok());
+  EXPECT_EQ(actions->size(), 2u);  // union of both members' actions
+}
+
+TEST_F(CompilerTest, CompilePlanUnionsActions) {
+  const PredicateId a =
+      Intern(Predicate{.kind = PredKind::kMethodFails, .m1 = pure_});
+  const PredicateId b =
+      Intern(Predicate{.kind = PredKind::kTooFast, .m1 = impure_});
+  auto plan = MakeCompiler().CompilePlan({a, b});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->size(), 2u);
+}
+
+}  // namespace
+}  // namespace aid

@@ -1,0 +1,228 @@
+// End-to-end integration tests: the full pipeline (VM observation ->
+// extraction -> SD -> AC-DAG -> interventions) on complete programs,
+// engine-variant agreement, determinism, and report rendering.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/report.h"
+#include "core/vm_target.h"
+#include "inject/compiler.h"
+#include "runtime/vm.h"
+#include "sd/statistical_debugger.h"
+
+namespace aid {
+namespace {
+
+/// The quickstart program: a torn config update observed by a validator.
+Result<Program> TornUpdateProgram() {
+  ProgramBuilder b;
+  b.Global("version", 1);
+  b.Global("checksum", 1);
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "Writer").Spawn(1, "Reader").Join(0).Join(1).Return();
+  }
+  {
+    auto m = b.Method("Writer");
+    m.Random(0, 2);
+    const size_t late = m.JumpIfNonZeroPlaceholder(0);
+    m.Delay(10);
+    const size_t go = m.JumpPlaceholder();
+    m.PatchTarget(late);
+    m.Delay(70);
+    m.PatchTarget(go);
+    m.CallVoid("PublishConfig").Return();
+  }
+  {
+    auto m = b.Method("PublishConfig");
+    m.LoadConst(1, 2)
+        .StoreGlobal("version", 1)
+        .Delay(30)
+        .StoreGlobal("checksum", 1)
+        .Return();
+  }
+  {
+    auto m = b.Method("Reader");
+    m.Random(0, 2);
+    const size_t late = m.JumpIfNonZeroPlaceholder(0);
+    m.Delay(30);
+    const size_t go = m.JumpPlaceholder();
+    m.PatchTarget(late);
+    m.Delay(85);
+    m.PatchTarget(go);
+    m.CallVoid("ValidateConfig").Return();
+  }
+  {
+    auto m = b.Method("ValidateConfig");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "version")
+        .LoadGlobal(1, "checksum")
+        .CmpEq(2, 0, 1)
+        .ThrowIfZero(2, "ChecksumMismatch")
+        .Return(2);
+  }
+  return b.Build("Main");
+}
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = TornUpdateProgram();
+    ASSERT_TRUE(program.ok());
+    program_ = std::make_unique<Program>(std::move(*program));
+    VmTargetOptions options;
+    options.min_successes = 40;
+    options.min_failures = 40;
+    auto target = VmTarget::Create(program_.get(), options);
+    ASSERT_TRUE(target.ok());
+    target_ = std::move(*target);
+  }
+
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<VmTarget> target_;
+};
+
+TEST_F(EndToEndTest, FullPipelineFindsTheRace) {
+  auto dag = target_->BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  EngineOptions options = EngineOptions::Aid();
+  options.trials_per_intervention = 3;
+  CausalPathDiscovery discovery(&*dag, target_.get(), options);
+  auto report = discovery.Run();
+  ASSERT_TRUE(report.ok());
+
+  ASSERT_NE(report->root_cause(), kInvalidPredicate);
+  const std::string root = target_->extractor().catalog().Describe(
+      report->root_cause(), &program_->method_names(),
+      &program_->object_names());
+  EXPECT_NE(root.find("PublishConfig"), std::string::npos) << root;
+  EXPECT_NE(root.find("ValidateConfig"), std::string::npos) << root;
+  EXPECT_TRUE(report->path_is_chain);
+
+  const std::string rendered = RenderReport(
+      *report, *dag,
+      {.methods = &program_->method_names(),
+       .objects = &program_->object_names()});
+  EXPECT_NE(rendered.find("root cause"), std::string::npos);
+}
+
+TEST_F(EndToEndTest, AllEngineVariantsAgreeOnTheRootCause) {
+  auto dag = target_->BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  const EngineOptions variants[4] = {
+      EngineOptions::Aid(), EngineOptions::AidNoPredicatePruning(),
+      EngineOptions::AidNoPruning(), EngineOptions::Tagt()};
+  PredicateId roots[4];
+  for (int v = 0; v < 4; ++v) {
+    EngineOptions options = variants[v];
+    options.trials_per_intervention = 3;
+    CausalPathDiscovery discovery(&*dag, target_.get(), options);
+    auto report = discovery.Run();
+    ASSERT_TRUE(report.ok()) << "variant " << v;
+    roots[v] = report->root_cause();
+  }
+  EXPECT_EQ(roots[0], roots[1]);
+  EXPECT_EQ(roots[1], roots[2]);
+  EXPECT_EQ(roots[2], roots[3]);
+}
+
+TEST_F(EndToEndTest, LinearScanAlsoWorksOnVmTargets) {
+  auto dag = target_->BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  EngineOptions options = EngineOptions::Linear();
+  options.trials_per_intervention = 3;
+  CausalPathDiscovery discovery(&*dag, target_.get(), options);
+  auto report = discovery.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->root_cause(), kInvalidPredicate);
+  for (const auto& round : report->history) {
+    EXPECT_EQ(round.intervened.size(), 1u);
+  }
+}
+
+TEST(EndToEndDeterminismTest, IdenticalSetupsProduceIdenticalReports) {
+  for (int run = 0; run < 2; ++run) {
+    auto program = TornUpdateProgram();
+    ASSERT_TRUE(program.ok());
+    VmTargetOptions options;
+    options.min_successes = 30;
+    options.min_failures = 30;
+    auto target = VmTarget::Create(&*program, options);
+    ASSERT_TRUE(target.ok());
+    auto dag = (*target)->BuildAcDag();
+    ASSERT_TRUE(dag.ok());
+    EngineOptions engine = EngineOptions::Aid();
+    engine.trials_per_intervention = 3;
+    CausalPathDiscovery discovery(&*dag, target->get(), engine);
+    auto report = discovery.Run();
+    ASSERT_TRUE(report.ok());
+
+    static std::vector<PredicateId> first_path;
+    static int first_rounds = 0;
+    if (run == 0) {
+      first_path = report->causal_path;
+      first_rounds = report->rounds;
+    } else {
+      EXPECT_EQ(report->causal_path, first_path);
+      EXPECT_EQ(report->rounds, first_rounds);
+    }
+  }
+}
+
+TEST(EndToEndRepairSoundnessTest, RootCauseInterventionPreservesSuccessfulRuns) {
+  // An intervention is a *repair*: applying the root-cause fix to seeds
+  // that already succeeded must not introduce a failure.
+  auto program = TornUpdateProgram();
+  ASSERT_TRUE(program.ok());
+  VmTargetOptions options;
+  options.min_successes = 25;
+  options.min_failures = 25;
+  auto target = VmTarget::Create(&*program, options);
+  ASSERT_TRUE(target.ok());
+  auto dag = (*target)->BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  EngineOptions engine = EngineOptions::Aid();
+  engine.trials_per_intervention = 3;
+  CausalPathDiscovery discovery(&*dag, target->get(), engine);
+  auto report = discovery.Run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_NE(report->root_cause(), kInvalidPredicate);
+
+  // Re-run fresh seeds (a mix of would-succeed and would-fail) with the
+  // root-cause intervention compiled in: none may fail.
+  InterventionCompiler compiler(&*program,
+                                &(*target)->extractor().catalog(),
+                                &(*target)->extractor().baselines());
+  auto plan = compiler.CompilePlan({report->root_cause()});
+  ASSERT_TRUE(plan.ok());
+  Vm vm(&*program);
+  for (uint64_t seed = 500; seed < 560; ++seed) {
+    VmOptions vm_options;
+    vm_options.seed = seed;
+    auto trace = vm.Run(vm_options, &*plan);
+    ASSERT_TRUE(trace.ok());
+    EXPECT_FALSE(trace->failed()) << "seed " << seed;
+  }
+}
+
+TEST(EndToEndCatalogTest, InterventionsNeverGrowTheCatalog) {
+  auto program = TornUpdateProgram();
+  ASSERT_TRUE(program.ok());
+  VmTargetOptions options;
+  options.min_successes = 20;
+  options.min_failures = 20;
+  auto target = VmTarget::Create(&*program, options);
+  ASSERT_TRUE(target.ok());
+  const size_t before = (*target)->extractor().catalog().size();
+  auto dag = (*target)->BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  CausalPathDiscovery discovery(&*dag, target->get(), EngineOptions::Aid());
+  ASSERT_TRUE(discovery.Run().ok());
+  EXPECT_EQ((*target)->extractor().catalog().size(), before);
+}
+
+}  // namespace
+}  // namespace aid

@@ -1,0 +1,384 @@
+// Predicate extraction tests: each predicate kind from the paper's Figure 2
+// (plus atomicity violations, order inversions, and collisions), extracted
+// from programs executed on the VM.
+
+#include "predicates/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/vm.h"
+
+namespace aid {
+namespace {
+
+/// Runs `program` across seeds until it has both outcomes and returns the
+/// traces (capped at `total`).
+std::vector<ExecutionTrace> Collect(const Program& program, int total,
+                                    uint64_t first_seed = 1) {
+  std::vector<ExecutionTrace> traces;
+  Vm vm(&program);
+  for (int i = 0; i < total; ++i) {
+    VmOptions options;
+    options.seed = first_seed + static_cast<uint64_t>(i);
+    auto trace = vm.Run(options);
+    EXPECT_TRUE(trace.ok());
+    traces.push_back(std::move(*trace));
+  }
+  return traces;
+}
+
+bool CatalogHas(const PredicateCatalog& catalog, PredKind kind,
+                PredicateId* out = nullptr) {
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog.Get(static_cast<PredicateId>(i)).kind == kind) {
+      if (out != nullptr) *out = static_cast<PredicateId>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ExtractorTest, RequiresBothOutcomes) {
+  ProgramBuilder b;
+  b.Method("Main").Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 5);
+
+  PredicateExtractor extractor;
+  EXPECT_FALSE(extractor.Observe(traces).ok());  // no failures
+}
+
+TEST(ExtractorTest, ObserveTwiceFails) {
+  ProgramBuilder b;
+  b.Method("Flaky").Random(0, 2).ThrowIfZero(0, "Oops").Return(0);
+  b.Method("Main").Call(0, "Flaky").Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 30);
+
+  PredicateExtractor extractor;
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+  EXPECT_FALSE(extractor.Observe(traces).ok());
+}
+
+TEST(ExtractorTest, MethodFailsPredicate) {
+  ProgramBuilder b;
+  b.Method("Flaky").Random(0, 2).ThrowIfZero(0, "Oops").Return(0);
+  b.Method("Main").Call(0, "Flaky").Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 40);
+
+  PredicateExtractor extractor;
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+  PredicateId fails;
+  ASSERT_TRUE(CatalogHas(extractor.catalog(), PredKind::kMethodFails, &fails));
+
+  // MethodFails observed in exactly the failed logs.
+  for (size_t i = 0; i < traces.size(); ++i) {
+    bool flaky_failed = traces[i].failed();
+    bool any_fails_pred = false;
+    for (const auto& [id, obs] : extractor.logs()[i].observed) {
+      (void)obs;
+      if (extractor.catalog().Get(id).kind == PredKind::kMethodFails) {
+        any_fails_pred = true;
+      }
+    }
+    EXPECT_EQ(any_fails_pred, flaky_failed);
+  }
+}
+
+TEST(ExtractorTest, DurationPredicatesUseSuccessfulBaselines) {
+  // Work takes 10 ticks on success and 200 on the failing path; the slow
+  // path also trips a marker so the run fails.
+  ProgramBuilder b;
+  b.Global("marker", 0);
+  {
+    auto m = b.Method("Work");
+    m.Random(0, 2);
+    const size_t slow = m.JumpIfNonZeroPlaceholder(0);
+    m.Delay(10);
+    const size_t done = m.JumpPlaceholder();
+    m.PatchTarget(slow);
+    m.Delay(200).LoadConst(1, 1).StoreGlobal("marker", 1);
+    m.PatchTarget(done);
+    m.Return();
+  }
+  {
+    auto m = b.Method("Main");
+    m.CallVoid("Work").LoadGlobal(0, "marker").ThrowIfNonZero(0, "TooLate").Return();
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 40);
+
+  PredicateExtractor extractor;
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+  const PredicateId slow_id = extractor.catalog().Find(Predicate{
+      .kind = PredKind::kTooSlow,
+      .m1 = program->method_names().Find("Work")});
+  ASSERT_NE(slow_id, kInvalidPredicate);
+
+  // The baseline reflects successful durations only.
+  const auto& baseline =
+      extractor.baselines().at(program->method_names().Find("Work"));
+  EXPECT_LT(baseline.max_duration, 100);
+}
+
+TEST(ExtractorTest, TooSlowObservationStampsOnset) {
+  // The observation window of a too-slow predicate ends at
+  // enter + max_successful_duration, not at the method's exit.
+  ProgramBuilder b;
+  b.Global("marker", 0);
+  {
+    auto m = b.Method("Work");
+    m.Random(0, 2);
+    const size_t slow = m.JumpIfNonZeroPlaceholder(0);
+    m.Delay(10);
+    const size_t done = m.JumpPlaceholder();
+    m.PatchTarget(slow);
+    m.Delay(300).LoadConst(1, 1).StoreGlobal("marker", 1);
+    m.PatchTarget(done);
+    m.Return();
+  }
+  {
+    auto m = b.Method("Main");
+    m.CallVoid("Work").LoadGlobal(0, "marker").ThrowIfNonZero(0, "TooLate").Return();
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 40);
+
+  PredicateExtractor extractor;
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+  PredicateId slow_id = kInvalidPredicate;
+  ASSERT_TRUE(CatalogHas(extractor.catalog(), PredKind::kTooSlow, &slow_id));
+  for (size_t i = 0; i < traces.size(); ++i) {
+    auto it = extractor.logs()[i].observed.find(slow_id);
+    if (it == extractor.logs()[i].observed.end()) continue;
+    // Slow executions run ~300 ticks; the onset is within the first ~40.
+    EXPECT_LT(it->second.end - it->second.start, 60);
+  }
+}
+
+TEST(ExtractorTest, WrongReturnRequiresConsistentBaseline) {
+  ProgramBuilder b;
+  b.Global("flag", 0);
+  {
+    // Returns 7 normally; 0 when the flag was corrupted.
+    auto m = b.Method("GetValue");
+    m.LoadGlobal(0, "flag").LoadConst(1, 7).Mul(2, 0, 1).Return(2);
+  }
+  {
+    auto m = b.Method("Main");
+    m.Random(0, 2)
+        .StoreGlobal("flag", 0)  // 0 or 1
+        .Call(1, "GetValue")
+        .ThrowIfZero(1, "BadValue")
+        .Return(1);
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 40);
+
+  PredicateExtractor extractor;
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+  PredicateId wrong = kInvalidPredicate;
+  ASSERT_TRUE(CatalogHas(extractor.catalog(), PredKind::kWrongReturn, &wrong));
+  EXPECT_EQ(extractor.catalog().Get(wrong).expected, 7);
+}
+
+TEST(ExtractorTest, OrderInversionOnlyWhenStartingInsideInterval) {
+  ProgramBuilder b;
+  b.Global("ready", 0);
+  {
+    auto m = b.Method("Publisher");
+    m.Random(0, 2);
+    const size_t slow = m.JumpIfNonZeroPlaceholder(0);
+    m.Delay(5);
+    const size_t pub = m.JumpPlaceholder();
+    m.PatchTarget(slow);
+    m.Delay(60);
+    m.PatchTarget(pub);
+    m.LoadConst(0, 1).StoreGlobal("ready", 0).Return();
+  }
+  {
+    auto m = b.Method("Consumer");
+    m.Delay(30).CallVoid("Check").Return();
+  }
+  {
+    auto m = b.Method("Check");
+    m.LoadGlobal(0, "ready").ThrowIfZero(0, "NotReady").Return(0);
+  }
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "Publisher").Spawn(1, "Consumer").Join(0).Join(1).Return();
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 60);
+
+  PredicateExtractor extractor;
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+
+  // "Check starts before Publisher finishes" must be observed in exactly
+  // the failed runs (slow publisher).
+  const Predicate expected{
+      .kind = PredKind::kOrder,
+      .m1 = program->method_names().Find("Check"),
+      .m2 = program->method_names().Find("Publisher")};
+  const PredicateId id = extractor.catalog().Find(expected);
+  ASSERT_NE(id, kInvalidPredicate);
+  for (size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(extractor.logs()[i].Has(id), traces[i].failed()) << "run " << i;
+  }
+}
+
+TEST(ExtractorTest, FailurePredicateMatchesOutcome) {
+  ProgramBuilder b;
+  b.Method("Flaky").Random(0, 2).ThrowIfZero(0, "Oops").Return(0);
+  b.Method("Main").Call(0, "Flaky").Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 30);
+
+  PredicateExtractor extractor;
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+  const PredicateId failure = extractor.failure_predicate();
+  ASSERT_NE(failure, kInvalidPredicate);
+  for (size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(extractor.logs()[i].Has(failure), traces[i].failed());
+    EXPECT_EQ(extractor.logs()[i].failed, traces[i].failed());
+  }
+}
+
+TEST(ExtractorTest, EvaluateUsesFrozenCatalog) {
+  ProgramBuilder b;
+  b.Method("Flaky").Random(0, 2).ThrowIfZero(0, "Oops").Return(0);
+  b.Method("Main").Call(0, "Flaky").Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 30);
+
+  PredicateExtractor extractor;
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+  const size_t catalog_size = extractor.catalog().size();
+
+  auto fresh = Collect(*program, 10, /*first_seed=*/1000);
+  for (const auto& trace : fresh) {
+    auto log = extractor.Evaluate(trace);
+    ASSERT_TRUE(log.ok());
+    EXPECT_EQ(log->failed, trace.failed());
+  }
+  EXPECT_EQ(extractor.catalog().size(), catalog_size);  // unchanged
+}
+
+TEST(ExtractorTest, CompoundPredicateIsConjunction) {
+  ProgramBuilder b;
+  b.Method("Flaky").Random(0, 2).ThrowIfZero(0, "Oops").Return(0);
+  b.Method("Main").Call(0, "Flaky").Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 30);
+
+  PredicateExtractor extractor;
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+  PredicateId fails;
+  ASSERT_TRUE(CatalogHas(extractor.catalog(), PredKind::kMethodFails, &fails));
+
+  auto compound = extractor.AddCompound(extractor.failure_predicate(), fails);
+  ASSERT_TRUE(compound.ok());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    const PredicateLog& log = extractor.logs()[i];
+    EXPECT_EQ(log.Has(*compound),
+              log.Has(extractor.failure_predicate()) && log.Has(fails));
+  }
+}
+
+TEST(ExtractorTest, CompoundRejectsInvalidMembers) {
+  ProgramBuilder b;
+  b.Method("Flaky").Random(0, 2).ThrowIfZero(0, "Oops").Return(0);
+  b.Method("Main").Call(0, "Flaky").Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 30);
+
+  PredicateExtractor extractor;
+  EXPECT_FALSE(extractor.AddCompound(0, 1).ok());  // before Observe
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+  EXPECT_FALSE(extractor.AddCompound(0, 0).ok());      // a == b
+  EXPECT_FALSE(extractor.AddCompound(0, 99999).ok());  // out of range
+}
+
+TEST(ExtractorTest, AtomicityViolationDetectsIntruder) {
+  // Two unlocked read-modify-writes: the intruder's access lands between
+  // the victim's load and store on some interleavings.
+  ProgramBuilder b;
+  b.Global("count", 0);
+  {
+    auto m = b.Method("Reporter");
+    m.DelayRand(0, 30).CallVoid("Incr").Return();
+  }
+  {
+    auto m = b.Method("Incr");
+    m.LoadGlobal(0, "count").Delay(6).AddImm(1, 0, 1).StoreGlobal("count", 1).Return();
+  }
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "Reporter")
+        .Spawn(1, "Reporter")
+        .Join(0)
+        .Join(1)
+        .LoadGlobal(2, "count")
+        .LoadConst(3, 2)
+        .CmpEq(4, 2, 3)
+        .ThrowIfZero(4, "LostUpdate")
+        .Return(2);
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 60);
+
+  PredicateExtractor extractor;
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+  const SymbolId incr = program->method_names().Find("Incr");
+  const PredicateId atom = extractor.catalog().Find(
+      Predicate{.kind = PredKind::kAtomicityViolation,
+                .m1 = incr,
+                .m2 = incr,
+                .obj = program->object_names().Find("count")});
+  ASSERT_NE(atom, kInvalidPredicate);
+  // Observed in every failed run (it is the root cause of the lost update).
+  for (size_t i = 0; i < traces.size(); ++i) {
+    if (traces[i].failed()) {
+      EXPECT_TRUE(extractor.logs()[i].Has(atom)) << "failed run " << i;
+    }
+  }
+}
+
+TEST(ExtractorTest, ReturnEqualsDetectsCollisions) {
+  ProgramBuilder b;
+  b.Method("PickA").Random(0, 3).Return(0);
+  b.Method("PickB").Random(0, 3).Return(0);
+  {
+    auto m = b.Method("Main");
+    m.Call(0, "PickA").Call(1, "PickB").CmpEq(2, 0, 1).ThrowIfNonZero(2, "Clash").Return();
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 60);
+
+  ExtractionOptions options;
+  options.return_equals = true;
+  PredicateExtractor extractor(options);
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+  PredicateId eq = kInvalidPredicate;
+  ASSERT_TRUE(CatalogHas(extractor.catalog(), PredKind::kReturnEquals, &eq));
+  for (size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(extractor.logs()[i].Has(eq), traces[i].failed()) << "run " << i;
+  }
+}
+
+}  // namespace
+}  // namespace aid

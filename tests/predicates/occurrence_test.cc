@@ -1,0 +1,135 @@
+// Occurrence-indexed predicates (paper Appendix A): multiple executions of
+// the same method map to distinct predicates so loop iterations are
+// distinguishable in the AC-DAG.
+
+#include <gtest/gtest.h>
+
+#include "predicates/extractor.h"
+#include "runtime/vm.h"
+
+namespace aid {
+namespace {
+
+std::vector<ExecutionTrace> Collect(const Program& program, int total) {
+  std::vector<ExecutionTrace> traces;
+  Vm vm(&program);
+  for (int i = 0; i < total; ++i) {
+    VmOptions options;
+    options.seed = 1 + static_cast<uint64_t>(i);
+    auto trace = vm.Run(options);
+    EXPECT_TRUE(trace.ok());
+    traces.push_back(std::move(*trace));
+  }
+  return traces;
+}
+
+/// Step is called twice; only the *second* execution is slow on the failing
+/// path.
+Result<Program> TwoCallProgram() {
+  ProgramBuilder b;
+  b.Global("late", 0);
+  {
+    auto m = b.Method("Step");
+    m.SideEffectFree();
+    m.LoadGlobal(0, "phase");
+    // Slow only when phase == 1 and the coin says so.
+    const size_t fast = m.JumpIfZeroPlaceholder(0);
+    m.Random(1, 2);
+    const size_t fast2 = m.JumpIfZeroPlaceholder(1);
+    m.Delay(100).LoadConst(2, 1).StoreGlobal("late", 2);
+    m.PatchTarget(fast).PatchTarget(fast2);
+    m.Delay(10).Return();
+  }
+  b.Global("phase", 0);
+  {
+    auto m = b.Method("Main");
+    m.CallVoid("Step")  // occurrence 1: always fast
+        .LoadConst(0, 1)
+        .StoreGlobal("phase", 0)
+        .CallVoid("Step")  // occurrence 2: sometimes slow
+        .LoadGlobal(1, "late")
+        .ThrowIfNonZero(1, "MissedDeadline")
+        .Return();
+  }
+  return b.Build("Main");
+}
+
+TEST(OccurrenceTest, PerOccurrenceDistinguishesLoopIterations) {
+  auto program = TwoCallProgram();
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 60);
+
+  ExtractionOptions options;
+  options.per_occurrence = true;
+  PredicateExtractor extractor(options);
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+
+  const SymbolId step = program->method_names().Find("Step");
+  const PredicateId slow_second = extractor.catalog().Find(
+      Predicate{.kind = PredKind::kTooSlow, .m1 = step, .occurrence = 2});
+  const PredicateId slow_first = extractor.catalog().Find(
+      Predicate{.kind = PredKind::kTooSlow, .m1 = step, .occurrence = 1});
+  // Only the second occurrence ever runs slow.
+  EXPECT_NE(slow_second, kInvalidPredicate);
+  EXPECT_EQ(slow_first, kInvalidPredicate);
+
+  // And it is observed in exactly the failed runs.
+  for (size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(extractor.logs()[i].Has(slow_second), traces[i].failed());
+  }
+}
+
+TEST(OccurrenceTest, WithoutPerOccurrenceTheMethodIsOnePredicate) {
+  auto program = TwoCallProgram();
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 60);
+
+  PredicateExtractor extractor;  // per_occurrence = false
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+  const SymbolId step = program->method_names().Find("Step");
+  const PredicateId slow_any = extractor.catalog().Find(
+      Predicate{.kind = PredKind::kTooSlow, .m1 = step, .occurrence = 0});
+  EXPECT_NE(slow_any, kInvalidPredicate);
+}
+
+TEST(OccurrenceTest, DurationSlackSuppressesBoundaryPredicates) {
+  // A method whose duration wobbles +-2 ticks around the baseline must not
+  // produce duration predicates once the slack covers the jitter.
+  ProgramBuilder b;
+  {
+    auto m = b.Method("Wobble");
+    m.DelayRand(10, 13).Return();
+  }
+  {
+    auto m = b.Method("Main");
+    m.CallVoid("Wobble").Random(0, 2).ThrowIfZero(0, "HalfTheTime").Return();
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto traces = Collect(*program, 60);
+
+  ExtractionOptions strict;
+  strict.duration_slack = 0;
+  PredicateExtractor no_slack(strict);
+  ASSERT_TRUE(no_slack.Observe(traces).ok());
+
+  ExtractionOptions relaxed;
+  relaxed.duration_slack = 10;
+  PredicateExtractor with_slack(relaxed);
+  ASSERT_TRUE(with_slack.Observe(traces).ok());
+
+  auto count_duration_preds = [&](const PredicateExtractor& e) {
+    int count = 0;
+    for (size_t i = 0; i < e.catalog().size(); ++i) {
+      const PredKind kind = e.catalog().Get(static_cast<PredicateId>(i)).kind;
+      if (kind == PredKind::kTooSlow || kind == PredKind::kTooFast) ++count;
+    }
+    return count;
+  };
+  EXPECT_EQ(count_duration_preds(with_slack), 0);
+  EXPECT_GE(count_duration_preds(no_slack),
+            count_duration_preds(with_slack));
+}
+
+}  // namespace
+}  // namespace aid

@@ -1,0 +1,116 @@
+#include "runtime/program.h"
+
+#include <gtest/gtest.h>
+
+namespace aid {
+namespace {
+
+TEST(ProgramBuilderTest, BuildsMinimalProgram) {
+  ProgramBuilder b;
+  b.Method("Main").LoadConst(0, 1).Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->entry(), program->method_names().Find("Main"));
+  EXPECT_EQ(program->methods().size(), 1u);
+}
+
+TEST(ProgramBuilderTest, MissingEntryIsRejected) {
+  ProgramBuilder b;
+  b.Method("Main").Return();
+  EXPECT_FALSE(b.Build("Nope").ok());
+}
+
+TEST(ProgramBuilderTest, ReferencedMethodWithoutBodyIsRejected) {
+  ProgramBuilder b;
+  b.Method("Main").CallVoid("Ghost").Return();
+  auto program = b.Build("Main");
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("Ghost"), std::string::npos);
+}
+
+TEST(ProgramBuilderTest, MethodMustTerminate) {
+  ProgramBuilder b;
+  b.Method("Main").LoadConst(0, 1);
+  EXPECT_FALSE(b.Build("Main").ok());
+}
+
+TEST(ProgramBuilderTest, RegisterOutOfRangeIsRejected) {
+  ProgramBuilder b;
+  b.Method("Main").LoadConst(99, 1).Return();
+  EXPECT_FALSE(b.Build("Main").ok());
+}
+
+TEST(ProgramBuilderTest, UnpatchedJumpIsRejected) {
+  ProgramBuilder b;
+  auto m = b.Method("Main");
+  m.JumpPlaceholder();  // target never patched (-1)
+  m.Return();
+  EXPECT_FALSE(b.Build("Main").ok());
+}
+
+TEST(ProgramBuilderTest, PatchedJumpValidates) {
+  ProgramBuilder b;
+  auto m = b.Method("Main");
+  m.LoadConst(0, 1);
+  const size_t skip = m.JumpIfNonZeroPlaceholder(0);
+  m.LoadConst(0, 2);
+  m.PatchTarget(skip);
+  m.Return(0);
+  EXPECT_TRUE(b.Build("Main").ok());
+}
+
+TEST(ProgramBuilderTest, GlobalsArraysMutexesAreDeclared) {
+  ProgramBuilder b;
+  b.Global("g", 5);
+  b.Array("a", 3);
+  b.Mutex("m");
+  b.Method("Main").Lock("m").Unlock("m").Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  const SymbolId g = program->object_names().Find("g");
+  const SymbolId a = program->object_names().Find("a");
+  const SymbolId m = program->object_names().Find("m");
+  EXPECT_EQ(program->globals().at(g), 5);
+  EXPECT_EQ(program->arrays().at(a), 3);
+  EXPECT_EQ(program->object_kind(g), ObjectKind::kGlobal);
+  EXPECT_EQ(program->object_kind(a), ObjectKind::kArray);
+  EXPECT_EQ(program->object_kind(m), ObjectKind::kMutex);
+}
+
+TEST(ProgramBuilderTest, SideEffectFreeAndCatchFlags) {
+  ProgramBuilder b;
+  b.Method("Safe").SideEffectFree().LoadConst(0, 1).Return(0);
+  b.Method("Guard").CatchesExceptions(-1).CallVoid("Safe").Return();
+  b.Method("Main").CallVoid("Guard").Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(
+      program->method(program->method_names().Find("Safe")).side_effect_free);
+  const MethodDef& guard =
+      program->method(program->method_names().Find("Guard"));
+  EXPECT_TRUE(guard.catches_exceptions);
+  EXPECT_EQ(guard.catch_fallback, -1);
+}
+
+TEST(ProgramBuilderTest, BuiltinExceptionsExist) {
+  ProgramBuilder b;
+  b.Method("Main").Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  EXPECT_NE(program->index_out_of_range(), kInvalidSymbol);
+  EXPECT_NE(program->deadlock(), kInvalidSymbol);
+  EXPECT_EQ(program->exception_names().Name(program->index_out_of_range()),
+            "IndexOutOfRange");
+}
+
+TEST(ProgramBuilderTest, WithCostOverridesInstructionCost) {
+  ProgramBuilder b;
+  auto m = b.Method("Main");
+  m.LoadConst(0, 1).WithCost(25).Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->method(program->entry()).code[0].cost, 25);
+}
+
+}  // namespace
+}  // namespace aid

@@ -1,0 +1,243 @@
+// Edge-case and robustness tests for the VM: error paths, unusual
+// programs, and a small randomized stress sweep.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "predicates/extractor.h"
+#include "runtime/vm.h"
+
+namespace aid {
+namespace {
+
+Result<ExecutionTrace> RunProgram(const Program& program, uint64_t seed = 1) {
+  Vm vm(&program);
+  VmOptions options;
+  options.seed = seed;
+  return vm.Run(options);
+}
+
+TEST(VmEdgeTest, UnlockWithoutOwnershipFails) {
+  ProgramBuilder b;
+  b.Mutex("mu");
+  b.Method("Main").Unlock("mu").Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->failed());
+}
+
+TEST(VmEdgeTest, JoinInvalidThreadIndexFails) {
+  ProgramBuilder b;
+  auto m = b.Method("Main");
+  m.LoadConst(0, 99).Join(0).Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->failed());
+}
+
+TEST(VmEdgeTest, JoinFinishedThreadDoesNotBlock) {
+  ProgramBuilder b;
+  b.Method("Quick").Return();
+  auto m = b.Method("Main");
+  m.Spawn(0, "Quick").Delay(100).Join(0).Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE(trace->failed());
+}
+
+TEST(VmEdgeTest, ArrayResizeShrinksAndGrows) {
+  ProgramBuilder b;
+  b.Array("arr", 8);
+  auto m = b.Method("Main");
+  m.LoadConst(0, 2)
+      .ArrayResize("arr", 0)   // shrink to 2
+      .ArrayLen(1, "arr")
+      .LoadConst(2, 5)
+      .ArrayResize("arr", 2)   // grow back to 5 (new cells zeroed)
+      .LoadConst(3, 4)
+      .ArrayLoad(4, "arr", 3)  // index 4: fresh zero
+      .Add(5, 1, 4)
+      .Return(5);              // 2 + 0
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE(trace->failed());
+}
+
+TEST(VmEdgeTest, NegativeArrayIndexRaises) {
+  ProgramBuilder b;
+  b.Array("arr", 4);
+  auto m = b.Method("Main");
+  m.LoadConst(0, -1).ArrayLoad(1, "arr", 0).Return(1);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->failed());
+  EXPECT_EQ(trace->failure_signature().exception_type,
+            program->index_out_of_range());
+}
+
+TEST(VmEdgeTest, CatchInsideCatchNests) {
+  ProgramBuilder b;
+  b.Method("Deep").Throw("Inner");
+  b.Method("Mid").CatchesExceptions(5).CallVoid("Deep").LoadConst(0, 1).Return(0);
+  b.Method("Outer").CatchesExceptions(9).Call(0, "Mid").Return(0);
+  b.Method("Main").Call(0, "Outer").Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE(trace->failed());
+  // Mid catches, returns its fallback 5; Outer returns 5 normally.
+  bool outer_returned_5 = false;
+  for (const Event& e : trace->events()) {
+    if (e.kind == EventKind::kMethodExit &&
+        e.method == program->method_names().Find("Outer") && e.has_value &&
+        e.value == 5) {
+      outer_returned_5 = true;
+    }
+  }
+  EXPECT_TRUE(outer_returned_5);
+}
+
+TEST(VmEdgeTest, ManyThreads) {
+  ProgramBuilder b;
+  b.Global("sum", 0);
+  b.Mutex("mu");
+  {
+    auto m = b.Method("Adder");
+    m.Lock("mu")
+        .LoadGlobal(0, "sum")
+        .AddImm(1, 0, 1)
+        .StoreGlobal("sum", 1)
+        .Unlock("mu")
+        .Return();
+  }
+  {
+    auto m = b.Method("Main");
+    for (int i = 0; i < 12; ++i) m.Spawn(i % 10, "Adder");
+    // Join only the last few handles we still have registers for.
+    m.Delay(5000).LoadGlobal(11, "sum").Return(11);
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE(trace->failed());
+  EXPECT_EQ(trace->thread_count(), 13);
+}
+
+TEST(VmEdgeTest, DelayRandSpansItsRange) {
+  ProgramBuilder b;
+  b.Method("Main").DelayRand(10, 20).Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  Tick min_seen = 1 << 30;
+  Tick max_seen = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    auto trace = RunProgram(*program, seed);
+    ASSERT_TRUE(trace.ok());
+    min_seen = std::min(min_seen, trace->end_tick());
+    max_seen = std::max(max_seen, trace->end_tick());
+  }
+  EXPECT_LE(min_seen, 15);
+  EXPECT_GE(max_seen, 18);
+}
+
+// Randomized stress: straight-line multi-threaded programs with accesses,
+// delays, locks, and occasional throws. Invariants: the VM always
+// terminates with a well-formed trace (balanced frames), and the extractor
+// never chokes on the resulting logs.
+class VmFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VmFuzzTest, RandomProgramsProduceWellFormedTraces) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 13);
+  ProgramBuilder b;
+  b.Global("x", 0);
+  b.Global("y", 0);
+  b.Mutex("mu");
+
+  const int workers = static_cast<int>(rng.UniformRange(1, 4));
+  for (int w = 0; w < workers; ++w) {
+    auto m = b.Method("Worker" + std::to_string(w));
+    const int steps = static_cast<int>(rng.UniformRange(2, 10));
+    bool locked = false;
+    for (int s = 0; s < steps; ++s) {
+      switch (rng.Uniform(7)) {
+        case 0:
+          m.LoadGlobal(0, "x");
+          break;
+        case 1:
+          m.LoadConst(0, static_cast<int64_t>(rng.Uniform(100)));
+          m.StoreGlobal("y", 0);
+          break;
+        case 2:
+          m.DelayRand(0, 12);
+          break;
+        case 3:
+          if (!locked) {
+            m.Lock("mu");
+            locked = true;
+          }
+          break;
+        case 4:
+          if (locked) {
+            m.Unlock("mu");
+            locked = false;
+          }
+          break;
+        case 5:
+          m.LoadGlobal(0, "y").AddImm(1, 0, 1).StoreGlobal("x", 1);
+          break;
+        case 6:
+          if (rng.Bernoulli(0.15)) m.ThrowIfZero(2, "FuzzCrash");
+          break;
+      }
+    }
+    if (locked) m.Unlock("mu");
+    m.Return();
+  }
+  {
+    auto m = b.Method("Main");
+    for (int w = 0; w < workers; ++w) {
+      m.Spawn(w, "Worker" + std::to_string(w));
+    }
+    for (int w = 0; w < workers; ++w) m.Join(w);
+    m.Return();
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  std::vector<ExecutionTrace> traces;
+  int failures = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    auto trace = RunProgram(*program, seed);
+    ASSERT_TRUE(trace.ok()) << "seed " << seed;
+    // Balanced frames: BuildMethodExecutions accepts every trace.
+    auto execs = trace->BuildMethodExecutions();
+    ASSERT_TRUE(execs.ok()) << "seed " << seed;
+    for (const auto& exec : *execs) {
+      EXPECT_GE(exec.exit_tick, exec.enter_tick);
+    }
+    failures += trace->failed() ? 1 : 0;
+    traces.push_back(std::move(*trace));
+  }
+  // If both outcomes occurred, the extractor must digest the logs.
+  if (failures > 0 && failures < 30) {
+    PredicateExtractor extractor;
+    EXPECT_TRUE(extractor.Observe(traces).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VmFuzzTest, ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace aid

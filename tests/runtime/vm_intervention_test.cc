@@ -1,0 +1,265 @@
+// End-to-end tests of every VM-level fault-injection action (the paper's
+// Figure 2, column 3 mechanisms).
+
+#include <gtest/gtest.h>
+
+#include "runtime/intervention.h"
+#include "runtime/vm.h"
+
+namespace aid {
+namespace {
+
+Result<ExecutionTrace> RunProgram(const Program& program, uint64_t seed,
+                                  const InterventionPlan* plan) {
+  Vm vm(&program);
+  VmOptions options;
+  options.seed = seed;
+  return vm.Run(options, plan);
+}
+
+int64_t FinalReturn(const ExecutionTrace& trace, SymbolId method) {
+  for (auto it = trace.events().rbegin(); it != trace.events().rend(); ++it) {
+    if (it->kind == EventKind::kMethodExit && it->method == method &&
+        it->has_value) {
+      return it->value;
+    }
+  }
+  return -999;
+}
+
+TEST(VmInterventionTest, SerializeMethodsRemovesLostUpdate) {
+  ProgramBuilder b;
+  b.Global("count", 0);
+  {
+    auto m = b.Method("Incr");
+    m.LoadGlobal(0, "count").Delay(5).AddImm(1, 0, 1).StoreGlobal("count", 1).Return();
+  }
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "Incr").Spawn(1, "Incr").Join(0).Join(1).LoadGlobal(2, "count").Return(2);
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  VmAction action;
+  action.kind = VmActionKind::kSerializeMethods;
+  action.method = program->method_names().Find("Incr");
+  action.method2 = action.method;
+  action.mutex = InterventionMutexId(0);
+  InterventionPlan plan;
+  plan.Add(action);
+
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    auto trace = RunProgram(*program, seed, &plan);
+    ASSERT_TRUE(trace.ok());
+    EXPECT_EQ(FinalReturn(*trace, program->entry()), 2) << "seed " << seed;
+  }
+}
+
+TEST(VmInterventionTest, CatchExceptionsContainsFailure) {
+  ProgramBuilder b;
+  b.Method("Risky").Throw("Boom");
+  b.Method("Main").Call(0, "Risky").Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  // Without the plan: crash.
+  auto bare = RunProgram(*program, 1, nullptr);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->failed());
+
+  VmAction action;
+  action.kind = VmActionKind::kCatchExceptions;
+  action.method = program->method_names().Find("Risky");
+  action.value = 55;
+  action.has_value = true;
+  InterventionPlan plan;
+  plan.Add(action);
+
+  auto repaired = RunProgram(*program, 1, &plan);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_FALSE(repaired->failed());
+  EXPECT_EQ(FinalReturn(*repaired, program->entry()), 55);
+}
+
+TEST(VmInterventionTest, DelayBeforeReturnStretchesDuration) {
+  ProgramBuilder b;
+  b.Method("Fast").LoadConst(0, 1).Return(0);
+  b.Method("Main").Call(0, "Fast").Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  VmAction action;
+  action.kind = VmActionKind::kDelayBeforeReturn;
+  action.method = program->method_names().Find("Fast");
+  action.ticks = 200;
+  InterventionPlan plan;
+  plan.Add(action);
+
+  auto bare = RunProgram(*program, 1, nullptr);
+  auto slowed = RunProgram(*program, 1, &plan);
+  ASSERT_TRUE(bare.ok());
+  ASSERT_TRUE(slowed.ok());
+  EXPECT_GE(slowed->end_tick(), bare->end_tick() + 200);
+  // The return value is unaffected.
+  EXPECT_EQ(FinalReturn(*slowed, program->entry()), 1);
+}
+
+TEST(VmInterventionTest, PrematureReturnSkipsBodyAndSuppliesValue) {
+  ProgramBuilder b;
+  b.Global("touched", 0);
+  {
+    auto m = b.Method("Slow");
+    m.Delay(500).LoadConst(0, 1).StoreGlobal("touched", 0).LoadConst(1, 9).Return(1);
+  }
+  b.Method("Main").Call(0, "Slow").LoadGlobal(1, "touched").Add(2, 0, 1).Return(2);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  VmAction action;
+  action.kind = VmActionKind::kPrematureReturn;
+  action.method = program->method_names().Find("Slow");
+  action.ticks = 10;
+  action.value = 9;
+  action.has_value = true;
+  InterventionPlan plan;
+  plan.Add(action);
+
+  auto trace = RunProgram(*program, 1, &plan);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_LT(trace->end_tick(), 100);  // body (and its 500-tick delay) skipped
+  // Return value supplied (9), body side effect skipped (touched stays 0).
+  EXPECT_EQ(FinalReturn(*trace, program->entry()), 9);
+}
+
+TEST(VmInterventionTest, ForceReturnValueOverridesComputedResult) {
+  ProgramBuilder b;
+  b.Method("Compute").LoadConst(0, 3).Return(0);
+  b.Method("Main").Call(0, "Compute").Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  VmAction action;
+  action.kind = VmActionKind::kForceReturnValue;
+  action.method = program->method_names().Find("Compute");
+  action.value = 77;
+  action.has_value = true;
+  InterventionPlan plan;
+  plan.Add(action);
+
+  auto trace = RunProgram(*program, 1, &plan);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(FinalReturn(*trace, program->entry()), 77);
+}
+
+TEST(VmInterventionTest, EnforceOrderBlocksUntilPrerequisiteExits) {
+  // Without intervention Reader often starts before Writer finishes;
+  // with kEnforceOrder it always waits.
+  ProgramBuilder b;
+  b.Global("ready", 0);
+  {
+    auto m = b.Method("Writer");
+    m.Delay(50).LoadConst(0, 1).StoreGlobal("ready", 0).Return();
+  }
+  {
+    auto m = b.Method("Reader");
+    m.LoadGlobal(0, "ready").Return(0);
+  }
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "W2").Spawn(1, "R2").Join(0).Join(1).Return();
+  }
+  b.Method("W2").CallVoid("Writer").Return();
+  b.Method("R2").Call(0, "Reader").Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  VmAction action;
+  action.kind = VmActionKind::kEnforceOrder;
+  action.method = program->method_names().Find("Reader");
+  action.method2 = program->method_names().Find("Writer");
+  InterventionPlan plan;
+  plan.Add(action);
+
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    auto trace = RunProgram(*program, seed, &plan);
+    ASSERT_TRUE(trace.ok());
+    EXPECT_EQ(FinalReturn(*trace, program->method_names().Find("Reader")), 1)
+        << "seed " << seed;
+  }
+}
+
+TEST(VmInterventionTest, ForceReturnDistinctBreaksCollision) {
+  ProgramBuilder b;
+  b.Method("A").LoadConst(0, 5).Return(0);
+  b.Method("B").LoadConst(0, 5).Return(0);
+  {
+    auto m = b.Method("Main");
+    m.Call(0, "A").Call(1, "B").CmpEq(2, 0, 1).ThrowIfNonZero(2, "Collision").Return();
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  auto bare = RunProgram(*program, 1, nullptr);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->failed());
+
+  VmAction action;
+  action.kind = VmActionKind::kForceReturnDistinct;
+  action.method = program->method_names().Find("B");
+  action.method2 = program->method_names().Find("A");
+  InterventionPlan plan;
+  plan.Add(action);
+
+  auto repaired = RunProgram(*program, 1, &plan);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_FALSE(repaired->failed());
+}
+
+TEST(VmInterventionTest, OccurrenceFilteredActionAppliesToExactExecution) {
+  // Only the 2nd execution of Get is forced; the 1st keeps its value.
+  ProgramBuilder b;
+  b.Method("Get").LoadConst(0, 1).Return(0);
+  {
+    auto m = b.Method("Main");
+    m.Call(0, "Get").Call(1, "Get").LoadConst(2, 10).Mul(3, 0, 2).Add(4, 3, 1).Return(4);
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  VmAction action;
+  action.kind = VmActionKind::kForceReturnValue;
+  action.method = program->method_names().Find("Get");
+  action.occurrence = 2;
+  action.value = 4;
+  action.has_value = true;
+  InterventionPlan plan;
+  plan.Add(action);
+
+  auto trace = RunProgram(*program, 1, &plan);
+  ASSERT_TRUE(trace.ok());
+  // 1*10 + 4 = 14 (first execution untouched, second forced to 4).
+  EXPECT_EQ(FinalReturn(*trace, program->entry()), 14);
+}
+
+TEST(VmInterventionTest, PlanMatchingHonorsSerializeEitherMethod) {
+  InterventionPlan plan;
+  VmAction action;
+  action.kind = VmActionKind::kSerializeMethods;
+  action.method = 3;
+  action.method2 = 9;
+  action.mutex = InterventionMutexId(1);
+  plan.Add(action);
+
+  int hits = 0;
+  plan.ForEachMatching(VmActionKind::kSerializeMethods, 3, 1,
+                       [&](const VmAction&) { ++hits; });
+  plan.ForEachMatching(VmActionKind::kSerializeMethods, 9, 4,
+                       [&](const VmAction&) { ++hits; });
+  plan.ForEachMatching(VmActionKind::kSerializeMethods, 5, 1,
+                       [&](const VmAction&) { ++hits; });
+  EXPECT_EQ(hits, 2);
+}
+
+}  // namespace
+}  // namespace aid

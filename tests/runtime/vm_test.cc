@@ -1,0 +1,418 @@
+#include "runtime/vm.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/serialize.h"
+
+namespace aid {
+namespace {
+
+Result<ExecutionTrace> RunProgram(const Program& program, uint64_t seed = 1,
+                                  const InterventionPlan* plan = nullptr) {
+  Vm vm(&program);
+  VmOptions options;
+  options.seed = seed;
+  return vm.Run(options, plan);
+}
+
+int64_t FinalReturn(const ExecutionTrace& trace, SymbolId method) {
+  for (auto it = trace.events().rbegin(); it != trace.events().rend(); ++it) {
+    if (it->kind == EventKind::kMethodExit && it->method == method &&
+        it->has_value) {
+      return it->value;
+    }
+  }
+  ADD_FAILURE() << "no exit with value for method " << method;
+  return -1;
+}
+
+TEST(VmTest, ArithmeticAndGlobals) {
+  ProgramBuilder b;
+  b.Global("g", 10);
+  auto m = b.Method("Main");
+  m.LoadGlobal(0, "g")       // 10
+      .LoadConst(1, 4)
+      .Add(2, 0, 1)          // 14
+      .Sub(3, 2, 1)          // 10
+      .Mul(4, 2, 3)          // 140
+      .AddImm(5, 4, -40)     // 100
+      .StoreGlobal("g", 5)
+      .LoadGlobal(6, "g")
+      .Return(6);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE(trace->failed());
+  EXPECT_EQ(FinalReturn(*trace, program->entry()), 100);
+}
+
+TEST(VmTest, ComparisonsAndJumps) {
+  // Computes max(7, 12) via a conditional branch.
+  ProgramBuilder b;
+  auto m = b.Method("Main");
+  m.LoadConst(0, 7).LoadConst(1, 12).CmpLt(2, 0, 1);
+  const size_t take_b = m.JumpIfNonZeroPlaceholder(2);
+  m.Return(0);
+  m.PatchTarget(take_b);
+  m.Return(1);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(FinalReturn(*trace, program->entry()), 12);
+}
+
+TEST(VmTest, LoopViaBackwardJump) {
+  // Sums 1..5 with a loop.
+  ProgramBuilder b;
+  auto m = b.Method("Main");
+  m.LoadConst(0, 0);  // sum
+  m.LoadConst(1, 5);  // i
+  const size_t top = m.Here();
+  m.Add(0, 0, 1);            // sum += i
+  m.AddImm(1, 1, -1);        // --i
+  m.JumpIfNonZeroTo(1, top);
+  m.Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(FinalReturn(*trace, program->entry()), 15);
+}
+
+TEST(VmTest, NestedCallsPropagateReturnValues) {
+  ProgramBuilder b;
+  b.Method("Leaf").LoadConst(0, 21).Return(0);
+  b.Method("Mid").Call(0, "Leaf").AddImm(1, 0, 21).Return(1);
+  b.Method("Main").Call(0, "Mid").Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(FinalReturn(*trace, program->entry()), 42);
+}
+
+TEST(VmTest, ArrayOperations) {
+  ProgramBuilder b;
+  b.Array("arr", 4);
+  auto m = b.Method("Main");
+  m.ArrayLen(0, "arr")        // 4
+      .LoadConst(1, 2)
+      .LoadConst(2, 99)
+      .ArrayStore("arr", 1, 2)
+      .ArrayLoad(3, "arr", 1)  // 99
+      .LoadConst(4, 8)
+      .ArrayResize("arr", 4)
+      .ArrayLen(5, "arr")      // 8
+      .Add(6, 3, 5)
+      .Return(6);              // 107
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(FinalReturn(*trace, program->entry()), 107);
+}
+
+TEST(VmTest, ArrayOutOfBoundsRaisesAndFailsRun) {
+  ProgramBuilder b;
+  b.Array("arr", 2);
+  auto m = b.Method("Main");
+  m.LoadConst(0, 5).ArrayLoad(1, "arr", 0).Return(1);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->failed());
+  EXPECT_EQ(trace->failure_signature().exception_type,
+            program->index_out_of_range());
+}
+
+TEST(VmTest, ThrowAndMethodLevelCatch) {
+  ProgramBuilder b;
+  b.Method("Risky").Throw("Boom");
+  b.Method("Guard").CatchesExceptions(-7).CallVoid("Risky").LoadConst(0, 1).Return(0);
+  b.Method("Main").Call(0, "Guard").Return(0);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE(trace->failed());  // contained
+  // Guard returns its fallback, not its normal value.
+  EXPECT_EQ(FinalReturn(*trace, program->entry()), -7);
+}
+
+TEST(VmTest, UncaughtThrowCarriesSignatureOfOrigin) {
+  ProgramBuilder b;
+  b.Method("Deep").Throw("Kaboom");
+  b.Method("Main").CallVoid("Deep").Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->failed());
+  EXPECT_EQ(trace->failure_signature().method,
+            program->method_names().Find("Deep"));
+  EXPECT_EQ(trace->failure_signature().exception_type,
+            program->exception_names().Find("Kaboom"));
+}
+
+TEST(VmTest, ThrowIfVariants) {
+  ProgramBuilder b;
+  auto m = b.Method("Main");
+  m.LoadConst(0, 0)
+      .ThrowIfNonZero(0, "NotTaken")  // 0: no throw
+      .LoadConst(1, 3)
+      .ThrowIfZero(1, "NotTakenEither")  // 3: no throw
+      .ThrowIfNonZero(1, "Taken")        // throws
+      .Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->failed());
+  EXPECT_EQ(trace->failure_signature().exception_type,
+            program->exception_names().Find("Taken"));
+}
+
+TEST(VmTest, SpawnAndJoinRunToCompletion) {
+  ProgramBuilder b;
+  b.Global("done", 0);
+  b.Method("Child").LoadConst(0, 1).StoreGlobal("done", 0).Return();
+  auto m = b.Method("Main");
+  m.Spawn(0, "Child").Join(0).LoadGlobal(1, "done").Return(1);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE(trace->failed());
+  EXPECT_EQ(FinalReturn(*trace, program->entry()), 1);
+  EXPECT_EQ(trace->thread_count(), 2);
+}
+
+TEST(VmTest, DelayAdvancesVirtualTime) {
+  ProgramBuilder b;
+  b.Method("Main").Delay(500).Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GE(trace->end_tick(), 500);
+  EXPECT_LT(trace->end_tick(), 520);  // small instruction overhead only
+}
+
+TEST(VmTest, ConcurrentDelaysOverlapInVirtualTime) {
+  // Two threads each sleeping 100 ticks finish in ~100, not ~200.
+  ProgramBuilder b;
+  b.Method("Sleeper").Delay(100).Return();
+  auto m = b.Method("Main");
+  m.Spawn(0, "Sleeper").Spawn(1, "Sleeper").Join(0).Join(1).Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_LT(trace->end_tick(), 150);
+}
+
+TEST(VmTest, MutexProvidesMutualExclusion) {
+  // Two threads do lock-protected read-modify-write with an internal delay;
+  // without the lock the final count would often be 1.
+  ProgramBuilder b;
+  b.Global("count", 0);
+  b.Mutex("mu");
+  {
+    auto m = b.Method("Incr");
+    m.Lock("mu")
+        .LoadGlobal(0, "count")
+        .Delay(5)
+        .AddImm(1, 0, 1)
+        .StoreGlobal("count", 1)
+        .Unlock("mu")
+        .Return();
+  }
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "Incr").Spawn(1, "Incr").Join(0).Join(1).LoadGlobal(2, "count").Return(2);
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    auto trace = RunProgram(*program, seed);
+    ASSERT_TRUE(trace.ok());
+    EXPECT_EQ(FinalReturn(*trace, program->entry()), 2) << "seed " << seed;
+  }
+}
+
+TEST(VmTest, UnprotectedRmwLosesUpdatesOnSomeSeeds) {
+  ProgramBuilder b;
+  b.Global("count", 0);
+  {
+    auto m = b.Method("Incr");
+    m.LoadGlobal(0, "count").Delay(5).AddImm(1, 0, 1).StoreGlobal("count", 1).Return();
+  }
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "Incr").Spawn(1, "Incr").Join(0).Join(1).LoadGlobal(2, "count").Return(2);
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  int lost = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    auto trace = RunProgram(*program, seed);
+    ASSERT_TRUE(trace.ok());
+    if (FinalReturn(*trace, program->entry()) == 1) ++lost;
+  }
+  EXPECT_GT(lost, 0);  // the race manifests on at least one interleaving
+}
+
+TEST(VmTest, DeadlockIsDetectedAndFailsRun) {
+  ProgramBuilder b;
+  b.Mutex("a");
+  b.Mutex("b");
+  {
+    auto m = b.Method("T1");
+    m.Lock("a").Delay(10).Lock("b").Unlock("b").Unlock("a").Return();
+  }
+  {
+    auto m = b.Method("T2");
+    m.Lock("b").Delay(10).Lock("a").Unlock("a").Unlock("b").Return();
+  }
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "T1").Spawn(1, "T2").Join(0).Join(1).Return();
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  int deadlocks = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    auto trace = RunProgram(*program, seed);
+    ASSERT_TRUE(trace.ok());
+    if (trace->failed() &&
+        trace->failure_signature().exception_type == program->deadlock()) {
+      ++deadlocks;
+    }
+  }
+  EXPECT_GT(deadlocks, 0);
+}
+
+TEST(VmTest, ReentrantLockDoesNotSelfDeadlock) {
+  ProgramBuilder b;
+  b.Mutex("mu");
+  b.Method("Inner").Lock("mu").Unlock("mu").Return();
+  b.Method("Main").Lock("mu").CallVoid("Inner").Unlock("mu").Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_FALSE(trace->failed());
+}
+
+TEST(VmTest, SameSeedSameTraceDifferentSeedsDiffer) {
+  ProgramBuilder b;
+  b.Global("x", 0);
+  {
+    auto m = b.Method("W");
+    m.DelayRand(1, 30).LoadConst(0, 7).StoreGlobal("x", 0).Return();
+  }
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "W").Spawn(1, "W").Join(0).Join(1).Return();
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  auto t1 = RunProgram(*program, 42);
+  auto t2 = RunProgram(*program, 42);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  ASSERT_EQ(t1->events().size(), t2->events().size());
+  for (size_t i = 0; i < t1->events().size(); ++i) {
+    EXPECT_EQ(t1->events()[i].tick, t2->events()[i].tick);
+    EXPECT_EQ(t1->events()[i].thread, t2->events()[i].thread);
+    EXPECT_EQ(t1->events()[i].kind, t2->events()[i].kind);
+  }
+
+  // Some other seed yields a different interleaving (event count or ticks).
+  bool any_differs = false;
+  for (uint64_t seed = 43; seed < 53 && !any_differs; ++seed) {
+    auto t3 = RunProgram(*program, seed);
+    ASSERT_TRUE(t3.ok());
+    if (t3->events().size() != t1->events().size()) {
+      any_differs = true;
+      break;
+    }
+    for (size_t i = 0; i < t1->events().size(); ++i) {
+      if (t3->events()[i].tick != t1->events()[i].tick ||
+          t3->events()[i].thread != t1->events()[i].thread) {
+        any_differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(VmTest, RunawayLoopAborts) {
+  ProgramBuilder b;
+  auto m = b.Method("Main");
+  const size_t top = m.Here();
+  m.LoadConst(0, 1);
+  m.JumpTo(top);
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  Vm vm(&*program);
+  VmOptions options;
+  options.seed = 1;
+  options.max_steps = 1000;
+  auto trace = vm.Run(options);
+  ASSERT_FALSE(trace.ok());
+  EXPECT_EQ(trace.status().code(), StatusCode::kAborted);
+}
+
+TEST(VmTest, RandomIsPerThreadDeterministic) {
+  // The same thread draws the same random values regardless of what other
+  // threads do -- the property interventions rely on.
+  ProgramBuilder b;
+  b.Global("a", -1);
+  {
+    auto m = b.Method("Draw");
+    m.Random(0, 1000).StoreGlobal("a", 0).Return(0);
+  }
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "Draw").Join(0).LoadGlobal(1, "a").Return(1);
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto t1 = RunProgram(*program, 5);
+  ASSERT_TRUE(t1.ok());
+  const int64_t v1 = FinalReturn(*t1, program->entry());
+
+  // Same seed, but with an intervention plan that perturbs scheduling.
+  InterventionPlan plan;
+  VmAction delay;
+  delay.kind = VmActionKind::kDelayAtEnter;
+  delay.method = program->method_names().Find("Draw");
+  delay.ticks = 13;
+  plan.Add(delay);
+  auto t2 = RunProgram(*program, 5, &plan);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(FinalReturn(*t2, program->entry()), v1);
+}
+
+TEST(VmTest, StopOnFailureFreezesOtherThreads) {
+  ProgramBuilder b;
+  b.Method("Crasher").Delay(5).Throw("Bang");
+  b.Method("Sleeper").Delay(100000).Return();
+  auto m = b.Method("Main");
+  m.Spawn(0, "Crasher").Spawn(1, "Sleeper").Join(0).Join(1).Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  auto trace = RunProgram(*program);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->failed());
+  EXPECT_LT(trace->end_tick(), 1000);  // did not wait for the sleeper
+}
+
+}  // namespace
+}  // namespace aid

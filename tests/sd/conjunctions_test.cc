@@ -1,0 +1,171 @@
+// Tests of compound-predicate mining (paper Section 3.2): predicates that
+// cause the failure only in conjunction are individually non-discriminative
+// but their conjunction is, and AID can then treat the conjunction as the
+// root-cause predicate.
+
+#include "sd/conjunctions.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "predicates/extractor.h"
+#include "runtime/vm.h"
+#include "sd/statistical_debugger.h"
+#include "synth/model.h"
+
+namespace aid {
+namespace {
+
+TEST(ConjunctionsTest, FindsThePairBehindAConjunctiveFailure) {
+  PredicateCatalog catalog;
+  const PredicateId a = catalog.Intern(
+      Predicate{.kind = PredKind::kSynthetic, .occurrence = 1});
+  const PredicateId b = catalog.Intern(
+      Predicate{.kind = PredKind::kSynthetic, .occurrence = 2});
+  const PredicateId f = catalog.Intern(Predicate{.kind = PredKind::kFailure});
+
+  // Failure iff both a and b: each alone appears in successful runs.
+  auto log = [&](bool has_a, bool has_b) {
+    PredicateLog l;
+    l.failed = has_a && has_b;
+    if (has_a) l.observed[a] = {1, 1};
+    if (has_b) l.observed[b] = {2, 2};
+    if (l.failed) l.observed[f] = {9, 9};
+    return l;
+  };
+  std::vector<PredicateLog> logs{log(true, true),  log(true, false),
+                                 log(false, true), log(false, false),
+                                 log(true, true),  log(true, false)};
+
+  const auto candidates = FindDiscriminativeConjunctions(catalog, logs);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].first, a);
+  EXPECT_EQ(candidates[0].second, b);
+}
+
+TEST(ConjunctionsTest, SkipsPairsWithImperfectRecall) {
+  PredicateCatalog catalog;
+  const PredicateId a = catalog.Intern(
+      Predicate{.kind = PredKind::kSynthetic, .occurrence = 1});
+  const PredicateId b = catalog.Intern(
+      Predicate{.kind = PredKind::kSynthetic, .occurrence = 2});
+
+  // b misses one failed run: the conjunction could not explain it.
+  PredicateLog f1;
+  f1.failed = true;
+  f1.observed[a] = {1, 1};
+  f1.observed[b] = {2, 2};
+  PredicateLog f2;
+  f2.failed = true;
+  f2.observed[a] = {1, 1};
+  PredicateLog s1;
+  s1.failed = false;
+  s1.observed[a] = {1, 1};
+  std::vector<PredicateLog> logs{f1, f2, s1};
+
+  EXPECT_TRUE(FindDiscriminativeConjunctions(catalog, logs).empty());
+}
+
+TEST(ConjunctionsTest, ConjunctionOfOrderInversions) {
+  ProgramBuilder b;
+  b.Global("g1", 0);
+  b.Global("g2", 0);
+  for (int i = 1; i <= 2; ++i) {
+    const std::string idx = std::to_string(i);
+    auto p = b.Method("Publisher" + idx);
+    p.Random(0, 2);
+    const size_t slow = p.JumpIfNonZeroPlaceholder(0);
+    p.Delay(5);
+    const size_t pub = p.JumpPlaceholder();
+    p.PatchTarget(slow);
+    p.Delay(60);
+    p.PatchTarget(pub);
+    p.LoadConst(1, 1).StoreGlobal("g" + idx, 1).Return();
+
+    auto f = b.Method("Fetch" + idx);
+    f.SideEffectFree();
+    f.LoadGlobal(0, "g" + idx).Return(0);
+
+    auto c = b.Method("Consumer" + idx);
+    c.Delay(30)
+        .Call(0, "Fetch" + idx)
+        .LoadConst(1, 1)
+        .Sub(2, 1, 0)          // 1 when the fetch was stale
+        .StoreGlobal("stale" + idx, 2)
+        .Return();
+  }
+  b.Global("stale1", 0);
+  b.Global("stale2", 0);
+  {
+    auto m = b.Method("Main");
+    m.Spawn(0, "Publisher1")
+        .Spawn(1, "Publisher2")
+        .Spawn(2, "Consumer1")
+        .Spawn(3, "Consumer2")
+        .Join(0)
+        .Join(1)
+        .Join(2)
+        .Join(3)
+        .LoadGlobal(4, "stale1")
+        .LoadGlobal(5, "stale2")
+        .Mul(6, 4, 5)
+        .ThrowIfNonZero(6, "DoubleStale")
+        .Return();
+  }
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  std::vector<ExecutionTrace> traces;
+  Vm vm(&*program);
+  for (uint64_t seed = 1; seed <= 120; ++seed) {
+    VmOptions options;
+    options.seed = seed;
+    auto trace = vm.Run(options);
+    ASSERT_TRUE(trace.ok());
+    traces.push_back(std::move(*trace));
+  }
+  PredicateExtractor extractor;
+  ASSERT_TRUE(extractor.Observe(traces).ok());
+
+  const PredicateId order1 = extractor.catalog().Find(Predicate{
+      .kind = PredKind::kOrder,
+      .m1 = program->method_names().Find("Fetch1"),
+      .m2 = program->method_names().Find("Publisher1")});
+  const PredicateId order2 = extractor.catalog().Find(Predicate{
+      .kind = PredKind::kOrder,
+      .m1 = program->method_names().Find("Fetch2"),
+      .m2 = program->method_names().Find("Publisher2")});
+  ASSERT_NE(order1, kInvalidPredicate);
+  ASSERT_NE(order2, kInvalidPredicate);
+
+  // Neither inversion is fully discriminative alone...
+  auto sd = StatisticalDebugger::Analyze(extractor.catalog(), extractor.logs());
+  ASSERT_TRUE(sd.ok());
+  EXPECT_FALSE(sd->stats(order1).fully_discriminative());
+  EXPECT_FALSE(sd->stats(order2).fully_discriminative());
+  EXPECT_DOUBLE_EQ(sd->stats(order1).recall(), 1.0);
+  EXPECT_DOUBLE_EQ(sd->stats(order2).recall(), 1.0);
+
+  // ...the miner proposes the pair (among other index-crossing pairs like
+  // (race1, order2), which are equally valid conjunctions)...
+  const auto candidates = FindDiscriminativeConjunctions(
+      extractor.catalog(), extractor.logs(), /*max_results=*/128);
+  bool found = false;
+  for (const auto& candidate : candidates) {
+    if ((candidate.first == order1 && candidate.second == order2) ||
+        (candidate.first == order2 && candidate.second == order1)) {
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  // ...and the registered compound is fully discriminative.
+  auto compound = extractor.AddCompound(order1, order2);
+  ASSERT_TRUE(compound.ok());
+  auto sd2 = StatisticalDebugger::Analyze(extractor.catalog(), extractor.logs());
+  ASSERT_TRUE(sd2.ok());
+  EXPECT_TRUE(sd2->stats(*compound).fully_discriminative());
+}
+
+}  // namespace
+}  // namespace aid

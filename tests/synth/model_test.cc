@@ -1,0 +1,124 @@
+#include "synth/model.h"
+
+#include <gtest/gtest.h>
+
+namespace aid {
+namespace {
+
+TEST(ModelTest, UninterventedExecutionObservesEverythingAndFails) {
+  GroundTruthModel model;
+  model.AddFailure();
+  const PredicateId a = model.AddPredicate(0);
+  const PredicateId b = model.AddPredicate(1);
+  const PredicateId noise = model.AddPredicate(2);
+  model.AddTemporalEdge(a, b);
+  model.SetCausalChain({a, b});
+
+  const PredicateLog log = model.Execute({});
+  EXPECT_TRUE(log.failed);
+  EXPECT_TRUE(log.Has(a));
+  EXPECT_TRUE(log.Has(b));
+  EXPECT_TRUE(log.Has(noise));  // spontaneous
+  EXPECT_TRUE(log.Has(model.failure()));
+}
+
+TEST(ModelTest, InterveningAnyChainMemberStopsTheFailure) {
+  GroundTruthModel model;
+  model.AddFailure();
+  std::vector<PredicateId> chain;
+  for (int i = 0; i < 4; ++i) chain.push_back(model.AddPredicate(i));
+  model.SetCausalChain(chain);
+
+  for (PredicateId c : chain) {
+    const PredicateLog log = model.Execute({c});
+    EXPECT_FALSE(log.failed) << "intervened " << c;
+    EXPECT_FALSE(log.Has(c));
+    // Everything downstream of c on the chain vanishes too.
+    bool after = false;
+    for (PredicateId other : chain) {
+      if (other == c) {
+        after = true;
+        continue;
+      }
+      EXPECT_EQ(log.Has(other), !after) << "chain member " << other;
+    }
+  }
+}
+
+TEST(ModelTest, InterveningNoiseDoesNotStopTheFailure) {
+  GroundTruthModel model;
+  model.AddFailure();
+  const PredicateId cause = model.AddPredicate(0);
+  const PredicateId noise = model.AddPredicate(1);
+  model.SetCausalChain({cause});
+
+  const PredicateLog log = model.Execute({noise});
+  EXPECT_TRUE(log.failed);
+  EXPECT_FALSE(log.Has(noise));
+  EXPECT_TRUE(log.Has(cause));
+}
+
+TEST(ModelTest, ConjunctiveParentsRequireAll) {
+  GroundTruthModel model;
+  model.AddFailure();
+  const PredicateId a = model.AddPredicate(0);
+  const PredicateId b = model.AddPredicate(1);
+  const PredicateId both = model.AddPredicate(2);
+  model.SetCausalChain({a});
+  model.SetTrueParents(both, {a, b});
+
+  EXPECT_TRUE(model.Execute({}).Has(both));
+  EXPECT_FALSE(model.Execute({a}).Has(both));
+  EXPECT_FALSE(model.Execute({b}).Has(both));
+}
+
+TEST(ModelTest, OutOfOrderParentIdsConverge) {
+  // A parent with a *larger* id than its child: fixpoint propagation must
+  // still settle (Figure 4's P10 depends on P11).
+  GroundTruthModel model;
+  model.AddFailure();
+  const PredicateId child = model.AddPredicate(0);
+  const PredicateId parent = model.AddPredicate(1);
+  model.SetCausalChain({parent});
+  model.SetTrueParents(child, {parent});
+
+  EXPECT_TRUE(model.Execute({}).Has(child));
+  EXPECT_FALSE(model.Execute({parent}).Has(child));
+}
+
+TEST(ModelTest, TargetCountsExecutionsAndReplicatesTrials) {
+  GroundTruthModel model;
+  model.AddFailure();
+  const PredicateId a = model.AddPredicate(0);
+  model.SetCausalChain({a});
+
+  ModelTarget target(&model);
+  auto result = target.RunIntervened({}, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->logs.size(), 3u);
+  EXPECT_TRUE(result->AnyFailed());
+  EXPECT_EQ(target.executions(), 3);
+
+  auto stopped = target.RunIntervened({a}, 1);
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_FALSE(stopped->AnyFailed());
+  EXPECT_EQ(target.executions(), 4);
+}
+
+TEST(ModelTest, AcDagContainsChainInOrder) {
+  GroundTruthModel model;
+  model.AddFailure();
+  std::vector<PredicateId> chain;
+  for (int i = 0; i < 3; ++i) chain.push_back(model.AddPredicate(i));
+  model.AddTemporalEdge(chain[0], chain[1]);
+  model.AddTemporalEdge(chain[1], chain[2]);
+  model.SetCausalChain(chain);
+
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_TRUE(dag->Reaches(chain[0], chain[2]));
+  EXPECT_TRUE(dag->Reaches(chain[2], model.failure()));
+}
+
+}  // namespace
+}  // namespace aid

@@ -1,0 +1,214 @@
+// Validates the Section 6 closed forms against exact enumeration: Lemma 1
+// (horizontal/vertical expansion), the symmetric AC-DAG search space, and
+// the bound relationships of Figure 6.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.h"
+#include "theory/bounds.h"
+#include "theory/enumerate.h"
+
+namespace aid {
+namespace {
+
+TEST(EnumerateTest, PlainChainHasTwoToTheN) {
+  // A chain of n predicates admits every subset as a candidate path: 2^n.
+  GroundTruthModel model;
+  model.AddFailure();
+  std::vector<PredicateId> chain;
+  for (int i = 0; i < 5; ++i) chain.push_back(model.AddPredicate(i));
+  for (int i = 0; i + 1 < 5; ++i) {
+    model.AddTemporalEdge(chain[static_cast<size_t>(i)],
+                          chain[static_cast<size_t>(i) + 1]);
+  }
+  model.SetCausalChain({chain[0]});
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(CountCpdSolutions(*dag), 32u);
+}
+
+TEST(EnumerateTest, PaperExampleThreeIsFifteen) {
+  // Figure 5(a): two branches of 3 predicates each.
+  // W_CPD = 2 * (2^3 - 1) + 1 = 15 (the paper's Example 3).
+  auto model = MakeSymmetricModel(/*junctions=*/1, /*branches=*/2,
+                                  /*chain_len=*/3, /*causal=*/1, /*seed=*/1);
+  ASSERT_TRUE(model.ok());
+  auto dag = (*model)->BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(CountCpdSolutions(*dag), 15u);
+}
+
+TEST(EnumerateTest, HorizontalExpansionLemma) {
+  // Two separate branches of sizes 2 and 3 under one junction:
+  // W = 1 + (2^2 - 1) + (2^3 - 1) = 11.
+  GroundTruthModel model;
+  model.AddFailure();
+  std::vector<PredicateId> left, right;
+  for (int i = 0; i < 2; ++i) left.push_back(model.AddPredicate(i));
+  for (int i = 0; i < 3; ++i) right.push_back(model.AddPredicate(10 + i));
+  model.AddTemporalEdge(left[0], left[1]);
+  model.AddTemporalEdge(right[0], right[1]);
+  model.AddTemporalEdge(right[1], right[2]);
+  model.SetCausalChain({left[0]});
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(CountCpdSolutions(*dag),
+            HorizontalExpansion(1u << 2, 1u << 3));
+  EXPECT_EQ(CountCpdSolutions(*dag), 11u);
+}
+
+TEST(EnumerateTest, VerticalExpansionLemma) {
+  // Chain of 2 followed (all-before-all) by a chain of 3:
+  // W = 2^2 * 2^3 = 32 -- a 5-chain, consistent with multiplication.
+  GroundTruthModel model;
+  model.AddFailure();
+  std::vector<PredicateId> chain;
+  for (int i = 0; i < 5; ++i) chain.push_back(model.AddPredicate(i));
+  for (int i = 0; i + 1 < 5; ++i) {
+    model.AddTemporalEdge(chain[static_cast<size_t>(i)],
+                          chain[static_cast<size_t>(i) + 1]);
+  }
+  model.SetCausalChain({chain[0]});
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(CountCpdSolutions(*dag), VerticalExpansion(1u << 2, 1u << 3));
+}
+
+// Property sweep: the symmetric-DAG formula (B(2^n - 1) + 1)^J matches the
+// exact enumerator for every small shape.
+class SymmetricSearchSpaceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SymmetricSearchSpaceTest, FormulaMatchesEnumeration) {
+  const auto [junctions, branches, chain_len] = GetParam();
+  auto model = MakeSymmetricModel(junctions, branches, chain_len,
+                                  /*causal=*/1, /*seed=*/3);
+  ASSERT_TRUE(model.ok());
+  auto dag = (*model)->BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+
+  const double per_block =
+      branches * (std::pow(2.0, chain_len) - 1.0) + 1.0;
+  const double expected = std::pow(per_block, junctions);
+  EXPECT_EQ(CountCpdSolutions(*dag), static_cast<uint64_t>(expected + 0.5));
+
+  SymmetricDagShape shape{junctions, branches, chain_len};
+  EXPECT_NEAR(CpdSearchSpaceLog2Symmetric(shape), std::log2(expected), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SymmetricSearchSpaceTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(BoundsTest, CpdSearchSpaceIsNeverLargerThanGt) {
+  for (int j = 1; j <= 4; ++j) {
+    for (int b = 1; b <= 5; ++b) {
+      for (int n = 1; n <= 4; ++n) {
+        SymmetricDagShape shape{j, b, n};
+        EXPECT_LE(CpdSearchSpaceLog2Symmetric(shape),
+                  GtSearchSpaceLog2(shape.total()) + 1e-9)
+            << "J=" << j << " B=" << b << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(BoundsTest, Theorem2LowerBoundShrinksWithS1) {
+  const int64_t n = 100;
+  const int64_t d = 5;
+  EXPECT_NEAR(CpdLowerBound(n, d, 0.0), GtLowerBound(n, d), 1e-9);
+  EXPECT_LT(CpdLowerBound(n, d, 2.0), CpdLowerBound(n, d, 1.0));
+  EXPECT_LT(CpdLowerBound(n, d, 1.0), GtLowerBound(n, d));
+  EXPECT_GT(CpdLowerBound(n, d, 5.0), 0.0);
+}
+
+TEST(BoundsTest, Theorem3UpperBoundShrinksWithS2) {
+  const int64_t n = 100;
+  const int64_t d = 5;
+  EXPECT_NEAR(AidUpperBoundPredicatePruning(n, d, 0.0), TagtUpperBound(n, d),
+              1e-9);
+  EXPECT_LT(AidUpperBoundPredicatePruning(n, d, 3.0),
+            AidUpperBoundPredicatePruning(n, d, 1.0));
+}
+
+TEST(BoundsTest, BranchPruningBeatsTagtWhenJunctionsFewerThanCauses) {
+  // Section 6.3.1: J log T + D log N_M < D log T + D log N_M iff J < D.
+  const int64_t t = 8;
+  const int64_t nm = 32;
+  EXPECT_LT(AidUpperBoundBranchPruning(/*junctions=*/2, t, nm, /*d=*/5),
+            static_cast<double>(5) * std::log2(static_cast<double>(t)) +
+                5 * std::log2(static_cast<double>(nm)));
+  // And not when J >= D.
+  EXPECT_GE(AidUpperBoundBranchPruning(/*junctions=*/6, t, nm, /*d=*/5),
+            AidUpperBoundBranchPruning(/*junctions=*/4, t, nm, /*d=*/5));
+}
+
+TEST(BoundsTest, Figure6RowsAreOrdered) {
+  SymmetricDagShape shape{3, 4, 5};
+  const int64_t d = 6;
+  const auto lower = Figure6LowerBounds(shape, d, /*s1=*/2.0);
+  const auto upper = Figure6UpperBounds(shape, d, /*s2=*/2.0);
+  EXPECT_LE(lower.cpd, lower.gt);
+  EXPECT_LE(upper.aid, upper.tagt);
+  EXPECT_LE(lower.cpd, upper.aid);
+  EXPECT_LE(lower.gt, upper.tagt);
+}
+
+TEST(BoundsTest, GroupTestingLowerBoundSanity) {
+  EXPECT_DOUBLE_EQ(GtLowerBound(10, 0), 0.0);
+  EXPECT_GT(GtLowerBound(10, 3), 0.0);
+  EXPECT_DOUBLE_EQ(TagtUpperBound(1, 3), 0.0);
+}
+
+// Cross-check the DP enumerator against brute force (all 2^n subsets,
+// chain-ness tested via reachability) on random generated DAGs.
+class EnumeratorBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnumeratorBruteForceTest, DpMatchesSubsetEnumeration) {
+  SyntheticAppOptions options;
+  options.max_threads = 3;
+  options.chain_max = 2;
+  options.branch_max = 2;
+  options.blocks_max = 1;
+  options.seed = static_cast<uint64_t>(GetParam());
+  auto model = GenerateSyntheticApp(options);
+  ASSERT_TRUE(model.ok());
+  auto dag = (*model)->BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+
+  std::vector<PredicateId> nodes;
+  for (PredicateId id : dag->nodes()) {
+    if (id != dag->failure()) nodes.push_back(id);
+  }
+  if (nodes.size() > 16) GTEST_SKIP() << "too large for brute force";
+
+  uint64_t brute = 0;
+  const uint64_t limit = 1ULL << nodes.size();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    std::vector<PredicateId> subset;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (mask & (1ULL << i)) subset.push_back(nodes[i]);
+    }
+    bool chain = true;
+    for (size_t i = 0; i < subset.size() && chain; ++i) {
+      for (size_t j = i + 1; j < subset.size() && chain; ++j) {
+        if (!dag->Reaches(subset[i], subset[j]) &&
+            !dag->Reaches(subset[j], subset[i])) {
+          chain = false;
+        }
+      }
+    }
+    if (chain) ++brute;
+  }
+  EXPECT_EQ(CountCpdSolutions(*dag), brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnumeratorBruteForceTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace aid

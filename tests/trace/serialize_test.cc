@@ -1,0 +1,69 @@
+#include "trace/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/symbol_table.h"
+#include "trace/recorder.h"
+
+namespace aid {
+namespace {
+
+TEST(SerializeTest, TsvContainsHeaderAndEvents) {
+  SymbolTable methods;
+  SymbolTable objects;
+  SymbolTable exceptions;
+  const SymbolId foo = methods.Intern("Foo");
+  const SymbolId x = objects.Intern("x");
+
+  TraceRecorder recorder;
+  const CallUid uid = recorder.MethodEnter(0, foo, 1);
+  recorder.Access(0, foo, uid, x, true, 9, 2);
+  recorder.MethodExit(0, foo, uid, 3, true, 9);
+  ExecutionTrace trace = recorder.Finish(false, {}, 4, 1);
+
+  TraceSymbols symbols{&methods, &objects, &exceptions};
+  const std::string tsv = TraceToTsv(trace, symbols);
+  EXPECT_NE(tsv.find("seq\ttick\tthread"), std::string::npos);
+  EXPECT_NE(tsv.find("Foo"), std::string::npos);
+  EXPECT_NE(tsv.find("write"), std::string::npos);
+  EXPECT_NE(tsv.find("x"), std::string::npos);
+  // 1 header + 3 events.
+  int lines = 0;
+  for (char c : tsv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(SerializeTest, SummaryReflectsOutcome) {
+  SymbolTable methods;
+  SymbolTable objects;
+  SymbolTable exceptions;
+  const SymbolId foo = methods.Intern("Foo");
+  const SymbolId oops = exceptions.Intern("Oops");
+
+  TraceRecorder recorder;
+  const CallUid uid = recorder.MethodEnter(0, foo, 1);
+  recorder.Throw(0, foo, uid, oops, 2);
+  recorder.MethodExit(0, foo, uid, 3, false, 0);
+  ExecutionTrace trace = recorder.Finish(true, {oops, foo}, 4, 1);
+
+  TraceSymbols symbols{&methods, &objects, &exceptions};
+  const std::string summary = TraceSummary(trace, symbols);
+  EXPECT_NE(summary.find("FAILED"), std::string::npos);
+  EXPECT_NE(summary.find("Oops"), std::string::npos);
+  EXPECT_NE(summary.find("Foo"), std::string::npos);
+}
+
+TEST(SerializeTest, SummaryOfSuccessfulRun) {
+  TraceRecorder recorder;
+  const CallUid uid = recorder.MethodEnter(0, 0, 1);
+  recorder.MethodExit(0, 0, uid, 2, false, 0);
+  ExecutionTrace trace = recorder.Finish(false, {}, 3, 1);
+  const std::string summary = TraceSummary(trace, {});
+  EXPECT_NE(summary.find("ok"), std::string::npos);
+  EXPECT_NE(summary.find("1 calls"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aid

@@ -1,0 +1,185 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/recorder.h"
+
+namespace aid {
+namespace {
+
+// Builds a trace via the recorder the way the VM would.
+class TraceBuilderTest : public ::testing::Test {
+ protected:
+  TraceRecorder recorder_;
+};
+
+TEST_F(TraceBuilderTest, SimpleCallHasEnterAndExit) {
+  const CallUid uid = recorder_.MethodEnter(0, 7, 10);
+  recorder_.MethodExit(0, 7, uid, 20, true, 42);
+  ExecutionTrace trace = recorder_.Finish(false, {}, 21, 1);
+
+  auto execs = trace.BuildMethodExecutions();
+  ASSERT_TRUE(execs.ok());
+  ASSERT_EQ(execs->size(), 1u);
+  const MethodExecution& exec = (*execs)[0];
+  EXPECT_EQ(exec.method, 7);
+  EXPECT_EQ(exec.thread, 0);
+  EXPECT_EQ(exec.enter_tick, 10);
+  EXPECT_EQ(exec.exit_tick, 20);
+  EXPECT_EQ(exec.duration(), 10);
+  EXPECT_TRUE(exec.has_return_value);
+  EXPECT_EQ(exec.return_value, 42);
+  EXPECT_FALSE(exec.threw);
+  EXPECT_EQ(exec.occurrence, 1);
+}
+
+TEST_F(TraceBuilderTest, NestedCallsAttachAccessesToInnermostFrame) {
+  const CallUid outer = recorder_.MethodEnter(0, 1, 1);
+  recorder_.Access(0, 1, outer, 100, false, 5, 2);
+  const CallUid inner = recorder_.MethodEnter(0, 2, 3);
+  recorder_.Access(0, 2, inner, 100, true, 6, 4);
+  recorder_.MethodExit(0, 2, inner, 5, false, 0);
+  recorder_.MethodExit(0, 1, outer, 6, false, 0);
+  ExecutionTrace trace = recorder_.Finish(false, {}, 7, 1);
+
+  auto execs = trace.BuildMethodExecutions();
+  ASSERT_TRUE(execs.ok());
+  ASSERT_EQ(execs->size(), 2u);
+  // Enter order: outer first.
+  EXPECT_EQ((*execs)[0].method, 1);
+  EXPECT_EQ((*execs)[1].method, 2);
+  ASSERT_EQ((*execs)[0].access_events.size(), 1u);
+  ASSERT_EQ((*execs)[1].access_events.size(), 1u);
+  EXPECT_EQ(trace.events()[(*execs)[0].access_events[0]].kind,
+            EventKind::kRead);
+  EXPECT_EQ(trace.events()[(*execs)[1].access_events[0]].kind,
+            EventKind::kWrite);
+}
+
+TEST_F(TraceBuilderTest, OccurrenceIndexCountsPerMethodInEnterOrder) {
+  for (int i = 0; i < 3; ++i) {
+    const CallUid uid = recorder_.MethodEnter(0, 9, 10 * i);
+    recorder_.MethodExit(0, 9, uid, 10 * i + 5, false, 0);
+  }
+  const CallUid other = recorder_.MethodEnter(0, 4, 100);
+  recorder_.MethodExit(0, 4, other, 110, false, 0);
+  ExecutionTrace trace = recorder_.Finish(false, {}, 111, 1);
+
+  auto execs = trace.BuildMethodExecutions();
+  ASSERT_TRUE(execs.ok());
+  ASSERT_EQ(execs->size(), 4u);
+  EXPECT_EQ((*execs)[0].occurrence, 1);
+  EXPECT_EQ((*execs)[1].occurrence, 2);
+  EXPECT_EQ((*execs)[2].occurrence, 3);
+  EXPECT_EQ((*execs)[3].occurrence, 1);  // different method restarts count
+}
+
+TEST_F(TraceBuilderTest, ThrowMarksAllOpenFramesOnThread) {
+  const CallUid outer = recorder_.MethodEnter(0, 1, 1);
+  const CallUid inner = recorder_.MethodEnter(0, 2, 2);
+  recorder_.Throw(0, 2, inner, 55, 10);
+  recorder_.MethodExit(0, 2, inner, 11, false, 0);
+  recorder_.MethodExit(0, 1, outer, 12, false, 0);
+  ExecutionTrace trace = recorder_.Finish(true, {55, 2}, 13, 1);
+
+  auto execs = trace.BuildMethodExecutions();
+  ASSERT_TRUE(execs.ok());
+  for (const auto& exec : *execs) {
+    EXPECT_TRUE(exec.threw);
+    EXPECT_TRUE(exec.exception_escaped);
+    EXPECT_EQ(exec.exception_type, 55);
+    EXPECT_EQ(exec.throw_tick, 10);
+  }
+}
+
+TEST_F(TraceBuilderTest, CatchContainsExceptionAtCatchingFrame) {
+  const CallUid outer = recorder_.MethodEnter(0, 1, 1);   // catches
+  const CallUid inner = recorder_.MethodEnter(0, 2, 2);
+  recorder_.Throw(0, 2, inner, 55, 10);
+  recorder_.MethodExit(0, 2, inner, 11, false, 0);  // unwound
+  recorder_.Catch(0, 1, outer, 55, 11);
+  recorder_.MethodExit(0, 1, outer, 12, true, 0);
+  ExecutionTrace trace = recorder_.Finish(false, {}, 13, 1);
+
+  auto execs = trace.BuildMethodExecutions();
+  ASSERT_TRUE(execs.ok());
+  const MethodExecution& outer_exec = (*execs)[0];
+  const MethodExecution& inner_exec = (*execs)[1];
+  EXPECT_TRUE(inner_exec.threw);
+  EXPECT_TRUE(outer_exec.threw);
+  EXPECT_FALSE(outer_exec.exception_escaped);  // contained here
+}
+
+TEST_F(TraceBuilderTest, OpenFramesCloseAtTraceEnd) {
+  recorder_.MethodEnter(0, 3, 5);
+  ExecutionTrace trace = recorder_.Finish(true, {}, 99, 1);
+
+  auto execs = trace.BuildMethodExecutions();
+  ASSERT_TRUE(execs.ok());
+  ASSERT_EQ(execs->size(), 1u);
+  EXPECT_EQ((*execs)[0].exit_tick, 99);
+}
+
+TEST_F(TraceBuilderTest, MismatchedExitIsRejected) {
+  ExecutionTrace trace;
+  Event exit;
+  exit.kind = EventKind::kMethodExit;
+  exit.thread = 0;
+  exit.method = 1;
+  exit.call_uid = 5;
+  trace.Append(exit);
+  EXPECT_FALSE(trace.BuildMethodExecutions().ok());
+}
+
+TEST_F(TraceBuilderTest, LocksetsAreTrackedPerThread) {
+  const CallUid uid = recorder_.MethodEnter(0, 1, 1);
+  recorder_.LockAcquire(0, 1, uid, 77, 2);
+  recorder_.Access(0, 1, uid, 100, true, 1, 3);
+  recorder_.LockRelease(0, 1, uid, 77, 4);
+  recorder_.Access(0, 1, uid, 100, true, 2, 5);
+  recorder_.MethodExit(0, 1, uid, 6, false, 0);
+  ExecutionTrace trace = recorder_.Finish(false, {}, 7, 1);
+
+  std::vector<const Event*> accesses;
+  for (const Event& e : trace.events()) {
+    if (e.kind == EventKind::kWrite) accesses.push_back(&e);
+  }
+  ASSERT_EQ(accesses.size(), 2u);
+  ASSERT_EQ(accesses[0]->locks_held.size(), 1u);
+  EXPECT_EQ(accesses[0]->locks_held[0], 77);
+  EXPECT_TRUE(accesses[1]->locks_held.empty());
+}
+
+TEST_F(TraceBuilderTest, OverlapsIsSymmetricAndStrict) {
+  MethodExecution a;
+  a.enter_tick = 0;
+  a.exit_tick = 10;
+  MethodExecution b;
+  b.enter_tick = 5;
+  b.exit_tick = 15;
+  MethodExecution c;
+  c.enter_tick = 10;
+  c.exit_tick = 20;
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));  // touching endpoints do not overlap
+  EXPECT_FALSE(c.Overlaps(a));
+}
+
+TEST_F(TraceBuilderTest, SequenceNumbersAreMonotonic) {
+  const CallUid a = recorder_.MethodEnter(0, 1, 1);
+  const CallUid b = recorder_.MethodEnter(1, 2, 1);
+  recorder_.MethodExit(1, 2, b, 2, false, 0);
+  recorder_.MethodExit(0, 1, a, 3, false, 0);
+  ExecutionTrace trace = recorder_.Finish(false, {}, 4, 2);
+  uint64_t prev = 0;
+  for (size_t i = 0; i < trace.events().size(); ++i) {
+    if (i > 0) {
+      EXPECT_GT(trace.events()[i].seq, prev);
+    }
+    prev = trace.events()[i].seq;
+  }
+}
+
+}  // namespace
+}  // namespace aid
