@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "core/engine.h"
+#include "api/session.h"
 #include "synth/generator.h"
 #include "synth/model.h"
 
@@ -17,16 +17,17 @@ namespace {
 
 using namespace aid;
 
-double AverageRounds(const GroundTruthModel& model, const AcDag& dag,
-                     EngineOptions options, int repeats) {
+double AverageRounds(const GroundTruthModel& model, EngineOptions options,
+                     int repeats) {
+  auto session =
+      SessionBuilder().WithModel(&model).WithDescriptions(false).Build();
+  if (!session.ok()) return -1;
   double total = 0;
   for (int i = 0; i < repeats; ++i) {
-    ModelTarget target(&model);
     options.seed = static_cast<uint64_t>(i) + 1;
-    CausalPathDiscovery discovery(&dag, &target, options);
-    auto report = discovery.Run();
+    auto report = session->Run(options);
     if (!report.ok()) return -1;
-    total += report->rounds;
+    total += report->discovery.rounds;
   }
   return total / repeats;
 }
@@ -39,13 +40,11 @@ int main() {
   for (int b : {2, 4, 8, 16}) {
     auto model = MakeSymmetricModel(2, b, 3, 3, /*seed=*/9);
     if (!model.ok()) continue;
-    auto dag = (*model)->BuildAcDag();
-    if (!dag.ok()) continue;
     std::printf("%4d | %10.1f %10.1f %12.1f\n", b,
-                AverageRounds(**model, *dag, EngineOptions::Aid(), 5),
-                AverageRounds(**model, *dag,
+                AverageRounds(**model, EngineOptions::Aid(), 5),
+                AverageRounds(**model,
                               EngineOptions::AidNoPredicatePruning(), 5),
-                AverageRounds(**model, *dag, EngineOptions::AidNoPruning(), 5));
+                AverageRounds(**model, EngineOptions::AidNoPruning(), 5));
   }
 
   std::printf("\nAblation 2: causal chain length D (symmetric DAG, J=3, B=4, "
@@ -55,13 +54,11 @@ int main() {
   for (int d : {1, 3, 6, 9, 12}) {
     auto model = MakeSymmetricModel(3, 4, 4, d, /*seed=*/4);
     if (!model.ok()) continue;
-    auto dag = (*model)->BuildAcDag();
-    if (!dag.ok()) continue;
     std::printf("%4d | %10.1f %14.1f %10.1f\n", d,
-                AverageRounds(**model, *dag, EngineOptions::Aid(), 5),
-                AverageRounds(**model, *dag,
+                AverageRounds(**model, EngineOptions::Aid(), 5),
+                AverageRounds(**model,
                               EngineOptions::AidNoPredicatePruning(), 5),
-                AverageRounds(**model, *dag, EngineOptions::Tagt(), 5));
+                AverageRounds(**model, EngineOptions::Tagt(), 5));
   }
 
   std::printf("\nAblation 3: trials per intervention (rounds constant, "
@@ -73,17 +70,19 @@ int main() {
     options.seed = 21;
     auto model = GenerateSyntheticApp(options);
     if (model.ok()) {
-      auto dag = (*model)->BuildAcDag();
-      if (dag.ok()) {
+      auto session = SessionBuilder()
+                         .WithModel(model->get())
+                         .WithDescriptions(false)
+                         .Build();
+      if (session.ok()) {
         for (int trials : {1, 3, 5, 10}) {
-          ModelTarget target(model->get());
           EngineOptions engine = EngineOptions::Aid();
           engine.trials_per_intervention = trials;
-          CausalPathDiscovery discovery(&*dag, &target, engine);
-          auto report = discovery.Run();
+          auto report = session->Run(engine);
           if (report.ok()) {
-            std::printf("%7d | %7d %12d\n", trials, report->rounds,
-                        report->executions);
+            std::printf("%7d | %7d %12d\n", trials,
+                        report->discovery.rounds,
+                        report->discovery.executions);
           }
         }
       }

@@ -11,7 +11,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/engine.h"
+#include "api/session.h"
 #include "synth/generator.h"
 #include "theory/bounds.h"
 #include "theory/enumerate.h"
@@ -82,21 +82,24 @@ int main() {
       auto model = MakeSymmetricModel(shape.junctions, shape.branches,
                                       shape.chain_len, d, seed);
       if (!model.ok()) continue;
-      auto dag = (*model)->BuildAcDag();
-      if (!dag.ok()) continue;
+      auto session = SessionBuilder()
+                         .WithModel(model->get())
+                         .WithDescriptions(false)
+                         .Build();
+      if (!session.ok()) continue;
       {
-        ModelTarget target(model->get());
-        CausalPathDiscovery discovery(&*dag, &target, EngineOptions::Aid());
-        auto report = discovery.Run();
-        if (report.ok()) aid_rounds = std::max(aid_rounds, report->rounds);
+        auto report = session->Run(EngineOptions::Aid());
+        if (report.ok()) {
+          aid_rounds = std::max(aid_rounds, report->discovery.rounds);
+        }
       }
       {
-        ModelTarget target(model->get());
         EngineOptions tagt = EngineOptions::Tagt();
         tagt.seed = seed;
-        CausalPathDiscovery discovery(&*dag, &target, tagt);
-        auto report = discovery.Run();
-        if (report.ok()) tagt_worst = std::max(tagt_worst, report->rounds);
+        auto report = session->Run(tagt);
+        if (report.ok()) {
+          tagt_worst = std::max(tagt_worst, report->discovery.rounds);
+        }
       }
     }
     std::printf("%4d %4d %4d %4d | %9.2f %9.2f | %9.2f %9.2f | %9d %9d\n",

@@ -13,8 +13,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "api/session.h"
 #include "casestudies/case_study.h"
-#include "casestudies/pipeline.h"
 #include "common/math_util.h"
 
 int main() {
@@ -36,35 +36,43 @@ int main() {
 
   bool all_roots_found = true;
   for (const CaseStudy& study : *studies) {
-    PipelineConfig config;
-    config.aid.trials_per_intervention = 3;
-    config.tagt.trials_per_intervention = 3;
-    auto outcome = RunPipeline(study, config);
-    if (!outcome.ok()) {
+    auto session = SessionBuilder()
+                       .WithProgram(&study.program, study.target_options)
+                       .WithEngine(EnginePreset::kAid)
+                       .WithTrials(3)
+                       .WithTagtBaseline()
+                       .Build();
+    if (!session.ok()) {
       std::fprintf(stderr, "%s: %s\n", study.name.c_str(),
-                   outcome.status().ToString().c_str());
+                   session.status().ToString().c_str());
+      return 1;
+    }
+    auto report = session->Run();
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s: %s\n", study.name.c_str(),
+                   report.status().ToString().c_str());
       return 1;
     }
     const int worst_tagt = static_cast<int>(
-        outcome->aid_path_len() *
-        CeilLog2(static_cast<uint64_t>(std::max(outcome->acdag_nodes, 2))));
+        report->causal_path_len() *
+        CeilLog2(static_cast<uint64_t>(std::max(report->acdag_nodes, 2))));
     std::printf("%-16s %4d (%3d)    %4d     %4d (%2d)    %3d (%2d)   %4d"
                 "         %4d (%2d)\n",
-                study.name.c_str(), outcome->fully_discriminative,
-                study.paper.sd_predicates, outcome->acdag_nodes,
-                outcome->aid_path_len(), study.paper.causal_path,
-                outcome->aid.rounds, study.paper.aid_interventions,
-                outcome->tagt.rounds, worst_tagt,
+                study.name.c_str(), report->sd_predicates,
+                study.paper.sd_predicates, report->acdag_nodes,
+                report->causal_path_len(), study.paper.causal_path,
+                report->discovery.rounds, study.paper.aid_interventions,
+                report->tagt_baseline->rounds, worst_tagt,
                 study.paper.tagt_interventions);
     const bool root_ok =
-        outcome->root_cause.find(study.expected_root_substring) !=
+        report->root_cause.find(study.expected_root_substring) !=
         std::string::npos;
     all_roots_found = all_roots_found && root_ok;
     std::printf("    root cause%s: %s\n", root_ok ? "" : " (UNEXPECTED)",
-                outcome->root_cause.c_str());
+                report->root_cause.c_str());
     std::printf("    explanation:\n");
-    for (size_t i = 0; i < outcome->causal_path.size(); ++i) {
-      std::printf("      %zu. %s\n", i + 1, outcome->causal_path[i].c_str());
+    for (size_t i = 0; i < report->causal_path.size(); ++i) {
+      std::printf("      %zu. %s\n", i + 1, report->causal_path[i].c_str());
     }
     std::printf("\n");
   }

@@ -15,7 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/engine.h"
+#include "api/session.h"
 #include "synth/generator.h"
 #include "synth/model.h"
 
@@ -63,9 +63,13 @@ int main(int argc, char** argv) {
                      model.status().ToString().c_str());
         return 1;
       }
-      auto dag = (*model)->BuildAcDag();
-      if (!dag.ok()) {
-        std::fprintf(stderr, "acdag: %s\n", dag.status().ToString().c_str());
+      auto session = SessionBuilder()
+                         .WithModel(model->get())
+                         .WithDescriptions(false)
+                         .Build();
+      if (!session.ok()) {
+        std::fprintf(stderr, "session: %s\n",
+                     session.status().ToString().c_str());
         return 1;
       }
       sum_n += static_cast<double>((*model)->size());
@@ -75,19 +79,18 @@ int main(int argc, char** argv) {
       std::sort(expected.begin(), expected.end());
 
       for (int v = 0; v < 4; ++v) {
-        ModelTarget target(model->get());
         EngineOptions engine = kVariants[v].options;
         engine.seed = static_cast<uint64_t>(i) * 31 + 7;
-        CausalPathDiscovery discovery(&*dag, &target, engine);
-        auto report = discovery.Run();
+        auto report = session->Run(engine);
         if (!report.ok()) {
           std::fprintf(stderr, "engine %s: %s\n", kVariants[v].name,
                        report.status().ToString().c_str());
           return 1;
         }
-        sum_rounds[v] += report->rounds;
-        worst[s][v] = std::max(worst[s][v], static_cast<double>(report->rounds));
-        std::vector<PredicateId> got = report->causal_path;
+        sum_rounds[v] += report->discovery.rounds;
+        worst[s][v] = std::max(worst[s][v],
+                               static_cast<double>(report->discovery.rounds));
+        std::vector<PredicateId> got = report->discovery.causal_path;
         std::sort(got.begin(), got.end());
         if (v == 3 && got == expected) ++correct;
       }

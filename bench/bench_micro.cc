@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "api/session.h"
 #include "causal/acdag.h"
 #include "core/engine.h"
 #include "synth/generator.h"
@@ -65,6 +66,74 @@ void BM_CausalPathDiscovery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CausalPathDiscovery)->Arg(4)->Arg(16)->Arg(40);
+
+// --- batched vs. single-call intervention dispatch -------------------------
+//
+// The same round of singleton interventions submitted one RunIntervened call
+// at a time versus as one RunInterventionsBatch call. The model target's
+// batch override skips the per-call Result/virtual-dispatch plumbing, which
+// is exactly the overhead a remote or pooled backend would amortize.
+
+InterventionSpans SingletonSpans(const GroundTruthModel& model) {
+  InterventionSpans spans;
+  spans.reserve(model.predicates().size());
+  for (PredicateId id : model.predicates()) spans.push_back({id});
+  return spans;
+}
+
+void BM_DispatchSingleCalls(benchmark::State& state) {
+  SyntheticAppOptions options;
+  options.max_threads = static_cast<int>(state.range(0));
+  options.seed = 11;
+  auto model = GenerateSyntheticApp(options);
+  const InterventionSpans spans = SingletonSpans(**model);
+  ModelTarget target(model->get());
+  for (auto _ : state) {
+    for (const auto& span : spans) {
+      auto result = target.RunIntervened(span, /*trials=*/1);
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.counters["spans"] = static_cast<double>(spans.size());
+}
+BENCHMARK(BM_DispatchSingleCalls)->Arg(4)->Arg(16)->Arg(40);
+
+void BM_DispatchBatched(benchmark::State& state) {
+  SyntheticAppOptions options;
+  options.max_threads = static_cast<int>(state.range(0));
+  options.seed = 11;
+  auto model = GenerateSyntheticApp(options);
+  const InterventionSpans spans = SingletonSpans(**model);
+  ModelTarget target(model->get());
+  for (auto _ : state) {
+    auto results = target.RunInterventionsBatch(spans, /*trials=*/1);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["spans"] = static_cast<double>(spans.size());
+}
+BENCHMARK(BM_DispatchBatched)->Arg(4)->Arg(16)->Arg(40);
+
+// Full linear-scan discovery through aid::Session, serial vs. batched
+// dispatch of each scan round.
+void BM_SessionLinearScan(benchmark::State& state) {
+  SyntheticAppOptions options;
+  options.max_threads = static_cast<int>(state.range(0));
+  options.seed = 11;
+  auto model = GenerateSyntheticApp(options);
+  auto session = SessionBuilder()
+                     .WithModel(model->get())
+                     .WithDescriptions(false)
+                     .Build();
+  EngineOptions engine = EngineOptions::Linear();
+  engine.batched_dispatch = state.range(1) != 0;
+  for (auto _ : state) {
+    auto report = session->Run(engine);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_SessionLinearScan)
+    ->ArgsProduct({{4, 16, 40}, {0, 1}})
+    ->ArgNames({"maxt", "batched"});
 
 }  // namespace
 }  // namespace aid

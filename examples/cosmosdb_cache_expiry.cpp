@@ -3,56 +3,45 @@
 // API: transient-fault handling makes a task outlive the cache TTL, and the
 // final lookup crashes on the expired entry.
 //
+// Uses the "case:cosmosdb" backend of the target registry: the session
+// builds the whole case study internally, no program wiring needed.
+//
 // Build & run:  ./build/examples/cosmosdb_cache_expiry
 
 #include <cstdio>
 
-#include "casestudies/case_study.h"
-#include "core/report.h"
-#include "core/vm_target.h"
+#include "api/session.h"
 
 using namespace aid;
 
 int main() {
-  auto study_or = MakeCosmosDbCacheExpiry();
-  if (!study_or.ok()) {
-    std::fprintf(stderr, "%s\n", study_or.status().ToString().c_str());
+  auto session_or = SessionBuilder()
+                        .WithCaseStudy("cosmosdb")
+                        .WithEngine(EnginePreset::kAid)
+                        .WithTrials(3)
+                        .Build();
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "%s\n", session_or.status().ToString().c_str());
     return 1;
   }
-  const CaseStudy& study = *study_or;
-  std::printf("== %s (%s) ==\n\n", study.name.c_str(), study.origin.c_str());
-  std::printf("developer explanation: %s\n\n", study.root_cause.c_str());
+  Session& session = *session_or;
 
-  auto target_or = VmTarget::Create(&study.program, study.target_options);
-  if (!target_or.ok()) {
-    std::fprintf(stderr, "%s\n", target_or.status().ToString().c_str());
-    return 1;
-  }
-  VmTarget& target = **target_or;
-  std::printf("observed %d executions (%d failing, signature kept: the "
-              "dominant failure group)\n\n",
-              target.executions(), target.observed_failures());
+  // name/description come from the case-study definition via the target.
+  std::printf("== %s (%s) ==\n\n",
+              std::string(session.target().name()).c_str(),
+              std::string(session.target().description()).c_str());
+  std::printf("observed %d executions (dominant failure signature kept)\n\n",
+              session.target().intervention_target()->executions());
 
-  auto dag_or = target.BuildAcDag();
-  if (!dag_or.ok()) {
-    std::fprintf(stderr, "%s\n", dag_or.status().ToString().c_str());
-    return 1;
-  }
-
-  EngineOptions options = EngineOptions::Aid();
-  options.trials_per_intervention = 3;
-  CausalPathDiscovery discovery(&*dag_or, &target, options);
-  auto report_or = discovery.Run();
+  auto report_or = session.Run();
   if (!report_or.ok()) {
     std::fprintf(stderr, "%s\n", report_or.status().ToString().c_str());
     return 1;
   }
 
   ReportRenderOptions render;
-  render.methods = &study.program.method_names();
-  render.objects = &study.program.object_names();
   render.include_spurious = true;
-  std::printf("%s", RenderReport(*report_or, *dag_or, render).c_str());
+  std::printf("%s", session.Render(*report_or, render).c_str());
   std::printf("\npaper reference: 64 SD predicates, 7-predicate path, 15 AID "
               "vs 42 TAGT interventions\n");
   return 0;

@@ -1,12 +1,13 @@
 // The paper's illustrative example (Section 5.2, Figure 4): an 11-predicate
 // AC-DAG whose true causal path is P1 -> P2 -> P11 -> F. AID discovers the
 // path in 8 interventions where naive one-at-a-time repair would need 11.
+// The discovery runs through aid::Session over the "model" backend.
 //
 // Build & run:  ./build/examples/illustrative_example
 
 #include <cstdio>
 
-#include "core/engine.h"
+#include "api/session.h"
 #include "synth/model.h"
 
 using namespace aid;
@@ -37,11 +38,21 @@ int main() {
   model.SetTrueParents(p[10], {p[3], p[11]});  // effect of P3 and P11
   // P3 and P7 are spontaneous co-occurring predicates (non-causal).
 
-  auto dag = model.BuildAcDag();
-  if (!dag.ok()) {
-    std::fprintf(stderr, "%s\n", dag.status().ToString().c_str());
+  auto session_or = SessionBuilder()
+                        .WithModel(&model)
+                        .WithEngine(EnginePreset::kAid)
+                        .Build();
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "%s\n", session_or.status().ToString().c_str());
     return 1;
   }
+  Session& session = *session_or;
+  auto report = session.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  const AcDag* dag = session.dag();
 
   std::printf("Figure 4 AC-DAG: %zu nodes; true causal path P1 -> P2 -> P11 "
               "-> F\n\n",
@@ -60,17 +71,9 @@ int main() {
     std::printf("%s\n", levels[i].size() > 1 ? " <- junction" : "");
   }
 
-  ModelTarget target(&model);
-  CausalPathDiscovery discovery(&*dag, &target, EngineOptions::Aid());
-  auto report = discovery.Run();
-  if (!report.ok()) {
-    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
-    return 1;
-  }
-
   std::printf("\nintervention rounds (paper: steps 1-8):\n");
-  for (size_t i = 0; i < report->history.size(); ++i) {
-    const InterventionRound& round = report->history[i];
+  for (size_t i = 0; i < report->discovery.history.size(); ++i) {
+    const InterventionRound& round = report->discovery.history[i];
     std::printf("  %zu. [%-6s] {", i + 1, round.phase.c_str());
     for (size_t j = 0; j < round.intervened.size(); ++j) {
       std::printf("%sP%d", j ? ", " : "",
@@ -81,13 +84,13 @@ int main() {
   }
 
   std::printf("\ndiscovered causal path: ");
-  for (PredicateId id : report->causal_path) {
+  for (PredicateId id : report->discovery.causal_path) {
     if (id == model.failure()) {
       std::printf("F");
     } else {
       std::printf("P%d -> ", model.catalog().Get(id).occurrence);
     }
   }
-  std::printf("\nrounds: %d (paper: 8; naive: 11)\n", report->rounds);
-  return report->rounds <= 11 ? 0 : 1;
+  std::printf("\nrounds: %d (paper: 8; naive: 11)\n", report->discovery.rounds);
+  return report->discovery.rounds <= 11 ? 0 : 1;
 }

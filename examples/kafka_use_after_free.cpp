@@ -6,15 +6,15 @@
 // surfaces a pile of fully-discriminative predicates (wrong returns from
 // every status probe, slow durations, the commit exception) with no
 // indication which one to fix; AID prunes the symptoms and delivers the
-// chain from the slow work item to the crash.
+// chain from the slow work item to the crash. The whole pipeline, plus the
+// TAGT baseline on the same target, runs through one aid::Session.
 //
 // Build & run:  ./build/examples/kafka_use_after_free
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "casestudies/case_study.h"
-#include "casestudies/pipeline.h"
-#include "sd/statistical_debugger.h"
 
 using namespace aid;
 
@@ -28,30 +28,38 @@ int main() {
 
   std::printf("== %s (%s) ==\n\n", study.name.c_str(), study.origin.c_str());
 
-  PipelineConfig config;
-  config.aid.trials_per_intervention = 3;
-  config.tagt.trials_per_intervention = 3;
-  auto outcome_or = RunPipeline(study, config);
-  if (!outcome_or.ok()) {
-    std::fprintf(stderr, "%s\n", outcome_or.status().ToString().c_str());
+  auto session_or = SessionBuilder()
+                        .WithProgram(&study.program, study.target_options)
+                        .WithEngine(EnginePreset::kAid)
+                        .WithTrials(3)
+                        .WithTagtBaseline()
+                        .Build();
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "%s\n", session_or.status().ToString().c_str());
     return 1;
   }
-  const PipelineOutcome& outcome = *outcome_or;
+  auto report_or = session_or->Run();
+  if (!report_or.ok()) {
+    std::fprintf(stderr, "%s\n", report_or.status().ToString().c_str());
+    return 1;
+  }
+  const SessionReport& report = *report_or;
 
   std::printf("what a developer gets from statistical debugging alone:\n");
   std::printf("  %d fully-discriminative predicates, no causal structure\n\n",
-              outcome.fully_discriminative);
+              report.sd_predicates);
 
   std::printf("what AID adds:\n");
-  std::printf("  root cause: %s\n", outcome.root_cause.c_str());
+  std::printf("  root cause: %s\n", report.root_cause.c_str());
   std::printf("  causal explanation:\n");
-  for (size_t i = 0; i < outcome.causal_path.size(); ++i) {
-    std::printf("    %zu. %s\n", i + 1, outcome.causal_path[i].c_str());
+  for (size_t i = 0; i < report.causal_path.size(); ++i) {
+    std::printf("    %zu. %s\n", i + 1, report.causal_path[i].c_str());
   }
   std::printf("\n  interventions: %d rounds (TAGT on the same target: %d)\n",
-              outcome.aid.rounds, outcome.tagt.rounds);
+              report.discovery.rounds,
+              report.tagt_baseline ? report.tagt_baseline->rounds : -1);
   std::printf("  predicates proven spurious: %zu\n",
-              outcome.aid.spurious.size());
+              report.discovery.spurious.size());
   std::printf("\npaper reference: 72 SD predicates, 5-predicate path, 17 AID "
               "vs 33 TAGT interventions\n");
   return 0;

@@ -11,8 +11,8 @@
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "casestudies/case_study.h"
-#include "core/engine.h"
 #include "core/vm_target.h"
 #include "runtime/vm.h"
 #include "sd/statistical_debugger.h"
@@ -96,15 +96,28 @@ int main() {
               dag_or->ToDot(&program.method_names(), &program.object_names())
                   .c_str());
 
-  // --- Section 5: interventions -------------------------------------------
-  EngineOptions engine_options = EngineOptions::Aid();
-  engine_options.trials_per_intervention = 3;
-  CausalPathDiscovery discovery(&*dag_or, &target, engine_options);
-  auto report_or = discovery.Run();
-  if (!report_or.ok()) {
-    std::fprintf(stderr, "%s\n", report_or.status().ToString().c_str());
+  // --- Section 5: interventions, driven through aid::Session over the
+  // hand-assembled target (MakeAdapterSessionTarget borrows the VmTarget
+  // and the AC-DAG built above; no re-observation happens) ----------------
+  auto session_or =
+      SessionBuilder()
+          .WithTarget(MakeAdapterSessionTarget(
+              &target, &*dag_or, &target.extractor().catalog(),
+              &program.method_names(), &program.object_names(), "npgsql"))
+          .WithEngine(EnginePreset::kAid)
+          .WithTrials(3)
+          .Build();
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "%s\n", session_or.status().ToString().c_str());
     return 1;
   }
+  auto session_report_or = session_or->Run();
+  if (!session_report_or.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 session_report_or.status().ToString().c_str());
+    return 1;
+  }
+  const DiscoveryReport* report_or = &session_report_or->discovery;
   std::printf("--- intervention rounds ---\n");
   for (size_t i = 0; i < report_or->history.size(); ++i) {
     const InterventionRound& round = report_or->history[i];

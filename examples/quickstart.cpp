@@ -5,21 +5,16 @@
 // reader validates (version, checksum) consistency. When the reader lands
 // inside the writer's update window, validation throws.
 //
-// The example walks the full AID workflow:
-//   1. observe: run the program across seeds, collect predicate logs
-//   2. statistical debugging: fully-discriminative predicates
-//   3. AC-DAG: approximate causality from temporal precedence
-//   4. causality-guided interventions: root cause + causal path
+// The whole workflow -- observation, statistical debugging, AC-DAG
+// construction, causality-guided interventions -- runs through the public
+// aid::Session API; an Observer streams progress while the pipeline works.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "causal/acdag.h"
-#include "core/engine.h"
-#include "core/vm_target.h"
+#include "api/session.h"
 #include "runtime/program.h"
-#include "sd/statistical_debugger.h"
 
 using namespace aid;
 
@@ -79,6 +74,24 @@ Result<Program> BuildSubjectProgram() {
   return b.Build("Main");
 }
 
+/// Streams pipeline progress to stdout as the session works.
+class ProgressPrinter : public Observer {
+ public:
+  void OnPhaseChanged(SessionPhase phase) override {
+    std::printf("[phase] %s\n",
+                std::string(SessionPhaseName(phase)).c_str());
+  }
+  void OnRoundFinished(const ObservedRound& round) override {
+    std::printf("[round %2d] %-6s intervened on %zu predicate(s) -> %s\n",
+                round.round, std::string(round.phase).c_str(),
+                round.intervened.size(),
+                round.failure_stopped ? "failure stopped" : "still failing");
+  }
+  void OnPredicateDecided(PredicateId id, bool causal) override {
+    if (causal) std::printf("[decide] predicate %d is causal\n", id);
+  }
+};
+
 }  // namespace
 
 int main() {
@@ -91,77 +104,46 @@ int main() {
 
   std::printf("== AID quickstart: intermittent checksum mismatch ==\n\n");
 
-  // 1. Observation phase.
+  ProgressPrinter progress;
   VmTargetOptions options;
   options.min_successes = 50;
   options.min_failures = 50;
-  auto target_or = VmTarget::Create(&program, options);
-  if (!target_or.ok()) {
-    std::fprintf(stderr, "observe: %s\n", target_or.status().ToString().c_str());
+
+  auto session_or = SessionBuilder()
+                        .WithProgram(&program, options)
+                        .WithEngine(EnginePreset::kAid)
+                        .WithTrials(3)
+                        .WithObserver(&progress)
+                        .Build();
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "build: %s\n",
+                 session_or.status().ToString().c_str());
     return 1;
   }
-  VmTarget& target = **target_or;
-  std::printf("observed %d executions (%d failing)\n", target.executions(),
-              target.observed_failures());
+  Session& session = *session_or;
+  std::printf("observed %d executions\n",
+              session.target().intervention_target()->executions());
 
-  // 2. Statistical debugging.
-  auto sd_or = StatisticalDebugger::Analyze(target.extractor().catalog(),
-                                            target.extractor().logs());
-  if (!sd_or.ok()) {
-    std::fprintf(stderr, "sd: %s\n", sd_or.status().ToString().c_str());
-    return 1;
-  }
-  const auto discriminative = sd_or->FullyDiscriminative();
-  std::printf("statistical debugging: %zu fully-discriminative predicates\n",
-              discriminative.size());
-  for (PredicateId id : discriminative) {
-    std::printf("  - %s\n",
-                target.extractor()
-                    .catalog()
-                    .Describe(id, &program.method_names(),
-                              &program.object_names())
-                    .c_str());
-  }
-
-  // 3. AC-DAG.
-  auto dag_or = target.BuildAcDag();
-  if (!dag_or.ok()) {
-    std::fprintf(stderr, "acdag: %s\n", dag_or.status().ToString().c_str());
-    return 1;
-  }
-  const AcDag& dag = *dag_or;
-  std::printf("\nAC-DAG: %zu nodes (after safety & reachability filters)\n",
-              dag.size());
-
-  // 4. Causality-guided interventions.
-  EngineOptions engine_options = EngineOptions::Aid();
-  engine_options.trials_per_intervention = 3;
-  CausalPathDiscovery discovery(&dag, &target, engine_options);
-  auto report_or = discovery.Run();
+  auto report_or = session.Run();
   if (!report_or.ok()) {
-    std::fprintf(stderr, "aid: %s\n", report_or.status().ToString().c_str());
+    std::fprintf(stderr, "run: %s\n", report_or.status().ToString().c_str());
     return 1;
   }
-  const DiscoveryReport& report = *report_or;
+  const SessionReport& report = *report_or;
 
+  std::printf("\nstatistical debugging: %d fully-discriminative predicates\n",
+              report.sd_predicates);
+  std::printf("AC-DAG: %d nodes (after safety & reachability filters)\n",
+              report.acdag_nodes);
   std::printf("\nAID finished in %d intervention rounds (%d re-executions)\n",
-              report.rounds, report.executions);
+              report.discovery.rounds, report.discovery.executions);
+
   std::printf("\nroot cause:\n  %s\n",
-              report.root_cause() == kInvalidPredicate
-                  ? "(none found)"
-                  : target.extractor()
-                        .catalog()
-                        .Describe(report.root_cause(), &program.method_names(),
-                                  &program.object_names())
-                        .c_str());
+              report.has_root_cause() ? report.root_cause.c_str()
+                                      : "(none found)");
   std::printf("\ncausal explanation path:\n");
   for (size_t i = 0; i < report.causal_path.size(); ++i) {
-    std::printf("  %zu. %s\n", i + 1,
-                target.extractor()
-                    .catalog()
-                    .Describe(report.causal_path[i], &program.method_names(),
-                              &program.object_names())
-                    .c_str());
+    std::printf("  %zu. %s\n", i + 1, report.causal_path[i].c_str());
   }
   return 0;
 }

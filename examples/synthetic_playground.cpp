@@ -1,6 +1,6 @@
 // Synthetic playground: generate a random multi-threaded application with a
 // known root cause (the paper's Section 7.2 benchmark methodology) and
-// watch all four engine variants debug it.
+// watch all four engine variants debug it through one aid::Session.
 //
 // Usage: ./build/examples/synthetic_playground [max_threads] [seed]
 
@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/engine.h"
+#include "api/session.h"
 #include "synth/generator.h"
 #include "synth/model.h"
 
@@ -36,47 +36,49 @@ int main(int argc, char** argv) {
   }
   std::printf("-> F\n\n");
 
-  auto dag_or = model.BuildAcDag();
-  if (!dag_or.ok()) {
-    std::fprintf(stderr, "%s\n", dag_or.status().ToString().c_str());
+  // One session over the model target; each preset runs on the shared
+  // AC-DAG via Session::Run(EngineOptions).
+  auto session_or = SessionBuilder().WithModel(&model).Build();
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "%s\n", session_or.status().ToString().c_str());
     return 1;
   }
-  const AcDag& dag = *dag_or;
-  int junctions = 0;
-  for (const auto& level : dag.TopoLevels()) {
-    if (level.size() > 1) ++junctions;
-  }
-  std::printf("AC-DAG: %zu nodes, %d junction levels\n\n", dag.size(),
-              junctions);
-
-  struct Variant {
-    const char* name;
-    EngineOptions options;
-  };
-  const Variant kVariants[] = {
-      {"AID (full)", EngineOptions::Aid()},
-      {"AID-P (no predicate pruning)", EngineOptions::AidNoPredicatePruning()},
-      {"AID-P-B (topological only)", EngineOptions::AidNoPruning()},
-      {"TAGT (random order)", EngineOptions::Tagt()},
-  };
+  Session& session = *session_or;
 
   std::vector<PredicateId> truth = model.causal_chain();
   truth.push_back(model.failure());
   std::sort(truth.begin(), truth.end());
 
-  for (const Variant& variant : kVariants) {
-    ModelTarget target(&model);
-    CausalPathDiscovery discovery(&dag, &target, variant.options);
-    auto report = discovery.Run();
+  const EnginePreset kPresets[] = {
+      EnginePreset::kAid,
+      EnginePreset::kAidNoPredicatePruning,
+      EnginePreset::kAidNoPruning,
+      EnginePreset::kTagt,
+  };
+
+  bool printed_dag = false;
+  for (EnginePreset preset : kPresets) {
+    auto report = session.Run(MakeEngineOptions(preset));
     if (!report.ok()) {
-      std::fprintf(stderr, "%s: %s\n", variant.name,
+      std::fprintf(stderr, "%s: %s\n",
+                   std::string(EnginePresetName(preset)).c_str(),
                    report.status().ToString().c_str());
       return 1;
     }
-    std::vector<PredicateId> got = report->causal_path;
+    if (!printed_dag) {
+      int junctions = 0;
+      for (const auto& level : session.dag()->TopoLevels()) {
+        if (level.size() > 1) ++junctions;
+      }
+      std::printf("AC-DAG: %d nodes, %d junction levels\n\n",
+                  report->acdag_nodes, junctions);
+      printed_dag = true;
+    }
+    std::vector<PredicateId> got = report->discovery.causal_path;
     std::sort(got.begin(), got.end());
-    std::printf("%-32s %3d rounds, %3d executions -> %s\n", variant.name,
-                report->rounds, report->executions,
+    std::printf("%-32s %3d rounds, %3d executions -> %s\n",
+                std::string(EnginePresetName(preset)).c_str(),
+                report->discovery.rounds, report->discovery.executions,
                 got == truth ? "exact causal path" : "MISMATCH");
   }
 

@@ -1,0 +1,14 @@
+// Observer: progress callbacks for the AID pipeline.
+//
+// Part of the stable public surface under api/. The interface itself lives
+// in core/observer.h so the engine layer stays self-contained; this header
+// re-exports it for api/ consumers. See core/observer.h for the contract:
+// Observer (OnPhaseChanged / OnRoundStarted / OnRoundFinished /
+// OnPredicateDecided), SessionPhase, and ObservedRound.
+
+#ifndef AID_API_OBSERVER_H_
+#define AID_API_OBSERVER_H_
+
+#include "core/observer.h"
+
+#endif  // AID_API_OBSERVER_H_

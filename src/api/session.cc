@@ -1,0 +1,200 @@
+#include "api/session.h"
+
+#include <utility>
+
+namespace aid {
+
+Result<SessionReport> Session::Run() {
+  return RunInternal(options_.engine, options_.run_tagt_baseline);
+}
+
+Result<SessionReport> Session::Run(const EngineOptions& engine_options) {
+  return RunInternal(engine_options, /*run_baseline=*/false);
+}
+
+Result<SessionReport> Session::RunInternal(const EngineOptions& engine_options,
+                                           bool run_baseline) {
+  SessionReport report;
+  report.target_name = std::string(target_->name());
+  report.sd_predicates = target_->sd_predicate_count();
+
+  if (dag() == nullptr) {
+    // SD ran inside the backend's construction; its phase is announced once
+    // here, alongside the one-time DAG construction, so repeated Run calls
+    // do not replay phases whose work is not redone.
+    if (observer_ != nullptr) {
+      observer_->OnPhaseChanged(SessionPhase::kStatisticalDebugging);
+      observer_->OnPhaseChanged(SessionPhase::kAcDagConstruction);
+    }
+    borrowed_dag_ = target_->prebuilt_dag();
+    if (borrowed_dag_ == nullptr) {
+      AID_ASSIGN_OR_RETURN(AcDag built, target_->BuildAcDag());
+      dag_.emplace(std::move(built));
+    }
+  }
+  const AcDag* dag = this->dag();
+  report.acdag_nodes = static_cast<int>(dag->size());
+
+  EngineOptions engine = engine_options;
+  if (engine.observer == nullptr) engine.observer = observer_;
+  {
+    CausalPathDiscovery discovery(dag, target_->intervention_target(),
+                                  engine);
+    AID_ASSIGN_OR_RETURN(report.discovery, discovery.Run());
+  }
+  if (run_baseline) {
+    // The baseline is a silent comparison run: it reuses the target but not
+    // the observer.
+    CausalPathDiscovery discovery(dag, target_->intervention_target(),
+                                  options_.tagt_baseline);
+    AID_ASSIGN_OR_RETURN(DiscoveryReport baseline, discovery.Run());
+    report.tagt_baseline = std::move(baseline);
+  }
+
+  if (options_.describe) {
+    const PredicateCatalog* catalog = target_->catalog();
+    const SymbolTable* methods = target_->method_names();
+    const SymbolTable* objects = target_->object_names();
+    if (report.discovery.has_root_cause()) {
+      report.root_cause = catalog->Describe(report.discovery.root_cause(),
+                                            methods, objects);
+    }
+    report.causal_path.reserve(report.discovery.causal_path.size());
+    for (PredicateId id : report.discovery.causal_path) {
+      report.causal_path.push_back(catalog->Describe(id, methods, objects));
+    }
+  }
+
+  if (observer_ != nullptr) {
+    observer_->OnPhaseChanged(SessionPhase::kFinished);
+  }
+  return report;
+}
+
+std::string Session::Render(const SessionReport& report,
+                            ReportRenderOptions options) const {
+  if (dag() == nullptr) return "(session not run)";
+  if (options.methods == nullptr) options.methods = target_->method_names();
+  if (options.objects == nullptr) options.objects = target_->object_names();
+  return RenderReport(report.discovery, *dag(), options);
+}
+
+SessionBuilder& SessionBuilder::WithTarget(std::string backend,
+                                           TargetConfig config) {
+  backend_ = std::move(backend);
+  config_ = std::move(config);
+  prebuilt_target_.reset();
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::WithTarget(
+    std::unique_ptr<SessionTarget> target) {
+  prebuilt_target_ = std::move(target);
+  backend_.clear();
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::WithProgram(const Program* program,
+                                            VmTargetOptions options) {
+  TargetConfig config;
+  config.program = program;
+  config.vm = options;
+  return WithTarget("vm", std::move(config));
+}
+
+SessionBuilder& SessionBuilder::WithModel(const GroundTruthModel* model) {
+  TargetConfig config;
+  config.model = model;
+  return WithTarget("model", std::move(config));
+}
+
+SessionBuilder& SessionBuilder::WithFlakyModel(const GroundTruthModel* model,
+                                               double manifest_probability,
+                                               uint64_t seed) {
+  TargetConfig config;
+  config.model = model;
+  config.manifest_probability = manifest_probability;
+  config.flaky_seed = seed;
+  return WithTarget("flaky-model", std::move(config));
+}
+
+SessionBuilder& SessionBuilder::WithCaseStudy(std::string name) {
+  TargetConfig config;
+  config.case_study = std::move(name);
+  return WithTarget("case", std::move(config));
+}
+
+SessionBuilder& SessionBuilder::WithEngine(EnginePreset preset) {
+  options_.engine = MakeEngineOptions(preset);
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::WithEngineOptions(
+    const EngineOptions& options) {
+  options_.engine = options;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::WithTrials(int trials_per_intervention) {
+  trials_ = trials_per_intervention;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::WithSeed(uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::WithBatchedDispatch(bool batched) {
+  batched_ = batched;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::WithObserver(Observer* observer) {
+  observer_ = observer;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::WithTagtBaseline(bool run) {
+  options_.run_tagt_baseline = run;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::WithTagtBaselineOptions(
+    const EngineOptions& options) {
+  options_.tagt_baseline = options;
+  options_.run_tagt_baseline = true;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::WithDescriptions(bool describe) {
+  options_.describe = describe;
+  return *this;
+}
+
+Result<Session> SessionBuilder::Build() {
+  // The deferred knobs override the engine options regardless of the order
+  // the builder calls arrived in.
+  if (trials_.has_value()) {
+    options_.engine.trials_per_intervention = *trials_;
+    options_.tagt_baseline.trials_per_intervention = *trials_;
+  }
+  if (seed_.has_value()) options_.engine.seed = *seed_;
+  if (batched_.has_value()) options_.engine.batched_dispatch = *batched_;
+
+  std::unique_ptr<SessionTarget> target = std::move(prebuilt_target_);
+  if (target == nullptr) {
+    if (backend_.empty()) {
+      return Status::InvalidArgument(
+          "SessionBuilder: no target configured (call WithTarget / "
+          "WithProgram / WithModel / WithCaseStudy first)");
+    }
+    if (observer_ != nullptr) {
+      observer_->OnPhaseChanged(SessionPhase::kObservation);
+    }
+    AID_ASSIGN_OR_RETURN(target, TargetFactory::Create(backend_, config_));
+  }
+  return Session(std::move(target), options_, observer_);
+}
+
+}  // namespace aid

@@ -1,0 +1,174 @@
+// aid::Session -- the one public entry point to the AID pipeline.
+//
+// A Session owns the whole debugging workflow of the paper's Figure 1 over
+// any target backend: trace ingestion and predicate extraction (the
+// backend's observation phase), statistical debugging, AC-DAG construction,
+// and causality-guided causal path discovery. Sessions are built through
+// the fluent SessionBuilder:
+//
+//   auto session_or = aid::SessionBuilder()
+//                         .WithProgram(&program)        // or WithModel(...),
+//                                                       // WithTarget("vm",..)
+//                         .WithEngine(EnginePreset::kAid)
+//                         .WithTrials(3)
+//                         .WithObserver(&progress)      // optional
+//                         .Build();                     // observation phase
+//   AID_ASSIGN_OR_RETURN(SessionReport report, session_or->Run());
+//   // report.root_cause, report.causal_path, report.discovery ...
+//
+// Every workload in the repository -- examples, benchmarks, case-study
+// drivers -- goes through this API; the engine and targets underneath stay
+// composable for tests and research code.
+
+#ifndef AID_API_SESSION_H_
+#define AID_API_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/observer.h"
+#include "api/options.h"
+#include "api/target_factory.h"
+#include "core/engine.h"
+#include "core/report.h"
+
+namespace aid {
+
+/// The outcome of one Session::Run.
+struct SessionReport {
+  std::string target_name;
+  /// #fully-discriminative predicates from SD (-1: backend has no SD stage).
+  int sd_predicates = -1;
+  /// AC-DAG size after safety + reachability filtering.
+  int acdag_nodes = 0;
+  /// The main discovery run.
+  DiscoveryReport discovery;
+  /// The TAGT baseline, when SessionOptions::run_tagt_baseline was set.
+  std::optional<DiscoveryReport> tagt_baseline;
+  /// Human-readable root cause (empty when none was certified) and causal
+  /// path, when SessionOptions::describe was set.
+  std::string root_cause;
+  std::vector<std::string> causal_path;
+
+  bool has_root_cause() const { return discovery.has_root_cause(); }
+  /// Predicates in the causal path excluding F (the paper's Figure 7
+  /// "causal path" column).
+  int causal_path_len() const {
+    return static_cast<int>(discovery.causal_path.size()) - 1;
+  }
+};
+
+/// One debugging session over one target. Create via SessionBuilder.
+class Session {
+ public:
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  /// Runs the pipeline stages that follow observation: statistical
+  /// debugging, AC-DAG construction, causal path discovery, and the
+  /// optional TAGT baseline. May be called repeatedly; the AC-DAG is built
+  /// once and reused, while discovery runs fresh each time (re-running
+  /// accumulates executions on the shared target).
+  Result<SessionReport> Run();
+
+  /// Same, but with `engine` in place of the configured engine options --
+  /// the way to compare presets over one observed target without paying the
+  /// observation and AC-DAG phases again. The TAGT baseline is NOT run on
+  /// this overload (it belongs to the configured Run(); comparison loops
+  /// should not accumulate hidden baseline executions).
+  Result<SessionReport> Run(const EngineOptions& engine);
+
+  /// Renders `report` through core/report.h with this session's symbol
+  /// tables filled in.
+  std::string Render(const SessionReport& report,
+                     ReportRenderOptions options = {}) const;
+
+  /// The target backend (valid for the session's lifetime).
+  SessionTarget& target() { return *target_; }
+  const SessionTarget& target() const { return *target_; }
+
+  /// The AC-DAG (borrowed from the target when it holds one prebuilt,
+  /// otherwise built and owned here); null before the first Run().
+  const AcDag* dag() const {
+    if (borrowed_dag_ != nullptr) return borrowed_dag_;
+    return dag_.has_value() ? &*dag_ : nullptr;
+  }
+
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  friend class SessionBuilder;
+  Result<SessionReport> RunInternal(const EngineOptions& engine,
+                                    bool run_baseline);
+  Session(std::unique_ptr<SessionTarget> target, SessionOptions options,
+          Observer* observer)
+      : target_(std::move(target)),
+        options_(std::move(options)),
+        observer_(observer) {}
+
+  std::unique_ptr<SessionTarget> target_;
+  SessionOptions options_;
+  Observer* observer_ = nullptr;  ///< non-owning; may be null
+  std::optional<AcDag> dag_;      ///< owned DAG (unset when borrowing)
+  /// DAG borrowed from the target (points into *target_, so it stays valid
+  /// across Session moves).
+  const AcDag* borrowed_dag_ = nullptr;
+};
+
+/// Fluent builder for Session. All setters return *this; Build() runs the
+/// backend's observation phase and hands back the ready Session.
+class SessionBuilder {
+ public:
+  // ----- target selection (exactly one required) ------------------------
+  /// Any backend registered with TargetFactory ("vm", "model", "case", ...).
+  SessionBuilder& WithTarget(std::string backend, TargetConfig config);
+  /// A pre-built custom backend (takes ownership).
+  SessionBuilder& WithTarget(std::unique_ptr<SessionTarget> target);
+  /// Shorthand for the "vm" backend over `program`.
+  SessionBuilder& WithProgram(const Program* program,
+                              VmTargetOptions options = {});
+  /// Shorthand for the "model" backend over `model`.
+  SessionBuilder& WithModel(const GroundTruthModel* model);
+  /// Shorthand for the "flaky-model" backend.
+  SessionBuilder& WithFlakyModel(const GroundTruthModel* model,
+                                 double manifest_probability,
+                                 uint64_t seed = 1);
+  /// Shorthand for the "case:<name>" backend.
+  SessionBuilder& WithCaseStudy(std::string name);
+
+  // ----- engine configuration ------------------------------------------
+  SessionBuilder& WithEngine(EnginePreset preset);
+  SessionBuilder& WithEngineOptions(const EngineOptions& options);
+  /// Executions per intervention round; applies to the main engine and the
+  /// TAGT baseline (overrides whatever the engine options carry).
+  SessionBuilder& WithTrials(int trials_per_intervention);
+  /// Seed for random ordering / tie-breaking of the main engine.
+  SessionBuilder& WithSeed(uint64_t seed);
+  /// Dispatch linear-scan rounds through RunInterventionsBatch.
+  SessionBuilder& WithBatchedDispatch(bool batched = true);
+
+  // ----- session behavior ----------------------------------------------
+  SessionBuilder& WithObserver(Observer* observer);
+  SessionBuilder& WithTagtBaseline(bool run = true);
+  SessionBuilder& WithTagtBaselineOptions(const EngineOptions& options);
+  SessionBuilder& WithDescriptions(bool describe);
+
+  /// Creates the target (running its observation phase) and the Session.
+  Result<Session> Build();
+
+ private:
+  std::string backend_;
+  TargetConfig config_;
+  std::unique_ptr<SessionTarget> prebuilt_target_;
+  SessionOptions options_;
+  Observer* observer_ = nullptr;
+  std::optional<int> trials_;
+  std::optional<uint64_t> seed_;
+  std::optional<bool> batched_;
+};
+
+}  // namespace aid
+
+#endif  // AID_API_SESSION_H_

@@ -1,0 +1,257 @@
+#include "api/target_factory.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "casestudies/case_study.h"
+#include "sd/statistical_debugger.h"
+#include "synth/flaky_target.h"
+
+namespace aid {
+namespace {
+
+/// A VmTarget plus the statistical-debugging stage, optionally owning the
+/// case study the program came from.
+class VmSessionTarget : public SessionTarget {
+ public:
+  static Result<std::unique_ptr<SessionTarget>> Create(
+      std::string name, const Program* program, const VmTargetOptions& options,
+      std::optional<CaseStudy> owned_study) {
+    std::unique_ptr<VmSessionTarget> target(
+        new VmSessionTarget(std::move(name)));
+    VmTargetOptions effective = options;
+    if (owned_study.has_value()) {
+      // Move the study into the target first so the program pointer is
+      // taken from its final location.
+      target->study_ = std::move(owned_study);
+      program = &target->study_->program;
+      effective = target->study_->target_options;
+    }
+    if (program == nullptr) {
+      return Status::InvalidArgument(
+          "vm target: TargetConfig::program is required");
+    }
+    target->program_ = program;
+    AID_ASSIGN_OR_RETURN(target->vm_target_,
+                         VmTarget::Create(program, effective));
+    AID_ASSIGN_OR_RETURN(
+        StatisticalDebugger sd,
+        StatisticalDebugger::Analyze(target->vm_target_->extractor().catalog(),
+                                     target->vm_target_->extractor().logs()));
+    target->sd_count_ = static_cast<int>(sd.FullyDiscriminative().size());
+    return std::unique_ptr<SessionTarget>(std::move(target));
+  }
+
+  std::string_view name() const override { return name_; }
+  std::string_view description() const override {
+    return study_.has_value() ? std::string_view(study_->origin)
+                              : std::string_view();
+  }
+  InterventionTarget* intervention_target() override {
+    return vm_target_.get();
+  }
+  Result<AcDag> BuildAcDag() override { return vm_target_->BuildAcDag(); }
+  const PredicateCatalog* catalog() const override {
+    return &vm_target_->extractor().catalog();
+  }
+  const SymbolTable* method_names() const override {
+    return &program_->method_names();
+  }
+  const SymbolTable* object_names() const override {
+    return &program_->object_names();
+  }
+  int sd_predicate_count() const override { return sd_count_; }
+
+ private:
+  explicit VmSessionTarget(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::optional<CaseStudy> study_;  ///< set iff this target owns its study
+  const Program* program_ = nullptr;
+  std::unique_ptr<VmTarget> vm_target_;
+  int sd_count_ = 0;
+};
+
+/// A ground-truth model target (deterministic or flaky). Borrows the model.
+class ModelSessionTarget : public SessionTarget {
+ public:
+  ModelSessionTarget(std::string name, const GroundTruthModel* model,
+                     std::unique_ptr<InterventionTarget> intervention)
+      : name_(std::move(name)),
+        model_(model),
+        intervention_(std::move(intervention)) {}
+
+  std::string_view name() const override { return name_; }
+  InterventionTarget* intervention_target() override {
+    return intervention_.get();
+  }
+  Result<AcDag> BuildAcDag() override { return model_->BuildAcDag(); }
+  const PredicateCatalog* catalog() const override {
+    return &model_->catalog();
+  }
+
+ private:
+  std::string name_;
+  const GroundTruthModel* model_;
+  std::unique_ptr<InterventionTarget> intervention_;
+};
+
+/// Borrows an externally assembled InterventionTarget + AC-DAG.
+class AdapterSessionTarget : public SessionTarget {
+ public:
+  AdapterSessionTarget(std::string name, InterventionTarget* target,
+                       const AcDag* dag, const PredicateCatalog* catalog,
+                       const SymbolTable* methods, const SymbolTable* objects)
+      : name_(std::move(name)),
+        target_(target),
+        dag_(dag),
+        catalog_(catalog),
+        methods_(methods),
+        objects_(objects) {}
+
+  std::string_view name() const override { return name_; }
+  InterventionTarget* intervention_target() override { return target_; }
+  Result<AcDag> BuildAcDag() override { return *dag_; }
+  const AcDag* prebuilt_dag() const override { return dag_; }
+  const PredicateCatalog* catalog() const override { return catalog_; }
+  const SymbolTable* method_names() const override { return methods_; }
+  const SymbolTable* object_names() const override { return objects_; }
+
+ private:
+  std::string name_;
+  InterventionTarget* target_;
+  const AcDag* dag_;
+  const PredicateCatalog* catalog_;
+  const SymbolTable* methods_;
+  const SymbolTable* objects_;
+};
+
+Result<CaseStudy> MakeCaseStudyByKey(const std::string& key) {
+  if (key == "npgsql") return MakeNpgsqlRace();
+  if (key == "kafka") return MakeKafkaUseAfterFree();
+  if (key == "cosmosdb") return MakeCosmosDbCacheExpiry();
+  if (key == "network") return MakeNetworkCollision();
+  if (key == "buildandtest") return MakeBuildAndTestOrder();
+  if (key == "healthtelemetry") return MakeHealthTelemetryRace();
+  return Status::NotFound("unknown case study '" + key +
+                          "' (expected npgsql, kafka, cosmosdb, network, "
+                          "buildandtest, or healthtelemetry)");
+}
+
+Result<std::unique_ptr<SessionTarget>> CreateCaseTarget(
+    const std::string& key) {
+  AID_ASSIGN_OR_RETURN(CaseStudy study, MakeCaseStudyByKey(key));
+  return VmSessionTarget::Create("case:" + key, nullptr, {},
+                                 std::move(study));
+}
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, TargetFactory::Creator> creators;
+
+  Registry() {
+    creators["vm"] = [](const TargetConfig& config) {
+      return VmSessionTarget::Create("vm", config.program, config.vm,
+                                     std::nullopt);
+    };
+    creators["model"] = [](const TargetConfig& config) {
+      return MakeModelSessionTarget(config.model);
+    };
+    creators["flaky-model"] = [](const TargetConfig& config) {
+      return MakeModelSessionTarget(config.model, config.manifest_probability,
+                                    config.flaky_seed, "flaky-model");
+    };
+    creators["case"] = [](const TargetConfig& config) {
+      return CreateCaseTarget(config.case_study);
+    };
+    for (const char* key : {"npgsql", "kafka", "cosmosdb", "network",
+                            "buildandtest", "healthtelemetry"}) {
+      creators[std::string("case:") + key] = [key](const TargetConfig&) {
+        return CreateCaseTarget(key);
+      };
+    }
+  }
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+}  // namespace
+
+void TargetFactory::Register(std::string name, Creator creator) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.creators[std::move(name)] = std::move(creator);
+}
+
+bool TargetFactory::IsRegistered(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.creators.count(name) > 0;
+}
+
+std::vector<std::string> TargetFactory::RegisteredNames() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.creators.size());
+  for (const auto& [name, creator] : registry.creators) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<std::unique_ptr<SessionTarget>> TargetFactory::Create(
+    const std::string& name, const TargetConfig& config) {
+  Creator creator;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.creators.find(name);
+    if (it == registry.creators.end()) {
+      return Status::NotFound("no target backend registered as '" + name +
+                              "'");
+    }
+    creator = it->second;  // copy: creators may call back into the factory
+  }
+  return creator(config);
+}
+
+Result<std::unique_ptr<SessionTarget>> MakeVmSessionTarget(
+    const Program* program, const VmTargetOptions& options, std::string name) {
+  return VmSessionTarget::Create(std::move(name), program, options,
+                                 std::nullopt);
+}
+
+Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
+    const GroundTruthModel* model, double manifest_probability,
+    uint64_t flaky_seed, std::string name) {
+  if (model == nullptr) {
+    return Status::InvalidArgument(
+        "model target: TargetConfig::model is required");
+  }
+  std::unique_ptr<InterventionTarget> intervention;
+  if (manifest_probability >= 1.0) {
+    intervention = std::make_unique<ModelTarget>(model);
+  } else {
+    intervention = std::make_unique<FlakyModelTarget>(
+        model, manifest_probability, flaky_seed);
+  }
+  return std::unique_ptr<SessionTarget>(std::make_unique<ModelSessionTarget>(
+      std::move(name), model, std::move(intervention)));
+}
+
+std::unique_ptr<SessionTarget> MakeAdapterSessionTarget(
+    InterventionTarget* target, const AcDag* dag,
+    const PredicateCatalog* catalog, const SymbolTable* methods,
+    const SymbolTable* objects, std::string name) {
+  return std::make_unique<AdapterSessionTarget>(std::move(name), target, dag,
+                                                catalog, methods, objects);
+}
+
+}  // namespace aid

@@ -1,0 +1,144 @@
+// Pluggable target backends: SessionTarget and the TargetFactory registry.
+//
+// Part of the stable public surface under api/. A SessionTarget is one
+// debuggable application: it owns the observed subject, exposes the
+// InterventionTarget the engine intervenes on, and builds the AC-DAG over
+// the intervenable fully-discriminative predicates. New backends register a
+// creator under a name (TargetFactory::Register) and become reachable from
+// SessionBuilder::WithTarget without any engine change.
+//
+// Built-in backends (registered on first factory use):
+//
+//   "vm"           VmTarget over TargetConfig::program: runs the full
+//                  observation phase, statistical debugging, and fault-
+//                  injection interventions (case studies, examples);
+//   "model"        deterministic ModelTarget over TargetConfig::model (the
+//                  paper's synthetic benchmark);
+//   "flaky-model"  FlakyModelTarget over TargetConfig::model whose root
+//                  cause manifests with TargetConfig::manifest_probability;
+//   "case"         one of the paper's six case studies, selected by
+//                  TargetConfig::case_study ("npgsql", "kafka", "cosmosdb",
+//                  "network", "buildandtest", "healthtelemetry"); also
+//                  registered individually as "case:<name>".
+
+#ifndef AID_API_TARGET_FACTORY_H_
+#define AID_API_TARGET_FACTORY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "causal/acdag.h"
+#include "common/status.h"
+#include "core/target.h"
+#include "core/vm_target.h"
+#include "synth/model.h"
+
+namespace aid {
+
+/// Union of the inputs the built-in backends consume. Pointer members are
+/// non-owning and must outlive the created target.
+struct TargetConfig {
+  /// "vm": the program under debug and its observation options.
+  const Program* program = nullptr;
+  VmTargetOptions vm;
+
+  /// "model" / "flaky-model": the ground-truth model.
+  const GroundTruthModel* model = nullptr;
+  /// "flaky-model": per-execution probability the root cause manifests.
+  double manifest_probability = 1.0;
+  /// "flaky-model": seed of the manifestation coin flips.
+  uint64_t flaky_seed = 1;
+
+  /// "case": case-study key ("npgsql", "kafka", ...).
+  std::string case_study;
+};
+
+/// One debuggable application: the pluggable unit behind aid::Session.
+///
+/// Construction (via TargetFactory or a custom creator) performs whatever
+/// observation the backend needs; afterwards the target answers the
+/// pipeline queries below. Implementations own their subject (program,
+/// model, case study) or borrow it from the caller per their contract.
+class SessionTarget {
+ public:
+  virtual ~SessionTarget() = default;
+
+  /// Backend name for reports (e.g. "vm", "model", "case:kafka").
+  virtual std::string_view name() const = 0;
+
+  /// Human-readable provenance of the subject (e.g. a case study's origin);
+  /// empty when the backend has none.
+  virtual std::string_view description() const { return {}; }
+
+  /// The intervention interface handed to the engine. Owned by this target.
+  virtual InterventionTarget* intervention_target() = 0;
+
+  /// Builds the AC-DAG over the intervenable fully-discriminative
+  /// predicates. The target must outlive the returned DAG.
+  virtual Result<AcDag> BuildAcDag() = 0;
+
+  /// The AC-DAG the backend already holds, if any; Session borrows it
+  /// instead of calling BuildAcDag (adapter targets avoid a deep copy this
+  /// way). Must stay valid for the target's lifetime. Default: null.
+  virtual const AcDag* prebuilt_dag() const { return nullptr; }
+
+  /// Predicate catalog for rendering. Never null.
+  virtual const PredicateCatalog* catalog() const = 0;
+
+  /// Symbol tables for predicate descriptions (may be null).
+  virtual const SymbolTable* method_names() const { return nullptr; }
+  virtual const SymbolTable* object_names() const { return nullptr; }
+
+  /// #fully-discriminative predicates statistical debugging surfaced, or -1
+  /// when the backend has no SD stage (ground-truth models).
+  virtual int sd_predicate_count() const { return -1; }
+};
+
+/// Registry of target backends, keyed by name.
+///
+/// Thread-safe. Registering an existing name replaces the creator (tests
+/// override built-ins this way); the built-in backends are installed before
+/// the first lookup.
+class TargetFactory {
+ public:
+  using Creator =
+      std::function<Result<std::unique_ptr<SessionTarget>>(const TargetConfig&)>;
+
+  static void Register(std::string name, Creator creator);
+  static bool IsRegistered(const std::string& name);
+  /// Registered backend names, sorted.
+  static std::vector<std::string> RegisteredNames();
+  /// Creates a target through the registered creator; NotFound for unknown
+  /// names.
+  static Result<std::unique_ptr<SessionTarget>> Create(
+      const std::string& name, const TargetConfig& config);
+};
+
+/// Wraps a VmTarget (and optionally an owned case study) as a SessionTarget.
+/// Exposed for backends that want to build on the VM observation pipeline.
+Result<std::unique_ptr<SessionTarget>> MakeVmSessionTarget(
+    const Program* program, const VmTargetOptions& options,
+    std::string name = "vm");
+
+/// Wraps a ground-truth model as a SessionTarget. `model` must outlive the
+/// target. With `manifest_probability` < 1 the intervention target is a
+/// FlakyModelTarget seeded with `flaky_seed`.
+Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
+    const GroundTruthModel* model, double manifest_probability = 1.0,
+    uint64_t flaky_seed = 1, std::string name = "model");
+
+/// Adapts a borrowed InterventionTarget and prebuilt AC-DAG as a
+/// SessionTarget -- the escape hatch for research setups that assemble the
+/// observation pipeline by hand but still want Session to drive discovery.
+/// All pointers are non-owning and must outlive the session.
+std::unique_ptr<SessionTarget> MakeAdapterSessionTarget(
+    InterventionTarget* target, const AcDag* dag,
+    const PredicateCatalog* catalog, const SymbolTable* methods = nullptr,
+    const SymbolTable* objects = nullptr, std::string name = "custom");
+
+}  // namespace aid
+
+#endif  // AID_API_TARGET_FACTORY_H_

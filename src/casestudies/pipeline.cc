@@ -1,46 +1,36 @@
 #include "casestudies/pipeline.h"
 
-#include "sd/statistical_debugger.h"
+#include <utility>
+
+#include "api/session.h"
 
 namespace aid {
 
+// The deprecated entry point itself; silence the self-referential warning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 Result<PipelineOutcome> RunPipeline(const CaseStudy& study,
                                     const PipelineConfig& config) {
-  AID_ASSIGN_OR_RETURN(std::unique_ptr<VmTarget> target,
-                       VmTarget::Create(&study.program, study.target_options));
-
-  AID_ASSIGN_OR_RETURN(StatisticalDebugger sd,
-                       StatisticalDebugger::Analyze(
-                           target->extractor().catalog(),
-                           target->extractor().logs()));
+  SessionBuilder builder;
+  builder.WithProgram(&study.program, study.target_options)
+      .WithEngineOptions(config.aid);
+  if (config.run_tagt) builder.WithTagtBaselineOptions(config.tagt);
+  AID_ASSIGN_OR_RETURN(Session session, builder.Build());
+  AID_ASSIGN_OR_RETURN(SessionReport report, session.Run());
 
   PipelineOutcome outcome;
-  outcome.fully_discriminative =
-      static_cast<int>(sd.FullyDiscriminative().size());
-
-  AID_ASSIGN_OR_RETURN(AcDag dag, target->BuildAcDag());
-  outcome.acdag_nodes = static_cast<int>(dag.size());
-
-  {
-    CausalPathDiscovery discovery(&dag, target.get(), config.aid);
-    AID_ASSIGN_OR_RETURN(outcome.aid, discovery.Run());
+  outcome.fully_discriminative = report.sd_predicates;
+  outcome.acdag_nodes = report.acdag_nodes;
+  outcome.aid = std::move(report.discovery);
+  if (report.tagt_baseline.has_value()) {
+    outcome.tagt = std::move(*report.tagt_baseline);
   }
-  if (config.run_tagt) {
-    CausalPathDiscovery discovery(&dag, target.get(), config.tagt);
-    AID_ASSIGN_OR_RETURN(outcome.tagt, discovery.Run());
-  }
-
-  const PredicateCatalog& catalog = target->extractor().catalog();
-  const SymbolTable* methods = &study.program.method_names();
-  const SymbolTable* objects = &study.program.object_names();
-  if (outcome.aid.root_cause() != kInvalidPredicate) {
-    outcome.root_cause =
-        catalog.Describe(outcome.aid.root_cause(), methods, objects);
-  }
-  for (PredicateId id : outcome.aid.causal_path) {
-    outcome.causal_path.push_back(catalog.Describe(id, methods, objects));
-  }
+  outcome.root_cause = std::move(report.root_cause);
+  outcome.causal_path = std::move(report.causal_path);
   return outcome;
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace aid

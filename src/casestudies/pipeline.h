@@ -1,11 +1,19 @@
-// End-to-end AID pipeline driver for a case study: observe -> SD -> AC-DAG
-// -> causality-guided interventions, plus the TAGT baseline on the same
-// target, producing the measurements of the paper's Figure 7.
+// DEPRECATED end-to-end pipeline driver for a case study.
+//
+// RunPipeline predates aid::Session (api/session.h), which now owns the
+// observe -> SD -> AC-DAG -> intervention workflow for every backend. This
+// header remains as a thin shim so existing callers keep working; new code
+// should build a Session:
+//
+//   aid::SessionBuilder()
+//       .WithProgram(&study.program, study.target_options)
+//       .WithEngineOptions(config.aid)
+//       .WithTagtBaselineOptions(config.tagt)
+//       .Build();
 
 #ifndef AID_CASESTUDIES_PIPELINE_H_
 #define AID_CASESTUDIES_PIPELINE_H_
 
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +45,7 @@ struct PipelineConfig {
 };
 
 /// Runs the whole pipeline on one case study.
+[[deprecated("use aid::SessionBuilder (api/session.h)")]]
 Result<PipelineOutcome> RunPipeline(const CaseStudy& study,
                                     const PipelineConfig& config = {});
 

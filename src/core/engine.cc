@@ -25,9 +25,15 @@ Result<DiscoveryReport> CausalPathDiscovery::Run() {
   }
 
   if (options_.branch_pruning && options_.topological_order) {
+    if (options_.observer) {
+      options_.observer->OnPhaseChanged(SessionPhase::kBranchPruning);
+    }
     AID_RETURN_IF_ERROR(BranchPrune());
   }
 
+  if (options_.observer) {
+    options_.observer->OnPhaseChanged(SessionPhase::kGiwp);
+  }
   MakeSingletonItems(candidates_);
   AID_RETURN_IF_ERROR(Giwp(UndecidedItems()));
 
@@ -65,6 +71,19 @@ Result<DiscoveryReport> CausalPathDiscovery::Run() {
   report_.spurious = spurious_;
   report_.executions = target_->executions() - executions_before;
   return report_;
+}
+
+void CausalPathDiscovery::Decide(size_t item, ItemDecision decision) {
+  AID_CHECK(decisions_[item] == ItemDecision::kUndecided);
+  decisions_[item] = decision;
+  const bool causal = decision == ItemDecision::kCausal;
+  std::vector<PredicateId>& sink = causal ? causal_ : spurious_;
+  for (PredicateId id : items_[item].preds) {
+    sink.push_back(id);
+    if (options_.observer) {
+      options_.observer->OnPredicateDecided(id, causal);
+    }
+  }
 }
 
 void CausalPathDiscovery::MakeSingletonItems(
@@ -111,6 +130,11 @@ Status CausalPathDiscovery::Giwp(std::vector<size_t> pool) {
                pool.end());
     if (pool.empty()) return Status::OK();
 
+    if (options_.linear_scan && options_.batched_dispatch) {
+      AID_RETURN_IF_ERROR(GiwpLinearBatched(pool));
+      continue;  // re-filter; a second pass only runs if items stay undecided
+    }
+
     // Line 4: the first half in (topological) order -- or a single item in
     // linear-scan mode (the D >= N/log N regime, Section 2).
     const size_t half = options_.linear_scan ? 1 : (pool.size() + 1) / 2;
@@ -122,19 +146,13 @@ Status CausalPathDiscovery::Giwp(std::vector<size_t> pool) {
     if (failure_stopped) {
       // Lines 6-12: a counterfactual cause is inside the group.
       if (selected.size() == 1) {
-        decisions_[selected[0]] = ItemDecision::kCausal;
-        for (PredicateId id : items_[selected[0]].preds) {
-          causal_.push_back(id);
-        }
+        Decide(selected[0], ItemDecision::kCausal);
       } else {
         AID_RETURN_IF_ERROR(Giwp(selected));
       }
     } else {
       // Lines 13-14: intervened predicates did not avert the failure.
-      for (size_t i : selected) {
-        decisions_[i] = ItemDecision::kSpurious;
-        for (PredicateId id : items_[i].preds) spurious_.push_back(id);
-      }
+      for (size_t i : selected) Decide(i, ItemDecision::kSpurious);
     }
 
     // Lines 15-17 (Definition 2): prune by counterfactual violations.
@@ -142,6 +160,43 @@ Status CausalPathDiscovery::Giwp(std::vector<size_t> pool) {
       InterventionalPruning(selected, result);
     }
   }
+}
+
+Status CausalPathDiscovery::GiwpLinearBatched(const std::vector<size_t>& pool) {
+  // Submit every singleton intervention of the scan as one batch, then
+  // consume the results in scan order. Items that Definition 2 pruning
+  // decides before their result is reached keep their pruning verdict; their
+  // speculative executions are the price of batching (see EngineOptions).
+  InterventionSpans spans;
+  spans.reserve(pool.size());
+  for (size_t i : pool) spans.push_back(items_[i].preds);
+
+  AID_ASSIGN_OR_RETURN(
+      std::vector<TargetRunResult> results,
+      target_->RunInterventionsBatch(spans, options_.trials_per_intervention));
+  if (results.size() != pool.size()) {
+    // Backends are third-party code; a contract violation is their runtime
+    // error, not our programming error.
+    return Status::Internal("RunInterventionsBatch returned " +
+                            std::to_string(results.size()) + " results for " +
+                            std::to_string(spans.size()) + " spans");
+  }
+
+  for (size_t k = 0; k < pool.size(); ++k) {
+    const size_t item = pool[k];
+    if (decisions_[item] != ItemDecision::kUndecided) continue;
+    const TargetRunResult& result = results[k];
+    if (options_.observer) {
+      options_.observer->OnRoundStarted(report_.rounds + 1, spans[k]);
+    }
+    RecordRound(spans[k], result, "giwp");
+    Decide(item, result.AnyFailed() ? ItemDecision::kSpurious
+                                    : ItemDecision::kCausal);
+    if (options_.predicate_pruning) {
+      InterventionalPruning({item}, result);
+    }
+  }
+  return Status::OK();
 }
 
 Status CausalPathDiscovery::BranchPrune() {
@@ -198,10 +253,7 @@ Status CausalPathDiscovery::BranchPrune() {
                            Intervene(tested, "branch"));
       const bool failure_stopped = !result.AnyFailed();
       const std::vector<size_t>& losers = failure_stopped ? rest : tested;
-      for (size_t i : losers) {
-        decisions_[i] = ItemDecision::kSpurious;
-        for (PredicateId id : items_[i].preds) spurious_.push_back(id);
-      }
+      for (size_t i : losers) Decide(i, ItemDecision::kSpurious);
       live = failure_stopped ? tested : rest;
       if (options_.predicate_pruning) {
         InterventionalPruning(tested, result);
@@ -244,17 +296,34 @@ Result<TargetRunResult> CausalPathDiscovery::Intervene(
   std::sort(preds.begin(), preds.end());
   preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
 
+  if (options_.observer) {
+    options_.observer->OnRoundStarted(report_.rounds + 1, preds);
+  }
   AID_ASSIGN_OR_RETURN(
       TargetRunResult result,
       target_->RunIntervened(preds, options_.trials_per_intervention));
 
+  RecordRound(preds, result, phase);
+  return result;
+}
+
+void CausalPathDiscovery::RecordRound(const std::vector<PredicateId>& preds,
+                                      const TargetRunResult& result,
+                                      const char* phase) {
   ++report_.rounds;
   InterventionRound round;
   round.intervened = preds;
   round.failure_stopped = !result.AnyFailed();
   round.phase = phase;
+  if (options_.observer) {
+    ObservedRound observed;
+    observed.round = report_.rounds;
+    observed.intervened = preds;
+    observed.failure_stopped = round.failure_stopped;
+    observed.phase = phase;
+    options_.observer->OnRoundFinished(observed);
+  }
   report_.history.push_back(std::move(round));
-  return result;
 }
 
 bool CausalPathDiscovery::ItemReachesItem(size_t a, size_t b) const {
@@ -296,8 +365,7 @@ void CausalPathDiscovery::InterventionalPruning(
     for (const PredicateLog& log : result.logs) {
       const bool observed = ItemObserved(items_[i], log);
       if ((observed && !log.failed) || (!observed && log.failed)) {
-        decisions_[i] = ItemDecision::kSpurious;
-        for (PredicateId id : items_[i].preds) spurious_.push_back(id);
+        Decide(i, ItemDecision::kSpurious);
         break;
       }
     }

@@ -27,6 +27,7 @@
 #include "causal/acdag.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "core/observer.h"
 #include "core/target.h"
 
 namespace aid {
@@ -47,6 +48,18 @@ struct EngineOptions {
   int trials_per_intervention = 1;
   /// Seed for random ordering / tie-breaking.
   uint64_t seed = 0x41d5eedULL;
+  /// In linear-scan mode, submit the whole remaining round as one
+  /// InterventionTarget::RunInterventionsBatch call instead of one
+  /// RunIntervened call per predicate. Decisions are identical on
+  /// deterministic targets; interventions already answered by Definition 2
+  /// pruning become speculative executions instead of being skipped, so
+  /// `executions` may be higher while wall-clock drops on backends with
+  /// per-call overhead.
+  bool batched_dispatch = false;
+  /// Progress callbacks (non-owning; may be null). The engine reports the
+  /// kBranchPruning / kGiwp phase changes, every round, and every predicate
+  /// decision.
+  Observer* observer = nullptr;
 
   static EngineOptions Aid() { return EngineOptions{}; }
   static EngineOptions AidNoPredicatePruning() {
@@ -104,9 +117,17 @@ struct DiscoveryReport {
   /// order rather than a proper chain.
   bool path_is_chain = true;
 
-  /// Root cause (first causal predicate), or kInvalidPredicate if none.
+  /// True iff discovery certified at least one causal predicate. The causal
+  /// path always ends with the failure predicate F, so a path of size 1 is
+  /// just <F>: the engine proved every candidate spurious (or had none) and
+  /// there is no root cause to report.
+  bool has_root_cause() const { return causal_path.size() >= 2; }
+
+  /// Root cause: the first causal predicate C0 of the path <C0, .., Cn = F>.
+  /// Returns kInvalidPredicate iff !has_root_cause() -- callers rendering a
+  /// report should branch on has_root_cause() rather than compare ids.
   PredicateId root_cause() const {
-    return causal_path.size() >= 2 ? causal_path.front() : kInvalidPredicate;
+    return has_root_cause() ? causal_path.front() : kInvalidPredicate;
   }
 };
 
@@ -132,11 +153,18 @@ class CausalPathDiscovery {
 
   /// Algorithm 1 over the given items (indexes into items_).
   Status Giwp(std::vector<size_t> pool);
+  /// Linear-scan GIWP submitting the whole pool as one batched round.
+  Status GiwpLinearBatched(const std::vector<size_t>& pool);
   /// Algorithm 2; reduces candidate_ to the nodes of a chain.
   Status BranchPrune();
   /// Runs one group intervention; records history and returns the outcome.
   Result<TargetRunResult> Intervene(const std::vector<size_t>& item_indexes,
                                     const char* phase);
+  /// Records one round (history, counters, observer callbacks).
+  void RecordRound(const std::vector<PredicateId>& preds,
+                   const TargetRunResult& result, const char* phase);
+  /// Marks an item causal/spurious and notifies the observer.
+  void Decide(size_t item, ItemDecision decision);
   /// Definition 2: prunes undecided items using this round's logs.
   void InterventionalPruning(const std::vector<size_t>& intervened,
                              const TargetRunResult& result);

@@ -36,6 +36,13 @@ struct TargetRunResult {
   }
 };
 
+/// A batch of intervention spans: each span is one predicate set to force
+/// during `trials` executions. The engine submits a whole round's worth of
+/// spans at once where its strategy allows, so backends that can run
+/// interventions concurrently (process pools, remote fleets, async VMs)
+/// get the full round in a single call.
+using InterventionSpans = std::vector<std::vector<PredicateId>>;
+
 class InterventionTarget {
  public:
   virtual ~InterventionTarget() = default;
@@ -44,6 +51,25 @@ class InterventionTarget {
   /// predicate in `intervened` to its successful-execution value.
   virtual Result<TargetRunResult> RunIntervened(
       const std::vector<PredicateId>& intervened, int trials) = 0;
+
+  /// Runs every span in `spans` for `trials` executions each and returns
+  /// one TargetRunResult per span, in order.
+  ///
+  /// The default implementation dispatches the spans serially through
+  /// RunIntervened; backends override it to batch, parallelize, or ship the
+  /// round elsewhere. Overrides must preserve the per-span semantics and
+  /// the result ordering.
+  virtual Result<std::vector<TargetRunResult>> RunInterventionsBatch(
+      const InterventionSpans& spans, int trials) {
+    std::vector<TargetRunResult> results;
+    results.reserve(spans.size());
+    for (const auto& span : spans) {
+      AID_ASSIGN_OR_RETURN(TargetRunResult result,
+                           RunIntervened(span, trials));
+      results.push_back(std::move(result));
+    }
+    return results;
+  }
 
   /// Total application executions performed so far (cost accounting).
   virtual int executions() const = 0;

@@ -114,4 +114,16 @@ Result<TargetRunResult> ModelTarget::RunIntervened(
   return result;
 }
 
+Result<std::vector<TargetRunResult>> ModelTarget::RunInterventionsBatch(
+    const InterventionSpans& spans, int trials) {
+  if (trials < 1) trials = 1;
+  std::vector<TargetRunResult> results(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    PredicateLog log = model_->Execute(spans[i]);
+    executions_ += trials;
+    results[i].logs.assign(static_cast<size_t>(trials), log);
+  }
+  return results;
+}
+
 }  // namespace aid

@@ -80,6 +80,10 @@ class ModelTarget : public InterventionTarget {
 
   Result<TargetRunResult> RunIntervened(
       const std::vector<PredicateId>& intervened, int trials) override;
+  /// Batched dispatch: evaluates every span in one pass over the model,
+  /// skipping the per-span Result plumbing of the serial default.
+  Result<std::vector<TargetRunResult>> RunInterventionsBatch(
+      const InterventionSpans& spans, int trials) override;
   int executions() const override { return executions_; }
 
  private:

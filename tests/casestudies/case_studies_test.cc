@@ -12,6 +12,10 @@
 #include "casestudies/pipeline.h"
 #include "common/math_util.h"
 
+// This test deliberately drives the deprecated RunPipeline shim to pin its
+// behavior; new code goes through aid::Session (api/session.h).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace aid {
 namespace {
 

@@ -298,5 +298,81 @@ TEST(EngineVariantsAggregateTest, VariantOrderingHoldsOnAverage) {
   EXPECT_LE(totals[2], totals[3]);  // topological order helps
 }
 
+// --- DiscoveryReport root-cause contract ----------------------------------
+
+TEST(DiscoveryReportTest, EmptyReportHasNoRootCause) {
+  DiscoveryReport report;
+  EXPECT_FALSE(report.has_root_cause());
+  EXPECT_EQ(report.root_cause(), kInvalidPredicate);
+}
+
+TEST(DiscoveryReportTest, FailureOnlyPathHasNoRootCause) {
+  // The engine always appends F; a path of just <F> means every candidate
+  // was proven spurious.
+  DiscoveryReport report;
+  report.causal_path = {7};
+  EXPECT_FALSE(report.has_root_cause());
+  EXPECT_EQ(report.root_cause(), kInvalidPredicate);
+}
+
+TEST(DiscoveryReportTest, ShortestRealPathReportsItsRootCause) {
+  DiscoveryReport report;
+  report.causal_path = {3, 7};  // <C0, F>
+  EXPECT_TRUE(report.has_root_cause());
+  EXPECT_EQ(report.root_cause(), 3);
+}
+
+TEST(DiscoveryReportTest, EngineReportsNoRootCauseWhenFailureIsSpontaneous) {
+  // Predicates co-occur with a failure that none of them causes (the
+  // failure fires regardless of interventions): the engine must prove them
+  // all spurious and report an <F>-only path rather than invent a cause.
+  GroundTruthModel model;
+  model.AddFailure();
+  const PredicateId a = model.AddPredicate(1);
+  const PredicateId b = model.AddPredicate(2);
+  model.AddTemporalEdge(a, b);
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+
+  ModelTarget target(&model);
+  CausalPathDiscovery discovery(&*dag, &target, EngineOptions::Aid());
+  auto report = discovery.Run();
+  ASSERT_TRUE(report.ok());
+
+  EXPECT_FALSE(report->has_root_cause());
+  EXPECT_EQ(report->root_cause(), kInvalidPredicate);
+  EXPECT_EQ(report->causal_path,
+            (std::vector<PredicateId>{model.failure()}));
+  EXPECT_EQ(Sorted(report->spurious), Sorted({a, b}));
+}
+
+// --- batched linear-scan dispatch -----------------------------------------
+
+TEST(EngineBatchedDispatchTest, BatchedLinearScanMatchesSerial) {
+  Figure4 fig;
+  auto dag = fig.model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+
+  EngineOptions serial = EngineOptions::Linear();
+  ModelTarget serial_target(&fig.model);
+  CausalPathDiscovery serial_discovery(&*dag, &serial_target, serial);
+  auto serial_report = serial_discovery.Run();
+  ASSERT_TRUE(serial_report.ok());
+
+  EngineOptions batched = EngineOptions::Linear();
+  batched.batched_dispatch = true;
+  ModelTarget batched_target(&fig.model);
+  CausalPathDiscovery batched_discovery(&*dag, &batched_target, batched);
+  auto batched_report = batched_discovery.Run();
+  ASSERT_TRUE(batched_report.ok());
+
+  EXPECT_EQ(batched_report->causal_path, serial_report->causal_path);
+  EXPECT_EQ(batched_report->spurious, serial_report->spurious);
+  EXPECT_EQ(batched_report->rounds, serial_report->rounds);
+  // Batched dispatch executes the whole scan speculatively; pruning skips
+  // show up as extra executions, never as different decisions.
+  EXPECT_GE(batched_report->executions, serial_report->executions);
+}
+
 }  // namespace
 }  // namespace aid
