@@ -1,0 +1,318 @@
+// Parallel dispatch bench: serial vs. batched vs. parallel intervention
+// execution (src/exec/) at 1/2/4/8 workers.
+//
+// Three subjects:
+//   * a symmetric synthetic model -- executions cost microseconds, so this
+//     row mostly measures the dispatch machinery's own overhead;
+//   * a VM case study, CPU-bound -- replicas scale with physical cores
+//     (flat on a single-core machine, by construction);
+//   * the same VM case study with simulated per-execution application
+//     latency -- the paper's actual regime (its subjects take seconds per
+//     run; re-execution dominates debugging cost, Sections 2 and 7), where
+//     overlapping replicas buy wall-clock on any machine.
+//
+// Every configuration must agree with serial dispatch on the discovered
+// causal path (bit-identical reports, the ReplicableTarget contract); the
+// bench prints rounds/executions/speculative executions so the accounting
+// is visible next to the speedup.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/session.h"
+#include "casestudies/case_study.h"
+#include "core/engine.h"
+#include "core/vm_target.h"
+#include "exec/parallel_target.h"
+#include "exec/replicable.h"
+#include "synth/generator.h"
+#include "synth/model.h"
+
+namespace {
+
+using namespace aid;
+
+/// Wraps a ReplicableTarget and charges a simulated application latency per
+/// execution -- the stand-in for subjects whose runs block on I/O, sleeps,
+/// or remote machinery rather than local CPU.
+class LatencyTarget : public ReplicableTarget {
+ public:
+  LatencyTarget(std::unique_ptr<ReplicableTarget> inner,
+                std::chrono::microseconds per_execution)
+      : inner_(std::move(inner)), per_execution_(per_execution) {}
+
+  Result<TargetRunResult> RunIntervened(
+      const std::vector<PredicateId>& intervened, int trials) override {
+    if (trials < 1) trials = 1;
+    std::this_thread::sleep_for(per_execution_ * trials);
+    return inner_->RunIntervened(intervened, trials);
+  }
+
+  Result<std::unique_ptr<ReplicableTarget>> Clone() const override {
+    AID_ASSIGN_OR_RETURN(std::unique_ptr<ReplicableTarget> inner,
+                         inner_->Clone());
+    return std::unique_ptr<ReplicableTarget>(
+        new LatencyTarget(std::move(inner), per_execution_));
+  }
+
+  void SeekTrial(uint64_t trial_index) override {
+    inner_->SeekTrial(trial_index);
+  }
+
+  uint64_t trial_position() const override {
+    return inner_->trial_position();
+  }
+
+  int executions() const override { return inner_->executions(); }
+
+ private:
+  std::unique_ptr<ReplicableTarget> inner_;
+  std::chrono::microseconds per_execution_;
+};
+
+struct RunStats {
+  double ms = 0;
+  int rounds = 0;
+  int executions = 0;
+  int speculative = 0;
+  std::string path;
+  bool ok = false;
+};
+
+std::string PathKey(const DiscoveryReport& report) {
+  std::string key;
+  for (PredicateId id : report.causal_path) {
+    key += std::to_string(id);
+    key += '>';
+  }
+  return key;
+}
+
+void PrintRow(const char* label, const RunStats& run, const RunStats& base) {
+  std::printf("%-22s | %9.2f %7.2fx %7d %11d %6d%s\n", label, run.ms,
+              base.ms / run.ms, run.rounds, run.executions, run.speculative,
+              run.path == base.path ? "" : "  [PATH MISMATCH]");
+}
+
+void PrintHeader(const char* title) {
+  std::printf("%s\n", title);
+  std::printf("%-22s | %9s %8s %7s %11s %6s\n", "dispatch", "wall ms",
+              "speedup", "rounds", "executions", "spec");
+}
+
+// ---- session-driven subjects (model + raw VM case study) -----------------
+
+/// Times the discovery phase alone: observation and AC-DAG construction run
+/// once, untimed, in a warm-up pass; the timed runs then measure pure
+/// intervention dispatch (the paper's cost model and this subsystem's
+/// target).
+template <typename MakeBuilder>
+RunStats TimeDiscovery(MakeBuilder make_builder, const EngineOptions& engine,
+                       int repeats) {
+  RunStats stats;
+  auto session = make_builder().Build();
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n", session.status().ToString().c_str());
+    return stats;
+  }
+  auto warmup = session->Run(engine);
+  if (!warmup.ok()) {
+    std::fprintf(stderr, "warm-up: %s\n", warmup.status().ToString().c_str());
+    return stats;
+  }
+  for (int i = 0; i < repeats; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    auto report = session->Run(engine);
+    const auto end = std::chrono::steady_clock::now();
+    if (!report.ok()) {
+      std::fprintf(stderr, "run: %s\n", report.status().ToString().c_str());
+      return stats;
+    }
+    stats.ms +=
+        std::chrono::duration<double, std::milli>(end - start).count();
+    stats.rounds = report->discovery.rounds;
+    stats.executions = report->discovery.executions;
+    stats.speculative = report->discovery.speculative_executions;
+    stats.path = PathKey(report->discovery);
+  }
+  stats.ms /= repeats;
+  stats.ok = true;
+  return stats;
+}
+
+template <typename MakeBuilder>
+void BenchSubject(const char* title, MakeBuilder make_builder,
+                  EngineOptions engine, int repeats) {
+  PrintHeader(title);
+  engine.linear_scan = true;
+  engine.branch_pruning = false;
+
+  EngineOptions serial = engine;
+  serial.batched_dispatch = false;
+  serial.parallelism = 1;
+  RunStats base =
+      TimeDiscovery([&]() { return make_builder(1); }, serial, repeats);
+  if (!base.ok) return;
+  PrintRow("serial", base, base);
+
+  EngineOptions batched = engine;
+  batched.batched_dispatch = true;
+  batched.parallelism = 1;
+  RunStats batch =
+      TimeDiscovery([&]() { return make_builder(1); }, batched, repeats);
+  if (!batch.ok) return;
+  PrintRow("batched (1 worker)", batch, base);
+
+  for (int workers : {2, 4, 8}) {
+    EngineOptions parallel = engine;
+    parallel.batched_dispatch = true;
+    parallel.parallelism = workers;
+    RunStats run = TimeDiscovery([&]() { return make_builder(workers); },
+                                 parallel, repeats);
+    if (!run.ok) return;
+    const std::string label =
+        "parallel (" + std::to_string(workers) + " workers)";
+    PrintRow(label.c_str(), run, base);
+  }
+  std::printf("\n");
+}
+
+// ---- latency-bound subject (core-level API, custom target) ---------------
+
+RunStats TimeLatencyBound(const VmTarget& observed, const AcDag& dag,
+                          std::chrono::microseconds latency, int workers,
+                          EngineOptions engine, int repeats) {
+  RunStats stats;
+  for (int i = 0; i < repeats; ++i) {
+    auto inner = observed.Clone();
+    if (!inner.ok()) return stats;
+    LatencyTarget primary(std::move(inner).value(), latency);
+    InterventionTarget* target = &primary;
+    std::unique_ptr<ParallelTarget> pool;
+    if (workers > 1) {
+      auto pool_or = ParallelTarget::Create(&primary, workers);
+      if (!pool_or.ok()) return stats;
+      pool = std::move(pool_or).value();
+      target = pool.get();
+    }
+    CausalPathDiscovery discovery(&dag, target, engine);
+    const auto start = std::chrono::steady_clock::now();
+    auto report = discovery.Run();
+    const auto end = std::chrono::steady_clock::now();
+    if (!report.ok()) {
+      std::fprintf(stderr, "run: %s\n", report.status().ToString().c_str());
+      return stats;
+    }
+    stats.ms +=
+        std::chrono::duration<double, std::milli>(end - start).count();
+    stats.rounds = report->rounds;
+    stats.executions = report->executions;
+    stats.speculative = report->speculative_executions;
+    stats.path = PathKey(*report);
+  }
+  stats.ms /= repeats;
+  stats.ok = true;
+  return stats;
+}
+
+void BenchLatencyBound(std::chrono::microseconds latency, int repeats) {
+  auto study = MakeKafkaUseAfterFree();
+  if (!study.ok()) return;
+  auto vm = VmTarget::Create(&study->program, study->target_options);
+  if (!vm.ok()) {
+    std::fprintf(stderr, "vm: %s\n", vm.status().ToString().c_str());
+    return;
+  }
+  auto dag = (*vm)->BuildAcDag();
+  if (!dag.ok()) return;
+
+  const std::string title =
+      "VM case study with " + std::to_string(latency.count()) +
+      "us simulated application latency per execution (kafka, 6 trials)";
+  PrintHeader(title.c_str());
+
+  EngineOptions engine = EngineOptions::Linear();
+  engine.trials_per_intervention = 6;
+
+  EngineOptions serial = engine;
+  serial.batched_dispatch = false;
+  RunStats base = TimeLatencyBound(**vm, *dag, latency, 1, serial, repeats);
+  if (!base.ok) return;
+  PrintRow("serial", base, base);
+
+  EngineOptions batched = engine;
+  batched.batched_dispatch = true;
+  RunStats batch = TimeLatencyBound(**vm, *dag, latency, 1, batched, repeats);
+  if (!batch.ok) return;
+  PrintRow("batched (1 worker)", batch, base);
+
+  for (int workers : {2, 4, 8}) {
+    EngineOptions parallel = batched;
+    parallel.parallelism = workers;
+    RunStats run =
+        TimeLatencyBound(**vm, *dag, latency, workers, parallel, repeats);
+    if (!run.ok) return;
+    const std::string label =
+        "parallel (" + std::to_string(workers) + " workers)";
+    PrintRow(label.c_str(), run, base);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int repeats = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int latency_us = argc > 2 ? std::atoi(argv[2]) : 500;
+  std::printf("hardware threads: %u\n\n", std::thread::hardware_concurrency());
+
+  // Synthetic model: executions are microseconds, so this mostly measures
+  // the dispatch machinery itself.
+  auto model = MakeSymmetricModel(/*junctions=*/3, /*branches=*/6,
+                                  /*chain_len=*/5, /*causal=*/6, /*seed=*/7);
+  if (!model.ok()) {
+    std::fprintf(stderr, "model: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  {
+    EngineOptions engine = EngineOptions::Linear();
+    engine.trials_per_intervention = 4;
+    BenchSubject(
+        "Synthetic model (symmetric DAG, 90+ predicates, 4 trials)",
+        [&](int workers) {
+          SessionBuilder builder;
+          builder.WithModel(model->get())
+              .WithDescriptions(false)
+              .WithParallelism(workers);
+          return builder;
+        },
+        engine, repeats);
+  }
+
+  // VM case study, CPU-bound: every execution recompiles the intervention
+  // plan and re-runs the program. Scales with physical cores.
+  {
+    EngineOptions engine = EngineOptions::Linear();
+    engine.trials_per_intervention = 6;
+    BenchSubject(
+        "VM case study, CPU-bound (kafka use-after-free, 6 trials)",
+        [&](int workers) {
+          SessionBuilder builder;
+          builder.WithCaseStudy("kafka")
+              .WithDescriptions(false)
+              .WithParallelism(workers);
+          return builder;
+        },
+        engine, repeats);
+  }
+
+  // VM case study, latency-bound: the regime the paper's subjects live in.
+  BenchLatencyBound(std::chrono::microseconds(latency_us), repeats);
+  return 0;
+}

@@ -48,7 +48,11 @@ inline EngineOptions MakeEngineOptions(EnginePreset preset) {
 
 /// Session-level knobs beyond the engine options.
 struct SessionOptions {
-  /// The engine configuration of the main discovery run.
+  /// The engine configuration of the main discovery run. Carries the
+  /// session's parallelism too (EngineOptions::parallelism): Session
+  /// propagates it to the TargetFactory so backends build exec/ replica
+  /// pools, and the engine treats parallelism > 1 as license for batched
+  /// linear-scan dispatch.
   EngineOptions engine = EngineOptions::Aid();
   /// Also run a TAGT baseline over the same target after the main run (the
   /// paper's Figure 7 comparison). The baseline reuses the target, so its

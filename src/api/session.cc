@@ -150,6 +150,11 @@ SessionBuilder& SessionBuilder::WithBatchedDispatch(bool batched) {
   return *this;
 }
 
+SessionBuilder& SessionBuilder::WithParallelism(int parallelism) {
+  parallelism_ = parallelism;
+  return *this;
+}
+
 SessionBuilder& SessionBuilder::WithObserver(Observer* observer) {
   observer_ = observer;
   return *this;
@@ -181,8 +186,29 @@ Result<Session> SessionBuilder::Build() {
   }
   if (seed_.has_value()) options_.engine.seed = *seed_;
   if (batched_.has_value()) options_.engine.batched_dispatch = *batched_;
+  // WithParallelism wins; otherwise honor parallelism carried in by
+  // WithEngineOptions, so the engine's dispatch mode and the target's
+  // replica pool can never silently disagree.
+  const int parallelism =
+      parallelism_.value_or(options_.engine.parallelism);
+  if (parallelism < 1) {
+    return Status::InvalidArgument(
+        "SessionBuilder: parallelism must be >= 1, got " +
+        std::to_string(parallelism));
+  }
+  options_.engine.parallelism = parallelism;
+  options_.tagt_baseline.parallelism = parallelism;
+  config_.parallelism = parallelism;
 
   std::unique_ptr<SessionTarget> target = std::move(prebuilt_target_);
+  if (target != nullptr && config_.parallelism > 1) {
+    return Status::InvalidArgument(
+        "SessionBuilder: parallelism > 1 requires a factory backend; a "
+        "prebuilt SessionTarget cannot be replicated from outside (wrap its "
+        "intervention target in exec::ParallelTarget before building it, "
+        "and use WithBatchedDispatch(true) if only batched linear-scan "
+        "dispatch is wanted)");
+  }
   if (target == nullptr) {
     if (backend_.empty()) {
       return Status::InvalidArgument(

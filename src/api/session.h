@@ -148,6 +148,20 @@ class SessionBuilder {
   SessionBuilder& WithSeed(uint64_t seed);
   /// Dispatch linear-scan rounds through RunInterventionsBatch.
   SessionBuilder& WithBatchedDispatch(bool batched = true);
+  /// Replicate the target backend across `parallelism` workers and dispatch
+  /// intervention rounds (and the trials within a round) concurrently
+  /// through exec::ParallelTarget. Worker count and scheduling order never
+  /// affect results: reports are bit-identical to a 1-worker run of the
+  /// same dispatch mode. One caveat on the mode itself: parallelism > 1
+  /// implies batched linear-scan dispatch (see EngineOptions), whose
+  /// speculative executions leave decisions unchanged on deterministic
+  /// targets but can shift trial positions -- and thus decisions -- on
+  /// nondeterministic (flaky) targets relative to an *unbatched* serial
+  /// scan; compare against WithBatchedDispatch(true) for an apples-to-
+  /// apples serial baseline there. Default 1 = serial. Requires a factory
+  /// backend (WithTarget(name)/WithProgram/WithModel/WithCaseStudy);
+  /// prebuilt SessionTargets cannot be replicated from outside.
+  SessionBuilder& WithParallelism(int parallelism);
 
   // ----- session behavior ----------------------------------------------
   SessionBuilder& WithObserver(Observer* observer);
@@ -167,6 +181,7 @@ class SessionBuilder {
   std::optional<int> trials_;
   std::optional<uint64_t> seed_;
   std::optional<bool> batched_;
+  std::optional<int> parallelism_;
 };
 
 }  // namespace aid

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "casestudies/case_study.h"
+#include "exec/parallel_target.h"
 #include "sd/statistical_debugger.h"
 #include "synth/flaky_target.h"
 
@@ -19,7 +20,7 @@ class VmSessionTarget : public SessionTarget {
  public:
   static Result<std::unique_ptr<SessionTarget>> Create(
       std::string name, const Program* program, const VmTargetOptions& options,
-      std::optional<CaseStudy> owned_study) {
+      std::optional<CaseStudy> owned_study, int parallelism = 1) {
     std::unique_ptr<VmSessionTarget> target(
         new VmSessionTarget(std::move(name)));
     VmTargetOptions effective = options;
@@ -42,6 +43,11 @@ class VmSessionTarget : public SessionTarget {
         StatisticalDebugger::Analyze(target->vm_target_->extractor().catalog(),
                                      target->vm_target_->extractor().logs()));
     target->sd_count_ = static_cast<int>(sd.FullyDiscriminative().size());
+    if (parallelism > 1) {
+      AID_ASSIGN_OR_RETURN(
+          target->parallel_,
+          ParallelTarget::Create(target->vm_target_.get(), parallelism));
+    }
     return std::unique_ptr<SessionTarget>(std::move(target));
   }
 
@@ -51,6 +57,7 @@ class VmSessionTarget : public SessionTarget {
                               : std::string_view();
   }
   InterventionTarget* intervention_target() override {
+    if (parallel_ != nullptr) return parallel_.get();
     return vm_target_.get();
   }
   Result<AcDag> BuildAcDag() override { return vm_target_->BuildAcDag(); }
@@ -72,20 +79,36 @@ class VmSessionTarget : public SessionTarget {
   std::optional<CaseStudy> study_;  ///< set iff this target owns its study
   const Program* program_ = nullptr;
   std::unique_ptr<VmTarget> vm_target_;
+  /// Replica pool over vm_target_; set iff parallelism > 1.
+  std::unique_ptr<ParallelTarget> parallel_;
   int sd_count_ = 0;
 };
 
 /// A ground-truth model target (deterministic or flaky). Borrows the model.
 class ModelSessionTarget : public SessionTarget {
  public:
+  static Result<std::unique_ptr<SessionTarget>> Create(
+      std::string name, const GroundTruthModel* model,
+      std::unique_ptr<ReplicableTarget> intervention, int parallelism) {
+    auto target = std::make_unique<ModelSessionTarget>(
+        std::move(name), model, std::move(intervention));
+    if (parallelism > 1) {
+      AID_ASSIGN_OR_RETURN(
+          target->parallel_,
+          ParallelTarget::Create(target->intervention_.get(), parallelism));
+    }
+    return std::unique_ptr<SessionTarget>(std::move(target));
+  }
+
   ModelSessionTarget(std::string name, const GroundTruthModel* model,
-                     std::unique_ptr<InterventionTarget> intervention)
+                     std::unique_ptr<ReplicableTarget> intervention)
       : name_(std::move(name)),
         model_(model),
         intervention_(std::move(intervention)) {}
 
   std::string_view name() const override { return name_; }
   InterventionTarget* intervention_target() override {
+    if (parallel_ != nullptr) return parallel_.get();
     return intervention_.get();
   }
   Result<AcDag> BuildAcDag() override { return model_->BuildAcDag(); }
@@ -96,7 +119,9 @@ class ModelSessionTarget : public SessionTarget {
  private:
   std::string name_;
   const GroundTruthModel* model_;
-  std::unique_ptr<InterventionTarget> intervention_;
+  std::unique_ptr<ReplicableTarget> intervention_;
+  /// Replica pool over intervention_; set iff parallelism > 1.
+  std::unique_ptr<ParallelTarget> parallel_;
 };
 
 /// Borrows an externally assembled InterventionTarget + AC-DAG.
@@ -142,10 +167,10 @@ Result<CaseStudy> MakeCaseStudyByKey(const std::string& key) {
 }
 
 Result<std::unique_ptr<SessionTarget>> CreateCaseTarget(
-    const std::string& key) {
+    const std::string& key, int parallelism) {
   AID_ASSIGN_OR_RETURN(CaseStudy study, MakeCaseStudyByKey(key));
   return VmSessionTarget::Create("case:" + key, nullptr, {},
-                                 std::move(study));
+                                 std::move(study), parallelism);
 }
 
 struct Registry {
@@ -155,22 +180,24 @@ struct Registry {
   Registry() {
     creators["vm"] = [](const TargetConfig& config) {
       return VmSessionTarget::Create("vm", config.program, config.vm,
-                                     std::nullopt);
+                                     std::nullopt, config.parallelism);
     };
     creators["model"] = [](const TargetConfig& config) {
-      return MakeModelSessionTarget(config.model);
+      return MakeModelSessionTarget(config.model, 1.0, 1, "model",
+                                    config.parallelism);
     };
     creators["flaky-model"] = [](const TargetConfig& config) {
       return MakeModelSessionTarget(config.model, config.manifest_probability,
-                                    config.flaky_seed, "flaky-model");
+                                    config.flaky_seed, "flaky-model",
+                                    config.parallelism);
     };
     creators["case"] = [](const TargetConfig& config) {
-      return CreateCaseTarget(config.case_study);
+      return CreateCaseTarget(config.case_study, config.parallelism);
     };
     for (const char* key : {"npgsql", "kafka", "cosmosdb", "network",
                             "buildandtest", "healthtelemetry"}) {
-      creators[std::string("case:") + key] = [key](const TargetConfig&) {
-        return CreateCaseTarget(key);
+      creators[std::string("case:") + key] = [key](const TargetConfig& config) {
+        return CreateCaseTarget(key, config.parallelism);
       };
     }
   }
@@ -223,27 +250,28 @@ Result<std::unique_ptr<SessionTarget>> TargetFactory::Create(
 }
 
 Result<std::unique_ptr<SessionTarget>> MakeVmSessionTarget(
-    const Program* program, const VmTargetOptions& options, std::string name) {
+    const Program* program, const VmTargetOptions& options, std::string name,
+    int parallelism) {
   return VmSessionTarget::Create(std::move(name), program, options,
-                                 std::nullopt);
+                                 std::nullopt, parallelism);
 }
 
 Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
     const GroundTruthModel* model, double manifest_probability,
-    uint64_t flaky_seed, std::string name) {
+    uint64_t flaky_seed, std::string name, int parallelism) {
   if (model == nullptr) {
     return Status::InvalidArgument(
         "model target: TargetConfig::model is required");
   }
-  std::unique_ptr<InterventionTarget> intervention;
+  std::unique_ptr<ReplicableTarget> intervention;
   if (manifest_probability >= 1.0) {
     intervention = std::make_unique<ModelTarget>(model);
   } else {
     intervention = std::make_unique<FlakyModelTarget>(
         model, manifest_probability, flaky_seed);
   }
-  return std::unique_ptr<SessionTarget>(std::make_unique<ModelSessionTarget>(
-      std::move(name), model, std::move(intervention)));
+  return ModelSessionTarget::Create(std::move(name), model,
+                                    std::move(intervention), parallelism);
 }
 
 std::unique_ptr<SessionTarget> MakeAdapterSessionTarget(

@@ -54,6 +54,16 @@ struct TargetConfig {
 
   /// "case": case-study key ("npgsql", "kafka", ...).
   std::string case_study;
+
+  /// All built-in backends: replicate the intervention target across this
+  /// many workers and dispatch intervention rounds in parallel (src/exec/).
+  /// 1 = serial dispatch, today's behavior. Worker count never affects
+  /// results (ReplicableTarget contract: bit-identical to a 1-worker run of
+  /// the same dispatch mode); the engine-side switch to batched linear-scan
+  /// dispatch is what changes the executions/rounds split -- see
+  /// SessionBuilder::WithParallelism for the nondeterministic-target
+  /// caveat. Usually set through that builder method.
+  int parallelism = 1;
 };
 
 /// One debuggable application: the pluggable unit behind aid::Session.
@@ -119,16 +129,19 @@ class TargetFactory {
 
 /// Wraps a VmTarget (and optionally an owned case study) as a SessionTarget.
 /// Exposed for backends that want to build on the VM observation pipeline.
+/// With `parallelism` > 1 the VM target is replicated into an
+/// exec::ParallelTarget pool of that many workers.
 Result<std::unique_ptr<SessionTarget>> MakeVmSessionTarget(
     const Program* program, const VmTargetOptions& options,
-    std::string name = "vm");
+    std::string name = "vm", int parallelism = 1);
 
 /// Wraps a ground-truth model as a SessionTarget. `model` must outlive the
 /// target. With `manifest_probability` < 1 the intervention target is a
-/// FlakyModelTarget seeded with `flaky_seed`.
+/// FlakyModelTarget seeded with `flaky_seed`. With `parallelism` > 1 the
+/// model target is replicated into an exec::ParallelTarget pool.
 Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
     const GroundTruthModel* model, double manifest_probability = 1.0,
-    uint64_t flaky_seed = 1, std::string name = "model");
+    uint64_t flaky_seed = 1, std::string name = "model", int parallelism = 1);
 
 /// Adapts a borrowed InterventionTarget and prebuilt AC-DAG as a
 /// SessionTarget -- the escape hatch for research setups that assemble the

@@ -130,7 +130,9 @@ Status CausalPathDiscovery::Giwp(std::vector<size_t> pool) {
                pool.end());
     if (pool.empty()) return Status::OK();
 
-    if (options_.linear_scan && options_.batched_dispatch) {
+    const bool batched =
+        options_.batched_dispatch || options_.parallelism > 1;
+    if (options_.linear_scan && batched) {
       AID_RETURN_IF_ERROR(GiwpLinearBatched(pool));
       continue;  // re-filter; a second pass only runs if items stay undecided
     }
@@ -184,7 +186,13 @@ Status CausalPathDiscovery::GiwpLinearBatched(const std::vector<size_t>& pool) {
 
   for (size_t k = 0; k < pool.size(); ++k) {
     const size_t item = pool[k];
-    if (decisions_[item] != ItemDecision::kUndecided) continue;
+    if (decisions_[item] != ItemDecision::kUndecided) {
+      // Pruning answered this span before its result was consumed: its
+      // executions were speculative (see DiscoveryReport).
+      report_.speculative_executions +=
+          static_cast<int>(results[k].logs.size());
+      continue;
+    }
     const TargetRunResult& result = results[k];
     if (options_.observer) {
       options_.observer->OnRoundStarted(report_.rounds + 1, spans[k]);

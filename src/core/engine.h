@@ -52,10 +52,19 @@ struct EngineOptions {
   /// InterventionTarget::RunInterventionsBatch call instead of one
   /// RunIntervened call per predicate. Decisions are identical on
   /// deterministic targets; interventions already answered by Definition 2
-  /// pruning become speculative executions instead of being skipped, so
-  /// `executions` may be higher while wall-clock drops on backends with
-  /// per-call overhead.
+  /// pruning become speculative executions instead of being skipped --
+  /// still counted in DiscoveryReport::executions but reported separately
+  /// as DiscoveryReport::speculative_executions -- so `executions` may be
+  /// higher while wall-clock drops on backends with per-call overhead.
   bool batched_dispatch = false;
+  /// Target-level parallelism this engine run is configured for. The engine
+  /// spawns no threads itself -- exec::ParallelTarget does -- but
+  /// parallelism > 1 implies batched linear-scan dispatch (a parallel
+  /// backend is pointless when rounds arrive one span at a time), and
+  /// aid::Session propagates the value to the TargetFactory so presets
+  /// build replica pools (see src/exec/). Default 1 = serial dispatch,
+  /// today's behavior.
+  int parallelism = 1;
   /// Progress callbacks (non-owning; may be null). The engine reports the
   /// kBranchPruning / kGiwp phase changes, every round, and every predicate
   /// decision.
@@ -106,8 +115,16 @@ struct DiscoveryReport {
   std::vector<PredicateId> spurious;
   /// Number of intervention rounds (the paper's "#interventions").
   int rounds = 0;
-  /// Number of application executions (rounds * trials for VM targets).
+  /// Total application executions the discovery run cost, speculative ones
+  /// included (rounds * trials + speculative_executions on targets that run
+  /// exactly `trials` executions per span).
   int executions = 0;
+  /// The subset of `executions` spent on speculative work: spans submitted
+  /// by batched dispatch whose item was already decided (by Definition 2
+  /// pruning) before their result was consumed. Those spans execute but are
+  /// not rounds -- the wall-clock price of shipping a whole scan to a
+  /// batching/parallel backend at once.
+  int speculative_executions = 0;
   std::vector<InterventionRound> history;
   /// True iff the causal predicates are totally ordered by AC-DAG
   /// reachability -- the Definition 1 chain. False signals a violation of

@@ -9,8 +9,12 @@
 // metrics all hang off the same four hooks.
 //
 // Callbacks are invoked synchronously on the thread driving the session;
-// implementations must not re-enter the session. The default implementation
-// of every hook is a no-op, so observers override only what they need.
+// implementations must not re-enter the session. This holds under parallel
+// dispatch too: exec::ParallelTarget joins its workers inside each target
+// call, and the engine delivers every callback from the driving thread
+// afterwards, so round callbacks stay serialized and existing observers
+// need no locking. The default implementation of every hook is a no-op, so
+// observers override only what they need.
 
 #ifndef AID_CORE_OBSERVER_H_
 #define AID_CORE_OBSERVER_H_

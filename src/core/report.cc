@@ -38,8 +38,14 @@ std::string RenderReport(const DiscoveryReport& report, const AcDag& dag,
            "set of counterfactual causes in topological order.\n";
   }
 
-  out << StrFormat("interventions: %d rounds, %d executions\n", report.rounds,
-                   report.executions);
+  if (report.speculative_executions > 0) {
+    out << StrFormat("interventions: %d rounds, %d executions (%d speculative)\n",
+                     report.rounds, report.executions,
+                     report.speculative_executions);
+  } else {
+    out << StrFormat("interventions: %d rounds, %d executions\n", report.rounds,
+                     report.executions);
+  }
 
   if (options.include_spurious && !report.spurious.empty()) {
     out << "proven spurious:\n";

@@ -57,8 +57,9 @@ class InterventionTarget {
   ///
   /// The default implementation dispatches the spans serially through
   /// RunIntervened; backends override it to batch, parallelize, or ship the
-  /// round elsewhere. Overrides must preserve the per-span semantics and
-  /// the result ordering.
+  /// round elsewhere (exec::ParallelTarget fans spans out across a pool of
+  /// target replicas, see src/exec/). Overrides must preserve the per-span
+  /// semantics and the result ordering.
   virtual Result<std::vector<TargetRunResult>> RunInterventionsBatch(
       const InterventionSpans& spans, int trials) {
     std::vector<TargetRunResult> results;

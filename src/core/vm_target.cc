@@ -73,6 +73,15 @@ Result<std::unique_ptr<VmTarget>> VmTarget::Create(
   return target;
 }
 
+Result<std::unique_ptr<ReplicableTarget>> VmTarget::Clone() const {
+  auto clone = std::unique_ptr<VmTarget>(new VmTarget(program_, options_));
+  clone->extractor_ = extractor_;
+  clone->failing_seeds_ = failing_seeds_;
+  clone->signature_ = signature_;
+  clone->intervened_runs_ = intervened_runs_;
+  return std::unique_ptr<ReplicableTarget>(std::move(clone));
+}
+
 Result<AcDag> VmTarget::BuildAcDag(const PrecedenceConfig& config) const {
   AID_ASSIGN_OR_RETURN(
       StatisticalDebugger sd,
@@ -96,6 +105,7 @@ Result<AcDag> VmTarget::BuildAcDag(const PrecedenceConfig& config) const {
 
 Result<TargetRunResult> VmTarget::RunIntervened(
     const std::vector<PredicateId>& intervened, int trials) {
+  if (trials < 1) trials = 1;
   InterventionCompiler compiler(program_, &extractor_.catalog(),
                                 &extractor_.baselines());
   AID_ASSIGN_OR_RETURN(InterventionPlan plan, compiler.CompilePlan(intervened));

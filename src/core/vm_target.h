@@ -22,6 +22,7 @@
 
 #include "causal/acdag.h"
 #include "core/target.h"
+#include "exec/replicable.h"
 #include "predicates/extractor.h"
 #include "runtime/program.h"
 #include "runtime/vm.h"
@@ -40,7 +41,7 @@ struct VmTargetOptions {
   VmOptions vm;
 };
 
-class VmTarget : public InterventionTarget {
+class VmTarget : public ReplicableTarget {
  public:
   /// Runs the observation phase. Fails if the seed scan cannot produce the
   /// requested mix of successful and failed executions.
@@ -55,6 +56,21 @@ class VmTarget : public InterventionTarget {
 
   Result<TargetRunResult> RunIntervened(
       const std::vector<PredicateId>& intervened, int trials) override;
+
+  /// Replica for parallel dispatch: copies the frozen observation state
+  /// (extractor catalog + baselines, failing seeds, primary signature)
+  /// without re-running the seed scan. Each replica recompiles intervention
+  /// plans and runs its own VM, so replicas execute concurrently without
+  /// sharing mutable state; the replica's executions() counter starts at 0.
+  Result<std::unique_ptr<ReplicableTarget>> Clone() const override;
+
+  /// Positions the round-robin failing-seed cursor at the global trial
+  /// index, making the VM seeds of a span a function of its position alone.
+  void SeekTrial(uint64_t trial_index) override {
+    intervened_runs_ = trial_index;
+  }
+  uint64_t trial_position() const override { return intervened_runs_; }
+
   int executions() const override { return executions_; }
 
   const PredicateExtractor& extractor() const { return extractor_; }

@@ -1,0 +1,103 @@
+// ParallelTarget: batched intervention dispatch over replicated targets.
+//
+// The paper's cost model (Sections 2 and 7) is dominated by application
+// executions: every intervention round re-runs the subject `trials` times,
+// and nondeterministic subjects need many trials (footnote 1). The engine's
+// InterventionTarget::RunInterventionsBatch hook hands whole rounds to the
+// backend; ParallelTarget is the backend that turns those rounds into
+// wall-clock-parallel work:
+//
+//   * a fixed pool of `parallelism` replicas cloned from one primary
+//     ReplicableTarget, each exclusively leased to one in-flight task;
+//   * a ThreadPool of `parallelism` workers fanning the batch's spans out
+//     across the replicas;
+//   * deterministic trial seeking (ReplicableTarget::SeekTrial) so span k
+//     runs the exact trial positions a serial loop over the same spans
+//     would have used -- results are bit-identical to serial dispatch of
+//     the same calls, independent of worker count and scheduling order.
+//     (Whether the engine submits the same spans is the engine's dispatch
+//     mode, not this class's: batched linear-scan dispatch runs spans that
+//     a serial unbatched scan would have pruned, which on nondeterministic
+//     targets also shifts later spans' trial positions. See
+//     EngineOptions::batched_dispatch.)
+//
+// Single-span rounds still parallelize: RunIntervened shards its `trials`
+// executions across the replicas and concatenates the logs in trial order,
+// which is where nondeterministic targets with high trial counts win.
+//
+// executions() sums the primary's counter (observation cost) with every
+// replica's counter, so engine accounting stays exact. All engine-facing
+// entry points run on the driving thread and join their workers before
+// returning; Observer callbacks therefore stay serialized on the driving
+// thread and existing observers need no locking.
+
+#ifndef AID_EXEC_PARALLEL_TARGET_H_
+#define AID_EXEC_PARALLEL_TARGET_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/target.h"
+#include "exec/replicable.h"
+#include "exec/thread_pool.h"
+
+namespace aid {
+
+class ParallelTarget : public InterventionTarget {
+ public:
+  /// Clones `primary` into `parallelism` replicas backed by `parallelism`
+  /// pool workers. `primary` is borrowed (it must outlive the ParallelTarget)
+  /// and is never run again -- it only contributes its executions() history
+  /// (the observation phase) to this target's accounting. Requires
+  /// parallelism >= 1; parallelism == 1 is a valid degenerate pool whose
+  /// results equal the primary's by the ReplicableTarget contract.
+  static Result<std::unique_ptr<ParallelTarget>> Create(
+      const ReplicableTarget* primary, int parallelism);
+
+  /// Shards `trials` across the replicas (contiguous trial ranges, logs
+  /// concatenated in trial order).
+  Result<TargetRunResult> RunIntervened(
+      const std::vector<PredicateId>& intervened, int trials) override;
+
+  /// Fans the spans out across the replicas, one task per span; results come
+  /// back in span order.
+  Result<std::vector<TargetRunResult>> RunInterventionsBatch(
+      const InterventionSpans& spans, int trials) override;
+
+  /// Primary executions (observation) + every replica's executions.
+  int executions() const override;
+
+  int parallelism() const { return static_cast<int>(replicas_.size()); }
+
+ private:
+  ParallelTarget(const ReplicableTarget* primary,
+                 std::vector<std::unique_ptr<ReplicableTarget>> replicas);
+
+  /// Exclusive replica lease for one task. Lease() blocks until a replica is
+  /// free; with one pool worker per replica it never actually waits.
+  ReplicableTarget* Lease();
+  void Return(ReplicableTarget* replica);
+
+  const ReplicableTarget* primary_;
+  std::vector<std::unique_ptr<ReplicableTarget>> replicas_;
+
+  std::mutex lease_mu_;
+  std::condition_variable lease_cv_;
+  std::vector<ReplicableTarget*> free_;
+
+  /// Declared after the lease state and the replicas: the pool's destructor
+  /// drains still-queued tasks, which touch both, so it must run first.
+  ThreadPool pool_;
+
+  /// Global intervened-trial cursor: the trial index serial dispatch would
+  /// be at (starts at the primary's position, advances by the trials
+  /// dispatched here). Only touched on the driving thread.
+  uint64_t trial_cursor_ = 0;
+};
+
+}  // namespace aid
+
+#endif  // AID_EXEC_PARALLEL_TARGET_H_

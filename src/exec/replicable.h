@@ -1,0 +1,58 @@
+// ReplicableTarget: an InterventionTarget that can stamp out independent
+// replicas of itself for parallel dispatch.
+//
+// The contract has two halves, and together they make parallel execution
+// bit-identical to serial execution:
+//
+//   * Clone() produces a replica that answers RunIntervened exactly like
+//     the original would, given the same trial positions. Replicas share
+//     immutable observation state (the subject program / model, predicate
+//     catalogs, failing seeds) but own every piece of mutable state, so
+//     distinct replicas may run concurrently on distinct threads. A
+//     replica's executions() counter starts at zero: a pool sums per-replica
+//     counters to keep cost accounting exact.
+//
+//   * SeekTrial(trial_index) positions the target's per-trial state (RNG
+//     draws, failing-seed cursors) as if `trial_index` intervened
+//     executions had already happened serially. Targets must derive all
+//     per-execution nondeterminism positionally from the trial index, never
+//     from a shared stream consumed in arrival order -- that is what lets a
+//     scheduler hand span k to any replica on any worker and still get the
+//     bytes serial dispatch would have produced.
+//
+// Deterministic targets (synth::ModelTarget) implement SeekTrial as a no-op.
+
+#ifndef AID_EXEC_REPLICABLE_H_
+#define AID_EXEC_REPLICABLE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "core/target.h"
+
+namespace aid {
+
+class ReplicableTarget : public InterventionTarget {
+ public:
+  /// Stamps out an independent replica (see file comment for the contract).
+  /// The replica may borrow immutable state from this target and must not
+  /// outlive it.
+  virtual Result<std::unique_ptr<ReplicableTarget>> Clone() const = 0;
+
+  /// Positions per-trial state at the global trial index. Called by the
+  /// scheduler before each span (or trial shard) it assigns; never called
+  /// concurrently on the same replica.
+  virtual void SeekTrial(uint64_t trial_index) { (void)trial_index; }
+
+  /// The trial index the next RunIntervened execution would run at --
+  /// i.e. how many intervened trials this target has consumed (or been
+  /// SeekTrial'd past). A scheduler wrapping a target mid-stream starts its
+  /// own cursor here so dispatch continues exactly where serial execution
+  /// left off. Positionless (deterministic) targets keep the default 0.
+  virtual uint64_t trial_position() const { return 0; }
+};
+
+}  // namespace aid
+
+#endif  // AID_EXEC_REPLICABLE_H_

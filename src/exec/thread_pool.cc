@@ -1,0 +1,53 @@
+#include "exec/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace aid {
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers < 1) workers = 1;
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AID_CHECK(!shutting_down_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && threads_.empty()) return;
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace aid

@@ -1,0 +1,68 @@
+// ThreadPool: a fixed-size worker pool with a futures-style join.
+//
+// The execution subsystem's scheduling primitive: ParallelTarget fans an
+// intervention round's spans out across replicas by submitting one task per
+// span and joining the returned futures. The pool is deliberately minimal --
+// a locked deque, `workers` threads, and std::packaged_task plumbing -- so
+// it stays easy to audit under ThreadSanitizer.
+//
+// Shutdown is graceful: the destructor (or an explicit Shutdown call) lets
+// already-queued tasks finish, then joins every worker. Submitting after
+// shutdown is a programming error (AID_CHECK).
+
+#ifndef AID_EXEC_THREAD_POOL_H_
+#define AID_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace aid {
+
+class ThreadPool {
+ public:
+  /// Starts `workers` threads (clamped to >= 1).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues `fn` and returns the future of its result. The future's
+  /// shared state also transports exceptions thrown by `fn`.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Drains the queue and joins every worker. Idempotent; implied by the
+  /// destructor.
+  void Shutdown();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace aid
+
+#endif  // AID_EXEC_THREAD_POOL_H_

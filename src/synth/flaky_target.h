@@ -4,17 +4,26 @@
 // on a failing input, which is why AID executes every intervention several
 // times and treats a single failing run as proof that the failure was not
 // repressed.
+//
+// The manifestation coin flip for trial t is a pure function of (seed, t):
+// each flip draws from an Rng seeded by mixing the target seed with the
+// global trial index, instead of consuming one shared stream in arrival
+// order. That makes the target replicable (exec/replicable.h): any replica
+// positioned at trial t by SeekTrial produces the same flip, so parallel
+// dispatch across clones is bit-identical to serial dispatch.
 
 #ifndef AID_SYNTH_FLAKY_TARGET_H_
 #define AID_SYNTH_FLAKY_TARGET_H_
 
+#include <memory>
+
 #include "common/rng.h"
-#include "core/target.h"
+#include "exec/replicable.h"
 #include "synth/model.h"
 
 namespace aid {
 
-class FlakyModelTarget : public InterventionTarget {
+class FlakyModelTarget : public ReplicableTarget {
  public:
   /// On each execution, the root cause spontaneously fires only with
   /// `manifest_probability`; when it does not fire, the run behaves like a
@@ -23,7 +32,7 @@ class FlakyModelTarget : public InterventionTarget {
                    uint64_t seed)
       : model_(model),
         manifest_probability_(manifest_probability),
-        rng_(seed) {}
+        seed_(seed) {}
 
   Result<TargetRunResult> RunIntervened(
       const std::vector<PredicateId>& intervened, int trials) override {
@@ -31,7 +40,7 @@ class FlakyModelTarget : public InterventionTarget {
     if (trials < 1) trials = 1;
     for (int i = 0; i < trials; ++i) {
       ++executions_;
-      if (rng_.Bernoulli(manifest_probability_)) {
+      if (ManifestsAt(trial_cursor_++)) {
         result.logs.push_back(model_->Execute(intervened));
       } else {
         // The nondeterminism did not line up: suppress the root cause too.
@@ -43,12 +52,30 @@ class FlakyModelTarget : public InterventionTarget {
     return result;
   }
 
+  Result<std::unique_ptr<ReplicableTarget>> Clone() const override {
+    auto clone = std::unique_ptr<FlakyModelTarget>(
+        new FlakyModelTarget(model_, manifest_probability_, seed_));
+    clone->trial_cursor_ = trial_cursor_;
+    return std::unique_ptr<ReplicableTarget>(std::move(clone));
+  }
+
+  void SeekTrial(uint64_t trial_index) override { trial_cursor_ = trial_index; }
+
+  uint64_t trial_position() const override { return trial_cursor_; }
+
   int executions() const override { return executions_; }
 
  private:
+  /// The trial-t manifestation flip: deterministic in (seed_, t).
+  bool ManifestsAt(uint64_t trial) const {
+    uint64_t mix = seed_ ^ ((trial + 1) * 0x9e3779b97f4a7c15ULL);
+    return Rng(SplitMix64(mix)).Bernoulli(manifest_probability_);
+  }
+
   const GroundTruthModel* model_;
   double manifest_probability_;
-  Rng rng_;
+  uint64_t seed_;
+  uint64_t trial_cursor_ = 0;
   int executions_ = 0;
 };
 

@@ -22,6 +22,7 @@
 #include "causal/acdag.h"
 #include "common/status.h"
 #include "core/target.h"
+#include "exec/replicable.h"
 #include "predicates/predicate.h"
 
 namespace aid {
@@ -73,8 +74,9 @@ class GroundTruthModel {
 };
 
 /// InterventionTarget over a ground-truth model. Deterministic: one trial is
-/// sufficient, and `trials` executions produce identical logs.
-class ModelTarget : public InterventionTarget {
+/// sufficient, and `trials` executions produce identical logs. Replicable:
+/// clones share the (immutable) model and need no trial seeking.
+class ModelTarget : public ReplicableTarget {
  public:
   explicit ModelTarget(const GroundTruthModel* model) : model_(model) {}
 
@@ -84,6 +86,9 @@ class ModelTarget : public InterventionTarget {
   /// skipping the per-span Result plumbing of the serial default.
   Result<std::vector<TargetRunResult>> RunInterventionsBatch(
       const InterventionSpans& spans, int trials) override;
+  Result<std::unique_ptr<ReplicableTarget>> Clone() const override {
+    return std::unique_ptr<ReplicableTarget>(new ModelTarget(model_));
+  }
   int executions() const override { return executions_; }
 
  private:

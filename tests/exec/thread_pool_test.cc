@@ -1,0 +1,76 @@
+// Tests of the exec/ scheduling primitive: task results, multi-worker
+// liveness, graceful shutdown, and exception transport.
+
+#include "exec/thread_pool.h"
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aid {
+namespace {
+
+TEST(ThreadPoolTest, RunsTasksAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, WorkerCountClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 1);
+  EXPECT_EQ(pool.Submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, MultipleWorkersRunConcurrently) {
+  // Task A blocks until task B runs; completion therefore requires two live
+  // workers, whatever the hardware parallelism.
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::future<void> released = release.get_future();
+  std::future<int> blocked =
+      pool.Submit([&released]() { released.wait(); return 1; });
+  std::future<int> releaser =
+      pool.Submit([&release]() { release.set_value(); return 2; });
+  EXPECT_EQ(blocked.get(), 1);
+  EXPECT_EQ(releaser.get(), 2);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.Submit([&ran]() { ++ran; }));
+    }
+  }  // destructor: graceful shutdown
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Submit([]() {}).get();
+  pool.Shutdown();
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, ExceptionsTravelThroughTheFuture) {
+  ThreadPool pool(1);
+  std::future<int> future =
+      pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aid
