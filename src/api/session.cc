@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "exec/parallel_target.h"
+
 namespace aid {
 
 Result<SessionReport> Session::Run() {
@@ -155,6 +157,11 @@ SessionBuilder& SessionBuilder::WithParallelism(int parallelism) {
   return *this;
 }
 
+SessionBuilder& SessionBuilder::WithProcessIsolation(int trial_deadline_ms) {
+  isolation_deadline_ms_ = trial_deadline_ms;
+  return *this;
+}
+
 SessionBuilder& SessionBuilder::WithObserver(Observer* observer) {
   observer_ = observer;
   return *this;
@@ -191,14 +198,24 @@ Result<Session> SessionBuilder::Build() {
   // replica pool can never silently disagree.
   const int parallelism =
       parallelism_.value_or(options_.engine.parallelism);
-  if (parallelism < 1) {
-    return Status::InvalidArgument(
-        "SessionBuilder: parallelism must be >= 1, got " +
-        std::to_string(parallelism));
+  {
+    const Status valid = ValidateParallelism(parallelism);
+    if (!valid.ok()) {
+      return Status(valid.code(), "SessionBuilder: " + valid.message());
+    }
   }
   options_.engine.parallelism = parallelism;
   options_.tagt_baseline.parallelism = parallelism;
   config_.parallelism = parallelism;
+  if (isolation_deadline_ms_.has_value()) {
+    if (*isolation_deadline_ms_ < 0) {
+      return Status::InvalidArgument(
+          "SessionBuilder: process-isolation trial deadline must be >= 0 ms, "
+          "got " + std::to_string(*isolation_deadline_ms_));
+    }
+    config_.isolation = Isolation::kSubprocess;
+    config_.subprocess.trial_deadline_ms = *isolation_deadline_ms_;
+  }
 
   std::unique_ptr<SessionTarget> target = std::move(prebuilt_target_);
   if (target != nullptr && config_.parallelism > 1) {
@@ -208,6 +225,12 @@ Result<Session> SessionBuilder::Build() {
         "intervention target in exec::ParallelTarget before building it, "
         "and use WithBatchedDispatch(true) if only batched linear-scan "
         "dispatch is wanted)");
+  }
+  if (target != nullptr && config_.isolation == Isolation::kSubprocess) {
+    return Status::InvalidArgument(
+        "SessionBuilder: process isolation requires a factory backend; a "
+        "prebuilt SessionTarget cannot be re-hosted in a subprocess (build "
+        "it over proc::SubprocessTarget instead)");
   }
   if (target == nullptr) {
     if (backend_.empty()) {

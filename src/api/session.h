@@ -160,8 +160,19 @@ class SessionBuilder {
   /// scan; compare against WithBatchedDispatch(true) for an apples-to-
   /// apples serial baseline there. Default 1 = serial. Requires a factory
   /// backend (WithTarget(name)/WithProgram/WithModel/WithCaseStudy);
-  /// prebuilt SessionTargets cannot be replicated from outside.
+  /// prebuilt SessionTargets cannot be replicated from outside. Values
+  /// outside [1, kMaxParallelism] fail Build() with InvalidArgument.
   SessionBuilder& WithParallelism(int parallelism);
+  /// Run every intervention replica as a sandboxed subject process
+  /// (src/proc/): a subject that crashes is recorded as a failing trial and
+  /// respawned; one that exceeds `trial_deadline_ms` is SIGKILLed and the
+  /// trial records the distinct timed-out outcome
+  /// (DiscoveryReport::{crashed,timed_out}_trials and ::respawns surface
+  /// the counts). deadline 0 = none -- set one for subjects that may hang.
+  /// Composes with WithParallelism(n): the pool becomes n isolated child
+  /// processes. Requires a factory backend, like WithParallelism. On
+  /// platforms without fork/exec, Build() fails with Unimplemented.
+  SessionBuilder& WithProcessIsolation(int trial_deadline_ms = 0);
 
   // ----- session behavior ----------------------------------------------
   SessionBuilder& WithObserver(Observer* observer);
@@ -182,6 +193,7 @@ class SessionBuilder {
   std::optional<uint64_t> seed_;
   std::optional<bool> batched_;
   std::optional<int> parallelism_;
+  std::optional<int> isolation_deadline_ms_;  ///< set iff WithProcessIsolation
 };
 
 }  // namespace aid

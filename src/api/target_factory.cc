@@ -15,12 +15,20 @@ namespace aid {
 namespace {
 
 /// A VmTarget plus the statistical-debugging stage, optionally owning the
-/// case study the program came from.
+/// case study the program came from. Observation always runs in-process
+/// (the extractor needs the traces); under subprocess isolation the
+/// *intervention* side is a SubprocessTarget over the same subject, whose
+/// child re-runs the deterministic observation scan and therefore rebuilds
+/// the identical predicate catalog (cross-checked at handshake).
 class VmSessionTarget : public SessionTarget {
  public:
   static Result<std::unique_ptr<SessionTarget>> Create(
       std::string name, const Program* program, const VmTargetOptions& options,
-      std::optional<CaseStudy> owned_study, int parallelism = 1) {
+      std::optional<CaseStudy> owned_study, int parallelism = 1,
+      Isolation isolation = Isolation::kInProcess,
+      const SubprocessOptions& subprocess = {},
+      const std::string& case_key = {}) {
+    AID_RETURN_IF_ERROR(ValidateParallelism(parallelism));
     std::unique_ptr<VmSessionTarget> target(
         new VmSessionTarget(std::move(name)));
     VmTargetOptions effective = options;
@@ -43,10 +51,26 @@ class VmSessionTarget : public SessionTarget {
         StatisticalDebugger::Analyze(target->vm_target_->extractor().catalog(),
                                      target->vm_target_->extractor().logs()));
     target->sd_count_ = static_cast<int>(sd.FullyDiscriminative().size());
+    if (isolation == Isolation::kSubprocess) {
+      SubjectSpec spec;
+      if (!case_key.empty()) {
+        spec.kind = SubjectKind::kCase;
+        spec.case_key = case_key;
+      } else {
+        spec.kind = SubjectKind::kVmProgram;
+        spec.program = program;
+        spec.vm = effective;
+      }
+      SubprocessOptions opts = subprocess;
+      opts.expected_catalog_size = static_cast<uint32_t>(
+          target->vm_target_->extractor().catalog().size());
+      AID_ASSIGN_OR_RETURN(target->subprocess_,
+                           SubprocessTarget::Create(spec, opts));
+    }
     if (parallelism > 1) {
       AID_ASSIGN_OR_RETURN(
           target->parallel_,
-          ParallelTarget::Create(target->vm_target_.get(), parallelism));
+          ParallelTarget::Create(target->replicable_target(), parallelism));
     }
     return std::unique_ptr<SessionTarget>(std::move(target));
   }
@@ -58,7 +82,7 @@ class VmSessionTarget : public SessionTarget {
   }
   InterventionTarget* intervention_target() override {
     if (parallel_ != nullptr) return parallel_.get();
-    return vm_target_.get();
+    return replicable_target();
   }
   Result<AcDag> BuildAcDag() override { return vm_target_->BuildAcDag(); }
   const PredicateCatalog* catalog() const override {
@@ -75,11 +99,21 @@ class VmSessionTarget : public SessionTarget {
  private:
   explicit VmSessionTarget(std::string name) : name_(std::move(name)) {}
 
+  /// The serial intervention backend: the isolated child when subprocess
+  /// isolation is on, the in-process VM target otherwise.
+  ReplicableTarget* replicable_target() {
+    if (subprocess_ != nullptr) return subprocess_.get();
+    return vm_target_.get();
+  }
+
   std::string name_;
   std::optional<CaseStudy> study_;  ///< set iff this target owns its study
   const Program* program_ = nullptr;
   std::unique_ptr<VmTarget> vm_target_;
-  /// Replica pool over vm_target_; set iff parallelism > 1.
+  /// Process-isolated intervention backend; set iff isolation = subprocess.
+  std::unique_ptr<SubprocessTarget> subprocess_;
+  /// Replica pool over replicable_target(); set iff parallelism > 1.
+  /// Declared last: it borrows the targets above, so it must die first.
   std::unique_ptr<ParallelTarget> parallel_;
   int sd_count_ = 0;
 };
@@ -90,6 +124,7 @@ class ModelSessionTarget : public SessionTarget {
   static Result<std::unique_ptr<SessionTarget>> Create(
       std::string name, const GroundTruthModel* model,
       std::unique_ptr<ReplicableTarget> intervention, int parallelism) {
+    AID_RETURN_IF_ERROR(ValidateParallelism(parallelism));
     auto target = std::make_unique<ModelSessionTarget>(
         std::move(name), model, std::move(intervention));
     if (parallelism > 1) {
@@ -154,23 +189,12 @@ class AdapterSessionTarget : public SessionTarget {
   const SymbolTable* objects_;
 };
 
-Result<CaseStudy> MakeCaseStudyByKey(const std::string& key) {
-  if (key == "npgsql") return MakeNpgsqlRace();
-  if (key == "kafka") return MakeKafkaUseAfterFree();
-  if (key == "cosmosdb") return MakeCosmosDbCacheExpiry();
-  if (key == "network") return MakeNetworkCollision();
-  if (key == "buildandtest") return MakeBuildAndTestOrder();
-  if (key == "healthtelemetry") return MakeHealthTelemetryRace();
-  return Status::NotFound("unknown case study '" + key +
-                          "' (expected npgsql, kafka, cosmosdb, network, "
-                          "buildandtest, or healthtelemetry)");
-}
-
 Result<std::unique_ptr<SessionTarget>> CreateCaseTarget(
-    const std::string& key, int parallelism) {
+    const std::string& key, const TargetConfig& config) {
   AID_ASSIGN_OR_RETURN(CaseStudy study, MakeCaseStudyByKey(key));
   return VmSessionTarget::Create("case:" + key, nullptr, {},
-                                 std::move(study), parallelism);
+                                 std::move(study), config.parallelism,
+                                 config.isolation, config.subprocess, key);
 }
 
 struct Registry {
@@ -180,24 +204,26 @@ struct Registry {
   Registry() {
     creators["vm"] = [](const TargetConfig& config) {
       return VmSessionTarget::Create("vm", config.program, config.vm,
-                                     std::nullopt, config.parallelism);
+                                     std::nullopt, config.parallelism,
+                                     config.isolation, config.subprocess);
     };
     creators["model"] = [](const TargetConfig& config) {
       return MakeModelSessionTarget(config.model, 1.0, 1, "model",
-                                    config.parallelism);
+                                    config.parallelism, config.isolation,
+                                    config.subprocess);
     };
     creators["flaky-model"] = [](const TargetConfig& config) {
       return MakeModelSessionTarget(config.model, config.manifest_probability,
                                     config.flaky_seed, "flaky-model",
-                                    config.parallelism);
+                                    config.parallelism, config.isolation,
+                                    config.subprocess);
     };
     creators["case"] = [](const TargetConfig& config) {
-      return CreateCaseTarget(config.case_study, config.parallelism);
+      return CreateCaseTarget(config.case_study, config);
     };
-    for (const char* key : {"npgsql", "kafka", "cosmosdb", "network",
-                            "buildandtest", "healthtelemetry"}) {
-      creators[std::string("case:") + key] = [key](const TargetConfig& config) {
-        return CreateCaseTarget(key, config.parallelism);
+    for (const std::string& key : CaseStudyKeys()) {
+      creators["case:" + key] = [key](const TargetConfig& config) {
+        return CreateCaseTarget(key, config);
       };
     }
   }
@@ -251,20 +277,34 @@ Result<std::unique_ptr<SessionTarget>> TargetFactory::Create(
 
 Result<std::unique_ptr<SessionTarget>> MakeVmSessionTarget(
     const Program* program, const VmTargetOptions& options, std::string name,
-    int parallelism) {
+    int parallelism, Isolation isolation,
+    const SubprocessOptions& subprocess) {
   return VmSessionTarget::Create(std::move(name), program, options,
-                                 std::nullopt, parallelism);
+                                 std::nullopt, parallelism, isolation,
+                                 subprocess);
 }
 
 Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
     const GroundTruthModel* model, double manifest_probability,
-    uint64_t flaky_seed, std::string name, int parallelism) {
+    uint64_t flaky_seed, std::string name, int parallelism,
+    Isolation isolation, const SubprocessOptions& subprocess) {
   if (model == nullptr) {
     return Status::InvalidArgument(
         "model target: TargetConfig::model is required");
   }
   std::unique_ptr<ReplicableTarget> intervention;
-  if (manifest_probability >= 1.0) {
+  if (isolation == Isolation::kSubprocess) {
+    SubjectSpec spec;
+    spec.kind = manifest_probability >= 1.0 ? SubjectKind::kModel
+                                            : SubjectKind::kFlakyModel;
+    spec.model = model;
+    spec.manifest_probability = manifest_probability;
+    spec.flaky_seed = flaky_seed;
+    SubprocessOptions opts = subprocess;
+    opts.expected_catalog_size =
+        static_cast<uint32_t>(model->catalog().size());
+    AID_ASSIGN_OR_RETURN(intervention, SubprocessTarget::Create(spec, opts));
+  } else if (manifest_probability >= 1.0) {
     intervention = std::make_unique<ModelTarget>(model);
   } else {
     intervention = std::make_unique<FlakyModelTarget>(

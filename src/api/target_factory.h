@@ -34,6 +34,7 @@
 #include "common/status.h"
 #include "core/target.h"
 #include "core/vm_target.h"
+#include "proc/subprocess_target.h"
 #include "synth/model.h"
 
 namespace aid {
@@ -62,8 +63,23 @@ struct TargetConfig {
   /// the same dispatch mode); the engine-side switch to batched linear-scan
   /// dispatch is what changes the executions/rounds split -- see
   /// SessionBuilder::WithParallelism for the nondeterministic-target
-  /// caveat. Usually set through that builder method.
+  /// caveat. Usually set through that builder method. Validated on every
+  /// factory path: values outside [1, kMaxParallelism] are rejected with
+  /// InvalidArgument instead of silently degrading to serial dispatch.
   int parallelism = 1;
+
+  /// All built-in backends: where the *intervention* replicas execute.
+  /// kSubprocess runs each replica as a sandboxed aid_subject_host child
+  /// process speaking the proc/ wire protocol -- a subject that crashes or
+  /// hangs is respawned (and, with a deadline, killed) instead of taking the
+  /// engine down. Observation (and so the AC-DAG) always happens in-process,
+  /// where the backend needs the traces anyway. Usually set through
+  /// SessionBuilder::WithProcessIsolation.
+  Isolation isolation = Isolation::kInProcess;
+
+  /// kSubprocess only: child lifecycle knobs (per-trial deadline, host
+  /// binary path, respawn budget, fault injection).
+  SubprocessOptions subprocess;
 };
 
 /// One debuggable application: the pluggable unit behind aid::Session.
@@ -130,18 +146,24 @@ class TargetFactory {
 /// Wraps a VmTarget (and optionally an owned case study) as a SessionTarget.
 /// Exposed for backends that want to build on the VM observation pipeline.
 /// With `parallelism` > 1 the VM target is replicated into an
-/// exec::ParallelTarget pool of that many workers.
+/// exec::ParallelTarget pool of that many workers; with `isolation` =
+/// kSubprocess each intervention replica is a sandboxed subject process.
 Result<std::unique_ptr<SessionTarget>> MakeVmSessionTarget(
     const Program* program, const VmTargetOptions& options,
-    std::string name = "vm", int parallelism = 1);
+    std::string name = "vm", int parallelism = 1,
+    Isolation isolation = Isolation::kInProcess,
+    const SubprocessOptions& subprocess = {});
 
 /// Wraps a ground-truth model as a SessionTarget. `model` must outlive the
 /// target. With `manifest_probability` < 1 the intervention target is a
 /// FlakyModelTarget seeded with `flaky_seed`. With `parallelism` > 1 the
-/// model target is replicated into an exec::ParallelTarget pool.
+/// model target is replicated into an exec::ParallelTarget pool; with
+/// `isolation` = kSubprocess the replicas are sandboxed subject processes.
 Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
     const GroundTruthModel* model, double manifest_probability = 1.0,
-    uint64_t flaky_seed = 1, std::string name = "model", int parallelism = 1);
+    uint64_t flaky_seed = 1, std::string name = "model", int parallelism = 1,
+    Isolation isolation = Isolation::kInProcess,
+    const SubprocessOptions& subprocess = {});
 
 /// Adapts a borrowed InterventionTarget and prebuilt AC-DAG as a
 /// SessionTarget -- the escape hatch for research setups that assemble the

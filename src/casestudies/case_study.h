@@ -58,6 +58,15 @@ Result<CaseStudy> MakeHealthTelemetryRace();
 /// All six, in the paper's Figure 7 order.
 Result<std::vector<CaseStudy>> AllCaseStudies();
 
+/// The canonical key -> factory mapping ("npgsql", "kafka", "cosmosdb",
+/// "network", "buildandtest", "healthtelemetry"). Both the TargetFactory
+/// presets and the subprocess subject host resolve case studies through
+/// this single registry, so a study added here is reachable from every
+/// execution mode at once. NotFound for unknown keys.
+Result<CaseStudy> MakeCaseStudyByKey(const std::string& key);
+/// The keys MakeCaseStudyByKey accepts, in Figure 7 order.
+const std::vector<std::string>& CaseStudyKeys();
+
 }  // namespace aid
 
 #endif  // AID_CASESTUDIES_CASE_STUDY_H_

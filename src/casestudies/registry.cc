@@ -2,6 +2,25 @@
 
 namespace aid {
 
+Result<CaseStudy> MakeCaseStudyByKey(const std::string& key) {
+  if (key == "npgsql") return MakeNpgsqlRace();
+  if (key == "kafka") return MakeKafkaUseAfterFree();
+  if (key == "cosmosdb") return MakeCosmosDbCacheExpiry();
+  if (key == "network") return MakeNetworkCollision();
+  if (key == "buildandtest") return MakeBuildAndTestOrder();
+  if (key == "healthtelemetry") return MakeHealthTelemetryRace();
+  return Status::NotFound("unknown case study '" + key +
+                          "' (expected npgsql, kafka, cosmosdb, network, "
+                          "buildandtest, or healthtelemetry)");
+}
+
+const std::vector<std::string>& CaseStudyKeys() {
+  static const std::vector<std::string>* keys = new std::vector<std::string>{
+      "npgsql", "kafka",        "cosmosdb",
+      "network", "buildandtest", "healthtelemetry"};
+  return *keys;
+}
+
 Result<std::vector<CaseStudy>> AllCaseStudies() {
   std::vector<CaseStudy> studies;
   {

@@ -27,6 +27,7 @@ enum class StatusCode {
   kUnimplemented = 5,
   kInternal = 6,
   kAborted = 7,
+  kDeadlineExceeded = 8,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -65,6 +66,9 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

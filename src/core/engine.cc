@@ -18,6 +18,7 @@ Result<DiscoveryReport> CausalPathDiscovery::Run() {
   causal_.clear();
   spurious_.clear();
   const int executions_before = target_->executions();
+  const TargetHealth health_before = target_->health();
 
   candidates_.clear();
   for (PredicateId id : dag_->nodes()) {
@@ -70,6 +71,12 @@ Result<DiscoveryReport> CausalPathDiscovery::Run() {
                   spurious_.end());
   report_.spurious = spurious_;
   report_.executions = target_->executions() - executions_before;
+  const TargetHealth health_after = target_->health();
+  report_.respawns = health_after.respawns - health_before.respawns;
+  report_.crashed_trials =
+      health_after.crashed_trials - health_before.crashed_trials;
+  report_.timed_out_trials =
+      health_after.timed_out_trials - health_before.timed_out_trials;
   return report_;
 }
 
@@ -371,6 +378,12 @@ void CausalPathDiscovery::InterventionalPruning(
     if (is_ancestor) continue;
 
     for (const PredicateLog& log : result.logs) {
+      // A crashed or timed-out trial carries only a partial observation set
+      // (whatever the subject streamed before dying); concluding "P was
+      // absent" from it would prune soundly-causal predicates. Its failed
+      // flag still feeds the group verdict (AnyFailed), just not Definition
+      // 2's absence reasoning.
+      if (!log.complete()) continue;
       const bool observed = ItemObserved(items_[i], log);
       if ((observed && !log.failed) || (!observed && log.failed)) {
         Decide(i, ItemDecision::kSpurious);

@@ -125,6 +125,13 @@ struct DiscoveryReport {
   /// not rounds -- the wall-clock price of shipping a whole scan to a
   /// batching/parallel backend at once.
   int speculative_executions = 0;
+  /// Process-isolation health deltas over this run (see TargetHealth): how
+  /// many times a subject process was respawned, and how many trials were
+  /// recorded failing because the subject crashed or hit its deadline. All
+  /// zero for in-process targets.
+  int respawns = 0;
+  int crashed_trials = 0;
+  int timed_out_trials = 0;
   std::vector<InterventionRound> history;
   /// True iff the causal predicates are totally ordered by AC-DAG
   /// reachability -- the Definition 1 chain. False signals a violation of

@@ -47,6 +47,14 @@ std::string RenderReport(const DiscoveryReport& report, const AcDag& dag,
                      report.executions);
   }
 
+  if (report.respawns > 0 || report.crashed_trials > 0 ||
+      report.timed_out_trials > 0) {
+    out << StrFormat(
+        "process isolation: %d crashed trials, %d timed-out trials, "
+        "%d subject respawns\n",
+        report.crashed_trials, report.timed_out_trials, report.respawns);
+  }
+
   if (options.include_spurious && !report.spurious.empty()) {
     out << "proven spurious:\n";
     for (PredicateId id : report.spurious) {

@@ -43,6 +43,24 @@ struct TargetRunResult {
 /// get the full round in a single call.
 using InterventionSpans = std::vector<std::vector<PredicateId>>;
 
+/// Cumulative health counters of a target's execution substrate. In-process
+/// backends never touch them; process-isolated backends (src/proc/) count
+/// subject crashes, per-trial deadline kills, and the child respawns they
+/// triggered. The engine snapshots them around a discovery run the same way
+/// it snapshots executions(), so DiscoveryReport surfaces per-run deltas.
+struct TargetHealth {
+  int respawns = 0;          ///< subject processes relaunched after dying
+  int crashed_trials = 0;    ///< trials recorded failing because of a crash
+  int timed_out_trials = 0;  ///< trials killed at their deadline
+
+  TargetHealth& operator+=(const TargetHealth& other) {
+    respawns += other.respawns;
+    crashed_trials += other.crashed_trials;
+    timed_out_trials += other.timed_out_trials;
+    return *this;
+  }
+};
+
 class InterventionTarget {
  public:
   virtual ~InterventionTarget() = default;
@@ -74,6 +92,11 @@ class InterventionTarget {
 
   /// Total application executions performed so far (cost accounting).
   virtual int executions() const = 0;
+
+  /// Cumulative substrate health counters (see TargetHealth). In-process
+  /// backends keep the all-zero default; pooling backends sum their
+  /// replicas' counters the way they sum executions().
+  virtual TargetHealth health() const { return {}; }
 };
 
 }  // namespace aid

@@ -7,16 +7,27 @@
 
 namespace aid {
 
+Status ValidateParallelism(int parallelism) {
+  if (parallelism < 1) {
+    return Status::InvalidArgument(
+        "parallelism must be >= 1 (1 = serial dispatch), got " +
+        std::to_string(parallelism));
+  }
+  if (parallelism > kMaxParallelism) {
+    return Status::InvalidArgument(
+        "parallelism must be <= " + std::to_string(kMaxParallelism) +
+        " (each worker is a full target replica), got " +
+        std::to_string(parallelism));
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<ParallelTarget>> ParallelTarget::Create(
     const ReplicableTarget* primary, int parallelism) {
   if (primary == nullptr) {
     return Status::InvalidArgument("ParallelTarget: primary must not be null");
   }
-  if (parallelism < 1) {
-    return Status::InvalidArgument(
-        "ParallelTarget: parallelism must be >= 1, got " +
-        std::to_string(parallelism));
-  }
+  AID_RETURN_IF_ERROR(ValidateParallelism(parallelism));
   std::vector<std::unique_ptr<ReplicableTarget>> replicas;
   replicas.reserve(static_cast<size_t>(parallelism));
   for (int i = 0; i < parallelism; ++i) {
@@ -169,6 +180,12 @@ int ParallelTarget::executions() const {
   // observe this target.
   int total = primary_->executions();
   for (const auto& replica : replicas_) total += replica->executions();
+  return total;
+}
+
+TargetHealth ParallelTarget::health() const {
+  TargetHealth total = primary_->health();
+  for (const auto& replica : replicas_) total += replica->health();
   return total;
 }
 

@@ -46,6 +46,17 @@
 
 namespace aid {
 
+/// Upper bound on replica pools. Far above any sane worker count (replicas
+/// cost real memory -- and under process isolation, a live child process
+/// each); a request beyond it is a typo or an overflow, not a plan, and gets
+/// a clear error instead of an OOM or a fork bomb.
+inline constexpr int kMaxParallelism = 256;
+
+/// The shared validation gate for every parallelism knob (SessionBuilder,
+/// TargetConfig, ParallelTarget::Create): OK iff 1 <= parallelism <=
+/// kMaxParallelism, with a message naming the offending value.
+Status ValidateParallelism(int parallelism);
+
 class ParallelTarget : public InterventionTarget {
  public:
   /// Clones `primary` into `parallelism` replicas backed by `parallelism`
@@ -69,6 +80,11 @@ class ParallelTarget : public InterventionTarget {
 
   /// Primary executions (observation) + every replica's executions.
   int executions() const override;
+
+  /// Primary health + every replica's health (nonzero only over process-
+  /// isolated replicas, src/proc/). Same quiescence argument as
+  /// executions().
+  TargetHealth health() const override;
 
   int parallelism() const { return static_cast<int>(replicas_.size()); }
 

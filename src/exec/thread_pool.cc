@@ -29,6 +29,9 @@ void ThreadPool::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this]() { return shutting_down_ || !queue_.empty(); });
+      // Discard-shutdown: stop dequeuing; Shutdown() breaks the leftovers'
+      // promises after the join. Drain-shutdown: keep going until empty.
+      if (shutting_down_ && discard_queued_) return;
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -37,17 +40,28 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::Shutdown() {
+void ThreadPool::Shutdown(DrainPolicy policy) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_ && threads_.empty()) return;
     shutting_down_ = true;
+    if (policy == DrainPolicy::kDiscard) discard_queued_ = true;
   }
   cv_.notify_all();
   for (std::thread& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
   threads_.clear();
+  // With kDiscard the queue may still hold never-started tasks. Destroying
+  // them destroys their std::packaged_task state, which delivers
+  // std::future_error(broken_promise) to every pending future -- the abort
+  // signal waiters need instead of blocking on a result that cannot come.
+  std::deque<std::function<void()>> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftovers.swap(queue_);
+  }
+  leftovers.clear();
 }
 
 }  // namespace aid

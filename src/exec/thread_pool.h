@@ -6,9 +6,13 @@
 // a locked deque, `workers` threads, and std::packaged_task plumbing -- so
 // it stays easy to audit under ThreadSanitizer.
 //
-// Shutdown is graceful: the destructor (or an explicit Shutdown call) lets
-// already-queued tasks finish, then joins every worker. Submitting after
-// shutdown is a programming error (AID_CHECK).
+// Shutdown comes in two flavors. The graceful default (the destructor, or
+// Shutdown(kDrain)) lets already-queued tasks finish, then joins every
+// worker. Shutdown(kDiscard) lets only the tasks already *running* finish:
+// still-queued tasks are destroyed without running, which delivers
+// std::future_error(broken_promise) to their futures -- pending waiters get
+// a prompt, unambiguous abort instead of a result that will never come.
+// Submitting after shutdown is a programming error (AID_CHECK).
 
 #ifndef AID_EXEC_THREAD_POOL_H_
 #define AID_EXEC_THREAD_POOL_H_
@@ -48,9 +52,18 @@ class ThreadPool {
     return future;
   }
 
-  /// Drains the queue and joins every worker. Idempotent; implied by the
-  /// destructor.
-  void Shutdown();
+  /// What happens to tasks that are queued but not yet running when the
+  /// pool shuts down.
+  enum class DrainPolicy {
+    kDrain,    ///< run them to completion (graceful; the destructor's choice)
+    kDiscard,  ///< drop them; their futures observe broken_promise
+  };
+
+  /// Stops the pool and joins every worker. Queued-but-unstarted tasks are
+  /// handled per `policy`; in both cases no future is left dangling --
+  /// every Submit()ed future either carries its result/exception or throws
+  /// broken_promise. Idempotent; the destructor calls Shutdown(kDrain).
+  void Shutdown(DrainPolicy policy = DrainPolicy::kDrain);
 
  private:
   void Enqueue(std::function<void()> task);
@@ -61,6 +74,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
   bool shutting_down_ = false;
+  bool discard_queued_ = false;
 };
 
 }  // namespace aid

@@ -47,6 +47,18 @@ std::string_view PredKindName(PredKind kind) {
   return "Unknown";
 }
 
+std::string_view TrialOutcomeName(TrialOutcome outcome) {
+  switch (outcome) {
+    case TrialOutcome::kCompleted:
+      return "completed";
+    case TrialOutcome::kCrashed:
+      return "crashed";
+    case TrialOutcome::kTimedOut:
+      return "timed_out";
+  }
+  return "unknown";
+}
+
 std::string PredicateCatalog::Describe(PredicateId id,
                                        const SymbolTable* methods,
                                        const SymbolTable* objects) const {

@@ -85,14 +85,33 @@ struct PredicateObservation {
   Tick end = 0;
 };
 
+/// How one trial execution ended. In-process targets always complete;
+/// process-isolated targets (src/proc/) additionally report subject crashes
+/// and per-trial deadline kills. Non-completed trials carry a *partial*
+/// predicate log -- whatever the subject streamed before dying -- so
+/// consumers that reason counterfactually about absence (Definition 2
+/// pruning) must skip them, while the failed flag stays trustworthy (a
+/// subject that crashed or hung did fail).
+enum class TrialOutcome : uint8_t {
+  kCompleted = 0,
+  kCrashed = 1,   ///< the subject process died mid-trial
+  kTimedOut = 2,  ///< the trial hit its deadline and was killed
+};
+
+std::string_view TrialOutcomeName(TrialOutcome outcome);
+
 /// The predicate values of one execution: which predicates were observed
 /// (with their time windows) and whether the execution failed. This is the
 /// paper's "predicate log".
 struct PredicateLog {
   bool failed = false;
+  TrialOutcome outcome = TrialOutcome::kCompleted;
   std::unordered_map<PredicateId, PredicateObservation> observed;
 
   bool Has(PredicateId id) const { return observed.count(id) > 0; }
+  /// True iff the log is a complete observation of its execution (see
+  /// TrialOutcome): only complete logs admit absence-based reasoning.
+  bool complete() const { return outcome == TrialOutcome::kCompleted; }
 };
 
 /// Interning table: Predicate <-> dense PredicateId.

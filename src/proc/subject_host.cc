@@ -1,0 +1,230 @@
+#include "proc/subject_host.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "casestudies/case_study.h"
+#include "common/logging.h"
+#include "core/vm_target.h"
+#include "proc/wire.h"
+#include "synth/flaky_target.h"
+
+#if AID_PROC_SUPPORTED
+#include <unistd.h>
+#endif
+
+namespace aid {
+namespace {
+
+/// Owns whatever the spec's target borrows (a case study's program) next to
+/// the target itself, in destruction-safe order.
+struct HostSubject {
+  std::unique_ptr<CaseStudy> study;
+  std::unique_ptr<ReplicableTarget> target;
+  size_t catalog_size = 0;
+};
+
+Result<HostSubject> BuildHostSubject(const OwnedSubjectSpec& spec) {
+  HostSubject subject;
+  switch (spec.kind) {
+    case SubjectKind::kModel:
+    case SubjectKind::kFlakyModel: {
+      if (spec.model == nullptr) {
+        return Status::InvalidArgument("subject host: spec carries no model");
+      }
+      AID_ASSIGN_OR_RETURN(subject.target, BuildSubjectTarget(spec));
+      subject.catalog_size = spec.model->catalog().size();
+      return subject;
+    }
+    case SubjectKind::kCase: {
+      AID_ASSIGN_OR_RETURN(CaseStudy study, MakeCaseStudyByKey(spec.case_key));
+      subject.study = std::make_unique<CaseStudy>(std::move(study));
+      AID_ASSIGN_OR_RETURN(
+          std::unique_ptr<VmTarget> target,
+          VmTarget::Create(&subject.study->program,
+                           subject.study->target_options));
+      subject.catalog_size = target->extractor().catalog().size();
+      subject.target = std::move(target);
+      return subject;
+    }
+    case SubjectKind::kVmProgram: {
+      if (spec.program == nullptr) {
+        return Status::InvalidArgument("subject host: spec carries no program");
+      }
+      AID_ASSIGN_OR_RETURN(std::unique_ptr<VmTarget> target,
+                           VmTarget::Create(spec.program.get(), spec.vm));
+      subject.catalog_size = target->extractor().catalog().size();
+      subject.target = std::move(target);
+      return subject;
+    }
+  }
+  return Status::InvalidArgument("subject host: unknown subject kind");
+}
+
+/// Poisoned-trial check: 1-based global trial index hits the period.
+bool HitsPeriod(uint64_t trial_index, uint64_t period) {
+  return period != 0 && (trial_index + 1) % period == 0;
+}
+
+[[noreturn]] void HangForever() {
+  // A deliberately wedged subject: the paper's hung-subject scenario. The
+  // parent's per-trial deadline is the only way out (SIGKILL).
+  for (;;) std::this_thread::sleep_for(std::chrono::hours(24));
+}
+
+Status SendTrialAnswer(int out_fd, const PredicateLog& log) {
+  for (const auto& [id, observation] : log.observed) {
+    TraceEventMsg event;
+    event.predicate = id;
+    event.start = observation.start;
+    event.end = observation.end;
+    AID_RETURN_IF_ERROR(
+        WriteFrame(out_fd, ProcMsgType::kTraceEvent, EncodeTraceEvent(event)));
+  }
+  VerdictMsg verdict;
+  verdict.failed = log.failed;
+  return WriteFrame(out_fd, ProcMsgType::kVerdict, EncodeVerdict(verdict));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ReplicableTarget>> BuildSubjectTarget(
+    const OwnedSubjectSpec& spec) {
+  switch (spec.kind) {
+    case SubjectKind::kModel:
+      return std::unique_ptr<ReplicableTarget>(
+          std::make_unique<ModelTarget>(spec.model.get()));
+    case SubjectKind::kFlakyModel:
+      return std::unique_ptr<ReplicableTarget>(
+          std::make_unique<FlakyModelTarget>(
+              spec.model.get(), spec.manifest_probability, spec.flaky_seed));
+    case SubjectKind::kCase: {
+      // Callers who need the study kept alive use BuildHostSubject; this
+      // entry point only serves specs whose subject is self-contained.
+      return Status::InvalidArgument(
+          "BuildSubjectTarget: case subjects own their program; use "
+          "RunSubjectHost");
+    }
+    case SubjectKind::kVmProgram: {
+      AID_ASSIGN_OR_RETURN(std::unique_ptr<VmTarget> target,
+                           VmTarget::Create(spec.program.get(), spec.vm));
+      return std::unique_ptr<ReplicableTarget>(std::move(target));
+    }
+  }
+  return Status::InvalidArgument("BuildSubjectTarget: unknown subject kind");
+}
+
+int RunSubjectHost(int in_fd, int out_fd) {
+#if !AID_PROC_SUPPORTED
+  (void)in_fd;
+  (void)out_fd;
+  return 3;
+#else
+  HelloMsg hello;
+  hello.pid = static_cast<uint64_t>(::getpid());
+  if (!WriteFrame(out_fd, ProcMsgType::kHello, EncodeHello(hello)).ok()) {
+    return 2;
+  }
+
+  // SPEC -> build -> READY (or ERROR and exit).
+  OwnedSubjectSpec spec;
+  HostSubject subject;
+  {
+    Result<ProcFrame> frame = ReadFrame(in_fd);
+    if (!frame.ok()) return 2;
+    if (frame->type == ProcMsgType::kShutdown) return 0;
+    if (frame->type != ProcMsgType::kSpec) {
+      (void)WriteFrame(
+          out_fd, ProcMsgType::kError,
+          EncodeError(Status::InvalidArgument(
+              "subject host: expected SPEC, got " +
+              std::string(ProcMsgTypeName(frame->type)))));
+      return 2;
+    }
+    Result<OwnedSubjectSpec> decoded = DecodeSubjectSpec(frame->payload);
+    if (!decoded.ok()) {
+      (void)WriteFrame(out_fd, ProcMsgType::kError,
+                       EncodeError(decoded.status()));
+      return 2;
+    }
+    spec = std::move(decoded).value();
+    Result<HostSubject> built = BuildHostSubject(spec);
+    if (!built.ok()) {
+      (void)WriteFrame(out_fd, ProcMsgType::kError,
+                       EncodeError(built.status()));
+      return 2;
+    }
+    subject = std::move(built).value();
+    ReadyMsg ready;
+    ready.catalog_size = static_cast<uint32_t>(subject.catalog_size);
+    if (!WriteFrame(out_fd, ProcMsgType::kReady, EncodeReady(ready)).ok()) {
+      return 2;
+    }
+  }
+
+  // Trial loop.
+  for (;;) {
+    Result<ProcFrame> frame = ReadFrame(in_fd);
+    if (!frame.ok()) {
+      // EOF: the parent died or dropped us; exiting is the clean response.
+      return frame.status().code() == StatusCode::kAborted ? 0 : 2;
+    }
+    switch (frame->type) {
+      case ProcMsgType::kShutdown:
+        return 0;
+      case ProcMsgType::kRunTrial: {
+        Result<RunTrialMsg> request = DecodeRunTrial(frame->payload);
+        if (!request.ok()) {
+          (void)WriteFrame(out_fd, ProcMsgType::kError,
+                           EncodeError(request.status()));
+          return 2;
+        }
+        // Fault injection happens mid-trial, after the request is accepted:
+        // the parent has committed to this trial and observes a genuine
+        // mid-trial death or hang.
+        if (HitsPeriod(request->trial_index, spec.crash_period)) {
+          std::abort();
+        }
+        if (HitsPeriod(request->trial_index, spec.hang_period)) {
+          HangForever();
+        }
+        subject.target->SeekTrial(request->trial_index);
+        Result<TargetRunResult> result =
+            subject.target->RunIntervened(request->intervened, 1);
+        if (!result.ok()) {
+          // Subject-level error: report and keep serving (the parent decides
+          // whether to fail the discovery run).
+          if (!WriteFrame(out_fd, ProcMsgType::kError,
+                          EncodeError(result.status()))
+                   .ok()) {
+            return 2;
+          }
+          break;
+        }
+        if (result->logs.empty()) {
+          if (!WriteFrame(out_fd, ProcMsgType::kError,
+                          EncodeError(Status::Internal(
+                              "subject host: target produced no log")))
+                   .ok()) {
+            return 2;
+          }
+          break;
+        }
+        if (!SendTrialAnswer(out_fd, result->logs.front()).ok()) return 2;
+        break;
+      }
+      default:
+        (void)WriteFrame(
+            out_fd, ProcMsgType::kError,
+            EncodeError(Status::InvalidArgument(
+                "subject host: unexpected frame " +
+                std::string(ProcMsgTypeName(frame->type)))));
+        return 2;
+    }
+  }
+#endif  // AID_PROC_SUPPORTED
+}
+
+}  // namespace aid

@@ -1,0 +1,45 @@
+// SubjectHost: the child-side half of the process-isolation subsystem.
+//
+// The `aid_subject_host` binary (proc/subject_host_main.cc) is exec'd by
+// proc::SubprocessTarget with the wire protocol on stdin/stdout. It embeds
+// any existing in-process intervention backend -- ground-truth models, flaky
+// models, VM case studies, arbitrary serialized VM programs -- behind the
+// protocol: it announces itself (HELLO), receives a SubjectSpec, builds the
+// corresponding ReplicableTarget (running the backend's observation phase
+// where one exists), acknowledges (READY), and then answers RUN_TRIAL
+// requests by seeking to the requested global trial index, executing one
+// trial, streaming the observed predicates as TRACE_EVENT frames, and
+// closing the trial with a VERDICT frame.
+//
+// The host is deliberately a library function plus a thin main(): tests can
+// drive RunSubjectHost over plain pipes without fork/exec, and the binary
+// stays a five-line shell.
+
+#ifndef AID_PROC_SUBJECT_HOST_H_
+#define AID_PROC_SUBJECT_HOST_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "exec/replicable.h"
+#include "proc/subject_spec.h"
+
+namespace aid {
+
+/// Builds the in-process intervention target an OwnedSubjectSpec describes,
+/// running the backend's observation phase (VM subjects scan seeds exactly
+/// like the parent did, reproducing the identical predicate catalog).
+/// The returned target borrows spec.model / spec.program.
+Result<std::unique_ptr<ReplicableTarget>> BuildSubjectTarget(
+    const OwnedSubjectSpec& spec);
+
+/// Runs the host protocol loop over the given descriptors until SHUTDOWN or
+/// EOF. Returns the process exit code. Fault injection (spec crash/hang
+/// periods) happens in here -- before a poisoned trial is answered -- so the
+/// parent observes a mid-trial death exactly as with a genuinely broken
+/// subject.
+int RunSubjectHost(int in_fd, int out_fd);
+
+}  // namespace aid
+
+#endif  // AID_PROC_SUBJECT_HOST_H_

@@ -1,0 +1,24 @@
+// aid_subject_host: the sandboxed subject harness binary.
+//
+// Exec'd by proc::SubprocessTarget with the wire protocol on stdin/stdout
+// (see proc/wire.h and docs/proc_protocol.md). All real logic lives in
+// proc/subject_host.cc so tests can drive it over plain pipes.
+
+#include "proc/subject_host.h"
+#include "proc/wire.h"
+
+#if AID_PROC_SUPPORTED
+#include <sys/resource.h>
+#endif
+
+int main() {
+#if AID_PROC_SUPPORTED
+  // Deliberate subject crashes (fault injection, genuinely broken subjects)
+  // abort; a core dump per crashed trial would swamp CI working dirs.
+  struct rlimit no_core;
+  no_core.rlim_cur = 0;
+  no_core.rlim_max = 0;
+  setrlimit(RLIMIT_CORE, &no_core);
+#endif
+  return aid::RunSubjectHost(/*in_fd=*/0, /*out_fd=*/1);
+}

@@ -1,0 +1,100 @@
+// SubjectSpec: a serializable description of a debuggable subject, shipped
+// to a sandboxed subject host (proc/subject_host) over the wire protocol.
+//
+// The spec covers every in-process intervention backend:
+//
+//   * kModel / kFlakyModel -- a ground-truth model, serialized at the
+//     predicate level (catalog ids, true-cause rules, causal chain, temporal
+//     edges) so the child's catalog is id-for-id identical to the parent's;
+//   * kCase               -- one of the named case studies, reconstructed in
+//     the child by key (the program is deterministic per key);
+//   * kVmProgram          -- an arbitrary VM program, serialized through
+//     runtime/program_io plus its VmTargetOptions, so even hand-built
+//     subjects can run isolated.
+//
+// The spec also carries deterministic fault injection for exercising the
+// isolation machinery itself: crash_period / hang_period make the *child
+// process* abort or hang on trials whose global index hits the period.
+// Because the trigger is the positional trial index, a crashy subject still
+// yields identical discovery reports at any worker count.
+//
+// Parent-side specs borrow their model/program pointers (they only need to
+// live until EncodeSubjectSpec returns); the decoded OwnedSubjectSpec owns
+// everything, which is what a freshly exec'd host needs.
+
+#ifndef AID_PROC_SUBJECT_SPEC_H_
+#define AID_PROC_SUBJECT_SPEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/vm_target.h"
+#include "runtime/program.h"
+#include "synth/model.h"
+#include "trace/serialize.h"
+
+namespace aid {
+
+enum class SubjectKind : uint8_t {
+  kModel = 0,
+  kFlakyModel = 1,
+  kCase = 2,
+  kVmProgram = 3,
+};
+
+std::string_view SubjectKindName(SubjectKind kind);
+
+struct SubjectSpec {
+  SubjectKind kind = SubjectKind::kModel;
+
+  /// kModel / kFlakyModel: borrowed; must outlive EncodeSubjectSpec.
+  const GroundTruthModel* model = nullptr;
+  double manifest_probability = 1.0;
+  uint64_t flaky_seed = 1;
+
+  /// kCase: case-study key ("npgsql", "kafka", ...).
+  std::string case_key;
+
+  /// kVmProgram: borrowed; must outlive EncodeSubjectSpec.
+  const Program* program = nullptr;
+  VmTargetOptions vm;
+
+  /// Fault injection (0 = off): the child aborts / hangs forever before
+  /// answering any trial whose 1-based global index is a multiple of the
+  /// period. Positional, so deterministic across worker counts.
+  uint64_t crash_period = 0;
+  uint64_t hang_period = 0;
+};
+
+/// The decoded, fully owned form used inside the subject host.
+struct OwnedSubjectSpec {
+  SubjectKind kind = SubjectKind::kModel;
+  std::unique_ptr<GroundTruthModel> model;
+  double manifest_probability = 1.0;
+  uint64_t flaky_seed = 1;
+  std::string case_key;
+  std::unique_ptr<Program> program;
+  VmTargetOptions vm;
+  uint64_t crash_period = 0;
+  uint64_t hang_period = 0;
+};
+
+/// Serializes `spec` for the SPEC frame. Returns InvalidArgument when the
+/// spec is self-inconsistent (e.g. kModel without a model pointer).
+Result<std::string> EncodeSubjectSpec(const SubjectSpec& spec);
+
+/// Decodes a SPEC payload into an owned spec. The reconstructed model's
+/// predicate catalog assigns exactly the ids the parent's model did.
+Result<OwnedSubjectSpec> DecodeSubjectSpec(std::string_view payload);
+
+/// Model codec, exposed for round-trip tests: the decoded model's catalog,
+/// true-cause rules, chain, and temporal-edge order all match the input.
+void SerializeModel(const GroundTruthModel& model, WireWriter& writer);
+Result<std::unique_ptr<GroundTruthModel>> DeserializeModel(WireReader& reader);
+
+}  // namespace aid
+
+#endif  // AID_PROC_SUBJECT_SPEC_H_

@@ -1,0 +1,461 @@
+#include "proc/subprocess_target.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "proc/wire.h"
+
+#if AID_PROC_SUPPORTED
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#if defined(__APPLE__)
+#include <mach-o/dyld.h>
+#endif
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#endif
+
+namespace aid {
+
+std::string_view IsolationName(Isolation isolation) {
+  switch (isolation) {
+    case Isolation::kInProcess: return "in_process";
+    case Isolation::kSubprocess: return "subprocess";
+  }
+  return "unknown";
+}
+
+#if AID_PROC_SUPPORTED
+
+namespace {
+
+/// Absolute path of the running executable; empty when undeterminable.
+std::string SelfExecutablePath() {
+#if defined(__linux__)
+  char exe[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n <= 0) return {};
+  exe[n] = '\0';
+  return exe;
+#elif defined(__APPLE__)
+  char exe[4096];
+  uint32_t size = sizeof(exe);
+  if (_NSGetExecutablePath(exe, &size) != 0) return {};
+  return exe;
+#else
+  return {};
+#endif
+}
+
+/// Resolution order: env override, then siblings of the running executable
+/// (tests and benches sit next to aid_subject_host in the build dir) and of
+/// its parent directory (examples live one level down), then $PATH.
+std::string ResolveHostPath(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  if (const char* env = std::getenv("AID_SUBJECT_HOST");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  std::string dir = SelfExecutablePath();
+  const size_t slash = dir.rfind('/');
+  if (!dir.empty() && slash != std::string::npos) {
+    dir.resize(slash);
+    for (const std::string& candidate :
+         {dir + "/aid_subject_host", dir + "/../aid_subject_host"}) {
+      if (::access(candidate.c_str(), X_OK) == 0) return candidate;
+    }
+  }
+  return "aid_subject_host";  // $PATH fallback via execvp
+}
+
+void CloseIfOpen(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SubprocessTarget>> SubprocessTarget::Create(
+    const SubjectSpec& spec, SubprocessOptions options) {
+  if (options.trial_deadline_ms < 0) {
+    return Status::InvalidArgument(
+        "SubprocessTarget: trial_deadline_ms must be >= 0, got " +
+        std::to_string(options.trial_deadline_ms));
+  }
+  if (options.max_respawns < 0) {
+    return Status::InvalidArgument(
+        "SubprocessTarget: max_respawns must be >= 0, got " +
+        std::to_string(options.max_respawns));
+  }
+  SubjectSpec effective = spec;
+  // The injection knobs live on the options (the session-facing surface) but
+  // execute in the child, so they ride inside the frozen spec.
+  if (options.inject_crash_period != 0) {
+    effective.crash_period = options.inject_crash_period;
+  }
+  if (options.inject_hang_period != 0) {
+    effective.hang_period = options.inject_hang_period;
+  }
+  AID_ASSIGN_OR_RETURN(std::string bytes, EncodeSubjectSpec(effective));
+  return std::unique_ptr<SubprocessTarget>(new SubprocessTarget(
+      std::make_shared<const std::string>(std::move(bytes)),
+      std::move(options)));
+}
+
+SubprocessTarget::~SubprocessTarget() { StopChild(/*force_kill=*/false); }
+
+namespace {
+
+/// Creates a pipe whose BOTH ends are close-on-exec from birth. pipe2 makes
+/// that atomic on Linux; elsewhere the flags are set immediately after --
+/// combined with the spawn mutex below, no concurrently forked sibling can
+/// inherit the ends either way.
+int PipeCloexec(int fds[2]) {
+#if defined(__linux__)
+  return ::pipe2(fds, O_CLOEXEC);
+#else
+  if (::pipe(fds) != 0) return -1;
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+  return 0;
+#endif
+}
+
+/// Serializes pipe creation + fork across SubprocessTargets. Without it, a
+/// replica forking between a sibling's pipe() and its CLOEXEC flags (non-
+/// Linux path) would inherit the sibling's pipe write end, keeping that
+/// sibling's EOF-based crash detection from ever firing.
+std::mutex& SpawnMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+}  // namespace
+
+Status SubprocessTarget::EnsureChild() {
+  if (child_pid_ > 0) return Status::OK();
+
+  const std::string host = ResolveHostPath(options_.host_path);
+  int to_child[2];    // parent writes -> child stdin
+  int from_child[2];  // child stdout -> parent reads
+  pid_t pid = -1;
+  {
+    std::lock_guard<std::mutex> lock(SpawnMutex());
+    if (PipeCloexec(to_child) != 0) {
+      return Status::Internal(std::string("SubprocessTarget: pipe failed: ") +
+                              std::strerror(errno));
+    }
+    if (PipeCloexec(from_child) != 0) {
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      return Status::Internal(std::string("SubprocessTarget: pipe failed: ") +
+                              std::strerror(errno));
+    }
+
+    pid = ::fork();
+    if (pid < 0) {
+      for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+        ::close(fd);
+      }
+      return Status::Internal(std::string("SubprocessTarget: fork failed: ") +
+                              std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: protocol on stdin/stdout (dup2 clears CLOEXEC on the copies),
+      // original ends closed.
+      ::dup2(to_child[0], 0);
+      ::dup2(from_child[1], 1);
+      for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+        ::close(fd);
+      }
+      char* const argv[] = {const_cast<char*>("aid_subject_host"), nullptr};
+      ::execvp(host.c_str(), argv);
+      // exec failed; 127 is the shell convention the parent reports on EOF.
+      ::_exit(127);
+    }
+  }
+
+  // Parent.
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  to_child_ = to_child[1];
+  from_child_ = from_child[0];
+  child_pid_ = pid;
+
+  // Handshake: HELLO, SPEC, READY -- all under the spawn budget.
+  auto fail_spawn = [&](Status status) {
+    StopChild(/*force_kill=*/true);
+    return status;
+  };
+  Result<ProcFrame> hello =
+      ReadFrameDeadline(from_child_, options_.spawn_timeout_ms);
+  if (!hello.ok()) {
+    return fail_spawn(Status(hello.status().code(),
+                             "SubprocessTarget: no HELLO from subject host '" +
+                                 host + "': " + hello.status().message()));
+  }
+  if (hello->type != ProcMsgType::kHello) {
+    return fail_spawn(Status::Internal(
+        "SubprocessTarget: expected HELLO, got " +
+        std::string(ProcMsgTypeName(hello->type))));
+  }
+  Result<HelloMsg> hello_or = DecodeHello(hello->payload);
+  if (!hello_or.ok()) return fail_spawn(hello_or.status());
+  const HelloMsg& hello_msg = *hello_or;
+  if (hello_msg.version != kProcProtocolVersion) {
+    return fail_spawn(Status::FailedPrecondition(
+        "SubprocessTarget: protocol version mismatch (host speaks v" +
+        std::to_string(hello_msg.version) + ", engine v" +
+        std::to_string(kProcProtocolVersion) + ")"));
+  }
+
+  // Specs can exceed the pipe buffer; the deadline keeps a host that stops
+  // reading from wedging the handshake.
+  if (Status sent = WriteFrameDeadline(to_child_, ProcMsgType::kSpec,
+                                       *spec_bytes_,
+                                       options_.spawn_timeout_ms);
+      !sent.ok()) {
+    return fail_spawn(std::move(sent));
+  }
+  Result<ProcFrame> ready =
+      ReadFrameDeadline(from_child_, options_.spawn_timeout_ms);
+  if (!ready.ok()) {
+    return fail_spawn(
+        Status(ready.status().code(),
+               "SubprocessTarget: subject host died during construction: " +
+                   ready.status().message()));
+  }
+  if (ready->type == ProcMsgType::kError) {
+    Result<ErrorMsg> error = DecodeError(ready->payload);
+    return fail_spawn(error.ok() ? error->ToStatus() : error.status());
+  }
+  if (ready->type != ProcMsgType::kReady) {
+    return fail_spawn(Status::Internal(
+        "SubprocessTarget: expected READY, got " +
+        std::string(ProcMsgTypeName(ready->type))));
+  }
+  Result<ReadyMsg> ready_or = DecodeReady(ready->payload);
+  if (!ready_or.ok()) return fail_spawn(ready_or.status());
+  const ReadyMsg& ready_msg = *ready_or;
+  if (options_.expected_catalog_size != 0 &&
+      options_.expected_catalog_size != ready_msg.catalog_size) {
+    return fail_spawn(Status::Internal(
+        "SubprocessTarget: subject host rebuilt a different predicate "
+        "catalog (" +
+        std::to_string(ready_msg.catalog_size) + " predicates, expected " +
+        std::to_string(options_.expected_catalog_size) +
+        "); parent and child would disagree on predicate ids"));
+  }
+  if (child_catalog_size_ != 0 &&
+      child_catalog_size_ != ready_msg.catalog_size) {
+    return fail_spawn(Status::Internal(
+        "SubprocessTarget: respawned host rebuilt a different catalog (" +
+        std::to_string(ready_msg.catalog_size) + " vs " +
+        std::to_string(child_catalog_size_) + " predicates)"));
+  }
+  child_catalog_size_ = ready_msg.catalog_size;
+  return Status::OK();
+}
+
+void SubprocessTarget::StopChild(bool force_kill) {
+  if (child_pid_ <= 0) {
+    CloseIfOpen(to_child_);
+    CloseIfOpen(from_child_);
+    return;
+  }
+  if (!force_kill && to_child_ >= 0) {
+    (void)WriteFrame(to_child_, ProcMsgType::kShutdown, {});
+  }
+  CloseIfOpen(to_child_);  // EOF backstop for hosts mid-read
+  CloseIfOpen(from_child_);
+
+  const pid_t pid = static_cast<pid_t>(child_pid_);
+  child_pid_ = -1;
+  if (force_kill) {
+    ::kill(pid, SIGKILL);
+    (void)::waitpid(pid, nullptr, 0);
+    return;
+  }
+  // Grace period, then SIGKILL: a wedged host must not wedge our destructor.
+  constexpr int kGraceMs = 2000;
+  constexpr int kPollMs = 10;
+  for (int waited = 0; waited < kGraceMs; waited += kPollMs) {
+    const pid_t rc = ::waitpid(pid, nullptr, WNOHANG);
+    if (rc == pid || (rc < 0 && errno == ECHILD)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
+  }
+  ::kill(pid, SIGKILL);
+  (void)::waitpid(pid, nullptr, 0);
+}
+
+Status SubprocessTarget::Respawn() {
+  if (health_.respawns >= options_.max_respawns) {
+    return Status::Aborted(
+        "SubprocessTarget: subject crashed/hung through " +
+        std::to_string(health_.respawns) +
+        " respawns (max_respawns); giving up on a crash loop");
+  }
+  ++health_.respawns;
+  return EnsureChild();
+}
+
+Result<PredicateLog> SubprocessTarget::RunOneTrial(
+    const std::vector<PredicateId>& intervened, uint64_t trial_index) {
+  AID_RETURN_IF_ERROR(EnsureChild());
+
+  PredicateLog log;
+  RunTrialMsg request;
+  request.trial_index = trial_index;
+  request.intervened = intervened;
+
+  auto record_crash = [&]() -> Result<PredicateLog> {
+    // The subject died mid-trial: that IS a failing execution of the trial
+    // (paper semantics: the failure was certainly not repressed), recorded
+    // with a partial log so pruning will not reason from absences.
+    log.failed = true;
+    log.outcome = TrialOutcome::kCrashed;
+    ++health_.crashed_trials;
+    StopChild(/*force_kill=*/true);
+    AID_RETURN_IF_ERROR(Respawn());
+    return log;
+  };
+
+  Status sent = WriteFrame(to_child_, ProcMsgType::kRunTrial,
+                           EncodeRunTrial(request));
+  if (!sent.ok()) {
+    if (sent.code() == StatusCode::kAborted) return record_crash();
+    return sent;
+  }
+
+  // The deadline budgets the WHOLE trial, not each frame: a subject that
+  // streams events forever must still die at the deadline, so an exhausted
+  // budget times the trial out even when frames are still arriving.
+  const auto trial_start = std::chrono::steady_clock::now();
+  auto remaining_ms = [&]() -> int {
+    if (options_.trial_deadline_ms <= 0) return 0;  // no deadline
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - trial_start)
+                             .count();
+    const int remaining =
+        options_.trial_deadline_ms - static_cast<int>(elapsed);
+    return remaining > 0 ? remaining : -1;  // -1: budget exhausted
+  };
+  auto record_timeout = [&]() -> Result<PredicateLog> {
+    // The subject hung (or streamed past its budget): kill it and record
+    // the distinct timed-out outcome.
+    log.failed = true;
+    log.outcome = TrialOutcome::kTimedOut;
+    ++health_.timed_out_trials;
+    StopChild(/*force_kill=*/true);
+    AID_RETURN_IF_ERROR(Respawn());
+    return log;
+  };
+
+  for (;;) {
+    const int budget = remaining_ms();
+    if (budget < 0) return record_timeout();
+    Result<ProcFrame> frame = ReadFrameDeadline(from_child_, budget);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kAborted) {
+        return record_crash();
+      }
+      if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+        return record_timeout();
+      }
+      return frame.status();
+    }
+    switch (frame->type) {
+      case ProcMsgType::kTraceEvent: {
+        AID_ASSIGN_OR_RETURN(TraceEventMsg event,
+                             DecodeTraceEvent(frame->payload));
+        log.observed[event.predicate] = {event.start, event.end};
+        break;
+      }
+      case ProcMsgType::kVerdict: {
+        AID_ASSIGN_OR_RETURN(VerdictMsg verdict, DecodeVerdict(frame->payload));
+        log.failed = verdict.failed;
+        log.outcome = TrialOutcome::kCompleted;
+        return log;
+      }
+      case ProcMsgType::kError: {
+        AID_ASSIGN_OR_RETURN(ErrorMsg error, DecodeError(frame->payload));
+        return error.ToStatus();
+      }
+      default:
+        return Status::Internal("SubprocessTarget: unexpected frame " +
+                                std::string(ProcMsgTypeName(frame->type)) +
+                                " inside a trial");
+    }
+  }
+}
+
+Result<TargetRunResult> SubprocessTarget::RunIntervened(
+    const std::vector<PredicateId>& intervened, int trials) {
+  if (trials < 1) trials = 1;
+  TargetRunResult result;
+  result.logs.reserve(static_cast<size_t>(trials));
+  for (int i = 0; i < trials; ++i) {
+    const uint64_t trial_index = trial_cursor_++;
+    ++executions_;
+    AID_ASSIGN_OR_RETURN(PredicateLog log,
+                         RunOneTrial(intervened, trial_index));
+    result.logs.push_back(std::move(log));
+  }
+  return result;
+}
+
+Result<std::unique_ptr<ReplicableTarget>> SubprocessTarget::Clone() const {
+  auto clone = std::unique_ptr<SubprocessTarget>(
+      new SubprocessTarget(spec_bytes_, options_));
+  clone->trial_cursor_ = trial_cursor_;
+  return std::unique_ptr<ReplicableTarget>(std::move(clone));
+}
+
+#else  // !AID_PROC_SUPPORTED
+
+Result<std::unique_ptr<SubprocessTarget>> SubprocessTarget::Create(
+    const SubjectSpec&, SubprocessOptions) {
+  return Status::Unimplemented(
+      "SubprocessTarget: process isolation requires fork/exec, which this "
+      "platform does not provide");
+}
+
+SubprocessTarget::~SubprocessTarget() = default;
+
+Status SubprocessTarget::EnsureChild() {
+  return Status::Unimplemented("SubprocessTarget: unsupported platform");
+}
+
+void SubprocessTarget::StopChild(bool) {}
+
+Status SubprocessTarget::Respawn() {
+  return Status::Unimplemented("SubprocessTarget: unsupported platform");
+}
+
+Result<PredicateLog> SubprocessTarget::RunOneTrial(
+    const std::vector<PredicateId>&, uint64_t) {
+  return Status::Unimplemented("SubprocessTarget: unsupported platform");
+}
+
+Result<TargetRunResult> SubprocessTarget::RunIntervened(
+    const std::vector<PredicateId>&, int) {
+  return Status::Unimplemented("SubprocessTarget: unsupported platform");
+}
+
+Result<std::unique_ptr<ReplicableTarget>> SubprocessTarget::Clone() const {
+  return Status::Unimplemented("SubprocessTarget: unsupported platform");
+}
+
+#endif  // AID_PROC_SUPPORTED
+
+}  // namespace aid

@@ -1,0 +1,356 @@
+#include "proc/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if AID_PROC_SUPPORTED
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+#include <chrono>
+#include <mutex>
+
+namespace aid {
+
+std::string_view ProcMsgTypeName(ProcMsgType type) {
+  switch (type) {
+    case ProcMsgType::kHello: return "HELLO";
+    case ProcMsgType::kSpec: return "SPEC";
+    case ProcMsgType::kReady: return "READY";
+    case ProcMsgType::kError: return "ERROR";
+    case ProcMsgType::kRunTrial: return "RUN_TRIAL";
+    case ProcMsgType::kTraceEvent: return "TRACE_EVENT";
+    case ProcMsgType::kVerdict: return "VERDICT";
+    case ProcMsgType::kShutdown: return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+#if AID_PROC_SUPPORTED
+
+namespace {
+
+/// A closed peer must surface as EPIPE (-> Status), not as a fatal SIGPIPE.
+/// Installed once, process-wide, before the first pipe write -- the standard
+/// contract of libraries that own pipe/socket transports.
+void IgnoreSigpipeOnce() {
+  static std::once_flag once;
+  std::call_once(once, []() { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+Status WriteAll(int fd, const char* data, size_t n) {
+  size_t written = 0;
+  while (written < n) {
+    const ssize_t rc = ::write(fd, data + written, n - written);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE) {
+        return Status::Aborted("proc wire: peer closed the pipe (EPIPE)");
+      }
+      return Status::Internal(std::string("proc wire: write failed: ") +
+                              std::strerror(errno));
+    }
+    written += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+using Clock = std::chrono::steady_clock;
+
+/// WriteAll with an absolute give-up point: the fd is flipped to
+/// non-blocking for the duration and each would-block wait goes through
+/// poll(POLLOUT) with the remaining budget, so a peer that stops draining
+/// the pipe surfaces as DeadlineExceeded instead of wedging the writer.
+Status WriteAllDeadline(int fd, const char* data, size_t n,
+                        Clock::time_point deadline) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(std::string("proc wire: fcntl failed: ") +
+                            std::strerror(errno));
+  }
+  auto restore = [&]() { ::fcntl(fd, F_SETFL, flags); };
+  size_t written = 0;
+  while (written < n) {
+    const ssize_t rc = ::write(fd, data + written, n - written);
+    if (rc > 0) {
+      written += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && errno == EPIPE) {
+      restore();
+      return Status::Aborted("proc wire: peer closed the pipe (EPIPE)");
+    }
+    if (rc < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      restore();
+      return Status::Internal(std::string("proc wire: write failed: ") +
+                              std::strerror(errno));
+    }
+    // Pipe full: wait for drain within the remaining budget.
+    const auto remaining = deadline - Clock::now();
+    const int remaining_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+            .count());
+    if (remaining_ms <= 0) {
+      restore();
+      return Status::DeadlineExceeded("proc wire: write deadline expired");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int prc = ::poll(&pfd, 1, remaining_ms);
+    if (prc < 0 && errno != EINTR) {
+      restore();
+      return Status::Internal(std::string("proc wire: poll failed: ") +
+                              std::strerror(errno));
+    }
+    if (prc == 0) {
+      restore();
+      return Status::DeadlineExceeded("proc wire: write deadline expired");
+    }
+  }
+  restore();
+  return Status::OK();
+}
+
+/// Reads exactly `n` bytes. `deadline` is the absolute give-up point
+/// (time_point::max() = block forever). EOF mid-message is Aborted: the only
+/// writer is the peer process, so a short stream means it died.
+Status ReadAllDeadline(int fd, char* out, size_t n, Clock::time_point deadline) {
+  size_t got = 0;
+  while (got < n) {
+    if (deadline != Clock::time_point::max()) {
+      const auto remaining = deadline - Clock::now();
+      const int remaining_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+              .count());
+      if (remaining_ms <= 0) {
+        return Status::DeadlineExceeded("proc wire: read deadline expired");
+      }
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int rc = ::poll(&pfd, 1, remaining_ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(std::string("proc wire: poll failed: ") +
+                                std::strerror(errno));
+      }
+      if (rc == 0) {
+        return Status::DeadlineExceeded("proc wire: read deadline expired");
+      }
+      // POLLHUP with buffered data still reads; plain read() below decides.
+    }
+    const ssize_t rc = ::read(fd, out + got, n - got);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("proc wire: read failed: ") +
+                              std::strerror(errno));
+    }
+    if (rc == 0) {
+      return Status::Aborted("proc wire: peer closed the pipe (EOF)");
+    }
+    got += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Result<ProcFrame> ReadFrameUntil(int fd, Clock::time_point deadline) {
+  uint32_t length = 0;
+  AID_RETURN_IF_ERROR(
+      ReadAllDeadline(fd, reinterpret_cast<char*>(&length), sizeof(length),
+                      deadline));
+  if (length < 1 || length > kProcMaxFramePayload + 1) {
+    return Status::InvalidArgument("proc wire: corrupt frame length " +
+                                   std::to_string(length));
+  }
+  std::string body(length, '\0');
+  AID_RETURN_IF_ERROR(ReadAllDeadline(fd, body.data(), body.size(), deadline));
+  ProcFrame frame;
+  frame.type = static_cast<ProcMsgType>(static_cast<uint8_t>(body[0]));
+  frame.payload = body.substr(1);
+  return frame;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, ProcMsgType type, std::string_view payload) {
+  IgnoreSigpipeOnce();
+  if (payload.size() > kProcMaxFramePayload) {
+    return Status::InvalidArgument("proc wire: frame payload too large (" +
+                                   std::to_string(payload.size()) + " bytes)");
+  }
+  WireWriter header;
+  header.U32(static_cast<uint32_t>(payload.size()) + 1);
+  header.U8(static_cast<uint8_t>(type));
+  AID_RETURN_IF_ERROR(
+      WriteAll(fd, header.buffer().data(), header.buffer().size()));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Status WriteFrameDeadline(int fd, ProcMsgType type, std::string_view payload,
+                          int deadline_ms) {
+  if (deadline_ms <= 0) return WriteFrame(fd, type, payload);
+  IgnoreSigpipeOnce();
+  if (payload.size() > kProcMaxFramePayload) {
+    return Status::InvalidArgument("proc wire: frame payload too large (" +
+                                   std::to_string(payload.size()) + " bytes)");
+  }
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(deadline_ms);
+  WireWriter header;
+  header.U32(static_cast<uint32_t>(payload.size()) + 1);
+  header.U8(static_cast<uint8_t>(type));
+  AID_RETURN_IF_ERROR(WriteAllDeadline(fd, header.buffer().data(),
+                                       header.buffer().size(), deadline));
+  return WriteAllDeadline(fd, payload.data(), payload.size(), deadline);
+}
+
+Result<ProcFrame> ReadFrame(int fd) {
+  return ReadFrameUntil(fd, Clock::time_point::max());
+}
+
+Result<ProcFrame> ReadFrameDeadline(int fd, int deadline_ms) {
+  if (deadline_ms <= 0) return ReadFrame(fd);
+  return ReadFrameUntil(fd,
+                        Clock::now() + std::chrono::milliseconds(deadline_ms));
+}
+
+#else  // !AID_PROC_SUPPORTED
+
+Status WriteFrame(int, ProcMsgType, std::string_view) {
+  return Status::Unimplemented(
+      "proc wire: pipes are unavailable on this platform");
+}
+
+Status WriteFrameDeadline(int, ProcMsgType, std::string_view, int) {
+  return Status::Unimplemented(
+      "proc wire: pipes are unavailable on this platform");
+}
+
+Result<ProcFrame> ReadFrame(int) {
+  return Status::Unimplemented(
+      "proc wire: pipes are unavailable on this platform");
+}
+
+Result<ProcFrame> ReadFrameDeadline(int, int) {
+  return Status::Unimplemented(
+      "proc wire: pipes are unavailable on this platform");
+}
+
+#endif  // AID_PROC_SUPPORTED
+
+// -------------------------------------------------------------- messages --
+
+std::string EncodeHello(const HelloMsg& msg) {
+  WireWriter writer;
+  writer.U32(msg.magic);
+  writer.U32(msg.version);
+  writer.U64(msg.pid);
+  return writer.Release();
+}
+
+Result<HelloMsg> DecodeHello(std::string_view payload) {
+  WireReader reader(payload);
+  HelloMsg msg;
+  msg.magic = reader.U32();
+  msg.version = reader.U32();
+  msg.pid = reader.U64();
+  AID_RETURN_IF_ERROR(reader.Finish());
+  if (msg.magic != kProcMagic) {
+    return Status::InvalidArgument(
+        "proc wire: HELLO magic mismatch (not a subject host?)");
+  }
+  return msg;
+}
+
+std::string EncodeReady(const ReadyMsg& msg) {
+  WireWriter writer;
+  writer.U32(msg.catalog_size);
+  return writer.Release();
+}
+
+Result<ReadyMsg> DecodeReady(std::string_view payload) {
+  WireReader reader(payload);
+  ReadyMsg msg;
+  msg.catalog_size = reader.U32();
+  AID_RETURN_IF_ERROR(reader.Finish());
+  return msg;
+}
+
+std::string EncodeError(const Status& status) {
+  WireWriter writer;
+  writer.U32(static_cast<uint32_t>(status.code()));
+  writer.Str(status.message());
+  return writer.Release();
+}
+
+Result<ErrorMsg> DecodeError(std::string_view payload) {
+  WireReader reader(payload);
+  ErrorMsg msg;
+  msg.code = static_cast<StatusCode>(reader.U32());
+  msg.message = reader.Str();
+  AID_RETURN_IF_ERROR(reader.Finish());
+  if (msg.code == StatusCode::kOk) {
+    // An ERROR frame must carry an error; a peer sending OK is confused.
+    msg.code = StatusCode::kInternal;
+  }
+  return msg;
+}
+
+std::string EncodeRunTrial(const RunTrialMsg& msg) {
+  WireWriter writer;
+  writer.U64(msg.trial_index);
+  writer.U32(static_cast<uint32_t>(msg.intervened.size()));
+  for (PredicateId id : msg.intervened) writer.I32(id);
+  return writer.Release();
+}
+
+Result<RunTrialMsg> DecodeRunTrial(std::string_view payload) {
+  WireReader reader(payload);
+  RunTrialMsg msg;
+  msg.trial_index = reader.U64();
+  const uint32_t count = reader.Count(sizeof(PredicateId));
+  AID_RETURN_IF_ERROR(reader.status());
+  msg.intervened.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) msg.intervened.push_back(reader.I32());
+  AID_RETURN_IF_ERROR(reader.Finish());
+  return msg;
+}
+
+std::string EncodeTraceEvent(const TraceEventMsg& msg) {
+  WireWriter writer;
+  writer.I32(msg.predicate);
+  writer.I64(msg.start);
+  writer.I64(msg.end);
+  return writer.Release();
+}
+
+Result<TraceEventMsg> DecodeTraceEvent(std::string_view payload) {
+  WireReader reader(payload);
+  TraceEventMsg msg;
+  msg.predicate = reader.I32();
+  msg.start = reader.I64();
+  msg.end = reader.I64();
+  AID_RETURN_IF_ERROR(reader.Finish());
+  return msg;
+}
+
+std::string EncodeVerdict(const VerdictMsg& msg) {
+  WireWriter writer;
+  writer.U8(msg.failed ? 1 : 0);
+  return writer.Release();
+}
+
+Result<VerdictMsg> DecodeVerdict(std::string_view payload) {
+  WireReader reader(payload);
+  VerdictMsg msg;
+  msg.failed = reader.U8() != 0;
+  AID_RETURN_IF_ERROR(reader.Finish());
+  return msg;
+}
+
+}  // namespace aid

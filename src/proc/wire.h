@@ -1,0 +1,164 @@
+// The AID process-isolation wire protocol (version 1).
+//
+// A debugging engine (parent) and a sandboxed subject host (child) speak
+// length-prefixed binary frames over a pipe pair -- the child's stdin/stdout
+// once exec'd. Every frame is
+//
+//   [u32 length][u8 type][payload (length - 1 bytes)]
+//
+// with all integers little-endian (trace/serialize.h WireWriter/WireReader).
+// The conversation:
+//
+//   child  -> parent   HELLO      magic, protocol version, pid
+//   parent -> child    SPEC       serialized SubjectSpec (proc/subject_spec)
+//   child  -> parent   READY      catalog size (id-space sanity check)
+//                   or ERROR      status code + message (bad spec, failed
+//                                 observation, version mismatch)
+//   parent -> child    RUN_TRIAL  global trial index + intervened predicates
+//   child  -> parent   TRACE_EVENT * N    streamed predicate observations
+//   child  -> parent   VERDICT    failed flag (closes the trial)
+//                   or ERROR      subject-level error for this trial
+//   ...                (RUN_TRIAL repeats)
+//   parent -> child    SHUTDOWN   child exits 0
+//
+// Failure semantics live at the transport layer: an EOF or write error means
+// the peer died (the parent records a crashed trial and respawns); a read
+// deadline expiring means the subject hung (the parent SIGKILLs and records
+// a timed-out trial). See docs/proc_protocol.md for the full specification.
+//
+// Platform support: the transport uses POSIX pipes. On platforms without
+// them, SubprocessIsolationSupported() returns false and every transport
+// entry point returns Unimplemented.
+
+#ifndef AID_PROC_WIRE_H_
+#define AID_PROC_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "predicates/predicate.h"
+#include "trace/serialize.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define AID_PROC_SUPPORTED 1
+#else
+#define AID_PROC_SUPPORTED 0
+#endif
+
+namespace aid {
+
+/// True when this build can fork/exec sandboxed subject hosts.
+constexpr bool SubprocessIsolationSupported() {
+  return AID_PROC_SUPPORTED != 0;
+}
+
+inline constexpr uint32_t kProcMagic = 0x41494450;  // "AIDP"
+inline constexpr uint32_t kProcProtocolVersion = 1;
+
+/// Frames larger than this are rejected as corrupt before any allocation;
+/// real frames are dominated by subject specs (programs/models, ~KBs).
+inline constexpr uint32_t kProcMaxFramePayload = 64u << 20;
+
+enum class ProcMsgType : uint8_t {
+  kHello = 1,
+  kSpec = 2,
+  kReady = 3,
+  kError = 4,
+  kRunTrial = 5,
+  kTraceEvent = 6,
+  kVerdict = 7,
+  kShutdown = 8,
+};
+
+std::string_view ProcMsgTypeName(ProcMsgType type);
+
+struct ProcFrame {
+  ProcMsgType type = ProcMsgType::kError;
+  std::string payload;
+};
+
+// ----------------------------------------------------------- transport ----
+
+/// Writes one frame, retrying on EINTR and short writes. Returns Aborted
+/// when the peer has closed its end (EPIPE), Internal on other I/O errors.
+/// SIGPIPE is ignored process-wide on first use (standard practice for
+/// pipe-speaking libraries; a closed peer must surface as a Status, not a
+/// signal).
+Status WriteFrame(int fd, ProcMsgType type, std::string_view payload);
+
+/// Same, but gives up with DeadlineExceeded after `deadline_ms` if the peer
+/// stops draining the pipe (poll()-based, temporarily non-blocking). Large
+/// payloads (subject specs can exceed the pipe buffer) must use this when
+/// the peer is untrusted: a wedged reader must not wedge the writer.
+/// deadline_ms <= 0 means block indefinitely.
+Status WriteFrameDeadline(int fd, ProcMsgType type, std::string_view payload,
+                          int deadline_ms);
+
+/// Reads one frame, blocking indefinitely. Returns Aborted on EOF (peer
+/// died), InvalidArgument on a corrupt length prefix.
+Result<ProcFrame> ReadFrame(int fd);
+
+/// Reads one frame, giving up after `deadline_ms` (measured across the
+/// whole frame, poll()-based). Returns DeadlineExceeded on expiry with the
+/// partial bytes discarded; deadline_ms <= 0 means block indefinitely.
+Result<ProcFrame> ReadFrameDeadline(int fd, int deadline_ms);
+
+// ------------------------------------------------------------ messages ----
+
+struct HelloMsg {
+  uint32_t magic = kProcMagic;
+  uint32_t version = kProcProtocolVersion;
+  uint64_t pid = 0;
+};
+
+struct ReadyMsg {
+  /// Size of the child's predicate catalog. The parent cross-checks it
+  /// against its own catalog: a mismatch means the spec did not reconstruct
+  /// the same predicate id space and every answer would be garbage.
+  uint32_t catalog_size = 0;
+};
+
+struct ErrorMsg {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+
+  Status ToStatus() const { return Status(code, message); }
+};
+
+struct RunTrialMsg {
+  /// Global trial index: the child SeekTrial()s here before executing, so
+  /// all per-trial nondeterminism is positional (exec/replicable.h) and any
+  /// replica produces the bytes serial dispatch would have.
+  uint64_t trial_index = 0;
+  std::vector<PredicateId> intervened;
+};
+
+/// One streamed predicate observation of the running trial.
+struct TraceEventMsg {
+  PredicateId predicate = kInvalidPredicate;
+  int64_t start = 0;
+  int64_t end = 0;
+};
+
+struct VerdictMsg {
+  bool failed = false;
+};
+
+std::string EncodeHello(const HelloMsg& msg);
+Result<HelloMsg> DecodeHello(std::string_view payload);
+std::string EncodeReady(const ReadyMsg& msg);
+Result<ReadyMsg> DecodeReady(std::string_view payload);
+std::string EncodeError(const Status& status);
+Result<ErrorMsg> DecodeError(std::string_view payload);
+std::string EncodeRunTrial(const RunTrialMsg& msg);
+Result<RunTrialMsg> DecodeRunTrial(std::string_view payload);
+std::string EncodeTraceEvent(const TraceEventMsg& msg);
+Result<TraceEventMsg> DecodeTraceEvent(std::string_view payload);
+std::string EncodeVerdict(const VerdictMsg& msg);
+Result<VerdictMsg> DecodeVerdict(std::string_view payload);
+
+}  // namespace aid
+
+#endif  // AID_PROC_WIRE_H_

@@ -122,6 +122,10 @@ class Program {
  private:
   friend class ProgramBuilder;
   friend class MethodBuilder;
+  /// Binary serialization across the process boundary (runtime/program_io):
+  /// programs are value types at heart, and the subprocess subject host
+  /// rebuilds them field-for-field from the wire.
+  friend struct ProgramSerde;
   std::vector<MethodDef> methods_;
   SymbolId entry_ = kInvalidSymbol;
   SymbolTable method_names_;

@@ -1,0 +1,199 @@
+#include "runtime/program_io.h"
+
+#include <utility>
+
+namespace aid {
+namespace {
+
+constexpr uint32_t kProgramFormatVersion = 1;
+
+void SerializeInstr(const Instr& instr, WireWriter& writer) {
+  writer.U8(static_cast<uint8_t>(instr.op));
+  writer.I32(instr.a);
+  writer.I32(instr.b);
+  writer.I32(instr.c);
+  writer.I32(instr.obj);
+  writer.I64(instr.imm);
+  writer.I64(instr.imm2);
+  writer.I64(instr.cost);
+}
+
+Instr DeserializeInstr(WireReader& reader) {
+  Instr instr;
+  instr.op = static_cast<Op>(reader.U8());
+  instr.a = reader.I32();
+  instr.b = reader.I32();
+  instr.c = reader.I32();
+  instr.obj = reader.I32();
+  instr.imm = reader.I64();
+  instr.imm2 = reader.I64();
+  instr.cost = reader.I64();
+  return instr;
+}
+
+}  // namespace
+
+void SerializeSymbolTable(const SymbolTable& table, WireWriter& writer) {
+  writer.U32(static_cast<uint32_t>(table.size()));
+  for (size_t id = 0; id < table.size(); ++id) {
+    writer.Str(table.Name(static_cast<SymbolId>(id)));
+  }
+}
+
+Result<SymbolTable> DeserializeSymbolTable(WireReader& reader) {
+  // Each entry carries at least its u32 length prefix.
+  const uint32_t count = reader.Count(4);
+  AID_RETURN_IF_ERROR(reader.status());
+  SymbolTable table;
+  for (uint32_t i = 0; i < count; ++i) {
+    const std::string name = reader.Str();
+    AID_RETURN_IF_ERROR(reader.status());
+    const SymbolId id = table.Intern(name);
+    if (id != static_cast<SymbolId>(i)) {
+      return Status::InvalidArgument(
+          "symbol table decode: duplicate name '" + name +
+          "' breaks dense id assignment");
+    }
+  }
+  return table;
+}
+
+/// Full private access to Program (friend declared in program.h).
+struct ProgramSerde {
+  static void Serialize(const Program& program, WireWriter& writer) {
+    writer.U32(kProgramFormatVersion);
+    writer.I32(program.entry_);
+    SerializeSymbolTable(program.method_names_, writer);
+    SerializeSymbolTable(program.object_names_, writer);
+    SerializeSymbolTable(program.exception_names_, writer);
+
+    writer.U32(static_cast<uint32_t>(program.methods_.size()));
+    for (const MethodDef& method : program.methods_) {
+      writer.I32(method.id);
+      writer.Str(method.name);
+      writer.U8(method.side_effect_free ? 1 : 0);
+      writer.U8(method.catches_exceptions ? 1 : 0);
+      writer.I64(method.catch_fallback);
+      writer.U32(static_cast<uint32_t>(method.code.size()));
+      for (const Instr& instr : method.code) SerializeInstr(instr, writer);
+    }
+
+    // Shared-state declarations, keyed by object symbol. Maps are emitted in
+    // symbol-id order so equal programs serialize to equal bytes.
+    const size_t object_count = program.object_names_.size();
+    writer.U32(static_cast<uint32_t>(object_count));
+    for (size_t id = 0; id < object_count; ++id) {
+      const SymbolId symbol = static_cast<SymbolId>(id);
+      writer.U8(static_cast<uint8_t>(program.object_kinds_.at(symbol)));
+      int64_t initial = 0;
+      if (auto it = program.globals_.find(symbol); it != program.globals_.end()) {
+        initial = it->second;
+      } else if (auto at = program.arrays_.find(symbol);
+                 at != program.arrays_.end()) {
+        initial = at->second;
+      }
+      writer.I64(initial);
+    }
+    writer.U32(static_cast<uint32_t>(program.mutexes_.size()));
+    for (SymbolId mutex : program.mutexes_) writer.I32(mutex);
+    writer.I32(program.index_out_of_range_);
+    writer.I32(program.deadlock_);
+  }
+
+  static Result<Program> Deserialize(WireReader& reader) {
+    const uint32_t version = reader.U32();
+    if (reader.ok() && version != kProgramFormatVersion) {
+      return Status::InvalidArgument(
+          "program decode: unsupported format version " +
+          std::to_string(version));
+    }
+    Program program;
+    program.entry_ = reader.I32();
+    AID_ASSIGN_OR_RETURN(program.method_names_,
+                         DeserializeSymbolTable(reader));
+    AID_ASSIGN_OR_RETURN(program.object_names_,
+                         DeserializeSymbolTable(reader));
+    AID_ASSIGN_OR_RETURN(program.exception_names_,
+                         DeserializeSymbolTable(reader));
+
+    // Fixed per-method header: id + name length + flags + fallback + count.
+    const uint32_t method_count = reader.Count(22);
+    AID_RETURN_IF_ERROR(reader.status());
+    program.methods_.reserve(method_count);
+    for (uint32_t i = 0; i < method_count; ++i) {
+      MethodDef method;
+      method.id = reader.I32();
+      method.name = reader.Str();
+      method.side_effect_free = reader.U8() != 0;
+      method.catches_exceptions = reader.U8() != 0;
+      method.catch_fallback = reader.I64();
+      // Each serialized Instr occupies exactly 41 bytes.
+      const uint32_t code_len = reader.Count(41);
+      AID_RETURN_IF_ERROR(reader.status());
+      method.code.reserve(code_len);
+      for (uint32_t j = 0; j < code_len; ++j) {
+        method.code.push_back(DeserializeInstr(reader));
+      }
+      AID_RETURN_IF_ERROR(reader.status());
+      program.methods_.push_back(std::move(method));
+    }
+
+    const uint32_t object_count = reader.U32();
+    AID_RETURN_IF_ERROR(reader.status());
+    if (object_count != program.object_names_.size()) {
+      return Status::InvalidArgument(
+          "program decode: object declaration count " +
+          std::to_string(object_count) + " != object table size " +
+          std::to_string(program.object_names_.size()));
+    }
+    for (uint32_t id = 0; id < object_count; ++id) {
+      const SymbolId symbol = static_cast<SymbolId>(id);
+      const ObjectKind kind = static_cast<ObjectKind>(reader.U8());
+      const int64_t initial = reader.I64();
+      program.object_kinds_[symbol] = kind;
+      switch (kind) {
+        case ObjectKind::kGlobal:
+          program.globals_[symbol] = initial;
+          break;
+        case ObjectKind::kArray:
+          program.arrays_[symbol] = initial;
+          break;
+        case ObjectKind::kMutex:
+          break;
+      }
+    }
+    const uint32_t mutex_count = reader.Count(sizeof(SymbolId));
+    AID_RETURN_IF_ERROR(reader.status());
+    program.mutexes_.reserve(mutex_count);
+    for (uint32_t i = 0; i < mutex_count; ++i) {
+      program.mutexes_.push_back(reader.I32());
+    }
+    program.index_out_of_range_ = reader.I32();
+    program.deadlock_ = reader.I32();
+    AID_RETURN_IF_ERROR(reader.status());
+    return program;
+  }
+};
+
+void SerializeProgram(const Program& program, WireWriter& writer) {
+  ProgramSerde::Serialize(program, writer);
+}
+
+Result<Program> DeserializeProgram(WireReader& reader) {
+  return ProgramSerde::Deserialize(reader);
+}
+
+std::string ProgramToBytes(const Program& program) {
+  WireWriter writer;
+  SerializeProgram(program, writer);
+  return writer.Release();
+}
+
+Result<Program> ProgramFromBytes(std::string_view bytes) {
+  WireReader reader(bytes);
+  AID_ASSIGN_OR_RETURN(Program program, DeserializeProgram(reader));
+  AID_RETURN_IF_ERROR(reader.Finish());
+  return program;
+}
+
+}  // namespace aid

@@ -1,0 +1,43 @@
+// Binary serialization of whole VM programs (runtime/program.h).
+//
+// The process-isolation subsystem (src/proc/) runs subjects in sandboxed
+// child processes; a subject backed by an arbitrary Program -- not just a
+// named case study -- must therefore travel over the wire. A Program is
+// plain data (methods with instruction lists, symbol tables, initial shared
+// state), so the encoding is a field-for-field dump through the WireWriter
+// primitives of trace/serialize.h, and deserialization reconstructs a
+// Program that is observably identical: same symbol ids, same instruction
+// stream, same scheduler behavior under the same seed.
+
+#ifndef AID_RUNTIME_PROGRAM_IO_H_
+#define AID_RUNTIME_PROGRAM_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "runtime/program.h"
+#include "trace/serialize.h"
+
+namespace aid {
+
+/// Appends the binary encoding of `program` to `writer`.
+void SerializeProgram(const Program& program, WireWriter& writer);
+
+/// Decodes one program previously written by SerializeProgram. Returns
+/// InvalidArgument on truncated or structurally corrupt input.
+Result<Program> DeserializeProgram(WireReader& reader);
+
+/// Whole-buffer conveniences.
+std::string ProgramToBytes(const Program& program);
+Result<Program> ProgramFromBytes(std::string_view bytes);
+
+/// Symbol tables serialize as their name list in id order (ids are dense and
+/// assigned in insertion order, so the list reconstructs the table exactly).
+/// Exposed for the subject-spec codec, which ships tables of its own.
+void SerializeSymbolTable(const SymbolTable& table, WireWriter& writer);
+Result<SymbolTable> DeserializeSymbolTable(WireReader& reader);
+
+}  // namespace aid
+
+#endif  // AID_RUNTIME_PROGRAM_IO_H_

@@ -59,6 +59,16 @@ class GroundTruthModel {
   PredicateId failure() const { return failure_; }
   const std::vector<PredicateId>& predicates() const { return predicates_; }
   const std::vector<PredicateId>& causal_chain() const { return causal_chain_; }
+  /// True-cause rules and observed temporal edges, exposed so the model can
+  /// be serialized across a process boundary (proc/subject_spec).
+  const std::unordered_map<PredicateId, std::vector<PredicateId>>&
+  true_parents() const {
+    return true_parents_;
+  }
+  const std::vector<std::pair<PredicateId, PredicateId>>& temporal_edges()
+      const {
+    return temporal_edges_;
+  }
   PredicateId root_cause() const {
     return causal_chain_.empty() ? kInvalidPredicate : causal_chain_.front();
   }

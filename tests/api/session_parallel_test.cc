@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "api/session.h"
+#include "exec/parallel_target.h"
 #include "synth/generator.h"
 #include "synth/model.h"
 
@@ -198,11 +199,43 @@ TEST(SessionParallelTest, EngineOptionsParallelismBuildsTheSamePool) {
 
 TEST(SessionParallelTest, RejectsNonPositiveParallelism) {
   std::unique_ptr<GroundTruthModel> model = MakeModel();
-  SessionBuilder builder;
-  builder.WithModel(model.get()).WithParallelism(0);
-  auto session = builder.Build();
-  ASSERT_FALSE(session.ok());
-  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+  for (int bogus : {0, -1, -1000}) {
+    SessionBuilder builder;
+    builder.WithModel(model.get()).WithParallelism(bogus);
+    auto session = builder.Build();
+    ASSERT_FALSE(session.ok()) << "parallelism " << bogus << " accepted";
+    EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(session.status().message().find(std::to_string(bogus)),
+              std::string::npos)
+        << "error must name the offending value";
+  }
+}
+
+TEST(SessionParallelTest, RejectsAbsurdParallelism) {
+  std::unique_ptr<GroundTruthModel> model = MakeModel();
+  for (int bogus : {kMaxParallelism + 1, 1 << 20}) {
+    SessionBuilder builder;
+    builder.WithModel(model.get()).WithParallelism(bogus);
+    auto session = builder.Build();
+    ASSERT_FALSE(session.ok()) << "parallelism " << bogus << " accepted";
+    EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+  }
+  // The boundary itself is legal (if unwise on most machines).
+  EXPECT_TRUE(ValidateParallelism(kMaxParallelism).ok());
+}
+
+TEST(SessionParallelTest, FactoryValidatesConfigParallelismDirectly) {
+  // TargetConfig::parallelism bypasses the builder; the factory must reject
+  // bogus values too instead of silently degrading to serial dispatch.
+  std::unique_ptr<GroundTruthModel> model = MakeModel();
+  for (int bogus : {0, -3, kMaxParallelism + 1}) {
+    TargetConfig config;
+    config.model = model.get();
+    config.parallelism = bogus;
+    auto target = TargetFactory::Create("model", config);
+    ASSERT_FALSE(target.ok()) << "config parallelism " << bogus << " accepted";
+    EXPECT_EQ(target.status().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(SessionParallelTest, RejectsParallelismOnPrebuiltTargets) {

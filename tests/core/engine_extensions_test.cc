@@ -181,6 +181,107 @@ TEST(ReportTest, RendersRootCausePathAndTranscript) {
   EXPECT_EQ(text.find("WARNING"), std::string::npos);
 }
 
+// --- process-isolation health accounting ----------------------------------
+
+namespace {
+
+/// Wraps a ModelTarget, injecting crash/timeout outcomes on chosen trials
+/// and reporting health counters -- the engine-facing behavior of
+/// proc::SubprocessTarget without any real processes.
+class UnhealthyTarget : public InterventionTarget {
+ public:
+  explicit UnhealthyTarget(const GroundTruthModel* model) : inner_(model) {}
+
+  Result<TargetRunResult> RunIntervened(
+      const std::vector<PredicateId>& intervened, int trials) override {
+    AID_ASSIGN_OR_RETURN(TargetRunResult result,
+                         inner_.RunIntervened(intervened, trials));
+    for (auto& log : result.logs) {
+      const uint64_t trial = trial_cursor_++;
+      if (crash_period != 0 && (trial + 1) % crash_period == 0 &&
+          (crash_budget < 0 ||
+           health_.crashed_trials < crash_budget)) {
+        // A crashed trial: failing, partial (empty) observations.
+        log = PredicateLog{};
+        log.failed = true;
+        log.outcome = TrialOutcome::kCrashed;
+        ++health_.crashed_trials;
+        ++health_.respawns;
+      }
+    }
+    return result;
+  }
+  int executions() const override { return inner_.executions(); }
+  TargetHealth health() const override { return health_; }
+
+  uint64_t crash_period = 0;
+  int crash_budget = -1;  ///< max crashed trials; -1 = unlimited
+
+ private:
+  ModelTarget inner_;
+  uint64_t trial_cursor_ = 0;
+  TargetHealth health_;
+};
+
+}  // namespace
+
+TEST(TargetHealthTest, EngineSurfacesHealthDeltasInTheReport) {
+  GroundTruthModel model = MakeChainModel(6, {2});
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  UnhealthyTarget target(&model);
+  target.crash_period = 4;
+  EngineOptions options;
+  options.trials_per_intervention = 2;
+  CausalPathDiscovery discovery(&*dag, &target, options);
+  auto report = discovery.Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->crashed_trials, 0);
+  EXPECT_EQ(report->respawns, report->crashed_trials);
+  EXPECT_EQ(report->timed_out_trials, 0);
+  EXPECT_EQ(report->crashed_trials, target.health().crashed_trials);
+
+  // A second run reports only its own deltas, not the cumulative counters.
+  CausalPathDiscovery second(&*dag, &target, options);
+  auto second_report = second.Run();
+  ASSERT_TRUE(second_report.ok());
+  EXPECT_EQ(second_report->crashed_trials,
+            target.health().crashed_trials - report->crashed_trials);
+
+  const std::string text = RenderReport(*report, *dag);
+  EXPECT_NE(text.find("crashed trials"), std::string::npos);
+}
+
+TEST(TargetHealthTest, PruningIgnoresPartialLogs) {
+  // A crashed trial's log is failing but PARTIAL (here: empty). Definition 2
+  // would read "failed, and P was not observed" from it and prune every
+  // still-undecided candidate -- including the real root cause. The engine
+  // must skip partial logs in pruning while still letting the crash count as
+  // the round's failure.
+  GroundTruthModel model = MakeChainModel(5, {3});
+  auto dag = model.BuildAcDag();
+  ASSERT_TRUE(dag.ok());
+  UnhealthyTarget target(&model);
+  target.crash_period = 1;      // first trial crashes...
+  target.crash_budget = 1;      // ...and only the first
+
+  EngineOptions options = EngineOptions::Linear();  // pruning on, 1-by-1 scan
+  CausalPathDiscovery discovery(&*dag, &target, options);
+  auto report = discovery.Run();
+  ASSERT_TRUE(report.ok());
+
+  // Round 1 (intervening the first chain predicate) saw only the crashed
+  // log: the intervened predicate is rightly spurious (failure persisted),
+  // but nothing else may be pruned from that empty log -- the scan must go
+  // on to certify the true root cause at position 3.
+  EXPECT_EQ(report->crashed_trials, 1);
+  EXPECT_EQ(report->root_cause(), model.causal_chain().front());
+  // Rounds 1-4 scan P0..P3 (P3 certifies; its complete success log then
+  // legitimately prunes P4). Without the partial-log guard the crashed
+  // round-1 log would have pruned everything and discovery would stop at 1.
+  EXPECT_EQ(report->rounds, 4);
+}
+
 TEST(ReportTest, WarnsOnAssumptionViolation) {
   GroundTruthModel model;
   model.AddFailure();

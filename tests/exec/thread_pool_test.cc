@@ -4,8 +4,10 @@
 #include "exec/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -70,6 +72,60 @@ TEST(ThreadPoolTest, ExceptionsTravelThroughTheFuture) {
   std::future<int> future =
       pool.Submit([]() -> int { throw std::runtime_error("boom"); });
   EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DiscardShutdownBreaksPendingPromises) {
+  // One worker, wedged on a latch; everything queued behind it must NOT be
+  // silently dropped with live futures -- discard shutdown has to deliver
+  // broken_promise to each pending future so waiters abort promptly.
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::future<int> blocked =
+      pool.Submit([released]() { released.wait(); return 1; });
+  std::vector<std::future<int>> pending;
+  for (int i = 0; i < 8; ++i) {
+    pending.push_back(pool.Submit([]() { return 2; }));
+  }
+
+  std::thread shutdown(
+      [&pool]() { pool.Shutdown(ThreadPool::DrainPolicy::kDiscard); });
+  // Give the shutdown thread time to latch the discard flag before the
+  // wedged task is released; even if it loses that race, the invariant below
+  // (no future left dangling) still holds -- only the broken count varies.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  release.set_value();  // unwedge the running task; queued ones are discarded
+  shutdown.join();
+
+  EXPECT_EQ(blocked.get(), 1);  // the in-flight task still completed
+  int broken = 0;
+  int completed = 0;
+  for (auto& future : pending) {
+    try {
+      future.get();
+      ++completed;
+    } catch (const std::future_error& e) {
+      EXPECT_EQ(e.code(), std::future_errc::broken_promise);
+      ++broken;
+    }
+  }
+  // The hard contract: every future resolves -- result or broken_promise,
+  // never a hang. And with the flag latched before release, the queued
+  // tasks' promises were broken rather than run.
+  EXPECT_EQ(broken + completed, 8);
+  EXPECT_GT(broken, 0);
+}
+
+TEST(ThreadPoolTest, DrainShutdownStillRunsQueuedTasks) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(1);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.Submit([&ran]() { ++ran; }));
+  }
+  pool.Shutdown(ThreadPool::DrainPolicy::kDrain);
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(ran.load(), 8);
 }
 
 }  // namespace
