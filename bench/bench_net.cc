@@ -1,16 +1,17 @@
-// Process-isolation bench: per-trial IPC overhead of subprocess subjects
-// vs. in-process dispatch, at 1/2/4/8 workers.
+// Remote-fleet bench: per-trial RPC overhead of loopback runner fleets vs.
+// in-process dispatch, at 1/2/4/8 workers over 2 runners.
 //
 // The subject is a synthetic ground-truth model whose executions cost
-// microseconds, so the numbers isolate what the proc/ machinery itself
+// microseconds, so the numbers isolate what the net/ machinery itself
 // charges per trial: one RUN_TRIAL frame out, streamed TRACE_EVENT frames
-// plus a VERDICT back, across two pipes and a context switch. The paper's
-// real subjects take seconds per execution (Section 7), which is exactly
-// why per-trial overhead in the microsecond range makes isolation free in
-// practice -- and every configuration must still produce the bit-identical
-// discovery report, which the bench asserts.
+// plus a VERDICT back, across a loopback TCP connection into a forked
+// runner-side subject process. The paper's real subjects take seconds per
+// execution (Section 7), which is why per-trial overhead in the hundreds
+// of microseconds makes a fleet effectively free -- and every
+// configuration must still produce the bit-identical discovery report,
+// which the bench asserts (exit 1 on divergence).
 //
-// Usage: bench_proc [model_threads] (default 14)
+// Usage: bench_net [model_threads] (default 14)
 
 #include <chrono>
 #include <cstdio>
@@ -20,7 +21,7 @@
 #include <vector>
 
 #include "api/session.h"
-#include "proc/wire.h"
+#include "net/runner.h"
 #include "synth/generator.h"
 #include "synth/model.h"
 
@@ -33,12 +34,13 @@ struct RunStats {
   SessionReport report;
 };
 
-RunStats RunOnce(const GroundTruthModel* model, Isolation isolation,
-                 int parallelism, int trials) {
+RunStats RunOnce(const GroundTruthModel* model,
+                 const std::vector<std::string>& fleet, int parallelism,
+                 int trials) {
   SessionBuilder builder;
   builder.WithModel(model).WithTrials(trials).WithParallelism(parallelism);
-  if (isolation == Isolation::kSubprocess) {
-    builder.WithProcessIsolation(/*trial_deadline_ms=*/10000);
+  if (!fleet.empty()) {
+    builder.WithRemoteFleet(fleet, /*trial_deadline_ms=*/20000);
   }
   const auto start = std::chrono::steady_clock::now();
   auto session = builder.Build();
@@ -66,8 +68,8 @@ RunStats RunOnce(const GroundTruthModel* model, Isolation isolation,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (!SubprocessIsolationSupported()) {
-    std::printf("bench_proc: subprocess isolation unsupported here; "
+  if (!RemoteFleetSupported()) {
+    std::printf("bench_net: remote fleets unsupported here; "
                 "nothing to measure\n");
     return 0;
   }
@@ -84,9 +86,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("subject: synthetic model, %zu predicates, %d trials/round\n\n",
+  // Two loopback runners: the smallest real fleet.
+  std::vector<std::unique_ptr<Runner>> runners;
+  std::vector<std::string> fleet;
+  for (int i = 0; i < 2; ++i) {
+    auto runner = Runner::Start();
+    if (!runner.ok()) {
+      std::fprintf(stderr, "runner start failed: %s\n",
+                   runner.status().ToString().c_str());
+      return 1;
+    }
+    fleet.push_back((*runner)->endpoint().ToString());
+    runners.push_back(std::move(*runner));
+  }
+
+  std::printf("subject: synthetic model, %zu predicates, %d trials/round\n",
               (*model)->size(), trials);
-  std::printf("%-14s %-8s %10s %12s %12s %8s\n", "isolation", "workers",
+  std::printf("fleet: 2 loopback runners (%s, %s)\n\n", fleet[0].c_str(),
+              fleet[1].c_str());
+  std::printf("%-14s %-8s %10s %12s %12s %8s\n", "substrate", "workers",
               "wall_ms", "executions", "us/trial", "rounds");
 
   // In-process baselines at matching worker counts (dispatch mode matches:
@@ -94,7 +112,7 @@ int main(int argc, char** argv) {
   std::vector<int> workers = {1, 2, 4, 8};
   std::vector<RunStats> in_process;
   for (int w : workers) {
-    RunStats stats = RunOnce(model->get(), Isolation::kInProcess, w, trials);
+    RunStats stats = RunOnce(model->get(), {}, w, trials);
     std::printf("%-14s %-8d %10.2f %12d %12.2f %8d\n", "in_process", w,
                 stats.wall_ms, stats.report.discovery.executions,
                 1000.0 * stats.wall_ms /
@@ -105,25 +123,28 @@ int main(int argc, char** argv) {
   std::printf("\n");
   for (size_t i = 0; i < workers.size(); ++i) {
     const int w = workers[i];
-    RunStats stats = RunOnce(model->get(), Isolation::kSubprocess, w, trials);
+    RunStats stats = RunOnce(model->get(), fleet, w, trials);
     const double us_per_trial =
         1000.0 * stats.wall_ms /
         std::max(1, stats.report.discovery.executions);
     const double base_us =
         1000.0 * in_process[i].wall_ms /
         std::max(1, in_process[i].report.discovery.executions);
-    std::printf("%-14s %-8d %10.2f %12d %12.2f %8d  (+%.2f us/trial IPC)\n",
-                "subprocess", w, stats.wall_ms,
+    std::printf("%-14s %-8d %10.2f %12d %12.2f %8d  (+%.2f us/trial RPC)\n",
+                "remote_fleet", w, stats.wall_ms,
                 stats.report.discovery.executions, us_per_trial,
                 stats.report.discovery.rounds, us_per_trial - base_us);
     if (!SameDiscoveryOutcome(stats.report.discovery, in_process[i].report.discovery)) {
       std::fprintf(stderr,
-                   "BUG: subprocess report diverges from in-process at "
+                   "BUG: remote-fleet report diverges from in-process at "
                    "%d workers\n",
                    w);
       return 1;
     }
   }
-  std::printf("\nall subprocess reports bit-identical to in-process runs\n");
+  std::printf("\nall remote-fleet reports bit-identical to in-process runs "
+              "(%d + %d sessions hosted)\n",
+              runners[0]->sessions_started(),
+              runners[1]->sessions_started());
   return 0;
 }

@@ -1,0 +1,108 @@
+// Debugging over a remote fleet of aid_runner daemons.
+//
+// The same synthetic subject is debugged twice -- once in-process, once
+// with every intervention replica running on a remote runner behind TCP
+// (.WithRemoteFleet) -- and the two DiscoveryReports must be bit-identical:
+// where a replica executes can never influence what it computes (positional
+// trial indices, docs/remote_protocol.md). The program exits 1 on any
+// divergence, which is how the CI loopback-fleet job uses it against real
+// aid_runner processes.
+//
+// Usage:
+//   ./build/examples/remote_fleet_session host:port [host:port ...]
+//       use the given already-running runners (start them with
+//       ./build/aid_runner --port 7601 &)
+//   ./build/examples/remote_fleet_session
+//       self-contained demo: spins up two in-process runners on loopback
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "net/runner.h"
+#include "synth/generator.h"
+#include "synth/model.h"
+
+using namespace aid;
+
+int main(int argc, char** argv) {
+  if (!RemoteFleetSupported()) {
+    std::printf("this platform has no sockets; nothing to demonstrate\n");
+    return 0;
+  }
+
+  // The fleet: endpoints from the command line, or two runners we host
+  // ourselves for a self-contained demo.
+  std::vector<std::string> fleet;
+  std::vector<std::unique_ptr<Runner>> local_runners;
+  for (int i = 1; i < argc; ++i) fleet.push_back(argv[i]);
+  if (fleet.empty()) {
+    for (int i = 0; i < 2; ++i) {
+      auto runner = Runner::Start();
+      if (!runner.ok()) {
+        std::fprintf(stderr, "runner start failed: %s\n",
+                     runner.status().ToString().c_str());
+        return 1;
+      }
+      fleet.push_back((*runner)->endpoint().ToString());
+      local_runners.push_back(std::move(*runner));
+    }
+    std::printf("started 2 local runners for the demo\n");
+  }
+  std::printf("fleet:");
+  for (const std::string& endpoint : fleet) {
+    std::printf(" %s", endpoint.c_str());
+  }
+  std::printf("\n\n");
+
+  SyntheticAppOptions options;
+  options.max_threads = 12;
+  options.seed = 7;
+  auto model_or = GenerateSyntheticApp(options);
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "%s\n", model_or.status().ToString().c_str());
+    return 1;
+  }
+  const GroundTruthModel& model = **model_or;
+  std::printf("subject: synthetic model, %zu predicates, flaky root cause "
+              "(70%%)\n\n", model.size());
+
+  auto run = [&](const std::vector<std::string>& endpoints,
+                 const char* label) -> Result<SessionReport> {
+    SessionBuilder builder;
+    builder.WithFlakyModel(&model, 0.7, /*seed=*/5)
+        .WithTrials(3)
+        .WithParallelism(4);
+    if (!endpoints.empty()) {
+      builder.WithRemoteFleet(endpoints, /*trial_deadline_ms=*/30000);
+    }
+    AID_ASSIGN_OR_RETURN(Session session, builder.Build());
+    AID_ASSIGN_OR_RETURN(SessionReport report, session.Run());
+    std::printf("%-12s rounds=%d executions=%d root_cause=%s\n", label,
+                report.discovery.rounds, report.discovery.executions,
+                report.has_root_cause() ? report.root_cause.c_str() : "(none)");
+    return report;
+  };
+
+  auto in_process = run({}, "in-process");
+  if (!in_process.ok()) {
+    std::fprintf(stderr, "%s\n", in_process.status().ToString().c_str());
+    return 1;
+  }
+  auto remote = run(fleet, "fleet");
+  if (!remote.ok()) {
+    std::fprintf(stderr, "%s\n", remote.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!SameDiscoveryOutcome(in_process->discovery, remote->discovery)) {
+    std::fprintf(stderr,
+                 "\nBUG: fleet report diverges from the in-process run\n");
+    return 1;
+  }
+  std::printf("\nfleet report bit-identical to the in-process run "
+              "(4 replicas across %zu runner(s))\n", fleet.size());
+  return 0;
+}

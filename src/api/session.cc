@@ -162,6 +162,13 @@ SessionBuilder& SessionBuilder::WithProcessIsolation(int trial_deadline_ms) {
   return *this;
 }
 
+SessionBuilder& SessionBuilder::WithRemoteFleet(
+    std::vector<std::string> endpoints, int trial_deadline_ms) {
+  fleet_endpoints_ = std::move(endpoints);
+  fleet_trial_deadline_ms_ = trial_deadline_ms;
+  return *this;
+}
+
 SessionBuilder& SessionBuilder::WithObserver(Observer* observer) {
   observer_ = observer;
   return *this;
@@ -216,6 +223,26 @@ Result<Session> SessionBuilder::Build() {
     config_.isolation = Isolation::kSubprocess;
     config_.subprocess.trial_deadline_ms = *isolation_deadline_ms_;
   }
+  if (fleet_endpoints_.has_value()) {
+    if (isolation_deadline_ms_.has_value()) {
+      return Status::InvalidArgument(
+          "SessionBuilder: WithRemoteFleet and WithProcessIsolation are "
+          "mutually exclusive (the fleet already sandboxes every replica in "
+          "a runner-side child process)");
+    }
+    if (fleet_endpoints_->empty()) {
+      return Status::InvalidArgument(
+          "SessionBuilder: WithRemoteFleet needs at least one "
+          "\"host:port\" runner endpoint");
+    }
+    if (fleet_trial_deadline_ms_ < 0) {
+      return Status::InvalidArgument(
+          "SessionBuilder: remote-fleet trial deadline must be >= 0 ms, "
+          "got " + std::to_string(fleet_trial_deadline_ms_));
+    }
+    config_.fleet = *fleet_endpoints_;
+    config_.remote.trial_deadline_ms = fleet_trial_deadline_ms_;
+  }
 
   std::unique_ptr<SessionTarget> target = std::move(prebuilt_target_);
   if (target != nullptr && config_.parallelism > 1) {
@@ -231,6 +258,12 @@ Result<Session> SessionBuilder::Build() {
         "SessionBuilder: process isolation requires a factory backend; a "
         "prebuilt SessionTarget cannot be re-hosted in a subprocess (build "
         "it over proc::SubprocessTarget instead)");
+  }
+  if (target != nullptr && !config_.fleet.empty()) {
+    return Status::InvalidArgument(
+        "SessionBuilder: a remote fleet requires a factory backend; a "
+        "prebuilt SessionTarget cannot be shipped to runners (build it over "
+        "net::FleetTarget instead)");
   }
   if (target == nullptr) {
     if (backend_.empty()) {

@@ -173,6 +173,22 @@ class SessionBuilder {
   /// processes. Requires a factory backend, like WithParallelism. On
   /// platforms without fork/exec, Build() fails with Unimplemented.
   SessionBuilder& WithProcessIsolation(int trial_deadline_ms = 0);
+  /// Run every intervention replica on a remote fleet of aid_runner
+  /// daemons (src/net/): `endpoints` lists them as "host:port" strings,
+  /// and replicas -- one, or `WithParallelism(n)` of them -- spread
+  /// round-robin across the fleet, each holding one TCP connection to a
+  /// sandboxed runner-side subject process. A dropped connection is
+  /// recorded as a crashed trial and reconnected with backoff (failing
+  /// over across the fleet); a trial exceeding `trial_deadline_ms` records
+  /// the distinct timed-out outcome (deadline 0 = none). Counters surface
+  /// in DiscoveryReport::{crashed,timed_out}_trials and ::respawns.
+  /// Placement never affects results: reports are bit-identical to the
+  /// in-process run at any fleet size or worker count. Requires a factory
+  /// backend; mutually exclusive with WithProcessIsolation (the fleet
+  /// already sandboxes every replica). On platforms without sockets,
+  /// Build() fails with Unimplemented. See docs/remote_protocol.md.
+  SessionBuilder& WithRemoteFleet(std::vector<std::string> endpoints,
+                                  int trial_deadline_ms = 0);
 
   // ----- session behavior ----------------------------------------------
   SessionBuilder& WithObserver(Observer* observer);
@@ -194,6 +210,9 @@ class SessionBuilder {
   std::optional<bool> batched_;
   std::optional<int> parallelism_;
   std::optional<int> isolation_deadline_ms_;  ///< set iff WithProcessIsolation
+  /// Set iff WithRemoteFleet: the endpoint list and per-trial deadline.
+  std::optional<std::vector<std::string>> fleet_endpoints_;
+  int fleet_trial_deadline_ms_ = 0;
 };
 
 }  // namespace aid

@@ -8,11 +8,26 @@
 
 #include "casestudies/case_study.h"
 #include "exec/parallel_target.h"
+#include "net/fleet_target.h"
 #include "sd/statistical_debugger.h"
 #include "synth/flaky_target.h"
 
 namespace aid {
 namespace {
+
+/// The one composition rule of the execution substrates: subprocess
+/// sandboxing and a remote fleet are both "replicas live in their own
+/// process", so stacking them is a configuration error, not a feature.
+Status ValidateSubstrate(const std::vector<std::string>& fleet,
+                         Isolation isolation) {
+  if (!fleet.empty() && isolation == Isolation::kSubprocess) {
+    return Status::InvalidArgument(
+        "target config: a remote fleet and subprocess isolation are "
+        "mutually exclusive (the fleet already sandboxes every replica in "
+        "a runner-side child process)");
+  }
+  return Status::OK();
+}
 
 /// A VmTarget plus the statistical-debugging stage, optionally owning the
 /// case study the program came from. Observation always runs in-process
@@ -27,8 +42,11 @@ class VmSessionTarget : public SessionTarget {
       std::optional<CaseStudy> owned_study, int parallelism = 1,
       Isolation isolation = Isolation::kInProcess,
       const SubprocessOptions& subprocess = {},
-      const std::string& case_key = {}) {
+      const std::string& case_key = {},
+      const std::vector<std::string>& fleet = {},
+      const RemoteOptions& remote = {}) {
     AID_RETURN_IF_ERROR(ValidateParallelism(parallelism));
+    AID_RETURN_IF_ERROR(ValidateSubstrate(fleet, isolation));
     std::unique_ptr<VmSessionTarget> target(
         new VmSessionTarget(std::move(name)));
     VmTargetOptions effective = options;
@@ -51,7 +69,7 @@ class VmSessionTarget : public SessionTarget {
         StatisticalDebugger::Analyze(target->vm_target_->extractor().catalog(),
                                      target->vm_target_->extractor().logs()));
     target->sd_count_ = static_cast<int>(sd.FullyDiscriminative().size());
-    if (isolation == Isolation::kSubprocess) {
+    if (isolation == Isolation::kSubprocess || !fleet.empty()) {
       SubjectSpec spec;
       if (!case_key.empty()) {
         spec.kind = SubjectKind::kCase;
@@ -61,11 +79,22 @@ class VmSessionTarget : public SessionTarget {
         spec.program = program;
         spec.vm = effective;
       }
-      SubprocessOptions opts = subprocess;
-      opts.expected_catalog_size = static_cast<uint32_t>(
+      const auto catalog_size = static_cast<uint32_t>(
           target->vm_target_->extractor().catalog().size());
-      AID_ASSIGN_OR_RETURN(target->subprocess_,
-                           SubprocessTarget::Create(spec, opts));
+      if (!fleet.empty()) {
+        AID_ASSIGN_OR_RETURN(std::vector<Endpoint> endpoints,
+                             ParseEndpoints(fleet));
+        RemoteOptions opts = remote;
+        opts.expected_catalog_size = catalog_size;
+        AID_ASSIGN_OR_RETURN(target->fleet_,
+                             FleetTarget::Create(std::move(endpoints), spec,
+                                                 opts));
+      } else {
+        SubprocessOptions opts = subprocess;
+        opts.expected_catalog_size = catalog_size;
+        AID_ASSIGN_OR_RETURN(target->subprocess_,
+                             SubprocessTarget::Create(spec, opts));
+      }
     }
     if (parallelism > 1) {
       AID_ASSIGN_OR_RETURN(
@@ -99,9 +128,11 @@ class VmSessionTarget : public SessionTarget {
  private:
   explicit VmSessionTarget(std::string name) : name_(std::move(name)) {}
 
-  /// The serial intervention backend: the isolated child when subprocess
-  /// isolation is on, the in-process VM target otherwise.
+  /// The serial intervention backend: the remote fleet when one is
+  /// configured, the isolated child when subprocess isolation is on, the
+  /// in-process VM target otherwise.
   ReplicableTarget* replicable_target() {
+    if (fleet_ != nullptr) return fleet_.get();
     if (subprocess_ != nullptr) return subprocess_.get();
     return vm_target_.get();
   }
@@ -112,6 +143,8 @@ class VmSessionTarget : public SessionTarget {
   std::unique_ptr<VmTarget> vm_target_;
   /// Process-isolated intervention backend; set iff isolation = subprocess.
   std::unique_ptr<SubprocessTarget> subprocess_;
+  /// Remote-fleet intervention backend; set iff the config named a fleet.
+  std::unique_ptr<FleetTarget> fleet_;
   /// Replica pool over replicable_target(); set iff parallelism > 1.
   /// Declared last: it borrows the targets above, so it must die first.
   std::unique_ptr<ParallelTarget> parallel_;
@@ -194,7 +227,8 @@ Result<std::unique_ptr<SessionTarget>> CreateCaseTarget(
   AID_ASSIGN_OR_RETURN(CaseStudy study, MakeCaseStudyByKey(key));
   return VmSessionTarget::Create("case:" + key, nullptr, {},
                                  std::move(study), config.parallelism,
-                                 config.isolation, config.subprocess, key);
+                                 config.isolation, config.subprocess, key,
+                                 config.fleet, config.remote);
 }
 
 struct Registry {
@@ -205,18 +239,22 @@ struct Registry {
     creators["vm"] = [](const TargetConfig& config) {
       return VmSessionTarget::Create("vm", config.program, config.vm,
                                      std::nullopt, config.parallelism,
-                                     config.isolation, config.subprocess);
+                                     config.isolation, config.subprocess,
+                                     /*case_key=*/{}, config.fleet,
+                                     config.remote);
     };
     creators["model"] = [](const TargetConfig& config) {
       return MakeModelSessionTarget(config.model, 1.0, 1, "model",
                                     config.parallelism, config.isolation,
-                                    config.subprocess);
+                                    config.subprocess, config.fleet,
+                                    config.remote);
     };
     creators["flaky-model"] = [](const TargetConfig& config) {
       return MakeModelSessionTarget(config.model, config.manifest_probability,
                                     config.flaky_seed, "flaky-model",
                                     config.parallelism, config.isolation,
-                                    config.subprocess);
+                                    config.subprocess, config.fleet,
+                                    config.remote);
     };
     creators["case"] = [](const TargetConfig& config) {
       return CreateCaseTarget(config.case_study, config);
@@ -277,33 +315,46 @@ Result<std::unique_ptr<SessionTarget>> TargetFactory::Create(
 
 Result<std::unique_ptr<SessionTarget>> MakeVmSessionTarget(
     const Program* program, const VmTargetOptions& options, std::string name,
-    int parallelism, Isolation isolation,
-    const SubprocessOptions& subprocess) {
+    int parallelism, Isolation isolation, const SubprocessOptions& subprocess,
+    const std::vector<std::string>& fleet, const RemoteOptions& remote) {
   return VmSessionTarget::Create(std::move(name), program, options,
                                  std::nullopt, parallelism, isolation,
-                                 subprocess);
+                                 subprocess, /*case_key=*/{}, fleet, remote);
 }
 
 Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
     const GroundTruthModel* model, double manifest_probability,
     uint64_t flaky_seed, std::string name, int parallelism,
-    Isolation isolation, const SubprocessOptions& subprocess) {
+    Isolation isolation, const SubprocessOptions& subprocess,
+    const std::vector<std::string>& fleet, const RemoteOptions& remote) {
   if (model == nullptr) {
     return Status::InvalidArgument(
         "model target: TargetConfig::model is required");
   }
+  AID_RETURN_IF_ERROR(ValidateSubstrate(fleet, isolation));
   std::unique_ptr<ReplicableTarget> intervention;
-  if (isolation == Isolation::kSubprocess) {
+  if (isolation == Isolation::kSubprocess || !fleet.empty()) {
     SubjectSpec spec;
     spec.kind = manifest_probability >= 1.0 ? SubjectKind::kModel
                                             : SubjectKind::kFlakyModel;
     spec.model = model;
     spec.manifest_probability = manifest_probability;
     spec.flaky_seed = flaky_seed;
-    SubprocessOptions opts = subprocess;
-    opts.expected_catalog_size =
+    const auto catalog_size =
         static_cast<uint32_t>(model->catalog().size());
-    AID_ASSIGN_OR_RETURN(intervention, SubprocessTarget::Create(spec, opts));
+    if (!fleet.empty()) {
+      AID_ASSIGN_OR_RETURN(std::vector<Endpoint> endpoints,
+                           ParseEndpoints(fleet));
+      RemoteOptions opts = remote;
+      opts.expected_catalog_size = catalog_size;
+      AID_ASSIGN_OR_RETURN(intervention,
+                           FleetTarget::Create(std::move(endpoints), spec,
+                                               opts));
+    } else {
+      SubprocessOptions opts = subprocess;
+      opts.expected_catalog_size = catalog_size;
+      AID_ASSIGN_OR_RETURN(intervention, SubprocessTarget::Create(spec, opts));
+    }
   } else if (manifest_probability >= 1.0) {
     intervention = std::make_unique<ModelTarget>(model);
   } else {

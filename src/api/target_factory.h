@@ -34,6 +34,7 @@
 #include "common/status.h"
 #include "core/target.h"
 #include "core/vm_target.h"
+#include "net/remote_target.h"
 #include "proc/subprocess_target.h"
 #include "synth/model.h"
 
@@ -80,6 +81,23 @@ struct TargetConfig {
   /// kSubprocess only: child lifecycle knobs (per-trial deadline, host
   /// binary path, respawn budget, fault injection).
   SubprocessOptions subprocess;
+
+  /// All built-in backends: when non-empty, the *intervention* replicas run
+  /// on this remote fleet of aid_runner daemons ("host:port" per entry,
+  /// src/net/) instead of in this process. Replicas spread round-robin
+  /// across the fleet (net::FleetTarget) and pool under parallelism like
+  /// any other backend; a lost connection becomes a crashed trial plus a
+  /// reconnect with endpoint failover, never an engine failure. Mutually
+  /// exclusive with isolation = kSubprocess (the fleet already sandboxes
+  /// each replica in a runner-side child process). Observation still
+  /// happens in-process; the runner rebuilds the identical predicate
+  /// catalog from the shipped spec (cross-checked at handshake). Usually
+  /// set through SessionBuilder::WithRemoteFleet.
+  std::vector<std::string> fleet;
+
+  /// Fleet only: connection & trial lifecycle knobs (per-trial deadline,
+  /// reconnect budget/backoff, fault injection).
+  RemoteOptions remote;
 };
 
 /// One debuggable application: the pluggable unit behind aid::Session.
@@ -147,23 +165,29 @@ class TargetFactory {
 /// Exposed for backends that want to build on the VM observation pipeline.
 /// With `parallelism` > 1 the VM target is replicated into an
 /// exec::ParallelTarget pool of that many workers; with `isolation` =
-/// kSubprocess each intervention replica is a sandboxed subject process.
+/// kSubprocess each intervention replica is a sandboxed subject process;
+/// with a non-empty `fleet` the replicas run on remote aid_runner daemons.
 Result<std::unique_ptr<SessionTarget>> MakeVmSessionTarget(
     const Program* program, const VmTargetOptions& options,
     std::string name = "vm", int parallelism = 1,
     Isolation isolation = Isolation::kInProcess,
-    const SubprocessOptions& subprocess = {});
+    const SubprocessOptions& subprocess = {},
+    const std::vector<std::string>& fleet = {},
+    const RemoteOptions& remote = {});
 
 /// Wraps a ground-truth model as a SessionTarget. `model` must outlive the
 /// target. With `manifest_probability` < 1 the intervention target is a
 /// FlakyModelTarget seeded with `flaky_seed`. With `parallelism` > 1 the
 /// model target is replicated into an exec::ParallelTarget pool; with
-/// `isolation` = kSubprocess the replicas are sandboxed subject processes.
+/// `isolation` = kSubprocess the replicas are sandboxed subject processes;
+/// with a non-empty `fleet` the replicas run on remote aid_runner daemons.
 Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
     const GroundTruthModel* model, double manifest_probability = 1.0,
     uint64_t flaky_seed = 1, std::string name = "model", int parallelism = 1,
     Isolation isolation = Isolation::kInProcess,
-    const SubprocessOptions& subprocess = {});
+    const SubprocessOptions& subprocess = {},
+    const std::vector<std::string>& fleet = {},
+    const RemoteOptions& remote = {});
 
 /// Adapts a borrowed InterventionTarget and prebuilt AC-DAG as a
 /// SessionTarget -- the escape hatch for research setups that assemble the

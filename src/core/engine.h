@@ -155,6 +155,21 @@ struct DiscoveryReport {
   }
 };
 
+/// True when two discovery runs made identical decisions at identical
+/// cost: same causal path, spurious set, round count, and (speculative)
+/// execution counts. This is THE bit-identical contract the execution
+/// substrates (exec/ pools, proc/ subprocesses, net/ fleets) are held to
+/// against a serial in-process run; benches and tests should compare
+/// through it rather than hand-picking fields. Health counters are
+/// deliberately excluded: they describe substrate turbulence, not
+/// decisions.
+inline bool SameDiscoveryOutcome(const DiscoveryReport& a,
+                                 const DiscoveryReport& b) {
+  return a.causal_path == b.causal_path && a.spurious == b.spurious &&
+         a.rounds == b.rounds && a.executions == b.executions &&
+         a.speculative_executions == b.speculative_executions;
+}
+
 /// Discovers the causal path explaining the failure in `dag` by intervening
 /// on `target`. The AC-DAG nodes must be intervenable on the target (the
 /// pipeline filters unsafe predicates before building the DAG).

@@ -46,10 +46,12 @@ using InterventionSpans = std::vector<std::vector<PredicateId>>;
 /// Cumulative health counters of a target's execution substrate. In-process
 /// backends never touch them; process-isolated backends (src/proc/) count
 /// subject crashes, per-trial deadline kills, and the child respawns they
-/// triggered. The engine snapshots them around a discovery run the same way
-/// it snapshots executions(), so DiscoveryReport surfaces per-run deltas.
+/// triggered; remote-fleet backends (src/net/) count dropped connections
+/// and the reconnects that replaced them, in the same three buckets. The
+/// engine snapshots them around a discovery run the same way it snapshots
+/// executions(), so DiscoveryReport surfaces per-run deltas.
 struct TargetHealth {
-  int respawns = 0;          ///< subject processes relaunched after dying
+  int respawns = 0;          ///< subject processes/connections replaced
   int crashed_trials = 0;    ///< trials recorded failing because of a crash
   int timed_out_trials = 0;  ///< trials killed at their deadline
 

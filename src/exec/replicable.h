@@ -21,6 +21,11 @@
 //     bytes serial dispatch would have produced.
 //
 // Deterministic targets (synth::ModelTarget) implement SeekTrial as a no-op.
+//
+// The contract is deliberately location-blind: a replica may be an object
+// in this process, a sandboxed child (proc::SubprocessTarget), or a
+// subject on another machine (net::RemoteTarget / net::FleetTarget) --
+// the scheduler cannot tell them apart, and the bytes cannot differ.
 
 #ifndef AID_EXEC_REPLICABLE_H_
 #define AID_EXEC_REPLICABLE_H_

@@ -1,0 +1,55 @@
+#include "net/fleet_target.h"
+
+#include <utility>
+
+namespace aid {
+
+Result<std::unique_ptr<FleetTarget>> FleetTarget::Create(
+    std::vector<Endpoint> endpoints, const SubjectSpec& spec,
+    RemoteOptions options) {
+  // Reuse RemoteTarget's validation and spec freezing wholesale, then lift
+  // the frozen bytes: the fleet IS a dealer of RemoteTargets.
+  AID_ASSIGN_OR_RETURN(std::unique_ptr<RemoteTarget> prototype,
+                       RemoteTarget::Create(endpoints, spec, options));
+  auto fleet = std::unique_ptr<FleetTarget>(new FleetTarget(
+      prototype->spec_bytes_, std::move(endpoints), std::move(options)));
+  return fleet;
+}
+
+std::vector<Endpoint> FleetTarget::RotatedEndpoints(uint64_t first) const {
+  const size_t m = endpoints_.size();
+  std::vector<Endpoint> rotated;
+  rotated.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    rotated.push_back(endpoints_[(first + i) % m]);
+  }
+  return rotated;
+}
+
+Result<TargetRunResult> FleetTarget::RunIntervened(
+    const std::vector<PredicateId>& intervened, int trials) {
+  if (self_ == nullptr) {
+    const uint64_t slot = next_endpoint_->fetch_add(1);
+    self_.reset(new RemoteTarget(spec_bytes_, RotatedEndpoints(slot),
+                                 options_));
+    self_->SeekTrial(trial_cursor_);
+  }
+  auto result = self_->RunIntervened(intervened, trials);
+  trial_cursor_ = self_->trial_position();
+  return result;
+}
+
+Result<std::unique_ptr<ReplicableTarget>> FleetTarget::Clone() const {
+  const uint64_t slot = next_endpoint_->fetch_add(1);
+  auto replica = std::unique_ptr<RemoteTarget>(new RemoteTarget(
+      spec_bytes_, RotatedEndpoints(slot), options_));
+  replica->SeekTrial(trial_cursor_);
+  return std::unique_ptr<ReplicableTarget>(std::move(replica));
+}
+
+void FleetTarget::SeekTrial(uint64_t trial_index) {
+  trial_cursor_ = trial_index;
+  if (self_ != nullptr) self_->SeekTrial(trial_index);
+}
+
+}  // namespace aid

@@ -1,0 +1,194 @@
+#include "net/runner.h"
+
+#include <cerrno>
+#include <utility>
+
+#if AID_NET_SUPPORTED
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "net/channel.h"
+#include "proc/client.h"
+#include "proc/subject_host.h"
+
+namespace aid {
+
+#if AID_NET_SUPPORTED
+
+namespace {
+
+/// Closes every descriptor >= lowest. Fork duplicates the whole descriptor
+/// table, so a fresh session child holds dups of its SIBLINGS' connections
+/// (and, for an embedded Runner, of everything its host process had open).
+/// Left open, those dups break the protocol's death detection: killing a
+/// session child would not deliver EOF to its engine while any sibling
+/// still holds the socket.
+void CloseDescriptorsFrom(int lowest) {
+#if defined(__linux__) && defined(SYS_close_range)
+  if (::syscall(SYS_close_range, static_cast<unsigned>(lowest), ~0U, 0) == 0) {
+    return;
+  }
+#endif
+  const long open_max = ::sysconf(_SC_OPEN_MAX);
+  const int limit =
+      open_max > 0 && open_max < 65536 ? static_cast<int>(open_max) : 65536;
+  for (int fd = lowest; fd < limit; ++fd) ::close(fd);
+}
+
+/// Session-child watchdog: exits the child the moment the engine hangs up.
+/// The protocol loop notices EOF on its own whenever it is reading -- but
+/// a genuinely HUNG subject never reads again, and the engine that timed
+/// its trial out can only drop the connection. Without this thread that
+/// child would sleep on the runner forever (one leaked process per
+/// timed-out trial). poll()ing for peer hangup consumes no protocol bytes,
+/// so it runs safely beside the main loop's reads.
+void StartPeerHangupWatchdog(int conn_fd) {
+#if defined(POLLRDHUP)
+  std::thread([conn_fd]() {
+    for (;;) {
+      struct pollfd pfd;
+      pfd.fd = conn_fd;
+      pfd.events = POLLRDHUP;
+      const int rc = ::poll(&pfd, 1, -1);
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc > 0 &&
+          (pfd.revents & (POLLRDHUP | POLLERR | POLLHUP | POLLNVAL)) != 0) {
+        ::_exit(0);
+      }
+      if (rc < 0) return;  // poll broke; leave exiting to the main loop
+    }
+  }).detach();
+#else
+  // Without POLLRDHUP (non-Linux) there is no bytes-free hangup probe;
+  // hung subjects then outlive their engine until the runner restarts.
+  (void)conn_fd;
+#endif
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Runner>> Runner::Start(RunnerOptions options) {
+  if (options.accept_poll_ms <= 0) {
+    // The tick doubles as the Stop() latency bound; 0 would block the
+    // accept loop forever and deadlock Stop()/the destructor.
+    options.accept_poll_ms = 200;
+  }
+  auto runner = std::unique_ptr<Runner>(new Runner(std::move(options)));
+  AID_ASSIGN_OR_RETURN(runner->listen_fd_,
+                       ListenOn(runner->options_.host, runner->options_.port,
+                                runner->options_.backlog));
+  AID_ASSIGN_OR_RETURN(runner->port_, BoundPort(runner->listen_fd_));
+  runner->accept_thread_ = std::thread([raw = runner.get()]() {
+    raw->AcceptLoop();
+  });
+  return runner;
+}
+
+Runner::~Runner() { Stop(); }
+
+void Runner::AcceptLoop() {
+  while (!stopping_.load()) {
+    Result<int> conn =
+        AcceptConnection(listen_fd_, options_.accept_poll_ms);
+    ReapSessions(/*kill_first=*/false);
+    if (!conn.ok()) {
+      if (conn.status().code() == StatusCode::kDeadlineExceeded) continue;
+      // The listen socket broke (or Stop() closed it): the daemon is done.
+      return;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(*conn);
+      continue;
+    }
+    if (pid == 0) {
+      // Session child: this process IS the sandbox. Everything of the
+      // daemon except the one connection is let go -- the connection is
+      // parked at descriptor 3 and every other non-std descriptor closed,
+      // so sibling sessions' sockets get their EOF the instant their own
+      // child dies. Deliberate subject crashes abort without littering
+      // core dumps.
+      int conn_fd = *conn;
+      if (conn_fd != 3) {
+        ::dup2(conn_fd, 3);
+        conn_fd = 3;
+      }
+      CloseDescriptorsFrom(4);
+      struct rlimit no_core;
+      no_core.rlim_cur = 0;
+      no_core.rlim_max = 0;
+      ::setrlimit(RLIMIT_CORE, &no_core);
+      StartPeerHangupWatchdog(conn_fd);
+      SocketChannel channel(conn_fd);
+      ::_exit(RunSubjectHost(channel));
+    }
+    ::close(*conn);
+    sessions_started_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session_pids_.push_back(pid);
+  }
+}
+
+void Runner::ReapSessions(bool kill_first) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  // Only the recorded pids are reaped -- never a blanket waitpid(-1):
+  // an embedding process (tests, benches) may own unrelated children,
+  // e.g. SubprocessTarget subject hosts.
+  std::vector<int64_t> alive;
+  alive.reserve(session_pids_.size());
+  for (const int64_t pid64 : session_pids_) {
+    const pid_t pid = static_cast<pid_t>(pid64);
+    if (kill_first) {
+      ::kill(pid, SIGKILL);
+      WaitpidRetry(pid, nullptr, 0);
+      continue;
+    }
+    const pid_t rc = WaitpidRetry(pid, nullptr, WNOHANG);
+    if (rc == 0) alive.push_back(pid64);  // still running
+  }
+  session_pids_ = std::move(alive);
+}
+
+void Runner::KillSessions() { ReapSessions(/*kill_first=*/true); }
+
+int Runner::live_sessions() {
+  ReapSessions(/*kill_first=*/false);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return static_cast<int>(session_pids_.size());
+}
+
+void Runner::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ReapSessions(/*kill_first=*/true);
+}
+
+#else  // !AID_NET_SUPPORTED
+
+Result<std::unique_ptr<Runner>> Runner::Start(RunnerOptions) {
+  return Status::Unimplemented(
+      "Runner: the remote fleet requires sockets and fork, which this "
+      "platform does not provide");
+}
+
+Runner::~Runner() = default;
+void Runner::AcceptLoop() {}
+void Runner::ReapSessions(bool) {}
+void Runner::KillSessions() {}
+int Runner::live_sessions() { return 0; }
+void Runner::Stop() {}
+
+#endif  // AID_NET_SUPPORTED
+
+}  // namespace aid

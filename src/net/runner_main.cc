@@ -1,0 +1,81 @@
+// aid_runner: the remote-fleet runner daemon.
+//
+// Listens on a TCP port and hosts one sandboxed subject replica (a forked
+// child running proc::RunSubjectHost) per accepted engine connection --
+// see src/net/runner.h and docs/remote_protocol.md.
+//
+// Usage: aid_runner [--host H] [--port P]
+//
+//   --host   bind address (default 127.0.0.1; 0.0.0.0 exposes the
+//            unauthenticated protocol to the network -- private networks
+//            only)
+//   --port   listen port (default 7601; 0 = ephemeral)
+//
+// Prints "aid_runner listening on H:P" once ready (scripts scrape it) and
+// runs until SIGINT/SIGTERM.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/runner.h"
+
+#if AID_NET_SUPPORTED
+#include <signal.h>
+#include <unistd.h>
+
+namespace {
+
+volatile sig_atomic_t g_stop = 0;
+void HandleStop(int) { g_stop = 1; }
+
+}  // namespace
+#endif
+
+int main(int argc, char** argv) {
+  if (!aid::RemoteFleetSupported()) {
+    std::fprintf(stderr, "aid_runner: unsupported on this platform\n");
+    return 3;
+  }
+#if AID_NET_SUPPORTED
+  aid::RunnerOptions options;
+  options.port = 7601;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      options.port = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: aid_runner [--host H] [--port P]\n");
+      return 2;
+    }
+  }
+
+  auto runner = aid::Runner::Start(options);
+  if (!runner.ok()) {
+    std::fprintf(stderr, "aid_runner: %s\n",
+                 runner.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("aid_runner listening on %s:%d\n", (*runner)->host().c_str(),
+              (*runner)->port());
+  std::fflush(stdout);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleStop;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  while (g_stop == 0) {
+    ::usleep(100 * 1000);
+  }
+  (*runner)->Stop();
+  std::printf("aid_runner: stopped (%d sessions served)\n",
+              (*runner)->sessions_started());
+  return 0;
+#else
+  return 3;
+#endif
+}

@@ -1,0 +1,257 @@
+#include "net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if AID_NET_SUPPORTED
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace aid {
+
+Result<Endpoint> ParseEndpoint(std::string_view text) {
+  const size_t colon = text.find(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    return Status::InvalidArgument("endpoint '" + std::string(text) +
+                                   "' is not host:port");
+  }
+  if (text.find(':', colon + 1) != std::string_view::npos) {
+    return Status::InvalidArgument(
+        "endpoint '" + std::string(text) +
+        "' has multiple ':' (IPv6 literals are not supported; use a name)");
+  }
+  Endpoint endpoint;
+  endpoint.host = std::string(text.substr(0, colon));
+  const std::string_view port_text = text.substr(colon + 1);
+  int port = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("endpoint '" + std::string(text) +
+                                     "' has a non-numeric port");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) break;
+  }
+  if (port < 1 || port > 65535) {
+    return Status::InvalidArgument("endpoint '" + std::string(text) +
+                                   "' port must be in [1, 65535]");
+  }
+  endpoint.port = port;
+  return endpoint;
+}
+
+Result<std::vector<Endpoint>> ParseEndpoints(
+    const std::vector<std::string>& texts) {
+  std::vector<Endpoint> endpoints;
+  endpoints.reserve(texts.size());
+  for (const std::string& text : texts) {
+    AID_ASSIGN_OR_RETURN(Endpoint endpoint, ParseEndpoint(text));
+    endpoints.push_back(std::move(endpoint));
+  }
+  return endpoints;
+}
+
+#if AID_NET_SUPPORTED
+
+namespace {
+
+Status ErrnoStatus(const std::string& op) {
+  return Status::Internal("net: " + op + " failed: " + std::strerror(errno));
+}
+
+void SetCloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+void SetNodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// getaddrinfo over host:port for either binding or connecting.
+Result<struct addrinfo*> Resolve(const std::string& host, int port,
+                                 bool passive) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  struct addrinfo* result = nullptr;
+  const std::string port_text = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_text.c_str(), &hints, &result);
+  if (rc != 0) {
+    return Status::InvalidArgument("net: cannot resolve '" + host +
+                                   "': " + ::gai_strerror(rc));
+  }
+  return result;
+}
+
+/// poll() on one fd with EINTR retry against an absolute remaining budget.
+/// Returns 1 (ready), 0 (timeout), or a Status via errno for real failures.
+Result<int> PollOne(int fd, short events, int timeout_ms) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc >= 0) return rc;
+    if (errno == EINTR) continue;
+    return ErrnoStatus("poll");
+  }
+}
+
+}  // namespace
+
+Result<int> ListenOn(const std::string& host, int port, int backlog) {
+  AID_ASSIGN_OR_RETURN(struct addrinfo* addrs,
+                       Resolve(host, port, /*passive=*/true));
+  Status last = Status::Internal("net: no addresses to bind");
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket");
+      continue;
+    }
+    SetCloexec(fd);
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, backlog) != 0) {
+      last = ErrnoStatus("bind/listen on " + host + ":" +
+                         std::to_string(port));
+      ::close(fd);
+      continue;
+    }
+    ::freeaddrinfo(addrs);
+    return fd;
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+Result<int> BoundPort(int listen_fd) {
+  struct sockaddr_storage addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  if (addr.ss_family == AF_INET) {
+    return static_cast<int>(
+        ntohs(reinterpret_cast<struct sockaddr_in*>(&addr)->sin_port));
+  }
+  if (addr.ss_family == AF_INET6) {
+    return static_cast<int>(
+        ntohs(reinterpret_cast<struct sockaddr_in6*>(&addr)->sin6_port));
+  }
+  return Status::Internal("net: unexpected socket family");
+}
+
+Result<int> AcceptConnection(int listen_fd, int timeout_ms) {
+  AID_ASSIGN_OR_RETURN(
+      int ready, PollOne(listen_fd, POLLIN, timeout_ms <= 0 ? -1 : timeout_ms));
+  if (ready == 0) {
+    return Status::DeadlineExceeded("net: no connection within " +
+                                    std::to_string(timeout_ms) + "ms");
+  }
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      SetCloexec(fd);
+      SetNodelay(fd);
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("accept");
+  }
+}
+
+Result<int> ConnectTo(const Endpoint& endpoint, int timeout_ms) {
+  AID_ASSIGN_OR_RETURN(struct addrinfo* addrs,
+                       Resolve(endpoint.host, endpoint.port,
+                               /*passive=*/false));
+  Status last = Status::Internal("net: no addresses for " +
+                                 endpoint.ToString());
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket");
+      continue;
+    }
+    SetCloexec(fd);
+    const int flags = ::fcntl(fd, F_GETFL);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+    int rc;
+    do {
+      rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (rc != 0 && errno == EINTR);
+
+    if (rc != 0 && errno == EINPROGRESS) {
+      Result<int> ready =
+          PollOne(fd, POLLOUT, timeout_ms <= 0 ? -1 : timeout_ms);
+      if (!ready.ok()) {
+        ::close(fd);
+        ::freeaddrinfo(addrs);
+        return ready.status();
+      }
+      if (*ready == 0) {
+        ::close(fd);
+        ::freeaddrinfo(addrs);
+        return Status::DeadlineExceeded("net: connect to " +
+                                        endpoint.ToString() + " timed out");
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+      if (so_error != 0) {
+        errno = so_error;
+        rc = -1;
+      } else {
+        rc = 0;
+      }
+    }
+    if (rc != 0) {
+      // ECONNREFUSED means nothing is listening there right now -- the
+      // reconnect-with-backoff path wants to distinguish that (Aborted)
+      // from local plumbing failures (Internal).
+      last = errno == ECONNREFUSED
+                 ? Status::Aborted("net: " + endpoint.ToString() +
+                                   " refused the connection")
+                 : ErrnoStatus("connect to " + endpoint.ToString());
+      ::close(fd);
+      continue;
+    }
+    ::fcntl(fd, F_SETFL, flags);
+    SetNodelay(fd);
+    ::freeaddrinfo(addrs);
+    return fd;
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+#else  // !AID_NET_SUPPORTED
+
+Result<int> ListenOn(const std::string&, int, int) {
+  return Status::Unimplemented("net: sockets unavailable on this platform");
+}
+Result<int> BoundPort(int) {
+  return Status::Unimplemented("net: sockets unavailable on this platform");
+}
+Result<int> AcceptConnection(int, int) {
+  return Status::Unimplemented("net: sockets unavailable on this platform");
+}
+Result<int> ConnectTo(const Endpoint&, int) {
+  return Status::Unimplemented("net: sockets unavailable on this platform");
+}
+
+#endif  // AID_NET_SUPPORTED
+
+}  // namespace aid

@@ -1,0 +1,212 @@
+#include "proc/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#if AID_PROC_SUPPORTED
+#include <sys/wait.h>
+#endif
+
+namespace aid {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Remaining budget against an absolute deadline, for channel calls that
+/// want milliseconds. 0 = no deadline; -1 = budget exhausted.
+int RemainingMs(bool has_deadline, Clock::time_point deadline) {
+  if (!has_deadline) return 0;
+  const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             deadline - Clock::now())
+                             .count();
+  if (remaining <= 0) return -1;
+  return static_cast<int>(remaining);
+}
+
+}  // namespace
+
+Result<uint32_t> HandshakeSubject(FrameChannel& channel,
+                                  std::string_view spec_bytes,
+                                  const SubjectHandshake& options) {
+  const bool has_deadline = options.timeout_ms > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options.timeout_ms);
+
+  int budget = RemainingMs(has_deadline, deadline);
+  Result<ProcFrame> hello = channel.Read(budget < 0 ? 1 : budget);
+  if (!hello.ok()) {
+    return Status(hello.status().code(),
+                  "handshake: no HELLO from " + options.peer + ": " +
+                      hello.status().message());
+  }
+  if (hello->type != ProcMsgType::kHello) {
+    return Status::Internal("handshake: expected HELLO from " + options.peer +
+                            ", got " +
+                            std::string(ProcMsgTypeName(hello->type)));
+  }
+  AID_ASSIGN_OR_RETURN(HelloMsg hello_msg, DecodeHello(hello->payload));
+  if (hello_msg.version != kProcProtocolVersion) {
+    return Status::FailedPrecondition(
+        "handshake: protocol version mismatch (" + options.peer +
+        " speaks v" + std::to_string(hello_msg.version) + ", engine v" +
+        std::to_string(kProcProtocolVersion) + ")");
+  }
+
+  // Specs can exceed the transport's buffering; the deadline keeps a peer
+  // that stops reading from wedging the handshake.
+  budget = RemainingMs(has_deadline, deadline);
+  if (budget < 0) {
+    return Status::DeadlineExceeded("handshake: budget exhausted before SPEC");
+  }
+  AID_RETURN_IF_ERROR(channel.Write(ProcMsgType::kSpec, spec_bytes, budget));
+
+  budget = RemainingMs(has_deadline, deadline);
+  Result<ProcFrame> ready = channel.Read(budget < 0 ? 1 : budget);
+  if (!ready.ok()) {
+    return Status(ready.status().code(),
+                  "handshake: " + options.peer +
+                      " died during subject construction: " +
+                      ready.status().message());
+  }
+  if (ready->type == ProcMsgType::kError) {
+    AID_ASSIGN_OR_RETURN(ErrorMsg error, DecodeError(ready->payload));
+    return error.ToStatus();
+  }
+  if (ready->type != ProcMsgType::kReady) {
+    return Status::Internal("handshake: expected READY from " + options.peer +
+                            ", got " +
+                            std::string(ProcMsgTypeName(ready->type)));
+  }
+  AID_ASSIGN_OR_RETURN(ReadyMsg ready_msg, DecodeReady(ready->payload));
+  if (options.expected_catalog_size != 0 &&
+      options.expected_catalog_size != ready_msg.catalog_size) {
+    return Status::Internal(
+        "handshake: " + options.peer +
+        " rebuilt a different predicate catalog (" +
+        std::to_string(ready_msg.catalog_size) + " predicates, expected " +
+        std::to_string(options.expected_catalog_size) +
+        "); engine and host would disagree on predicate ids");
+  }
+  if (options.previous_catalog_size != 0 &&
+      options.previous_catalog_size != ready_msg.catalog_size) {
+    return Status::Internal(
+        "handshake: respawned " + options.peer +
+        " rebuilt a different catalog (" +
+        std::to_string(ready_msg.catalog_size) + " vs " +
+        std::to_string(options.previous_catalog_size) + " predicates)");
+  }
+  return ready_msg.catalog_size;
+}
+
+Status RunTrialOverChannel(FrameChannel& channel, uint64_t trial_index,
+                           const std::vector<PredicateId>& intervened,
+                           int trial_deadline_ms, PredicateLog* log) {
+  const bool has_deadline = trial_deadline_ms > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(trial_deadline_ms);
+
+  RunTrialMsg request;
+  request.trial_index = trial_index;
+  request.intervened = intervened;
+  AID_RETURN_IF_ERROR(channel.Write(ProcMsgType::kRunTrial,
+                                    EncodeRunTrial(request),
+                                    has_deadline ? trial_deadline_ms : 0));
+
+  for (;;) {
+    // The deadline budgets the WHOLE trial, not each frame: a subject that
+    // streams events forever must still die at the deadline.
+    const int budget = RemainingMs(has_deadline, deadline);
+    if (budget < 0) {
+      return Status::DeadlineExceeded("trial " + std::to_string(trial_index) +
+                                      ": deadline expired");
+    }
+    Result<ProcFrame> frame = channel.Read(budget);
+    if (!frame.ok()) return frame.status();
+    switch (frame->type) {
+      case ProcMsgType::kTraceEvent: {
+        Result<TraceEventMsg> event = DecodeTraceEvent(frame->payload);
+        if (!event.ok()) return event.status();
+        log->observed[event->predicate] = {event->start, event->end};
+        break;
+      }
+      case ProcMsgType::kVerdict: {
+        Result<VerdictMsg> verdict = DecodeVerdict(frame->payload);
+        if (!verdict.ok()) return verdict.status();
+        log->failed = verdict->failed;
+        log->outcome = TrialOutcome::kCompleted;
+        return Status::OK();
+      }
+      case ProcMsgType::kError: {
+        Result<ErrorMsg> error = DecodeError(frame->payload);
+        if (!error.ok()) return error.status();
+        return error->ToStatus();
+      }
+      case ProcMsgType::kPong:
+        // Stale answer to an earlier keepalive probe; harmless.
+        break;
+      default:
+        return Status::Internal("trial " + std::to_string(trial_index) +
+                                ": unexpected frame " +
+                                std::string(ProcMsgTypeName(frame->type)));
+    }
+  }
+}
+
+Result<PredicateLog> RunTrialWithRecovery(
+    FrameChannel& channel, uint64_t trial_index,
+    const std::vector<PredicateId>& intervened, int trial_deadline_ms,
+    TargetHealth* health, const std::function<Status()>& replace_peer) {
+  PredicateLog log;
+  const Status run = RunTrialOverChannel(channel, trial_index, intervened,
+                                         trial_deadline_ms, &log);
+  if (run.ok()) return log;
+  if (run.code() == StatusCode::kAborted) {
+    log.failed = true;
+    log.outcome = TrialOutcome::kCrashed;
+    ++health->crashed_trials;
+    AID_RETURN_IF_ERROR(replace_peer());
+    return log;
+  }
+  if (run.code() == StatusCode::kDeadlineExceeded) {
+    log.failed = true;
+    log.outcome = TrialOutcome::kTimedOut;
+    ++health->timed_out_trials;
+    AID_RETURN_IF_ERROR(replace_peer());
+    return log;
+  }
+  return run;
+}
+
+#if AID_PROC_SUPPORTED
+pid_t WaitpidRetry(pid_t pid, int* status, int flags) {
+  for (;;) {
+    const pid_t rc = ::waitpid(pid, status, flags);
+    if (rc >= 0 || errno != EINTR) return rc;
+  }
+}
+#endif
+
+Status PingPeer(FrameChannel& channel, uint64_t token, int timeout_ms) {
+  const bool has_deadline = timeout_ms > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  PingMsg ping;
+  ping.token = token;
+  AID_RETURN_IF_ERROR(
+      channel.Write(ProcMsgType::kPing, EncodePing(ping), timeout_ms));
+  for (;;) {
+    const int budget = RemainingMs(has_deadline, deadline);
+    if (budget < 0) {
+      return Status::DeadlineExceeded("ping: no PONG within " +
+                                      std::to_string(timeout_ms) + "ms");
+    }
+    AID_ASSIGN_OR_RETURN(ProcFrame frame, channel.Read(budget));
+    if (frame.type != ProcMsgType::kPong) continue;  // stale trial traffic
+    AID_ASSIGN_OR_RETURN(PingMsg pong, DecodePing(frame.payload));
+    if (pong.token == token) return Status::OK();
+  }
+}
+
+}  // namespace aid

@@ -74,18 +74,28 @@ bool HitsPeriod(uint64_t trial_index, uint64_t period) {
   for (;;) std::this_thread::sleep_for(std::chrono::hours(24));
 }
 
-Status SendTrialAnswer(int out_fd, const PredicateLog& log) {
+Status SendTrialAnswer(FrameChannel& channel, const PredicateLog& log) {
   for (const auto& [id, observation] : log.observed) {
     TraceEventMsg event;
     event.predicate = id;
     event.start = observation.start;
     event.end = observation.end;
     AID_RETURN_IF_ERROR(
-        WriteFrame(out_fd, ProcMsgType::kTraceEvent, EncodeTraceEvent(event)));
+        channel.Write(ProcMsgType::kTraceEvent, EncodeTraceEvent(event)));
   }
   VerdictMsg verdict;
   verdict.failed = log.failed;
-  return WriteFrame(out_fd, ProcMsgType::kVerdict, EncodeVerdict(verdict));
+  return channel.Write(ProcMsgType::kVerdict, EncodeVerdict(verdict));
+}
+
+/// Answers a PING by echoing its token back (v2 keepalive). A garbled PING
+/// still gets a PONG (token 0): liveness is the point, not the payload.
+Status AnswerPing(FrameChannel& channel, const ProcFrame& frame) {
+  PingMsg pong;
+  if (Result<PingMsg> ping = DecodePing(frame.payload); ping.ok()) {
+    pong.token = ping->token;
+  }
+  return channel.Write(ProcMsgType::kPong, EncodePing(pong));
 }
 
 }  // namespace
@@ -116,28 +126,31 @@ Result<std::unique_ptr<ReplicableTarget>> BuildSubjectTarget(
   return Status::InvalidArgument("BuildSubjectTarget: unknown subject kind");
 }
 
-int RunSubjectHost(int in_fd, int out_fd) {
+int RunSubjectHost(FrameChannel& channel) {
 #if !AID_PROC_SUPPORTED
-  (void)in_fd;
-  (void)out_fd;
+  (void)channel;
   return 3;
 #else
   HelloMsg hello;
   hello.pid = static_cast<uint64_t>(::getpid());
-  if (!WriteFrame(out_fd, ProcMsgType::kHello, EncodeHello(hello)).ok()) {
+  if (!channel.Write(ProcMsgType::kHello, EncodeHello(hello)).ok()) {
     return 2;
   }
 
   // SPEC -> build -> READY (or ERROR and exit).
   OwnedSubjectSpec spec;
   HostSubject subject;
-  {
-    Result<ProcFrame> frame = ReadFrame(in_fd);
+  for (;;) {
+    Result<ProcFrame> frame = channel.Read();
     if (!frame.ok()) return 2;
     if (frame->type == ProcMsgType::kShutdown) return 0;
+    if (frame->type == ProcMsgType::kPing) {
+      if (!AnswerPing(channel, *frame).ok()) return 2;
+      continue;
+    }
     if (frame->type != ProcMsgType::kSpec) {
-      (void)WriteFrame(
-          out_fd, ProcMsgType::kError,
+      (void)channel.Write(
+          ProcMsgType::kError,
           EncodeError(Status::InvalidArgument(
               "subject host: expected SPEC, got " +
               std::string(ProcMsgTypeName(frame->type)))));
@@ -145,44 +158,46 @@ int RunSubjectHost(int in_fd, int out_fd) {
     }
     Result<OwnedSubjectSpec> decoded = DecodeSubjectSpec(frame->payload);
     if (!decoded.ok()) {
-      (void)WriteFrame(out_fd, ProcMsgType::kError,
-                       EncodeError(decoded.status()));
+      (void)channel.Write(ProcMsgType::kError, EncodeError(decoded.status()));
       return 2;
     }
     spec = std::move(decoded).value();
     Result<HostSubject> built = BuildHostSubject(spec);
     if (!built.ok()) {
-      (void)WriteFrame(out_fd, ProcMsgType::kError,
-                       EncodeError(built.status()));
+      (void)channel.Write(ProcMsgType::kError, EncodeError(built.status()));
       return 2;
     }
     subject = std::move(built).value();
     ReadyMsg ready;
     ready.catalog_size = static_cast<uint32_t>(subject.catalog_size);
-    if (!WriteFrame(out_fd, ProcMsgType::kReady, EncodeReady(ready)).ok()) {
+    if (!channel.Write(ProcMsgType::kReady, EncodeReady(ready)).ok()) {
       return 2;
     }
+    break;
   }
 
   // Trial loop.
   for (;;) {
-    Result<ProcFrame> frame = ReadFrame(in_fd);
+    Result<ProcFrame> frame = channel.Read();
     if (!frame.ok()) {
-      // EOF: the parent died or dropped us; exiting is the clean response.
+      // EOF: the engine died or dropped us; exiting is the clean response.
       return frame.status().code() == StatusCode::kAborted ? 0 : 2;
     }
     switch (frame->type) {
       case ProcMsgType::kShutdown:
         return 0;
+      case ProcMsgType::kPing:
+        if (!AnswerPing(channel, *frame).ok()) return 2;
+        break;
       case ProcMsgType::kRunTrial: {
         Result<RunTrialMsg> request = DecodeRunTrial(frame->payload);
         if (!request.ok()) {
-          (void)WriteFrame(out_fd, ProcMsgType::kError,
-                           EncodeError(request.status()));
+          (void)channel.Write(ProcMsgType::kError,
+                              EncodeError(request.status()));
           return 2;
         }
         // Fault injection happens mid-trial, after the request is accepted:
-        // the parent has committed to this trial and observes a genuine
+        // the engine has committed to this trial and observes a genuine
         // mid-trial death or hang.
         if (HitsPeriod(request->trial_index, spec.crash_period)) {
           std::abort();
@@ -194,30 +209,30 @@ int RunSubjectHost(int in_fd, int out_fd) {
         Result<TargetRunResult> result =
             subject.target->RunIntervened(request->intervened, 1);
         if (!result.ok()) {
-          // Subject-level error: report and keep serving (the parent decides
+          // Subject-level error: report and keep serving (the engine decides
           // whether to fail the discovery run).
-          if (!WriteFrame(out_fd, ProcMsgType::kError,
-                          EncodeError(result.status()))
+          if (!channel.Write(ProcMsgType::kError,
+                             EncodeError(result.status()))
                    .ok()) {
             return 2;
           }
           break;
         }
         if (result->logs.empty()) {
-          if (!WriteFrame(out_fd, ProcMsgType::kError,
-                          EncodeError(Status::Internal(
-                              "subject host: target produced no log")))
+          if (!channel.Write(ProcMsgType::kError,
+                             EncodeError(Status::Internal(
+                                 "subject host: target produced no log")))
                    .ok()) {
             return 2;
           }
           break;
         }
-        if (!SendTrialAnswer(out_fd, result->logs.front()).ok()) return 2;
+        if (!SendTrialAnswer(channel, result->logs.front()).ok()) return 2;
         break;
       }
       default:
-        (void)WriteFrame(
-            out_fd, ProcMsgType::kError,
+        (void)channel.Write(
+            ProcMsgType::kError,
             EncodeError(Status::InvalidArgument(
                 "subject host: unexpected frame " +
                 std::string(ProcMsgTypeName(frame->type)))));
@@ -225,6 +240,11 @@ int RunSubjectHost(int in_fd, int out_fd) {
     }
   }
 #endif  // AID_PROC_SUPPORTED
+}
+
+int RunSubjectHost(int in_fd, int out_fd) {
+  PipeChannel channel(in_fd, out_fd, /*owns_fds=*/false);
+  return RunSubjectHost(channel);
 }
 
 }  // namespace aid

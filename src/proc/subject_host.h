@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "exec/replicable.h"
 #include "proc/subject_spec.h"
+#include "proc/wire.h"
 
 namespace aid {
 
@@ -33,11 +34,17 @@ namespace aid {
 Result<std::unique_ptr<ReplicableTarget>> BuildSubjectTarget(
     const OwnedSubjectSpec& spec);
 
-/// Runs the host protocol loop over the given descriptors until SHUTDOWN or
-/// EOF. Returns the process exit code. Fault injection (spec crash/hang
-/// periods) happens in here -- before a poisoned trial is answered -- so the
-/// parent observes a mid-trial death exactly as with a genuinely broken
-/// subject.
+/// Runs the host protocol loop over `channel` until SHUTDOWN or EOF.
+/// Returns the process exit code. Fault injection (spec crash/hang periods)
+/// happens in here -- before a poisoned trial is answered -- so the engine
+/// observes a mid-trial death exactly as with a genuinely broken subject.
+/// PING frames are answered with PONG at any protocol stage (v2 keepalive).
+/// The transport does not matter: SubprocessTarget drives this loop over
+/// pipes, the aid_runner daemon over accepted TCP sockets.
+int RunSubjectHost(FrameChannel& channel);
+
+/// Convenience overload over a descriptor pair (the exec'd child's
+/// stdin/stdout). Does not take ownership of the descriptors.
 int RunSubjectHost(int in_fd, int out_fd);
 
 }  // namespace aid

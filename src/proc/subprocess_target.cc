@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "proc/client.h"
 #include "proc/wire.h"
 
 #if AID_PROC_SUPPORTED
@@ -74,13 +75,6 @@ std::string ResolveHostPath(const std::string& configured) {
     }
   }
   return "aid_subject_host";  // $PATH fallback via execvp
-}
-
-void CloseIfOpen(int& fd) {
-  if (fd >= 0) {
-    ::close(fd);
-    fd = -1;
-  }
 }
 
 }  // namespace
@@ -188,114 +182,56 @@ Status SubprocessTarget::EnsureChild() {
   // Parent.
   ::close(to_child[0]);
   ::close(from_child[1]);
-  to_child_ = to_child[1];
-  from_child_ = from_child[0];
+  channel_ = std::make_unique<PipeChannel>(
+      /*read_fd=*/from_child[0], /*write_fd=*/to_child[1], /*owns_fds=*/true);
   child_pid_ = pid;
 
-  // Handshake: HELLO, SPEC, READY -- all under the spawn budget.
-  auto fail_spawn = [&](Status status) {
+  // Handshake: HELLO, SPEC, READY -- all under the spawn budget. (The spec
+  // can exceed the pipe buffer; the handshake deadline keeps a host that
+  // stops reading from wedging the engine.)
+  SubjectHandshake handshake;
+  handshake.timeout_ms = options_.spawn_timeout_ms;
+  handshake.expected_catalog_size = options_.expected_catalog_size;
+  handshake.previous_catalog_size = child_catalog_size_;
+  handshake.peer = "subject host '" + host + "'";
+  Result<uint32_t> catalog = HandshakeSubject(*channel_, *spec_bytes_,
+                                              handshake);
+  if (!catalog.ok()) {
     StopChild(/*force_kill=*/true);
-    return status;
-  };
-  Result<ProcFrame> hello =
-      ReadFrameDeadline(from_child_, options_.spawn_timeout_ms);
-  if (!hello.ok()) {
-    return fail_spawn(Status(hello.status().code(),
-                             "SubprocessTarget: no HELLO from subject host '" +
-                                 host + "': " + hello.status().message()));
+    return Status(catalog.status().code(),
+                  "SubprocessTarget: " + catalog.status().message());
   }
-  if (hello->type != ProcMsgType::kHello) {
-    return fail_spawn(Status::Internal(
-        "SubprocessTarget: expected HELLO, got " +
-        std::string(ProcMsgTypeName(hello->type))));
-  }
-  Result<HelloMsg> hello_or = DecodeHello(hello->payload);
-  if (!hello_or.ok()) return fail_spawn(hello_or.status());
-  const HelloMsg& hello_msg = *hello_or;
-  if (hello_msg.version != kProcProtocolVersion) {
-    return fail_spawn(Status::FailedPrecondition(
-        "SubprocessTarget: protocol version mismatch (host speaks v" +
-        std::to_string(hello_msg.version) + ", engine v" +
-        std::to_string(kProcProtocolVersion) + ")"));
-  }
-
-  // Specs can exceed the pipe buffer; the deadline keeps a host that stops
-  // reading from wedging the handshake.
-  if (Status sent = WriteFrameDeadline(to_child_, ProcMsgType::kSpec,
-                                       *spec_bytes_,
-                                       options_.spawn_timeout_ms);
-      !sent.ok()) {
-    return fail_spawn(std::move(sent));
-  }
-  Result<ProcFrame> ready =
-      ReadFrameDeadline(from_child_, options_.spawn_timeout_ms);
-  if (!ready.ok()) {
-    return fail_spawn(
-        Status(ready.status().code(),
-               "SubprocessTarget: subject host died during construction: " +
-                   ready.status().message()));
-  }
-  if (ready->type == ProcMsgType::kError) {
-    Result<ErrorMsg> error = DecodeError(ready->payload);
-    return fail_spawn(error.ok() ? error->ToStatus() : error.status());
-  }
-  if (ready->type != ProcMsgType::kReady) {
-    return fail_spawn(Status::Internal(
-        "SubprocessTarget: expected READY, got " +
-        std::string(ProcMsgTypeName(ready->type))));
-  }
-  Result<ReadyMsg> ready_or = DecodeReady(ready->payload);
-  if (!ready_or.ok()) return fail_spawn(ready_or.status());
-  const ReadyMsg& ready_msg = *ready_or;
-  if (options_.expected_catalog_size != 0 &&
-      options_.expected_catalog_size != ready_msg.catalog_size) {
-    return fail_spawn(Status::Internal(
-        "SubprocessTarget: subject host rebuilt a different predicate "
-        "catalog (" +
-        std::to_string(ready_msg.catalog_size) + " predicates, expected " +
-        std::to_string(options_.expected_catalog_size) +
-        "); parent and child would disagree on predicate ids"));
-  }
-  if (child_catalog_size_ != 0 &&
-      child_catalog_size_ != ready_msg.catalog_size) {
-    return fail_spawn(Status::Internal(
-        "SubprocessTarget: respawned host rebuilt a different catalog (" +
-        std::to_string(ready_msg.catalog_size) + " vs " +
-        std::to_string(child_catalog_size_) + " predicates)"));
-  }
-  child_catalog_size_ = ready_msg.catalog_size;
+  child_catalog_size_ = *catalog;
   return Status::OK();
 }
 
 void SubprocessTarget::StopChild(bool force_kill) {
   if (child_pid_ <= 0) {
-    CloseIfOpen(to_child_);
-    CloseIfOpen(from_child_);
+    channel_.reset();
     return;
   }
-  if (!force_kill && to_child_ >= 0) {
-    (void)WriteFrame(to_child_, ProcMsgType::kShutdown, {});
+  if (!force_kill && channel_ != nullptr) {
+    (void)channel_->Write(ProcMsgType::kShutdown, {});
   }
-  CloseIfOpen(to_child_);  // EOF backstop for hosts mid-read
-  CloseIfOpen(from_child_);
+  channel_.reset();  // closing both ends is the EOF backstop for hosts mid-read
 
   const pid_t pid = static_cast<pid_t>(child_pid_);
   child_pid_ = -1;
   if (force_kill) {
     ::kill(pid, SIGKILL);
-    (void)::waitpid(pid, nullptr, 0);
+    (void)WaitpidRetry(pid, nullptr, 0);
     return;
   }
   // Grace period, then SIGKILL: a wedged host must not wedge our destructor.
   constexpr int kGraceMs = 2000;
   constexpr int kPollMs = 10;
   for (int waited = 0; waited < kGraceMs; waited += kPollMs) {
-    const pid_t rc = ::waitpid(pid, nullptr, WNOHANG);
+    const pid_t rc = WaitpidRetry(pid, nullptr, WNOHANG);
     if (rc == pid || (rc < 0 && errno == ECHILD)) return;
     std::this_thread::sleep_for(std::chrono::milliseconds(kPollMs));
   }
   ::kill(pid, SIGKILL);
-  (void)::waitpid(pid, nullptr, 0);
+  (void)WaitpidRetry(pid, nullptr, 0);
 }
 
 Status SubprocessTarget::Respawn() {
@@ -312,91 +248,13 @@ Status SubprocessTarget::Respawn() {
 Result<PredicateLog> SubprocessTarget::RunOneTrial(
     const std::vector<PredicateId>& intervened, uint64_t trial_index) {
   AID_RETURN_IF_ERROR(EnsureChild());
-
-  PredicateLog log;
-  RunTrialMsg request;
-  request.trial_index = trial_index;
-  request.intervened = intervened;
-
-  auto record_crash = [&]() -> Result<PredicateLog> {
-    // The subject died mid-trial: that IS a failing execution of the trial
-    // (paper semantics: the failure was certainly not repressed), recorded
-    // with a partial log so pruning will not reason from absences.
-    log.failed = true;
-    log.outcome = TrialOutcome::kCrashed;
-    ++health_.crashed_trials;
-    StopChild(/*force_kill=*/true);
-    AID_RETURN_IF_ERROR(Respawn());
-    return log;
-  };
-
-  Status sent = WriteFrame(to_child_, ProcMsgType::kRunTrial,
-                           EncodeRunTrial(request));
-  if (!sent.ok()) {
-    if (sent.code() == StatusCode::kAborted) return record_crash();
-    return sent;
-  }
-
-  // The deadline budgets the WHOLE trial, not each frame: a subject that
-  // streams events forever must still die at the deadline, so an exhausted
-  // budget times the trial out even when frames are still arriving.
-  const auto trial_start = std::chrono::steady_clock::now();
-  auto remaining_ms = [&]() -> int {
-    if (options_.trial_deadline_ms <= 0) return 0;  // no deadline
-    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-                             std::chrono::steady_clock::now() - trial_start)
-                             .count();
-    const int remaining =
-        options_.trial_deadline_ms - static_cast<int>(elapsed);
-    return remaining > 0 ? remaining : -1;  // -1: budget exhausted
-  };
-  auto record_timeout = [&]() -> Result<PredicateLog> {
-    // The subject hung (or streamed past its budget): kill it and record
-    // the distinct timed-out outcome.
-    log.failed = true;
-    log.outcome = TrialOutcome::kTimedOut;
-    ++health_.timed_out_trials;
-    StopChild(/*force_kill=*/true);
-    AID_RETURN_IF_ERROR(Respawn());
-    return log;
-  };
-
-  for (;;) {
-    const int budget = remaining_ms();
-    if (budget < 0) return record_timeout();
-    Result<ProcFrame> frame = ReadFrameDeadline(from_child_, budget);
-    if (!frame.ok()) {
-      if (frame.status().code() == StatusCode::kAborted) {
-        return record_crash();
-      }
-      if (frame.status().code() == StatusCode::kDeadlineExceeded) {
-        return record_timeout();
-      }
-      return frame.status();
-    }
-    switch (frame->type) {
-      case ProcMsgType::kTraceEvent: {
-        AID_ASSIGN_OR_RETURN(TraceEventMsg event,
-                             DecodeTraceEvent(frame->payload));
-        log.observed[event.predicate] = {event.start, event.end};
-        break;
-      }
-      case ProcMsgType::kVerdict: {
-        AID_ASSIGN_OR_RETURN(VerdictMsg verdict, DecodeVerdict(frame->payload));
-        log.failed = verdict.failed;
-        log.outcome = TrialOutcome::kCompleted;
-        return log;
-      }
-      case ProcMsgType::kError: {
-        AID_ASSIGN_OR_RETURN(ErrorMsg error, DecodeError(frame->payload));
-        return error.ToStatus();
-      }
-      default:
-        return Status::Internal("SubprocessTarget: unexpected frame " +
-                                std::string(ProcMsgTypeName(frame->type)) +
-                                " inside a trial");
-    }
-  }
+  // Crash -> kCrashed, deadline -> SIGKILL + kTimedOut, fresh child either
+  // way (proc/client.h has the full lifecycle contract).
+  return RunTrialWithRecovery(*channel_, trial_index, intervened,
+                              options_.trial_deadline_ms, &health_, [this]() {
+                                StopChild(/*force_kill=*/true);
+                                return Respawn();
+                              });
 }
 
 Result<TargetRunResult> SubprocessTarget::RunIntervened(

@@ -39,6 +39,7 @@
 #include "common/status.h"
 #include "exec/replicable.h"
 #include "proc/subject_spec.h"
+#include "proc/wire.h"
 
 namespace aid {
 
@@ -136,8 +137,9 @@ class SubprocessTarget : public ReplicableTarget {
   SubprocessOptions options_;
 
   int64_t child_pid_ = -1;  ///< -1: no child alive
-  int to_child_ = -1;       ///< write end (child stdin)
-  int from_child_ = -1;     ///< read end (child stdout)
+  /// Frame transport to the live child (a PipeChannel over its
+  /// stdin/stdout); null while no child is alive.
+  std::unique_ptr<FrameChannel> channel_;
   uint32_t child_catalog_size_ = 0;
 
   uint64_t trial_cursor_ = 0;

@@ -25,6 +25,8 @@ std::string_view ProcMsgTypeName(ProcMsgType type) {
     case ProcMsgType::kTraceEvent: return "TRACE_EVENT";
     case ProcMsgType::kVerdict: return "VERDICT";
     case ProcMsgType::kShutdown: return "SHUTDOWN";
+    case ProcMsgType::kPing: return "PING";
+    case ProcMsgType::kPong: return "PONG";
   }
   return "UNKNOWN";
 }
@@ -47,8 +49,9 @@ Status WriteAll(int fd, const char* data, size_t n) {
     const ssize_t rc = ::write(fd, data + written, n - written);
     if (rc < 0) {
       if (errno == EINTR) continue;
-      if (errno == EPIPE) {
-        return Status::Aborted("proc wire: peer closed the pipe (EPIPE)");
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Aborted("proc wire: peer closed the channel (" +
+                               std::string(std::strerror(errno)) + ")");
       }
       return Status::Internal(std::string("proc wire: write failed: ") +
                               std::strerror(errno));
@@ -80,9 +83,10 @@ Status WriteAllDeadline(int fd, const char* data, size_t n,
       continue;
     }
     if (rc < 0 && errno == EINTR) continue;
-    if (rc < 0 && errno == EPIPE) {
+    if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) {
       restore();
-      return Status::Aborted("proc wire: peer closed the pipe (EPIPE)");
+      return Status::Aborted("proc wire: peer closed the channel (" +
+                             std::string(std::strerror(errno)) + ")");
     }
     if (rc < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
       restore();
@@ -147,11 +151,14 @@ Status ReadAllDeadline(int fd, char* out, size_t n, Clock::time_point deadline) 
     const ssize_t rc = ::read(fd, out + got, n - got);
     if (rc < 0) {
       if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        return Status::Aborted("proc wire: peer reset the connection");
+      }
       return Status::Internal(std::string("proc wire: read failed: ") +
                               std::strerror(errno));
     }
     if (rc == 0) {
-      return Status::Aborted("proc wire: peer closed the pipe (EOF)");
+      return Status::Aborted("proc wire: peer closed the channel (EOF)");
     }
     got += static_cast<size_t>(rc);
   }
@@ -177,18 +184,29 @@ Result<ProcFrame> ReadFrameUntil(int fd, Clock::time_point deadline) {
 
 }  // namespace
 
+namespace {
+
+/// One contiguous buffer per frame: a single write() syscall -- and, over
+/// TCP_NODELAY sockets, a single segment -- instead of a header write plus
+/// a payload write on the per-trial hot path.
+std::string AssembleFrame(ProcMsgType type, std::string_view payload) {
+  WireWriter frame;
+  frame.U32(static_cast<uint32_t>(payload.size()) + 1);
+  frame.U8(static_cast<uint8_t>(type));
+  frame.Raw(payload);
+  return frame.Release();
+}
+
+}  // namespace
+
 Status WriteFrame(int fd, ProcMsgType type, std::string_view payload) {
   IgnoreSigpipeOnce();
   if (payload.size() > kProcMaxFramePayload) {
     return Status::InvalidArgument("proc wire: frame payload too large (" +
                                    std::to_string(payload.size()) + " bytes)");
   }
-  WireWriter header;
-  header.U32(static_cast<uint32_t>(payload.size()) + 1);
-  header.U8(static_cast<uint8_t>(type));
-  AID_RETURN_IF_ERROR(
-      WriteAll(fd, header.buffer().data(), header.buffer().size()));
-  return WriteAll(fd, payload.data(), payload.size());
+  const std::string frame = AssembleFrame(type, payload);
+  return WriteAll(fd, frame.data(), frame.size());
 }
 
 Status WriteFrameDeadline(int fd, ProcMsgType type, std::string_view payload,
@@ -201,12 +219,8 @@ Status WriteFrameDeadline(int fd, ProcMsgType type, std::string_view payload,
   }
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(deadline_ms);
-  WireWriter header;
-  header.U32(static_cast<uint32_t>(payload.size()) + 1);
-  header.U8(static_cast<uint8_t>(type));
-  AID_RETURN_IF_ERROR(WriteAllDeadline(fd, header.buffer().data(),
-                                       header.buffer().size(), deadline));
-  return WriteAllDeadline(fd, payload.data(), payload.size(), deadline);
+  const std::string frame = AssembleFrame(type, payload);
+  return WriteAllDeadline(fd, frame.data(), frame.size(), deadline);
 }
 
 Result<ProcFrame> ReadFrame(int fd) {
@@ -217,6 +231,30 @@ Result<ProcFrame> ReadFrameDeadline(int fd, int deadline_ms) {
   if (deadline_ms <= 0) return ReadFrame(fd);
   return ReadFrameUntil(fd,
                         Clock::now() + std::chrono::milliseconds(deadline_ms));
+}
+
+Status PipeChannel::Write(ProcMsgType type, std::string_view payload,
+                          int deadline_ms) {
+  if (write_fd_ < 0) {
+    return Status::Internal("pipe channel: write side is closed");
+  }
+  return WriteFrameDeadline(write_fd_, type, payload, deadline_ms);
+}
+
+Result<ProcFrame> PipeChannel::Read(int deadline_ms) {
+  if (read_fd_ < 0) {
+    return Status::Internal("pipe channel: read side is closed");
+  }
+  return ReadFrameDeadline(read_fd_, deadline_ms);
+}
+
+void PipeChannel::Close() {
+  if (owns_fds_) {
+    if (read_fd_ >= 0) ::close(read_fd_);
+    if (write_fd_ >= 0 && write_fd_ != read_fd_) ::close(write_fd_);
+  }
+  read_fd_ = -1;
+  write_fd_ = -1;
 }
 
 #else  // !AID_PROC_SUPPORTED
@@ -239,6 +277,21 @@ Result<ProcFrame> ReadFrame(int) {
 Result<ProcFrame> ReadFrameDeadline(int, int) {
   return Status::Unimplemented(
       "proc wire: pipes are unavailable on this platform");
+}
+
+Status PipeChannel::Write(ProcMsgType, std::string_view, int) {
+  return Status::Unimplemented(
+      "proc wire: pipes are unavailable on this platform");
+}
+
+Result<ProcFrame> PipeChannel::Read(int) {
+  return Status::Unimplemented(
+      "proc wire: pipes are unavailable on this platform");
+}
+
+void PipeChannel::Close() {
+  read_fd_ = -1;
+  write_fd_ = -1;
 }
 
 #endif  // AID_PROC_SUPPORTED
@@ -349,6 +402,20 @@ Result<VerdictMsg> DecodeVerdict(std::string_view payload) {
   WireReader reader(payload);
   VerdictMsg msg;
   msg.failed = reader.U8() != 0;
+  AID_RETURN_IF_ERROR(reader.Finish());
+  return msg;
+}
+
+std::string EncodePing(const PingMsg& msg) {
+  WireWriter writer;
+  writer.U64(msg.token);
+  return writer.Release();
+}
+
+Result<PingMsg> DecodePing(std::string_view payload) {
+  WireReader reader(payload);
+  PingMsg msg;
+  msg.token = reader.U64();
   AID_RETURN_IF_ERROR(reader.Finish());
   return msg;
 }

@@ -1,34 +1,49 @@
-// The AID process-isolation wire protocol (version 1).
+// The AID subject wire protocol (version 2).
 //
-// A debugging engine (parent) and a sandboxed subject host (child) speak
-// length-prefixed binary frames over a pipe pair -- the child's stdin/stdout
-// once exec'd. Every frame is
+// A debugging engine and a subject host speak length-prefixed binary frames
+// over any byte transport -- the pipe pair of a fork/exec'd child
+// (proc::SubprocessTarget, the child's stdin/stdout) or a TCP connection to
+// a remote runner (net::RemoteTarget / the aid_runner daemon). Every frame
+// is
 //
 //   [u32 length][u8 type][payload (length - 1 bytes)]
 //
 // with all integers little-endian (trace/serialize.h WireWriter/WireReader).
 // The conversation:
 //
-//   child  -> parent   HELLO      magic, protocol version, pid
-//   parent -> child    SPEC       serialized SubjectSpec (proc/subject_spec)
-//   child  -> parent   READY      catalog size (id-space sanity check)
+//   host   -> engine   HELLO      magic, protocol version, pid
+//   engine -> host     SPEC       serialized SubjectSpec (proc/subject_spec)
+//   host   -> engine   READY      catalog size (id-space sanity check)
 //                   or ERROR      status code + message (bad spec, failed
 //                                 observation, version mismatch)
-//   parent -> child    RUN_TRIAL  global trial index + intervened predicates
-//   child  -> parent   TRACE_EVENT * N    streamed predicate observations
-//   child  -> parent   VERDICT    failed flag (closes the trial)
+//   engine -> host     RUN_TRIAL  global trial index + intervened predicates
+//   host   -> engine   TRACE_EVENT * N    streamed predicate observations
+//   host   -> engine   VERDICT    failed flag (closes the trial)
 //                   or ERROR      subject-level error for this trial
 //   ...                (RUN_TRIAL repeats)
-//   parent -> child    SHUTDOWN   child exits 0
+//   engine -> host     PING       keepalive probe (any time between trials)
+//   host   -> engine   PONG       echoed token
+//   engine -> host     SHUTDOWN   host exits 0
+//
+// Version 2 added the PING/PONG keepalive pair (idle fleet connections need
+// a liveness probe; over pipes the pair is a harmless no-op).
 //
 // Failure semantics live at the transport layer: an EOF or write error means
-// the peer died (the parent records a crashed trial and respawns); a read
-// deadline expiring means the subject hung (the parent SIGKILLs and records
-// a timed-out trial). See docs/proc_protocol.md for the full specification.
+// the peer died (the engine records a crashed trial and respawns or
+// reconnects); a read deadline expiring means the subject hung (the engine
+// SIGKILLs or drops the connection and records a timed-out trial). See
+// docs/proc_protocol.md and docs/remote_protocol.md for the full
+// specification.
 //
-// Platform support: the transport uses POSIX pipes. On platforms without
-// them, SubprocessIsolationSupported() returns false and every transport
-// entry point returns Unimplemented.
+// The free WriteFrame/ReadFrame functions speak the protocol over raw file
+// descriptors; FrameChannel wraps them behind a transport-agnostic interface
+// (PipeChannel here, net::SocketChannel for TCP) so protocol drivers --
+// proc/client.h, proc/subject_host -- never care which transport carries
+// their frames.
+//
+// Platform support: the transports use POSIX descriptors. On platforms
+// without them, SubprocessIsolationSupported() returns false and every
+// transport entry point returns Unimplemented.
 
 #ifndef AID_PROC_WIRE_H_
 #define AID_PROC_WIRE_H_
@@ -55,7 +70,8 @@ constexpr bool SubprocessIsolationSupported() {
 }
 
 inline constexpr uint32_t kProcMagic = 0x41494450;  // "AIDP"
-inline constexpr uint32_t kProcProtocolVersion = 1;
+/// v2 = v1 + the PING/PONG keepalive pair.
+inline constexpr uint32_t kProcProtocolVersion = 2;
 
 /// Frames larger than this are rejected as corrupt before any allocation;
 /// real frames are dominated by subject specs (programs/models, ~KBs).
@@ -70,6 +86,8 @@ enum class ProcMsgType : uint8_t {
   kTraceEvent = 6,
   kVerdict = 7,
   kShutdown = 8,
+  kPing = 9,
+  kPong = 10,
 };
 
 std::string_view ProcMsgTypeName(ProcMsgType type);
@@ -104,6 +122,62 @@ Result<ProcFrame> ReadFrame(int fd);
 /// whole frame, poll()-based). Returns DeadlineExceeded on expiry with the
 /// partial bytes discarded; deadline_ms <= 0 means block indefinitely.
 Result<ProcFrame> ReadFrameDeadline(int fd, int deadline_ms);
+
+// ------------------------------------------------------------- channels ----
+
+/// A bidirectional frame transport: the seam between the protocol drivers
+/// (proc/client.h, proc/subject_host) and whatever bytes actually carry the
+/// frames. Every operation takes a deadline in milliseconds (<= 0 = block
+/// indefinitely); all EINTR retrying happens below this interface.
+///
+/// Status vocabulary, shared by all implementations:
+///   Aborted          -- the peer is gone (EOF, EPIPE, ECONNRESET);
+///   DeadlineExceeded -- the peer is alive but silent / not draining;
+///   InvalidArgument  -- corrupt frame (bad length prefix);
+///   Internal         -- local I/O failure.
+///
+/// Channels are not thread-safe; one conversation owns one channel.
+class FrameChannel {
+ public:
+  virtual ~FrameChannel() = default;
+
+  virtual Status Write(ProcMsgType type, std::string_view payload,
+                       int deadline_ms = 0) = 0;
+  virtual Result<ProcFrame> Read(int deadline_ms = 0) = 0;
+
+  /// Releases the transport (idempotent). Further Read/Write fail Internal.
+  virtual void Close() = 0;
+  virtual bool open() const = 0;
+
+  /// Transport name for error messages ("pipe", "socket").
+  virtual std::string_view transport() const = 0;
+};
+
+/// FrameChannel over a unidirectional descriptor pair -- the subprocess
+/// transport (parent side: child stdin/stdout; host side: its own 0/1).
+class PipeChannel : public FrameChannel {
+ public:
+  /// `owns_fds`: close the descriptors on Close()/destruction. The host
+  /// side wraps stdin/stdout non-owning.
+  PipeChannel(int read_fd, int write_fd, bool owns_fds)
+      : read_fd_(read_fd), write_fd_(write_fd), owns_fds_(owns_fds) {}
+  ~PipeChannel() override { Close(); }
+
+  PipeChannel(const PipeChannel&) = delete;
+  PipeChannel& operator=(const PipeChannel&) = delete;
+
+  Status Write(ProcMsgType type, std::string_view payload,
+               int deadline_ms = 0) override;
+  Result<ProcFrame> Read(int deadline_ms = 0) override;
+  void Close() override;
+  bool open() const override { return read_fd_ >= 0 || write_fd_ >= 0; }
+  std::string_view transport() const override { return "pipe"; }
+
+ private:
+  int read_fd_;
+  int write_fd_;
+  bool owns_fds_;
+};
 
 // ------------------------------------------------------------ messages ----
 
@@ -146,6 +220,12 @@ struct VerdictMsg {
   bool failed = false;
 };
 
+/// Keepalive probe. The host echoes the token back in its PONG so a prober
+/// can match responses even after stale frames (v2).
+struct PingMsg {
+  uint64_t token = 0;
+};
+
 std::string EncodeHello(const HelloMsg& msg);
 Result<HelloMsg> DecodeHello(std::string_view payload);
 std::string EncodeReady(const ReadyMsg& msg);
@@ -158,6 +238,8 @@ std::string EncodeTraceEvent(const TraceEventMsg& msg);
 Result<TraceEventMsg> DecodeTraceEvent(std::string_view payload);
 std::string EncodeVerdict(const VerdictMsg& msg);
 Result<VerdictMsg> DecodeVerdict(std::string_view payload);
+std::string EncodePing(const PingMsg& msg);
+Result<PingMsg> DecodePing(std::string_view payload);
 
 }  // namespace aid
 

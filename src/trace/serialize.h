@@ -11,9 +11,10 @@
 //     (the proc/ wire protocol frames, subject specs, program
 //     serialization); SerializeTrace / DeserializeTrace apply them to whole
 //     ExecutionTraces for offline storage and for backends that ship raw
-//     traces across a machine boundary (the remote-fleet direction in the
-//     ROADMAP). The trace format round-trips every Event field bit-for-bit
-//     and fails with InvalidArgument on truncated input.
+//     traces across a machine boundary (the remote fleet of src/net/ ships
+//     subject specs and streamed observations over these primitives). The
+//     trace format round-trips every Event field bit-for-bit and fails
+//     with InvalidArgument on truncated input.
 
 #ifndef AID_TRACE_SERIALIZE_H_
 #define AID_TRACE_SERIALIZE_H_
