@@ -80,9 +80,9 @@ int main() {
           engine.trials_per_intervention = trials;
           auto report = session->Run(engine);
           if (report.ok()) {
-            std::printf("%7d | %7d %12d\n", trials,
+            std::printf("%7d | %7d %12llu\n", trials,
                         report->discovery.rounds,
-                        report->discovery.executions);
+                        (unsigned long long)report->discovery.executions);
           }
         }
       }

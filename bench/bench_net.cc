@@ -36,9 +36,13 @@ struct RunStats {
 
 RunStats RunOnce(const GroundTruthModel* model,
                  const std::vector<std::string>& fleet, int parallelism,
-                 int trials) {
+                 int trials,
+                 SchedulerPolicy policy = SchedulerPolicy::kWorkStealing) {
   SessionBuilder builder;
   builder.WithModel(model).WithTrials(trials).WithParallelism(parallelism);
+  SchedulerOptions scheduler;
+  scheduler.policy = policy;
+  builder.WithScheduler(scheduler);
   if (!fleet.empty()) {
     builder.WithRemoteFleet(fleet, /*trial_deadline_ms=*/20000);
   }
@@ -113,10 +117,11 @@ int main(int argc, char** argv) {
   std::vector<RunStats> in_process;
   for (int w : workers) {
     RunStats stats = RunOnce(model->get(), {}, w, trials);
-    std::printf("%-14s %-8d %10.2f %12d %12.2f %8d\n", "in_process", w,
-                stats.wall_ms, stats.report.discovery.executions,
+    std::printf("%-14s %-8d %10.2f %12llu %12.2f %8d\n", "in_process", w,
+                stats.wall_ms,
+                (unsigned long long)stats.report.discovery.executions,
                 1000.0 * stats.wall_ms /
-                    std::max(1, stats.report.discovery.executions),
+                    std::max<uint64_t>(1, stats.report.discovery.executions),
                 stats.report.discovery.rounds);
     in_process.push_back(std::move(stats));
   }
@@ -126,13 +131,14 @@ int main(int argc, char** argv) {
     RunStats stats = RunOnce(model->get(), fleet, w, trials);
     const double us_per_trial =
         1000.0 * stats.wall_ms /
-        std::max(1, stats.report.discovery.executions);
+        std::max<uint64_t>(1, stats.report.discovery.executions);
     const double base_us =
         1000.0 * in_process[i].wall_ms /
-        std::max(1, in_process[i].report.discovery.executions);
-    std::printf("%-14s %-8d %10.2f %12d %12.2f %8d  (+%.2f us/trial RPC)\n",
+        std::max<uint64_t>(1, in_process[i].report.discovery.executions);
+    std::printf("%-14s %-8d %10.2f %12llu %12.2f %8d  (+%.2f us/trial RPC)\n",
                 "remote_fleet", w, stats.wall_ms,
-                stats.report.discovery.executions, us_per_trial,
+                (unsigned long long)stats.report.discovery.executions,
+                us_per_trial,
                 stats.report.discovery.rounds, us_per_trial - base_us);
     if (!SameDiscoveryOutcome(stats.report.discovery, in_process[i].report.discovery)) {
       std::fprintf(stderr,
@@ -143,8 +149,68 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\nall remote-fleet reports bit-identical to in-process runs "
-              "(%d + %d sessions hosted)\n",
+              "(%d + %d sessions hosted)\n\n",
               runners[0]->sessions_started(),
               runners[1]->sessions_started());
+
+  // ---- heterogeneous fleet: one runner 10x slower ------------------------
+  //
+  // A third runner joins, charging 10x a typical loopback trial's cost
+  // (~200us RPC -> 2ms injected delay) per trial, and one replica lives on
+  // each runner with enough trials per round that static sharding MUST use
+  // the straggler every round. The latency-aware work-stealing scheduler
+  // has to win >= 1.5x with the bit-identical report, or this bench
+  // exits 1.
+  {
+    RunnerOptions slow_options;
+    slow_options.trial_delay_us = 2000;
+    auto slow_runner = Runner::Start(slow_options);
+    if (!slow_runner.ok()) {
+      std::fprintf(stderr, "slow runner start failed: %s\n",
+                   slow_runner.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> hetero_fleet = fleet;
+    hetero_fleet.push_back((*slow_runner)->endpoint().ToString());
+    const int hetero_workers = 3;   // one replica per runner
+    const int hetero_trials = 12;   // static must shard onto the straggler
+    std::printf("heterogeneous fleet: 2 fast runners + %s (+2000us/trial), "
+                "%d workers, %d trials/round\n",
+                hetero_fleet[2].c_str(), hetero_workers, hetero_trials);
+
+    RunStats reference =
+        RunOnce(model->get(), {}, hetero_workers, hetero_trials);
+    RunStats fixed = RunOnce(model->get(), hetero_fleet, hetero_workers,
+                             hetero_trials, SchedulerPolicy::kStatic);
+    std::printf("%-14s %10.2f ms  %8llu steals  %10.1f ms straggler wait\n",
+                "static", fixed.wall_ms,
+                (unsigned long long)fixed.report.discovery.steals,
+                fixed.report.discovery.straggler_wait_micros / 1000.0);
+    RunStats stealing = RunOnce(model->get(), hetero_fleet, hetero_workers,
+                                hetero_trials, SchedulerPolicy::kWorkStealing);
+    std::printf("%-14s %10.2f ms  %8llu steals  %10.1f ms straggler wait\n",
+                "work-stealing", stealing.wall_ms,
+                (unsigned long long)stealing.report.discovery.steals,
+                stealing.report.discovery.straggler_wait_micros / 1000.0);
+
+    if (!SameDiscoveryOutcome(stealing.report.discovery,
+                              fixed.report.discovery) ||
+        !SameDiscoveryOutcome(stealing.report.discovery,
+                              reference.report.discovery)) {
+      std::fprintf(stderr, "BUG: heterogeneous-fleet report diverges\n");
+      return 1;
+    }
+    const double speedup = fixed.wall_ms / stealing.wall_ms;
+    if (speedup < 1.5) {
+      std::fprintf(stderr,
+                   "REGRESSION: work stealing only %.2fx over static "
+                   "sharding on the heterogeneous fleet (>= 1.5x required)\n",
+                   speedup);
+      return 1;
+    }
+    std::printf("heterogeneous-fleet check passed: %.2fx over static "
+                "sharding, bit-identical report\n",
+                speedup);
+  }
   return 0;
 }

@@ -1,7 +1,11 @@
 // Parallel dispatch bench: serial vs. batched vs. parallel intervention
-// execution (src/exec/) at 1/2/4/8 workers.
+// execution (src/exec/) at 1/2/4/8 workers, plus the heterogeneous-pool
+// scenario (one replica 10x slower) comparing static sharding against the
+// latency-aware work-stealing scheduler. The heterogeneous scenario is
+// self-checking: it exits 1 unless work stealing beats static sharding by
+// >= 1.5x with a bit-identical discovery report.
 //
-// Three subjects:
+// Three uniform subjects:
 //   * a symmetric synthetic model -- executions cost microseconds, so this
 //     row mostly measures the dispatch machinery's own overhead;
 //   * a VM case study, CPU-bound -- replicas scale with physical cores
@@ -16,6 +20,7 @@
 // bench prints rounds/executions/speculative executions so the accounting
 // is visible next to the speedup.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -69,18 +74,67 @@ class LatencyTarget : public ReplicableTarget {
     return inner_->trial_position();
   }
 
-  int executions() const override { return inner_->executions(); }
+  uint64_t executions() const override { return inner_->executions(); }
 
  private:
   std::unique_ptr<ReplicableTarget> inner_;
   std::chrono::microseconds per_execution_;
 };
 
+/// LatencyTarget whose FIRST clone charges `slow_factor` times the base
+/// latency: the heterogeneous-pool stand-in (one replica living on a
+/// loaded/distant machine). The slowdown is pure wall clock -- positions
+/// and bytes are untouched, so reports must stay bit-identical however the
+/// scheduler routes around the straggler.
+class HeteroLatencyTarget : public ReplicableTarget {
+ public:
+  HeteroLatencyTarget(std::unique_ptr<ReplicableTarget> inner,
+                      std::chrono::microseconds base_latency, int slow_factor)
+      : inner_(std::move(inner)),
+        base_(base_latency),
+        slow_factor_(slow_factor),
+        delay_(base_latency),
+        clones_(std::make_shared<std::atomic<int>>(0)) {}
+
+  Result<TargetRunResult> RunIntervened(
+      const std::vector<PredicateId>& intervened, int trials) override {
+    if (trials < 1) trials = 1;
+    std::this_thread::sleep_for(delay_ * trials);
+    return inner_->RunIntervened(intervened, trials);
+  }
+
+  Result<std::unique_ptr<ReplicableTarget>> Clone() const override {
+    AID_ASSIGN_OR_RETURN(std::unique_ptr<ReplicableTarget> inner,
+                         inner_->Clone());
+    auto clone = std::unique_ptr<HeteroLatencyTarget>(
+        new HeteroLatencyTarget(std::move(inner), base_, slow_factor_));
+    clone->clones_ = clones_;
+    clone->delay_ =
+        clones_->fetch_add(1) == 0 ? base_ * slow_factor_ : base_;
+    return std::unique_ptr<ReplicableTarget>(std::move(clone));
+  }
+
+  void SeekTrial(uint64_t trial_index) override {
+    inner_->SeekTrial(trial_index);
+  }
+  uint64_t trial_position() const override { return inner_->trial_position(); }
+  uint64_t executions() const override { return inner_->executions(); }
+
+ private:
+  std::unique_ptr<ReplicableTarget> inner_;
+  std::chrono::microseconds base_;
+  int slow_factor_;
+  std::chrono::microseconds delay_;
+  std::shared_ptr<std::atomic<int>> clones_;
+};
+
 struct RunStats {
   double ms = 0;
   int rounds = 0;
-  int executions = 0;
-  int speculative = 0;
+  uint64_t executions = 0;
+  uint64_t speculative = 0;
+  uint64_t steals = 0;
+  double straggler_wait_ms = 0;
   std::string path;
   bool ok = false;
 };
@@ -95,8 +149,10 @@ std::string PathKey(const DiscoveryReport& report) {
 }
 
 void PrintRow(const char* label, const RunStats& run, const RunStats& base) {
-  std::printf("%-22s | %9.2f %7.2fx %7d %11d %6d%s\n", label, run.ms,
-              base.ms / run.ms, run.rounds, run.executions, run.speculative,
+  std::printf("%-22s | %9.2f %7.2fx %7d %11llu %6llu%s\n", label, run.ms,
+              base.ms / run.ms, run.rounds,
+              static_cast<unsigned long long>(run.executions),
+              static_cast<unsigned long long>(run.speculative),
               run.path == base.path ? "" : "  [PATH MISMATCH]");
 }
 
@@ -265,6 +321,103 @@ void BenchLatencyBound(std::chrono::microseconds latency, int repeats) {
   std::printf("\n");
 }
 
+// ---- heterogeneous pool: static sharding vs work stealing ----------------
+
+RunStats TimeHetero(const VmTarget& observed, const AcDag& dag,
+                    std::chrono::microseconds latency, int slow_factor,
+                    int workers, SchedulerPolicy policy, EngineOptions engine,
+                    int repeats) {
+  RunStats stats;
+  for (int i = 0; i < repeats; ++i) {
+    auto inner = observed.Clone();
+    if (!inner.ok()) return stats;
+    HeteroLatencyTarget primary(std::move(inner).value(), latency,
+                                slow_factor);
+    SchedulerOptions scheduler;
+    scheduler.policy = policy;
+    auto pool_or = ParallelTarget::Create(&primary, workers, scheduler);
+    if (!pool_or.ok()) return stats;
+    std::unique_ptr<ParallelTarget> pool = std::move(pool_or).value();
+    CausalPathDiscovery discovery(&dag, pool.get(), engine);
+    const auto start = std::chrono::steady_clock::now();
+    auto report = discovery.Run();
+    const auto end = std::chrono::steady_clock::now();
+    if (!report.ok()) {
+      std::fprintf(stderr, "run: %s\n", report.status().ToString().c_str());
+      return stats;
+    }
+    stats.ms +=
+        std::chrono::duration<double, std::milli>(end - start).count();
+    stats.rounds = report->rounds;
+    stats.executions = report->executions;
+    stats.speculative = report->speculative_executions;
+    stats.steals = report->steals;
+    stats.straggler_wait_ms =
+        static_cast<double>(report->straggler_wait_micros) / 1000.0;
+    stats.path = PathKey(*report);
+  }
+  stats.ms /= repeats;
+  stats.ok = true;
+  return stats;
+}
+
+/// The acceptance scenario: 4 workers, replica 0 charging 10x the
+/// per-execution latency. Returns 0 when work stealing beats static
+/// sharding >= 1.5x with a bit-identical path, 1 otherwise.
+int BenchHeterogeneous(std::chrono::microseconds latency, int repeats) {
+  auto study = MakeKafkaUseAfterFree();
+  if (!study.ok()) return 1;
+  auto vm = VmTarget::Create(&study->program, study->target_options);
+  if (!vm.ok()) return 1;
+  auto dag = (*vm)->BuildAcDag();
+  if (!dag.ok()) return 1;
+
+  const int slow_factor = 10;
+  const int workers = 4;
+  const std::string title =
+      "Heterogeneous pool (kafka, " + std::to_string(latency.count()) +
+      "us/execution, replica 0 of " + std::to_string(workers) + " is " +
+      std::to_string(slow_factor) + "x slower, 6 trials)";
+  PrintHeader(title.c_str());
+
+  EngineOptions engine = EngineOptions::Linear();
+  engine.trials_per_intervention = 6;
+  engine.batched_dispatch = true;
+  engine.parallelism = workers;
+
+  RunStats fixed = TimeHetero(**vm, *dag, latency, slow_factor, workers,
+                              SchedulerPolicy::kStatic, engine, repeats);
+  if (!fixed.ok) return 1;
+  PrintRow("static sharding", fixed, fixed);
+  RunStats stealing = TimeHetero(**vm, *dag, latency, slow_factor, workers,
+                                 SchedulerPolicy::kWorkStealing, engine,
+                                 repeats);
+  if (!stealing.ok) return 1;
+  PrintRow("work stealing", stealing, fixed);
+  std::printf("work stealing: %llu chunks stolen, %.1f ms straggler wait "
+              "(static waited %.1f ms)\n\n",
+              static_cast<unsigned long long>(stealing.steals),
+              stealing.straggler_wait_ms, fixed.straggler_wait_ms);
+
+  const double speedup = fixed.ms / stealing.ms;
+  if (stealing.path != fixed.path) {
+    std::fprintf(stderr,
+                 "BUG: work-stealing report diverges from static sharding\n");
+    return 1;
+  }
+  if (speedup < 1.5) {
+    std::fprintf(stderr,
+                 "REGRESSION: work stealing only %.2fx over static sharding "
+                 "on a heterogeneous pool (>= 1.5x required)\n",
+                 speedup);
+    return 1;
+  }
+  std::printf("heterogeneous-pool check passed: %.2fx over static sharding, "
+              "bit-identical report\n",
+              speedup);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -314,5 +467,8 @@ int main(int argc, char** argv) {
 
   // VM case study, latency-bound: the regime the paper's subjects live in.
   BenchLatencyBound(std::chrono::microseconds(latency_us), repeats);
-  return 0;
+
+  // Heterogeneous pool (one straggler replica): static vs work stealing,
+  // self-checking -- the process exit code is the acceptance gate.
+  return BenchHeterogeneous(std::chrono::microseconds(latency_us), repeats);
 }

@@ -95,10 +95,11 @@ int main(int argc, char** argv) {
   std::vector<RunStats> in_process;
   for (int w : workers) {
     RunStats stats = RunOnce(model->get(), Isolation::kInProcess, w, trials);
-    std::printf("%-14s %-8d %10.2f %12d %12.2f %8d\n", "in_process", w,
-                stats.wall_ms, stats.report.discovery.executions,
+    std::printf("%-14s %-8d %10.2f %12llu %12.2f %8d\n", "in_process", w,
+                stats.wall_ms,
+                (unsigned long long)stats.report.discovery.executions,
                 1000.0 * stats.wall_ms /
-                    std::max(1, stats.report.discovery.executions),
+                    std::max<uint64_t>(1, stats.report.discovery.executions),
                 stats.report.discovery.rounds);
     in_process.push_back(std::move(stats));
   }
@@ -108,13 +109,14 @@ int main(int argc, char** argv) {
     RunStats stats = RunOnce(model->get(), Isolation::kSubprocess, w, trials);
     const double us_per_trial =
         1000.0 * stats.wall_ms /
-        std::max(1, stats.report.discovery.executions);
+        std::max<uint64_t>(1, stats.report.discovery.executions);
     const double base_us =
         1000.0 * in_process[i].wall_ms /
-        std::max(1, in_process[i].report.discovery.executions);
-    std::printf("%-14s %-8d %10.2f %12d %12.2f %8d  (+%.2f us/trial IPC)\n",
+        std::max<uint64_t>(1, in_process[i].report.discovery.executions);
+    std::printf("%-14s %-8d %10.2f %12llu %12.2f %8d  (+%.2f us/trial IPC)\n",
                 "subprocess", w, stats.wall_ms,
-                stats.report.discovery.executions, us_per_trial,
+                (unsigned long long)stats.report.discovery.executions,
+                us_per_trial,
                 stats.report.discovery.rounds, us_per_trial - base_us);
     if (!SameDiscoveryOutcome(stats.report.discovery, in_process[i].report.discovery)) {
       std::fprintf(stderr,

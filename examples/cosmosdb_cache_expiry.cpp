@@ -30,8 +30,9 @@ int main() {
   std::printf("== %s (%s) ==\n\n",
               std::string(session.target().name()).c_str(),
               std::string(session.target().description()).c_str());
-  std::printf("observed %d executions (dominant failure signature kept)\n\n",
-              session.target().intervention_target()->executions());
+  std::printf("observed %llu executions (dominant failure signature kept)\n\n",
+              (unsigned long long)
+                  session.target().intervention_target()->executions());
 
   auto report_or = session.Run();
   if (!report_or.ok()) {

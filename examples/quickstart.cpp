@@ -121,8 +121,9 @@ int main() {
     return 1;
   }
   Session& session = *session_or;
-  std::printf("observed %d executions\n",
-              session.target().intervention_target()->executions());
+  std::printf("observed %llu executions\n",
+              (unsigned long long)
+                  session.target().intervention_target()->executions());
 
   auto report_or = session.Run();
   if (!report_or.ok()) {
@@ -135,8 +136,9 @@ int main() {
               report.sd_predicates);
   std::printf("AC-DAG: %d nodes (after safety & reachability filters)\n",
               report.acdag_nodes);
-  std::printf("\nAID finished in %d intervention rounds (%d re-executions)\n",
-              report.discovery.rounds, report.discovery.executions);
+  std::printf("\nAID finished in %d intervention rounds (%llu re-executions)\n",
+              report.discovery.rounds,
+              (unsigned long long)report.discovery.executions);
 
   std::printf("\nroot cause:\n  %s\n",
               report.has_root_cause() ? report.root_cause.c_str()

@@ -80,8 +80,9 @@ int main(int argc, char** argv) {
     }
     AID_ASSIGN_OR_RETURN(Session session, builder.Build());
     AID_ASSIGN_OR_RETURN(SessionReport report, session.Run());
-    std::printf("%-12s rounds=%d executions=%d root_cause=%s\n", label,
-                report.discovery.rounds, report.discovery.executions,
+    std::printf("%-12s rounds=%d executions=%llu root_cause=%s\n", label,
+                report.discovery.rounds,
+                (unsigned long long)report.discovery.executions,
                 report.has_root_cause() ? report.root_cause.c_str() : "(none)");
     return report;
   };

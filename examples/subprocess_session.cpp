@@ -75,11 +75,15 @@ int main(int argc, char** argv) {
 
   std::printf("%s\n", session_or->Render(report).c_str());
   std::printf("subject survival report:\n");
-  std::printf("  crashed trials:   %d\n", report.discovery.crashed_trials);
-  std::printf("  timed-out trials: %d\n", report.discovery.timed_out_trials);
-  std::printf("  child respawns:   %d\n", report.discovery.respawns);
-  std::printf("  executions:       %d (%d rounds)\n",
-              report.discovery.executions, report.discovery.rounds);
+  std::printf("  crashed trials:   %llu\n",
+              (unsigned long long)report.discovery.crashed_trials);
+  std::printf("  timed-out trials: %llu\n",
+              (unsigned long long)report.discovery.timed_out_trials);
+  std::printf("  child respawns:   %llu\n",
+              (unsigned long long)report.discovery.respawns);
+  std::printf("  executions:       %llu (%d rounds)\n",
+              (unsigned long long)report.discovery.executions,
+              report.discovery.rounds);
   if (report.has_root_cause()) {
     std::printf("\nroot cause pinned despite the carnage: %s\n",
                 report.root_cause.c_str());

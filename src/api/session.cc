@@ -157,6 +157,12 @@ SessionBuilder& SessionBuilder::WithParallelism(int parallelism) {
   return *this;
 }
 
+SessionBuilder& SessionBuilder::WithScheduler(
+    const SchedulerOptions& scheduler) {
+  scheduler_ = scheduler;
+  return *this;
+}
+
 SessionBuilder& SessionBuilder::WithProcessIsolation(int trial_deadline_ms) {
   isolation_deadline_ms_ = trial_deadline_ms;
   return *this;
@@ -214,6 +220,15 @@ Result<Session> SessionBuilder::Build() {
   options_.engine.parallelism = parallelism;
   options_.tagt_baseline.parallelism = parallelism;
   config_.parallelism = parallelism;
+  if (scheduler_.has_value()) {
+    // Validated here too (not only in the factory) so a bad knob fails the
+    // build even on paths that never reach a replica pool.
+    const Status valid = ValidateSchedulerOptions(*scheduler_);
+    if (!valid.ok()) {
+      return Status(valid.code(), "SessionBuilder: " + valid.message());
+    }
+    config_.scheduler = *scheduler_;
+  }
   if (isolation_deadline_ms_.has_value()) {
     if (*isolation_deadline_ms_ < 0) {
       return Status::InvalidArgument(

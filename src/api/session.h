@@ -163,6 +163,19 @@ class SessionBuilder {
   /// prebuilt SessionTargets cannot be replicated from outside. Values
   /// outside [1, kMaxParallelism] fail Build() with InvalidArgument.
   SessionBuilder& WithParallelism(int parallelism);
+  /// How the replica pool of WithParallelism schedules each round's trials
+  /// over its replicas (exec/scheduler.h). The default is latency-aware
+  /// work stealing: rounds are cut into fine-grained chunks, per-replica
+  /// latency is tracked as an EWMA (fed by the substrates' own wire-level
+  /// timing under process isolation / remote fleets), and fast replicas
+  /// steal chunks queued behind stragglers -- so one slow replica no
+  /// longer stalls every round at its pace. SchedulerPolicy::kStatic
+  /// restores the fixed contiguous sharding of earlier releases.
+  /// Scheduling decides where trials run, never their bytes: reports stay
+  /// bit-identical under every policy, worker count, and steal schedule.
+  /// No-op without WithParallelism(n > 1). Out-of-range knobs fail Build()
+  /// with InvalidArgument.
+  SessionBuilder& WithScheduler(const SchedulerOptions& scheduler);
   /// Run every intervention replica as a sandboxed subject process
   /// (src/proc/): a subject that crashes is recorded as a failing trial and
   /// respawned; one that exceeds `trial_deadline_ms` is SIGKILLed and the
@@ -209,6 +222,7 @@ class SessionBuilder {
   std::optional<uint64_t> seed_;
   std::optional<bool> batched_;
   std::optional<int> parallelism_;
+  std::optional<SchedulerOptions> scheduler_;  ///< set iff WithScheduler
   std::optional<int> isolation_deadline_ms_;  ///< set iff WithProcessIsolation
   /// Set iff WithRemoteFleet: the endpoint list and per-trial deadline.
   std::optional<std::vector<std::string>> fleet_endpoints_;

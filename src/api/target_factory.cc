@@ -44,8 +44,10 @@ class VmSessionTarget : public SessionTarget {
       const SubprocessOptions& subprocess = {},
       const std::string& case_key = {},
       const std::vector<std::string>& fleet = {},
-      const RemoteOptions& remote = {}) {
+      const RemoteOptions& remote = {},
+      const SchedulerOptions& scheduler = {}) {
     AID_RETURN_IF_ERROR(ValidateParallelism(parallelism));
+    AID_RETURN_IF_ERROR(ValidateSchedulerOptions(scheduler));
     AID_RETURN_IF_ERROR(ValidateSubstrate(fleet, isolation));
     std::unique_ptr<VmSessionTarget> target(
         new VmSessionTarget(std::move(name)));
@@ -99,7 +101,8 @@ class VmSessionTarget : public SessionTarget {
     if (parallelism > 1) {
       AID_ASSIGN_OR_RETURN(
           target->parallel_,
-          ParallelTarget::Create(target->replicable_target(), parallelism));
+          ParallelTarget::Create(target->replicable_target(), parallelism,
+                                 scheduler));
     }
     return std::unique_ptr<SessionTarget>(std::move(target));
   }
@@ -156,14 +159,17 @@ class ModelSessionTarget : public SessionTarget {
  public:
   static Result<std::unique_ptr<SessionTarget>> Create(
       std::string name, const GroundTruthModel* model,
-      std::unique_ptr<ReplicableTarget> intervention, int parallelism) {
+      std::unique_ptr<ReplicableTarget> intervention, int parallelism,
+      const SchedulerOptions& scheduler = {}) {
     AID_RETURN_IF_ERROR(ValidateParallelism(parallelism));
+    AID_RETURN_IF_ERROR(ValidateSchedulerOptions(scheduler));
     auto target = std::make_unique<ModelSessionTarget>(
         std::move(name), model, std::move(intervention));
     if (parallelism > 1) {
       AID_ASSIGN_OR_RETURN(
           target->parallel_,
-          ParallelTarget::Create(target->intervention_.get(), parallelism));
+          ParallelTarget::Create(target->intervention_.get(), parallelism,
+                                 scheduler));
     }
     return std::unique_ptr<SessionTarget>(std::move(target));
   }
@@ -228,7 +234,8 @@ Result<std::unique_ptr<SessionTarget>> CreateCaseTarget(
   return VmSessionTarget::Create("case:" + key, nullptr, {},
                                  std::move(study), config.parallelism,
                                  config.isolation, config.subprocess, key,
-                                 config.fleet, config.remote);
+                                 config.fleet, config.remote,
+                                 config.scheduler);
 }
 
 struct Registry {
@@ -241,20 +248,20 @@ struct Registry {
                                      std::nullopt, config.parallelism,
                                      config.isolation, config.subprocess,
                                      /*case_key=*/{}, config.fleet,
-                                     config.remote);
+                                     config.remote, config.scheduler);
     };
     creators["model"] = [](const TargetConfig& config) {
       return MakeModelSessionTarget(config.model, 1.0, 1, "model",
                                     config.parallelism, config.isolation,
                                     config.subprocess, config.fleet,
-                                    config.remote);
+                                    config.remote, config.scheduler);
     };
     creators["flaky-model"] = [](const TargetConfig& config) {
       return MakeModelSessionTarget(config.model, config.manifest_probability,
                                     config.flaky_seed, "flaky-model",
                                     config.parallelism, config.isolation,
                                     config.subprocess, config.fleet,
-                                    config.remote);
+                                    config.remote, config.scheduler);
     };
     creators["case"] = [](const TargetConfig& config) {
       return CreateCaseTarget(config.case_study, config);
@@ -316,17 +323,20 @@ Result<std::unique_ptr<SessionTarget>> TargetFactory::Create(
 Result<std::unique_ptr<SessionTarget>> MakeVmSessionTarget(
     const Program* program, const VmTargetOptions& options, std::string name,
     int parallelism, Isolation isolation, const SubprocessOptions& subprocess,
-    const std::vector<std::string>& fleet, const RemoteOptions& remote) {
+    const std::vector<std::string>& fleet, const RemoteOptions& remote,
+    const SchedulerOptions& scheduler) {
   return VmSessionTarget::Create(std::move(name), program, options,
                                  std::nullopt, parallelism, isolation,
-                                 subprocess, /*case_key=*/{}, fleet, remote);
+                                 subprocess, /*case_key=*/{}, fleet, remote,
+                                 scheduler);
 }
 
 Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
     const GroundTruthModel* model, double manifest_probability,
     uint64_t flaky_seed, std::string name, int parallelism,
     Isolation isolation, const SubprocessOptions& subprocess,
-    const std::vector<std::string>& fleet, const RemoteOptions& remote) {
+    const std::vector<std::string>& fleet, const RemoteOptions& remote,
+    const SchedulerOptions& scheduler) {
   if (model == nullptr) {
     return Status::InvalidArgument(
         "model target: TargetConfig::model is required");
@@ -362,7 +372,8 @@ Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
         model, manifest_probability, flaky_seed);
   }
   return ModelSessionTarget::Create(std::move(name), model,
-                                    std::move(intervention), parallelism);
+                                    std::move(intervention), parallelism,
+                                    scheduler);
 }
 
 std::unique_ptr<SessionTarget> MakeAdapterSessionTarget(

@@ -34,6 +34,7 @@
 #include "common/status.h"
 #include "core/target.h"
 #include "core/vm_target.h"
+#include "exec/scheduler.h"
 #include "net/remote_target.h"
 #include "proc/subprocess_target.h"
 #include "synth/model.h"
@@ -68,6 +69,16 @@ struct TargetConfig {
   /// factory path: values outside [1, kMaxParallelism] are rejected with
   /// InvalidArgument instead of silently degrading to serial dispatch.
   int parallelism = 1;
+
+  /// All built-in backends, parallelism > 1 only: how the replica pool
+  /// schedules each round's trials over the replicas. The default is
+  /// latency-aware work stealing (exec/scheduler.h); kStatic restores the
+  /// fixed contiguous sharding of earlier releases. Scheduling decides
+  /// where trials run, never their bytes -- reports stay bit-identical
+  /// under every policy. Usually set through SessionBuilder::WithScheduler.
+  /// Validated on every factory path: out-of-range knobs are rejected with
+  /// InvalidArgument.
+  SchedulerOptions scheduler;
 
   /// All built-in backends: where the *intervention* replicas execute.
   /// kSubprocess runs each replica as a sandboxed aid_subject_host child
@@ -164,16 +175,17 @@ class TargetFactory {
 /// Wraps a VmTarget (and optionally an owned case study) as a SessionTarget.
 /// Exposed for backends that want to build on the VM observation pipeline.
 /// With `parallelism` > 1 the VM target is replicated into an
-/// exec::ParallelTarget pool of that many workers; with `isolation` =
-/// kSubprocess each intervention replica is a sandboxed subject process;
-/// with a non-empty `fleet` the replicas run on remote aid_runner daemons.
+/// exec::ParallelTarget pool of that many workers scheduled per
+/// `scheduler`; with `isolation` = kSubprocess each intervention replica is
+/// a sandboxed subject process; with a non-empty `fleet` the replicas run
+/// on remote aid_runner daemons.
 Result<std::unique_ptr<SessionTarget>> MakeVmSessionTarget(
     const Program* program, const VmTargetOptions& options,
     std::string name = "vm", int parallelism = 1,
     Isolation isolation = Isolation::kInProcess,
     const SubprocessOptions& subprocess = {},
     const std::vector<std::string>& fleet = {},
-    const RemoteOptions& remote = {});
+    const RemoteOptions& remote = {}, const SchedulerOptions& scheduler = {});
 
 /// Wraps a ground-truth model as a SessionTarget. `model` must outlive the
 /// target. With `manifest_probability` < 1 the intervention target is a
@@ -187,7 +199,7 @@ Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
     Isolation isolation = Isolation::kInProcess,
     const SubprocessOptions& subprocess = {},
     const std::vector<std::string>& fleet = {},
-    const RemoteOptions& remote = {});
+    const RemoteOptions& remote = {}, const SchedulerOptions& scheduler = {});
 
 /// Adapts a borrowed InterventionTarget and prebuilt AC-DAG as a
 /// SessionTarget -- the escape hatch for research setups that assemble the

@@ -34,6 +34,17 @@ inline double Log2(double n) {
   return std::log2(n);
 }
 
+/// One EWMA step over the zero-means-unmeasured convention shared by the
+/// latency trackers (exec/scheduler.h, net/latency.h): the first sample
+/// seeds the average, later samples blend by `alpha`, and the result
+/// clamps to >= 1 so genuinely measured sub-unit samples can never be
+/// mistaken for the unmeasured sentinel.
+inline double FoldEwma(double previous, double sample, double alpha) {
+  const double next =
+      previous == 0 ? sample : alpha * sample + (1.0 - alpha) * previous;
+  return next < 1.0 ? 1.0 : next;
+}
+
 /// log2 of the binomial coefficient C(n, k), computed in log-space via
 /// lgamma so it never overflows. Returns 0 for k == 0 or k == n.
 inline double Log2Binomial(int64_t n, int64_t k) {

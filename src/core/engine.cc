@@ -17,8 +17,9 @@ Result<DiscoveryReport> CausalPathDiscovery::Run() {
   report_ = DiscoveryReport{};
   causal_.clear();
   spurious_.clear();
-  const int executions_before = target_->executions();
+  const uint64_t executions_before = target_->executions();
   const TargetHealth health_before = target_->health();
+  const DispatchStats dispatch_before = target_->dispatch_stats();
 
   candidates_.clear();
   for (PredicateId id : dag_->nodes()) {
@@ -77,6 +78,16 @@ Result<DiscoveryReport> CausalPathDiscovery::Run() {
       health_after.crashed_trials - health_before.crashed_trials;
   report_.timed_out_trials =
       health_after.timed_out_trials - health_before.timed_out_trials;
+  const DispatchStats dispatch_after = target_->dispatch_stats();
+  report_.steals = dispatch_after.steals - dispatch_before.steals;
+  report_.straggler_wait_micros = dispatch_after.straggler_wait_micros -
+                                  dispatch_before.straggler_wait_micros;
+  report_.replica_trials = dispatch_after.replica_trials;
+  for (size_t i = 0; i < report_.replica_trials.size() &&
+                     i < dispatch_before.replica_trials.size();
+       ++i) {
+    report_.replica_trials[i] -= dispatch_before.replica_trials[i];
+  }
   return report_;
 }
 
@@ -196,8 +207,7 @@ Status CausalPathDiscovery::GiwpLinearBatched(const std::vector<size_t>& pool) {
     if (decisions_[item] != ItemDecision::kUndecided) {
       // Pruning answered this span before its result was consumed: its
       // executions were speculative (see DiscoveryReport).
-      report_.speculative_executions +=
-          static_cast<int>(results[k].logs.size());
+      report_.speculative_executions += results[k].logs.size();
       continue;
     }
     const TargetRunResult& result = results[k];

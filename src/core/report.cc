@@ -39,20 +39,41 @@ std::string RenderReport(const DiscoveryReport& report, const AcDag& dag,
   }
 
   if (report.speculative_executions > 0) {
-    out << StrFormat("interventions: %d rounds, %d executions (%d speculative)\n",
-                     report.rounds, report.executions,
-                     report.speculative_executions);
+    out << StrFormat(
+        "interventions: %d rounds, %llu executions (%llu speculative)\n",
+        report.rounds,
+        static_cast<unsigned long long>(report.executions),
+        static_cast<unsigned long long>(report.speculative_executions));
   } else {
-    out << StrFormat("interventions: %d rounds, %d executions\n", report.rounds,
-                     report.executions);
+    out << StrFormat("interventions: %d rounds, %llu executions\n",
+                     report.rounds,
+                     static_cast<unsigned long long>(report.executions));
   }
 
   if (report.respawns > 0 || report.crashed_trials > 0 ||
       report.timed_out_trials > 0) {
     out << StrFormat(
-        "process isolation: %d crashed trials, %d timed-out trials, "
-        "%d subject respawns\n",
-        report.crashed_trials, report.timed_out_trials, report.respawns);
+        "process isolation: %llu crashed trials, %llu timed-out trials, "
+        "%llu subject respawns\n",
+        static_cast<unsigned long long>(report.crashed_trials),
+        static_cast<unsigned long long>(report.timed_out_trials),
+        static_cast<unsigned long long>(report.respawns));
+  }
+
+  if (report.replica_trials.size() > 1) {
+    // The scheduler's telemetry: how the round work actually spread over
+    // the replica pool. Purely observational -- placement and stealing
+    // never change the decisions above.
+    out << StrFormat("parallel dispatch: %zu replicas, trials [",
+                     report.replica_trials.size());
+    for (size_t i = 0; i < report.replica_trials.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << report.replica_trials[i];
+    }
+    out << StrFormat(
+        "], %llu chunks stolen, %.1f ms straggler wait\n",
+        static_cast<unsigned long long>(report.steals),
+        static_cast<double>(report.straggler_wait_micros) / 1000.0);
   }
 
   if (options.include_spurious && !report.spurious.empty()) {

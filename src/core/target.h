@@ -13,6 +13,7 @@
 #ifndef AID_CORE_TARGET_H_
 #define AID_CORE_TARGET_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
@@ -51,16 +52,44 @@ using InterventionSpans = std::vector<std::vector<PredicateId>>;
 /// engine snapshots them around a discovery run the same way it snapshots
 /// executions(), so DiscoveryReport surfaces per-run deltas.
 struct TargetHealth {
-  int respawns = 0;          ///< subject processes/connections replaced
-  int crashed_trials = 0;    ///< trials recorded failing because of a crash
-  int timed_out_trials = 0;  ///< trials killed at their deadline
+  /// 64-bit on purpose: fleet-scale sessions multiply replicas by trials by
+  /// rounds, and a 32-bit counter silently wraps right where the numbers
+  /// start to matter.
+  uint64_t respawns = 0;          ///< subject processes/connections replaced
+  uint64_t crashed_trials = 0;    ///< trials recorded failing from a crash
+  uint64_t timed_out_trials = 0;  ///< trials killed at their deadline
+  /// Cumulative wall-clock the substrate spent executing intervened trials,
+  /// in microseconds. Process-backed substrates (src/proc/, src/net/) time
+  /// every trial at the wire (proc/client); in-process backends may leave it
+  /// zero and let the scheduler's own call-site timing stand in. Feeds the
+  /// latency-aware scheduler's per-replica EWMA (src/exec/scheduler.h).
+  uint64_t trial_micros = 0;
 
   TargetHealth& operator+=(const TargetHealth& other) {
     respawns += other.respawns;
     crashed_trials += other.crashed_trials;
     timed_out_trials += other.timed_out_trials;
+    trial_micros += other.trial_micros;
     return *this;
   }
+};
+
+/// Cumulative counters of a pooling target's dispatch schedule (the
+/// work-stealing scheduler of src/exec/). Purely observational: the schedule
+/// decides WHERE trials run, never their bytes, so none of this participates
+/// in the bit-identical contract (SameDiscoveryOutcome excludes it). Serial
+/// targets keep the empty default; the engine snapshots per-run deltas into
+/// DiscoveryReport the way it snapshots executions() and health().
+struct DispatchStats {
+  /// Intervened trials each replica slot has executed, in slot order.
+  std::vector<uint64_t> replica_trials;
+  /// Chunks a fast replica executed off another replica's queue.
+  uint64_t steals = 0;
+  /// Chunks dropped unexecuted by fail-fast error cancellation.
+  uint64_t cancelled_chunks = 0;
+  /// Worker-time spent idle at round barriers waiting for the slowest
+  /// replica to finish (microseconds, summed over workers and rounds).
+  uint64_t straggler_wait_micros = 0;
 };
 
 class InterventionTarget {
@@ -93,12 +122,19 @@ class InterventionTarget {
   }
 
   /// Total application executions performed so far (cost accounting).
-  virtual int executions() const = 0;
+  /// 64-bit: replica pools over high trial counts overflow int in real
+  /// fleet-scale sessions.
+  virtual uint64_t executions() const = 0;
 
   /// Cumulative substrate health counters (see TargetHealth). In-process
   /// backends keep the all-zero default; pooling backends sum their
   /// replicas' counters the way they sum executions().
   virtual TargetHealth health() const { return {}; }
+
+  /// Cumulative dispatch-schedule counters (see DispatchStats). Only
+  /// pooling targets (exec::ParallelTarget) report them; everything else
+  /// keeps the empty default.
+  virtual DispatchStats dispatch_stats() const { return {}; }
 };
 
 }  // namespace aid

@@ -71,7 +71,7 @@ class VmTarget : public ReplicableTarget {
   }
   uint64_t trial_position() const override { return intervened_runs_; }
 
-  int executions() const override { return executions_; }
+  uint64_t executions() const override { return executions_; }
 
   const PredicateExtractor& extractor() const { return extractor_; }
   const Program& program() const { return *program_; }
@@ -91,7 +91,7 @@ class VmTarget : public ReplicableTarget {
   PredicateExtractor extractor_;
   std::vector<uint64_t> failing_seeds_;
   FailureSignature signature_;
-  int executions_ = 0;
+  uint64_t executions_ = 0;
   uint64_t intervened_runs_ = 0;  ///< round-robin cursor into failing seeds
 };
 

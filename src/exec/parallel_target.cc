@@ -1,9 +1,6 @@
 #include "exec/parallel_target.h"
 
-#include <algorithm>
 #include <utility>
-
-#include "common/logging.h"
 
 namespace aid {
 
@@ -23,11 +20,13 @@ Status ValidateParallelism(int parallelism) {
 }
 
 Result<std::unique_ptr<ParallelTarget>> ParallelTarget::Create(
-    const ReplicableTarget* primary, int parallelism) {
+    const ReplicableTarget* primary, int parallelism,
+    SchedulerOptions scheduler) {
   if (primary == nullptr) {
     return Status::InvalidArgument("ParallelTarget: primary must not be null");
   }
   AID_RETURN_IF_ERROR(ValidateParallelism(parallelism));
+  AID_RETURN_IF_ERROR(ValidateSchedulerOptions(scheduler));
   std::vector<std::unique_ptr<ReplicableTarget>> replicas;
   replicas.reserve(static_cast<size_t>(parallelism));
   for (int i = 0; i < parallelism; ++i) {
@@ -36,149 +35,64 @@ Result<std::unique_ptr<ParallelTarget>> ParallelTarget::Create(
     replicas.push_back(std::move(replica));
   }
   return std::unique_ptr<ParallelTarget>(
-      new ParallelTarget(primary, std::move(replicas)));
+      new ParallelTarget(primary, std::move(replicas), scheduler));
 }
 
 ParallelTarget::ParallelTarget(
     const ReplicableTarget* primary,
-    std::vector<std::unique_ptr<ReplicableTarget>> replicas)
+    std::vector<std::unique_ptr<ReplicableTarget>> replicas,
+    SchedulerOptions scheduler)
     : primary_(primary),
       replicas_(std::move(replicas)),
+      scheduler_(scheduler, replicas_.size()),
       pool_(static_cast<int>(replicas_.size())),
       // Continue exactly where the primary's serial execution left off.
       trial_cursor_(primary->trial_position()) {
-  free_.reserve(replicas_.size());
-  for (auto& replica : replicas_) free_.push_back(replica.get());
+  replica_ptrs_.reserve(replicas_.size());
+  for (auto& replica : replicas_) replica_ptrs_.push_back(replica.get());
 }
 
-namespace {
-/// Joins one worker future, converting a (never expected) task exception
-/// into a Status instead of letting it escape mid-join: every entry point
-/// must join ALL futures before returning, or queued tasks would outlive
-/// the caller-owned spans they reference.
-Result<TargetRunResult> JoinTask(std::future<Result<TargetRunResult>>& future) {
-  try {
-    return future.get();
-  } catch (const std::exception& e) {
-    return Status::Internal(std::string("worker task threw: ") + e.what());
-  } catch (...) {
-    return Status::Internal("worker task threw a non-std exception");
+Result<std::vector<TargetRunResult>> ParallelTarget::Dispatch(
+    const InterventionSpans& spans, int trials) {
+  const uint64_t base = trial_cursor_;
+  const std::vector<ChunkScheduler::Chunk> chunks =
+      scheduler_.MakeChunks(spans, trials, base);
+  std::vector<TargetRunResult> results(spans.size());
+  for (TargetRunResult& result : results) {
+    result.logs.resize(static_cast<size_t>(trials));
   }
-}
-}  // namespace
-
-ReplicableTarget* ParallelTarget::Lease() {
-  std::unique_lock<std::mutex> lock(lease_mu_);
-  lease_cv_.wait(lock, [this]() { return !free_.empty(); });
-  ReplicableTarget* replica = free_.back();
-  free_.pop_back();
-  return replica;
-}
-
-void ParallelTarget::Return(ReplicableTarget* replica) {
-  {
-    std::lock_guard<std::mutex> lock(lease_mu_);
-    free_.push_back(replica);
-  }
-  lease_cv_.notify_one();
+  AID_RETURN_IF_ERROR(
+      scheduler_.RunRound(pool_, replica_ptrs_, chunks, &results));
+  // Commit only on success: a failed round leaves the cursor where serial
+  // dispatch -- which stops at its first error -- left it, so accounting
+  // and positions cannot drift apart on error paths.
+  trial_cursor_ = base + static_cast<uint64_t>(spans.size()) *
+                             static_cast<uint64_t>(trials);
+  return results;
 }
 
 Result<TargetRunResult> ParallelTarget::RunIntervened(
     const std::vector<PredicateId>& intervened, int trials) {
   if (trials < 1) trials = 1;
-  const uint64_t base = trial_cursor_;
-  trial_cursor_ += static_cast<uint64_t>(trials);
-
-  const int shards = std::min<int>(parallelism(), trials);
-  if (shards == 1) {
-    ReplicableTarget* replica = Lease();
-    replica->SeekTrial(base);
-    Result<TargetRunResult> result = replica->RunIntervened(intervened, trials);
-    Return(replica);
-    return result;
-  }
-
-  // Contiguous trial ranges: shard i runs trials [offset_i, offset_i + n_i);
-  // concatenating the shard logs in shard order reproduces the serial log
-  // order exactly.
-  std::vector<std::future<Result<TargetRunResult>>> futures;
-  futures.reserve(static_cast<size_t>(shards));
-  uint64_t offset = base;
-  for (int i = 0; i < shards; ++i) {
-    const int n = trials / shards + (i < trials % shards ? 1 : 0);
-    const uint64_t shard_offset = offset;
-    offset += static_cast<uint64_t>(n);
-    futures.push_back(pool_.Submit([this, &intervened, shard_offset, n]() {
-      ReplicableTarget* replica = Lease();
-      replica->SeekTrial(shard_offset);
-      Result<TargetRunResult> result = replica->RunIntervened(intervened, n);
-      Return(replica);
-      return result;
-    }));
-  }
-
-  TargetRunResult merged;
-  merged.logs.reserve(static_cast<size_t>(trials));
-  Status first_error = Status::OK();
-  for (auto& future : futures) {
-    Result<TargetRunResult> shard = JoinTask(future);
-    if (!shard.ok()) {
-      if (first_error.ok()) first_error = shard.status();
-      continue;
-    }
-    for (auto& log : shard->logs) merged.logs.push_back(std::move(log));
-  }
-  if (!first_error.ok()) return first_error;
-  return merged;
+  const InterventionSpans spans{intervened};
+  AID_ASSIGN_OR_RETURN(std::vector<TargetRunResult> results,
+                       Dispatch(spans, trials));
+  return std::move(results.front());
 }
 
 Result<std::vector<TargetRunResult>> ParallelTarget::RunInterventionsBatch(
     const InterventionSpans& spans, int trials) {
   if (trials < 1) trials = 1;
   if (spans.empty()) return std::vector<TargetRunResult>{};
-  const uint64_t base = trial_cursor_;
-  trial_cursor_ += static_cast<uint64_t>(spans.size()) *
-                   static_cast<uint64_t>(trials);
-
-  // One task per span. Span k runs at the trial positions serial dispatch
-  // would have given it (base + k * trials), on whichever replica is free.
-  std::vector<std::future<Result<TargetRunResult>>> futures;
-  futures.reserve(spans.size());
-  for (size_t k = 0; k < spans.size(); ++k) {
-    const uint64_t span_offset = base + static_cast<uint64_t>(k) *
-                                            static_cast<uint64_t>(trials);
-    const std::vector<PredicateId>* span = &spans[k];
-    futures.push_back(pool_.Submit([this, span, span_offset, trials]() {
-      ReplicableTarget* replica = Lease();
-      replica->SeekTrial(span_offset);
-      Result<TargetRunResult> result = replica->RunIntervened(*span, trials);
-      Return(replica);
-      return result;
-    }));
-  }
-
-  std::vector<TargetRunResult> results;
-  results.reserve(spans.size());
-  Status first_error = Status::OK();
-  for (auto& future : futures) {
-    Result<TargetRunResult> result = JoinTask(future);
-    if (!result.ok()) {
-      if (first_error.ok()) first_error = result.status();
-      results.emplace_back();
-      continue;
-    }
-    results.push_back(std::move(result).value());
-  }
-  if (!first_error.ok()) return first_error;
-  return results;
+  return Dispatch(spans, trials);
 }
 
-int ParallelTarget::executions() const {
+uint64_t ParallelTarget::executions() const {
   // Safe to read without synchronization: every dispatch entry point joins
   // its futures before returning, so replica counters are quiescent (and
   // ordered by the futures' happens-before edges) whenever callers can
   // observe this target.
-  int total = primary_->executions();
+  uint64_t total = primary_->executions();
   for (const auto& replica : replicas_) total += replica->executions();
   return total;
 }

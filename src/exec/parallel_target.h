@@ -8,22 +8,33 @@
 // wall-clock-parallel work:
 //
 //   * a fixed pool of `parallelism` replicas cloned from one primary
-//     ReplicableTarget, each exclusively leased to one in-flight task;
-//   * a ThreadPool of `parallelism` workers fanning the batch's spans out
-//     across the replicas;
-//   * deterministic trial seeking (ReplicableTarget::SeekTrial) so span k
-//     runs the exact trial positions a serial loop over the same spans
-//     would have used -- results are bit-identical to serial dispatch of
-//     the same calls, independent of worker count and scheduling order.
-//     (Whether the engine submits the same spans is the engine's dispatch
-//     mode, not this class's: batched linear-scan dispatch runs spans that
-//     a serial unbatched scan would have pruned, which on nondeterministic
-//     targets also shifts later spans' trial positions. See
-//     EngineOptions::batched_dispatch.)
+//     ReplicableTarget, each bound 1:1 to a pool worker;
+//   * a ChunkScheduler (exec/scheduler.h) that cuts each round's spans and
+//     trials into chunks on per-replica queues and -- under the default
+//     work-stealing policy -- lets fast replicas steal the chunks queued
+//     behind stragglers, guided by per-replica latency EWMAs;
+//   * deterministic trial seeking (ReplicableTarget::SeekTrial) so every
+//     chunk runs the exact trial positions a serial loop over the same
+//     spans would have used -- results are bit-identical to serial dispatch
+//     of the same calls, independent of worker count, replica speeds, and
+//     steal schedule. (Whether the engine submits the same spans is the
+//     engine's dispatch mode, not this class's: batched linear-scan
+//     dispatch runs spans that a serial unbatched scan would have pruned,
+//     which on nondeterministic targets also shifts later spans' trial
+//     positions. See EngineOptions::batched_dispatch.)
 //
-// Single-span rounds still parallelize: RunIntervened shards its `trials`
-// executions across the replicas and concatenates the logs in trial order,
+// Single-span rounds still parallelize: RunIntervened chunks its `trials`
+// executions across the replicas with the logs landing in trial order,
 // which is where nondeterministic targets with high trial counts win.
+//
+// Error paths fail fast: the first chunk failure cancels every
+// not-yet-leased chunk, the round returns the serially earliest observed
+// error, and the trial cursor is committed only on success. Chunks a
+// worker had already leased when the failure landed still run to
+// completion and bill executions()/health() -- concurrency makes exact
+// serial error accounting impossible -- but nothing queued behind the
+// failure is started, which is the bulk of what the old dispatcher
+// over-billed.
 //
 // executions() sums the primary's counter (observation cost) with every
 // replica's counter, so engine accounting stays exact. All engine-facing
@@ -36,12 +47,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/status.h"
 #include "core/target.h"
 #include "exec/replicable.h"
+#include "exec/scheduler.h"
 #include "exec/thread_pool.h"
 
 namespace aid {
@@ -60,57 +71,79 @@ Status ValidateParallelism(int parallelism);
 class ParallelTarget : public InterventionTarget {
  public:
   /// Clones `primary` into `parallelism` replicas backed by `parallelism`
-  /// pool workers. `primary` is borrowed (it must outlive the ParallelTarget)
+  /// pool workers, dispatched per `scheduler` (default: latency-aware work
+  /// stealing). `primary` is borrowed (it must outlive the ParallelTarget)
   /// and is never run again -- it only contributes its executions() history
   /// (the observation phase) to this target's accounting. Requires
   /// parallelism >= 1; parallelism == 1 is a valid degenerate pool whose
   /// results equal the primary's by the ReplicableTarget contract.
   static Result<std::unique_ptr<ParallelTarget>> Create(
-      const ReplicableTarget* primary, int parallelism);
+      const ReplicableTarget* primary, int parallelism,
+      SchedulerOptions scheduler = {});
 
-  /// Shards `trials` across the replicas (contiguous trial ranges, logs
-  /// concatenated in trial order).
+  /// Chunks `trials` across the replicas (contiguous trial ranges, logs
+  /// assembled in trial order).
   Result<TargetRunResult> RunIntervened(
       const std::vector<PredicateId>& intervened, int trials) override;
 
-  /// Fans the spans out across the replicas, one task per span; results come
-  /// back in span order.
+  /// Chunks the spans' trials out across the replicas; results come back in
+  /// span order.
   Result<std::vector<TargetRunResult>> RunInterventionsBatch(
       const InterventionSpans& spans, int trials) override;
 
   /// Primary executions (observation) + every replica's executions.
-  int executions() const override;
+  uint64_t executions() const override;
 
   /// Primary health + every replica's health (nonzero only over process-
-  /// isolated replicas, src/proc/). Same quiescence argument as
-  /// executions().
+  /// isolated or remote replicas, src/proc/ and src/net/). Same quiescence
+  /// argument as executions().
   TargetHealth health() const override;
+
+  /// Cumulative scheduler counters: per-replica trials, steals, fail-fast
+  /// cancellations, straggler wait (see DispatchStats).
+  DispatchStats dispatch_stats() const override {
+    return scheduler_.stats();
+  }
 
   int parallelism() const { return static_cast<int>(replicas_.size()); }
 
+  const SchedulerOptions& scheduler_options() const {
+    return scheduler_.options();
+  }
+
+  /// Latency estimate for one replica slot, us/trial (0: no sample yet,
+  /// or `replica` outside [0, parallelism())).
+  uint64_t replica_ewma_micros(int replica) const {
+    if (replica < 0) return 0;
+    return scheduler_.ewma_micros(static_cast<size_t>(replica));
+  }
+
  private:
   ParallelTarget(const ReplicableTarget* primary,
-                 std::vector<std::unique_ptr<ReplicableTarget>> replicas);
+                 std::vector<std::unique_ptr<ReplicableTarget>> replicas,
+                 SchedulerOptions scheduler);
 
-  /// Exclusive replica lease for one task. Lease() blocks until a replica is
-  /// free; with one pool worker per replica it never actually waits.
-  ReplicableTarget* Lease();
-  void Return(ReplicableTarget* replica);
+  /// The one dispatch path: chunks `spans` x `trials` starting at the trial
+  /// cursor, runs the round, and commits the cursor ONLY on success (a
+  /// failed round leaves the cursor untouched, like serial dispatch that
+  /// stopped at its first error).
+  Result<std::vector<TargetRunResult>> Dispatch(const InterventionSpans& spans,
+                                                int trials);
 
   const ReplicableTarget* primary_;
   std::vector<std::unique_ptr<ReplicableTarget>> replicas_;
+  /// Borrowed views of replicas_, in slot order, for the scheduler.
+  std::vector<ReplicableTarget*> replica_ptrs_;
 
-  std::mutex lease_mu_;
-  std::condition_variable lease_cv_;
-  std::vector<ReplicableTarget*> free_;
+  ChunkScheduler scheduler_;
 
-  /// Declared after the lease state and the replicas: the pool's destructor
+  /// Declared after the replicas and scheduler state: the pool's destructor
   /// drains still-queued tasks, which touch both, so it must run first.
   ThreadPool pool_;
 
   /// Global intervened-trial cursor: the trial index serial dispatch would
   /// be at (starts at the primary's position, advances by the trials
-  /// dispatched here). Only touched on the driving thread.
+  /// dispatched here on success). Only touched on the driving thread.
   uint64_t trial_cursor_ = 0;
 };
 

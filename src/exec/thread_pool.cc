@@ -1,7 +1,5 @@
 #include "exec/thread_pool.h"
 
-#include "common/logging.h"
-
 namespace aid {
 
 ThreadPool::ThreadPool(int workers) {
@@ -14,13 +12,14 @@ ThreadPool::ThreadPool(int workers) {
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Enqueue(std::function<void()> task) {
+bool ThreadPool::Enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    AID_CHECK(!shutting_down_);
+    if (shutting_down_) return false;  // refused; Submit breaks the promise
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -41,19 +40,40 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::Shutdown(DrainPolicy policy) {
+  bool join_here = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_ && threads_.empty()) return;
-    shutting_down_ = true;
+    // Policy first, idempotence second: a kDiscard arriving while an
+    // earlier kDrain is still draining must escalate it (the workers stop
+    // dequeuing and the leftovers' promises are broken below) -- the old
+    // early-return silently ignored the second call's policy. kDrain never
+    // de-escalates an earlier discard.
     if (policy == DrainPolicy::kDiscard) discard_queued_ = true;
+    if (!shutting_down_) {
+      shutting_down_ = true;
+      join_here = true;
+    }
   }
   cv_.notify_all();
-  for (std::thread& thread : threads_) {
-    if (thread.joinable()) thread.join();
+  if (join_here) {
+    // Only the first caller joins; concurrent callers would otherwise race
+    // std::thread::join on the same handles (UB). They wait below instead.
+    for (std::thread& thread : threads_) {
+      if (thread.joinable()) thread.join();
+    }
+    threads_.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      joined_ = true;
+    }
+    join_cv_.notify_all();
+  } else {
+    std::unique_lock<std::mutex> lock(mu_);
+    join_cv_.wait(lock, [this]() { return joined_; });
   }
-  threads_.clear();
-  // With kDiscard the queue may still hold never-started tasks. Destroying
-  // them destroys their std::packaged_task state, which delivers
+  // A discard (this call's, or one that escalated the drain mid-flight)
+  // can leave never-started tasks behind. Destroying them destroys their
+  // std::packaged_task state, which delivers
   // std::future_error(broken_promise) to every pending future -- the abort
   // signal waiters need instead of blocking on a result that cannot come.
   std::deque<std::function<void()>> leftovers;

@@ -12,7 +12,15 @@
 // still-queued tasks are destroyed without running, which delivers
 // std::future_error(broken_promise) to their futures -- pending waiters get
 // a prompt, unambiguous abort instead of a result that will never come.
-// Submitting after shutdown is a programming error (AID_CHECK).
+//
+// Shutdown may be called repeatedly, including concurrently, and stays
+// policy-consistent: a kDiscard arriving while an earlier kDrain is still
+// draining escalates it (the not-yet-started tasks are dropped), kDrain
+// never de-escalates a discard, and only the first caller joins the worker
+// threads -- later callers wait for that join instead of racing it.
+// Submitting after shutdown has begun is recoverable, not fatal: the task
+// is refused and its future reports std::future_error(broken_promise),
+// exactly like a task discarded at shutdown.
 
 #ifndef AID_EXEC_THREAD_POOL_H_
 #define AID_EXEC_THREAD_POOL_H_
@@ -42,13 +50,19 @@ class ThreadPool {
   int workers() const { return static_cast<int>(threads_.size()); }
 
   /// Enqueues `fn` and returns the future of its result. The future's
-  /// shared state also transports exceptions thrown by `fn`.
+  /// shared state also transports exceptions thrown by `fn`. After Shutdown
+  /// has begun the task is refused instead of queued: the returned future
+  /// then reports std::future_error(broken_promise) -- a recoverable
+  /// refusal callers can catch, never a crash.
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
-    Enqueue([task]() { (*task)(); });
+    // A refused task is simply dropped here: destroying the packaged_task
+    // (the lambda held the last owner) breaks its promise, which is the
+    // abort signal the future's waiter needs.
+    (void)Enqueue([task]() { (*task)(); });
     return future;
   }
 
@@ -62,19 +76,25 @@ class ThreadPool {
   /// Stops the pool and joins every worker. Queued-but-unstarted tasks are
   /// handled per `policy`; in both cases no future is left dangling --
   /// every Submit()ed future either carries its result/exception or throws
-  /// broken_promise. Idempotent; the destructor calls Shutdown(kDrain).
+  /// broken_promise. Safe to call repeatedly and concurrently; a repeated
+  /// call's policy is honored (kDiscard escalates an in-flight drain,
+  /// kDrain never un-discards). The destructor calls Shutdown(kDrain).
   void Shutdown(DrainPolicy policy = DrainPolicy::kDrain);
 
  private:
-  void Enqueue(std::function<void()> task);
+  /// Queues `task`; false (task not queued) once shutdown has begun.
+  bool Enqueue(std::function<void()> task);
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable cv_;
+  /// Signals joined_ to Shutdown callers who lost the race to join.
+  std::condition_variable join_cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
   bool shutting_down_ = false;
   bool discard_queued_ = false;
+  bool joined_ = false;
 };
 
 }  // namespace aid

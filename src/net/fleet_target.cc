@@ -26,23 +26,37 @@ std::vector<Endpoint> FleetTarget::RotatedEndpoints(uint64_t first) const {
   return rotated;
 }
 
+std::unique_ptr<RemoteTarget> FleetTarget::DealReplica() const {
+  const size_t slot = board_->PlaceReplica(endpoints_);
+  auto replica = std::unique_ptr<RemoteTarget>(new RemoteTarget(
+      spec_bytes_, RotatedEndpoints(slot), options_));
+  replica->latency_board_ = board_;
+  replica->placed_on_ = endpoints_[slot];
+  return replica;
+}
+
 Result<TargetRunResult> FleetTarget::RunIntervened(
     const std::vector<PredicateId>& intervened, int trials) {
   if (self_ == nullptr) {
-    const uint64_t slot = next_endpoint_->fetch_add(1);
-    self_.reset(new RemoteTarget(spec_bytes_, RotatedEndpoints(slot),
-                                 options_));
+    self_ = DealReplica();
     self_->SeekTrial(trial_cursor_);
   }
   auto result = self_->RunIntervened(intervened, trials);
-  trial_cursor_ = self_->trial_position();
+  if (result.ok()) {
+    trial_cursor_ = self_->trial_position();
+  } else {
+    // Commit only on success: the failed call consumed some unknowable
+    // prefix of its trials, and adopting self_'s half-advanced position
+    // would desync this cursor from what serial dispatch -- which stops at
+    // its first error -- actually consumed. Re-align self_ instead so a
+    // retry re-runs the same positions.
+    self_->SeekTrial(trial_cursor_);
+  }
   return result;
 }
 
 Result<std::unique_ptr<ReplicableTarget>> FleetTarget::Clone() const {
-  const uint64_t slot = next_endpoint_->fetch_add(1);
-  auto replica = std::unique_ptr<RemoteTarget>(new RemoteTarget(
-      spec_bytes_, RotatedEndpoints(slot), options_));
+  std::unique_ptr<RemoteTarget> replica = DealReplica();
   replica->SeekTrial(trial_cursor_);
   return std::unique_ptr<ReplicableTarget>(std::move(replica));
 }

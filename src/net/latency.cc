@@ -1,0 +1,96 @@
+#include "net/latency.h"
+
+#include "common/math_util.h"
+
+namespace aid {
+
+LatencyBoard::LatencyBoard(double ewma_alpha)
+    : ewma_alpha_(ewma_alpha > 0.0 && ewma_alpha <= 1.0 ? ewma_alpha : 0.25) {}
+
+void LatencyBoard::RecordTrial(const Endpoint& endpoint, uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[endpoint.ToString()];
+  entry.ewma =
+      FoldEwma(entry.ewma, static_cast<double>(micros), ewma_alpha_);
+  entry.last_sample = std::chrono::steady_clock::now();
+}
+
+size_t LatencyBoard::PlaceReplica(const std::vector<Endpoint>& endpoints) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  const size_t n = endpoints.size();
+  size_t pick = 0;
+  bool have_pick = false;
+  bool pick_unmeasured = false;
+  double pick_score = 0;
+  uint64_t pick_placements = 0;
+  for (size_t offset = 0; offset < n; ++offset) {
+    // Walk in rotated order so exploration ties break round-robin instead
+    // of always favoring the front of the list.
+    const size_t i = (rotation_ + offset) % n;
+    const Entry& entry = entries_[endpoints[i].ToString()];
+    // Stale estimates are re-explored like unmeasured endpoints: an
+    // endpoint placement has been avoiding cannot refresh its own sample,
+    // so without this a single connect-failure penalty would exile a
+    // since-recovered runner for the whole session.
+    const bool unmeasured =
+        entry.ewma == 0 || now - entry.last_sample > kLatencySampleStaleAfter;
+    // Predicted per-replica latency if we add one more replica here.
+    const double score =
+        entry.ewma * static_cast<double>(entry.placements + 1);
+    const bool better =
+        !have_pick ||
+        // Unmeasured endpoints outrank measured ones (explore first) ...
+        (unmeasured && !pick_unmeasured) ||
+        // ... among unmeasured, fewest placements wins ...
+        (unmeasured && pick_unmeasured &&
+         entry.placements < pick_placements) ||
+        // ... among measured, lowest predicted latency wins.
+        (!unmeasured && !pick_unmeasured && score < pick_score);
+    if (better) {
+      pick = i;
+      have_pick = true;
+      pick_unmeasured = unmeasured;
+      pick_score = score;
+      pick_placements = entry.placements;
+    }
+  }
+  ++entries_[endpoints[pick].ToString()].placements;
+  ++rotation_;
+  return pick;
+}
+
+void LatencyBoard::ReleaseReplica(const Endpoint& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(endpoint.ToString());
+  if (it != entries_.end() && it->second.placements > 0) {
+    --it->second.placements;
+  }
+}
+
+void LatencyBoard::MoveReplica(const Endpoint* from, const Endpoint& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from != nullptr) {
+    const auto it = entries_.find(from->ToString());
+    if (it != entries_.end() && it->second.placements > 0) {
+      --it->second.placements;
+    }
+  }
+  ++entries_[to.ToString()].placements;
+}
+
+uint64_t LatencyBoard::ewma_micros(const Endpoint& endpoint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(endpoint.ToString());
+  if (it == entries_.end()) return 0;
+  return static_cast<uint64_t>(it->second.ewma + 0.5);
+}
+
+uint64_t LatencyBoard::placements(const Endpoint& endpoint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(endpoint.ToString());
+  if (it == entries_.end()) return 0;
+  return it->second.placements;
+}
+
+}  // namespace aid

@@ -32,12 +32,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "exec/replicable.h"
 #include "net/channel.h"
+#include "net/latency.h"
 #include "net/socket.h"
 #include "proc/subject_spec.h"
 
@@ -103,7 +105,7 @@ class RemoteTarget : public ReplicableTarget {
   void SeekTrial(uint64_t trial_index) override { trial_cursor_ = trial_index; }
   uint64_t trial_position() const override { return trial_cursor_; }
 
-  int executions() const override { return executions_; }
+  uint64_t executions() const override { return executions_; }
   TargetHealth health() const override { return health_; }
 
   /// Keepalive probe of the live connection (connecting first if needed):
@@ -131,6 +133,10 @@ class RemoteTarget : public ReplicableTarget {
   /// Connects + handshakes if no connection is live, failing over across
   /// endpoints with backoff (see RemoteOptions).
   Status EnsureConnected();
+  /// Charges a failed connect/handshake attempt against `endpoint` on the
+  /// latency board (no-op outside a fleet), so dead runners read as slow
+  /// instead of staying "unmeasured" and attracting placements forever.
+  void RecordEndpointFailure(const Endpoint& endpoint);
   /// Drops the connection (idempotent).
   void Disconnect();
   /// Disconnect + EnsureConnected with the reconnect budget applied.
@@ -147,8 +153,18 @@ class RemoteTarget : public ReplicableTarget {
   uint32_t remote_catalog_size_ = 0;
   uint64_t ping_token_ = 0;
 
+  /// Shared fleet latency board (may be null outside a fleet): every
+  /// trial's wire-level timing is reported against the endpoint that
+  /// served it, steering FleetTarget's replica placement.
+  std::shared_ptr<LatencyBoard> latency_board_;
+  /// The endpoint this replica's board placement is registered on (set by
+  /// FleetTarget when dealing, moved on reconnect, released on
+  /// destruction) -- keeps the board's placement counts equal to the live
+  /// replica population instead of growing without bound.
+  std::optional<Endpoint> placed_on_;
+
   uint64_t trial_cursor_ = 0;
-  int executions_ = 0;
+  uint64_t executions_ = 0;
   TargetHealth health_;
 };
 

@@ -124,7 +124,9 @@ void Runner::AcceptLoop() {
       ::setrlimit(RLIMIT_CORE, &no_core);
       StartPeerHangupWatchdog(conn_fd);
       SocketChannel channel(conn_fd);
-      ::_exit(RunSubjectHost(channel));
+      SubjectHostOptions host;
+      host.trial_delay_us = options_.trial_delay_us;
+      ::_exit(RunSubjectHost(channel, host));
     }
     ::close(*conn);
     sessions_started_.fetch_add(1);

@@ -23,6 +23,7 @@
 #define AID_NET_RUNNER_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -44,6 +45,13 @@ struct RunnerOptions {
   /// Accept-loop tick: how often the daemon reaps exited session children
   /// and checks for Stop(). Purely internal latency tuning.
   int accept_poll_ms = 200;
+
+  /// Extra per-trial latency every session child on this runner charges
+  /// before answering, microseconds (SubjectHostOptions::trial_delay_us;
+  /// `aid_runner --slow-us N`). The heterogeneous-fleet knob: benches and
+  /// tests stand up one deliberately slow runner to exercise latency-aware
+  /// placement and work stealing. 0 = full speed.
+  uint64_t trial_delay_us = 0;
 };
 
 class Runner {

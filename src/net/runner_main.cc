@@ -4,12 +4,15 @@
 // child running proc::RunSubjectHost) per accepted engine connection --
 // see src/net/runner.h and docs/remote_protocol.md.
 //
-// Usage: aid_runner [--host H] [--port P]
+// Usage: aid_runner [--host H] [--port P] [--slow-us N]
 //
-//   --host   bind address (default 127.0.0.1; 0.0.0.0 exposes the
-//            unauthenticated protocol to the network -- private networks
-//            only)
-//   --port   listen port (default 7601; 0 = ephemeral)
+//   --host     bind address (default 127.0.0.1; 0.0.0.0 exposes the
+//              unauthenticated protocol to the network -- private networks
+//              only)
+//   --port     listen port (default 7601; 0 = ephemeral)
+//   --slow-us  extra latency per trial in microseconds (default 0): makes
+//              this runner deliberately slow, for heterogeneous-fleet
+//              benches/tests of the latency-aware scheduler
 //
 // Prints "aid_runner listening on H:P" once ready (scripts scrape it) and
 // runs until SIGINT/SIGTERM.
@@ -47,8 +50,13 @@ int main(int argc, char** argv) {
       options.host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
       options.port = std::atoi(argv[++i]);
+    } else if (arg == "--slow-us" && i + 1 < argc) {
+      const long long slow = std::atoll(argv[++i]);
+      options.trial_delay_us =
+          slow > 0 ? static_cast<uint64_t>(slow) : 0;
     } else {
-      std::fprintf(stderr, "usage: aid_runner [--host H] [--port P]\n");
+      std::fprintf(stderr,
+                   "usage: aid_runner [--host H] [--port P] [--slow-us N]\n");
       return 2;
     }
   }

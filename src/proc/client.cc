@@ -158,25 +158,37 @@ Result<PredicateLog> RunTrialWithRecovery(
     FrameChannel& channel, uint64_t trial_index,
     const std::vector<PredicateId>& intervened, int trial_deadline_ms,
     TargetHealth* health, const std::function<Status()>& replace_peer) {
-  PredicateLog log;
-  const Status run = RunTrialOverChannel(channel, trial_index, intervened,
-                                         trial_deadline_ms, &log);
-  if (run.ok()) return log;
-  if (run.code() == StatusCode::kAborted) {
-    log.failed = true;
-    log.outcome = TrialOutcome::kCrashed;
-    ++health->crashed_trials;
-    AID_RETURN_IF_ERROR(replace_peer());
-    return log;
-  }
-  if (run.code() == StatusCode::kDeadlineExceeded) {
-    log.failed = true;
-    log.outcome = TrialOutcome::kTimedOut;
-    ++health->timed_out_trials;
-    AID_RETURN_IF_ERROR(replace_peer());
-    return log;
-  }
-  return run;
+  // Trial timing at the wire, charged on every exit path: the substrate's
+  // real per-trial latency -- RPC, streamed events, and any peer
+  // replacement -- feeds the latency-aware scheduler's per-replica EWMA
+  // (exec/scheduler.h) and the fleet's endpoint placement (net/latency.h).
+  const Clock::time_point start = Clock::now();
+  Result<PredicateLog> out = [&]() -> Result<PredicateLog> {
+    PredicateLog log;
+    const Status run = RunTrialOverChannel(channel, trial_index, intervened,
+                                           trial_deadline_ms, &log);
+    if (run.ok()) return log;
+    if (run.code() == StatusCode::kAborted) {
+      log.failed = true;
+      log.outcome = TrialOutcome::kCrashed;
+      ++health->crashed_trials;
+      AID_RETURN_IF_ERROR(replace_peer());
+      return log;
+    }
+    if (run.code() == StatusCode::kDeadlineExceeded) {
+      log.failed = true;
+      log.outcome = TrialOutcome::kTimedOut;
+      ++health->timed_out_trials;
+      AID_RETURN_IF_ERROR(replace_peer());
+      return log;
+    }
+    return run;
+  }();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                           Clock::now() - start)
+                           .count();
+  if (elapsed > 0) health->trial_micros += static_cast<uint64_t>(elapsed);
+  return out;
 }
 
 #if AID_PROC_SUPPORTED

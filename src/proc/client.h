@@ -85,6 +85,10 @@ Status PingPeer(FrameChannel& channel, uint64_t token, int timeout_ms);
 /// either case `replace_peer` is invoked to stand up a fresh subject
 /// (respawn a child, reconnect a socket); its error fails the run.
 /// Other errors (host-side ERROR frames, protocol corruption) propagate.
+/// Every path also charges the trial's wall-clock (wire time plus any peer
+/// replacement) into `health->trial_micros`: the substrate-level timing
+/// that feeds the latency-aware scheduler (exec/scheduler.h) and the
+/// fleet's endpoint placement (net/latency.h).
 Result<PredicateLog> RunTrialWithRecovery(
     FrameChannel& channel, uint64_t trial_index,
     const std::vector<PredicateId>& intervened, int trial_deadline_ms,

@@ -126,9 +126,10 @@ Result<std::unique_ptr<ReplicableTarget>> BuildSubjectTarget(
   return Status::InvalidArgument("BuildSubjectTarget: unknown subject kind");
 }
 
-int RunSubjectHost(FrameChannel& channel) {
+int RunSubjectHost(FrameChannel& channel, const SubjectHostOptions& host) {
 #if !AID_PROC_SUPPORTED
   (void)channel;
+  (void)host;
   return 3;
 #else
   HelloMsg hello;
@@ -205,6 +206,12 @@ int RunSubjectHost(FrameChannel& channel) {
         if (HitsPeriod(request->trial_index, spec.hang_period)) {
           HangForever();
         }
+        if (host.trial_delay_us > 0) {
+          // Simulated slow host (see SubjectHostOptions): charged inside
+          // the trial so the engine-side deadline still covers it.
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(host.trial_delay_us));
+        }
         subject.target->SeekTrial(request->trial_index);
         Result<TargetRunResult> result =
             subject.target->RunIntervened(request->intervened, 1);
@@ -242,9 +249,9 @@ int RunSubjectHost(FrameChannel& channel) {
 #endif  // AID_PROC_SUPPORTED
 }
 
-int RunSubjectHost(int in_fd, int out_fd) {
+int RunSubjectHost(int in_fd, int out_fd, const SubjectHostOptions& host) {
   PipeChannel channel(in_fd, out_fd, /*owns_fds=*/false);
-  return RunSubjectHost(channel);
+  return RunSubjectHost(channel, host);
 }
 
 }  // namespace aid

@@ -18,6 +18,7 @@
 #ifndef AID_PROC_SUBJECT_HOST_H_
 #define AID_PROC_SUBJECT_HOST_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "common/status.h"
@@ -26,6 +27,18 @@
 #include "proc/wire.h"
 
 namespace aid {
+
+/// Host-side knobs (the spec describes the SUBJECT; these describe the
+/// machine hosting it).
+struct SubjectHostOptions {
+  /// Extra latency charged before answering each trial, microseconds.
+  /// 0 = none. The heterogeneity knob behind slow-runner benches and
+  /// tests (aid_runner --slow-us): it models a loaded or distant machine
+  /// without touching the wire protocol or the subject's bytes -- trials
+  /// stay positional, so reports stay bit-identical however slow a host
+  /// answers.
+  uint64_t trial_delay_us = 0;
+};
 
 /// Builds the in-process intervention target an OwnedSubjectSpec describes,
 /// running the backend's observation phase (VM subjects scan seeds exactly
@@ -41,11 +54,11 @@ Result<std::unique_ptr<ReplicableTarget>> BuildSubjectTarget(
 /// PING frames are answered with PONG at any protocol stage (v2 keepalive).
 /// The transport does not matter: SubprocessTarget drives this loop over
 /// pipes, the aid_runner daemon over accepted TCP sockets.
-int RunSubjectHost(FrameChannel& channel);
+int RunSubjectHost(FrameChannel& channel, const SubjectHostOptions& host = {});
 
 /// Convenience overload over a descriptor pair (the exec'd child's
 /// stdin/stdout). Does not take ownership of the descriptors.
-int RunSubjectHost(int in_fd, int out_fd);
+int RunSubjectHost(int in_fd, int out_fd, const SubjectHostOptions& host = {});
 
 }  // namespace aid
 

@@ -235,7 +235,7 @@ void SubprocessTarget::StopChild(bool force_kill) {
 }
 
 Status SubprocessTarget::Respawn() {
-  if (health_.respawns >= options_.max_respawns) {
+  if (health_.respawns >= static_cast<uint64_t>(options_.max_respawns)) {
     return Status::Aborted(
         "SubprocessTarget: subject crashed/hung through " +
         std::to_string(health_.respawns) +

@@ -107,7 +107,7 @@ class SubprocessTarget : public ReplicableTarget {
   void SeekTrial(uint64_t trial_index) override { trial_cursor_ = trial_index; }
   uint64_t trial_position() const override { return trial_cursor_; }
 
-  int executions() const override { return executions_; }
+  uint64_t executions() const override { return executions_; }
   TargetHealth health() const override { return health_; }
 
   /// Catalog size the child reported at handshake; 0 before the first spawn.
@@ -143,7 +143,7 @@ class SubprocessTarget : public ReplicableTarget {
   uint32_t child_catalog_size_ = 0;
 
   uint64_t trial_cursor_ = 0;
-  int executions_ = 0;
+  uint64_t executions_ = 0;
   TargetHealth health_;
 };
 

@@ -63,7 +63,7 @@ class FlakyModelTarget : public ReplicableTarget {
 
   uint64_t trial_position() const override { return trial_cursor_; }
 
-  int executions() const override { return executions_; }
+  uint64_t executions() const override { return executions_; }
 
  private:
   /// The trial-t manifestation flip: deterministic in (seed_, t).
@@ -76,7 +76,7 @@ class FlakyModelTarget : public ReplicableTarget {
   double manifest_probability_;
   uint64_t seed_;
   uint64_t trial_cursor_ = 0;
-  int executions_ = 0;
+  uint64_t executions_ = 0;
 };
 
 }  // namespace aid

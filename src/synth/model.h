@@ -99,11 +99,11 @@ class ModelTarget : public ReplicableTarget {
   Result<std::unique_ptr<ReplicableTarget>> Clone() const override {
     return std::unique_ptr<ReplicableTarget>(new ModelTarget(model_));
   }
-  int executions() const override { return executions_; }
+  uint64_t executions() const override { return executions_; }
 
  private:
   const GroundTruthModel* model_;
-  int executions_ = 0;
+  uint64_t executions_ = 0;
 };
 
 }  // namespace aid

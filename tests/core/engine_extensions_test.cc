@@ -200,7 +200,7 @@ class UnhealthyTarget : public InterventionTarget {
       const uint64_t trial = trial_cursor_++;
       if (crash_period != 0 && (trial + 1) % crash_period == 0 &&
           (crash_budget < 0 ||
-           health_.crashed_trials < crash_budget)) {
+           health_.crashed_trials < static_cast<uint64_t>(crash_budget))) {
         // A crashed trial: failing, partial (empty) observations.
         log = PredicateLog{};
         log.failed = true;
@@ -211,7 +211,7 @@ class UnhealthyTarget : public InterventionTarget {
     }
     return result;
   }
-  int executions() const override { return inner_.executions(); }
+  uint64_t executions() const override { return inner_.executions(); }
   TargetHealth health() const override { return health_; }
 
   uint64_t crash_period = 0;

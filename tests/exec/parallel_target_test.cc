@@ -333,7 +333,7 @@ TEST(ParallelTargetTest, WorkerErrorsPropagateFromTheBatch) {
     Result<std::unique_ptr<ReplicableTarget>> Clone() const override {
       return std::unique_ptr<ReplicableTarget>(new Failing(model_));
     }
-    int executions() const override { return inner_.executions(); }
+    uint64_t executions() const override { return inner_.executions(); }
 
    private:
     const GroundTruthModel* model_;

@@ -74,6 +74,27 @@ TEST(ThreadPoolTest, ExceptionsTravelThroughTheFuture) {
   EXPECT_THROW(future.get(), std::runtime_error);
 }
 
+/// True once `pool` observably refuses new work: Submit's future reports
+/// broken_promise IMMEDIATELY, which proves shutting_down_ (and, for a
+/// kDiscard call, the discard flag set in the same critical section) has
+/// latched. Non-blocking on purpose: before the latch the probe lands in
+/// the queue -- possibly behind a deliberately wedged task -- and waiting
+/// on it would deadlock the test; such a probe either runs later (returns
+/// 0, harmless) or is discarded with the rest of the queue.
+bool ShutdownLatched(ThreadPool& pool) {
+  std::future<int> probe = pool.Submit([]() { return 0; });
+  if (probe.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return false;  // queued or running: shutdown had not latched yet
+  }
+  try {
+    probe.get();
+    return false;  // the probe already ran: not latched when submitted
+  } catch (const std::future_error&) {
+    return true;
+  }
+}
+
 TEST(ThreadPoolTest, DiscardShutdownBreaksPendingPromises) {
   // One worker, wedged on a latch; everything queued behind it must NOT be
   // silently dropped with live futures -- discard shutdown has to deliver
@@ -90,30 +111,110 @@ TEST(ThreadPoolTest, DiscardShutdownBreaksPendingPromises) {
 
   std::thread shutdown(
       [&pool]() { pool.Shutdown(ThreadPool::DrainPolicy::kDiscard); });
-  // Give the shutdown thread time to latch the discard flag before the
-  // wedged task is released; even if it loses that race, the invariant below
-  // (no future left dangling) still holds -- only the broken count varies.
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Wait until the discard shutdown has PROVABLY latched (a probe Submit is
+  // refused) before unwedging -- no sleep-based race: the worker is still
+  // wedged, so the 8 queued tasks cannot have run, and the latched discard
+  // flag guarantees they never will.
+  while (!ShutdownLatched(pool)) {
+    // Throttled: each losing probe lands in the queue, and a hot spin
+    // could pile up tasks faster than the eventual drain/discard clears
+    // them (minutes under sanitizers).
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   release.set_value();  // unwedge the running task; queued ones are discarded
   shutdown.join();
 
   EXPECT_EQ(blocked.get(), 1);  // the in-flight task still completed
   int broken = 0;
-  int completed = 0;
   for (auto& future : pending) {
     try {
       future.get();
-      ++completed;
     } catch (const std::future_error& e) {
       EXPECT_EQ(e.code(), std::future_errc::broken_promise);
       ++broken;
     }
   }
-  // The hard contract: every future resolves -- result or broken_promise,
-  // never a hang. And with the flag latched before release, the queued
-  // tasks' promises were broken rather than run.
-  EXPECT_EQ(broken + completed, 8);
+  // Every queued task's promise was broken: none ran (the worker was
+  // wedged until the discard latched), and none is left dangling.
+  EXPECT_EQ(broken, 8);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownBreaksThePromiseInsteadOfCrashing) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  // Regression: this used to AID_CHECK-crash the process. The refused
+  // task's future must resolve with broken_promise -- recoverable, prompt,
+  // unambiguous.
+  std::future<int> refused = pool.Submit([]() { return 7; });
+  try {
+    refused.get();
+    FAIL() << "a post-shutdown submit must not produce a result";
+  } catch (const std::future_error& e) {
+    EXPECT_EQ(e.code(), std::future_errc::broken_promise);
+  }
+}
+
+TEST(ThreadPoolTest, SecondShutdownEscalatesDrainToDiscard) {
+  // One worker wedged on a latch with 8 tasks queued behind it. A kDrain
+  // shutdown starts draining (blocked on the wedge); a concurrent kDiscard
+  // must NOT be ignored (the old early-return dropped its policy): the
+  // queued tasks' promises are broken instead of the tasks running. The
+  // drain latch is proven via a refused probe; the discard latch has no
+  // external probe, so the scenario retries under pathological scheduling
+  // instead of failing on one lost race.
+  int broken = 0;
+  for (int attempt = 0; attempt < 5 && broken == 0; ++attempt) {
+    ThreadPool pool(1);
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    std::future<int> blocked =
+        pool.Submit([released]() { released.wait(); return 1; });
+    std::vector<std::future<int>> pending;
+    for (int i = 0; i < 8; ++i) {
+      pending.push_back(pool.Submit([]() { return 2; }));
+    }
+
+    std::thread drainer(
+        [&pool]() { pool.Shutdown(ThreadPool::DrainPolicy::kDrain); });
+    while (!ShutdownLatched(pool)) {
+      // Throttled for the same queue-pileup reason as above; the drain
+      // path will RUN every losing probe after release.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::thread discarder(
+        [&pool]() { pool.Shutdown(ThreadPool::DrainPolicy::kDiscard); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    release.set_value();
+    drainer.join();
+    discarder.join();
+
+    EXPECT_EQ(blocked.get(), 1);  // the in-flight task still completed
+    int completed = 0;
+    for (auto& future : pending) {
+      try {
+        future.get();
+        ++completed;
+      } catch (const std::future_error& e) {
+        EXPECT_EQ(e.code(), std::future_errc::broken_promise);
+        ++broken;
+      }
+    }
+    // The hard per-attempt contract: every future resolves -- result or
+    // broken_promise, never a hang.
+    EXPECT_EQ(broken + completed, 8);
+  }
+  // The escalation contract: at least one attempt saw the second call's
+  // kDiscard break queued promises mid-drain.
   EXPECT_GT(broken, 0);
+}
+
+TEST(ThreadPoolTest, ShutdownAfterShutdownIsStillSafe) {
+  ThreadPool pool(2);
+  pool.Submit([]() {}).get();
+  pool.Shutdown(ThreadPool::DrainPolicy::kDrain);
+  // Both orders of repeat calls are legal and must not double-join.
+  pool.Shutdown(ThreadPool::DrainPolicy::kDiscard);
+  pool.Shutdown(ThreadPool::DrainPolicy::kDrain);
 }
 
 TEST(ThreadPoolTest, DrainShutdownStillRunsQueuedTasks) {

@@ -268,7 +268,7 @@ TEST(RemoteTargetTest, ValidationRejectsBadOptions) {
       RemoteTarget::Create({Endpoint{"h", 1}}, spec, no_attempts).ok());
 }
 
-TEST(FleetTargetTest, ClonesSpreadRoundRobinWithFailoverOrder) {
+TEST(FleetTargetTest, UnmeasuredClonesSpreadRoundRobinWithFailoverOrder) {
   auto model = MakeModel();
   auto runner_a = Runner::Start();
   auto runner_b = Runner::Start();
@@ -279,14 +279,21 @@ TEST(FleetTargetTest, ClonesSpreadRoundRobinWithFailoverOrder) {
       ModelSpec(model.get()));
   ASSERT_TRUE(fleet.ok()) << fleet.status();
 
-  // Four clones: two per runner, each with the other runner as failover.
+  // Four clones dealt up front, the way a pool deals them -- before any
+  // trial has produced a latency measurement, so the board's exploration
+  // places them exactly round-robin: two per runner, each with the other
+  // runner as failover. (Clones dealt AFTER trials ran are placed by
+  // measured latency instead; tests/net/scheduler_fleet_test.cc covers
+  // that regime.)
   std::vector<std::unique_ptr<ReplicableTarget>> replicas;
   for (int i = 0; i < 4; ++i) {
     auto clone = (*fleet)->Clone();
     ASSERT_TRUE(clone.ok()) << clone.status();
-    auto result = (*clone)->RunIntervened({}, 1);
-    ASSERT_TRUE(result.ok()) << result.status();
     replicas.push_back(std::move(*clone));
+  }
+  for (auto& replica : replicas) {
+    auto result = replica->RunIntervened({}, 1);
+    ASSERT_TRUE(result.ok()) << result.status();
   }
   EXPECT_EQ((*runner_a)->sessions_started(), 2);
   EXPECT_EQ((*runner_b)->sessions_started(), 2);
