@@ -113,6 +113,7 @@ int main() {
                         .WithProgram(&program, options)
                         .WithEngine(EnginePreset::kAid)
                         .WithTrials(3)
+                        .WithStaticAnalysis()  // lint + dependence pruning
                         .WithObserver(&progress)
                         .Build();
   if (!session_or.ok()) {
@@ -136,6 +137,14 @@ int main() {
               report.sd_predicates);
   std::printf("AC-DAG: %d nodes (after safety & reachability filters)\n",
               report.acdag_nodes);
+  const AnalysisSummary& analysis = report.discovery.analysis;
+  if (analysis.ran) {
+    std::printf("static analysis: %llu/%llu candidate edges pruned, "
+                "%llu lint warning(s)\n",
+                (unsigned long long)analysis.edges_pruned,
+                (unsigned long long)analysis.edges_before,
+                (unsigned long long)analysis.lint_warnings);
+  }
   std::printf("\nAID finished in %d intervention rounds (%llu re-executions)\n",
               report.discovery.rounds,
               (unsigned long long)report.discovery.executions);

@@ -1,0 +1,517 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace aid {
+
+namespace {
+
+/// Influence graphs beyond this many program points fall back to the
+/// conservative "everything may influence everything" relation; the cap
+/// keeps hostile wire-received programs from forcing quadratic bitset
+/// work before the host even forks.
+constexpr size_t kMaxInfluencePoints = 4096;
+
+bool NeedsObject(Op op) {
+  switch (op) {
+    case Op::kLoadGlobal:
+    case Op::kStoreGlobal:
+    case Op::kArrayLen:
+    case Op::kArrayLoad:
+    case Op::kArrayStore:
+    case Op::kArrayResize:
+    case Op::kLock:
+    case Op::kUnlock:
+    case Op::kThrow:
+    case Op::kThrowIfZero:
+    case Op::kThrowIfNonZero:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsWriteAccess(Op op) {
+  return op == Op::kStoreGlobal || op == Op::kArrayStore ||
+         op == Op::kArrayResize;
+}
+
+bool IsDataAccess(Op op) {
+  return IsWriteAccess(op) || op == Op::kLoadGlobal || op == Op::kArrayLen ||
+         op == Op::kArrayLoad;
+}
+
+}  // namespace
+
+ProgramAnalysis ProgramAnalysis::Analyze(const Program& program) {
+  ProgramAnalysis analysis(program);
+  analysis.cfgs_.reserve(program.methods().size());
+  for (const MethodDef& method : program.methods()) {
+    analysis.cfgs_.push_back(MethodCfg::Build(method));
+  }
+  analysis.Lint();
+  analysis.BuildInfluence();
+  return analysis;
+}
+
+void ProgramAnalysis::AddFinding(LintFinding::Severity severity,
+                                 std::string code, std::string message,
+                                 SymbolId method, int pc) {
+  if (severity == LintFinding::Severity::kError) ++error_count_;
+  findings_.push_back(LintFinding{severity, std::move(code),
+                                  std::move(message), method, pc});
+}
+
+Status ProgramAnalysis::LintStatus() const {
+  if (error_count_ == 0) return Status::OK();
+  std::vector<std::string> parts;
+  for (const LintFinding& f : findings_) {
+    if (f.severity != LintFinding::Severity::kError) continue;
+    parts.push_back(StrFormat("[%s] %s", f.code.c_str(), f.message.c_str()));
+    if (parts.size() == 3) break;
+  }
+  return Status::InvalidArgument(StrFormat(
+      "program lint failed with %zu error(s): %s", error_count_,
+      Join(parts, "; ").c_str()));
+}
+
+void ProgramAnalysis::Lint() {
+  const auto& methods = program_->methods();
+  if (program_->entry() < 0 ||
+      static_cast<size_t>(program_->entry()) >= methods.size()) {
+    AddFinding(LintFinding::Severity::kError, "no-entry",
+               "program has no valid entry method", kInvalidSymbol, -1);
+  }
+  for (size_t m = 0; m < methods.size(); ++m) {
+    const MethodDef& method = methods[m];
+    if (method.code.empty()) {
+      AddFinding(LintFinding::Severity::kError, "empty-method",
+                 StrFormat("method '%s' has no body", method.name.c_str()),
+                 static_cast<SymbolId>(m), -1);
+      continue;
+    }
+    const Op last = method.code.back().op;
+    if (last != Op::kReturn && last != Op::kThrow && last != Op::kJump) {
+      AddFinding(
+          LintFinding::Severity::kError, "missing-terminator",
+          StrFormat("method '%s' must end with return/throw/jump",
+                    method.name.c_str()),
+          static_cast<SymbolId>(m), static_cast<int>(method.code.size()) - 1);
+    }
+    const MethodCfg& cfg = cfgs_[m];
+    for (size_t pc = 0; pc < method.code.size(); ++pc) {
+      LintInstr(method, pc);
+      if (!cfg.Reachable(pc)) {
+        AddFinding(LintFinding::Severity::kWarning, "unreachable-code",
+                   StrFormat("method '%s' pc %zu is unreachable",
+                             method.name.c_str(), pc),
+                   static_cast<SymbolId>(m), static_cast<int>(pc));
+      } else if (InstrUseMask(method.code[pc]) & cfg.MaybeUnwritten(pc)) {
+        AddFinding(LintFinding::Severity::kWarning, "maybe-undefined-register",
+                   StrFormat("method '%s' pc %zu reads a register that may "
+                             "never have been written",
+                             method.name.c_str(), pc),
+                   static_cast<SymbolId>(m), static_cast<int>(pc));
+      }
+    }
+  }
+}
+
+void ProgramAnalysis::LintInstr(const MethodDef& method, size_t pc) {
+  const Instr& instr = method.code[pc];
+  const auto id = method.id;
+  const int ipc = static_cast<int>(pc);
+  auto error = [&](const char* code, std::string message) {
+    AddFinding(LintFinding::Severity::kError, code, std::move(message), id,
+               ipc);
+  };
+  auto warning = [&](const char* code, std::string message) {
+    AddFinding(LintFinding::Severity::kWarning, code, std::move(message), id,
+               ipc);
+  };
+
+  if (static_cast<uint8_t>(instr.op) > static_cast<uint8_t>(Op::kReturn)) {
+    error("bad-opcode", StrFormat("method '%s' pc %zu: opcode %u out of range",
+                                  method.name.c_str(), pc,
+                                  static_cast<unsigned>(instr.op)));
+    return;  // operand conventions are meaningless for unknown opcodes
+  }
+  if (instr.cost < 1) {
+    error("non-positive-cost",
+          StrFormat("method '%s' pc %zu: non-positive cost",
+                    method.name.c_str(), pc));
+  }
+
+  auto check_reg = [&](Reg r, bool allow_none) {
+    if (r == kNoReg && allow_none) return;
+    if (r < 0 || r >= kNumRegs) {
+      error("register-out-of-range",
+            StrFormat("method '%s' pc %zu: register %d out of range",
+                      method.name.c_str(), pc, r));
+    }
+  };
+
+  switch (instr.op) {
+    case Op::kJump:
+    case Op::kJumpIfZero:
+    case Op::kJumpIfNonZero:
+      if (instr.imm < 0 ||
+          static_cast<size_t>(instr.imm) >= method.code.size()) {
+        error("bad-jump-target",
+              StrFormat("method '%s' pc %zu: jump target %lld out of range",
+                        method.name.c_str(), pc,
+                        static_cast<long long>(instr.imm)));
+      }
+      if (instr.op != Op::kJump) check_reg(instr.a, false);
+      break;
+    case Op::kCall:
+    case Op::kSpawn: {
+      const auto callee = static_cast<size_t>(instr.imm);
+      if (instr.imm < 0 || callee >= program_->methods().size() ||
+          program_->methods()[callee].code.empty()) {
+        error("unknown-callee",
+              StrFormat("method '%s' pc %zu: callee %lld has no body",
+                        method.name.c_str(), pc,
+                        static_cast<long long>(instr.imm)));
+      }
+      check_reg(instr.a, true);
+      break;
+    }
+    case Op::kReturn:
+      check_reg(instr.a, true);
+      break;
+    case Op::kRandom:
+      check_reg(instr.a, false);
+      if (instr.imm <= 0) {
+        error("bad-random-bound",
+              StrFormat("method '%s' pc %zu: random bound %lld must be > 0",
+                        method.name.c_str(), pc,
+                        static_cast<long long>(instr.imm)));
+      }
+      break;
+    case Op::kDelayRand:
+      if (instr.imm2 < instr.imm) {
+        error("bad-delay-range",
+              StrFormat("method '%s' pc %zu: delay range [%lld, %lld] is "
+                        "inverted",
+                        method.name.c_str(), pc,
+                        static_cast<long long>(instr.imm),
+                        static_cast<long long>(instr.imm2)));
+      }
+      break;
+    case Op::kNop:
+    case Op::kDelay:
+    case Op::kThrow:
+    case Op::kLock:
+    case Op::kUnlock:
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kCmpEq:
+    case Op::kCmpLt:
+      check_reg(instr.a, false);
+      check_reg(instr.b, false);
+      check_reg(instr.c, false);
+      break;
+    case Op::kAddImm:
+    case Op::kArrayLoad:
+    case Op::kArrayStore:
+      check_reg(instr.a, false);
+      check_reg(instr.b, false);
+      break;
+    default:
+      check_reg(instr.a, false);
+      break;
+  }
+
+  if (NeedsObject(instr.op)) {
+    const bool is_exception = instr.op == Op::kThrow ||
+                              instr.op == Op::kThrowIfZero ||
+                              instr.op == Op::kThrowIfNonZero;
+    const size_t table_size = is_exception
+                                  ? program_->exception_names().size()
+                                  : program_->object_names().size();
+    if (instr.obj < 0 || static_cast<size_t>(instr.obj) >= table_size) {
+      error("bad-object",
+            StrFormat("method '%s' pc %zu: %s symbol %d out of range",
+                      method.name.c_str(), pc,
+                      is_exception ? "exception" : "object", instr.obj));
+    } else if (!is_exception) {
+      // Declared-kind mismatches execute safely (the VM auto-creates the
+      // missing state) but almost always indicate a corrupted program.
+      const bool is_global = program_->globals().count(instr.obj) > 0;
+      const bool is_array = program_->arrays().count(instr.obj) > 0;
+      const bool is_mutex =
+          std::find(program_->mutexes().begin(), program_->mutexes().end(),
+                    instr.obj) != program_->mutexes().end();
+      const bool want_global =
+          instr.op == Op::kLoadGlobal || instr.op == Op::kStoreGlobal;
+      const bool want_mutex = instr.op == Op::kLock || instr.op == Op::kUnlock;
+      const bool matches = want_global   ? is_global
+                           : want_mutex  ? is_mutex
+                                         : is_array;
+      if (!matches) {
+        warning((is_global || is_array || is_mutex) ? "object-kind-mismatch"
+                                                    : "undeclared-object",
+                StrFormat("method '%s' pc %zu: object '%s' is not declared "
+                          "as the kind this opcode expects",
+                          method.name.c_str(), pc,
+                          program_->object_names().Name(instr.obj).c_str()));
+      }
+    }
+  }
+}
+
+void ProgramAnalysis::BuildInfluence() {
+  const auto& methods = program_->methods();
+  const size_t m = methods.size();
+  method_reachable_.assign(m, true);
+  may_influence_.assign(m, std::vector<bool>(m, true));
+  if (m == 0 || error_count_ > 0) {
+    // Malformed programs get the fully conservative relation.
+    degenerate_ = true;
+    return;
+  }
+
+  // Program points: per method, one point per instruction plus a synthetic
+  // exit. Shared-object and mutex channels go through per-object hub
+  // points so cliques stay linear in the number of accesses.
+  std::vector<size_t> offset(m + 1, 0);
+  for (size_t i = 0; i < m; ++i) {
+    offset[i + 1] = offset[i] + methods[i].code.size() + 1;
+  }
+  const size_t code_points = offset[m];
+  const size_t object_count = program_->object_names().size();
+  const size_t total = code_points + object_count;
+  if (code_points == 0 || total > kMaxInfluencePoints) {
+    degenerate_ = true;
+    return;
+  }
+  auto point = [&](size_t method, size_t pc) { return offset[method] + pc; };
+  auto exit_point = [&](size_t method) {
+    return offset[method] + methods[method].code.size();
+  };
+  auto hub = [&](SymbolId obj) {
+    return code_points + static_cast<size_t>(obj);
+  };
+
+  std::vector<std::vector<int>> adj(total);
+  auto add_edge = [&](size_t from, size_t to) {
+    adj[from].push_back(static_cast<int>(to));
+  };
+
+  // Spawn-target universe for unresolved joins: every spawned method plus
+  // the entry (thread 0).
+  std::vector<size_t> spawn_targets;
+  auto remember_spawn = [&](size_t callee) {
+    if (std::find(spawn_targets.begin(), spawn_targets.end(), callee) ==
+        spawn_targets.end()) {
+      spawn_targets.push_back(callee);
+    }
+  };
+  remember_spawn(static_cast<size_t>(program_->entry()));
+  for (const MethodDef& method : methods) {
+    for (const Instr& instr : method.code) {
+      if (instr.op == Op::kSpawn && instr.imm >= 0 &&
+          static_cast<size_t>(instr.imm) < m) {
+        remember_spawn(static_cast<size_t>(instr.imm));
+      }
+    }
+  }
+
+  for (size_t i = 0; i < m; ++i) {
+    const MethodCfg& cfg = cfgs_[i];
+    const auto& code = methods[i].code;
+    for (size_t pc = 0; pc < code.size(); ++pc) {
+      for (int s : cfg.Successors(pc)) {
+        add_edge(point(i, pc), point(i, static_cast<size_t>(s)));
+      }
+      const Instr& instr = code[pc];
+      switch (instr.op) {
+        case Op::kCall: {
+          const auto callee = static_cast<size_t>(instr.imm);
+          if (instr.imm >= 0 && callee < m) {
+            add_edge(point(i, pc), point(callee, 0));
+            // Normal return resumes after the call; an uncaught exception
+            // unwinds the caller, so the callee's exit also influences the
+            // caller's exit.
+            add_edge(exit_point(callee),
+                     point(i, std::min(pc + 1, code.size())));
+            add_edge(exit_point(callee), exit_point(i));
+          }
+          break;
+        }
+        case Op::kSpawn: {
+          const auto callee = static_cast<size_t>(instr.imm);
+          if (instr.imm >= 0 && callee < m) {
+            add_edge(point(i, pc), point(callee, 0));
+          }
+          break;
+        }
+        case Op::kJoin: {
+          // Resolve which threads this join can wait on through the
+          // reaching definitions of the join register: kSpawn definitions
+          // name the method; anything else degrades to every spawnable
+          // method.
+          bool unknown = false;
+          std::vector<size_t> targets;
+          for (int d : cfg.ReachingDefs(pc, instr.a)) {
+            if (d >= 0 && code[static_cast<size_t>(d)].op == Op::kSpawn &&
+                code[static_cast<size_t>(d)].imm >= 0 &&
+                static_cast<size_t>(code[static_cast<size_t>(d)].imm) < m) {
+              targets.push_back(
+                  static_cast<size_t>(code[static_cast<size_t>(d)].imm));
+            } else {
+              unknown = true;
+            }
+          }
+          if (unknown || targets.empty()) targets = spawn_targets;
+          for (size_t tm : targets) {
+            add_edge(exit_point(tm), point(i, pc));
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      if (NeedsObject(instr.op) && instr.obj >= 0 &&
+          static_cast<size_t>(instr.obj) < object_count) {
+        if (instr.op == Op::kLock || instr.op == Op::kUnlock) {
+          // Blocking influences flow both ways between lock points.
+          add_edge(point(i, pc), hub(instr.obj));
+          add_edge(hub(instr.obj), point(i, pc));
+        } else if (IsDataAccess(instr.op)) {
+          if (IsWriteAccess(instr.op)) add_edge(point(i, pc), hub(instr.obj));
+          add_edge(hub(instr.obj), point(i, pc));
+        }
+      }
+    }
+  }
+
+  // Transitive reachability over the point graph (worklist to fixpoint;
+  // the graph is cyclic, so plain topological propagation cannot apply).
+  const size_t words = (total + 63) / 64;
+  std::vector<uint64_t> reach(total * words, 0);
+  auto set_bit = [&](std::vector<uint64_t>& bits, size_t base, size_t v) {
+    bits[base + v / 64] |= 1ull << (v % 64);
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t u = total; u-- > 0;) {
+      const size_t base = u * words;
+      for (int v : adj[u]) {
+        const size_t vb = static_cast<size_t>(v) * words;
+        uint64_t diff = 0;
+        for (size_t w = 0; w < words; ++w) {
+          const uint64_t add = reach[vb + w];
+          diff |= add & ~reach[base + w];
+          reach[base + w] |= add;
+        }
+        if (!(reach[base + static_cast<size_t>(v) / 64] >>
+                  (static_cast<size_t>(v) % 64) &
+              1u)) {
+          set_bit(reach, base, static_cast<size_t>(v));
+          diff = 1;
+        }
+        if (diff != 0) changed = true;
+      }
+    }
+  }
+
+  auto any_in_method = [&](const std::vector<uint64_t>& bits, size_t base,
+                           size_t method) {
+    for (size_t p = offset[method]; p <= exit_point(method); ++p) {
+      if ((bits[base + p / 64] >> (p % 64)) & 1u) return true;
+    }
+    return false;
+  };
+
+  const auto entry_pt = point(static_cast<size_t>(program_->entry()), 0);
+  for (size_t j = 0; j < m; ++j) {
+    method_reachable_[j] =
+        j == static_cast<size_t>(program_->entry()) ||
+        any_in_method(reach, entry_pt * words, j);
+  }
+
+  for (size_t i = 0; i < m; ++i) {
+    // Union of reach over every point of i.
+    std::vector<uint64_t> from(words, 0);
+    for (size_t p = offset[i]; p <= exit_point(i); ++p) {
+      for (size_t w = 0; w < words; ++w) from[w] |= reach[p * words + w];
+    }
+    for (size_t j = 0; j < m; ++j) {
+      may_influence_[i][j] = i == j || any_in_method(from, 0, j);
+    }
+  }
+  degenerate_ = false;
+}
+
+bool ProgramAnalysis::MethodReachable(SymbolId method) const {
+  if (method < 0 || static_cast<size_t>(method) >= method_reachable_.size()) {
+    return true;
+  }
+  return method_reachable_[static_cast<size_t>(method)];
+}
+
+bool ProgramAnalysis::MayInfluence(SymbolId from, SymbolId to) const {
+  if (degenerate_) return true;
+  if (from < 0 || to < 0 ||
+      static_cast<size_t>(from) >= may_influence_.size() ||
+      static_cast<size_t>(to) >= may_influence_.size()) {
+    return true;
+  }
+  return may_influence_[static_cast<size_t>(from)][static_cast<size_t>(to)];
+}
+
+std::vector<SymbolId> PredicateMethods(const PredicateCatalog& catalog,
+                                       PredicateId id) {
+  std::vector<SymbolId> methods;
+  std::vector<PredicateId> stack = {id};
+  int guard = 0;
+  while (!stack.empty() && guard++ < 64) {
+    const PredicateId current = stack.back();
+    stack.pop_back();
+    if (current < 0 || static_cast<size_t>(current) >= catalog.size()) {
+      continue;
+    }
+    const Predicate& pred = catalog.Get(current);
+    if (pred.kind == PredKind::kCompound) {
+      stack.push_back(pred.sub1);
+      stack.push_back(pred.sub2);
+      continue;
+    }
+    for (SymbolId method : {pred.m1, pred.m2}) {
+      if (method == kInvalidSymbol) continue;
+      if (std::find(methods.begin(), methods.end(), method) == methods.end()) {
+        methods.push_back(method);
+      }
+    }
+  }
+  return methods;
+}
+
+std::vector<PredicateId> InfeasiblePredicates(const ProgramAnalysis& analysis,
+                                              const PredicateCatalog& catalog) {
+  std::vector<PredicateId> infeasible;
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    const auto id = static_cast<PredicateId>(i);
+    const Predicate& pred = catalog.Get(id);
+    if (pred.kind == PredKind::kFailure || pred.kind == PredKind::kSynthetic) {
+      continue;
+    }
+    const std::vector<SymbolId> methods = PredicateMethods(catalog, id);
+    if (methods.empty()) continue;
+    // A site is infeasible when any constituent method can never run.
+    const bool dead = std::any_of(
+        methods.begin(), methods.end(),
+        [&](SymbolId method) { return !analysis.MethodReachable(method); });
+    if (dead) infeasible.push_back(id);
+  }
+  return infeasible;
+}
+
+}  // namespace aid

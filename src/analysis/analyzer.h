@@ -1,0 +1,112 @@
+// Whole-program static analysis over runtime::Program: lint + a
+// conservative may-influence relation between methods.
+//
+// The analyzer serves three consumers (paper Section 4's "prune edges the
+// program can be *proven* not to realize" is dynamic in CAID; this is the
+// static complement):
+//
+//   * causal/acdag -- an AC-DAG edge P -> Q is causally meaningful only if
+//     some program point of P's method(s) can influence a point of Q's
+//     method(s) through control flow, spawned threads, joins, shared
+//     globals/arrays, or mutexes. Edges between dependence-disjoint points
+//     are temporal coincidences and are pruned before the intervention
+//     loop spends trials on them.
+//   * inject/compiler -- statically enumerated intervention points: a
+//     predicate whose methods fall outside the program (or whose flip
+//     would perturb shared state) is rejected with a diagnostic up front.
+//   * proc/subject_host -- pre-fork lint of wire-received programs:
+//     undefined registers, unreachable sites, malformed operands become a
+//     structured ERROR frame instead of a crashed child.
+//
+// Analysis never aborts on malformed programs; malformations surface as
+// kError findings and the influence relation degrades conservatively
+// (everything may influence everything).
+
+#ifndef AID_ANALYSIS_ANALYZER_H_
+#define AID_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "common/status.h"
+#include "predicates/predicate.h"
+#include "runtime/program.h"
+
+namespace aid {
+
+/// One lint diagnostic about a program. `code` is a stable slug (the lint
+/// catalog is documented in docs/static_analysis.md).
+struct LintFinding {
+  enum class Severity : uint8_t { kWarning, kError };
+  Severity severity = Severity::kWarning;
+  std::string code;     ///< e.g. "bad-jump-target"
+  std::string message;  ///< human-readable, method/pc-qualified
+  SymbolId method = kInvalidSymbol;
+  int pc = -1;
+};
+
+/// Static analysis results for one Program. Build once per program (the
+/// program must outlive the analysis).
+class ProgramAnalysis {
+ public:
+  static ProgramAnalysis Analyze(const Program& program);
+
+  const std::vector<LintFinding>& findings() const { return findings_; }
+  size_t error_count() const { return error_count_; }
+  size_t warning_count() const { return findings_.size() - error_count_; }
+
+  /// OK if the program has no error-severity findings; otherwise an
+  /// InvalidArgument listing the first few errors.
+  Status LintStatus() const;
+
+  /// True if `method` is reachable from the entry method via calls and
+  /// spawns. Unknown methods are conservatively reachable.
+  bool MethodReachable(SymbolId method) const;
+
+  /// Conservative influence: can executing `from` affect the execution,
+  /// timing, or values observed in `to`? Reflexive; true whenever the
+  /// analysis cannot prove independence.
+  bool MayInfluence(SymbolId from, SymbolId to) const;
+
+  /// Per-method CFG/dataflow facts (valid method ids only).
+  const MethodCfg& cfg(SymbolId method) const {
+    return cfgs_[static_cast<size_t>(method)];
+  }
+
+  const Program& program() const { return *program_; }
+
+ private:
+  explicit ProgramAnalysis(const Program& program) : program_(&program) {}
+
+  void Lint();
+  void LintInstr(const MethodDef& method, size_t pc);
+  void BuildInfluence();
+  void AddFinding(LintFinding::Severity severity, std::string code,
+                  std::string message, SymbolId method, int pc);
+
+  const Program* program_;
+  std::vector<MethodCfg> cfgs_;
+  std::vector<LintFinding> findings_;
+  size_t error_count_ = 0;
+  bool degenerate_ = false;  ///< analysis bailed; everything influences
+  std::vector<bool> method_reachable_;
+  std::vector<std::vector<bool>> may_influence_;  // [from][to]
+};
+
+/// Predicate ids in `catalog` whose instrumentation sites can never fire
+/// because every referenced method is statically unreachable. These should
+/// not enter statistical-debugging denominators (they would dilute scores
+/// with structurally impossible observations).
+std::vector<PredicateId> InfeasiblePredicates(const ProgramAnalysis& analysis,
+                                              const PredicateCatalog& catalog);
+
+/// Methods a predicate's truth depends on (m1/m2, recursing through
+/// compound predicates). Empty for predicates that reference no method
+/// (e.g. kFailure, kSynthetic) -- callers must treat those conservatively.
+std::vector<SymbolId> PredicateMethods(const PredicateCatalog& catalog,
+                                       PredicateId id);
+
+}  // namespace aid
+
+#endif  // AID_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,342 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+namespace aid {
+
+namespace {
+
+uint32_t RegBit(Reg r) {
+  return (r >= 0 && r < kNumRegs) ? (1u << static_cast<uint32_t>(r)) : 0u;
+}
+
+}  // namespace
+
+uint32_t InstrDefMask(const Instr& instr) {
+  switch (instr.op) {
+    case Op::kLoadConst:
+    case Op::kLoadGlobal:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kAddImm:
+    case Op::kCmpEq:
+    case Op::kCmpLt:
+    case Op::kArrayLen:
+    case Op::kArrayLoad:
+    case Op::kRandom:
+    case Op::kCall:
+    case Op::kSpawn:
+      return RegBit(instr.a);
+    default:
+      return 0;
+  }
+}
+
+uint32_t InstrUseMask(const Instr& instr) {
+  switch (instr.op) {
+    case Op::kStoreGlobal:
+    case Op::kArrayResize:
+    case Op::kJoin:
+    case Op::kJumpIfZero:
+    case Op::kJumpIfNonZero:
+    case Op::kThrowIfZero:
+    case Op::kThrowIfNonZero:
+    case Op::kReturn:
+      return RegBit(instr.a);
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kCmpEq:
+    case Op::kCmpLt:
+      return RegBit(instr.b) | RegBit(instr.c);
+    case Op::kAddImm:
+    case Op::kArrayLoad:
+      return RegBit(instr.b);
+    case Op::kArrayStore:  // a = source value, b = index
+      return RegBit(instr.a) | RegBit(instr.b);
+    default:
+      return 0;
+  }
+}
+
+bool InstrFallsThrough(Op op) {
+  return op != Op::kJump && op != Op::kThrow && op != Op::kReturn;
+}
+
+MethodCfg MethodCfg::Build(const MethodDef& method) {
+  MethodCfg cfg;
+  cfg.n_ = method.code.size();
+  cfg.BuildEdges(method);
+  cfg.ComputeReachability();
+  cfg.ComputeMaybeUnwritten(method);
+  cfg.ComputeReachingDefs(method);
+  cfg.ComputePostdominators();
+  cfg.ComputeControlDeps();
+  return cfg;
+}
+
+void MethodCfg::BuildEdges(const MethodDef& method) {
+  const int exit = static_cast<int>(n_);
+  succ_.assign(n_ + 1, {});
+  pred_.assign(n_ + 1, {});
+  def_mask_.assign(n_, 0);
+  use_mask_.assign(n_, 0);
+  auto add_edge = [&](size_t from, int to) {
+    // Malformed jump targets are clamped to the exit node: the analyzer
+    // reports them as lint errors, but the CFG must stay well-formed so
+    // the remaining passes can still run on hostile input.
+    if (to < 0 || to > exit) to = exit;
+    succ_[from].push_back(to);
+    pred_[static_cast<size_t>(to)].push_back(static_cast<int>(from));
+  };
+  for (size_t pc = 0; pc < n_; ++pc) {
+    const Instr& instr = method.code[pc];
+    def_mask_[pc] = InstrDefMask(instr);
+    use_mask_[pc] = InstrUseMask(instr);
+    switch (instr.op) {
+      case Op::kJump:
+        add_edge(pc, static_cast<int>(instr.imm));
+        break;
+      case Op::kJumpIfZero:
+      case Op::kJumpIfNonZero:
+        add_edge(pc, static_cast<int>(instr.imm));
+        add_edge(pc, static_cast<int>(pc) + 1);
+        break;
+      case Op::kReturn:
+      case Op::kThrow:
+        add_edge(pc, exit);
+        break;
+      case Op::kThrowIfZero:
+      case Op::kThrowIfNonZero:
+        add_edge(pc, exit);
+        add_edge(pc, static_cast<int>(pc) + 1);
+        break;
+      default:
+        add_edge(pc, static_cast<int>(pc) + 1);
+        break;
+    }
+  }
+}
+
+void MethodCfg::ComputeReachability() {
+  reachable_.assign(n_ + 1, false);
+  if (n_ == 0) {
+    reachable_[0] = true;  // empty method: entry == exit
+    return;
+  }
+  std::vector<size_t> stack = {0};
+  reachable_[0] = true;
+  while (!stack.empty()) {
+    const size_t node = stack.back();
+    stack.pop_back();
+    for (int next : succ_[node]) {
+      if (!reachable_[static_cast<size_t>(next)]) {
+        reachable_[static_cast<size_t>(next)] = true;
+        stack.push_back(static_cast<size_t>(next));
+      }
+    }
+  }
+}
+
+void MethodCfg::ComputeMaybeUnwritten(const MethodDef& method) {
+  (void)method;
+  const uint32_t all = (kNumRegs >= 32) ? ~0u : ((1u << kNumRegs) - 1);
+  // in[pc] = union over predecessors of (in[p] & ~def[p]); in[0] |= all.
+  maybe_unwritten_.assign(n_, 0);
+  if (n_ == 0) return;
+  std::vector<uint32_t> in(n_ + 1, 0);
+  in[0] = all;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t pc = 0; pc < n_ + 1; ++pc) {
+      uint32_t v = (pc == 0) ? all : 0;
+      for (int p : pred_[pc]) {
+        const auto up = static_cast<size_t>(p);
+        v |= in[up] & ~def_mask_[up];
+      }
+      if (v != in[pc]) {
+        in[pc] = v;
+        changed = true;
+      }
+    }
+  }
+  for (size_t pc = 0; pc < n_; ++pc) maybe_unwritten_[pc] = in[pc];
+}
+
+void MethodCfg::ComputeReachingDefs(const MethodDef& method) {
+  const size_t events = n_ + static_cast<size_t>(kNumRegs);
+  rd_words_ = (events + 63) / 64;
+  rd_in_.assign((n_ + 1) * rd_words_, 0);
+  if (n_ == 0) return;
+
+  auto word = [&](size_t node, size_t bit) -> uint64_t& {
+    return rd_in_[node * rd_words_ + bit / 64];
+  };
+  auto test = [&](const std::vector<uint64_t>& set, size_t bit) {
+    return (set[bit / 64] >> (bit % 64)) & 1u;
+  };
+  (void)test;
+
+  // Entry: every register holds its frame-initial pseudo-definition.
+  for (int r = 0; r < kNumRegs; ++r) {
+    word(0, n_ + static_cast<size_t>(r)) |= 1ull << ((n_ + static_cast<size_t>(r)) % 64);
+  }
+
+  // Precompute, per register, the kill set (all events defining it).
+  std::vector<std::vector<uint64_t>> kill_for_reg(
+      static_cast<size_t>(kNumRegs), std::vector<uint64_t>(rd_words_, 0));
+  for (int r = 0; r < kNumRegs; ++r) {
+    auto& kill = kill_for_reg[static_cast<size_t>(r)];
+    const size_t entry_bit = n_ + static_cast<size_t>(r);
+    kill[entry_bit / 64] |= 1ull << (entry_bit % 64);
+    for (size_t pc = 0; pc < n_; ++pc) {
+      if (def_mask_[pc] & (1u << static_cast<uint32_t>(r))) {
+        kill[pc / 64] |= 1ull << (pc % 64);
+      }
+    }
+  }
+
+  std::vector<uint64_t> out(rd_words_);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t pc = 0; pc < n_; ++pc) {
+      // out = (in & ~kill(defined regs)) | gen
+      std::copy(rd_in_.begin() + static_cast<long>(pc * rd_words_),
+                rd_in_.begin() + static_cast<long>((pc + 1) * rd_words_),
+                out.begin());
+      if (def_mask_[pc] != 0) {
+        for (int r = 0; r < kNumRegs; ++r) {
+          if (!(def_mask_[pc] & (1u << static_cast<uint32_t>(r)))) continue;
+          const auto& kill = kill_for_reg[static_cast<size_t>(r)];
+          for (size_t w = 0; w < rd_words_; ++w) out[w] &= ~kill[w];
+        }
+        out[pc / 64] |= 1ull << (pc % 64);
+      }
+      for (int next : succ_[pc]) {
+        const auto node = static_cast<size_t>(next);
+        for (size_t w = 0; w < rd_words_; ++w) {
+          const uint64_t merged = rd_in_[node * rd_words_ + w] | out[w];
+          if (merged != rd_in_[node * rd_words_ + w]) {
+            rd_in_[node * rd_words_ + w] = merged;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  (void)method;
+}
+
+std::vector<int> MethodCfg::ReachingDefs(size_t pc, Reg r) const {
+  std::vector<int> defs;
+  if (r < 0 || r >= kNumRegs || pc > n_) return defs;
+  auto test = [&](size_t bit) {
+    return (rd_in_[pc * rd_words_ + bit / 64] >> (bit % 64)) & 1u;
+  };
+  const size_t entry_bit = n_ + static_cast<size_t>(r);
+  if (test(entry_bit)) defs.push_back(-1);
+  for (size_t d = 0; d < n_; ++d) {
+    if ((def_mask_[d] & (1u << static_cast<uint32_t>(r))) && test(d)) {
+      defs.push_back(static_cast<int>(d));
+    }
+  }
+  return defs;
+}
+
+void MethodCfg::ComputePostdominators() {
+  // Iterative dataflow on the reverse graph, exit as root. Nodes that do
+  // not reach the exit keep ipostdom == -1.
+  const int exit = static_cast<int>(n_);
+  ipostdom_.assign(n_ + 1, -1);
+  ipostdom_[static_cast<size_t>(exit)] = exit;
+  if (n_ == 0) return;
+
+  // Reverse postorder of the reverse CFG (i.e. postorder from exit over
+  // pred edges) gives fast convergence for the standard Cooper/Harvey/
+  // Kennedy algorithm.
+  std::vector<int> order;  // nodes in visit-finish order from exit
+  std::vector<uint8_t> state(n_ + 1, 0);
+  std::vector<std::pair<int, size_t>> stack = {{exit, 0}};
+  state[static_cast<size_t>(exit)] = 1;
+  while (!stack.empty()) {
+    auto& [node, i] = stack.back();
+    const auto& preds = pred_[static_cast<size_t>(node)];
+    if (i < preds.size()) {
+      const int p = preds[i++];
+      if (state[static_cast<size_t>(p)] == 0) {
+        state[static_cast<size_t>(p)] = 1;
+        stack.push_back({p, 0});
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // order.back() == exit; process in reverse (exit first).
+  std::vector<int> index_of(n_ + 1, -1);
+  for (size_t i = 0; i < order.size(); ++i) {
+    index_of[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  }
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (index_of[static_cast<size_t>(a)] < index_of[static_cast<size_t>(b)]) {
+        a = ipostdom_[static_cast<size_t>(a)];
+      }
+      while (index_of[static_cast<size_t>(b)] < index_of[static_cast<size_t>(a)]) {
+        b = ipostdom_[static_cast<size_t>(b)];
+      }
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const int node = *it;
+      if (node == exit) continue;
+      int new_idom = -1;
+      for (int s : succ_[static_cast<size_t>(node)]) {
+        if (ipostdom_[static_cast<size_t>(s)] == -1) continue;
+        new_idom = (new_idom == -1) ? s : intersect(new_idom, s);
+      }
+      if (new_idom != -1 && ipostdom_[static_cast<size_t>(node)] != new_idom) {
+        ipostdom_[static_cast<size_t>(node)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+void MethodCfg::ComputeControlDeps() {
+  ctrl_deps_.assign(n_, {});
+  // Ferrante et al.: for each edge (u, v) where v does not postdominate u,
+  // every node on the postdominator-tree path from v up to (exclusive)
+  // ipostdom(u) is control-dependent on u.
+  for (size_t u = 0; u < n_; ++u) {
+    if (succ_[u].size() < 2) continue;  // only branches induce dependence
+    const int u_ipdom = ipostdom_[u];
+    for (int v : succ_[u]) {
+      int walk = v;
+      // Follow the postdominator chain; -1 means the path never rejoins
+      // the exit (infinite loop) -- everything visited is dependent on u.
+      int guard = 0;
+      while (walk != -1 && walk != u_ipdom &&
+             guard++ <= static_cast<int>(n_) + 1) {
+        if (walk != static_cast<int>(n_)) {
+          auto& deps = ctrl_deps_[static_cast<size_t>(walk)];
+          if (std::find(deps.begin(), deps.end(), static_cast<int>(u)) ==
+              deps.end()) {
+            deps.push_back(static_cast<int>(u));
+          }
+        }
+        walk = ipostdom_[static_cast<size_t>(walk)];
+      }
+    }
+  }
+}
+
+}  // namespace aid

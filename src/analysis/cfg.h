@@ -1,0 +1,98 @@
+// Per-method control-flow graph, def-use sets, reaching definitions, and
+// control dependence for the AID VM (runtime/program.h).
+//
+// The CFG is the intra-procedural half of the static analyzer: one graph
+// per MethodDef whose nodes are instruction indices plus a synthetic exit
+// node (pc == code.size()). kReturn and kThrow edge to the exit; jumps edge
+// to their targets; everything else falls through. Construction never
+// fails -- malformed operands (out-of-range jump targets and the like) are
+// clamped to the exit node so the analyzer can still reason about hostile
+// wire-received programs while reporting the malformation as a lint
+// finding (analysis/analyzer.h).
+
+#ifndef AID_ANALYSIS_CFG_H_
+#define AID_ANALYSIS_CFG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/program.h"
+
+namespace aid {
+
+/// Registers defined (written) by one instruction, as a bitmask over
+/// [0, kNumRegs). kNoReg operands contribute no bit.
+uint32_t InstrDefMask(const Instr& instr);
+
+/// Registers used (read) by one instruction, as a bitmask.
+uint32_t InstrUseMask(const Instr& instr);
+
+/// Whether control can continue to pc+1 after this opcode (false for
+/// unconditional jump, throw, and return).
+bool InstrFallsThrough(Op op);
+
+/// CFG + dataflow facts for one method. Nodes are [0, n] where n =
+/// code.size() is the synthetic exit node.
+class MethodCfg {
+ public:
+  /// Builds the CFG and runs the dataflow passes. Total work is a small
+  /// number of fixpoint sweeps over the (tiny) method body.
+  static MethodCfg Build(const MethodDef& method);
+
+  size_t size() const { return n_; }  ///< instruction count (exit node id)
+
+  const std::vector<int>& Successors(size_t node) const {
+    return succ_[node];
+  }
+  /// True if `node` is reachable from the method entry (pc 0).
+  bool Reachable(size_t node) const { return reachable_[node]; }
+
+  /// Registers that may still be unwritten (holding their frame-initial
+  /// zero) on entry to `pc`, as a bitmask.
+  uint32_t MaybeUnwritten(size_t pc) const { return maybe_unwritten_[pc]; }
+
+  /// Definition sites of register `r` that may reach the entry of `pc`.
+  /// Contains -1 when the frame-initial value may still be live.
+  std::vector<int> ReachingDefs(size_t pc, Reg r) const;
+
+  /// Branch instructions `pc` is control-dependent on (Ferrante et al.,
+  /// computed from the postdominator tree). Nodes that cannot reach the
+  /// exit (e.g. bodies of infinite loops) have no postdominator; the walk
+  /// from such a branch edge records its head and stops.
+  const std::vector<int>& ControlDeps(size_t pc) const {
+    return ctrl_deps_[pc];
+  }
+
+  /// Immediate postdominator of `node`, or -1 if the node cannot reach the
+  /// exit. The exit node postdominates itself.
+  int ImmediatePostdom(size_t node) const { return ipostdom_[node]; }
+
+ private:
+  MethodCfg() = default;
+
+  void BuildEdges(const MethodDef& method);
+  void ComputeReachability();
+  void ComputeMaybeUnwritten(const MethodDef& method);
+  void ComputeReachingDefs(const MethodDef& method);
+  void ComputePostdominators();
+  void ComputeControlDeps();
+
+  size_t n_ = 0;
+  std::vector<std::vector<int>> succ_;   // [0, n_]
+  std::vector<std::vector<int>> pred_;   // [0, n_]
+  std::vector<bool> reachable_;          // [0, n_]
+  std::vector<uint32_t> def_mask_;       // [0, n_)
+  std::vector<uint32_t> use_mask_;       // [0, n_)
+  std::vector<uint32_t> maybe_unwritten_;  // [0, n_)
+  std::vector<int> ipostdom_;            // [0, n_]
+  std::vector<std::vector<int>> ctrl_deps_;  // [0, n_)
+  // Reaching definitions: per node, a bitset over "definition events".
+  // Events 0..n_-1 are definitions at that pc; event n_+r is the
+  // frame-initial pseudo-definition of register r.
+  size_t rd_words_ = 0;
+  std::vector<uint64_t> rd_in_;  // (n_+1) * rd_words_
+};
+
+}  // namespace aid
+
+#endif  // AID_ANALYSIS_CFG_H_

@@ -1,0 +1,52 @@
+// Static analysis knobs and the per-discovery summary of what the analysis
+// did (threaded through core/engine into DiscoveryReport).
+//
+// This header is dependency-free on purpose: core/, api/, and proc/ all
+// embed these PODs without pulling in the analyzer itself.
+
+#ifndef AID_ANALYSIS_SUMMARY_H_
+#define AID_ANALYSIS_SUMMARY_H_
+
+#include <cstdint>
+
+namespace aid {
+
+/// Configuration for the static analysis pass over subject programs.
+/// Disabled by default: every existing pipeline behaves bit-identically
+/// unless a caller opts in (SessionBuilder::WithStaticAnalysis).
+struct AnalysisOptions {
+  /// Master switch. When false the other knobs are ignored.
+  bool enabled = false;
+  /// Prune AC-DAG candidate edges between dependence-disjoint
+  /// instrumentation points before the intervention loop.
+  bool prune_edges = true;
+  /// Lint the program before running it; error findings fail target
+  /// construction (and, on the proc/ wire, produce an ERROR frame).
+  bool lint_programs = true;
+  /// Exclude statically infeasible predicates (sites on unreachable
+  /// methods) from the statistical debugger's denominators.
+  bool exclude_infeasible = true;
+};
+
+/// What the analysis pass actually did for one discovery run. Carried in
+/// DiscoveryReport; deliberately NOT part of SameDiscoveryOutcome, which
+/// compares discovery results, not how they were obtained.
+struct AnalysisSummary {
+  bool ran = false;
+  /// AC-DAG size before dependence pruning (after the usual
+  /// unreachable-node drop), and how much pruning removed.
+  uint64_t nodes_before = 0;
+  uint64_t nodes_pruned = 0;
+  uint64_t edges_before = 0;
+  uint64_t edges_pruned = 0;
+  /// Predicates excluded from statistical-debugging denominators because
+  /// their sites are statically unreachable.
+  uint64_t infeasible_predicates = 0;
+  /// Lint findings on the subject program.
+  uint64_t lint_errors = 0;
+  uint64_t lint_warnings = 0;
+};
+
+}  // namespace aid
+
+#endif  // AID_ANALYSIS_SUMMARY_H_

@@ -45,7 +45,8 @@ class VmSessionTarget : public SessionTarget {
       const std::string& case_key = {},
       const std::vector<std::string>& fleet = {},
       const RemoteOptions& remote = {},
-      const SchedulerOptions& scheduler = {}) {
+      const SchedulerOptions& scheduler = {},
+      const AnalysisOptions& analysis = {}) {
     AID_RETURN_IF_ERROR(ValidateParallelism(parallelism));
     AID_RETURN_IF_ERROR(ValidateSchedulerOptions(scheduler));
     AID_RETURN_IF_ERROR(ValidateSubstrate(fleet, isolation));
@@ -59,6 +60,10 @@ class VmSessionTarget : public SessionTarget {
       program = &target->study_->program;
       effective = target->study_->target_options;
     }
+    // The session-level analysis knob wins over whatever the backend
+    // options carry -- crucially AFTER the owned-study overwrite above, or
+    // WithStaticAnalysis would be silently dropped on case studies.
+    if (analysis.enabled) effective.analysis = analysis;
     if (program == nullptr) {
       return Status::InvalidArgument(
           "vm target: TargetConfig::program is required");
@@ -127,6 +132,9 @@ class VmSessionTarget : public SessionTarget {
     return &program_->object_names();
   }
   int sd_predicate_count() const override { return sd_count_; }
+  AnalysisSummary analysis_summary() const override {
+    return vm_target_->analysis_summary();
+  }
 
  private:
   explicit VmSessionTarget(std::string name) : name_(std::move(name)) {}
@@ -160,11 +168,13 @@ class ModelSessionTarget : public SessionTarget {
   static Result<std::unique_ptr<SessionTarget>> Create(
       std::string name, const GroundTruthModel* model,
       std::unique_ptr<ReplicableTarget> intervention, int parallelism,
-      const SchedulerOptions& scheduler = {}) {
+      const SchedulerOptions& scheduler = {},
+      const AnalysisOptions& analysis = {}) {
     AID_RETURN_IF_ERROR(ValidateParallelism(parallelism));
     AID_RETURN_IF_ERROR(ValidateSchedulerOptions(scheduler));
     auto target = std::make_unique<ModelSessionTarget>(
         std::move(name), model, std::move(intervention));
+    target->analysis_ = analysis;
     if (parallelism > 1) {
       AID_ASSIGN_OR_RETURN(
           target->parallel_,
@@ -185,10 +195,28 @@ class ModelSessionTarget : public SessionTarget {
     if (parallel_ != nullptr) return parallel_.get();
     return intervention_.get();
   }
-  Result<AcDag> BuildAcDag() override { return model_->BuildAcDag(); }
+  Result<AcDag> BuildAcDag() override {
+    if (!analysis_.enabled || !analysis_.prune_edges) {
+      return model_->BuildAcDag();
+    }
+    // Dependence-based pruning over the model's declared channels. With no
+    // declared edges the model build is the plain one (all-may-influence),
+    // but the summary still records that analysis ran.
+    summary_.ran = true;
+    AcDag::PruneStats stats{};
+    auto dag = model_->BuildAcDag(/*apply_dependence_pruning=*/true, &stats);
+    if (dag.ok() && !model_->dependence_edges().empty()) {
+      summary_.nodes_before = stats.nodes_before;
+      summary_.nodes_pruned = stats.nodes_pruned;
+      summary_.edges_before = stats.edges_before;
+      summary_.edges_pruned = stats.edges_pruned;
+    }
+    return dag;
+  }
   const PredicateCatalog* catalog() const override {
     return &model_->catalog();
   }
+  AnalysisSummary analysis_summary() const override { return summary_; }
 
  private:
   std::string name_;
@@ -196,6 +224,8 @@ class ModelSessionTarget : public SessionTarget {
   std::unique_ptr<ReplicableTarget> intervention_;
   /// Replica pool over intervention_; set iff parallelism > 1.
   std::unique_ptr<ParallelTarget> parallel_;
+  AnalysisOptions analysis_;
+  AnalysisSummary summary_;
 };
 
 /// Borrows an externally assembled InterventionTarget + AC-DAG.
@@ -235,7 +265,7 @@ Result<std::unique_ptr<SessionTarget>> CreateCaseTarget(
                                  std::move(study), config.parallelism,
                                  config.isolation, config.subprocess, key,
                                  config.fleet, config.remote,
-                                 config.scheduler);
+                                 config.scheduler, config.analysis);
 }
 
 struct Registry {
@@ -248,20 +278,23 @@ struct Registry {
                                      std::nullopt, config.parallelism,
                                      config.isolation, config.subprocess,
                                      /*case_key=*/{}, config.fleet,
-                                     config.remote, config.scheduler);
+                                     config.remote, config.scheduler,
+                                     config.analysis);
     };
     creators["model"] = [](const TargetConfig& config) {
       return MakeModelSessionTarget(config.model, 1.0, 1, "model",
                                     config.parallelism, config.isolation,
                                     config.subprocess, config.fleet,
-                                    config.remote, config.scheduler);
+                                    config.remote, config.scheduler,
+                                    config.analysis);
     };
     creators["flaky-model"] = [](const TargetConfig& config) {
       return MakeModelSessionTarget(config.model, config.manifest_probability,
                                     config.flaky_seed, "flaky-model",
                                     config.parallelism, config.isolation,
                                     config.subprocess, config.fleet,
-                                    config.remote, config.scheduler);
+                                    config.remote, config.scheduler,
+                                    config.analysis);
     };
     creators["case"] = [](const TargetConfig& config) {
       return CreateCaseTarget(config.case_study, config);
@@ -324,11 +357,11 @@ Result<std::unique_ptr<SessionTarget>> MakeVmSessionTarget(
     const Program* program, const VmTargetOptions& options, std::string name,
     int parallelism, Isolation isolation, const SubprocessOptions& subprocess,
     const std::vector<std::string>& fleet, const RemoteOptions& remote,
-    const SchedulerOptions& scheduler) {
+    const SchedulerOptions& scheduler, const AnalysisOptions& analysis) {
   return VmSessionTarget::Create(std::move(name), program, options,
                                  std::nullopt, parallelism, isolation,
                                  subprocess, /*case_key=*/{}, fleet, remote,
-                                 scheduler);
+                                 scheduler, analysis);
 }
 
 Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
@@ -336,7 +369,7 @@ Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
     uint64_t flaky_seed, std::string name, int parallelism,
     Isolation isolation, const SubprocessOptions& subprocess,
     const std::vector<std::string>& fleet, const RemoteOptions& remote,
-    const SchedulerOptions& scheduler) {
+    const SchedulerOptions& scheduler, const AnalysisOptions& analysis) {
   if (model == nullptr) {
     return Status::InvalidArgument(
         "model target: TargetConfig::model is required");
@@ -373,7 +406,7 @@ Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
   }
   return ModelSessionTarget::Create(std::move(name), model,
                                     std::move(intervention), parallelism,
-                                    scheduler);
+                                    scheduler, analysis);
 }
 
 std::unique_ptr<SessionTarget> MakeAdapterSessionTarget(

@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/summary.h"
 #include "causal/acdag.h"
 #include "common/status.h"
 #include "core/target.h"
@@ -109,6 +110,17 @@ struct TargetConfig {
   /// Fleet only: connection & trial lifecycle knobs (per-trial deadline,
   /// reconnect budget/backoff, fault injection).
   RemoteOptions remote;
+
+  /// All built-in backends: the static analysis pass (src/analysis/). When
+  /// `analysis.enabled`, VM-backed targets lint the program before the
+  /// observation scan, exclude statically infeasible predicates from
+  /// statistical debugging, and prune dependence-free AC-DAG edges;
+  /// model-backed targets prune temporal edges not covered by the model's
+  /// declared dependence channels. Disabled (all passes off) by default --
+  /// when disabled, backend-specific options (e.g. TargetConfig::vm's own
+  /// analysis field) are left untouched. Usually set through
+  /// SessionBuilder::WithStaticAnalysis.
+  AnalysisOptions analysis;
 };
 
 /// One debuggable application: the pluggable unit behind aid::Session.
@@ -150,6 +162,12 @@ class SessionTarget {
   /// #fully-discriminative predicates statistical debugging surfaced, or -1
   /// when the backend has no SD stage (ground-truth models).
   virtual int sd_predicate_count() const { return -1; }
+
+  /// What the static analysis pass did for this target (ran == false when
+  /// analysis was off or the backend has no analysis stage). Pruning
+  /// counters are filled in by BuildAcDag, so read this after building the
+  /// DAG.
+  virtual AnalysisSummary analysis_summary() const { return {}; }
 };
 
 /// Registry of target backends, keyed by name.
@@ -185,7 +203,8 @@ Result<std::unique_ptr<SessionTarget>> MakeVmSessionTarget(
     Isolation isolation = Isolation::kInProcess,
     const SubprocessOptions& subprocess = {},
     const std::vector<std::string>& fleet = {},
-    const RemoteOptions& remote = {}, const SchedulerOptions& scheduler = {});
+    const RemoteOptions& remote = {}, const SchedulerOptions& scheduler = {},
+    const AnalysisOptions& analysis = {});
 
 /// Wraps a ground-truth model as a SessionTarget. `model` must outlive the
 /// target. With `manifest_probability` < 1 the intervention target is a
@@ -199,7 +218,8 @@ Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
     Isolation isolation = Isolation::kInProcess,
     const SubprocessOptions& subprocess = {},
     const std::vector<std::string>& fleet = {},
-    const RemoteOptions& remote = {}, const SchedulerOptions& scheduler = {});
+    const RemoteOptions& remote = {}, const SchedulerOptions& scheduler = {},
+    const AnalysisOptions& analysis = {});
 
 /// Adapts a borrowed InterventionTarget and prebuilt AC-DAG as a
 /// SessionTarget -- the escape hatch for research setups that assemble the

@@ -12,8 +12,8 @@ namespace aid {
 Result<AcDag> AcDag::Build(const PredicateCatalog* catalog,
                            const std::vector<PredicateLog>& logs,
                            const std::vector<PredicateId>& candidates,
-                           PredicateId failure,
-                           const PrecedenceConfig& config) {
+                           PredicateId failure, const PrecedenceConfig& config,
+                           const EdgeFilter& filter, PruneStats* stats) {
   if (catalog == nullptr) {
     return Status::InvalidArgument("catalog must not be null");
   }
@@ -68,13 +68,14 @@ Result<AcDag> AcDag::Build(const PredicateCatalog* catalog,
     }
   }
   return FromClosure(catalog, std::move(nodes), std::move(closure), failure,
-                     /*drop_unreachable=*/true);
+                     /*drop_unreachable=*/true, filter ? &filter : nullptr,
+                     stats);
 }
 
 Result<AcDag> AcDag::FromEdges(
     const PredicateCatalog* catalog, const std::vector<PredicateId>& nodes_in,
     const std::vector<std::pair<PredicateId, PredicateId>>& edges,
-    PredicateId failure) {
+    PredicateId failure, const EdgeFilter& filter, PruneStats* stats) {
   std::vector<PredicateId> nodes = nodes_in;
   std::sort(nodes.begin(), nodes.end());
   nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
@@ -121,14 +122,46 @@ Result<AcDag> AcDag::FromEdges(
     }
   }
   return FromClosure(catalog, std::move(nodes), std::move(closure), failure,
-                     /*drop_unreachable=*/true);
+                     /*drop_unreachable=*/true, filter ? &filter : nullptr,
+                     stats);
 }
 
 Result<AcDag> AcDag::FromClosure(const PredicateCatalog* catalog,
                                  std::vector<PredicateId> nodes,
                                  std::vector<std::vector<bool>> closure,
-                                 PredicateId failure, bool drop_unreachable) {
+                                 PredicateId failure, bool drop_unreachable,
+                                 const EdgeFilter* filter, PruneStats* stats) {
   const size_t n = nodes.size();
+  if (filter != nullptr) {
+    if (stats != nullptr) {
+      // Measure against the DAG the unfiltered build would produce.
+      auto baseline = FromClosure(catalog, nodes, closure, failure,
+                                  drop_unreachable);
+      if (!baseline.ok()) return baseline;
+      stats->nodes_before = baseline->size();
+      stats->edges_before = baseline->EdgeCount();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (closure[i][j] && !(*filter)(nodes[i], nodes[j])) {
+          closure[i][j] = false;
+        }
+      }
+    }
+    // Re-close the filtered relation (Floyd-Warshall). A reachability-based
+    // filter leaves a transitive relation transitive, so this is a no-op
+    // for the analysis/ filter -- but the closure invariant must hold for
+    // arbitrary filters, and everything downstream (junction layering,
+    // Definition 2's ancestor guard) depends on it.
+    for (size_t k = 0; k < n; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!closure[i][k]) continue;
+        for (size_t j = 0; j < n; ++j) {
+          if (closure[k][j]) closure[i][j] = true;
+        }
+      }
+    }
+  }
   if (drop_unreachable) {
     // Keep the failure node and every node that reaches it: a predicate with
     // no path to F cannot cause F under the temporal over-approximation.
@@ -165,7 +198,21 @@ Result<AcDag> AcDag::FromClosure(const PredicateCatalog* catalog,
   for (size_t i = 0; i < dag.nodes_.size(); ++i) {
     dag.index_[dag.nodes_[i]] = static_cast<int>(i);
   }
+  if (filter != nullptr && stats != nullptr) {
+    // Filtering only removes edges, so the filtered DAG is never larger
+    // than the baseline: the subtractions cannot underflow.
+    stats->nodes_pruned = stats->nodes_before - dag.nodes_.size();
+    stats->edges_pruned = stats->edges_before - dag.EdgeCount();
+  }
   return dag;
+}
+
+size_t AcDag::EdgeCount() const {
+  size_t count = 0;
+  for (const auto& row : closure_) {
+    for (bool edge : row) count += edge ? 1 : 0;
+  }
+  return count;
 }
 
 void AcDag::BuildReduction() const {

@@ -16,6 +16,7 @@
 #ifndef AID_CAUSAL_ACDAG_H_
 #define AID_CAUSAL_ACDAG_H_
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,28 +29,52 @@ namespace aid {
 
 class AcDag {
  public:
+  /// Static-analysis edge veto: returning false discharges a closure edge
+  /// (from, to) before reachability-to-failure pruning. The analysis/
+  /// subsystem supplies a dependence-based filter; a default-constructed
+  /// (empty) filter keeps every edge.
+  using EdgeFilter = std::function<bool(PredicateId from, PredicateId to)>;
+
+  /// What static pruning removed, measured against the DAG the same build
+  /// would have produced with no filter (after the usual
+  /// unreachable-node drop in both cases).
+  struct PruneStats {
+    size_t nodes_before = 0;
+    size_t nodes_pruned = 0;
+    size_t edges_before = 0;
+    size_t edges_pruned = 0;
+  };
+
   /// Builds the AC-DAG from the failed observation logs.
   ///
   /// `candidates` are the fully-discriminative predicate ids (from
   /// StatisticalDebugger::FullyDiscriminative); `failure` must be among
-  /// them. Successful logs in `logs` are ignored.
+  /// them. Successful logs in `logs` are ignored. When `filter` is
+  /// non-empty, vetoed closure edges are removed (and `stats`, if given,
+  /// reports the difference against the unfiltered build).
   static Result<AcDag> Build(const PredicateCatalog* catalog,
                              const std::vector<PredicateLog>& logs,
                              const std::vector<PredicateId>& candidates,
                              PredicateId failure,
                              const PrecedenceConfig& config =
-                                 PrecedenceConfig::Default());
+                                 PrecedenceConfig::Default(),
+                             const EdgeFilter& filter = {},
+                             PruneStats* stats = nullptr);
 
   /// Builds directly from explicit edges (synthetic targets, tests). Edges
-  /// are transitively closed internally; must be acyclic.
+  /// are transitively closed internally; must be acyclic. `filter`/`stats`
+  /// behave as in Build.
   static Result<AcDag> FromEdges(
       const PredicateCatalog* catalog, const std::vector<PredicateId>& nodes,
       const std::vector<std::pair<PredicateId, PredicateId>>& edges,
-      PredicateId failure);
+      PredicateId failure, const EdgeFilter& filter = {},
+      PruneStats* stats = nullptr);
 
   /// All nodes (ascending id), including the failure predicate.
   const std::vector<PredicateId>& nodes() const { return nodes_; }
   size_t size() const { return nodes_.size(); }
+  /// Number of ordered pairs in the stored closure.
+  size_t EdgeCount() const;
   PredicateId failure() const { return failure_; }
   const PredicateCatalog* catalog() const { return catalog_; }
 
@@ -83,12 +108,14 @@ class AcDag {
 
  private:
   AcDag() = default;
-  /// Validates and applies reachability-to-failure pruning.
+  /// Validates, applies the optional edge filter (re-closing the relation
+  /// afterwards), and applies reachability-to-failure pruning.
   static Result<AcDag> FromClosure(const PredicateCatalog* catalog,
                                    std::vector<PredicateId> nodes,
                                    std::vector<std::vector<bool>> closure,
-                                   PredicateId failure,
-                                   bool drop_unreachable);
+                                   PredicateId failure, bool drop_unreachable,
+                                   const EdgeFilter* filter = nullptr,
+                                   PruneStats* stats = nullptr);
   void BuildReduction() const;
   int IndexOf(PredicateId id) const;
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/summary.h"
 #include "causal/acdag.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -150,6 +151,12 @@ struct DiscoveryReport {
   /// case the "path" is the set of counterfactual causes in topological
   /// order rather than a proper chain.
   bool path_is_chain = true;
+  /// What the static analysis pass did for this discovery (ran == false
+  /// when analysis was off). Like the dispatch stats above, this describes
+  /// how the result was obtained, not the result itself, so it is NOT part
+  /// of SameDiscoveryOutcome -- analysis-on vs analysis-off runs that make
+  /// identical decisions still compare equal.
+  AnalysisSummary analysis;
 
   /// True iff discovery certified at least one causal predicate. The causal
   /// path always ends with the failure predicate F, so a path of size 1 is

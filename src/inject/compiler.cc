@@ -15,43 +15,82 @@ int64_t BaselineReturn(
 
 }  // namespace
 
-bool InterventionCompiler::IsSafelyIntervenable(PredicateId id) const {
+Status InterventionCompiler::Validate(PredicateId id) const {
+  return ValidateImpl(id, 0);
+}
+
+Status InterventionCompiler::ValidateImpl(PredicateId id, int depth) const {
+  if (depth > 16) {
+    return Status::InvalidArgument(
+        StrFormat("predicate %d: compound nesting too deep", id));
+  }
+  if (id < 0 || static_cast<size_t>(id) >= catalog_->size()) {
+    return Status::InvalidArgument(
+        StrFormat("predicate %d is outside the catalog", id));
+  }
   const Predicate& p = catalog_->Get(id);
-  auto side_effect_free = [this](SymbolId m) {
-    return m != kInvalidSymbol && program_->method(m).side_effect_free;
+  auto check_method = [&](SymbolId m) -> Status {
+    if (m < 0 || static_cast<size_t>(m) >= program_->methods().size()) {
+      return Status::InvalidArgument(StrFormat(
+          "predicate %d (%s) references method %d outside the program", id,
+          std::string(PredKindName(p.kind)).c_str(), m));
+    }
+    return Status::OK();
+  };
+  auto side_effect_free = [&](SymbolId m) {
+    return m >= 0 && static_cast<size_t>(m) < program_->methods().size() &&
+           program_->method(m).side_effect_free;
   };
   switch (p.kind) {
     case PredKind::kDataRace:
     case PredKind::kAtomicityViolation:
-    case PredKind::kTooFast:
     case PredKind::kOrder:
       // Timing/locking interventions occur naturally under the runtime and
-      // are always safe (Section 3.3).
-      return true;
+      // are always safe (Section 3.3) -- both named methods must exist.
+      AID_RETURN_IF_ERROR(check_method(p.m1));
+      return check_method(p.m2);
+    case PredKind::kTooFast:
+      return check_method(p.m1);
     case PredKind::kMethodFails:
     case PredKind::kTooSlow:
     case PredKind::kWrongReturn:
-    case PredKind::kReturnEquals:
       // These alter return values or swallow exceptions: the developer must
       // have declared the method side-effect-free.
-      return side_effect_free(p.m1) ||
-             (p.kind == PredKind::kReturnEquals && side_effect_free(p.m2));
+      AID_RETURN_IF_ERROR(check_method(p.m1));
+      if (!side_effect_free(p.m1)) {
+        return Status::FailedPrecondition(StrFormat(
+            "predicate %d (%s): method '%s' is not declared side-effect-free",
+            id, std::string(PredKindName(p.kind)).c_str(),
+            program_->method(p.m1).name.c_str()));
+      }
+      return Status::OK();
+    case PredKind::kReturnEquals:
+      AID_RETURN_IF_ERROR(check_method(p.m1));
+      AID_RETURN_IF_ERROR(check_method(p.m2));
+      if (!side_effect_free(p.m1) && !side_effect_free(p.m2)) {
+        return Status::FailedPrecondition(StrFormat(
+            "predicate %d (ReturnEquals): neither '%s' nor '%s' is declared "
+            "side-effect-free",
+            id, program_->method(p.m1).name.c_str(),
+            program_->method(p.m2).name.c_str()));
+      }
+      return Status::OK();
     case PredKind::kCompound:
-      return IsSafelyIntervenable(p.sub1) && IsSafelyIntervenable(p.sub2);
+      AID_RETURN_IF_ERROR(ValidateImpl(p.sub1, depth + 1));
+      return ValidateImpl(p.sub2, depth + 1);
     case PredKind::kSynthetic:
-      return true;  // model targets intervene abstractly
+      return Status::OK();  // model targets intervene abstractly
     case PredKind::kFailure:
-      return false;
+      return Status::FailedPrecondition(
+          "the failure predicate itself cannot be intervened");
   }
-  return false;
+  return Status::InvalidArgument(
+      StrFormat("predicate %d has an unknown kind", id));
 }
 
 Result<std::vector<VmAction>> InterventionCompiler::Compile(
     PredicateId id) const {
-  if (!IsSafelyIntervenable(id)) {
-    return Status::FailedPrecondition(
-        StrFormat("predicate %d is not safely intervenable", id));
-  }
+  AID_RETURN_IF_ERROR(Validate(id));
   const Predicate& p = catalog_->Get(id);
   std::vector<VmAction> actions;
   switch (p.kind) {

@@ -40,9 +40,19 @@ class InterventionCompiler {
                        const std::unordered_map<SymbolId, MethodBaseline>* baselines)
       : program_(program), catalog_(catalog), baselines_(baselines) {}
 
+  /// Static validity check for an intervention point: OK iff `id` names an
+  /// in-range predicate whose methods exist in the program and whose flip
+  /// admits a safe VM action (paper Section 3.3). The diagnostic names the
+  /// offending predicate/method, so un-flippable predicates are rejected
+  /// up front instead of costing a wasted trial.
+  Status Validate(PredicateId id) const;
+
   /// True iff `id` can be forced to its successful value without unsafe
-  /// side effects. The failure predicate itself is never intervenable.
-  bool IsSafelyIntervenable(PredicateId id) const;
+  /// side effects (Validate(id).ok()). The failure predicate itself is
+  /// never intervenable.
+  bool IsSafelyIntervenable(PredicateId id) const {
+    return Validate(id).ok();
+  }
 
   /// VM actions that falsify `id`. Fails for unsafe or non-intervenable
   /// predicates.
@@ -53,6 +63,8 @@ class InterventionCompiler {
   Result<InterventionPlan> CompilePlan(const std::vector<PredicateId>& ids) const;
 
  private:
+  Status ValidateImpl(PredicateId id, int depth) const;
+
   const Program* program_;
   const PredicateCatalog* catalog_;
   const std::unordered_map<SymbolId, MethodBaseline>* baselines_;

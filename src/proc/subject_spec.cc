@@ -9,7 +9,10 @@
 namespace aid {
 namespace {
 
-constexpr uint32_t kSpecFormatVersion = 1;
+// Version history:
+//   1  initial format
+//   2  model dependence edges; VmTargetOptions analysis flags
+constexpr uint32_t kSpecFormatVersion = 2;
 
 void SerializeVmTargetOptions(const VmTargetOptions& options,
                               WireWriter& writer) {
@@ -30,6 +33,10 @@ void SerializeVmTargetOptions(const VmTargetOptions& options,
   writer.U64(options.vm.seed);
   writer.I64(options.vm.max_steps);
   writer.U8(options.vm.stop_on_failure ? 1 : 0);
+  writer.U8(options.analysis.enabled ? 1 : 0);
+  writer.U8(options.analysis.prune_edges ? 1 : 0);
+  writer.U8(options.analysis.lint_programs ? 1 : 0);
+  writer.U8(options.analysis.exclude_infeasible ? 1 : 0);
 }
 
 VmTargetOptions DeserializeVmTargetOptions(WireReader& reader) {
@@ -51,7 +58,25 @@ VmTargetOptions DeserializeVmTargetOptions(WireReader& reader) {
   options.vm.seed = reader.U64();
   options.vm.max_steps = reader.I64();
   options.vm.stop_on_failure = reader.U8() != 0;
+  options.analysis.enabled = reader.U8() != 0;
+  options.analysis.prune_edges = reader.U8() != 0;
+  options.analysis.lint_programs = reader.U8() != 0;
+  options.analysis.exclude_infeasible = reader.U8() != 0;
   return options;
+}
+
+/// A hostile predicate id that escapes the catalog range would index out of
+/// bounds in GroundTruthModel::Execute; every wire-received id is checked
+/// here instead.
+Status CheckModelId(const GroundTruthModel& model, PredicateId id,
+                    const char* what) {
+  if (id < 0 || static_cast<size_t>(id) >= model.catalog().size()) {
+    return Status::InvalidArgument(
+        "model decode: " + std::string(what) + " id " + std::to_string(id) +
+        " outside the catalog range [0, " +
+        std::to_string(model.catalog().size()) + ")");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -101,6 +126,14 @@ void SerializeModel(const GroundTruthModel& model, WireWriter& writer) {
   // in sequence, and topological tie-breaking downstream is order-sensitive.
   writer.U32(static_cast<uint32_t>(model.temporal_edges().size()));
   for (const auto& [from, to] : model.temporal_edges()) {
+    writer.I32(from);
+    writer.I32(to);
+  }
+
+  // Dependence channels (format version 2): the static-analysis analog the
+  // dependence-aware DAG pruning consumes.
+  writer.U32(static_cast<uint32_t>(model.dependence_edges().size()));
+  for (const auto& [from, to] : model.dependence_edges()) {
     writer.I32(from);
     writer.I32(to);
   }
@@ -170,6 +203,9 @@ Result<std::unique_ptr<GroundTruthModel>> DeserializeModel(WireReader& reader) {
     chain.reserve(chain_count);
     for (uint32_t i = 0; i < chain_count; ++i) chain.push_back(reader.I32());
     AID_RETURN_IF_ERROR(reader.status());
+    for (PredicateId id : chain) {
+      AID_RETURN_IF_ERROR(CheckModelId(*model, id, "causal chain"));
+    }
     model->SetCausalChain(std::move(chain));
   }
 
@@ -184,6 +220,10 @@ Result<std::unique_ptr<GroundTruthModel>> DeserializeModel(WireReader& reader) {
     parents.reserve(parent_count);
     for (uint32_t j = 0; j < parent_count; ++j) parents.push_back(reader.I32());
     AID_RETURN_IF_ERROR(reader.status());
+    AID_RETURN_IF_ERROR(CheckModelId(*model, id, "true-cause rule"));
+    for (PredicateId parent : parents) {
+      AID_RETURN_IF_ERROR(CheckModelId(*model, parent, "true-cause parent"));
+    }
     model->SetTrueParents(id, std::move(parents));
   }
 
@@ -192,7 +232,21 @@ Result<std::unique_ptr<GroundTruthModel>> DeserializeModel(WireReader& reader) {
   for (uint32_t i = 0; i < edge_count; ++i) {
     const PredicateId from = reader.I32();
     const PredicateId to = reader.I32();
+    AID_RETURN_IF_ERROR(reader.status());
+    AID_RETURN_IF_ERROR(CheckModelId(*model, from, "temporal edge"));
+    AID_RETURN_IF_ERROR(CheckModelId(*model, to, "temporal edge"));
     model->AddTemporalEdge(from, to);
+  }
+
+  const uint32_t dep_count = reader.Count(2 * sizeof(PredicateId));
+  AID_RETURN_IF_ERROR(reader.status());
+  for (uint32_t i = 0; i < dep_count; ++i) {
+    const PredicateId from = reader.I32();
+    const PredicateId to = reader.I32();
+    AID_RETURN_IF_ERROR(reader.status());
+    AID_RETURN_IF_ERROR(CheckModelId(*model, from, "dependence edge"));
+    AID_RETURN_IF_ERROR(CheckModelId(*model, to, "dependence edge"));
+    model->AddDependenceEdge(from, to);
   }
   AID_RETURN_IF_ERROR(reader.status());
   return model;

@@ -1,6 +1,9 @@
 #include "runtime/program_io.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "common/strings.h"
 
 namespace aid {
 namespace {
@@ -148,8 +151,14 @@ struct ProgramSerde {
     }
     for (uint32_t id = 0; id < object_count; ++id) {
       const SymbolId symbol = static_cast<SymbolId>(id);
-      const ObjectKind kind = static_cast<ObjectKind>(reader.U8());
+      const uint8_t kind_byte = reader.U8();
       const int64_t initial = reader.I64();
+      if (reader.ok() && kind_byte > static_cast<uint8_t>(ObjectKind::kMutex)) {
+        return Status::InvalidArgument(
+            "program decode: object kind byte " + std::to_string(kind_byte) +
+            " is not a known ObjectKind");
+      }
+      const ObjectKind kind = static_cast<ObjectKind>(kind_byte);
       program.object_kinds_[symbol] = kind;
       switch (kind) {
         case ObjectKind::kGlobal:
@@ -175,12 +184,179 @@ struct ProgramSerde {
   }
 };
 
+Status ValidateProgram(const Program& program) {
+  const auto& methods = program.methods();
+  if (program.entry() < 0 ||
+      static_cast<size_t>(program.entry()) >= methods.size()) {
+    return Status::InvalidArgument(
+        StrFormat("program: entry method id %d out of range (have %zu "
+                  "methods)",
+                  program.entry(), methods.size()));
+  }
+  const size_t exception_count = program.exception_names().size();
+  for (size_t m = 0; m < methods.size(); ++m) {
+    const MethodDef& method = methods[m];
+    if (method.id != static_cast<SymbolId>(m)) {
+      return Status::InvalidArgument(
+          StrFormat("program: method '%s' at index %zu carries id %d (ids "
+                    "must be dense table indexes)",
+                    method.name.c_str(), m, method.id));
+    }
+    if (method.code.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "program: method '%s' has no body", method.name.c_str()));
+    }
+    for (size_t pc = 0; pc < method.code.size(); ++pc) {
+      const Instr& instr = method.code[pc];
+      auto fail = [&](const std::string& what) {
+        return Status::InvalidArgument(
+            StrFormat("program: method '%s' pc %zu: %s",
+                      method.name.c_str(), pc, what.c_str()));
+      };
+      if (static_cast<uint8_t>(instr.op) > static_cast<uint8_t>(Op::kReturn)) {
+        return fail(StrFormat("opcode byte %u outside the instruction set",
+                              static_cast<unsigned>(instr.op)));
+      }
+      auto check_reg = [&](Reg r, bool allow_none) -> Status {
+        if (r == kNoReg && allow_none) return Status::OK();
+        if (r < 0 || r >= kNumRegs) {
+          return fail(StrFormat("register %d out of range", r));
+        }
+        return Status::OK();
+      };
+      auto check_declared = [&](const char* kind, bool declared) -> Status {
+        if (!declared) {
+          return fail(StrFormat("object symbol %d is not a declared %s",
+                                instr.obj, kind));
+        }
+        return Status::OK();
+      };
+      switch (instr.op) {
+        case Op::kJump:
+        case Op::kJumpIfZero:
+        case Op::kJumpIfNonZero:
+          if (instr.imm < 0 ||
+              static_cast<size_t>(instr.imm) >= method.code.size()) {
+            return fail(StrFormat("jump target %lld out of range",
+                                  static_cast<long long>(instr.imm)));
+          }
+          if (instr.op != Op::kJump) {
+            AID_RETURN_IF_ERROR(check_reg(instr.a, false));
+          }
+          break;
+        case Op::kCall:
+        case Op::kSpawn: {
+          const auto callee = static_cast<uint64_t>(instr.imm);
+          if (instr.imm < 0 || callee >= methods.size() ||
+              methods[callee].code.empty()) {
+            return fail(StrFormat("callee %lld has no body",
+                                  static_cast<long long>(instr.imm)));
+          }
+          AID_RETURN_IF_ERROR(check_reg(instr.a, true));
+          break;
+        }
+        case Op::kReturn:
+          AID_RETURN_IF_ERROR(check_reg(instr.a, true));
+          break;
+        case Op::kLoadGlobal:
+          AID_RETURN_IF_ERROR(check_reg(instr.a, false));
+          AID_RETURN_IF_ERROR(check_declared(
+              "global", program.globals().count(instr.obj) > 0));
+          break;
+        case Op::kStoreGlobal:
+          AID_RETURN_IF_ERROR(check_reg(instr.a, false));
+          AID_RETURN_IF_ERROR(check_declared(
+              "global", program.globals().count(instr.obj) > 0));
+          break;
+        case Op::kArrayLen:
+        case Op::kArrayLoad:
+        case Op::kArrayStore:
+        case Op::kArrayResize:
+          AID_RETURN_IF_ERROR(check_reg(instr.a, false));
+          if (instr.op == Op::kArrayLoad || instr.op == Op::kArrayStore) {
+            AID_RETURN_IF_ERROR(check_reg(instr.b, false));
+          }
+          AID_RETURN_IF_ERROR(check_declared(
+              "array", program.arrays().count(instr.obj) > 0));
+          break;
+        case Op::kLock:
+        case Op::kUnlock:
+          AID_RETURN_IF_ERROR(check_declared(
+              "mutex", std::find(program.mutexes().begin(),
+                                 program.mutexes().end(),
+                                 instr.obj) != program.mutexes().end()));
+          break;
+        case Op::kThrow:
+        case Op::kThrowIfZero:
+        case Op::kThrowIfNonZero:
+          if (instr.op != Op::kThrow) {
+            AID_RETURN_IF_ERROR(check_reg(instr.a, false));
+          }
+          if (instr.obj < 0 ||
+              static_cast<size_t>(instr.obj) >= exception_count) {
+            return fail(StrFormat("exception symbol %d out of range",
+                                  instr.obj));
+          }
+          break;
+        case Op::kRandom:
+          AID_RETURN_IF_ERROR(check_reg(instr.a, false));
+          // Uniform(0) divides by zero.
+          if (instr.imm < 1) {
+            return fail(StrFormat("random bound %lld must be positive",
+                                  static_cast<long long>(instr.imm)));
+          }
+          break;
+        case Op::kDelayRand:
+          if (instr.imm < 0 || instr.imm2 < instr.imm) {
+            return fail(StrFormat(
+                "delay range [%lld, %lld] is invalid",
+                static_cast<long long>(instr.imm),
+                static_cast<long long>(instr.imm2)));
+          }
+          break;
+        case Op::kNop:
+        case Op::kDelay:
+          break;
+        case Op::kAdd:
+        case Op::kSub:
+        case Op::kMul:
+        case Op::kCmpEq:
+        case Op::kCmpLt:
+          AID_RETURN_IF_ERROR(check_reg(instr.a, false));
+          AID_RETURN_IF_ERROR(check_reg(instr.b, false));
+          AID_RETURN_IF_ERROR(check_reg(instr.c, false));
+          break;
+        case Op::kAddImm:
+          AID_RETURN_IF_ERROR(check_reg(instr.a, false));
+          AID_RETURN_IF_ERROR(check_reg(instr.b, false));
+          break;
+        case Op::kLoadConst:
+        case Op::kJoin:
+          AID_RETURN_IF_ERROR(check_reg(instr.a, false));
+          break;
+      }
+      if (instr.cost < 1) {
+        return fail("non-positive cost");
+      }
+    }
+    const Op last = method.code.back().op;
+    if (last != Op::kReturn && last != Op::kThrow && last != Op::kJump) {
+      return Status::InvalidArgument(
+          StrFormat("program: method '%s' must end with return/throw/jump",
+                    method.name.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
 void SerializeProgram(const Program& program, WireWriter& writer) {
   ProgramSerde::Serialize(program, writer);
 }
 
 Result<Program> DeserializeProgram(WireReader& reader) {
-  return ProgramSerde::Deserialize(reader);
+  AID_ASSIGN_OR_RETURN(Program program, ProgramSerde::Deserialize(reader));
+  AID_RETURN_IF_ERROR(ValidateProgram(program));
+  return program;
 }
 
 std::string ProgramToBytes(const Program& program) {

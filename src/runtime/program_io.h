@@ -25,8 +25,19 @@ namespace aid {
 void SerializeProgram(const Program& program, WireWriter& writer);
 
 /// Decodes one program previously written by SerializeProgram. Returns
-/// InvalidArgument on truncated or structurally corrupt input.
+/// InvalidArgument on truncated or structurally corrupt input. The decoded
+/// program passes ValidateProgram: hostile bytes that decode cleanly but
+/// violate VM invariants are rejected here, not by a crash mid-execution.
 Result<Program> DeserializeProgram(WireReader& reader);
+
+/// Checks the VM's structural invariants: a valid entry method, method ids
+/// matching their table index, opcodes within the instruction set, register
+/// and jump-target ranges, callees with bodies, declared shared-state
+/// symbols, positive costs, non-degenerate random/delay bounds, and method
+/// terminators. ProgramBuilder::Build-produced programs always pass;
+/// wire-received programs must be checked before they reach a Vm (the
+/// runner daemons do this in their decode path).
+Status ValidateProgram(const Program& program);
 
 /// Whole-buffer conveniences.
 std::string ProgramToBytes(const Program& program);

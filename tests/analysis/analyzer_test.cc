@@ -1,0 +1,534 @@
+// Tests of the static analyzer: per-method CFG/dataflow facts
+// (analysis/cfg.h) and whole-program lint + may-influence analysis
+// (analysis/analyzer.h) on hand-built programs.
+
+#include "analysis/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "common/logging.h"
+#include "runtime/program.h"
+
+namespace aid {
+namespace {
+
+bool Contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+bool HasFinding(const ProgramAnalysis& analysis, std::string_view code) {
+  for (const LintFinding& f : analysis.findings()) {
+    if (f.code == code) return true;
+  }
+  return false;
+}
+
+Instr MakeInstr(Op op, Reg a = kNoReg, Reg b = kNoReg, Reg c = kNoReg,
+                int64_t imm = 0) {
+  Instr instr;
+  instr.op = op;
+  instr.a = a;
+  instr.b = b;
+  instr.c = c;
+  instr.imm = imm;
+  return instr;
+}
+
+// ProgramBuilder refuses (by design) to emit the malformations the lint
+// catalog exists for; corrupt a validly-built program in place instead,
+// the same way hostile wire bytes would present it.
+MethodDef& MutableMethod(Program& program, std::string_view name) {
+  const SymbolId id = program.method_names().Find(name);
+  return const_cast<std::vector<MethodDef>&>(
+      program.methods())[static_cast<size_t>(id)];
+}
+
+Program BuildOrDie(ProgramBuilder& b, std::string_view entry) {
+  auto program = b.Build(entry);
+  AID_CHECK(program.ok());
+  return std::move(*program);
+}
+
+// ---------------------------------------------------------------------------
+// MethodCfg on hand-built method bodies.
+
+TEST(MethodCfgTest, StraightLineEdgesAndReachability) {
+  MethodDef method;
+  method.name = "m";
+  method.code = {MakeInstr(Op::kLoadConst, 0, kNoReg, kNoReg, 7),
+                 MakeInstr(Op::kReturn, 0)};
+  const MethodCfg cfg = MethodCfg::Build(method);
+
+  ASSERT_EQ(cfg.size(), 2u);  // exit node id
+  EXPECT_EQ(cfg.Successors(0), std::vector<int>{1});
+  EXPECT_EQ(cfg.Successors(1), std::vector<int>{2});  // return -> exit
+  EXPECT_TRUE(cfg.Reachable(0));
+  EXPECT_TRUE(cfg.Reachable(1));
+  EXPECT_TRUE(cfg.Reachable(2));
+}
+
+TEST(MethodCfgTest, BranchSuccessorsAndControlDependence) {
+  // 0: jump-if-zero r0 -> 3
+  // 1: load r1           (taken only when r0 != 0)
+  // 2: jump -> 3
+  // 3: return
+  MethodDef method;
+  method.name = "m";
+  method.code = {MakeInstr(Op::kJumpIfZero, 0, kNoReg, kNoReg, 3),
+                 MakeInstr(Op::kLoadConst, 1, kNoReg, kNoReg, 1),
+                 MakeInstr(Op::kJump, kNoReg, kNoReg, kNoReg, 3),
+                 MakeInstr(Op::kReturn)};
+  const MethodCfg cfg = MethodCfg::Build(method);
+
+  EXPECT_TRUE(Contains(cfg.Successors(0), 1));
+  EXPECT_TRUE(Contains(cfg.Successors(0), 3));
+  // The branch arm is control-dependent on the branch; the merge point is
+  // not (it executes either way).
+  EXPECT_TRUE(Contains(cfg.ControlDeps(1), 0));
+  EXPECT_FALSE(Contains(cfg.ControlDeps(3), 0));
+  // The merge point post-dominates the branch.
+  EXPECT_EQ(cfg.ImmediatePostdom(0), 3);
+}
+
+TEST(MethodCfgTest, UnreachableCodeAfterUnconditionalJump) {
+  MethodDef method;
+  method.name = "m";
+  method.code = {MakeInstr(Op::kJump, kNoReg, kNoReg, kNoReg, 2),
+                 MakeInstr(Op::kLoadConst, 0, kNoReg, kNoReg, 1),
+                 MakeInstr(Op::kReturn)};
+  const MethodCfg cfg = MethodCfg::Build(method);
+
+  EXPECT_TRUE(cfg.Reachable(0));
+  EXPECT_FALSE(cfg.Reachable(1));
+  EXPECT_TRUE(cfg.Reachable(2));
+}
+
+TEST(MethodCfgTest, MaybeUnwrittenClearsAfterDefinition) {
+  MethodDef method;
+  method.name = "m";
+  method.code = {MakeInstr(Op::kLoadConst, 3, kNoReg, kNoReg, 9),
+                 MakeInstr(Op::kReturn, 3)};
+  const MethodCfg cfg = MethodCfg::Build(method);
+
+  EXPECT_TRUE(cfg.MaybeUnwritten(0) & (1u << 3));   // before the write
+  EXPECT_FALSE(cfg.MaybeUnwritten(1) & (1u << 3));  // after the write
+  EXPECT_TRUE(cfg.MaybeUnwritten(1) & (1u << 4));   // untouched register
+}
+
+TEST(MethodCfgTest, MaybeUnwrittenSurvivesOneSidedBranch) {
+  // r1 is written only when the branch at 0 is not taken.
+  // 0: jump-if-zero r0 -> 2
+  // 1: load r1
+  // 2: return r1
+  MethodDef method;
+  method.name = "m";
+  method.code = {MakeInstr(Op::kJumpIfZero, 0, kNoReg, kNoReg, 2),
+                 MakeInstr(Op::kLoadConst, 1, kNoReg, kNoReg, 5),
+                 MakeInstr(Op::kReturn, 1)};
+  const MethodCfg cfg = MethodCfg::Build(method);
+
+  EXPECT_TRUE(cfg.MaybeUnwritten(2) & (1u << 1));
+}
+
+TEST(MethodCfgTest, ReachingDefsMergeAcrossBranches) {
+  // 0: jump-if-zero r0 -> 3
+  // 1: load r1 = 1
+  // 2: jump -> 4
+  // 3: load r1 = 2
+  // 4: return r1
+  MethodDef method;
+  method.name = "m";
+  method.code = {MakeInstr(Op::kJumpIfZero, 0, kNoReg, kNoReg, 3),
+                 MakeInstr(Op::kLoadConst, 1, kNoReg, kNoReg, 1),
+                 MakeInstr(Op::kJump, kNoReg, kNoReg, kNoReg, 4),
+                 MakeInstr(Op::kLoadConst, 1, kNoReg, kNoReg, 2),
+                 MakeInstr(Op::kReturn, 1)};
+  const MethodCfg cfg = MethodCfg::Build(method);
+
+  const std::vector<int> defs = cfg.ReachingDefs(4, 1);
+  EXPECT_TRUE(Contains(defs, 1));
+  EXPECT_TRUE(Contains(defs, 3));
+  EXPECT_FALSE(Contains(defs, -1));  // r1 is written on every path
+  // r0 is never written: only the frame-initial pseudo-definition reaches.
+  EXPECT_EQ(cfg.ReachingDefs(4, 0), std::vector<int>{-1});
+}
+
+TEST(MethodCfgTest, MalformedJumpTargetClampsToExit) {
+  MethodDef method;
+  method.name = "m";
+  method.code = {MakeInstr(Op::kJump, kNoReg, kNoReg, kNoReg, 99),
+                 MakeInstr(Op::kReturn)};
+  const MethodCfg cfg = MethodCfg::Build(method);
+
+  // Construction must not fail; the bad edge lands on the exit node.
+  EXPECT_EQ(cfg.Successors(0), std::vector<int>{2});
+  EXPECT_FALSE(cfg.Reachable(1));
+}
+
+TEST(MethodCfgTest, InfiniteLoopHasNoPostdominator) {
+  MethodDef method;
+  method.name = "m";
+  method.code = {MakeInstr(Op::kJump, kNoReg, kNoReg, kNoReg, 0),
+                 MakeInstr(Op::kReturn)};
+  const MethodCfg cfg = MethodCfg::Build(method);
+
+  EXPECT_EQ(cfg.ImmediatePostdom(0), -1);  // cannot reach the exit
+  EXPECT_EQ(cfg.ImmediatePostdom(2), 2);   // the exit postdominates itself
+}
+
+TEST(MethodCfgTest, DefUseMasks) {
+  const Instr add = MakeInstr(Op::kAdd, 0, 1, 2);
+  EXPECT_EQ(InstrDefMask(add), 1u << 0);
+  EXPECT_EQ(InstrUseMask(add), (1u << 1) | (1u << 2));
+  EXPECT_EQ(InstrUseMask(MakeInstr(Op::kReturn)), 0u);  // kNoReg: no bits
+  EXPECT_FALSE(InstrFallsThrough(Op::kJump));
+  EXPECT_FALSE(InstrFallsThrough(Op::kReturn));
+  EXPECT_TRUE(InstrFallsThrough(Op::kJumpIfZero));
+  EXPECT_TRUE(InstrFallsThrough(Op::kLoadConst));
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program lint.
+
+TEST(ProgramAnalysisTest, CleanProgramHasNoErrors) {
+  ProgramBuilder b;
+  b.Global("g", 0);
+  b.Method("Main").LoadConst(0, 1).StoreGlobal("g", 0).Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  const ProgramAnalysis analysis = ProgramAnalysis::Analyze(*program);
+  EXPECT_EQ(analysis.error_count(), 0u);
+  EXPECT_TRUE(analysis.LintStatus().ok());
+}
+
+TEST(ProgramAnalysisTest, BadRandomBoundIsAnError) {
+  // A zero bound would divide by zero inside the VM's RNG at run time;
+  // the analyzer must reject it before any trial executes.
+  ProgramBuilder b;
+  b.Method("Main").Random(0, 1).Return();
+  Program program = BuildOrDie(b, "Main");
+  MutableMethod(program, "Main").code[0].imm = 0;
+
+  const ProgramAnalysis analysis = ProgramAnalysis::Analyze(program);
+  EXPECT_TRUE(HasFinding(analysis, "bad-random-bound"));
+  EXPECT_FALSE(analysis.LintStatus().ok());
+}
+
+TEST(ProgramAnalysisTest, InvertedDelayRangeIsAnError) {
+  ProgramBuilder b;
+  b.Method("Main").DelayRand(2, 5).Return();
+  Program program = BuildOrDie(b, "Main");
+  auto& instr = MutableMethod(program, "Main").code[0];
+  instr.imm = 5;
+  instr.imm2 = 2;
+
+  const ProgramAnalysis analysis = ProgramAnalysis::Analyze(program);
+  EXPECT_TRUE(HasFinding(analysis, "bad-delay-range"));
+  EXPECT_FALSE(analysis.LintStatus().ok());
+}
+
+TEST(ProgramAnalysisTest, StructuralCorruptionsAreErrors) {
+  // One corruption per lint code, each applied to a fresh copy of the same
+  // validly-built two-method program.
+  ProgramBuilder b;
+  b.Global("g", 0);
+  b.Method("Callee").LoadConst(0, 1).Return(0);
+  b.Method("Main").LoadConst(0, 1).StoreGlobal("g", 0).CallVoid("Callee")
+      .Return();
+  const Program pristine = BuildOrDie(b, "Main");
+
+  struct Corruption {
+    const char* code;
+    void (*apply)(Program&);
+  };
+  const Corruption corruptions[] = {
+      {"bad-opcode",
+       [](Program& p) {
+         MutableMethod(p, "Main").code[0].op = static_cast<Op>(200);
+       }},
+      {"register-out-of-range",
+       [](Program& p) { MutableMethod(p, "Main").code[0].a = kNumRegs; }},
+      {"bad-jump-target",
+       [](Program& p) {
+         MutableMethod(p, "Main").code[0] =
+             MakeInstr(Op::kJump, kNoReg, kNoReg, kNoReg, 77);
+       }},
+      {"unknown-callee",
+       [](Program& p) { MutableMethod(p, "Main").code[2].imm = 42; }},
+      {"non-positive-cost",
+       [](Program& p) { MutableMethod(p, "Main").code[0].cost = 0; }},
+      {"missing-terminator",
+       [](Program& p) { MutableMethod(p, "Main").code.back().op = Op::kNop; }},
+      {"empty-method",
+       [](Program& p) { MutableMethod(p, "Callee").code.clear(); }},
+      {"bad-object",
+       [](Program& p) { MutableMethod(p, "Main").code[1].obj = 99; }},
+  };
+  for (const Corruption& corruption : corruptions) {
+    Program program = pristine;
+    corruption.apply(program);
+    const ProgramAnalysis analysis = ProgramAnalysis::Analyze(program);
+    EXPECT_TRUE(HasFinding(analysis, corruption.code)) << corruption.code;
+    EXPECT_FALSE(analysis.LintStatus().ok()) << corruption.code;
+  }
+}
+
+TEST(ProgramAnalysisTest, ObjectKindMismatchWarns) {
+  ProgramBuilder b;
+  b.Global("g", 0);
+  b.Array("arr", 4);
+  b.Method("Main").LoadConst(1, 0).LoadGlobal(0, "g").ArrayLoad(2, "arr", 1)
+      .Return();
+  Program program = BuildOrDie(b, "Main");
+  // Retarget the global load at the array symbol: declared, wrong kind.
+  MutableMethod(program, "Main").code[1].obj =
+      program.object_names().Find("arr");
+
+  const ProgramAnalysis analysis = ProgramAnalysis::Analyze(program);
+  EXPECT_TRUE(HasFinding(analysis, "object-kind-mismatch"));
+  EXPECT_EQ(analysis.error_count(), 0u);  // mismatches execute safely
+}
+
+TEST(ProgramAnalysisTest, UndeclaredObjectWarns) {
+  // LoadGlobal on a name never declared via Global(): the symbol exists
+  // but carries no initial value, which the VM papers over with zero and
+  // the analyzer flags.
+  ProgramBuilder b;
+  b.Method("Main").LoadGlobal(0, "phantom").Return(0);
+  Program program = BuildOrDie(b, "Main");
+
+  const ProgramAnalysis analysis = ProgramAnalysis::Analyze(program);
+  EXPECT_TRUE(HasFinding(analysis, "undeclared-object"));
+  EXPECT_EQ(analysis.error_count(), 0u);
+}
+
+TEST(ProgramAnalysisTest, UnreachableCodeIsAWarning) {
+  ProgramBuilder b;
+  b.Method("Main").Return().LoadConst(0, 1).Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  const ProgramAnalysis analysis = ProgramAnalysis::Analyze(*program);
+  EXPECT_TRUE(HasFinding(analysis, "unreachable-code"));
+  EXPECT_EQ(analysis.error_count(), 0u);  // warnings do not fail the lint
+  EXPECT_TRUE(analysis.LintStatus().ok());
+}
+
+TEST(ProgramAnalysisTest, ReadOfNeverWrittenRegisterWarns) {
+  ProgramBuilder b;
+  b.Method("Main").Return(4);  // r4 holds its frame-initial zero
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+
+  const ProgramAnalysis analysis = ProgramAnalysis::Analyze(*program);
+  EXPECT_TRUE(HasFinding(analysis, "maybe-undefined-register"));
+  EXPECT_TRUE(analysis.LintStatus().ok());
+}
+
+TEST(ProgramAnalysisTest, LintStatusNamesTheFailure) {
+  ProgramBuilder b;
+  b.Method("Main").Random(0, 1).Return();
+  Program program = BuildOrDie(b, "Main");
+  MutableMethod(program, "Main").code[0].imm = -3;
+
+  const Status status = ProgramAnalysis::Analyze(program).LintStatus();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("bad-random-bound"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// May-influence relation and method reachability.
+
+TEST(ProgramAnalysisTest, SerialCallsInfluenceForwardOnly) {
+  ProgramBuilder b;
+  b.Global("x", 0);
+  b.Global("y", 0);
+  b.Method("First").LoadConst(0, 1).StoreGlobal("x", 0).Return();
+  b.Method("Second").LoadGlobal(0, "y").Return(0);
+  b.Method("Main").CallVoid("First").CallVoid("Second").Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  const SymbolId first = program->method_names().Find("First");
+  const SymbolId second = program->method_names().Find("Second");
+
+  const ProgramAnalysis analysis = ProgramAnalysis::Analyze(*program);
+  ASSERT_TRUE(analysis.LintStatus().ok());
+  // First runs before Second in the caller, so it can influence it; the
+  // reverse direction is provably impossible (disjoint state, no back
+  // edge from the second call to the first).
+  EXPECT_TRUE(analysis.MayInfluence(first, second));
+  EXPECT_FALSE(analysis.MayInfluence(second, first));
+  EXPECT_TRUE(analysis.MayInfluence(first, first));  // reflexive
+}
+
+TEST(ProgramAnalysisTest, SharedGlobalLinksSpawnedThreads) {
+  ProgramBuilder b;
+  b.Global("shared", 0);
+  b.Method("Writer").LoadConst(0, 1).StoreGlobal("shared", 0).Return();
+  b.Method("Reader").LoadGlobal(0, "shared").Return(0);
+  b.Method("Main").Spawn(0, "Writer").Spawn(1, "Reader").Join(0).Join(1)
+      .Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  const SymbolId writer = program->method_names().Find("Writer");
+  const SymbolId reader = program->method_names().Find("Reader");
+
+  const ProgramAnalysis analysis = ProgramAnalysis::Analyze(*program);
+  // The store flows to the load through the shared global; the load alone
+  // cannot affect the writer.
+  EXPECT_TRUE(analysis.MayInfluence(writer, reader));
+  EXPECT_FALSE(analysis.MayInfluence(reader, writer));
+}
+
+TEST(ProgramAnalysisTest, DisjointSpawnedThreadsAreIndependent) {
+  ProgramBuilder b;
+  b.Global("x", 0);
+  b.Global("y", 0);
+  b.Method("A").LoadConst(0, 1).StoreGlobal("x", 0).Return();
+  b.Method("B").LoadConst(0, 2).StoreGlobal("y", 0).Return();
+  b.Method("Main").Spawn(0, "A").Spawn(1, "B").Join(0).Join(1).Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  const SymbolId a = program->method_names().Find("A");
+  const SymbolId method_b = program->method_names().Find("B");
+
+  const ProgramAnalysis analysis = ProgramAnalysis::Analyze(*program);
+  // Disjoint globals, no locks, joins resolved to distinct threads: the
+  // workers cannot influence each other in either direction.
+  EXPECT_FALSE(analysis.MayInfluence(a, method_b));
+  EXPECT_FALSE(analysis.MayInfluence(method_b, a));
+  // Both influence the main method (their exits release its joins).
+  const SymbolId main_id = program->method_names().Find("Main");
+  EXPECT_TRUE(analysis.MayInfluence(a, main_id));
+  EXPECT_TRUE(analysis.MayInfluence(method_b, main_id));
+}
+
+TEST(ProgramAnalysisTest, SharedMutexLinksBothWays) {
+  ProgramBuilder b;
+  b.Mutex("m");
+  b.Global("x", 0);
+  b.Global("y", 0);
+  b.Method("A").Lock("m").LoadConst(0, 1).StoreGlobal("x", 0).Unlock("m")
+      .Return();
+  b.Method("B").Lock("m").LoadConst(0, 2).StoreGlobal("y", 0).Unlock("m")
+      .Return();
+  b.Method("Main").Spawn(0, "A").Spawn(1, "B").Join(0).Join(1).Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  const SymbolId a = program->method_names().Find("A");
+  const SymbolId method_b = program->method_names().Find("B");
+
+  const ProgramAnalysis analysis = ProgramAnalysis::Analyze(*program);
+  // Lock contention is a timing channel in both directions.
+  EXPECT_TRUE(analysis.MayInfluence(a, method_b));
+  EXPECT_TRUE(analysis.MayInfluence(method_b, a));
+}
+
+TEST(ProgramAnalysisTest, UnreferencedMethodIsUnreachable) {
+  ProgramBuilder b;
+  b.Method("Dead").LoadConst(0, 1).Return(0);
+  b.Method("Main").LoadConst(0, 1).Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  const SymbolId dead = program->method_names().Find("Dead");
+  const SymbolId main_id = program->method_names().Find("Main");
+
+  const ProgramAnalysis analysis = ProgramAnalysis::Analyze(*program);
+  EXPECT_FALSE(analysis.MethodReachable(dead));
+  EXPECT_TRUE(analysis.MethodReachable(main_id));
+  // Out-of-range ids are conservatively reachable.
+  EXPECT_TRUE(analysis.MethodReachable(kInvalidSymbol));
+  EXPECT_TRUE(analysis.MethodReachable(999));
+}
+
+TEST(ProgramAnalysisTest, LintErrorsDegradeInfluenceConservatively) {
+  ProgramBuilder b;
+  b.Global("x", 0);
+  b.Global("y", 0);
+  b.Method("A").LoadConst(0, 1).StoreGlobal("x", 0).Return();
+  b.Method("B").LoadConst(0, 2).StoreGlobal("y", 0).Return();
+  b.Method("Main").Random(2, 1).Spawn(0, "A").Spawn(1, "B").Join(0).Join(1)
+      .Return();
+  Program program = BuildOrDie(b, "Main");
+  MutableMethod(program, "Main").code[0].imm = 0;  // bad-random-bound
+  const SymbolId a = program.method_names().Find("A");
+  const SymbolId method_b = program.method_names().Find("B");
+
+  const ProgramAnalysis analysis = ProgramAnalysis::Analyze(program);
+  ASSERT_GT(analysis.error_count(), 0u);
+  // With errors present the analysis must not claim independence.
+  EXPECT_TRUE(analysis.MayInfluence(a, method_b));
+  EXPECT_TRUE(analysis.MayInfluence(method_b, a));
+}
+
+// ---------------------------------------------------------------------------
+// Predicate feasibility.
+
+TEST(ProgramAnalysisTest, InfeasiblePredicatesReferenceDeadMethods) {
+  ProgramBuilder b;
+  b.Method("Dead").LoadConst(0, 1).Return(0);
+  b.Method("Live").LoadConst(0, 1).Return(0);
+  b.Method("Main").CallVoid("Live").Return();
+  auto program = b.Build("Main");
+  ASSERT_TRUE(program.ok());
+  const SymbolId dead = program->method_names().Find("Dead");
+  const SymbolId live = program->method_names().Find("Live");
+
+  PredicateCatalog catalog;
+  const PredicateId on_live =
+      catalog.Intern(Predicate{.kind = PredKind::kMethodFails, .m1 = live});
+  const PredicateId on_dead =
+      catalog.Intern(Predicate{.kind = PredKind::kMethodFails, .m1 = dead});
+  const PredicateId pair = catalog.Intern(
+      Predicate{.kind = PredKind::kOrder, .m1 = live, .m2 = dead});
+  const PredicateId compound = catalog.Intern(Predicate{
+      .kind = PredKind::kCompound, .sub1 = on_live, .sub2 = on_dead});
+  const PredicateId failure =
+      catalog.Intern(Predicate{.kind = PredKind::kFailure});
+  const PredicateId synthetic = catalog.Intern(
+      Predicate{.kind = PredKind::kSynthetic, .occurrence = 3});
+
+  const ProgramAnalysis analysis = ProgramAnalysis::Analyze(*program);
+  const std::vector<PredicateId> infeasible =
+      InfeasiblePredicates(analysis, catalog);
+
+  auto is_infeasible = [&](PredicateId id) {
+    return std::find(infeasible.begin(), infeasible.end(), id) !=
+           infeasible.end();
+  };
+  EXPECT_FALSE(is_infeasible(on_live));
+  EXPECT_TRUE(is_infeasible(on_dead));
+  EXPECT_TRUE(is_infeasible(pair));      // one dead constituent suffices
+  EXPECT_TRUE(is_infeasible(compound));  // recurses into sub-predicates
+  EXPECT_FALSE(is_infeasible(failure));  // F is never excluded
+  EXPECT_FALSE(is_infeasible(synthetic));
+}
+
+TEST(ProgramAnalysisTest, PredicateMethodsRecursesThroughCompounds) {
+  PredicateCatalog catalog;
+  const PredicateId p1 =
+      catalog.Intern(Predicate{.kind = PredKind::kMethodFails, .m1 = 4});
+  const PredicateId p2 = catalog.Intern(
+      Predicate{.kind = PredKind::kOrder, .m1 = 4, .m2 = 7});
+  const PredicateId compound = catalog.Intern(
+      Predicate{.kind = PredKind::kCompound, .sub1 = p1, .sub2 = p2});
+
+  const std::vector<SymbolId> methods = PredicateMethods(catalog, compound);
+  ASSERT_EQ(methods.size(), 2u);  // 4 appears once despite two references
+  EXPECT_TRUE(std::find(methods.begin(), methods.end(), 4) != methods.end());
+  EXPECT_TRUE(std::find(methods.begin(), methods.end(), 7) != methods.end());
+
+  EXPECT_TRUE(PredicateMethods(catalog, kInvalidPredicate).empty());
+  EXPECT_TRUE(
+      PredicateMethods(catalog,
+                       catalog.Intern(Predicate{.kind = PredKind::kFailure}))
+          .empty());
+}
+
+}  // namespace
+}  // namespace aid

@@ -174,6 +174,53 @@ TEST_F(CompilerTest, CompoundRequiresBothMembersSafe) {
   EXPECT_EQ(actions->size(), 2u);  // union of both members' actions
 }
 
+// --- Validate diagnostics (static intervention-point enumeration) --------
+
+TEST_F(CompilerTest, ValidateRejectsOutOfCatalogIds) {
+  auto compiler = MakeCompiler();
+  const Status status = compiler.Validate(9999);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("outside the catalog"), std::string::npos);
+  EXPECT_FALSE(compiler.Validate(kInvalidPredicate).ok());
+}
+
+TEST_F(CompilerTest, ValidateRejectsOutOfProgramMethods) {
+  const PredicateId id =
+      Intern(Predicate{.kind = PredKind::kMethodFails, .m1 = 77});
+  const Status status = MakeCompiler().Validate(id);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("outside the program"), std::string::npos);
+  EXPECT_FALSE(MakeCompiler().Compile(id).ok());
+}
+
+TEST_F(CompilerTest, ValidateNamesTheOffendingMethod) {
+  const PredicateId id =
+      Intern(Predicate{.kind = PredKind::kMethodFails, .m1 = impure_});
+  const Status status = MakeCompiler().Validate(id);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("Impure"), std::string::npos);
+  EXPECT_NE(status.message().find("side-effect-free"), std::string::npos);
+}
+
+TEST_F(CompilerTest, ValidateAcceptsEverySafeKind) {
+  auto compiler = MakeCompiler();
+  EXPECT_TRUE(compiler
+                  .Validate(Intern(Predicate{.kind = PredKind::kDataRace,
+                                             .m1 = pure_,
+                                             .m2 = impure_,
+                                             .obj = 0}))
+                  .ok());
+  EXPECT_TRUE(compiler
+                  .Validate(Intern(
+                      Predicate{.kind = PredKind::kTooFast, .m1 = impure_}))
+                  .ok());
+  EXPECT_TRUE(compiler
+                  .Validate(Intern(Predicate{.kind = PredKind::kWrongReturn,
+                                             .m1 = pure_,
+                                             .expected = 2}))
+                  .ok());
+}
+
 TEST_F(CompilerTest, CompilePlanUnionsActions) {
   const PredicateId a =
       Intern(Predicate{.kind = PredKind::kMethodFails, .m1 = pure_});
