@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "api/session.h"
+#include "bench_json.h"
 #include "casestudies/case_study.h"
 #include "synth/generator.h"
 #include "synth/model.h"
@@ -87,7 +88,7 @@ AblationRow RunStaticAnalysisPair(const std::string& name,
 
 /// Runs ablation 4 and returns the process exit code (0 = all invariants
 /// hold).
-int RunStaticAnalysisAblation() {
+int RunStaticAnalysisAblation(bench::BenchJson& profile) {
   std::printf("\nAblation 4: static dependence analysis (edge pruning)\n");
   std::printf("%-18s | %8s %8s %7s | %12s %12s | %s\n", "target", "edges",
               "pruned", "prune%", "exec (base)", "exec (SA)", "same path");
@@ -150,6 +151,11 @@ int RunStaticAnalysisAblation() {
 
   const double aggregate_pct =
       edges_before == 0 ? 0.0 : 100.0 * edges_pruned / edges_before;
+  profile.Metric("sa_edges_before", static_cast<double>(edges_before));
+  profile.Metric("sa_edges_pruned", static_cast<double>(edges_pruned));
+  profile.Metric("sa_prune_pct", aggregate_pct);
+  profile.Metric("sa_exec_baseline", static_cast<double>(exec_baseline));
+  profile.Metric("sa_exec_analyzed", static_cast<double>(exec_analyzed));
   std::printf("%-18s | %8zu %8zu %6.1f%% | %12llu %12llu |\n", "aggregate",
               edges_before, edges_pruned, aggregate_pct,
               (unsigned long long)exec_baseline,
@@ -183,16 +189,22 @@ int RunStaticAnalysisAblation() {
 }  // namespace
 
 int main() {
+  aid::bench::BenchJson profile("ablation");
   std::printf("Ablation 1: junction width B (symmetric DAG, J=2, n=3, D=3)\n");
   std::printf("%4s | %10s %10s %12s\n", "B", "AID", "AID-P", "no branches");
   for (int b : {2, 4, 8, 16}) {
     auto model = MakeSymmetricModel(2, b, 3, 3, /*seed=*/9);
     if (!model.ok()) continue;
-    std::printf("%4d | %10.1f %10.1f %12.1f\n", b,
-                AverageRounds(**model, EngineOptions::Aid(), 5),
-                AverageRounds(**model,
-                              EngineOptions::AidNoPredicatePruning(), 5),
-                AverageRounds(**model, EngineOptions::AidNoPruning(), 5));
+    const double aid = AverageRounds(**model, EngineOptions::Aid(), 5);
+    const double aid_p =
+        AverageRounds(**model, EngineOptions::AidNoPredicatePruning(), 5);
+    const double no_prune =
+        AverageRounds(**model, EngineOptions::AidNoPruning(), 5);
+    std::printf("%4d | %10.1f %10.1f %12.1f\n", b, aid, aid_p, no_prune);
+    profile.Metric("b" + std::to_string(b) + "_aid_avg_rounds", aid);
+    profile.Metric("b" + std::to_string(b) + "_aid_p_avg_rounds", aid_p);
+    profile.Metric("b" + std::to_string(b) + "_no_prune_avg_rounds",
+                   no_prune);
   }
 
   std::printf("\nAblation 2: causal chain length D (symmetric DAG, J=3, B=4, "
@@ -202,11 +214,14 @@ int main() {
   for (int d : {1, 3, 6, 9, 12}) {
     auto model = MakeSymmetricModel(3, 4, 4, d, /*seed=*/4);
     if (!model.ok()) continue;
-    std::printf("%4d | %10.1f %14.1f %10.1f\n", d,
-                AverageRounds(**model, EngineOptions::Aid(), 5),
-                AverageRounds(**model,
-                              EngineOptions::AidNoPredicatePruning(), 5),
-                AverageRounds(**model, EngineOptions::Tagt(), 5));
+    const double aid = AverageRounds(**model, EngineOptions::Aid(), 5);
+    const double aid_p =
+        AverageRounds(**model, EngineOptions::AidNoPredicatePruning(), 5);
+    const double tagt = AverageRounds(**model, EngineOptions::Tagt(), 5);
+    std::printf("%4d | %10.1f %14.1f %10.1f\n", d, aid, aid_p, tagt);
+    profile.Metric("d" + std::to_string(d) + "_aid_avg_rounds", aid);
+    profile.Metric("d" + std::to_string(d) + "_aid_p_avg_rounds", aid_p);
+    profile.Metric("d" + std::to_string(d) + "_tagt_avg_rounds", tagt);
   }
 
   std::printf("\nAblation 3: trials per intervention (rounds constant, "
@@ -231,10 +246,17 @@ int main() {
             std::printf("%7d | %7d %12llu\n", trials,
                         report->discovery.rounds,
                         (unsigned long long)report->discovery.executions);
+            profile.Metric("trials" + std::to_string(trials) + "_rounds",
+                           report->discovery.rounds);
+            profile.Metric(
+                "trials" + std::to_string(trials) + "_executions",
+                static_cast<double>(report->discovery.executions));
           }
         }
       }
     }
   }
-  return RunStaticAnalysisAblation();
+  const int failures = RunStaticAnalysisAblation(profile);
+  profile.Write();
+  return failures;
 }

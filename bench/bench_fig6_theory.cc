@@ -10,14 +10,17 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "api/session.h"
+#include "bench_json.h"
 #include "synth/generator.h"
 #include "theory/bounds.h"
 #include "theory/enumerate.h"
 
 int main() {
   using namespace aid;
+  bench::BenchJson profile("fig6_theory");
 
   std::printf("Figure 6: CPD vs GT on the symmetric AC-DAG (J junctions x B "
               "branches x n predicates)\n\n");
@@ -106,10 +109,20 @@ int main() {
                 shape.junctions, shape.branches, shape.chain_len, d,
                 lower.cpd, lower.gt, upper.aid, upper.tagt, aid_rounds,
                 tagt_worst);
+    const std::string tag = "J" + std::to_string(shape.junctions) + "_B" +
+                            std::to_string(shape.branches) + "_n" +
+                            std::to_string(shape.chain_len);
+    profile.Metric(tag + "_aid_rounds_max", aid_rounds);
+    profile.Metric(tag + "_tagt_rounds_max", tagt_worst);
+    profile.Metric(tag + "_ub_aid", upper.aid);
+    profile.Metric(tag + "_ub_tagt", upper.tagt);
   }
   std::printf(
       "\nlower bound LB(CPD) <= LB(GT) everywhere, and UB(AID) <= UB(TAGT) "
       "whenever J < D (Section 6.3.1's condition): %s\n",
       bounds_ordered ? "yes" : "NO");
+  profile.Metric("formulas_match", formulas_match ? 1 : 0);
+  profile.Metric("bounds_ordered", bounds_ordered ? 1 : 0);
+  profile.Write();
   return (formulas_match && bounds_ordered) ? 0 : 1;
 }

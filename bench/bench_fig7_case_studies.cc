@@ -14,11 +14,13 @@
 #include <cstdio>
 
 #include "api/session.h"
+#include "bench_json.h"
 #include "casestudies/case_study.h"
 #include "common/math_util.h"
 
 int main() {
   using namespace aid;
+  bench::BenchJson profile("fig7_case_studies");
 
   auto studies = AllCaseStudies();
   if (!studies.ok()) {
@@ -68,6 +70,13 @@ int main() {
         report->root_cause.find(study.expected_root_substring) !=
         std::string::npos;
     all_roots_found = all_roots_found && root_ok;
+    profile.Metric(study.name + "_sd_predicates", report->sd_predicates);
+    profile.Metric(study.name + "_acdag_nodes", report->acdag_nodes);
+    profile.Metric(study.name + "_path_len", report->causal_path_len());
+    profile.Metric(study.name + "_aid_rounds", report->discovery.rounds);
+    profile.Metric(study.name + "_tagt_rounds",
+                   report->tagt_baseline->rounds);
+    profile.Metric(study.name + "_root_found", root_ok ? 1 : 0);
     std::printf("    root cause%s: %s\n", root_ok ? "" : " (UNEXPECTED)",
                 report->root_cause.c_str());
     std::printf("    explanation:\n");
@@ -78,5 +87,7 @@ int main() {
   }
   std::printf("all documented root causes identified: %s\n",
               all_roots_found ? "yes" : "NO");
+  profile.Metric("all_roots_found", all_roots_found ? 1 : 0);
+  profile.Write();
   return all_roots_found ? 0 : 1;
 }

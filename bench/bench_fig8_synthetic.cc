@@ -14,13 +14,16 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "api/session.h"
+#include "bench_json.h"
 #include "synth/generator.h"
 #include "synth/model.h"
 
 int main(int argc, char** argv) {
   using namespace aid;
+  bench::BenchJson profile("fig8_synthetic");
 
   int apps_per_setting = 500;
   if (argc > 1) apps_per_setting = std::max(1, std::atoi(argv[1]));
@@ -103,6 +106,13 @@ int main(int argc, char** argv) {
                 "causal path in %d/%d apps)\n",
                 max_threads, averages[s][0], averages[s][1], averages[s][2],
                 averages[s][3], averages[s][4], correct, apps_per_setting);
+    const std::string tag = "maxt" + std::to_string(max_threads);
+    profile.Metric(tag + "_avg_n", averages[s][0]);
+    profile.Metric(tag + "_tagt_avg_rounds", averages[s][1]);
+    profile.Metric(tag + "_aid_p_b_avg_rounds", averages[s][2]);
+    profile.Metric(tag + "_aid_p_avg_rounds", averages[s][3]);
+    profile.Metric(tag + "_aid_avg_rounds", averages[s][4]);
+    profile.Metric(tag + "_aid_exact_path_apps", correct);
   }
 
   std::printf("\nWorst-case #interventions\n");
@@ -122,5 +132,8 @@ int main(int argc, char** argv) {
               avg_ordered ? "holds" : "VIOLATED");
   std::printf("worst-case AID <= worst-case TAGT at MAXt=42: %s\n",
               worst_ordered ? "holds" : "VIOLATED");
+  profile.Metric("avg_ordered", avg_ordered ? 1 : 0);
+  profile.Metric("worst_ordered", worst_ordered ? 1 : 0);
+  profile.Write();
   return (avg_ordered && worst_ordered) ? 0 : 1;
 }

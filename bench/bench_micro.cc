@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "api/session.h"
 #include "causal/acdag.h"
 #include "core/engine.h"
@@ -137,3 +141,31 @@ BENCHMARK(BM_SessionLinearScan)
 
 }  // namespace
 }  // namespace aid
+
+// Custom main instead of benchmark_main: unless the caller already chose an
+// output file, every run also writes BENCH_micro.json (google benchmark's
+// own JSON schema), matching the BENCH_<name>.json contract of the other
+// benches.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "api/session.h"
+#include "bench_json.h"
 #include "net/runner.h"
 #include "synth/generator.h"
 #include "synth/model.h"
@@ -113,6 +114,7 @@ int main(int argc, char** argv) {
 
   // In-process baselines at matching worker counts (dispatch mode matches:
   // parallelism > 1 implies batched linear scan on both sides).
+  bench::BenchJson profile("net");
   std::vector<int> workers = {1, 2, 4, 8};
   std::vector<RunStats> in_process;
   for (int w : workers) {
@@ -123,6 +125,8 @@ int main(int argc, char** argv) {
                 1000.0 * stats.wall_ms /
                     std::max<uint64_t>(1, stats.report.discovery.executions),
                 stats.report.discovery.rounds);
+    profile.Metric("in_process_w" + std::to_string(w) + "_wall_ms",
+                   stats.wall_ms);
     in_process.push_back(std::move(stats));
   }
   std::printf("\n");
@@ -140,6 +144,10 @@ int main(int argc, char** argv) {
                 (unsigned long long)stats.report.discovery.executions,
                 us_per_trial,
                 stats.report.discovery.rounds, us_per_trial - base_us);
+    profile.Metric("remote_fleet_w" + std::to_string(w) + "_wall_ms",
+                   stats.wall_ms);
+    profile.Metric("remote_fleet_w" + std::to_string(w) + "_rpc_us_per_trial",
+                   us_per_trial - base_us);
     if (!SameDiscoveryOutcome(stats.report.discovery, in_process[i].report.discovery)) {
       std::fprintf(stderr,
                    "BUG: remote-fleet report diverges from in-process at "
@@ -211,6 +219,12 @@ int main(int argc, char** argv) {
     std::printf("heterogeneous-fleet check passed: %.2fx over static "
                 "sharding, bit-identical report\n",
                 speedup);
+    profile.Metric("hetero_static_wall_ms", fixed.wall_ms);
+    profile.Metric("hetero_stealing_wall_ms", stealing.wall_ms);
+    profile.Metric("hetero_stealing_speedup", speedup);
+    profile.Metric("hetero_steals",
+                   static_cast<double>(stealing.report.discovery.steals));
   }
+  profile.Write();
   return 0;
 }

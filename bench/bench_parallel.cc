@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "api/session.h"
+#include "bench_json.h"
 #include "casestudies/case_study.h"
 #include "core/engine.h"
 #include "core/vm_target.h"
@@ -42,6 +43,27 @@
 namespace {
 
 using namespace aid;
+
+/// The bench's JSON profile; every printed row lands in it too, keyed
+/// <subject prefix>_<slugged dispatch label>_wall_ms.
+bench::BenchJson g_profile("parallel");
+std::string g_prefix;
+
+std::string Slug(const char* label) {
+  std::string slug;
+  for (const char* p = label; *p != '\0'; ++p) {
+    const char c = *p;
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      slug += c;
+    } else if (c >= 'A' && c <= 'Z') {
+      slug += static_cast<char>(c - 'A' + 'a');
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
 
 /// Wraps a ReplicableTarget and charges a simulated application latency per
 /// execution -- the stand-in for subjects whose runs block on I/O, sleeps,
@@ -154,6 +176,7 @@ void PrintRow(const char* label, const RunStats& run, const RunStats& base) {
               static_cast<unsigned long long>(run.executions),
               static_cast<unsigned long long>(run.speculative),
               run.path == base.path ? "" : "  [PATH MISMATCH]");
+  g_profile.Metric(g_prefix + "_" + Slug(label) + "_wall_ms", run.ms);
 }
 
 void PrintHeader(const char* title) {
@@ -278,6 +301,7 @@ RunStats TimeLatencyBound(const VmTarget& observed, const AcDag& dag,
 }
 
 void BenchLatencyBound(std::chrono::microseconds latency, int repeats) {
+  g_prefix = "kafka_latency";
   auto study = MakeKafkaUseAfterFree();
   if (!study.ok()) return;
   auto vm = VmTarget::Create(&study->program, study->target_options);
@@ -365,6 +389,7 @@ RunStats TimeHetero(const VmTarget& observed, const AcDag& dag,
 /// per-execution latency. Returns 0 when work stealing beats static
 /// sharding >= 1.5x with a bit-identical path, 1 otherwise.
 int BenchHeterogeneous(std::chrono::microseconds latency, int repeats) {
+  g_prefix = "hetero";
   auto study = MakeKafkaUseAfterFree();
   if (!study.ok()) return 1;
   auto vm = VmTarget::Create(&study->program, study->target_options);
@@ -415,6 +440,8 @@ int BenchHeterogeneous(std::chrono::microseconds latency, int repeats) {
   std::printf("heterogeneous-pool check passed: %.2fx over static sharding, "
               "bit-identical report\n",
               speedup);
+  g_profile.Metric("hetero_stealing_speedup", speedup);
+  g_profile.Metric("hetero_steals", static_cast<double>(stealing.steals));
   return 0;
 }
 
@@ -434,6 +461,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   {
+    g_prefix = "model";
     EngineOptions engine = EngineOptions::Linear();
     engine.trials_per_intervention = 4;
     BenchSubject(
@@ -451,6 +479,7 @@ int main(int argc, char** argv) {
   // VM case study, CPU-bound: every execution recompiles the intervention
   // plan and re-runs the program. Scales with physical cores.
   {
+    g_prefix = "kafka_cpu";
     EngineOptions engine = EngineOptions::Linear();
     engine.trials_per_intervention = 6;
     BenchSubject(
@@ -470,5 +499,8 @@ int main(int argc, char** argv) {
 
   // Heterogeneous pool (one straggler replica): static vs work stealing,
   // self-checking -- the process exit code is the acceptance gate.
-  return BenchHeterogeneous(std::chrono::microseconds(latency_us), repeats);
+  const int rc = BenchHeterogeneous(std::chrono::microseconds(latency_us),
+                                    repeats);
+  g_profile.Write();
+  return rc;
 }

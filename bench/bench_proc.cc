@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "api/session.h"
+#include "bench_json.h"
 #include "proc/wire.h"
 #include "synth/generator.h"
 #include "synth/model.h"
@@ -34,12 +35,17 @@ struct RunStats {
 };
 
 RunStats RunOnce(const GroundTruthModel* model, Isolation isolation,
-                 int parallelism, int trials) {
+                 int parallelism, int trials,
+                 TelemetrySnapshot* snapshot_out = nullptr) {
   SessionBuilder builder;
   builder.WithModel(model).WithTrials(trials).WithParallelism(parallelism);
   if (isolation == Isolation::kSubprocess) {
     builder.WithProcessIsolation(/*trial_deadline_ms=*/10000);
   }
+  // Telemetry never changes the report's bytes (asserted below via
+  // SameDiscoveryOutcome against the uninstrumented baseline), so the
+  // instrumented run doubles as the bench's exportable profile.
+  if (snapshot_out != nullptr) builder.WithTelemetry();
   const auto start = std::chrono::steady_clock::now();
   auto session = builder.Build();
   if (!session.ok()) {
@@ -54,6 +60,7 @@ RunStats RunOnce(const GroundTruthModel* model, Isolation isolation,
     std::exit(1);
   }
   const auto end = std::chrono::steady_clock::now();
+  if (snapshot_out != nullptr) *snapshot_out = session->TelemetrySnapshot();
   RunStats stats;
   stats.wall_ms =
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
@@ -91,6 +98,8 @@ int main(int argc, char** argv) {
 
   // In-process baselines at matching worker counts (dispatch mode matches:
   // parallelism > 1 implies batched linear scan on both sides).
+  bench::BenchJson profile("proc");
+  TelemetrySnapshot snapshot;
   std::vector<int> workers = {1, 2, 4, 8};
   std::vector<RunStats> in_process;
   for (int w : workers) {
@@ -101,12 +110,18 @@ int main(int argc, char** argv) {
                 1000.0 * stats.wall_ms /
                     std::max<uint64_t>(1, stats.report.discovery.executions),
                 stats.report.discovery.rounds);
+    profile.Metric("in_process_w" + std::to_string(w) + "_wall_ms",
+                   stats.wall_ms);
     in_process.push_back(std::move(stats));
   }
   std::printf("\n");
   for (size_t i = 0; i < workers.size(); ++i) {
     const int w = workers[i];
-    RunStats stats = RunOnce(model->get(), Isolation::kSubprocess, w, trials);
+    // The widest subprocess run is the instrumented one: its snapshot (trial
+    // spans, latency histograms) ships in the profile document.
+    RunStats stats =
+        RunOnce(model->get(), Isolation::kSubprocess, w, trials,
+                i + 1 == workers.size() ? &snapshot : nullptr);
     const double us_per_trial =
         1000.0 * stats.wall_ms /
         std::max<uint64_t>(1, stats.report.discovery.executions);
@@ -118,6 +133,10 @@ int main(int argc, char** argv) {
                 (unsigned long long)stats.report.discovery.executions,
                 us_per_trial,
                 stats.report.discovery.rounds, us_per_trial - base_us);
+    profile.Metric("subprocess_w" + std::to_string(w) + "_wall_ms",
+                   stats.wall_ms);
+    profile.Metric("subprocess_w" + std::to_string(w) + "_ipc_us_per_trial",
+                   us_per_trial - base_us);
     if (!SameDiscoveryOutcome(stats.report.discovery, in_process[i].report.discovery)) {
       std::fprintf(stderr,
                    "BUG: subprocess report diverges from in-process at "
@@ -127,5 +146,7 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\nall subprocess reports bit-identical to in-process runs\n");
+  profile.Attach(snapshot);
+  profile.Write();
   return 0;
 }

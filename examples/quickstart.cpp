@@ -114,6 +114,7 @@ int main() {
                         .WithEngine(EnginePreset::kAid)
                         .WithTrials(3)
                         .WithStaticAnalysis()  // lint + dependence pruning
+                        .WithTelemetry()       // metrics + pipeline trace
                         .WithObserver(&progress)
                         .Build();
   if (!session_or.ok()) {
@@ -156,5 +157,18 @@ int main() {
   for (size_t i = 0; i < report.causal_path.size(); ++i) {
     std::printf("  %zu. %s\n", i + 1, report.causal_path[i].c_str());
   }
+
+  // Where did the run spend its effort? The telemetry snapshot carries the
+  // same totals as the report plus the span tree; exporters (MetricsJson,
+  // ChromeTraceJson, PrometheusText) turn it into files -- see
+  // examples/remote_fleet_session.cpp and docs/telemetry.md.
+  const TelemetrySnapshot telemetry = session.TelemetrySnapshot();
+  std::printf("\ntelemetry: %llu rounds, %llu executions, %zu spans "
+              "recorded\n",
+              (unsigned long long)
+                  telemetry.metrics.Value("aid_rounds_total"),
+              (unsigned long long)
+                  telemetry.metrics.Value("aid_executions_total"),
+              telemetry.spans.size());
   return 0;
 }

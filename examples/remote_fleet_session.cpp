@@ -4,16 +4,22 @@
 // with every intervention replica running on a remote runner behind TCP
 // (.WithRemoteFleet) -- and the two DiscoveryReports must be bit-identical:
 // where a replica executes can never influence what it computes (positional
-// trial indices, docs/remote_protocol.md). The program exits 1 on any
-// divergence, which is how the CI loopback-fleet job uses it against real
+// trial indices, docs/remote_protocol.md). The fleet run is instrumented
+// (.WithTelemetry): its metric totals must match its DiscoveryReport
+// exactly, and its trace must contain imported host-side spans nesting
+// under engine-side trial spans -- the cross-process trace contract of
+// docs/telemetry.md. The program exits 1 on any divergence, which is how
+// the CI loopback-fleet and fleet-telemetry jobs use it against real
 // aid_runner processes.
 //
 // Usage:
-//   ./build/examples/remote_fleet_session host:port [host:port ...]
+//   ./build/examples/remote_fleet_session [flags] [host:port ...]
 //       use the given already-running runners (start them with
-//       ./build/aid_runner --port 7601 &)
-//   ./build/examples/remote_fleet_session
-//       self-contained demo: spins up two in-process runners on loopback
+//       ./build/aid_runner --port 7601 &); with no endpoints, a
+//       self-contained demo spins up two in-process runners on loopback
+//   --trace-json FILE     write the fleet run's Chrome trace-event JSON
+//                         (load in Perfetto / chrome://tracing)
+//   --metrics-json FILE   write the fleet run's metrics snapshot JSON
 
 #include <cstdio>
 #include <memory>
@@ -24,8 +30,47 @@
 #include "net/runner.h"
 #include "synth/generator.h"
 #include "synth/model.h"
+#include "telemetry/telemetry.h"
 
 using namespace aid;
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  if (written != contents.size()) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), contents.size());
+  return true;
+}
+
+/// The cross-process trace contract: every imported host-side span nests
+/// under an engine-side "trial" span. Returns the number of imported
+/// spans, or -1 when the contract is broken.
+int CheckImportedSpans(const std::vector<SpanRecord>& spans) {
+  int imported = 0;
+  for (const SpanRecord& span : spans) {
+    if (!span.imported) continue;
+    ++imported;
+    if (span.parent == 0 || span.parent > spans.size()) return -1;
+    const SpanRecord& parent = spans[span.parent - 1];
+    if (parent.name != "trial") return -1;
+    if (span.start_us < parent.start_us || span.end_us > parent.end_us) {
+      return -1;
+    }
+  }
+  return imported;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   if (!RemoteFleetSupported()) {
@@ -33,11 +78,21 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // The fleet: endpoints from the command line, or two runners we host
-  // ourselves for a self-contained demo.
+  // Flags, then endpoints; two self-hosted loopback runners when none given.
+  std::string trace_path;
+  std::string metrics_path;
   std::vector<std::string> fleet;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-json" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      fleet.push_back(arg);
+    }
+  }
   std::vector<std::unique_ptr<Runner>> local_runners;
-  for (int i = 1; i < argc; ++i) fleet.push_back(argv[i]);
   if (fleet.empty()) {
     for (int i = 0; i < 2; ++i) {
       auto runner = Runner::Start();
@@ -69,8 +124,9 @@ int main(int argc, char** argv) {
   std::printf("subject: synthetic model, %zu predicates, flaky root cause "
               "(70%%)\n\n", model.size());
 
-  auto run = [&](const std::vector<std::string>& endpoints,
-                 const char* label) -> Result<SessionReport> {
+  auto run = [&](const std::vector<std::string>& endpoints, const char* label,
+                 std::shared_ptr<Telemetry> telemetry)
+      -> Result<SessionReport> {
     SessionBuilder builder;
     builder.WithFlakyModel(&model, 0.7, /*seed=*/5)
         .WithTrials(3)
@@ -78,6 +134,7 @@ int main(int argc, char** argv) {
     if (!endpoints.empty()) {
       builder.WithRemoteFleet(endpoints, /*trial_deadline_ms=*/30000);
     }
+    if (telemetry != nullptr) builder.WithTelemetry(std::move(telemetry));
     AID_ASSIGN_OR_RETURN(Session session, builder.Build());
     AID_ASSIGN_OR_RETURN(SessionReport report, session.Run());
     std::printf("%-12s rounds=%d executions=%llu root_cause=%s\n", label,
@@ -87,12 +144,14 @@ int main(int argc, char** argv) {
     return report;
   };
 
-  auto in_process = run({}, "in-process");
+  // Untraced in-process baseline; fully instrumented fleet run.
+  auto in_process = run({}, "in-process", nullptr);
   if (!in_process.ok()) {
     std::fprintf(stderr, "%s\n", in_process.status().ToString().c_str());
     return 1;
   }
-  auto remote = run(fleet, "fleet");
+  std::shared_ptr<Telemetry> telemetry = Telemetry::Create();
+  auto remote = run(fleet, "fleet", telemetry);
   if (!remote.ok()) {
     std::fprintf(stderr, "%s\n", remote.status().ToString().c_str());
     return 1;
@@ -105,5 +164,49 @@ int main(int argc, char** argv) {
   }
   std::printf("\nfleet report bit-identical to the in-process run "
               "(4 replicas across %zu runner(s))\n", fleet.size());
+
+  // Telemetry self-check: exported totals must match the fleet run's
+  // DiscoveryReport exactly, and the cross-process trace must nest.
+  const TelemetrySnapshot snapshot = telemetry->Snapshot();
+  const DiscoveryReport& d = remote->discovery;
+  struct { const char* metric; uint64_t expected; } totals[] = {
+      {"aid_rounds_total", static_cast<uint64_t>(d.rounds)},
+      {"aid_executions_total", d.executions},
+      {"aid_speculative_executions_total", d.speculative_executions},
+      {"aid_steals_total", d.steals},
+      {"aid_crashed_trials_total", d.crashed_trials},
+      {"aid_timed_out_trials_total", d.timed_out_trials},
+  };
+  for (const auto& check : totals) {
+    const uint64_t got = snapshot.metrics.Value(check.metric);
+    if (got != check.expected) {
+      std::fprintf(stderr,
+                   "\nBUG: %s=%llu does not match the DiscoveryReport "
+                   "(%llu)\n",
+                   check.metric, (unsigned long long)got,
+                   (unsigned long long)check.expected);
+      return 1;
+    }
+  }
+  const int imported = CheckImportedSpans(snapshot.spans);
+  if (imported <= 0) {
+    std::fprintf(stderr,
+                 "\nBUG: cross-process trace broken (%d imported spans)\n",
+                 imported);
+    return 1;
+  }
+  std::printf("telemetry consistent with the report: %llu executions, "
+              "%zu spans, %d imported host spans nested under trials\n",
+              (unsigned long long)d.executions, snapshot.spans.size(),
+              imported);
+
+  if (!trace_path.empty() &&
+      !WriteFile(trace_path, ChromeTraceJson(snapshot.spans))) {
+    return 1;
+  }
+  if (!metrics_path.empty() &&
+      !WriteFile(metrics_path, MetricsJson(snapshot.metrics))) {
+    return 1;
+  }
   return 0;
 }

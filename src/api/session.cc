@@ -20,14 +20,19 @@ Result<SessionReport> Session::RunInternal(const EngineOptions& engine_options,
   report.target_name = std::string(target_->name());
   report.sd_predicates = target_->sd_predicate_count();
 
+  Tracer* tracer = telemetry_ != nullptr ? telemetry_->tracer() : nullptr;
   if (dag() == nullptr) {
     // SD ran inside the backend's construction; its phase is announced once
     // here, alongside the one-time DAG construction, so repeated Run calls
-    // do not replay phases whose work is not redone.
+    // do not replay phases whose work is not redone. The SD span is
+    // announced the same way (the work already happened during
+    // observation); the DAG span times the actual build.
     if (observer_ != nullptr) {
       observer_->OnPhaseChanged(SessionPhase::kStatisticalDebugging);
       observer_->OnPhaseChanged(SessionPhase::kAcDagConstruction);
     }
+    ScopedSpan(tracer, "statistical_debugging").End();
+    ScopedSpan dag_span(tracer, "acdag_construction");
     borrowed_dag_ = target_->prebuilt_dag();
     if (borrowed_dag_ == nullptr) {
       AID_ASSIGN_OR_RETURN(AcDag built, target_->BuildAcDag());
@@ -183,6 +188,17 @@ SessionBuilder& SessionBuilder::WithStaticAnalysis(AnalysisOptions options) {
   return *this;
 }
 
+SessionBuilder& SessionBuilder::WithTelemetry(TelemetryOptions options) {
+  telemetry_ = Telemetry::Create(options);
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::WithTelemetry(
+    std::shared_ptr<Telemetry> telemetry) {
+  telemetry_ = std::move(telemetry);
+  return *this;
+}
+
 SessionBuilder& SessionBuilder::WithObserver(Observer* observer) {
   observer_ = observer;
   return *this;
@@ -267,6 +283,10 @@ Result<Session> SessionBuilder::Build() {
     config_.remote.trial_deadline_ms = fleet_trial_deadline_ms_;
   }
   if (analysis_.has_value()) config_.analysis = *analysis_;
+  // The main engine is instrumented; the TAGT baseline never is, so the
+  // metric totals stay an exact mirror of the main run's DiscoveryReport.
+  config_.telemetry = telemetry_;
+  options_.engine.telemetry = telemetry_.get();
 
   std::unique_ptr<SessionTarget> target = std::move(prebuilt_target_);
   if (target != nullptr && config_.parallelism > 1) {
@@ -305,9 +325,12 @@ Result<Session> SessionBuilder::Build() {
     if (observer_ != nullptr) {
       observer_->OnPhaseChanged(SessionPhase::kObservation);
     }
+    Tracer* tracer =
+        telemetry_ != nullptr ? telemetry_->tracer() : nullptr;
+    ScopedSpan observation_span(tracer, "observation");
     AID_ASSIGN_OR_RETURN(target, TargetFactory::Create(backend_, config_));
   }
-  return Session(std::move(target), options_, observer_);
+  return Session(std::move(target), options_, observer_, telemetry_);
 }
 
 }  // namespace aid

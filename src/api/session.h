@@ -33,6 +33,7 @@
 #include "api/target_factory.h"
 #include "core/engine.h"
 #include "core/report.h"
+#include "telemetry/telemetry.h"
 
 namespace aid {
 
@@ -98,20 +99,37 @@ class Session {
 
   const SessionOptions& options() const { return options_; }
 
+  /// The session's telemetry bundle; null unless built with WithTelemetry.
+  /// Valid for the session's lifetime (shared with the target substrates).
+  Telemetry* telemetry() const { return telemetry_.get(); }
+
+  /// Point-in-time copy of everything telemetry collected so far: every
+  /// metric series plus every finished span (the pipeline spans of this
+  /// process and the host spans imported from subject processes). Empty
+  /// when telemetry is off. Feed it to MetricsJson / ChromeTraceJson /
+  /// PrometheusText / TelemetryJson (telemetry/telemetry.h) to export.
+  aid::TelemetrySnapshot TelemetrySnapshot() const {
+    return telemetry_ != nullptr ? telemetry_->Snapshot()
+                                 : aid::TelemetrySnapshot{};
+  }
+
  private:
   friend class SessionBuilder;
   Result<SessionReport> RunInternal(const EngineOptions& engine,
                                     bool run_baseline);
   Session(std::unique_ptr<SessionTarget> target, SessionOptions options,
-          Observer* observer)
+          Observer* observer, std::shared_ptr<Telemetry> telemetry)
       : target_(std::move(target)),
         options_(std::move(options)),
-        observer_(observer) {}
+        observer_(observer),
+        telemetry_(std::move(telemetry)) {}
 
   std::unique_ptr<SessionTarget> target_;
   SessionOptions options_;
   Observer* observer_ = nullptr;  ///< non-owning; may be null
-  std::optional<AcDag> dag_;      ///< owned DAG (unset when borrowing)
+  /// Telemetry bundle shared with the target substrates; null = off.
+  std::shared_ptr<Telemetry> telemetry_;
+  std::optional<AcDag> dag_;  ///< owned DAG (unset when borrowing)
   /// DAG borrowed from the target (points into *target_, so it stays valid
   /// across Session moves).
   const AcDag* borrowed_dag_ = nullptr;
@@ -221,6 +239,21 @@ class SessionBuilder {
     return WithStaticAnalysis(options);
   }
 
+  /// Collect telemetry for this session (src/telemetry/): pipeline spans
+  /// (observation, statistical debugging, AC-DAG construction, every
+  /// intervention round and trial -- including spans imported from subject
+  /// processes over the wire), latency histograms, and fleet/scheduler
+  /// metrics whose totals match the DiscoveryReport of Run() exactly.
+  /// Observability only: reports are bit-identical with telemetry on or
+  /// off. Read results via Session::TelemetrySnapshot() or telemetry(),
+  /// export via MetricsJson / ChromeTraceJson / PrometheusText. The TAGT
+  /// baseline run is never instrumented, so metric totals stay comparable
+  /// to the main run's report.
+  SessionBuilder& WithTelemetry(TelemetryOptions options = {});
+  /// Same, but sharing a caller-owned bundle (e.g. one registry across
+  /// several sessions). Passing nullptr turns telemetry back off.
+  SessionBuilder& WithTelemetry(std::shared_ptr<Telemetry> telemetry);
+
   // ----- session behavior ----------------------------------------------
   SessionBuilder& WithObserver(Observer* observer);
   SessionBuilder& WithTagtBaseline(bool run = true);
@@ -246,6 +279,7 @@ class SessionBuilder {
   std::optional<std::vector<std::string>> fleet_endpoints_;
   int fleet_trial_deadline_ms_ = 0;
   std::optional<AnalysisOptions> analysis_;  ///< set iff WithStaticAnalysis
+  std::shared_ptr<Telemetry> telemetry_;     ///< set iff WithTelemetry
 };
 
 }  // namespace aid

@@ -11,6 +11,7 @@
 #include "net/fleet_target.h"
 #include "sd/statistical_debugger.h"
 #include "synth/flaky_target.h"
+#include "telemetry/telemetry.h"
 
 namespace aid {
 namespace {
@@ -46,7 +47,8 @@ class VmSessionTarget : public SessionTarget {
       const std::vector<std::string>& fleet = {},
       const RemoteOptions& remote = {},
       const SchedulerOptions& scheduler = {},
-      const AnalysisOptions& analysis = {}) {
+      const AnalysisOptions& analysis = {},
+      std::shared_ptr<Telemetry> telemetry = nullptr) {
     AID_RETURN_IF_ERROR(ValidateParallelism(parallelism));
     AID_RETURN_IF_ERROR(ValidateSchedulerOptions(scheduler));
     AID_RETURN_IF_ERROR(ValidateSubstrate(fleet, isolation));
@@ -93,12 +95,14 @@ class VmSessionTarget : public SessionTarget {
                              ParseEndpoints(fleet));
         RemoteOptions opts = remote;
         opts.expected_catalog_size = catalog_size;
+        opts.telemetry = telemetry;
         AID_ASSIGN_OR_RETURN(target->fleet_,
                              FleetTarget::Create(std::move(endpoints), spec,
                                                  opts));
       } else {
         SubprocessOptions opts = subprocess;
         opts.expected_catalog_size = catalog_size;
+        opts.telemetry = telemetry;
         AID_ASSIGN_OR_RETURN(target->subprocess_,
                              SubprocessTarget::Create(spec, opts));
       }
@@ -107,8 +111,11 @@ class VmSessionTarget : public SessionTarget {
       AID_ASSIGN_OR_RETURN(
           target->parallel_,
           ParallelTarget::Create(target->replicable_target(), parallelism,
-                                 scheduler));
+                                 scheduler, telemetry.get()));
     }
+    // Keep the bundle alive as long as the target stack that records into
+    // it (the session usually shares it too).
+    target->telemetry_ = std::move(telemetry);
     return std::unique_ptr<SessionTarget>(std::move(target));
   }
 
@@ -156,6 +163,9 @@ class VmSessionTarget : public SessionTarget {
   std::unique_ptr<SubprocessTarget> subprocess_;
   /// Remote-fleet intervention backend; set iff the config named a fleet.
   std::unique_ptr<FleetTarget> fleet_;
+  /// Shared with every substrate above that records into it; held so the
+  /// bundle cannot die before the recording targets do.
+  std::shared_ptr<Telemetry> telemetry_;
   /// Replica pool over replicable_target(); set iff parallelism > 1.
   /// Declared last: it borrows the targets above, so it must die first.
   std::unique_ptr<ParallelTarget> parallel_;
@@ -169,7 +179,8 @@ class ModelSessionTarget : public SessionTarget {
       std::string name, const GroundTruthModel* model,
       std::unique_ptr<ReplicableTarget> intervention, int parallelism,
       const SchedulerOptions& scheduler = {},
-      const AnalysisOptions& analysis = {}) {
+      const AnalysisOptions& analysis = {},
+      std::shared_ptr<Telemetry> telemetry = nullptr) {
     AID_RETURN_IF_ERROR(ValidateParallelism(parallelism));
     AID_RETURN_IF_ERROR(ValidateSchedulerOptions(scheduler));
     auto target = std::make_unique<ModelSessionTarget>(
@@ -179,8 +190,9 @@ class ModelSessionTarget : public SessionTarget {
       AID_ASSIGN_OR_RETURN(
           target->parallel_,
           ParallelTarget::Create(target->intervention_.get(), parallelism,
-                                 scheduler));
+                                 scheduler, telemetry.get()));
     }
+    target->telemetry_ = std::move(telemetry);
     return std::unique_ptr<SessionTarget>(std::move(target));
   }
 
@@ -222,6 +234,9 @@ class ModelSessionTarget : public SessionTarget {
   std::string name_;
   const GroundTruthModel* model_;
   std::unique_ptr<ReplicableTarget> intervention_;
+  /// Shared with the substrates above; keeps the bundle alive while the
+  /// recording targets live.
+  std::shared_ptr<Telemetry> telemetry_;
   /// Replica pool over intervention_; set iff parallelism > 1.
   std::unique_ptr<ParallelTarget> parallel_;
   AnalysisOptions analysis_;
@@ -265,7 +280,8 @@ Result<std::unique_ptr<SessionTarget>> CreateCaseTarget(
                                  std::move(study), config.parallelism,
                                  config.isolation, config.subprocess, key,
                                  config.fleet, config.remote,
-                                 config.scheduler, config.analysis);
+                                 config.scheduler, config.analysis,
+                                 config.telemetry);
 }
 
 struct Registry {
@@ -279,14 +295,14 @@ struct Registry {
                                      config.isolation, config.subprocess,
                                      /*case_key=*/{}, config.fleet,
                                      config.remote, config.scheduler,
-                                     config.analysis);
+                                     config.analysis, config.telemetry);
     };
     creators["model"] = [](const TargetConfig& config) {
       return MakeModelSessionTarget(config.model, 1.0, 1, "model",
                                     config.parallelism, config.isolation,
                                     config.subprocess, config.fleet,
                                     config.remote, config.scheduler,
-                                    config.analysis);
+                                    config.analysis, config.telemetry);
     };
     creators["flaky-model"] = [](const TargetConfig& config) {
       return MakeModelSessionTarget(config.model, config.manifest_probability,
@@ -294,7 +310,7 @@ struct Registry {
                                     config.parallelism, config.isolation,
                                     config.subprocess, config.fleet,
                                     config.remote, config.scheduler,
-                                    config.analysis);
+                                    config.analysis, config.telemetry);
     };
     creators["case"] = [](const TargetConfig& config) {
       return CreateCaseTarget(config.case_study, config);
@@ -357,11 +373,12 @@ Result<std::unique_ptr<SessionTarget>> MakeVmSessionTarget(
     const Program* program, const VmTargetOptions& options, std::string name,
     int parallelism, Isolation isolation, const SubprocessOptions& subprocess,
     const std::vector<std::string>& fleet, const RemoteOptions& remote,
-    const SchedulerOptions& scheduler, const AnalysisOptions& analysis) {
+    const SchedulerOptions& scheduler, const AnalysisOptions& analysis,
+    std::shared_ptr<Telemetry> telemetry) {
   return VmSessionTarget::Create(std::move(name), program, options,
                                  std::nullopt, parallelism, isolation,
                                  subprocess, /*case_key=*/{}, fleet, remote,
-                                 scheduler, analysis);
+                                 scheduler, analysis, std::move(telemetry));
 }
 
 Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
@@ -369,7 +386,8 @@ Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
     uint64_t flaky_seed, std::string name, int parallelism,
     Isolation isolation, const SubprocessOptions& subprocess,
     const std::vector<std::string>& fleet, const RemoteOptions& remote,
-    const SchedulerOptions& scheduler, const AnalysisOptions& analysis) {
+    const SchedulerOptions& scheduler, const AnalysisOptions& analysis,
+    std::shared_ptr<Telemetry> telemetry) {
   if (model == nullptr) {
     return Status::InvalidArgument(
         "model target: TargetConfig::model is required");
@@ -390,12 +408,14 @@ Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
                            ParseEndpoints(fleet));
       RemoteOptions opts = remote;
       opts.expected_catalog_size = catalog_size;
+      opts.telemetry = telemetry;
       AID_ASSIGN_OR_RETURN(intervention,
                            FleetTarget::Create(std::move(endpoints), spec,
                                                opts));
     } else {
       SubprocessOptions opts = subprocess;
       opts.expected_catalog_size = catalog_size;
+      opts.telemetry = telemetry;
       AID_ASSIGN_OR_RETURN(intervention, SubprocessTarget::Create(spec, opts));
     }
   } else if (manifest_probability >= 1.0) {
@@ -406,7 +426,8 @@ Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
   }
   return ModelSessionTarget::Create(std::move(name), model,
                                     std::move(intervention), parallelism,
-                                    scheduler, analysis);
+                                    scheduler, analysis,
+                                    std::move(telemetry));
 }
 
 std::unique_ptr<SessionTarget> MakeAdapterSessionTarget(

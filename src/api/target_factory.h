@@ -121,6 +121,15 @@ struct TargetConfig {
   /// analysis field) are left untouched. Usually set through
   /// SessionBuilder::WithStaticAnalysis.
   AnalysisOptions analysis;
+
+  /// All built-in backends: the session's telemetry bundle (null = off).
+  /// Threaded into every execution substrate the factory assembles --
+  /// replica pools (chunk spans, replica EWMAs/steals), subprocess children
+  /// and remote fleets (trial spans, wire latency histograms, endpoint
+  /// gauges, cross-process span propagation). Observability only: never
+  /// changes a report's bytes. Usually set through
+  /// SessionBuilder::WithTelemetry.
+  std::shared_ptr<Telemetry> telemetry;
 };
 
 /// One debuggable application: the pluggable unit behind aid::Session.
@@ -204,7 +213,8 @@ Result<std::unique_ptr<SessionTarget>> MakeVmSessionTarget(
     const SubprocessOptions& subprocess = {},
     const std::vector<std::string>& fleet = {},
     const RemoteOptions& remote = {}, const SchedulerOptions& scheduler = {},
-    const AnalysisOptions& analysis = {});
+    const AnalysisOptions& analysis = {},
+    std::shared_ptr<Telemetry> telemetry = nullptr);
 
 /// Wraps a ground-truth model as a SessionTarget. `model` must outlive the
 /// target. With `manifest_probability` < 1 the intervention target is a
@@ -219,7 +229,8 @@ Result<std::unique_ptr<SessionTarget>> MakeModelSessionTarget(
     const SubprocessOptions& subprocess = {},
     const std::vector<std::string>& fleet = {},
     const RemoteOptions& remote = {}, const SchedulerOptions& scheduler = {},
-    const AnalysisOptions& analysis = {});
+    const AnalysisOptions& analysis = {},
+    std::shared_ptr<Telemetry> telemetry = nullptr);
 
 /// Adapts a borrowed InterventionTarget and prebuilt AC-DAG as a
 /// SessionTarget -- the escape hatch for research setups that assemble the

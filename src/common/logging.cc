@@ -1,10 +1,41 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <functional>
+#include <mutex>
+#include <thread>
 
 namespace aid {
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Applies AID_LOG_LEVEL from the environment exactly once, before the
+/// first GetLogLevel/SetLogLevel takes effect. Daemons (aid_runner,
+/// aid_subject_host) become verbose via the environment without a code
+/// change; an explicit SetLogLevel call afterwards still wins.
+void ApplyEnvLogLevelOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* raw = std::getenv("AID_LOG_LEVEL");
+    if (raw == nullptr || *raw == '\0') return;
+    int level = -1;
+    if (std::strcmp(raw, "debug") == 0 || std::strcmp(raw, "0") == 0) {
+      level = static_cast<int>(LogLevel::kDebug);
+    } else if (std::strcmp(raw, "info") == 0 || std::strcmp(raw, "1") == 0) {
+      level = static_cast<int>(LogLevel::kInfo);
+    } else if (std::strcmp(raw, "warning") == 0 ||
+               std::strcmp(raw, "2") == 0) {
+      level = static_cast<int>(LogLevel::kWarning);
+    } else if (std::strcmp(raw, "error") == 0 || std::strcmp(raw, "3") == 0) {
+      level = static_cast<int>(LogLevel::kError);
+    }
+    if (level >= 0) g_log_level.store(level);
+  });
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -19,23 +50,71 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Compact stable id for the calling thread (hash folded to 5 digits);
+/// enough to tell interleaved writers apart without platform tid syscalls.
+unsigned long ThreadTag() {
+  const size_t hash = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return static_cast<unsigned long>(hash % 100000);
+}
+
 }  // namespace
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
-void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+LogLevel GetLogLevel() {
+  ApplyEnvLogLevelOnce();
+  return static_cast<LogLevel>(g_log_level.load());
+}
+
+void SetLogLevel(LogLevel level) {
+  ApplyEnvLogLevelOnce();
+  g_log_level.store(static_cast<int>(level));
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  const char* base = file;
-  for (const char* p = file; *p; ++p) {
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  // Assemble the whole line first and emit it as ONE stdio write: lines
+  // from concurrent threads (replica pools, runner children) interleave as
+  // whole lines instead of shredding each other mid-token.
+  const char* base = file_;
+  for (const char* p = file_; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
-}
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000000;
+  std::tm tm_utc{};
+#if defined(_WIN32)
+  gmtime_s(&tm_utc, &seconds);
+#else
+  gmtime_r(&seconds, &tm_utc);
+#endif
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%02d:%02d:%02d.%06ld", tm_utc.tm_hour,
+                tm_utc.tm_min, tm_utc.tm_sec, static_cast<long>(micros));
 
-LogMessage::~LogMessage() { std::cerr << stream_.str() << std::endl; }
+  std::string line = "[";
+  line += LevelName(level_);
+  line += ' ';
+  line += stamp;
+  line += " t";
+  line += std::to_string(ThreadTag());
+  line += ' ';
+  line += base;
+  line += ':';
+  line += std::to_string(line_);
+  line += "] ";
+  line += stream_.str();
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
 
 void CheckFailed(const char* file, int line, const std::string& what) {
   LogMessage(LogLevel::kError, file, line).stream() << what;

@@ -18,7 +18,9 @@ namespace aid {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Process-wide minimum level that is actually emitted (default kWarning so
-/// library users see problems but not progress chatter).
+/// library users see problems but not progress chatter). The AID_LOG_LEVEL
+/// environment variable ("debug" | "info" | "warning" | "error" or 0-3)
+/// overrides the default once at first use; SetLogLevel overrides both.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
@@ -27,11 +29,16 @@ namespace internal {
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
+  /// Assembles the full line (level, UTC timestamp, thread tag, site) and
+  /// emits it as a single write to stderr, so concurrent threads interleave
+  /// whole lines, never fragments.
   ~LogMessage();
   std::ostream& stream() { return stream_; }
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

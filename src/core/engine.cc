@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace aid {
 
@@ -21,6 +22,10 @@ Result<DiscoveryReport> CausalPathDiscovery::Run() {
   const TargetHealth health_before = target_->health();
   const DispatchStats dispatch_before = target_->dispatch_stats();
 
+  Tracer* tracer =
+      options_.telemetry != nullptr ? options_.telemetry->tracer() : nullptr;
+  ScopedSpan discovery_span(tracer, "discovery");
+
   candidates_.clear();
   for (PredicateId id : dag_->nodes()) {
     if (id != dag_->failure()) candidates_.push_back(id);
@@ -30,14 +35,22 @@ Result<DiscoveryReport> CausalPathDiscovery::Run() {
     if (options_.observer) {
       options_.observer->OnPhaseChanged(SessionPhase::kBranchPruning);
     }
+    ScopedSpan phase_span(tracer, "branch_prune", discovery_span.id());
+    phase_span_ = phase_span.id();
     AID_RETURN_IF_ERROR(BranchPrune());
+    phase_span_ = 0;
   }
 
   if (options_.observer) {
     options_.observer->OnPhaseChanged(SessionPhase::kGiwp);
   }
   MakeSingletonItems(candidates_);
-  AID_RETURN_IF_ERROR(Giwp(UndecidedItems()));
+  {
+    ScopedSpan phase_span(tracer, "giwp", discovery_span.id());
+    phase_span_ = phase_span.id();
+    AID_RETURN_IF_ERROR(Giwp(UndecidedItems()));
+    phase_span_ = 0;
+  }
 
   // Assemble the causal path: causal predicates in topological order, then F
   // (Definition 1: C0 .. Cn with Cn = F).
@@ -87,6 +100,28 @@ Result<DiscoveryReport> CausalPathDiscovery::Run() {
                      i < dispatch_before.replica_trials.size();
        ++i) {
     report_.replica_trials[i] -= dispatch_before.replica_trials[i];
+  }
+
+  // Fold the report's own deltas into the metrics registry, so the exported
+  // snapshot matches the DiscoveryReport EXACTLY (rounds were counted live
+  // in RecordRound; everything else lands here, at the quiescent end of the
+  // run). Substrates only feed latency histograms/EWMAs live -- totals come
+  // from the same numbers the report carries.
+  if (options_.telemetry != nullptr) {
+    MetricsRegistry& reg = options_.telemetry->metrics();
+    reg.GetCounter("aid_executions_total")->Add(report_.executions);
+    reg.GetCounter("aid_speculative_executions_total")
+        ->Add(report_.speculative_executions);
+    reg.GetCounter("aid_respawns_total")->Add(report_.respawns);
+    reg.GetCounter("aid_crashed_trials_total")->Add(report_.crashed_trials);
+    reg.GetCounter("aid_timed_out_trials_total")
+        ->Add(report_.timed_out_trials);
+    reg.GetCounter("aid_steals_total")->Add(report_.steals);
+    reg.GetCounter("aid_straggler_wait_micros_total")
+        ->Add(report_.straggler_wait_micros);
+    reg.GetCounter("aid_cancelled_chunks_total")
+        ->Add(dispatch_after.cancelled_chunks -
+              dispatch_before.cancelled_chunks);
   }
   return report_;
 }
@@ -191,9 +226,22 @@ Status CausalPathDiscovery::GiwpLinearBatched(const std::vector<size_t>& pool) {
   spans.reserve(pool.size());
   for (size_t i : pool) spans.push_back(items_[i].preds);
 
-  AID_ASSIGN_OR_RETURN(
-      std::vector<TargetRunResult> results,
-      target_->RunInterventionsBatch(spans, options_.trials_per_intervention));
+  // One "round.batch" span covers the whole batched dispatch (the decisions
+  // it feeds are consumed below, outside the span); like Intervene, it is
+  // the active parent for substrate-side chunk/trial spans.
+  ScopedSpan batch_span;
+  if (options_.telemetry != nullptr &&
+      options_.telemetry->tracer() != nullptr) {
+    batch_span = ScopedSpan(options_.telemetry->tracer(), "round.batch",
+                            phase_span_);
+    options_.telemetry->SetActiveParent(batch_span.id());
+  }
+  Result<std::vector<TargetRunResult>> batch =
+      target_->RunInterventionsBatch(spans, options_.trials_per_intervention);
+  if (options_.telemetry != nullptr) options_.telemetry->SetActiveParent(0);
+  batch_span.End();
+  if (!batch.ok()) return batch.status();
+  std::vector<TargetRunResult>& results = *batch;
   if (results.size() != pool.size()) {
     // Backends are third-party code; a contract violation is their runtime
     // error, not our programming error.
@@ -324,11 +372,25 @@ Result<TargetRunResult> CausalPathDiscovery::Intervene(
   if (options_.observer) {
     options_.observer->OnRoundStarted(report_.rounds + 1, preds);
   }
-  AID_ASSIGN_OR_RETURN(
-      TargetRunResult result,
-      target_->RunIntervened(preds, options_.trials_per_intervention));
+  // The round span is published as the ACTIVE PARENT while the dispatch is
+  // in flight: worker threads (and the wire clients under them) parent
+  // their chunk/trial spans under it without the engine threading ids
+  // through the InterventionTarget interface. Rounds are serial, so one
+  // slot suffices.
+  ScopedSpan round_span;
+  if (options_.telemetry != nullptr &&
+      options_.telemetry->tracer() != nullptr) {
+    round_span = ScopedSpan(options_.telemetry->tracer(), "round",
+                            phase_span_);
+    options_.telemetry->SetActiveParent(round_span.id());
+  }
+  Result<TargetRunResult> result =
+      target_->RunIntervened(preds, options_.trials_per_intervention);
+  if (options_.telemetry != nullptr) options_.telemetry->SetActiveParent(0);
+  round_span.End();
+  if (!result.ok()) return result.status();
 
-  RecordRound(preds, result, phase);
+  RecordRound(preds, *result, phase);
   return result;
 }
 
@@ -336,6 +398,9 @@ void CausalPathDiscovery::RecordRound(const std::vector<PredicateId>& preds,
                                       const TargetRunResult& result,
                                       const char* phase) {
   ++report_.rounds;
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->metrics().GetCounter("aid_rounds_total")->Add(1);
+  }
   InterventionRound round;
   round.intervened = preds;
   round.failure_stopped = !result.AnyFailed();

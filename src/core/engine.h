@@ -33,6 +33,8 @@
 
 namespace aid {
 
+class Telemetry;  // telemetry/telemetry.h; nullable everywhere below
+
 struct EngineOptions {
   /// Group candidates by AC-DAG topological order (false: random order, as
   /// in traditional group testing).
@@ -70,6 +72,14 @@ struct EngineOptions {
   /// kBranchPruning / kGiwp phase changes, every round, and every predicate
   /// decision.
   Observer* observer = nullptr;
+  /// Telemetry sink (non-owning; may be null = zero overhead). With a sink,
+  /// the engine opens a "discovery" span over the whole run, phase spans
+  /// ("branch_prune" / "giwp"), a "round" span per intervention (published
+  /// as the active parent so substrate-side trial spans nest under it), and
+  /// writes its DiscoveryReport deltas into the aid_* counters at the end
+  /// of Run() -- so the metrics snapshot matches the report exactly.
+  /// Telemetry never changes a decision: reports stay bit-identical.
+  Telemetry* telemetry = nullptr;
 
   static EngineOptions Aid() { return EngineOptions{}; }
   static EngineOptions AidNoPredicatePruning() {
@@ -244,6 +254,9 @@ class CausalPathDiscovery {
   /// Candidate predicates surviving branch pruning.
   std::vector<PredicateId> candidates_;
   DiscoveryReport report_;
+  /// Open phase span ("branch_prune" / "giwp") round spans parent under;
+  /// 0 when telemetry is off or no phase span is open.
+  uint64_t phase_span_ = 0;
 };
 
 }  // namespace aid

@@ -21,7 +21,7 @@ Status ValidateParallelism(int parallelism) {
 
 Result<std::unique_ptr<ParallelTarget>> ParallelTarget::Create(
     const ReplicableTarget* primary, int parallelism,
-    SchedulerOptions scheduler) {
+    SchedulerOptions scheduler, Telemetry* telemetry) {
   if (primary == nullptr) {
     return Status::InvalidArgument("ParallelTarget: primary must not be null");
   }
@@ -34,17 +34,17 @@ Result<std::unique_ptr<ParallelTarget>> ParallelTarget::Create(
                          primary->Clone());
     replicas.push_back(std::move(replica));
   }
-  return std::unique_ptr<ParallelTarget>(
-      new ParallelTarget(primary, std::move(replicas), scheduler));
+  return std::unique_ptr<ParallelTarget>(new ParallelTarget(
+      primary, std::move(replicas), scheduler, telemetry));
 }
 
 ParallelTarget::ParallelTarget(
     const ReplicableTarget* primary,
     std::vector<std::unique_ptr<ReplicableTarget>> replicas,
-    SchedulerOptions scheduler)
+    SchedulerOptions scheduler, Telemetry* telemetry)
     : primary_(primary),
       replicas_(std::move(replicas)),
-      scheduler_(scheduler, replicas_.size()),
+      scheduler_(scheduler, replicas_.size(), telemetry),
       pool_(static_cast<int>(replicas_.size())),
       // Continue exactly where the primary's serial execution left off.
       trial_cursor_(primary->trial_position()) {

@@ -77,9 +77,11 @@ class ParallelTarget : public InterventionTarget {
   /// (the observation phase) to this target's accounting. Requires
   /// parallelism >= 1; parallelism == 1 is a valid degenerate pool whose
   /// results equal the primary's by the ReplicableTarget contract.
+  /// `telemetry` (nullable, non-owning; must outlive the target) is handed
+  /// to the ChunkScheduler for chunk spans and replica metrics.
   static Result<std::unique_ptr<ParallelTarget>> Create(
       const ReplicableTarget* primary, int parallelism,
-      SchedulerOptions scheduler = {});
+      SchedulerOptions scheduler = {}, Telemetry* telemetry = nullptr);
 
   /// Chunks `trials` across the replicas (contiguous trial ranges, logs
   /// assembled in trial order).
@@ -121,7 +123,7 @@ class ParallelTarget : public InterventionTarget {
  private:
   ParallelTarget(const ReplicableTarget* primary,
                  std::vector<std::unique_ptr<ReplicableTarget>> replicas,
-                 SchedulerOptions scheduler);
+                 SchedulerOptions scheduler, Telemetry* telemetry);
 
   /// The one dispatch path: chunks `spans` x `trials` starting at the trial
   /// cursor, runs the round, and commits the cursor ONLY on success (a

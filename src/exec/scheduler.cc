@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/math_util.h"
+#include "telemetry/telemetry.h"
 
 namespace aid {
 
@@ -49,12 +50,14 @@ Status ValidateSchedulerOptions(const SchedulerOptions& options) {
   return Status::OK();
 }
 
-ChunkScheduler::ChunkScheduler(SchedulerOptions options, size_t replica_count)
+ChunkScheduler::ChunkScheduler(SchedulerOptions options, size_t replica_count,
+                               Telemetry* telemetry)
     : options_(options),
       ewma_micros_(replica_count),
       trials_run_(replica_count, 0),
       chunks_run_(replica_count, 0),
-      steals_by_(replica_count, 0) {}
+      steals_by_(replica_count, 0),
+      telemetry_(telemetry) {}
 
 std::vector<ChunkScheduler::Chunk> ChunkScheduler::MakeChunks(
     const InterventionSpans& spans, int trials, uint64_t base) const {
@@ -154,8 +157,14 @@ void ChunkScheduler::RecordLatency(size_t replica, uint64_t micros,
   const uint64_t old = ewma_micros_[replica].load(std::memory_order_relaxed);
   const double next =
       FoldEwma(static_cast<double>(old), sample, options_.ewma_alpha);
-  ewma_micros_[replica].store(static_cast<uint64_t>(next + 0.5),
-                              std::memory_order_relaxed);
+  const uint64_t folded = static_cast<uint64_t>(next + 0.5);
+  ewma_micros_[replica].store(folded, std::memory_order_relaxed);
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics()
+        .GetGauge("aid_replica_ewma_micros",
+                  {{"replica", std::to_string(replica)}})
+        ->Set(folded);
+  }
 }
 
 size_t ChunkScheduler::FastestSlot() const {
@@ -181,11 +190,26 @@ Status ChunkScheduler::ExecuteChunk(
   // and socket-backed replicas), fall back to call-site wall clock for
   // in-process replicas that do not self-time.
   const TargetHealth health_before = replica->health();
+  // The chunk span parents under the engine's active round span (published
+  // cross-thread on the Telemetry bundle): this worker's slice of the round
+  // in the trace, on its own lane.
+  ScopedSpan chunk_span;
+  if (telemetry_ != nullptr && telemetry_->tracer() != nullptr) {
+    chunk_span = ScopedSpan(telemetry_->tracer(), "chunk",
+                            telemetry_->active_parent());
+  }
   const Clock::time_point start = Clock::now();
   replica->SeekTrial(chunk.first_trial);
   Result<TargetRunResult> result =
       replica->RunIntervened(*chunk.span, chunk.trials);
   const uint64_t wall = MicrosSince(start);
+  chunk_span.End();
+  if (telemetry_ != nullptr && wall > 0) {
+    telemetry_
+        ->LatencyHistogram("aid_chunk_latency_us",
+                           {{"replica", std::to_string(slot)}})
+        ->Record(wall);
+  }
   const TargetHealth health_after = replica->health();
   const uint64_t substrate =
       health_after.trial_micros - health_before.trial_micros;
@@ -392,6 +416,16 @@ Status ChunkScheduler::RunRound(ThreadPool& pool,
             .count());
   }
   cancelled_chunks_ += state.cancelled;
+  if (telemetry_ != nullptr) {
+    // Cumulative per-slot steal counts as gauges, refreshed at the round
+    // barrier (the quiescent point where the per-slot counters are safe to
+    // read on the driving thread).
+    for (size_t i = 0; i < workers; ++i) {
+      telemetry_->metrics()
+          .GetGauge("aid_replica_steals", {{"replica", std::to_string(i)}})
+          ->Set(steals_by_[i]);
+    }
+  }
 
   if (!join_error.ok()) return join_error;
   if (state.failed) return state.error;

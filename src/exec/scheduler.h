@@ -57,6 +57,8 @@
 
 namespace aid {
 
+class Telemetry;  // telemetry/telemetry.h; nullable everywhere below
+
 /// How a replica pool spreads a round's chunks over its replicas.
 enum class SchedulerPolicy : uint8_t {
   /// Fixed contiguous sharding: every replica gets an equal contiguous
@@ -116,7 +118,14 @@ class ChunkScheduler {
     size_t log_offset = 0;
   };
 
-  ChunkScheduler(SchedulerOptions options, size_t replica_count);
+  /// `telemetry` (nullable, non-owning) makes the scheduler first-class
+  /// observable: each chunk opens a "chunk" span parented under the
+  /// engine's active round span and feeds the aid_chunk_latency_us
+  /// histogram, EWMAs surface as aid_replica_ewma_micros gauges, and
+  /// cumulative steals as aid_replica_steals gauges -- all labeled by
+  /// replica slot. Null = zero overhead.
+  ChunkScheduler(SchedulerOptions options, size_t replica_count,
+                 Telemetry* telemetry = nullptr);
 
   /// Cuts `spans` x `trials` into chunks in serial order, starting at
   /// absolute trial index `base` (span k's trials sit at base + k * trials,
@@ -191,6 +200,8 @@ class ChunkScheduler {
   /// Round-level cumulative counters, updated on the driving thread.
   uint64_t cancelled_chunks_ = 0;
   uint64_t straggler_wait_micros_ = 0;
+
+  Telemetry* telemetry_ = nullptr;  ///< nullable; see constructor
 };
 
 }  // namespace aid

@@ -13,6 +13,10 @@ Result<std::unique_ptr<FleetTarget>> FleetTarget::Create(
                        RemoteTarget::Create(endpoints, spec, options));
   auto fleet = std::unique_ptr<FleetTarget>(new FleetTarget(
       prototype->spec_bytes_, std::move(endpoints), std::move(options)));
+  // The board mirrors its per-endpoint EWMAs and placement counts into the
+  // session's telemetry; the Telemetry bundle outlives the target stack by
+  // the shared_ptr held in the options.
+  fleet->board_->AttachTelemetry(fleet->options_.telemetry.get());
   return fleet;
 }
 

@@ -1,11 +1,31 @@
 #include "net/latency.h"
 
 #include "common/math_util.h"
+#include "telemetry/telemetry.h"
 
 namespace aid {
 
 LatencyBoard::LatencyBoard(double ewma_alpha)
     : ewma_alpha_(ewma_alpha > 0.0 && ewma_alpha <= 1.0 ? ewma_alpha : 0.25) {}
+
+void LatencyBoard::AttachTelemetry(Telemetry* telemetry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  telemetry_ = telemetry;
+  // Publish what the board already knows, so attaching after warm-up does
+  // not leave gauges at zero until the next sample.
+  if (telemetry_ != nullptr) {
+    for (const auto& [key, entry] : entries_) PublishLocked(key, entry);
+  }
+}
+
+void LatencyBoard::PublishLocked(const std::string& key, const Entry& entry) {
+  if (telemetry_ == nullptr) return;
+  MetricsRegistry& reg = telemetry_->metrics();
+  reg.GetGauge("aid_endpoint_ewma_micros", {{"endpoint", key}})
+      ->Set(static_cast<uint64_t>(entry.ewma + 0.5));
+  reg.GetGauge("aid_endpoint_placements", {{"endpoint", key}})
+      ->Set(entry.placements);
+}
 
 void LatencyBoard::RecordTrial(const Endpoint& endpoint, uint64_t micros) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -13,6 +33,7 @@ void LatencyBoard::RecordTrial(const Endpoint& endpoint, uint64_t micros) {
   entry.ewma =
       FoldEwma(entry.ewma, static_cast<double>(micros), ewma_alpha_);
   entry.last_sample = std::chrono::steady_clock::now();
+  PublishLocked(endpoint.ToString(), entry);
 }
 
 size_t LatencyBoard::PlaceReplica(const std::vector<Endpoint>& endpoints) {
@@ -55,8 +76,10 @@ size_t LatencyBoard::PlaceReplica(const std::vector<Endpoint>& endpoints) {
       pick_placements = entry.placements;
     }
   }
-  ++entries_[endpoints[pick].ToString()].placements;
+  Entry& picked = entries_[endpoints[pick].ToString()];
+  ++picked.placements;
   ++rotation_;
+  PublishLocked(endpoints[pick].ToString(), picked);
   return pick;
 }
 
@@ -65,6 +88,7 @@ void LatencyBoard::ReleaseReplica(const Endpoint& endpoint) {
   const auto it = entries_.find(endpoint.ToString());
   if (it != entries_.end() && it->second.placements > 0) {
     --it->second.placements;
+    PublishLocked(it->first, it->second);
   }
 }
 
@@ -74,9 +98,12 @@ void LatencyBoard::MoveReplica(const Endpoint* from, const Endpoint& to) {
     const auto it = entries_.find(from->ToString());
     if (it != entries_.end() && it->second.placements > 0) {
       --it->second.placements;
+      PublishLocked(it->first, it->second);
     }
   }
-  ++entries_[to.ToString()].placements;
+  Entry& entry = entries_[to.ToString()];
+  ++entry.placements;
+  PublishLocked(to.ToString(), entry);
 }
 
 uint64_t LatencyBoard::ewma_micros(const Endpoint& endpoint) const {

@@ -42,6 +42,8 @@
 
 namespace aid {
 
+class Telemetry;  // telemetry/telemetry.h; nullable everywhere below
+
 /// How long a latency estimate is trusted for placement without a fresh
 /// sample. An endpoint nothing has measured for this long is re-explored
 /// like an unmeasured one -- the recovery path for runners that were
@@ -53,6 +55,13 @@ class LatencyBoard {
   /// EWMA smoothing factor for trial samples, in (0, 1]; out-of-range
   /// values fall back to the default.
   explicit LatencyBoard(double ewma_alpha = 0.25);
+
+  /// Mirrors the board's state into `telemetry` (nullable, non-owning;
+  /// must outlive the board): endpoint EWMAs surface as
+  /// aid_endpoint_ewma_micros gauges and placement counts as
+  /// aid_endpoint_placements gauges, refreshed on every sample / placement
+  /// change. Null detaches.
+  void AttachTelemetry(Telemetry* telemetry);
 
   /// Folds one trial's wall-clock (microseconds) into `endpoint`'s EWMA.
   void RecordTrial(const Endpoint& endpoint, uint64_t micros);
@@ -91,10 +100,14 @@ class LatencyBoard {
     std::chrono::steady_clock::time_point last_sample{};
   };
 
+  /// Pushes `key`'s current gauges into telemetry_ (caller holds mu_).
+  void PublishLocked(const std::string& key, const Entry& entry);
+
   double ewma_alpha_;
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;  ///< keyed by Endpoint::ToString()
   uint64_t rotation_ = 0;  ///< round-robin cursor for exploration ties
+  Telemetry* telemetry_ = nullptr;  ///< nullable; see AttachTelemetry
 };
 
 }  // namespace aid

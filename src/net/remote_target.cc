@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "proc/client.h"
+#include "telemetry/telemetry.h"
 
 namespace aid {
 
@@ -205,7 +206,9 @@ Result<PredicateLog> RemoteTarget::RunOneTrial(
   Result<PredicateLog> log =
       RunTrialWithRecovery(*channel_, trial_index, intervened,
                            options_.trial_deadline_ms, &health_,
-                           [this]() { return Reconnect(); });
+                           [this]() { return Reconnect(); },
+                           options_.telemetry.get());
+  const uint64_t trial_micros = health_.trial_micros - micros_before;
   if (latency_board_ != nullptr && log.ok() &&
       log->outcome == TrialOutcome::kCompleted) {
     // Feed the fleet's placement loop with this trial's wire timing,
@@ -214,8 +217,15 @@ Result<PredicateLog> RemoteTarget::RunOneTrial(
     // sample is deadline waits plus reconnect backoff, and after a
     // failover it would poison the EWMA of the healthy endpoint the
     // replica landed on, not the one that failed.
-    latency_board_->RecordTrial(served_by,
-                                health_.trial_micros - micros_before);
+    latency_board_->RecordTrial(served_by, trial_micros);
+  }
+  if (options_.telemetry != nullptr && trial_micros > 0) {
+    // Per-endpoint latency distribution (the generic per-transport
+    // histogram is recorded inside RunTrialWithRecovery).
+    options_.telemetry
+        ->LatencyHistogram("aid_endpoint_trial_latency_us",
+                           {{"endpoint", served_by.ToString()}})
+        ->Record(trial_micros);
   }
   return log;
 }

@@ -45,6 +45,8 @@
 
 namespace aid {
 
+class Telemetry;  // telemetry/telemetry.h; nullable everywhere below
+
 struct RemoteOptions {
   /// Wall-clock budget per trial in milliseconds; expiring drops the
   /// connection and records a timed-out trial. 0 = no deadline -- a hung
@@ -77,6 +79,14 @@ struct RemoteOptions {
   /// When nonzero, every handshake cross-checks the runner's catalog size
   /// against this value and fails with Internal on mismatch.
   uint32_t expected_catalog_size = 0;
+
+  /// Telemetry sink shared with the session (null = off). Each trial opens
+  /// an engine-side "trial" span, records wire latency into
+  /// aid_trial_latency_us{transport="socket"} and
+  /// aid_endpoint_trial_latency_us{endpoint}, and propagates span context
+  /// over the wire so the runner's host-side spans nest under it (see
+  /// docs/telemetry.md). Never changes a trial's bytes.
+  std::shared_ptr<Telemetry> telemetry;
 };
 
 class RemoteTarget : public ReplicableTarget {

@@ -6,9 +6,13 @@
 #if AID_NET_SUPPORTED
 #include <poll.h>
 #include <signal.h>
+#include <sys/mman.h>
 #include <sys/resource.h>
 #include <sys/syscall.h>
 #include <unistd.h>
+
+#include <chrono>
+#include <new>
 #endif
 
 #include "net/channel.h"
@@ -69,6 +73,15 @@ void StartPeerHangupWatchdog(int conn_fd) {
 #endif
 }
 
+/// Steady-clock microseconds; all processes of one machine share this
+/// clock, so children can compute daemon uptime from the forked-in anchor.
+uint64_t SteadyNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Runner>> Runner::Start(RunnerOptions options) {
@@ -78,6 +91,16 @@ Result<std::unique_ptr<Runner>> Runner::Start(RunnerOptions options) {
     options.accept_poll_ms = 200;
   }
   auto runner = std::unique_ptr<Runner>(new Runner(std::move(options)));
+  // Map the shared stats block BEFORE any fork so every session child
+  // inherits the same physical page and STATS connections read node-wide
+  // totals. Mapping failure is not fatal -- the daemon just serves zeros.
+  void* stats_mem =
+      ::mmap(nullptr, sizeof(SharedHostStats), PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (stats_mem != MAP_FAILED) {
+    runner->shared_stats_ = new (stats_mem) SharedHostStats();
+  }
+  runner->start_micros_ = SteadyNowMicros();
   AID_ASSIGN_OR_RETURN(runner->listen_fd_,
                        ListenOn(runner->options_.host, runner->options_.port,
                                 runner->options_.backlog));
@@ -88,7 +111,14 @@ Result<std::unique_ptr<Runner>> Runner::Start(RunnerOptions options) {
   return runner;
 }
 
-Runner::~Runner() { Stop(); }
+Runner::~Runner() {
+  Stop();
+  if (shared_stats_ != nullptr) {
+    // Children hold their own inherited mappings; this only drops ours.
+    ::munmap(shared_stats_, sizeof(SharedHostStats));
+    shared_stats_ = nullptr;
+  }
+}
 
 void Runner::AcceptLoop() {
   while (!stopping_.load()) {
@@ -126,6 +156,12 @@ void Runner::AcceptLoop() {
       SocketChannel channel(conn_fd);
       SubjectHostOptions host;
       host.trial_delay_us = options_.trial_delay_us;
+      host.shared_stats = shared_stats_;
+      host.daemon_start_micros = start_micros_;
+      // +1: this very connection counts, and the parent increments only
+      // after the fork returns.
+      host.daemon_sessions_started =
+          static_cast<uint64_t>(sessions_started_.load()) + 1;
       ::_exit(RunSubjectHost(channel, host));
     }
     ::close(*conn);
@@ -176,6 +212,29 @@ void Runner::Stop() {
   ReapSessions(/*kill_first=*/true);
 }
 
+Result<std::string> FetchRunnerStats(const std::string& endpoint,
+                                     int timeout_ms) {
+  AID_ASSIGN_OR_RETURN(Endpoint parsed, ParseEndpoint(endpoint));
+  AID_ASSIGN_OR_RETURN(int fd, ConnectTo(parsed, timeout_ms));
+  SocketChannel channel(fd);
+  // The forked stats child speaks the full host protocol: it announces
+  // itself first, then answers STATS while still waiting for a SPEC.
+  AID_ASSIGN_OR_RETURN(ProcFrame hello, channel.Read(timeout_ms));
+  if (hello.type != ProcMsgType::kHello) {
+    return Status::Internal("runner stats: expected HELLO, got " +
+                            std::string(ProcMsgTypeName(hello.type)));
+  }
+  AID_RETURN_IF_ERROR(channel.Write(ProcMsgType::kStats, "", timeout_ms));
+  AID_ASSIGN_OR_RETURN(ProcFrame reply, channel.Read(timeout_ms));
+  if (reply.type != ProcMsgType::kStatsReply) {
+    return Status::Internal("runner stats: expected STATS_REPLY, got " +
+                            std::string(ProcMsgTypeName(reply.type)));
+  }
+  AID_ASSIGN_OR_RETURN(StatsReplyMsg msg, DecodeStatsReply(reply.payload));
+  (void)channel.Write(ProcMsgType::kShutdown, "", timeout_ms);
+  return msg.json;
+}
+
 #else  // !AID_NET_SUPPORTED
 
 Result<std::unique_ptr<Runner>> Runner::Start(RunnerOptions) {
@@ -190,6 +249,12 @@ void Runner::ReapSessions(bool) {}
 void Runner::KillSessions() {}
 int Runner::live_sessions() { return 0; }
 void Runner::Stop() {}
+
+Result<std::string> FetchRunnerStats(const std::string&, int) {
+  return Status::Unimplemented(
+      "runner stats: the remote fleet requires sockets, which this platform "
+      "does not provide");
+}
 
 #endif  // AID_NET_SUPPORTED
 

@@ -35,6 +35,8 @@
 
 namespace aid {
 
+struct SharedHostStats;
+
 struct RunnerOptions {
   /// Bind address. Default loopback: exposing a runner beyond the machine
   /// is an explicit decision (the protocol is unauthenticated).
@@ -72,6 +74,12 @@ class Runner {
   /// Connections accepted (== subject replicas ever hosted).
   int sessions_started() const { return sessions_started_.load(); }
 
+  /// The daemon's shared trial-statistics block (null when the mapping
+  /// failed): one MAP_SHARED|MAP_ANONYMOUS page the accept loop hands every
+  /// forked session child, so the totals any STATS connection reads cover
+  /// every replica this node ever hosted. See proc/subject_host.h.
+  const SharedHostStats* shared_stats() const { return shared_stats_; }
+
   /// Session children currently alive (exited ones are reaped first). The
   /// observability hook behind leak tests: a hung subject whose engine
   /// dropped the connection must leave this count, not grow it.
@@ -97,12 +105,25 @@ class Runner {
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<int> sessions_started_{0};
+  /// Pre-fork shared mapping (see shared_stats()); owned, munmap'd in ~.
+  SharedHostStats* shared_stats_ = nullptr;
+  uint64_t start_micros_ = 0;  ///< steady-clock daemon start, for uptime
 
   std::mutex sessions_mu_;
   std::vector<int64_t> session_pids_;
 
   std::thread accept_thread_;
 };
+
+/// `aid_runner --stats` client: connects to a runner at "host:port", sends
+/// a STATS request through the shared wire protocol (HELLO -> STATS ->
+/// STATS_REPLY, answered by a forked stats child like any session), and
+/// returns the daemon's self-describing JSON stats document -- uptime,
+/// sessions started, node-wide trial totals, and the trial latency
+/// histogram on the telemetry bucket ladder. Unimplemented on platforms
+/// without sockets.
+Result<std::string> FetchRunnerStats(const std::string& endpoint,
+                                     int timeout_ms = 5000);
 
 }  // namespace aid
 

@@ -5,6 +5,7 @@
 // see src/net/runner.h and docs/remote_protocol.md.
 //
 // Usage: aid_runner [--host H] [--port P] [--slow-us N]
+//        aid_runner --stats HOST:PORT
 //
 //   --host     bind address (default 127.0.0.1; 0.0.0.0 exposes the
 //              unauthenticated protocol to the network -- private networks
@@ -13,6 +14,9 @@
 //   --slow-us  extra latency per trial in microseconds (default 0): makes
 //              this runner deliberately slow, for heterogeneous-fleet
 //              benches/tests of the latency-aware scheduler
+//   --stats    client mode: connect to a running daemon and print its JSON
+//              stats document (uptime, sessions started, node-wide trial
+//              totals, trial latency histogram) to stdout, then exit
 //
 // Prints "aid_runner listening on H:P" once ready (scripts scrape it) and
 // runs until SIGINT/SIGTERM.
@@ -54,9 +58,19 @@ int main(int argc, char** argv) {
       const long long slow = std::atoll(argv[++i]);
       options.trial_delay_us =
           slow > 0 ? static_cast<uint64_t>(slow) : 0;
+    } else if (arg == "--stats" && i + 1 < argc) {
+      auto stats = aid::FetchRunnerStats(argv[++i]);
+      if (!stats.ok()) {
+        std::fprintf(stderr, "aid_runner --stats: %s\n",
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%s\n", stats->c_str());
+      return 0;
     } else {
       std::fprintf(stderr,
-                   "usage: aid_runner [--host H] [--port P] [--slow-us N]\n");
+                   "usage: aid_runner [--host H] [--port P] [--slow-us N]\n"
+                   "       aid_runner --stats HOST:PORT\n");
       return 2;
     }
   }

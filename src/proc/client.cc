@@ -2,7 +2,10 @@
 
 #include <cerrno>
 #include <chrono>
+#include <string>
 #include <utility>
+
+#include "telemetry/telemetry.h"
 
 #if AID_PROC_SUPPORTED
 #include <sys/wait.h>
@@ -102,14 +105,25 @@ Result<uint32_t> HandshakeSubject(FrameChannel& channel,
 
 Status RunTrialOverChannel(FrameChannel& channel, uint64_t trial_index,
                            const std::vector<PredicateId>& intervened,
-                           int trial_deadline_ms, PredicateLog* log) {
+                           int trial_deadline_ms, PredicateLog* log,
+                           Telemetry* telemetry, uint64_t trial_span_id) {
   const bool has_deadline = trial_deadline_ms > 0;
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(trial_deadline_ms);
 
+  Tracer* tracer = telemetry != nullptr ? telemetry->tracer() : nullptr;
+  const bool propagate = tracer != nullptr && trial_span_id != 0;
+
   RunTrialMsg request;
   request.trial_index = trial_index;
   request.intervened = intervened;
+  uint64_t engine_send_us = 0;
+  if (propagate) {
+    request.has_span_context = true;
+    request.trace_id = 1;  // one trace per Telemetry bundle
+    request.parent_span_id = trial_span_id;
+    engine_send_us = tracer->NowMicros();
+  }
   AID_RETURN_IF_ERROR(channel.Write(ProcMsgType::kRunTrial,
                                     EncodeRunTrial(request),
                                     has_deadline ? trial_deadline_ms : 0));
@@ -136,6 +150,26 @@ Status RunTrialOverChannel(FrameChannel& channel, uint64_t trial_index,
         if (!verdict.ok()) return verdict.status();
         log->failed = verdict->failed;
         log->outcome = TrialOutcome::kCompleted;
+        if (propagate && verdict->has_host_telemetry) {
+          // Re-base the host's steady-clock span times into this tracer's
+          // timeline: the host anchored them on its RUN_TRIAL receive
+          // timestamp, which happened (wire latency aside) at our send
+          // timestamp. ImportSpan clamps inside the trial span, so skew
+          // can never break the cross-process nesting.
+          for (const WireHostSpan& span : verdict->host_spans) {
+            const uint64_t start =
+                engine_send_us +
+                (span.start_us >= verdict->host_recv_us
+                     ? span.start_us - verdict->host_recv_us
+                     : 0);
+            const uint64_t end =
+                engine_send_us +
+                (span.end_us >= verdict->host_recv_us
+                     ? span.end_us - verdict->host_recv_us
+                     : 0);
+            tracer->ImportSpan(span.name, trial_span_id, start, end);
+          }
+        }
         return Status::OK();
       }
       case ProcMsgType::kError: {
@@ -157,16 +191,27 @@ Status RunTrialOverChannel(FrameChannel& channel, uint64_t trial_index,
 Result<PredicateLog> RunTrialWithRecovery(
     FrameChannel& channel, uint64_t trial_index,
     const std::vector<PredicateId>& intervened, int trial_deadline_ms,
-    TargetHealth* health, const std::function<Status()>& replace_peer) {
+    TargetHealth* health, const std::function<Status()>& replace_peer,
+    Telemetry* telemetry) {
   // Trial timing at the wire, charged on every exit path: the substrate's
   // real per-trial latency -- RPC, streamed events, and any peer
   // replacement -- feeds the latency-aware scheduler's per-replica EWMA
   // (exec/scheduler.h) and the fleet's endpoint placement (net/latency.h).
   const Clock::time_point start = Clock::now();
+  // The engine-side "trial" span, parented under whatever round span the
+  // engine published. It covers the whole trial including any peer
+  // replacement, and is the import anchor for the host-side spans.
+  ScopedSpan trial_span;
+  if (telemetry != nullptr && telemetry->tracer() != nullptr) {
+    trial_span = ScopedSpan(telemetry->tracer(), "trial",
+                            telemetry->active_parent());
+  }
   Result<PredicateLog> out = [&]() -> Result<PredicateLog> {
     PredicateLog log;
-    const Status run = RunTrialOverChannel(channel, trial_index, intervened,
-                                           trial_deadline_ms, &log);
+    const Status run =
+        RunTrialOverChannel(channel, trial_index, intervened,
+                            trial_deadline_ms, &log, telemetry,
+                            trial_span.id());
     if (run.ok()) return log;
     if (run.code() == StatusCode::kAborted) {
       log.failed = true;
@@ -184,10 +229,17 @@ Result<PredicateLog> RunTrialWithRecovery(
     }
     return run;
   }();
+  trial_span.End();
   const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
                            Clock::now() - start)
                            .count();
   if (elapsed > 0) health->trial_micros += static_cast<uint64_t>(elapsed);
+  if (telemetry != nullptr && elapsed > 0) {
+    telemetry
+        ->LatencyHistogram("aid_trial_latency_us",
+                           {{"transport", std::string(channel.transport())}})
+        ->Record(static_cast<uint64_t>(elapsed));
+  }
   return out;
 }
 

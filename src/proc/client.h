@@ -32,6 +32,8 @@
 
 namespace aid {
 
+class Telemetry;  // telemetry/telemetry.h; nullable everywhere below
+
 struct SubjectHandshake {
   /// Budget across the whole handshake (HELLO + SPEC + READY). <= 0 = none.
   int timeout_ms = 60000;
@@ -67,9 +69,17 @@ Result<uint32_t> HandshakeSubject(FrameChannel& channel,
 /// cases the events streamed before the failure are KEPT in `*log`
 /// (outcome stays non-complete), so pruning can still see the partial
 /// observation set.
+///
+/// Telemetry (both optional): with a non-null `telemetry` and a nonzero
+/// `trial_span_id`, the RUN_TRIAL carries the engine-side span context over
+/// the wire and any host-side spans returned in the VERDICT are re-based
+/// into the engine tracer's timeline and imported under `trial_span_id` --
+/// the cross-process nesting of docs/telemetry.md.
 Status RunTrialOverChannel(FrameChannel& channel, uint64_t trial_index,
                            const std::vector<PredicateId>& intervened,
-                           int trial_deadline_ms, PredicateLog* log);
+                           int trial_deadline_ms, PredicateLog* log,
+                           Telemetry* telemetry = nullptr,
+                           uint64_t trial_span_id = 0);
 
 /// Keepalive probe: sends PING with `token` and waits for the PONG echoing
 /// it, skipping unrelated stale frames. DeadlineExceeded after `timeout_ms`,
@@ -89,10 +99,16 @@ Status PingPeer(FrameChannel& channel, uint64_t token, int timeout_ms);
 /// replacement) into `health->trial_micros`: the substrate-level timing
 /// that feeds the latency-aware scheduler (exec/scheduler.h) and the
 /// fleet's endpoint placement (net/latency.h).
+/// With non-null `telemetry`, each trial additionally opens an engine-side
+/// "trial" span (parented under the engine's active round span), records
+/// its wire latency into the aid_trial_latency_us histogram labeled by the
+/// channel's transport, and propagates/imports span context per
+/// RunTrialOverChannel. Null = zero overhead.
 Result<PredicateLog> RunTrialWithRecovery(
     FrameChannel& channel, uint64_t trial_index,
     const std::vector<PredicateId>& intervened, int trial_deadline_ms,
-    TargetHealth* health, const std::function<Status()>& replace_peer);
+    TargetHealth* health, const std::function<Status()>& replace_peer,
+    Telemetry* telemetry = nullptr);
 
 #if AID_PROC_SUPPORTED
 /// waitpid with the EINTR retry every raw syscall in the transports gets;

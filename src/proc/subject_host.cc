@@ -11,6 +11,7 @@
 #include "core/vm_target.h"
 #include "proc/wire.h"
 #include "synth/flaky_target.h"
+#include "telemetry/json.h"
 
 #if AID_PROC_SUPPORTED
 #include <unistd.h>
@@ -82,7 +83,19 @@ bool HitsPeriod(uint64_t trial_index, uint64_t period) {
   for (;;) std::this_thread::sleep_for(std::chrono::hours(24));
 }
 
-Status SendTrialAnswer(FrameChannel& channel, const PredicateLog& log) {
+/// Microseconds on the host's steady clock (CLOCK_MONOTONIC; shared by
+/// every process on the machine, which is what lets the runner daemon's
+/// start time be compared against a child's now).
+uint64_t HostNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status SendTrialAnswer(FrameChannel& channel, const PredicateLog& log,
+                       bool with_telemetry, uint64_t host_recv_us,
+                       std::vector<WireHostSpan> host_spans) {
   for (const auto& [id, observation] : log.observed) {
     TraceEventMsg event;
     event.predicate = id;
@@ -93,7 +106,61 @@ Status SendTrialAnswer(FrameChannel& channel, const PredicateLog& log) {
   }
   VerdictMsg verdict;
   verdict.failed = log.failed;
+  if (with_telemetry) {
+    // The engine asked for span context on the RUN_TRIAL; answer with the
+    // host-side spans in OUR clock domain, anchored on the receive
+    // timestamp the engine re-bases against (see proc/client.cc).
+    verdict.has_host_telemetry = true;
+    verdict.host_recv_us = host_recv_us;
+    verdict.host_spans = std::move(host_spans);
+  }
   return channel.Write(ProcMsgType::kVerdict, EncodeVerdict(verdict));
+}
+
+/// Answers a STATS request with the self-describing JSON document of
+/// `aid_runner --stats`: daemon uptime / session count (zeros when run
+/// outside a daemon, e.g. under plain SubprocessTarget) plus the shared
+/// trial totals and latency histogram of the whole fleet node.
+Status AnswerStats(FrameChannel& channel, const SubjectHostOptions& host) {
+  JsonWriter w;
+  w.BeginObject();
+  const uint64_t uptime_us =
+      host.daemon_start_micros != 0 &&
+              HostNowMicros() > host.daemon_start_micros
+          ? HostNowMicros() - host.daemon_start_micros
+          : 0;
+  w.Key("uptime_seconds").U64(uptime_us / 1000000);
+  w.Key("sessions_started").U64(host.daemon_sessions_started);
+  uint64_t trials = 0;
+  uint64_t failed = 0;
+  uint64_t micros = 0;
+  w.Key("trial_latency_us").BeginObject();
+  w.Key("bounds").BeginArray();
+  for (size_t i = 0; i < kLatencyBucketBoundCount; ++i) {
+    w.U64(kLatencyBucketBoundsUs[i]);
+  }
+  w.EndArray();
+  w.Key("buckets").BeginArray();
+  for (size_t i = 0; i <= kLatencyBucketBoundCount; ++i) {
+    w.U64(host.shared_stats != nullptr
+              ? host.shared_stats->latency_buckets[i].load(
+                    std::memory_order_relaxed)
+              : 0);
+  }
+  w.EndArray();
+  w.EndObject();
+  if (host.shared_stats != nullptr) {
+    trials = host.shared_stats->trials.load(std::memory_order_relaxed);
+    failed = host.shared_stats->failed_trials.load(std::memory_order_relaxed);
+    micros = host.shared_stats->trial_micros.load(std::memory_order_relaxed);
+  }
+  w.Key("trials").U64(trials);
+  w.Key("failed_trials").U64(failed);
+  w.Key("trial_micros_total").U64(micros);
+  w.EndObject();
+  StatsReplyMsg reply;
+  reply.json = w.str();
+  return channel.Write(ProcMsgType::kStatsReply, EncodeStatsReply(reply));
 }
 
 /// Answers a PING by echoing its token back (v2 keepalive). A garbled PING
@@ -107,6 +174,20 @@ Status AnswerPing(FrameChannel& channel, const ProcFrame& frame) {
 }
 
 }  // namespace
+
+void SharedHostStats::RecordTrial(uint64_t micros, bool failed) {
+  trials.fetch_add(1, std::memory_order_relaxed);
+  if (failed) failed_trials.fetch_add(1, std::memory_order_relaxed);
+  trial_micros.fetch_add(micros, std::memory_order_relaxed);
+  size_t bucket = kLatencyBucketBoundCount;  // +Inf overflow
+  for (size_t i = 0; i < kLatencyBucketBoundCount; ++i) {
+    if (micros <= kLatencyBucketBoundsUs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  latency_buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+}
 
 Result<std::unique_ptr<ReplicableTarget>> BuildSubjectTarget(
     const OwnedSubjectSpec& spec) {
@@ -157,6 +238,12 @@ int RunSubjectHost(FrameChannel& channel, const SubjectHostOptions& host) {
       if (!AnswerPing(channel, *frame).ok()) return 2;
       continue;
     }
+    if (frame->type == ProcMsgType::kStats) {
+      // Stats connections never send a SPEC: answer and keep waiting (the
+      // client follows up with SHUTDOWN or just closes).
+      if (!AnswerStats(channel, host).ok()) return 2;
+      continue;
+    }
     if (frame->type != ProcMsgType::kSpec) {
       (void)channel.Write(
           ProcMsgType::kError,
@@ -198,7 +285,11 @@ int RunSubjectHost(FrameChannel& channel, const SubjectHostOptions& host) {
       case ProcMsgType::kPing:
         if (!AnswerPing(channel, *frame).ok()) return 2;
         break;
+      case ProcMsgType::kStats:
+        if (!AnswerStats(channel, host).ok()) return 2;
+        break;
       case ProcMsgType::kRunTrial: {
+        const uint64_t recv_us = HostNowMicros();
         Result<RunTrialMsg> request = DecodeRunTrial(frame->payload);
         if (!request.ok()) {
           (void)channel.Write(ProcMsgType::kError,
@@ -220,12 +311,18 @@ int RunSubjectHost(FrameChannel& channel, const SubjectHostOptions& host) {
           std::this_thread::sleep_for(
               std::chrono::microseconds(host.trial_delay_us));
         }
+        const uint64_t run_start_us = HostNowMicros();
         subject.target->SeekTrial(request->trial_index);
         Result<TargetRunResult> result =
             subject.target->RunIntervened(request->intervened, 1);
+        const uint64_t run_end_us = HostNowMicros();
         if (!result.ok()) {
           // Subject-level error: report and keep serving (the engine decides
           // whether to fail the discovery run).
+          if (host.shared_stats != nullptr) {
+            host.shared_stats->RecordTrial(run_end_us - recv_us,
+                                           /*failed=*/true);
+          }
           if (!channel.Write(ProcMsgType::kError,
                              EncodeError(result.status()))
                    .ok()) {
@@ -242,7 +339,27 @@ int RunSubjectHost(FrameChannel& channel, const SubjectHostOptions& host) {
           }
           break;
         }
-        if (!SendTrialAnswer(channel, result->logs.front()).ok()) return 2;
+        if (host.shared_stats != nullptr) {
+          host.shared_stats->RecordTrial(run_end_us - recv_us,
+                                         result->logs.front().failed);
+        }
+        // Host-side spans, sent back only when the engine propagated span
+        // context on the request: host.trial covers the whole request
+        // handling (delay injection included), host.subject_run just the
+        // subject's execution. Times stay in this host's clock domain.
+        std::vector<WireHostSpan> host_spans;
+        if (request->has_span_context) {
+          host_spans.push_back(
+              WireHostSpan{"host.trial", recv_us, run_end_us});
+          host_spans.push_back(
+              WireHostSpan{"host.subject_run", run_start_us, run_end_us});
+        }
+        if (!SendTrialAnswer(channel, result->logs.front(),
+                             request->has_span_context, recv_us,
+                             std::move(host_spans))
+                 .ok()) {
+          return 2;
+        }
         break;
       }
       default:

@@ -18,6 +18,7 @@
 #ifndef AID_PROC_SUBJECT_HOST_H_
 #define AID_PROC_SUBJECT_HOST_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -25,8 +26,29 @@
 #include "exec/replicable.h"
 #include "proc/subject_spec.h"
 #include "proc/wire.h"
+#include "telemetry/metrics.h"
 
 namespace aid {
+
+/// Trial statistics a subject host records as it serves, designed to live
+/// in MAP_SHARED|MAP_ANONYMOUS memory: the aid_runner daemon maps one block
+/// before forking, every session child inherits the mapping and records its
+/// trials into it, and any later child (a `--stats` connection) reads the
+/// totals of the whole fleet node. Plain atomics, no pointers, fixed size
+/// -- the layout is the contract between daemon and children within one
+/// binary, never serialized across machines. The histogram mirrors the
+/// default telemetry bucket ladder (kLatencyBucketBoundsUs) so runner-side
+/// and engine-side latency histograms line up bucket for bucket.
+struct SharedHostStats {
+  std::atomic<uint64_t> trials{0};
+  std::atomic<uint64_t> failed_trials{0};
+  std::atomic<uint64_t> trial_micros{0};
+  /// kLatencyBucketBoundCount bounded buckets + trailing +Inf bucket.
+  std::atomic<uint64_t> latency_buckets[kLatencyBucketBoundCount + 1]{};
+
+  /// Folds one served trial into the block (relaxed; totals only).
+  void RecordTrial(uint64_t micros, bool failed);
+};
 
 /// Host-side knobs (the spec describes the SUBJECT; these describe the
 /// machine hosting it).
@@ -38,6 +60,16 @@ struct SubjectHostOptions {
   /// stay positional, so reports stay bit-identical however slow a host
   /// answers.
   uint64_t trial_delay_us = 0;
+  /// Shared stats block to record served trials into (see SharedHostStats);
+  /// null = don't record. The aid_runner daemon passes its pre-fork mapping
+  /// here.
+  SharedHostStats* shared_stats = nullptr;
+  /// Context for answering STATS requests: the hosting daemon's start time
+  /// (microseconds on the system steady clock, which all processes of one
+  /// machine share) and how many sessions it had started when this host
+  /// was forked. Zero start = report zero uptime.
+  uint64_t daemon_start_micros = 0;
+  uint64_t daemon_sessions_started = 0;
 };
 
 /// Builds the in-process intervention target an OwnedSubjectSpec describes,

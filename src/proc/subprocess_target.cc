@@ -250,11 +250,14 @@ Result<PredicateLog> SubprocessTarget::RunOneTrial(
   AID_RETURN_IF_ERROR(EnsureChild());
   // Crash -> kCrashed, deadline -> SIGKILL + kTimedOut, fresh child either
   // way (proc/client.h has the full lifecycle contract).
-  return RunTrialWithRecovery(*channel_, trial_index, intervened,
-                              options_.trial_deadline_ms, &health_, [this]() {
-                                StopChild(/*force_kill=*/true);
-                                return Respawn();
-                              });
+  return RunTrialWithRecovery(
+      *channel_, trial_index, intervened, options_.trial_deadline_ms,
+      &health_,
+      [this]() {
+        StopChild(/*force_kill=*/true);
+        return Respawn();
+      },
+      options_.telemetry.get());
 }
 
 Result<TargetRunResult> SubprocessTarget::RunIntervened(

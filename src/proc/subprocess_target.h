@@ -43,6 +43,8 @@
 
 namespace aid {
 
+class Telemetry;  // telemetry/telemetry.h; nullable everywhere below
+
 /// Where a target backend executes its subject.
 enum class Isolation : uint8_t {
   kInProcess = 0,   ///< today's default: subject shares the engine process
@@ -80,6 +82,13 @@ struct SubprocessOptions {
   /// that parent and child agree on the predicate id space. Session targets
   /// set it to the parent-side catalog size.
   uint32_t expected_catalog_size = 0;
+
+  /// Telemetry sink shared with the session (null = off). Each trial opens
+  /// an engine-side "trial" span, records wire latency into
+  /// aid_trial_latency_us{transport="pipe"}, and propagates span context to
+  /// the child so host-side spans nest under it (see docs/telemetry.md).
+  /// Never changes a trial's bytes.
+  std::shared_ptr<Telemetry> telemetry;
 };
 
 class SubprocessTarget : public ReplicableTarget {

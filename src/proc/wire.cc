@@ -27,6 +27,8 @@ std::string_view ProcMsgTypeName(ProcMsgType type) {
     case ProcMsgType::kShutdown: return "SHUTDOWN";
     case ProcMsgType::kPing: return "PING";
     case ProcMsgType::kPong: return "PONG";
+    case ProcMsgType::kStats: return "STATS";
+    case ProcMsgType::kStatsReply: return "STATS_REPLY";
   }
   return "UNKNOWN";
 }
@@ -359,6 +361,12 @@ std::string EncodeRunTrial(const RunTrialMsg& msg) {
   writer.U64(msg.trial_index);
   writer.U32(static_cast<uint32_t>(msg.intervened.size()));
   for (PredicateId id : msg.intervened) writer.I32(id);
+  if (msg.has_span_context) {
+    // Optional trailing SPAN_CONTEXT (telemetry). Absent = bytes identical
+    // to pre-telemetry builds; see the wire.h compatibility note.
+    writer.U64(msg.trace_id);
+    writer.U64(msg.parent_span_id);
+  }
   return writer.Release();
 }
 
@@ -370,6 +378,11 @@ Result<RunTrialMsg> DecodeRunTrial(std::string_view payload) {
   AID_RETURN_IF_ERROR(reader.status());
   msg.intervened.reserve(count);
   for (uint32_t i = 0; i < count; ++i) msg.intervened.push_back(reader.I32());
+  if (reader.ok() && reader.remaining() > 0) {
+    msg.trace_id = reader.U64();
+    msg.parent_span_id = reader.U64();
+    msg.has_span_context = reader.ok();
+  }
   AID_RETURN_IF_ERROR(reader.Finish());
   return msg;
 }
@@ -395,6 +408,17 @@ Result<TraceEventMsg> DecodeTraceEvent(std::string_view payload) {
 std::string EncodeVerdict(const VerdictMsg& msg) {
   WireWriter writer;
   writer.U8(msg.failed ? 1 : 0);
+  if (msg.has_host_telemetry) {
+    // Optional trailing host-telemetry block, mirrored on RUN_TRIAL's
+    // SPAN_CONTEXT: absent = pre-telemetry bytes.
+    writer.U64(msg.host_recv_us);
+    writer.U32(static_cast<uint32_t>(msg.host_spans.size()));
+    for (const WireHostSpan& span : msg.host_spans) {
+      writer.Str(span.name);
+      writer.U64(span.start_us);
+      writer.U64(span.end_us);
+    }
+  }
   return writer.Release();
 }
 
@@ -402,6 +426,20 @@ Result<VerdictMsg> DecodeVerdict(std::string_view payload) {
   WireReader reader(payload);
   VerdictMsg msg;
   msg.failed = reader.U8() != 0;
+  if (reader.ok() && reader.remaining() > 0) {
+    msg.host_recv_us = reader.U64();
+    const uint32_t count = reader.Count(sizeof(uint32_t) + 2 * sizeof(uint64_t));
+    AID_RETURN_IF_ERROR(reader.status());
+    msg.host_spans.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      WireHostSpan span;
+      span.name = reader.Str();
+      span.start_us = reader.U64();
+      span.end_us = reader.U64();
+      msg.host_spans.push_back(std::move(span));
+    }
+    msg.has_host_telemetry = reader.ok();
+  }
   AID_RETURN_IF_ERROR(reader.Finish());
   return msg;
 }
@@ -416,6 +454,20 @@ Result<PingMsg> DecodePing(std::string_view payload) {
   WireReader reader(payload);
   PingMsg msg;
   msg.token = reader.U64();
+  AID_RETURN_IF_ERROR(reader.Finish());
+  return msg;
+}
+
+std::string EncodeStatsReply(const StatsReplyMsg& msg) {
+  WireWriter writer;
+  writer.Str(msg.json);
+  return writer.Release();
+}
+
+Result<StatsReplyMsg> DecodeStatsReply(std::string_view payload) {
+  WireReader reader(payload);
+  StatsReplyMsg msg;
+  msg.json = reader.Str();
   AID_RETURN_IF_ERROR(reader.Finish());
   return msg;
 }

@@ -23,10 +23,22 @@
 //   ...                (RUN_TRIAL repeats)
 //   engine -> host     PING       keepalive probe (any time between trials)
 //   host   -> engine   PONG       echoed token
+//   engine -> host     STATS      stats request (any time; runner daemons)
+//   host   -> engine   STATS_REPLY  JSON stats document
 //   engine -> host     SHUTDOWN   host exits 0
 //
 // Version 2 added the PING/PONG keepalive pair (idle fleet connections need
 // a liveness probe; over pipes the pair is a harmless no-op).
+//
+// Still version 2 (additive, no version bump): RUN_TRIAL may carry an
+// optional trailing SPAN_CONTEXT (trace id + parent span id) and VERDICT an
+// optional trailing host-telemetry block (receive timestamp + host-side
+// spans). Both are appended only when the sender's telemetry is enabled;
+// with telemetry off the encoded bytes are identical to pre-telemetry
+// builds, and current decoders accept frames with or without the trailing
+// block. The STATS / STATS_REPLY pair is likewise additive: hosts that
+// predate it answer with their normal unexpected-frame ERROR, which stats
+// clients surface as "unsupported".
 //
 // Failure semantics live at the transport layer: an EOF or write error means
 // the peer died (the engine records a crashed trial and respawns or
@@ -88,6 +100,8 @@ enum class ProcMsgType : uint8_t {
   kShutdown = 8,
   kPing = 9,
   kPong = 10,
+  kStats = 11,
+  kStatsReply = 12,
 };
 
 std::string_view ProcMsgTypeName(ProcMsgType type);
@@ -207,6 +221,13 @@ struct RunTrialMsg {
   /// replica produces the bytes serial dispatch would have.
   uint64_t trial_index = 0;
   std::vector<PredicateId> intervened;
+  /// Optional trailing SPAN_CONTEXT (telemetry): the engine-side trace and
+  /// parent span this trial executes under. Encoded only when
+  /// has_span_context -- with it false the bytes are identical to
+  /// pre-telemetry builds.
+  bool has_span_context = false;
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 /// One streamed predicate observation of the running trial.
@@ -216,14 +237,39 @@ struct TraceEventMsg {
   int64_t end = 0;
 };
 
+/// One host-side span carried back in a VERDICT's telemetry block. Times
+/// are microseconds on the HOST's steady clock; the engine re-bases them
+/// into its tracer timeline (see proc/client.cc).
+struct WireHostSpan {
+  std::string name;
+  uint64_t start_us = 0;
+  uint64_t end_us = 0;
+};
+
 struct VerdictMsg {
   bool failed = false;
+  /// Optional trailing host telemetry, sent only when the RUN_TRIAL carried
+  /// a SPAN_CONTEXT: the host clock's timestamp at which the RUN_TRIAL was
+  /// received (the engine's re-basing anchor) and the host-side spans of
+  /// this trial.
+  bool has_host_telemetry = false;
+  uint64_t host_recv_us = 0;
+  std::vector<WireHostSpan> host_spans;
 };
 
 /// Keepalive probe. The host echoes the token back in its PONG so a prober
 /// can match responses even after stale frames (v2).
 struct PingMsg {
   uint64_t token = 0;
+};
+
+/// STATS_REPLY: a self-describing JSON document (uptime, sessions, trial
+/// counts, latency histogram). JSON rather than packed fields so
+/// `aid_runner --stats` output is directly consumable by scripts and the
+/// schema can grow without a protocol change. The STATS request itself has
+/// an empty payload.
+struct StatsReplyMsg {
+  std::string json;
 };
 
 std::string EncodeHello(const HelloMsg& msg);
@@ -240,6 +286,8 @@ std::string EncodeVerdict(const VerdictMsg& msg);
 Result<VerdictMsg> DecodeVerdict(std::string_view payload);
 std::string EncodePing(const PingMsg& msg);
 Result<PingMsg> DecodePing(std::string_view payload);
+std::string EncodeStatsReply(const StatsReplyMsg& msg);
+Result<StatsReplyMsg> DecodeStatsReply(std::string_view payload);
 
 }  // namespace aid
 

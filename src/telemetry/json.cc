@@ -1,0 +1,298 @@
+#include "telemetry/json.h"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+
+namespace aid {
+
+std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty() && needs_comma_.back()) out_ += ',';
+}
+
+void JsonWriter::AfterValue() {
+  if (!needs_comma_.empty()) needs_comma_.back() = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  needs_comma_.pop_back();
+  AfterValue();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  needs_comma_.pop_back();
+  AfterValue();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  AfterValue();
+  return *this;
+}
+
+JsonWriter& JsonWriter::U64(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  AfterValue();
+  return *this;
+}
+
+JsonWriter& JsonWriter::I64(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  AfterValue();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  std::array<char, 64> buf{};
+  // %.17g round-trips every double; JSON has no Inf/NaN, clamp to null.
+  const int n = std::snprintf(buf.data(), buf.size(), "%.17g", value);
+  std::string_view text(buf.data(), n > 0 ? static_cast<size_t>(n) : 0);
+  if (text.find("inf") != std::string_view::npos ||
+      text.find("nan") != std::string_view::npos) {
+    out_ += "null";
+  } else {
+    out_ += text;
+  }
+  AfterValue();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  AfterValue();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  AfterValue();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_ += json;
+  AfterValue();
+  return *this;
+}
+
+namespace {
+
+/// Recursive-descent JSON checker over a cursor; grammar per RFC 8259.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool CheckDocument() {
+    SkipWs();
+    if (!CheckValue(0)) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Eat(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool EatLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool CheckString() {
+    if (!Eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                std::isxdigit(static_cast<unsigned char>(text_[pos_ + i])) ==
+                    0) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool EatDigits() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool CheckNumber() {
+    (void)Eat('-');
+    if (Eat('0')) {
+      // leading zero: no further integer digits allowed
+    } else if (!EatDigits()) {
+      return false;
+    }
+    if (Eat('.') && !EatDigits()) return false;
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!EatDigits()) return false;
+    }
+    return true;
+  }
+
+  bool CheckValue(int depth) {
+    if (depth > kMaxDepth || pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      SkipWs();
+      if (Eat('}')) return true;
+      for (;;) {
+        SkipWs();
+        if (!CheckString()) return false;
+        SkipWs();
+        if (!Eat(':')) return false;
+        SkipWs();
+        if (!CheckValue(depth + 1)) return false;
+        SkipWs();
+        if (Eat('}')) return true;
+        if (!Eat(',')) return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      SkipWs();
+      if (Eat(']')) return true;
+      for (;;) {
+        SkipWs();
+        if (!CheckValue(depth + 1)) return false;
+        SkipWs();
+        if (Eat(']')) return true;
+        if (!Eat(',')) return false;
+      }
+    }
+    if (c == '"') return CheckString();
+    if (c == 't') return EatLiteral("true");
+    if (c == 'f') return EatLiteral("false");
+    if (c == 'n') return EatLiteral("null");
+    return CheckNumber();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonLooksValid(std::string_view text) {
+  return JsonChecker(text).CheckDocument();
+}
+
+}  // namespace aid

@@ -1,0 +1,72 @@
+// Minimal JSON emission and validation for the telemetry exporters.
+//
+// The exporters (telemetry.h) emit three machine-readable formats; two of
+// them are JSON documents that external tools parse (Perfetto, CI scripts,
+// bench dashboards). JsonWriter is a tiny append-only builder with correct
+// string escaping and automatic comma placement, so every exporter site
+// produces valid JSON by construction instead of by string concatenation.
+// JsonLooksValid is a strict recursive-descent checker used by the golden
+// tests and the runner's --stats path to reject malformed documents without
+// dragging in a JSON library dependency.
+
+#ifndef AID_TELEMETRY_JSON_H_
+#define AID_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aid {
+
+/// Escapes `raw` for inclusion inside a JSON string literal (quotes not
+/// included): `"`, `\`, and control characters become escape sequences.
+std::string JsonEscape(std::string_view raw);
+
+/// Append-only JSON document builder. Values are written depth-first:
+///
+///   JsonWriter w;
+///   w.BeginObject().Key("trials").U64(12).Key("tags").BeginArray()
+///    .String("fleet").EndArray().EndObject();
+///   w.str();  // {"trials":12,"tags":["fleet"]}
+///
+/// Commas are inserted automatically; the caller only has to balance
+/// Begin/End pairs. Misuse (a bare value where a key is required) produces
+/// syntactically valid but semantically shifted output -- the golden tests
+/// validate every exporter end-to-end instead.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Writes an object key; the next call must write its value.
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& U64(uint64_t value);
+  JsonWriter& I64(int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  /// Splices `json` in verbatim as one value (must itself be valid JSON).
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+  void AfterValue();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  ///< one flag per open container
+  bool after_key_ = false;
+};
+
+/// Strict whole-document JSON validity check (RFC 8259 grammar, depth
+/// capped at 128). Used by exporter tests and aid_runner's stats path; not
+/// a parser -- it extracts nothing.
+bool JsonLooksValid(std::string_view text);
+
+}  // namespace aid
+
+#endif  // AID_TELEMETRY_JSON_H_

@@ -1,0 +1,162 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+namespace aid {
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(bounds.empty()
+                  ? std::vector<uint64_t>(
+                        kLatencyBucketBoundsUs,
+                        kLatencyBucketBoundsUs + kLatencyBucketBoundCount)
+                  : std::move(bounds)),
+      buckets_(bounds_.size() + 1) {}
+
+void Histogram::Record(uint64_t sample) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+const MetricPoint* MetricsSnapshot::Find(const std::string& name,
+                                         const MetricLabels& labels) const {
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const MetricPoint& point : points) {
+    if (point.name == name && point.labels == sorted) return &point;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::Value(const std::string& name,
+                                const MetricLabels& labels) const {
+  const MetricPoint* point = Find(name, labels);
+  if (point == nullptr) return 0;
+  return point->kind == MetricKind::kHistogram ? point->count : point->value;
+}
+
+uint64_t MetricsSnapshot::Total(const std::string& name) const {
+  uint64_t total = 0;
+  for (const MetricPoint& point : points) {
+    if (point.name != name) continue;
+    total +=
+        point.kind == MetricKind::kHistogram ? point.count : point.value;
+  }
+  return total;
+}
+
+std::string MetricsRegistry::SeriesKey(const std::string& name,
+                                       const MetricLabels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    // \x1f cannot appear in either half (labels come from endpoint strings
+    // and fixed identifiers), so the key is collision-free.
+    key += '\x1f';
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::Intern(
+    const std::string& name, MetricLabels labels, MetricKind kind,
+    std::vector<uint64_t> bounds) {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    auto instrument = std::make_unique<Instrument>();
+    instrument->name = name;
+    instrument->labels = std::move(labels);
+    instrument->kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        instrument->counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        instrument->gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        instrument->histogram =
+            std::make_unique<Histogram>(std::move(bounds));
+        break;
+    }
+    it = series_.emplace(key, std::move(instrument)).first;
+  }
+  return it->second.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     MetricLabels labels) {
+  return Intern(name, std::move(labels), MetricKind::kCounter, {})
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 MetricLabels labels) {
+  return Intern(name, std::move(labels), MetricKind::kGauge, {})->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         MetricLabels labels,
+                                         std::vector<uint64_t> bounds) {
+  return Intern(name, std::move(labels), MetricKind::kHistogram,
+                std::move(bounds))
+      ->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.points.reserve(series_.size());
+  for (const auto& [key, instrument] : series_) {
+    MetricPoint point;
+    point.name = instrument->name;
+    point.labels = instrument->labels;
+    point.kind = instrument->kind;
+    switch (instrument->kind) {
+      case MetricKind::kCounter:
+        point.value = instrument->counter->value();
+        break;
+      case MetricKind::kGauge:
+        point.value = instrument->gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *instrument->histogram;
+        point.bounds = h.bounds();
+        point.buckets.reserve(point.bounds.size() + 1);
+        for (size_t i = 0; i <= point.bounds.size(); ++i) {
+          point.buckets.push_back(h.bucket_count(i));
+        }
+        point.count = h.count();
+        point.sum = h.sum();
+        break;
+      }
+    }
+    snapshot.points.push_back(std::move(point));
+  }
+  return snapshot;
+}
+
+size_t MetricsRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+}  // namespace aid

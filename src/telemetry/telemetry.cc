@@ -1,0 +1,197 @@
+#include "telemetry/telemetry.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "telemetry/json.h"
+
+namespace aid {
+
+Telemetry::Telemetry(TelemetryOptions options)
+    : options_(std::move(options)) {}
+
+std::shared_ptr<Telemetry> Telemetry::Create(TelemetryOptions options) {
+  return std::make_shared<Telemetry>(std::move(options));
+}
+
+Histogram* Telemetry::LatencyHistogram(const std::string& name,
+                                       MetricLabels labels) {
+  return metrics_.GetHistogram(name, std::move(labels),
+                               options_.latency_bucket_bounds_us);
+}
+
+TelemetrySnapshot Telemetry::Snapshot() const {
+  TelemetrySnapshot snapshot;
+  snapshot.metrics = metrics_.Snapshot();
+  if (options_.trace_spans) snapshot.spans = tracer_.Spans();
+  return snapshot;
+}
+
+namespace {
+
+void WriteLabelsObject(JsonWriter& w, const MetricLabels& labels) {
+  w.BeginObject();
+  for (const auto& [key, value] : labels) {
+    w.Key(key).String(value);
+  }
+  w.EndObject();
+}
+
+void WriteMetricPoints(JsonWriter& w, const MetricsSnapshot& snapshot) {
+  w.BeginArray();
+  for (const MetricPoint& point : snapshot.points) {
+    w.BeginObject();
+    w.Key("name").String(point.name);
+    w.Key("kind").String(MetricKindName(point.kind));
+    w.Key("labels");
+    WriteLabelsObject(w, point.labels);
+    if (point.kind == MetricKind::kHistogram) {
+      w.Key("count").U64(point.count);
+      w.Key("sum").U64(point.sum);
+      w.Key("bounds").BeginArray();
+      for (const uint64_t bound : point.bounds) w.U64(bound);
+      w.EndArray();
+      w.Key("buckets").BeginArray();
+      for (const uint64_t bucket : point.buckets) w.U64(bucket);
+      w.EndArray();
+    } else {
+      w.Key("value").U64(point.value);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+void WriteSpanArray(JsonWriter& w, const std::vector<SpanRecord>& spans) {
+  w.BeginArray();
+  for (const SpanRecord& span : spans) {
+    w.BeginObject();
+    w.Key("id").U64(span.id);
+    w.Key("parent").U64(span.parent);
+    w.Key("name").String(span.name);
+    w.Key("lane").U64(span.lane);
+    w.Key("start_us").U64(span.start_us);
+    w.Key("end_us").U64(span.end_us);
+    w.Key("imported").Bool(span.imported);
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+/// Prometheus label value escaping: backslash, quote, newline.
+std::string PromEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromLabels(const MetricLabels& labels,
+                       const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key + "=\"" + PromEscape(value) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + PromEscape(extra_value) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("metrics");
+  WriteMetricPoints(w, snapshot);
+  w.EndObject();
+  return w.str();
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::unordered_set<std::string> typed;
+  for (const MetricPoint& point : snapshot.points) {
+    if (typed.insert(point.name).second) {
+      out += "# TYPE " + point.name + " " + MetricKindName(point.kind) + "\n";
+    }
+    if (point.kind == MetricKind::kHistogram) {
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < point.buckets.size(); ++i) {
+        cumulative += point.buckets[i];
+        const std::string le = i < point.bounds.size()
+                                   ? std::to_string(point.bounds[i])
+                                   : std::string("+Inf");
+        out += point.name + "_bucket" + PromLabels(point.labels, "le", le) +
+               " " + std::to_string(cumulative) + "\n";
+      }
+      out += point.name + "_sum" + PromLabels(point.labels) + " " +
+             std::to_string(point.sum) + "\n";
+      out += point.name + "_count" + PromLabels(point.labels) + " " +
+             std::to_string(point.count) + "\n";
+    } else {
+      out += point.name + PromLabels(point.labels) + " " +
+             std::to_string(point.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const SpanRecord& span : spans) {
+    w.BeginObject();
+    w.Key("name").String(span.name);
+    w.Key("cat").String(span.imported ? "aid.host" : "aid");
+    w.Key("ph").String("X");
+    w.Key("ts").U64(span.start_us);
+    w.Key("dur").U64(span.end_us > span.start_us
+                         ? span.end_us - span.start_us
+                         : 0);
+    w.Key("pid").U64(1);
+    w.Key("tid").U64(span.lane);
+    w.Key("args").BeginObject();
+    w.Key("span_id").U64(span.id);
+    w.Key("parent").U64(span.parent);
+    w.Key("imported").Bool(span.imported);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit").String("ms");
+  w.EndObject();
+  return w.str();
+}
+
+std::string TelemetryJson(const TelemetrySnapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("metrics");
+  WriteMetricPoints(w, snapshot.metrics);
+  w.Key("spans");
+  WriteSpanArray(w, snapshot.spans);
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace aid

@@ -1,0 +1,106 @@
+// The telemetry bundle: one MetricsRegistry + one Tracer threaded through
+// a whole session, plus the exporters that turn a snapshot into files.
+//
+// Enablement model: telemetry is OFF unless a Telemetry object exists.
+// Every instrumentation site in the engine, scheduler, and transports holds
+// a nullable pointer and guards on it, so a session without
+// SessionBuilder::WithTelemetry pays nothing -- not an atomic, not a
+// branch-into-cold-code -- and its reports stay bit-identical to pre-
+// telemetry builds (verified by bench_micro and the fleet example).
+//
+// Exporters:
+//   MetricsJson      -- {"metrics":[...]} snapshot for dashboards/benches
+//   PrometheusText   -- text exposition format (scrapeable)
+//   ChromeTraceJson  -- trace-event JSON loadable in Perfetto /
+//                       chrome://tracing; each event carries its span id
+//                       and parent id in "args" so tools (and the CI
+//                       validator) can check nesting structurally.
+//
+// See docs/telemetry.md for the metric catalog and the span model.
+
+#ifndef AID_TELEMETRY_TELEMETRY_H_
+#define AID_TELEMETRY_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace aid {
+
+struct TelemetryOptions {
+  /// Latency histogram bucket upper bounds in microseconds; empty = the
+  /// default kLatencyBucketBoundsUs ladder.
+  std::vector<uint64_t> latency_bucket_bounds_us;
+  /// Record spans (metrics are always on when telemetry is on). Turn off
+  /// for long-running services where an ever-growing span list is unwanted.
+  bool trace_spans = true;
+};
+
+/// Everything TelemetrySnapshot() hands back: decoupled from the live
+/// registry/tracer, safe to export after the session is gone.
+struct TelemetrySnapshot {
+  MetricsSnapshot metrics;
+  std::vector<SpanRecord> spans;
+};
+
+/// The per-session telemetry sink. Shared (via shared_ptr) between the
+/// Session, its target stack, and the caller exporting results.
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryOptions options = {});
+  static std::shared_ptr<Telemetry> Create(TelemetryOptions options = {});
+
+  MetricsRegistry& metrics() { return metrics_; }
+  /// Null when options.trace_spans is false: span sites skip themselves
+  /// with the same null-guard they use for disabled telemetry.
+  Tracer* tracer() { return options_.trace_spans ? &tracer_ : nullptr; }
+
+  const TelemetryOptions& options() const { return options_; }
+
+  /// Histogram interned with this bundle's configured latency bounds.
+  Histogram* LatencyHistogram(const std::string& name,
+                              MetricLabels labels = {});
+
+  /// Cross-thread span parenting: the engine publishes the active round
+  /// span before handing a round to the replica pool (rounds are serial,
+  /// so one slot suffices), and worker-side sites parent their chunk/trial
+  /// spans under it.
+  void SetActiveParent(uint64_t span_id) {
+    active_parent_.store(span_id, std::memory_order_release);
+  }
+  uint64_t active_parent() const {
+    return active_parent_.load(std::memory_order_acquire);
+  }
+
+  TelemetrySnapshot Snapshot() const;
+
+ private:
+  TelemetryOptions options_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  std::atomic<uint64_t> active_parent_{0};
+};
+
+/// {"metrics":[{name, kind, labels, value | histogram fields}...]}.
+std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition (# TYPE comments + one line per series;
+/// histograms expand into _bucket/_sum/_count).
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// Chrome trace-event JSON: complete ("ph":"X") events, microsecond
+/// timestamps, one pid, lanes as tids, span/parent ids in "args".
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans);
+
+/// Combined document: {"metrics":[...],"spans":[...]} -- what benches
+/// embed next to their own numbers.
+std::string TelemetryJson(const TelemetrySnapshot& snapshot);
+
+}  // namespace aid
+
+#endif  // AID_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,84 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+
+namespace aid {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t Tracer::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+uint64_t Tracer::StartSpan(std::string name, uint64_t parent) {
+  const uint64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord span;
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  span.name = std::move(name);
+  const auto [it, inserted] =
+      lanes_.try_emplace(std::this_thread::get_id(), lanes_.size());
+  span.lane = it->second;
+  span.start_us = now;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(uint64_t id) {
+  const uint64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > spans_.size()) return;
+  SpanRecord& span = spans_[id - 1];
+  // Clamp to >= 1 so a span closed within the tracer's first microsecond
+  // still reads as closed (end_us == 0 is the documented "open" marker).
+  if (span.end_us == 0) {
+    span.end_us = std::max<uint64_t>(std::max(now, span.start_us), 1);
+  }
+}
+
+uint64_t Tracer::ImportSpan(std::string name, uint64_t parent,
+                            uint64_t start_us, uint64_t end_us) {
+  const uint64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord span;
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  span.name = std::move(name);
+  span.imported = true;
+  span.start_us = start_us;
+  span.end_us = std::max(end_us, start_us);
+  if (parent != 0 && parent <= spans_.size()) {
+    // Clamp inside the parent: the child's clock domain was re-based from
+    // wire timestamps, and skew must not let it escape its parent span.
+    const SpanRecord& up = spans_[parent - 1];
+    const uint64_t up_end = up.end_us != 0 ? up.end_us : now;
+    span.lane = up.lane;
+    span.start_us = std::clamp(span.start_us, up.start_us, up_end);
+    span.end_us = std::clamp(span.end_us, span.start_us, up_end);
+  }
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+uint64_t Tracer::CurrentLane() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      lanes_.try_emplace(std::this_thread::get_id(), lanes_.size());
+  return it->second;
+}
+
+std::vector<SpanRecord> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+}  // namespace aid

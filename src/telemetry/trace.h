@@ -1,0 +1,130 @@
+// Span-based tracing of the AID pipeline.
+//
+// A span is one timed region of the run -- a pipeline phase, an
+// intervention round, a single trial -- identified by a nonzero id and
+// linked to its parent span, forming the trace tree the Chrome trace-event
+// exporter (telemetry.h) renders for Perfetto / chrome://tracing.
+//
+// Timestamps are microseconds on the tracer's own clock: a steady clock
+// whose zero is the tracer's construction. Spans executed in another
+// process (the runner-side subject host) report their times on *their*
+// steady clock; ImportSpan re-bases them into this tracer's timeline using
+// the engine-side send timestamp and clamps them inside the parent span,
+// so a runner's host-side trial execution always nests under the
+// engine-side trial span that requested it -- one coherent cross-process
+// trace (see docs/telemetry.md for the wire propagation).
+//
+// Lanes are the trace's thread axis (chrome "tid"): each OS thread that
+// opens a span gets a small stable lane number; imported spans inherit
+// their parent's lane so cross-process children render inside their
+// parent's track.
+
+#ifndef AID_TELEMETRY_TRACE_H_
+#define AID_TELEMETRY_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace aid {
+
+/// One recorded span. `end_us` == 0 means the span is still open (or was
+/// abandoned; exporters render it with zero duration).
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent = 0;  ///< 0 = root
+  std::string name;
+  uint64_t lane = 0;     ///< trace track (chrome tid)
+  uint64_t start_us = 0; ///< micros since the tracer's epoch
+  uint64_t end_us = 0;
+  bool imported = false; ///< true: carried over the wire from a subject host
+};
+
+/// Thread-safe span recorder. Span ids are dense and start at 1.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Microseconds since this tracer's epoch.
+  uint64_t NowMicros() const;
+
+  /// Opens a span on the calling thread's lane. parent 0 = root.
+  uint64_t StartSpan(std::string name, uint64_t parent = 0);
+  /// Closes the span (no-op on id 0 or an already-closed span).
+  void EndSpan(uint64_t id);
+
+  /// Records a span measured in another clock domain (a subject host's
+  /// steady clock). `start_us` / `end_us` must already be re-based into
+  /// this tracer's timeline by the caller; they are then clamped inside
+  /// the parent span (when it exists) so clock skew can never break
+  /// nesting. The span lands on the parent's lane.
+  uint64_t ImportSpan(std::string name, uint64_t parent, uint64_t start_us,
+                      uint64_t end_us);
+
+  /// Stable small lane id for the calling thread (registered on first use).
+  uint64_t CurrentLane();
+
+  /// Copies every span recorded so far (open ones included).
+  std::vector<SpanRecord> Spans() const;
+
+  size_t span_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;  ///< spans_[id - 1]
+  std::unordered_map<std::thread::id, uint64_t> lanes_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII wrapper ending its span on scope exit. Null-tracer tolerant, so
+/// instrumentation sites stay one-liners under disabled telemetry.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, std::string name, uint64_t parent = 0)
+      : tracer_(tracer),
+        id_(tracer == nullptr ? 0 : tracer->StartSpan(std::move(name),
+                                                      parent)) {}
+  ScopedSpan(ScopedSpan&& other) noexcept
+      : tracer_(other.tracer_), id_(other.id_) {
+    other.tracer_ = nullptr;
+    other.id_ = 0;
+  }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+    if (this != &other) {
+      End();
+      tracer_ = other.tracer_;
+      id_ = other.id_;
+      other.tracer_ = nullptr;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() { End(); }
+
+  /// Ends the span now (idempotent).
+  void End() {
+    if (tracer_ != nullptr && id_ != 0) tracer_->EndSpan(id_);
+    tracer_ = nullptr;
+    id_ = 0;
+  }
+
+  uint64_t id() const { return id_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  uint64_t id_ = 0;
+};
+
+}  // namespace aid
+
+#endif  // AID_TELEMETRY_TRACE_H_

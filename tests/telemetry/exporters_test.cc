@@ -1,0 +1,242 @@
+// Exporter and JSON-layer tests: JsonWriter goldens, the strict
+// JsonLooksValid checker, and end-to-end validity + format checks for all
+// three exporters (metrics JSON, Prometheus text, Chrome trace-event JSON)
+// plus the combined TelemetryJson document.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/json.h"
+#include "telemetry/telemetry.h"
+
+namespace aid {
+namespace {
+
+// ------------------------------------------------------------ JsonWriter --
+
+TEST(JsonWriterTest, GoldenObject) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("trials")
+      .U64(12)
+      .Key("ok")
+      .Bool(true)
+      .Key("skew")
+      .I64(-3)
+      .Key("ratio")
+      .Double(1.5)
+      .Key("none")
+      .Null()
+      .Key("tags")
+      .BeginArray()
+      .String("fleet")
+      .String("net")
+      .EndArray()
+      .EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"trials\":12,\"ok\":true,\"skew\":-3,\"ratio\":1.5,"
+            "\"none\":null,\"tags\":[\"fleet\",\"net\"]}");
+}
+
+TEST(JsonWriterTest, EmptyContainersAndRawSplice) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("empty_obj")
+      .BeginObject()
+      .EndObject()
+      .Key("empty_arr")
+      .BeginArray()
+      .EndArray()
+      .Key("raw")
+      .Raw("{\"nested\":[1,2]}")
+      .EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"empty_obj\":{},\"empty_arr\":[],"
+            "\"raw\":{\"nested\":[1,2]}}");
+  EXPECT_TRUE(JsonLooksValid(w.str()));
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  // A control character without a shorthand escape becomes \u00XX.
+  const std::string escaped = JsonEscape(std::string(1, '\x01'));
+  EXPECT_EQ(escaped, "\\u0001");
+}
+
+TEST(JsonWriterTest, EscapedStringsStayValid) {
+  JsonWriter w;
+  w.BeginObject().Key("k\"ey").String("v\\al\nue").EndObject();
+  EXPECT_TRUE(JsonLooksValid(w.str()));
+}
+
+// -------------------------------------------------------- JsonLooksValid --
+
+TEST(JsonLooksValidTest, AcceptsWellFormedDocuments) {
+  EXPECT_TRUE(JsonLooksValid("{}"));
+  EXPECT_TRUE(JsonLooksValid("[]"));
+  EXPECT_TRUE(JsonLooksValid("null"));
+  EXPECT_TRUE(JsonLooksValid("true"));
+  EXPECT_TRUE(JsonLooksValid("-12.5e3"));
+  EXPECT_TRUE(JsonLooksValid("\"string\""));
+  EXPECT_TRUE(JsonLooksValid(" { \"a\" : [ 1 , 2.5 , \"x\" , null ] } "));
+}
+
+TEST(JsonLooksValidTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonLooksValid(""));
+  EXPECT_FALSE(JsonLooksValid("{"));
+  EXPECT_FALSE(JsonLooksValid("{\"a\":}"));
+  EXPECT_FALSE(JsonLooksValid("{\"a\":1,}"));
+  EXPECT_FALSE(JsonLooksValid("[1,]"));
+  EXPECT_FALSE(JsonLooksValid("{'a':1}"));
+  EXPECT_FALSE(JsonLooksValid("{\"a\":1}tail"));
+  EXPECT_FALSE(JsonLooksValid("{\"a\":01}"));
+  EXPECT_FALSE(JsonLooksValid("\"unterminated"));
+  EXPECT_FALSE(JsonLooksValid("{\"a\" 1}"));
+  EXPECT_FALSE(JsonLooksValid("nul"));
+}
+
+TEST(JsonLooksValidTest, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep.append(200, ']');
+  EXPECT_FALSE(JsonLooksValid(deep));  // depth capped at 128
+  std::string shallow(100, '[');
+  shallow.append(100, ']');
+  EXPECT_TRUE(JsonLooksValid(shallow));
+}
+
+// --------------------------------------------------------------exporters --
+
+MetricsSnapshot PopulatedSnapshot() {
+  MetricsRegistry registry;
+  registry.GetCounter("aid_rounds_total")->Add(6);
+  registry.GetCounter("aid_steals_total", {{"replica", "1"}})->Add(2);
+  registry.GetGauge("aid_replica_ewma_micros", {{"replica", "1"}})->Set(450);
+  Histogram* h = registry.GetHistogram("aid_trial_latency_us",
+                                       {{"transport", "socket"}}, {100, 1000});
+  h->Record(50);
+  h->Record(100);
+  h->Record(5000);
+  return registry.Snapshot();
+}
+
+TEST(MetricsJsonTest, ProducesValidJsonWithEverySeries) {
+  const std::string json = MetricsJson(PopulatedSnapshot());
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+  EXPECT_NE(json.find("\"aid_rounds_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"aid_steals_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"aid_replica_ewma_micros\""), std::string::npos);
+  EXPECT_NE(json.find("\"aid_trial_latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"transport\""), std::string::npos);
+}
+
+TEST(MetricsJsonTest, EmptySnapshotIsStillValid) {
+  const std::string json = MetricsJson(MetricsSnapshot{});
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+}
+
+TEST(PrometheusTextTest, ExpandsHistogramsAndTypesEverySeries) {
+  const std::string text = PrometheusText(PopulatedSnapshot());
+  EXPECT_NE(text.find("# TYPE aid_rounds_total counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE aid_replica_ewma_micros gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE aid_trial_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("aid_rounds_total 6"), std::string::npos);
+  EXPECT_NE(text.find("replica=\"1\""), std::string::npos);
+  // Histogram expansion: per-bound _bucket lines, the +Inf bucket, and the
+  // _sum/_count companions. Bucket counts are cumulative in the exposition
+  // format: le="1000" covers the le="100" samples too.
+  EXPECT_NE(text.find("aid_trial_latency_us_bucket"), std::string::npos);
+  EXPECT_NE(text.find("le=\"100\""), std::string::npos);
+  EXPECT_NE(text.find("le=\"1000\""), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("aid_trial_latency_us_sum"), std::string::npos);
+  EXPECT_NE(text.find("aid_trial_latency_us_count"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ChromeTraceJsonTest, EmitsCompleteEventsWithSpanIdsInArgs) {
+  Tracer tracer;
+  const uint64_t root = tracer.StartSpan("discovery");
+  const uint64_t child = tracer.StartSpan("round", root);
+  tracer.EndSpan(child);
+  tracer.EndSpan(root);
+  const uint64_t open = tracer.StartSpan("abandoned", root);
+  (void)open;
+
+  const std::string json = ChromeTraceJson(tracer.Spans());
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"discovery\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"round\""), std::string::npos);
+  // Span / parent ids ride in "args" so tools can re-check nesting
+  // structurally (the CI trace validator depends on this).
+  EXPECT_NE(json.find("\"span_id\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\""), std::string::npos);
+  // The still-open span renders too (zero duration), instead of vanishing.
+  EXPECT_NE(json.find("\"name\":\"abandoned\""), std::string::npos);
+}
+
+TEST(ChromeTraceJsonTest, EmptyTraceIsValid) {
+  const std::string json = ChromeTraceJson({});
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TelemetryJsonTest, CombinesMetricsAndSpans) {
+  Telemetry telemetry;
+  telemetry.metrics().GetCounter("aid_rounds_total")->Add(1);
+  ScopedSpan(telemetry.tracer(), "observation").End();
+  const TelemetrySnapshot snapshot = telemetry.Snapshot();
+  ASSERT_EQ(snapshot.spans.size(), 1u);
+
+  const std::string json = TelemetryJson(snapshot);
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"observation\""), std::string::npos);
+}
+
+TEST(TelemetryTest, TracerDisabledWhenSpansAreOff) {
+  TelemetryOptions options;
+  options.trace_spans = false;
+  Telemetry telemetry(options);
+  EXPECT_EQ(telemetry.tracer(), nullptr);
+  // Metrics still work; the snapshot simply carries no spans.
+  telemetry.metrics().GetCounter("c")->Add(2);
+  const TelemetrySnapshot snapshot = telemetry.Snapshot();
+  EXPECT_EQ(snapshot.metrics.Value("c"), 2u);
+  EXPECT_TRUE(snapshot.spans.empty());
+  EXPECT_TRUE(JsonLooksValid(TelemetryJson(snapshot)));
+}
+
+TEST(TelemetryTest, LatencyHistogramUsesConfiguredBounds) {
+  TelemetryOptions options;
+  options.latency_bucket_bounds_us = {10, 20, 30};
+  Telemetry telemetry(options);
+  Histogram* h = telemetry.LatencyHistogram("aid_trial_latency_us");
+  EXPECT_EQ(h->bounds(), (std::vector<uint64_t>{10, 20, 30}));
+  // Default options fall back to the standard ladder.
+  Telemetry standard;
+  EXPECT_EQ(standard.LatencyHistogram("aid_trial_latency_us")->bounds().size(),
+            kLatencyBucketBoundCount);
+}
+
+TEST(TelemetryTest, ActiveParentSlotRoundTrips) {
+  Telemetry telemetry;
+  EXPECT_EQ(telemetry.active_parent(), 0u);
+  telemetry.SetActiveParent(17);
+  EXPECT_EQ(telemetry.active_parent(), 17u);
+  telemetry.SetActiveParent(0);
+  EXPECT_EQ(telemetry.active_parent(), 0u);
+}
+
+}  // namespace
+}  // namespace aid

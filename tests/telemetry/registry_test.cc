@@ -1,0 +1,216 @@
+// MetricsRegistry tests: interning semantics (pointer stability, label
+// order insensitivity, cardinality), histogram bucket-edge behavior under
+// Prometheus `le` semantics, snapshot lookups, and lock-free hot-path
+// correctness under concurrent writers (run under TSan in CI).
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/metrics.h"
+
+namespace aid {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0u);
+  g.Set(7);
+  g.Set(3);
+  EXPECT_EQ(g.value(), 3u);
+}
+
+TEST(HistogramTest, SampleOnBoundLandsInThatBucket) {
+  // `le` semantics: a sample equal to a bucket's upper bound belongs to
+  // that bucket, not the next one.
+  Histogram h({10, 20, 30});
+  h.Record(10);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  h.Record(11);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  h.Record(30);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 10u + 11u + 30u);
+}
+
+TEST(HistogramTest, SampleAboveEveryBoundLandsInOverflowBucket) {
+  Histogram h({10, 20});
+  h.Record(21);
+  h.Record(1000000);
+  // bounds().size() + 1 buckets; the last one is +Inf.
+  EXPECT_EQ(h.bounds().size(), 2u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+}
+
+TEST(HistogramTest, ZeroSampleLandsInFirstBucket) {
+  Histogram h({10, 20});
+  h.Record(0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, EmptyBoundsFallBackToDefaultLatencyLadder) {
+  Histogram h({});
+  ASSERT_EQ(h.bounds().size(), kLatencyBucketBoundCount);
+  for (size_t i = 0; i < kLatencyBucketBoundCount; ++i) {
+    EXPECT_EQ(h.bounds()[i], kLatencyBucketBoundsUs[i]);
+  }
+}
+
+TEST(MetricsRegistryTest, InternReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("aid_rounds_total");
+  Counter* b = registry.GetCounter("aid_rounds_total");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->value(), 3u);
+  EXPECT_EQ(registry.series_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter(
+      "aid_steals_total", {{"replica", "0"}, {"endpoint", "localhost:1"}});
+  Counter* b = registry.GetCounter(
+      "aid_steals_total", {{"endpoint", "localhost:1"}, {"replica", "0"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.series_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, DistinctLabelsCreateDistinctSeries) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("aid_steals_total", {{"replica", "0"}});
+  Counter* b = registry.GetCounter("aid_steals_total", {{"replica", "1"}});
+  Counter* unlabeled = registry.GetCounter("aid_steals_total");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, unlabeled);
+  EXPECT_EQ(registry.series_count(), 3u);
+
+  a->Add(2);
+  b->Add(5);
+  unlabeled->Add(1);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.Value("aid_steals_total", {{"replica", "0"}}), 2u);
+  EXPECT_EQ(snapshot.Value("aid_steals_total", {{"replica", "1"}}), 5u);
+  EXPECT_EQ(snapshot.Value("aid_steals_total"), 1u);
+  EXPECT_EQ(snapshot.Total("aid_steals_total"), 8u);
+}
+
+TEST(MetricsRegistryTest, KindsWithSameNameAreSeparateSeries) {
+  // A gauge and a counter under the same name must not alias: the gauge
+  // carries a label, so they land in different series.
+  MetricsRegistry registry;
+  registry.GetCounter("aid_rounds_total")->Add(4);
+  registry.GetGauge("aid_replica_ewma_micros", {{"replica", "0"}})->Set(123);
+  registry.GetHistogram("aid_trial_latency_us", {{"transport", "pipe"}})
+      ->Record(777);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.points.size(), 3u);
+
+  const MetricPoint* counter = snapshot.Find("aid_rounds_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->kind, MetricKind::kCounter);
+  EXPECT_EQ(counter->value, 4u);
+
+  const MetricPoint* gauge =
+      snapshot.Find("aid_replica_ewma_micros", {{"replica", "0"}});
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->kind, MetricKind::kGauge);
+  EXPECT_EQ(gauge->value, 123u);
+
+  const MetricPoint* histogram =
+      snapshot.Find("aid_trial_latency_us", {{"transport", "pipe"}});
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->kind, MetricKind::kHistogram);
+  EXPECT_EQ(histogram->count, 1u);
+  EXPECT_EQ(histogram->sum, 777u);
+  EXPECT_EQ(histogram->buckets.size(), histogram->bounds.size() + 1);
+  // Histogram Value() resolves to the sample count.
+  EXPECT_EQ(snapshot.Value("aid_trial_latency_us", {{"transport", "pipe"}}),
+            1u);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsApplyOnlyOnFirstIntern) {
+  MetricsRegistry registry;
+  Histogram* first = registry.GetHistogram("h", {}, {1, 2, 3});
+  Histogram* second = registry.GetHistogram("h", {}, {9, 99});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first->bounds(), (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(MetricsRegistryTest, FindMissingSeriesReturnsNull) {
+  MetricsRegistry registry;
+  registry.GetCounter("present");
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.Find("absent"), nullptr);
+  EXPECT_EQ(snapshot.Find("present", {{"no", "label"}}), nullptr);
+  EXPECT_EQ(snapshot.Value("absent"), 0u);
+  EXPECT_EQ(snapshot.Total("absent"), 0u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentWritersLoseNothing) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Every thread interns on its own (exercising the registry lock
+      // concurrently) and hammers the shared instruments.
+      Counter* counter = registry.GetCounter("aid_executions_total");
+      Histogram* histogram = registry.GetHistogram(
+          "aid_trial_latency_us", {{"transport", "test"}}, {100, 1000});
+      Gauge* gauge = registry.GetGauge("aid_replica_ewma_micros",
+                                       {{"replica", std::to_string(t)}});
+      for (int i = 0; i < kIncrements; ++i) {
+        counter->Add();
+        histogram->Record(static_cast<uint64_t>(i % 2000));
+        gauge->Set(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.Value("aid_executions_total"),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  const MetricPoint* histogram =
+      snapshot.Find("aid_trial_latency_us", {{"transport", "test"}});
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->count, static_cast<uint64_t>(kThreads) * kIncrements);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : histogram->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, histogram->count);
+  // One gauge series per thread plus counter plus histogram.
+  EXPECT_EQ(registry.series_count(), static_cast<size_t>(kThreads) + 2);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsDecoupledFromLiveInstruments) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  counter->Add(1);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  counter->Add(100);
+  EXPECT_EQ(snapshot.Value("c"), 1u);
+  EXPECT_EQ(registry.Snapshot().Value("c"), 101u);
+}
+
+}  // namespace
+}  // namespace aid

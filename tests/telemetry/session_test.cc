@@ -1,0 +1,347 @@
+// Session-level telemetry tests on in-process model targets: the metric
+// totals mirror the DiscoveryReport exactly, the span tree covers the whole
+// pipeline (observation -> statistical debugging -> AC-DAG construction ->
+// discovery phases -> rounds), reports stay bit-identical with telemetry on
+// vs. off, repeated runs accumulate, and the TAGT baseline is never
+// instrumented. The pipe-transport propagation test (subprocess isolation:
+// engine-side trial spans adopting imported host spans) rides along here;
+// the socket-transport variant lives in tests/telemetry/fleet_test.cc.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "proc/wire.h"
+#include "synth/generator.h"
+#include "synth/model.h"
+
+namespace aid {
+namespace {
+
+std::unique_ptr<GroundTruthModel> MakeModel(uint64_t seed = 7) {
+  SyntheticAppOptions options;
+  options.max_threads = 10;
+  options.seed = seed;
+  auto model = GenerateSyntheticApp(options);
+  EXPECT_TRUE(model.ok()) << model.status();
+  return model.ok() ? std::move(*model) : nullptr;
+}
+
+const SpanRecord* FindById(const std::vector<SpanRecord>& spans,
+                           uint64_t id) {
+  for (const SpanRecord& span : spans) {
+    if (span.id == id) return &span;
+  }
+  return nullptr;
+}
+
+std::vector<const SpanRecord*> FindByName(
+    const std::vector<SpanRecord>& spans, const std::string& name) {
+  std::vector<const SpanRecord*> out;
+  for (const SpanRecord& span : spans) {
+    if (span.name == name) out.push_back(&span);
+  }
+  return out;
+}
+
+void ExpectMetricsMirrorReport(const MetricsSnapshot& metrics,
+                               const DiscoveryReport& report) {
+  EXPECT_EQ(metrics.Value("aid_rounds_total"),
+            static_cast<uint64_t>(report.rounds));
+  EXPECT_EQ(metrics.Value("aid_executions_total"), report.executions);
+  EXPECT_EQ(metrics.Value("aid_speculative_executions_total"),
+            report.speculative_executions);
+  EXPECT_EQ(metrics.Value("aid_steals_total"), report.steals);
+  EXPECT_EQ(metrics.Value("aid_straggler_wait_micros_total"),
+            report.straggler_wait_micros);
+  EXPECT_EQ(metrics.Value("aid_crashed_trials_total"), report.crashed_trials);
+  EXPECT_EQ(metrics.Value("aid_timed_out_trials_total"),
+            report.timed_out_trials);
+  EXPECT_EQ(metrics.Value("aid_respawns_total"), report.respawns);
+}
+
+TEST(SessionTelemetryTest, OffByDefault) {
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  auto session = SessionBuilder().WithModel(model.get()).Build();
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_EQ(session->telemetry(), nullptr);
+  ASSERT_TRUE(session->Run().ok());
+  const TelemetrySnapshot snapshot = session->TelemetrySnapshot();
+  EXPECT_TRUE(snapshot.metrics.points.empty());
+  EXPECT_TRUE(snapshot.spans.empty());
+}
+
+TEST(SessionTelemetryTest, MetricTotalsMirrorDiscoveryReportExactly) {
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  auto session =
+      SessionBuilder().WithModel(model.get()).WithTelemetry().Build();
+  ASSERT_TRUE(session.ok()) << session.status();
+  ASSERT_NE(session->telemetry(), nullptr);
+  auto report = session->Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  const TelemetrySnapshot snapshot = session->TelemetrySnapshot();
+  ExpectMetricsMirrorReport(snapshot.metrics, report->discovery);
+  EXPECT_GT(report->discovery.rounds, 0);
+  EXPECT_GT(report->discovery.executions, 0u);
+}
+
+TEST(SessionTelemetryTest, SpanTreeCoversThePipeline) {
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  auto session =
+      SessionBuilder().WithModel(model.get()).WithTelemetry().Build();
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto report = session->Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  const std::vector<SpanRecord> spans = session->TelemetrySnapshot().spans;
+
+  // Build() already announced the observation phase; Run() added the
+  // statistical-debugging and AC-DAG construction phases.
+  EXPECT_EQ(FindByName(spans, "observation").size(), 1u);
+  EXPECT_EQ(FindByName(spans, "statistical_debugging").size(), 1u);
+  EXPECT_EQ(FindByName(spans, "acdag_construction").size(), 1u);
+
+  auto discovery = FindByName(spans, "discovery");
+  ASSERT_EQ(discovery.size(), 1u);
+  EXPECT_EQ(discovery[0]->parent, 0u);
+
+  // The discovery phases nest under the discovery span, one round span per
+  // reported round nests under a phase span.
+  auto rounds = FindByName(spans, "round");
+  EXPECT_EQ(rounds.size(), static_cast<size_t>(report->discovery.rounds));
+  for (const SpanRecord* round : rounds) {
+    const SpanRecord* phase = FindById(spans, round->parent);
+    ASSERT_NE(phase, nullptr);
+    EXPECT_TRUE(phase->name == "branch_prune" || phase->name == "giwp")
+        << phase->name;
+    EXPECT_EQ(phase->parent, discovery[0]->id);
+  }
+
+  // Everything the pipeline opened it also closed.
+  for (const SpanRecord& span : spans) {
+    EXPECT_NE(span.end_us, 0u) << span.name;
+    EXPECT_LE(span.start_us, span.end_us) << span.name;
+    EXPECT_FALSE(span.imported) << span.name;
+  }
+}
+
+TEST(SessionTelemetryTest, ReportsAreBitIdenticalWithTelemetryOnAndOff) {
+  auto model = MakeModel(21);
+  ASSERT_NE(model, nullptr);
+
+  auto plain = SessionBuilder().WithModel(model.get()).WithSeed(5).Build();
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  auto plain_report = plain->Run();
+  ASSERT_TRUE(plain_report.ok()) << plain_report.status();
+
+  auto traced = SessionBuilder()
+                    .WithModel(model.get())
+                    .WithSeed(5)
+                    .WithTelemetry()
+                    .Build();
+  ASSERT_TRUE(traced.ok()) << traced.status();
+  auto traced_report = traced->Run();
+  ASSERT_TRUE(traced_report.ok()) << traced_report.status();
+
+  EXPECT_EQ(plain_report->discovery.causal_path,
+            traced_report->discovery.causal_path);
+  EXPECT_EQ(plain_report->discovery.spurious,
+            traced_report->discovery.spurious);
+  EXPECT_EQ(plain_report->discovery.rounds, traced_report->discovery.rounds);
+  EXPECT_EQ(plain_report->discovery.executions,
+            traced_report->discovery.executions);
+  EXPECT_EQ(plain_report->discovery.speculative_executions,
+            traced_report->discovery.speculative_executions);
+  EXPECT_EQ(plain_report->root_cause, traced_report->root_cause);
+}
+
+TEST(SessionTelemetryTest, RepeatedRunsAccumulate) {
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  auto session =
+      SessionBuilder().WithModel(model.get()).WithTelemetry().Build();
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  auto first = session->Run();
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = session->Run();
+  ASSERT_TRUE(second.ok()) << second.status();
+
+  const TelemetrySnapshot snapshot = session->TelemetrySnapshot();
+  EXPECT_EQ(snapshot.metrics.Value("aid_rounds_total"),
+            static_cast<uint64_t>(first->discovery.rounds) +
+                static_cast<uint64_t>(second->discovery.rounds));
+  EXPECT_EQ(snapshot.metrics.Value("aid_executions_total"),
+            first->discovery.executions + second->discovery.executions);
+  // One discovery span per run; the observation/AC-DAG phases ran once.
+  EXPECT_EQ(FindByName(snapshot.spans, "discovery").size(), 2u);
+  EXPECT_EQ(FindByName(snapshot.spans, "acdag_construction").size(), 1u);
+}
+
+TEST(SessionTelemetryTest, TagtBaselineIsNeverInstrumented) {
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  auto session = SessionBuilder()
+                     .WithModel(model.get())
+                     .WithTagtBaseline()
+                     .WithTelemetry()
+                     .Build();
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto report = session->Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->tagt_baseline.has_value());
+  EXPECT_GT(report->tagt_baseline->rounds, 0);
+
+  // The baseline ran (and burned executions), but the metrics mirror the
+  // main run's report alone -- the baseline would otherwise skew every
+  // total away from the DiscoveryReport it is supposed to match.
+  const TelemetrySnapshot snapshot = session->TelemetrySnapshot();
+  ExpectMetricsMirrorReport(snapshot.metrics, report->discovery);
+  EXPECT_EQ(FindByName(snapshot.spans, "discovery").size(), 1u);
+}
+
+TEST(SessionTelemetryTest, SharedBundleAggregatesAcrossSessions) {
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  std::shared_ptr<Telemetry> shared = Telemetry::Create();
+
+  uint64_t expected_rounds = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto session =
+        SessionBuilder().WithModel(model.get()).WithTelemetry(shared).Build();
+    ASSERT_TRUE(session.ok()) << session.status();
+    EXPECT_EQ(session->telemetry(), shared.get());
+    auto report = session->Run();
+    ASSERT_TRUE(report.ok()) << report.status();
+    expected_rounds += static_cast<uint64_t>(report->discovery.rounds);
+  }
+  EXPECT_EQ(shared->Snapshot().metrics.Value("aid_rounds_total"),
+            expected_rounds);
+
+  // Passing a null shared bundle turns telemetry back off.
+  auto off = SessionBuilder()
+                 .WithModel(model.get())
+                 .WithTelemetry()
+                 .WithTelemetry(std::shared_ptr<Telemetry>())
+                 .Build();
+  ASSERT_TRUE(off.ok()) << off.status();
+  EXPECT_EQ(off->telemetry(), nullptr);
+}
+
+TEST(SessionTelemetryTest, ParallelDispatchRecordsChunkSpansAndLatencies) {
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  auto session = SessionBuilder()
+                     .WithModel(model.get())
+                     .WithTrials(3)
+                     .WithParallelism(4)
+                     .WithTelemetry()
+                     .Build();
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto report = session->Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  const TelemetrySnapshot snapshot = session->TelemetrySnapshot();
+  ExpectMetricsMirrorReport(snapshot.metrics, report->discovery);
+
+  // Worker-side chunk spans must parent under round/batch spans via the
+  // active-parent slot, never float as roots.
+  auto chunks = FindByName(snapshot.spans, "chunk");
+  ASSERT_FALSE(chunks.empty());
+  for (const SpanRecord* chunk : chunks) {
+    const SpanRecord* parent = FindById(snapshot.spans, chunk->parent);
+    ASSERT_NE(parent, nullptr);
+    EXPECT_TRUE(parent->name == "round" || parent->name == "round.batch")
+        << parent->name;
+  }
+  // Per-replica chunk latency histograms observed at most one sample per
+  // chunk (zero-microsecond model chunks are skipped).
+  uint64_t chunk_samples =
+      snapshot.metrics.Total("aid_chunk_latency_us");
+  EXPECT_LE(chunk_samples, chunks.size());
+}
+
+#if AID_PROC_SUPPORTED
+
+TEST(SessionTelemetryTest, PipeTransportPropagatesHostSpans) {
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  auto session = SessionBuilder()
+                     .WithModel(model.get())
+                     .WithTrials(2)
+                     .WithProcessIsolation(/*trial_deadline_ms=*/20000)
+                     .WithTelemetry()
+                     .Build();
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto report = session->Run();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  const TelemetrySnapshot snapshot = session->TelemetrySnapshot();
+  ExpectMetricsMirrorReport(snapshot.metrics, report->discovery);
+
+  // Wire latency histogram, labeled by the pipe transport (sub-microsecond
+  // samples are skipped, so <= executions).
+  const uint64_t wire_samples = snapshot.metrics.Value(
+      "aid_trial_latency_us", {{"transport", "pipe"}});
+  EXPECT_GT(wire_samples, 0u);
+  EXPECT_LE(wire_samples, report->discovery.executions);
+
+  // Each engine-side trial span adopted the subject host's spans: both
+  // host.trial and host.subject_run, imported, re-based and clamped inside
+  // the trial span that requested the execution.
+  auto trials = FindByName(snapshot.spans, "trial");
+  ASSERT_FALSE(trials.empty());
+  auto host_trials = FindByName(snapshot.spans, "host.trial");
+  auto host_runs = FindByName(snapshot.spans, "host.subject_run");
+  EXPECT_EQ(host_trials.size(), trials.size());
+  EXPECT_EQ(host_runs.size(), trials.size());
+  for (const SpanRecord* host_span : host_trials) {
+    EXPECT_TRUE(host_span->imported);
+    const SpanRecord* trial = FindById(snapshot.spans, host_span->parent);
+    ASSERT_NE(trial, nullptr);
+    EXPECT_EQ(trial->name, "trial");
+    EXPECT_FALSE(trial->imported);
+    EXPECT_GE(host_span->start_us, trial->start_us);
+    EXPECT_LE(host_span->end_us, trial->end_us);
+    EXPECT_EQ(host_span->lane, trial->lane);
+  }
+}
+
+TEST(SessionTelemetryTest, PipeTransportReportMatchesInProcess) {
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  auto in_process =
+      SessionBuilder().WithModel(model.get()).WithTrials(2).Build();
+  ASSERT_TRUE(in_process.ok()) << in_process.status();
+  auto baseline = in_process->Run();
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  auto isolated = SessionBuilder()
+                      .WithModel(model.get())
+                      .WithTrials(2)
+                      .WithProcessIsolation(/*trial_deadline_ms=*/20000)
+                      .WithTelemetry()
+                      .Build();
+  ASSERT_TRUE(isolated.ok()) << isolated.status();
+  auto traced = isolated->Run();
+  ASSERT_TRUE(traced.ok()) << traced.status();
+
+  // Span propagation over the wire must not perturb the discovery outcome.
+  EXPECT_EQ(baseline->discovery.causal_path, traced->discovery.causal_path);
+  EXPECT_EQ(baseline->discovery.spurious, traced->discovery.spurious);
+  EXPECT_EQ(baseline->discovery.rounds, traced->discovery.rounds);
+  EXPECT_EQ(baseline->discovery.executions, traced->discovery.executions);
+}
+
+#endif  // AID_PROC_SUPPORTED
+
+}  // namespace
+}  // namespace aid
