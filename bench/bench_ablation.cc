@@ -11,6 +11,10 @@
 //      synthetics, self-checked -- the process exits nonzero unless the
 //      root cause stays bit-identical everywhere, aggregate pruning
 //      reaches 10% of edges, and aggregate executions strictly drop.
+//   5. adaptive intervention budgeting (src/budget/): SPRT trial
+//      allocation vs the fixed-trial engine, self-checked -- nonzero exit
+//      unless every target reaches the identical root cause with no more
+//      executions, and every flaky-backend target with STRICTLY fewer.
 
 #include <cstdio>
 #include <string>
@@ -186,6 +190,140 @@ int RunStaticAnalysisAblation(bench::BenchJson& profile) {
   return failures;
 }
 
+struct BudgetRow {
+  std::string name;
+  bool ok = false;
+  bool root_cause_identical = false;
+  uint64_t executions_fixed = 0;
+  uint64_t executions_budgeted = 0;
+  int64_t trials_saved = 0;
+  bool require_strict = false;  ///< flaky backends must strictly improve
+};
+
+template <typename Configure>
+BudgetRow RunBudgetPair(const std::string& name, int trials,
+                        bool require_strict, Configure&& configure) {
+  BudgetRow row;
+  row.name = name;
+  row.require_strict = require_strict;
+
+  SessionBuilder fixed_builder;
+  configure(fixed_builder);
+  auto fixed = fixed_builder.WithTrials(trials).WithSeed(11).Build();
+  if (!fixed.ok()) return row;
+  auto fixed_report = fixed->Run();
+  if (!fixed_report.ok()) return row;
+
+  SessionBuilder budgeted_builder;
+  configure(budgeted_builder);
+  auto budgeted = budgeted_builder.WithTrials(trials)
+                      .WithSeed(11)
+                      .WithAdaptiveBudget()
+                      .Build();
+  if (!budgeted.ok()) return row;
+  auto budgeted_report = budgeted->Run();
+  if (!budgeted_report.ok()) return row;
+
+  row.ok = true;
+  row.root_cause_identical = budgeted_report->discovery.root_cause() ==
+                                 fixed_report->discovery.root_cause() &&
+                             fixed_report->discovery.has_root_cause();
+  row.executions_fixed = fixed_report->discovery.executions;
+  row.executions_budgeted = budgeted_report->discovery.executions;
+  row.trials_saved = budgeted_report->discovery.budgeted_trials_saved;
+  return row;
+}
+
+/// Runs ablation 5 and returns the number of self-check failures.
+int RunBudgetingAblation(bench::BenchJson& profile) {
+  std::printf("\nAblation 5: adaptive intervention budgeting (SPRT trial "
+              "allocation)\n");
+  std::printf("%-22s | %12s %12s %8s %7s | %s\n", "target", "exec (fixed)",
+              "exec (budget)", "saved", "spend%", "same root cause");
+
+  std::vector<BudgetRow> rows;
+  // The six case studies: deterministic VM targets at the paper's 3 trials.
+  // Budgeting must never lose the root cause or spend more.
+  for (const std::string& key : CaseStudyKeys()) {
+    rows.push_back(RunBudgetPair(key, /*trials=*/3, /*require_strict=*/false,
+                                 [&](SessionBuilder& b) {
+                                   b.WithCaseStudy(key);
+                                 }));
+  }
+  // The fig7/fig8 synthetics on the flaky-model backend: the regime the
+  // budgeter exists for. Identical root cause, STRICTLY fewer executions.
+  std::vector<std::unique_ptr<GroundTruthModel>> keep_alive;
+  for (const uint64_t seed : {3ull, 7ull, 21ull}) {
+    SyntheticAppOptions options;
+    options.max_threads = 12;
+    options.seed = seed;
+    auto model = GenerateSyntheticApp(options);
+    if (!model.ok()) continue;
+    keep_alive.push_back(std::move(*model));
+    const GroundTruthModel* raw = keep_alive.back().get();
+    rows.push_back(RunBudgetPair(
+        "fig8-flaky-seed" + std::to_string(seed), /*trials=*/5,
+        /*require_strict=*/true, [raw, seed](SessionBuilder& b) {
+          b.WithFlakyModel(raw, 0.8, /*seed=*/seed);
+        }));
+  }
+  for (const int branches : {3, 6}) {
+    auto model = MakeSymmetricModel(3, branches, 3, 4, /*seed=*/9);
+    if (!model.ok()) continue;
+    keep_alive.push_back(std::move(*model));
+    const GroundTruthModel* raw = keep_alive.back().get();
+    rows.push_back(RunBudgetPair(
+        "fig7-flaky-B" + std::to_string(branches), /*trials=*/5,
+        /*require_strict=*/true, [raw](SessionBuilder& b) {
+          b.WithFlakyModel(raw, 0.8, /*seed=*/1);
+        }));
+  }
+
+  uint64_t exec_fixed = 0;
+  uint64_t exec_budgeted = 0;
+  int failures = 0;
+  for (const BudgetRow& row : rows) {
+    if (!row.ok) {
+      std::printf("%-22s | failed to run\n", row.name.c_str());
+      ++failures;
+      continue;
+    }
+    const double pct = row.executions_fixed == 0
+                           ? 0.0
+                           : 100.0 * row.executions_budgeted /
+                                 row.executions_fixed;
+    std::printf("%-22s | %12llu %12llu %8lld %6.1f%% | %s\n",
+                row.name.c_str(), (unsigned long long)row.executions_fixed,
+                (unsigned long long)row.executions_budgeted,
+                (long long)row.trials_saved, pct,
+                row.root_cause_identical ? "yes" : "NO");
+    const bool spend_ok = row.require_strict
+                              ? row.executions_budgeted < row.executions_fixed
+                              : row.executions_budgeted <= row.executions_fixed;
+    if (!row.root_cause_identical || !spend_ok) ++failures;
+    exec_fixed += row.executions_fixed;
+    exec_budgeted += row.executions_budgeted;
+  }
+
+  const double aggregate_pct =
+      exec_fixed == 0 ? 0.0 : 100.0 * exec_budgeted / exec_fixed;
+  profile.Metric("budget_exec_fixed", static_cast<double>(exec_fixed));
+  profile.Metric("budget_exec_budgeted", static_cast<double>(exec_budgeted));
+  profile.Metric("budget_spend_pct", aggregate_pct);
+  std::printf("%-22s | %12llu %12llu %8s %6.1f%% |\n", "aggregate",
+              (unsigned long long)exec_fixed,
+              (unsigned long long)exec_budgeted, "", aggregate_pct);
+
+  if (failures == 0) {
+    std::printf("self-check: identical root causes everywhere, fewer "
+                "executions on every flaky target\n");
+  } else {
+    std::printf("SELF-CHECK FAILED: %d budgeting row(s) lost the root cause "
+                "or overspent\n", failures);
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main() {
@@ -256,7 +394,8 @@ int main() {
       }
     }
   }
-  const int failures = RunStaticAnalysisAblation(profile);
+  int failures = RunStaticAnalysisAblation(profile);
+  failures += RunBudgetingAblation(profile);
   profile.Write();
   return failures;
 }

@@ -113,8 +113,9 @@ int main() {
                         .WithProgram(&program, options)
                         .WithEngine(EnginePreset::kAid)
                         .WithTrials(3)
-                        .WithStaticAnalysis()  // lint + dependence pruning
-                        .WithTelemetry()       // metrics + pipeline trace
+                        .WithStaticAnalysis()    // lint + dependence pruning
+                        .WithAdaptiveBudget()    // SPRT trial allocation
+                        .WithTelemetry()         // metrics + pipeline trace
                         .WithObserver(&progress)
                         .Build();
   if (!session_or.ok()) {
@@ -145,6 +146,13 @@ int main() {
                 (unsigned long long)analysis.edges_pruned,
                 (unsigned long long)analysis.edges_before,
                 (unsigned long long)analysis.lint_warnings);
+  }
+  if (report.discovery.budgeted_trials_allocated > 0) {
+    std::printf("adaptive budgeting: %llu trials run, %lld saved vs the "
+                "fixed count, %llu early stops\n",
+                (unsigned long long)report.discovery.budgeted_trials_allocated,
+                (long long)report.discovery.budgeted_trials_saved,
+                (unsigned long long)report.discovery.budget_early_stops);
   }
   std::printf("\nAID finished in %d intervention rounds (%llu re-executions)\n",
               report.discovery.rounds,

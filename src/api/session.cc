@@ -44,6 +44,11 @@ Result<SessionReport> Session::RunInternal(const EngineOptions& engine_options,
 
   EngineOptions engine = engine_options;
   if (engine.observer == nullptr) engine.observer = observer_;
+  if (engine.budget.enabled && engine.budget.advice.sd_scores.empty()) {
+    // Backends that ran statistical debugging seed the budget priors with
+    // their suspiciousness ranking; explicit advice always wins.
+    engine.budget.advice.sd_scores = target_->sd_suspiciousness();
+  }
   {
     CausalPathDiscovery discovery(dag, target_->intervention_target(),
                                   engine);
@@ -150,6 +155,11 @@ SessionBuilder& SessionBuilder::WithTrials(int trials_per_intervention) {
   return *this;
 }
 
+SessionBuilder& SessionBuilder::WithAdaptiveBudget(BudgetOptions options) {
+  budget_ = std::move(options);
+  return *this;
+}
+
 SessionBuilder& SessionBuilder::WithSeed(uint64_t seed) {
   seed_ = seed;
   return *this;
@@ -227,6 +237,22 @@ Result<Session> SessionBuilder::Build() {
   if (trials_.has_value()) {
     options_.engine.trials_per_intervention = *trials_;
     options_.tagt_baseline.trials_per_intervention = *trials_;
+  }
+  {
+    const Status valid = ValidateTrialsPerIntervention(
+        options_.engine.trials_per_intervention);
+    if (!valid.ok()) {
+      return Status(valid.code(), "SessionBuilder: " + valid.message());
+    }
+  }
+  if (budget_.has_value()) {
+    const Status valid = ValidateBudgetOptions(*budget_);
+    if (!valid.ok()) {
+      return Status(valid.code(), "SessionBuilder: " + valid.message());
+    }
+    // The main engine only: the TAGT baseline stays fixed-trial so its
+    // execution counts remain a meaningful comparison point.
+    options_.engine.budget = *budget_;
   }
   if (seed_.has_value()) options_.engine.seed = *seed_;
   if (batched_.has_value()) options_.engine.batched_dispatch = *batched_;

@@ -160,8 +160,30 @@ class SessionBuilder {
   SessionBuilder& WithEngine(EnginePreset preset);
   SessionBuilder& WithEngineOptions(const EngineOptions& options);
   /// Executions per intervention round; applies to the main engine and the
-  /// TAGT baseline (overrides whatever the engine options carry).
+  /// TAGT baseline (overrides whatever the engine options carry). Values
+  /// outside [1, kMaxTrialsPerIntervention] fail Build() with
+  /// InvalidArgument.
   SessionBuilder& WithTrials(int trials_per_intervention);
+  /// Adaptive intervention budgeting (src/budget/): replace the fixed
+  /// trials-per-round count with a sequential probability ratio test over
+  /// a per-candidate Bayesian posterior -- decisive candidates get one
+  /// trial, noisy ones more (never more than the fixed count unless
+  /// options.max_trials_per_round raises the cap), and rounds stop at the
+  /// first failing trial. An optional global execution budget
+  /// (options.max_executions) degrades gracefully into a best-effort
+  /// report with per-candidate confidence. When the backend runs
+  /// statistical debugging (e.g. "vm"), its suspiciousness scores seed the
+  /// priors automatically unless options.advice already carries scores.
+  /// Applies to the main engine only -- the TAGT baseline stays
+  /// fixed-trial so its execution counts remain comparable. Budgeting off
+  /// (the default) leaves reports bit-identical to previous releases.
+  /// Invalid knobs fail Build() with InvalidArgument.
+  SessionBuilder& WithAdaptiveBudget(BudgetOptions options);
+  SessionBuilder& WithAdaptiveBudget() {
+    BudgetOptions options;
+    options.enabled = true;
+    return WithAdaptiveBudget(options);
+  }
   /// Seed for random ordering / tie-breaking of the main engine.
   SessionBuilder& WithSeed(uint64_t seed);
   /// Dispatch linear-scan rounds through RunInterventionsBatch.
@@ -270,6 +292,7 @@ class SessionBuilder {
   SessionOptions options_;
   Observer* observer_ = nullptr;
   std::optional<int> trials_;
+  std::optional<BudgetOptions> budget_;  ///< set iff WithAdaptiveBudget
   std::optional<uint64_t> seed_;
   std::optional<bool> batched_;
   std::optional<int> parallelism_;

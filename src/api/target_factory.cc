@@ -78,6 +78,10 @@ class VmSessionTarget : public SessionTarget {
         StatisticalDebugger::Analyze(target->vm_target_->extractor().catalog(),
                                      target->vm_target_->extractor().logs()));
     target->sd_count_ = static_cast<int>(sd.FullyDiscriminative().size());
+    for (const RankedPredicate& ranked : sd.Ranked()) {
+      target->sd_scores_.push_back(
+          SuspiciousnessScore{ranked.id, ranked.stats.f1()});
+    }
     if (isolation == Isolation::kSubprocess || !fleet.empty()) {
       SubjectSpec spec;
       if (!case_key.empty()) {
@@ -139,6 +143,9 @@ class VmSessionTarget : public SessionTarget {
     return &program_->object_names();
   }
   int sd_predicate_count() const override { return sd_count_; }
+  std::vector<SuspiciousnessScore> sd_suspiciousness() const override {
+    return sd_scores_;
+  }
   AnalysisSummary analysis_summary() const override {
     return vm_target_->analysis_summary();
   }
@@ -170,6 +177,8 @@ class VmSessionTarget : public SessionTarget {
   /// Declared last: it borrows the targets above, so it must die first.
   std::unique_ptr<ParallelTarget> parallel_;
   int sd_count_ = 0;
+  /// SD suspiciousness ranking (F1 scores) for adaptive-budget priors.
+  std::vector<SuspiciousnessScore> sd_scores_;
 };
 
 /// A ground-truth model target (deterministic or flaky). Borrows the model.

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "analysis/summary.h"
+#include "budget/advice.h"
 #include "causal/acdag.h"
 #include "common/status.h"
 #include "core/target.h"
@@ -171,6 +172,13 @@ class SessionTarget {
   /// #fully-discriminative predicates statistical debugging surfaced, or -1
   /// when the backend has no SD stage (ground-truth models).
   virtual int sd_predicate_count() const { return -1; }
+
+  /// Statistical-debugging suspiciousness scores (F1 over the observed
+  /// runs) for seeding adaptive-budget priors (src/budget/advice.h). Empty
+  /// when the backend has no SD stage.
+  virtual std::vector<SuspiciousnessScore> sd_suspiciousness() const {
+    return {};
+  }
 
   /// What the static analysis pass did for this target (ran == false when
   /// analysis was off or the backend has no analysis stage). Pruning

@@ -1,0 +1,42 @@
+#include "budget/advice.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace aid {
+namespace {
+
+/// Priors never start certain: a 0 or 1 prior would make the posterior
+/// immune to evidence, which advice must not be able to do.
+double ClampPrior(double p) { return std::clamp(p, 0.01, 0.99); }
+
+}  // namespace
+
+std::vector<double> SeedPriors(const std::vector<PredicateId>& candidates,
+                               double base_prior, const AdvicePriors& advice) {
+  std::unordered_map<PredicateId, double> sd;
+  for (const SuspiciousnessScore& s : advice.sd_scores) {
+    sd[s.id] = std::clamp(s.score, 0.0, 1.0);
+  }
+  std::unordered_set<PredicateId> suspects(advice.suspects.begin(),
+                                           advice.suspects.end());
+
+  std::vector<double> priors;
+  priors.reserve(candidates.size());
+  for (PredicateId id : candidates) {
+    double prior = base_prior;
+    auto it = sd.find(id);
+    if (it != sd.end()) {
+      prior = (1.0 - advice.sd_weight) * base_prior +
+              advice.sd_weight * it->second;
+    }
+    if (suspects.count(id)) {
+      prior = std::max(prior, advice.suspect_prior);
+    }
+    priors.push_back(ClampPrior(prior));
+  }
+  return priors;
+}
+
+}  // namespace aid

@@ -1,0 +1,52 @@
+// AdvicePriors: side-information that seeds the budgeting posterior.
+//
+// The belief state (budget/belief.h) starts every candidate at a flat
+// causal prior; advice bends that start toward what is already known
+// before the first intervention: statistical-debugging suspiciousness
+// (the classic SD ranking a developer would sift by hand) and predicates
+// the user explicitly suspects. Advice only moves PRIORS -- it biases
+// where trials are spent, never what a verdict means, so bad advice
+// costs executions, not soundness (the active-learning-with-advice
+// framing of PAPERS.md).
+
+#ifndef AID_BUDGET_ADVICE_H_
+#define AID_BUDGET_ADVICE_H_
+
+#include <vector>
+
+#include "predicates/predicate.h"
+
+namespace aid {
+
+/// One predicate's suspiciousness in [0, 1] (statistical debugging feeds
+/// the F1 score of its ranked output here).
+struct SuspiciousnessScore {
+  PredicateId id = kInvalidPredicate;
+  double score = 0.0;
+};
+
+/// Prior side-information for the adaptive budgeter.
+struct AdvicePriors {
+  /// Predicates the user explicitly suspects; their prior is raised to at
+  /// least `suspect_prior`.
+  std::vector<PredicateId> suspects;
+  double suspect_prior = 0.9;
+  /// Statistical-debugging suspiciousness scores. Filled automatically by
+  /// aid::Session from the backend's SD stage when left empty; backends
+  /// without SD (ground-truth models) contribute nothing.
+  std::vector<SuspiciousnessScore> sd_scores;
+  /// Blend weight of the SD score against the flat base prior: the seeded
+  /// prior is (1 - sd_weight) * base + sd_weight * score. 0 ignores SD.
+  double sd_weight = 0.5;
+};
+
+/// Seeds one prior per candidate (aligned with `candidates`): `base_prior`
+/// blended with the candidate's SD score per `advice.sd_weight`, then
+/// raised to `advice.suspect_prior` for user-named suspects. Every result
+/// is clamped inside (0, 1) so no candidate starts certain.
+std::vector<double> SeedPriors(const std::vector<PredicateId>& candidates,
+                               double base_prior, const AdvicePriors& advice);
+
+}  // namespace aid
+
+#endif  // AID_BUDGET_ADVICE_H_

@@ -1,0 +1,110 @@
+#include "budget/belief.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "budget/advice.h"
+
+namespace aid {
+namespace {
+
+/// Working posteriors stay strictly inside (0, 1) until a certified
+/// verdict pins them; evidence can then never saturate a belief into
+/// un-updatable certainty.
+constexpr double kPosteriorFloor = 0.001;
+constexpr double kPosteriorCeil = 0.999;
+
+}  // namespace
+
+BeliefState::BeliefState(const AcDag* dag, const BudgetOptions& options)
+    : dag_(dag),
+      options_(options),
+      flaky_alpha_(options.flakiness_prior_alpha),
+      flaky_beta_(options.flakiness_prior_beta) {}
+
+void BeliefState::SeedCandidates(const std::vector<PredicateId>& candidates) {
+  posterior_.clear();
+  const std::vector<double> priors =
+      SeedPriors(candidates, options_.causal_prior, options_.advice);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    posterior_[candidates[i]] = priors[i];
+  }
+}
+
+double BeliefState::posterior(PredicateId id) const {
+  auto it = posterior_.find(id);
+  return it == posterior_.end() ? 0.0 : it->second;
+}
+
+double BeliefState::GroupCausalProbability(
+    const std::vector<PredicateId>& group) const {
+  double none_causal = 1.0;
+  for (PredicateId id : group) {
+    none_causal *= 1.0 - posterior(id);
+  }
+  return 1.0 - none_causal;
+}
+
+double BeliefState::flakiness() const {
+  const double mean = flaky_alpha_ / (flaky_alpha_ + flaky_beta_);
+  return std::clamp(mean, 0.01, 0.99);
+}
+
+void BeliefState::ObservePersistingRound(int passes_before_failure) {
+  flaky_alpha_ += 1.0;  // the failing trial manifested
+  if (passes_before_failure > 0) {
+    flaky_beta_ += static_cast<double>(passes_before_failure);
+  }
+}
+
+void BeliefState::ObserveStoppedRound(const std::vector<PredicateId>& group,
+                                      int passes) {
+  if (passes <= 0) return;
+  const double p_group = GroupCausalProbability(group);
+  if (p_group <= 0.0 || p_group >= 1.0) return;
+  const double lucky = std::pow(1.0 - flakiness(), passes);
+  const double p_after = p_group / (p_group + (1.0 - p_group) * lucky);
+  const double scale = p_after / p_group;
+  for (PredicateId id : group) {
+    auto it = posterior_.find(id);
+    if (it == posterior_.end()) continue;
+    if (it->second <= 0.0 || it->second >= 1.0) continue;  // already pinned
+    it->second = std::clamp(it->second * scale, kPosteriorFloor,
+                            kPosteriorCeil);
+  }
+}
+
+void BeliefState::MarkCausal(PredicateId id) {
+  posterior_[id] = 1.0;
+  if (options_.topology_discount >= 1.0) return;
+  // Definition 1: causal predicates form a reachability chain, so any
+  // candidate incomparable with a certified causal one is unlikely causal.
+  for (auto& [other, p] : posterior_) {
+    if (other == id || p <= 0.0 || p >= 1.0) continue;
+    if (!dag_->Reaches(id, other) && !dag_->Reaches(other, id)) {
+      p = std::max(kPosteriorFloor, p * options_.topology_discount);
+    }
+  }
+}
+
+void BeliefState::MarkSpurious(PredicateId id) { posterior_[id] = 0.0; }
+
+std::vector<PredicateConfidence> BeliefState::Snapshot() const {
+  std::vector<PredicateConfidence> out;
+  out.reserve(posterior_.size());
+  for (const auto& [id, p] : posterior_) {
+    out.push_back(PredicateConfidence{id, p});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PredicateConfidence& a, const PredicateConfidence& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+double BeliefState::BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+}  // namespace aid

@@ -1,0 +1,90 @@
+// BeliefState: the budgeter's per-candidate Bayesian posterior of "causal
+// vs spurious", plus its running estimate of the target's flakiness.
+//
+// The evidence model follows the engine's decision rule (core/engine.h):
+// intervening on a group that contains a causal predicate provably stops
+// the failure, so
+//
+//   P(trial fails | group causal)   = 0    -- one failure is DECISIVE
+//   P(trial passes | group spurious) = 1 - m
+//
+// where m is the manifestation (flakiness) rate: the probability one trial
+// of a persisting failure actually fires. A round of k passing trials
+// therefore multiplies the odds of "group causal" by 1 / (1-m)^k, and m
+// itself is learned as a Beta posterior from persisting rounds only (a
+// failing trial manifested; each pass before it did not; an all-pass round
+// is ambiguous between "causal" and "spurious but lucky" and teaches
+// nothing about m).
+//
+// Certified verdicts (the engine's Decide) pin posteriors to 0/1 and
+// propagate over the AC-DAG: Definition 1's chain assumption totally
+// orders the causal predicates by reachability, so certifying P causal
+// discounts every candidate incomparable with P. Propagation moves
+// spending priorities only -- verdicts always come from interventions.
+
+#ifndef AID_BUDGET_BELIEF_H_
+#define AID_BUDGET_BELIEF_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "budget/options.h"
+#include "causal/acdag.h"
+#include "predicates/predicate.h"
+
+namespace aid {
+
+class BeliefState {
+ public:
+  /// `dag` is borrowed and must outlive the belief state.
+  BeliefState(const AcDag* dag, const BudgetOptions& options);
+
+  /// Seeds one posterior per candidate from the flat causal prior and the
+  /// configured advice (budget/advice.h). Resets any previous state.
+  void SeedCandidates(const std::vector<PredicateId>& candidates);
+
+  /// Posterior that `id` is causal; 0 for predicates never seeded.
+  double posterior(PredicateId id) const;
+
+  /// P(the group contains >= 1 causal predicate) = 1 - prod(1 - p_i),
+  /// assuming independence across members.
+  double GroupCausalProbability(const std::vector<PredicateId>& group) const;
+
+  /// Posterior mean of the manifestation rate m, clamped inside (0, 1) so
+  /// log-likelihoods stay finite.
+  double flakiness() const;
+
+  /// A round whose failure persisted: `passes_before_failure` trials
+  /// passed, then one failed. Updates only the flakiness posterior -- the
+  /// group verdict itself arrives through MarkSpurious.
+  void ObservePersistingRound(int passes_before_failure);
+
+  /// A round of `passes` all-passing trials on `group`: scales the member
+  /// posteriors up by the Bayes factor 1 / (p_G + (1 - p_G)(1-m)^passes).
+  void ObserveStoppedRound(const std::vector<PredicateId>& group, int passes);
+
+  /// Certified verdicts (the engine's Decide). MarkCausal pins the
+  /// posterior to 1 and discounts every undecided candidate topologically
+  /// incomparable with `id` by options.topology_discount.
+  void MarkCausal(PredicateId id);
+  void MarkSpurious(PredicateId id);
+
+  /// Every seeded candidate's posterior, ascending by id -- the
+  /// DiscoveryReport::confidence payload.
+  std::vector<PredicateConfidence> Snapshot() const;
+
+  /// Entropy of a Bernoulli(p) verdict in bits; 0 at p in {0, 1}.
+  static double BinaryEntropy(double p);
+
+ private:
+  const AcDag* dag_;
+  BudgetOptions options_;
+  std::unordered_map<PredicateId, double> posterior_;
+  /// Beta posterior of the manifestation rate.
+  double flaky_alpha_;
+  double flaky_beta_;
+};
+
+}  // namespace aid
+
+#endif  // AID_BUDGET_BELIEF_H_

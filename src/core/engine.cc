@@ -1,20 +1,47 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <map>
+#include <numeric>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "budget/belief.h"
+#include "budget/planner.h"
 #include "common/logging.h"
 #include "telemetry/telemetry.h"
 
 namespace aid {
+
+Status ValidateTrialsPerIntervention(int trials) {
+  if (trials < 1) {
+    return Status::InvalidArgument(
+        "trials_per_intervention must be >= 1 (each round needs at least "
+        "one execution), got " + std::to_string(trials));
+  }
+  if (trials > kMaxTrialsPerIntervention) {
+    return Status::InvalidArgument(
+        "trials_per_intervention must be <= " +
+        std::to_string(kMaxTrialsPerIntervention) +
+        " (each trial is a full application execution), got " +
+        std::to_string(trials));
+  }
+  return Status::OK();
+}
 
 CausalPathDiscovery::CausalPathDiscovery(const AcDag* dag,
                                          InterventionTarget* target,
                                          EngineOptions options)
     : dag_(dag), target_(target), options_(options), rng_(options.seed) {}
 
+CausalPathDiscovery::~CausalPathDiscovery() = default;
+
 Result<DiscoveryReport> CausalPathDiscovery::Run() {
+  AID_RETURN_IF_ERROR(
+      ValidateTrialsPerIntervention(options_.trials_per_intervention));
+  if (options_.budget.enabled) {
+    AID_RETURN_IF_ERROR(ValidateBudgetOptions(options_.budget));
+  }
   report_ = DiscoveryReport{};
   causal_.clear();
   spurious_.clear();
@@ -29,6 +56,17 @@ Result<DiscoveryReport> CausalPathDiscovery::Run() {
   candidates_.clear();
   for (PredicateId id : dag_->nodes()) {
     if (id != dag_->failure()) candidates_.push_back(id);
+  }
+
+  belief_.reset();
+  planner_.reset();
+  budget_exhausted_ = false;
+  run_start_executions_ = executions_before;
+  if (options_.budget.enabled) {
+    belief_ = std::make_unique<BeliefState>(dag_, options_.budget);
+    belief_->SeedCandidates(candidates_);
+    planner_ =
+        std::make_unique<BudgetPlanner>(options_.budget, belief_.get());
   }
 
   if (options_.branch_pruning && options_.topological_order) {
@@ -101,6 +139,8 @@ Result<DiscoveryReport> CausalPathDiscovery::Run() {
        ++i) {
     report_.replica_trials[i] -= dispatch_before.replica_trials[i];
   }
+  report_.budget_exhausted = budget_exhausted_;
+  if (belief_ != nullptr) report_.confidence = belief_->Snapshot();
 
   // Fold the report's own deltas into the metrics registry, so the exported
   // snapshot matches the DiscoveryReport EXACTLY (rounds were counted live
@@ -122,6 +162,19 @@ Result<DiscoveryReport> CausalPathDiscovery::Run() {
     reg.GetCounter("aid_cancelled_chunks_total")
         ->Add(dispatch_after.cancelled_chunks -
               dispatch_before.cancelled_chunks);
+    if (options_.budget.enabled) {
+      reg.GetCounter("aid_budget_trials_allocated_total")
+          ->Add(report_.budgeted_trials_allocated);
+      if (report_.budgeted_trials_saved > 0) {
+        // Counters are monotone; a negative saving (cap raised above the
+        // fixed trial count) simply adds nothing.
+        reg.GetCounter("aid_budget_trials_saved_total")
+            ->Add(static_cast<uint64_t>(report_.budgeted_trials_saved));
+      }
+      reg.GetCounter("aid_budget_early_stops_total")
+          ->Add(report_.budget_early_stops);
+      reg.GetGauge("aid_budget_exhausted")->Set(budget_exhausted_ ? 1 : 0);
+    }
   }
   return report_;
 }
@@ -133,6 +186,15 @@ void CausalPathDiscovery::Decide(size_t item, ItemDecision decision) {
   std::vector<PredicateId>& sink = causal ? causal_ : spurious_;
   for (PredicateId id : items_[item].preds) {
     sink.push_back(id);
+    if (belief_ != nullptr) {
+      // Certified verdicts pin the budgeting posterior (and, for causal
+      // ones, propagate a discount over incomparable candidates).
+      if (causal) {
+        belief_->MarkCausal(id);
+      } else {
+        belief_->MarkSpurious(id);
+      }
+    }
     if (options_.observer) {
       options_.observer->OnPredicateDecided(id, causal);
     }
@@ -182,11 +244,21 @@ Status CausalPathDiscovery::Giwp(std::vector<size_t> pool) {
                               }),
                pool.end());
     if (pool.empty()) return Status::OK();
+    if (BudgetSpent()) {
+      // Best effort: leave the remaining items undecided; the report
+      // carries their posteriors as confidence.
+      budget_exhausted_ = true;
+      return Status::OK();
+    }
 
     const bool batched =
         options_.batched_dispatch || options_.parallelism > 1;
     if (options_.linear_scan && batched) {
       AID_RETURN_IF_ERROR(GiwpLinearBatched(pool));
+      // An exhausted batch leaves its unfunded spans undecided, and the
+      // leftover budget cannot cover any of them (funding is greedy over
+      // every span the remainder could pay for) -- re-planning would spin.
+      if (budget_exhausted_) return Status::OK();
       continue;  // re-filter; a second pass only runs if items stay undecided
     }
 
@@ -226,6 +298,55 @@ Status CausalPathDiscovery::GiwpLinearBatched(const std::vector<size_t>& pool) {
   spans.reserve(pool.size());
   for (size_t i : pool) spans.push_back(items_[i].preds);
 
+  // Budgeted batches: one "budget_plan" span covers the whole round's
+  // allocation. Each span gets its own SPRT requirement; when a global
+  // execution budget cannot fund the full round, the highest-scoring
+  // (information gain per cost) spans are funded first and the rest are
+  // left undecided. Within a batch there is no mid-span early stop -- the
+  // substrate runs each span's whole allocation; that is the same batching
+  // trade-off speculative executions already embody.
+  std::vector<int> alloc(pool.size(), options_.trials_per_intervention);
+  std::vector<bool> funded(pool.size(), true);
+  if (options_.budget.enabled) {
+    ScopedSpan plan_span(
+        options_.telemetry != nullptr ? options_.telemetry->tracer()
+                                      : nullptr,
+        "budget_plan", phase_span_);
+    const int cap = options_.budget.max_trials_per_round > 0
+                        ? options_.budget.max_trials_per_round
+                        : options_.trials_per_intervention;
+    for (size_t k = 0; k < pool.size(); ++k) {
+      alloc[k] = planner_->PlanTrials(spans[k], cap);
+    }
+    if (options_.budget.max_executions > 0) {
+      const uint64_t spent = target_->executions() - run_start_executions_;
+      const uint64_t remaining =
+          spent >= options_.budget.max_executions
+              ? 0
+              : options_.budget.max_executions - spent;
+      uint64_t total = 0;
+      for (int a : alloc) total += static_cast<uint64_t>(a);
+      if (total > remaining) {
+        std::vector<size_t> order(pool.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                           return planner_->Score(spans[a], alloc[a]) >
+                                  planner_->Score(spans[b], alloc[b]);
+                         });
+        funded.assign(pool.size(), false);
+        uint64_t left = remaining;
+        for (size_t k : order) {
+          if (static_cast<uint64_t>(alloc[k]) <= left) {
+            funded[k] = true;
+            left -= static_cast<uint64_t>(alloc[k]);
+          }
+        }
+        budget_exhausted_ = true;
+      }
+    }
+  }
+
   // One "round.batch" span covers the whole batched dispatch (the decisions
   // it feeds are consumed below, outside the span); like Intervene, it is
   // the active parent for substrate-side chunk/trial spans.
@@ -236,22 +357,73 @@ Status CausalPathDiscovery::GiwpLinearBatched(const std::vector<size_t>& pool) {
                             phase_span_);
     options_.telemetry->SetActiveParent(batch_span.id());
   }
-  Result<std::vector<TargetRunResult>> batch =
-      target_->RunInterventionsBatch(spans, options_.trials_per_intervention);
+  std::vector<TargetRunResult> results(pool.size());
+  const uint64_t micros_before = target_->health().trial_micros;
+  uint64_t budgeted_trials = 0;
+  Status batch_status = Status::OK();
+  if (!options_.budget.enabled) {
+    Result<std::vector<TargetRunResult>> batch = target_->RunInterventionsBatch(
+        spans, options_.trials_per_intervention);
+    if (!batch.ok()) {
+      batch_status = batch.status();
+    } else if (batch->size() != pool.size()) {
+      // Backends are third-party code; a contract violation is their
+      // runtime error, not our programming error.
+      batch_status = Status::Internal(
+          "RunInterventionsBatch returned " + std::to_string(batch->size()) +
+          " results for " + std::to_string(spans.size()) + " spans");
+    } else {
+      results = std::move(*batch);
+    }
+  } else {
+    // Submit one sub-batch per distinct allocation (the batch interface
+    // takes a single trial count), then map results back to scan order.
+    std::map<int, std::vector<size_t>> buckets;
+    for (size_t k = 0; k < pool.size(); ++k) {
+      if (funded[k]) buckets[alloc[k]].push_back(k);
+    }
+    for (const auto& [trials, indexes] : buckets) {
+      InterventionSpans sub;
+      sub.reserve(indexes.size());
+      for (size_t k : indexes) sub.push_back(spans[k]);
+      Result<std::vector<TargetRunResult>> batch =
+          target_->RunInterventionsBatch(sub, trials);
+      if (!batch.ok()) {
+        batch_status = batch.status();
+        break;
+      }
+      if (batch->size() != indexes.size()) {
+        batch_status = Status::Internal(
+            "RunInterventionsBatch returned " +
+            std::to_string(batch->size()) + " results for " +
+            std::to_string(sub.size()) + " spans");
+        break;
+      }
+      for (size_t j = 0; j < indexes.size(); ++j) {
+        budgeted_trials += (*batch)[j].logs.size();
+        results[indexes[j]] = std::move((*batch)[j]);
+      }
+    }
+  }
   if (options_.telemetry != nullptr) options_.telemetry->SetActiveParent(0);
   batch_span.End();
-  if (!batch.ok()) return batch.status();
-  std::vector<TargetRunResult>& results = *batch;
-  if (results.size() != pool.size()) {
-    // Backends are third-party code; a contract violation is their runtime
-    // error, not our programming error.
-    return Status::Internal("RunInterventionsBatch returned " +
-                            std::to_string(results.size()) + " results for " +
-                            std::to_string(spans.size()) + " spans");
+  AID_RETURN_IF_ERROR(batch_status);
+
+  if (options_.budget.enabled) {
+    planner_->ObserveRoundCost(
+        target_->health().trial_micros - micros_before,
+        static_cast<int>(budgeted_trials));
+    report_.budgeted_trials_allocated += budgeted_trials;
+    for (size_t k = 0; k < pool.size(); ++k) {
+      if (!funded[k]) continue;
+      report_.budgeted_trials_saved +=
+          static_cast<int64_t>(options_.trials_per_intervention) - alloc[k];
+    }
   }
 
   for (size_t k = 0; k < pool.size(); ++k) {
     const size_t item = pool[k];
+    if (!funded[k]) continue;  // unfunded span: the item stays undecided
     if (decisions_[item] != ItemDecision::kUndecided) {
       // Pruning answered this span before its result was consumed: its
       // executions were speculative (see DiscoveryReport).
@@ -263,6 +435,19 @@ Status CausalPathDiscovery::GiwpLinearBatched(const std::vector<size_t>& pool) {
       options_.observer->OnRoundStarted(report_.rounds + 1, spans[k]);
     }
     RecordRound(spans[k], result, "giwp");
+    if (belief_ != nullptr) {
+      if (result.AnyFailed()) {
+        int passes = 0;
+        for (const PredicateLog& log : result.logs) {
+          if (log.failed) break;
+          ++passes;
+        }
+        belief_->ObservePersistingRound(passes);
+      } else {
+        belief_->ObserveStoppedRound(spans[k],
+                                     static_cast<int>(result.logs.size()));
+      }
+    }
     Decide(item, result.AnyFailed() ? ItemDecision::kSpurious
                                     : ItemDecision::kCausal);
     if (options_.predicate_pruning) {
@@ -277,6 +462,10 @@ Status CausalPathDiscovery::BranchPrune() {
   // chain by resolving one junction at a time.
   std::vector<PredicateId> remaining = candidates_;
   while (true) {
+    if (BudgetSpent()) {
+      budget_exhausted_ = true;
+      break;
+    }
     AcDag sub = dag_->Restrict(remaining);
     std::vector<std::vector<PredicateId>> levels = sub.TopoLevels();
     std::vector<PredicateId> junction_members;
@@ -319,6 +508,10 @@ Status CausalPathDiscovery::BranchPrune() {
     std::vector<size_t> live(items_.size());
     for (size_t i = 0; i < live.size(); ++i) live[i] = i;
     while (live.size() > 1) {
+      if (BudgetSpent()) {
+        budget_exhausted_ = true;
+        break;
+      }
       const size_t half = (live.size() + 1) / 2;
       std::vector<size_t> tested(live.begin(), live.begin() + half);
       std::vector<size_t> rest(live.begin() + half, live.end());
@@ -353,6 +546,12 @@ Status CausalPathDiscovery::BranchPrune() {
     for (PredicateId id : remaining) {
       if (!removed.count(id)) next.push_back(id);
     }
+    if (budget_exhausted_) {
+      // The budget ran out mid-junction: keep what the partial search
+      // decided and stop pruning (GIWP will bail the same way).
+      remaining = std::move(next);
+      break;
+    }
     AID_CHECK(next.size() < remaining.size());  // progress is guaranteed
     remaining = std::move(next);
   }
@@ -385,13 +584,80 @@ Result<TargetRunResult> CausalPathDiscovery::Intervene(
     options_.telemetry->SetActiveParent(round_span.id());
   }
   Result<TargetRunResult> result =
-      target_->RunIntervened(preds, options_.trials_per_intervention);
+      options_.budget.enabled
+          ? RunBudgetedRound(preds, round_span.id())
+          : target_->RunIntervened(preds, options_.trials_per_intervention);
   if (options_.telemetry != nullptr) options_.telemetry->SetActiveParent(0);
   round_span.End();
   if (!result.ok()) return result.status();
 
   RecordRound(preds, *result, phase);
   return result;
+}
+
+Result<TargetRunResult> CausalPathDiscovery::RunBudgetedRound(
+    const std::vector<PredicateId>& preds, uint64_t parent_span) {
+  Tracer* tracer =
+      options_.telemetry != nullptr ? options_.telemetry->tracer() : nullptr;
+  int planned;
+  {
+    ScopedSpan plan_span(tracer, "budget_plan", parent_span);
+    const int cap = options_.budget.max_trials_per_round > 0
+                        ? options_.budget.max_trials_per_round
+                        : options_.trials_per_intervention;
+    planned = planner_->PlanTrials(preds, cap);
+  }
+  planned = ClampToRemainingBudget(planned);
+
+  // Trials run one at a time so a failing trial -- decisive proof the
+  // group is spurious -- ends the round immediately. Replicable targets
+  // make this equivalent, trial for trial, to one RunIntervened(preds, k)
+  // call truncated at the failure.
+  const uint64_t micros_before = target_->health().trial_micros;
+  TargetRunResult round;
+  bool failed = false;
+  int used = 0;
+  while (used < planned && !failed) {
+    AID_ASSIGN_OR_RETURN(TargetRunResult one,
+                         target_->RunIntervened(preds, 1));
+    used += one.logs.empty() ? 1 : static_cast<int>(one.logs.size());
+    for (PredicateLog& log : one.logs) {
+      failed = failed || log.failed;
+      round.logs.push_back(std::move(log));
+    }
+  }
+  planner_->ObserveRoundCost(target_->health().trial_micros - micros_before,
+                             used);
+
+  report_.budgeted_trials_allocated += static_cast<uint64_t>(used);
+  report_.budgeted_trials_saved +=
+      static_cast<int64_t>(options_.trials_per_intervention) - used;
+  if (failed) {
+    if (used < planned) ++report_.budget_early_stops;
+    belief_->ObservePersistingRound(used - 1);
+  } else {
+    belief_->ObserveStoppedRound(preds, used);
+  }
+  return round;
+}
+
+int CausalPathDiscovery::ClampToRemainingBudget(int planned) {
+  if (options_.budget.max_executions == 0) return planned;
+  const uint64_t spent = target_->executions() - run_start_executions_;
+  if (spent >= options_.budget.max_executions) return 1;  // callers guard
+  const uint64_t remaining = options_.budget.max_executions - spent;
+  if (static_cast<uint64_t>(planned) <= remaining) return planned;
+  // A truncated allocation still runs (partial evidence beats none); the
+  // loops notice the spent budget before the next round.
+  return static_cast<int>(remaining);
+}
+
+bool CausalPathDiscovery::BudgetSpent() const {
+  if (!options_.budget.enabled || options_.budget.max_executions == 0) {
+    return false;
+  }
+  return target_->executions() - run_start_executions_ >=
+         options_.budget.max_executions;
 }
 
 void CausalPathDiscovery::RecordRound(const std::vector<PredicateId>& preds,

@@ -21,10 +21,12 @@
 #ifndef AID_CORE_ENGINE_H_
 #define AID_CORE_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/summary.h"
+#include "budget/options.h"
 #include "causal/acdag.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -33,7 +35,17 @@
 
 namespace aid {
 
-class Telemetry;  // telemetry/telemetry.h; nullable everywhere below
+class Telemetry;       // telemetry/telemetry.h; nullable everywhere below
+class BeliefState;     // budget/belief.h; live iff budgeting is enabled
+class BudgetPlanner;   // budget/planner.h; live iff budgeting is enabled
+
+/// Upper bound on trials_per_intervention: past this a trial count is a
+/// typo, not robustness (each trial is a full application execution).
+inline constexpr int kMaxTrialsPerIntervention = 100000;
+
+/// InvalidArgument outside [1, kMaxTrialsPerIntervention], naming the
+/// offending value (the trials analog of ValidateParallelism).
+Status ValidateTrialsPerIntervention(int trials);
 
 struct EngineOptions {
   /// Group candidates by AC-DAG topological order (false: random order, as
@@ -80,6 +92,18 @@ struct EngineOptions {
   /// of Run() -- so the metrics snapshot matches the report exactly.
   /// Telemetry never changes a decision: reports stay bit-identical.
   Telemetry* telemetry = nullptr;
+  /// Adaptive intervention budgeting (src/budget/): replace the fixed
+  /// trials_per_intervention with SPRT early stopping over a per-candidate
+  /// causal posterior -- a failing trial ends the round decisively after 1
+  /// execution, all-pass rounds run only as many trials as the flakiness
+  /// estimate demands (never more than trials_per_intervention unless
+  /// budget.max_trials_per_round raises the cap), and an optional global
+  /// execution budget degrades gracefully into a best-effort report with
+  /// per-candidate confidence. Disabled by default; with budgeting off the
+  /// engine's behavior and reports are bit-identical to before the
+  /// subsystem existed. Usually set through
+  /// SessionBuilder::WithAdaptiveBudget.
+  BudgetOptions budget;
 
   static EngineOptions Aid() { return EngineOptions{}; }
   static EngineOptions AidNoPredicatePruning() {
@@ -167,6 +191,25 @@ struct DiscoveryReport {
   /// of SameDiscoveryOutcome -- analysis-on vs analysis-off runs that make
   /// identical decisions still compare equal.
   AnalysisSummary analysis;
+  /// Adaptive budgeting accounting (all zero/empty with budgeting off, so
+  /// unbudgeted reports stay bit-identical to earlier releases; none of it
+  /// is part of SameDiscoveryOutcome). `budgeted_trials_allocated` counts
+  /// trials the budgeter actually ran; `budgeted_trials_saved` is the
+  /// signed difference against the fixed-trial baseline (rounds *
+  /// trials_per_intervention), negative only when max_trials_per_round
+  /// raises the cap above the fixed count; `budget_early_stops` counts
+  /// rounds a decisive failure ended before their allocation was spent.
+  uint64_t budgeted_trials_allocated = 0;
+  int64_t budgeted_trials_saved = 0;
+  uint64_t budget_early_stops = 0;
+  /// True iff BudgetOptions::max_executions ran out with candidates still
+  /// undecided: those predicates appear in neither causal_path nor
+  /// spurious, and `confidence` carries their posteriors instead.
+  bool budget_exhausted = false;
+  /// Per-candidate causal posterior at the end of a budgeted run (1 =
+  /// certified causal, 0 = certified spurious, in between = undecided when
+  /// the budget ran out). Empty with budgeting off.
+  std::vector<PredicateConfidence> confidence;
 
   /// True iff discovery certified at least one causal predicate. The causal
   /// path always ends with the failure predicate F, so a path of size 1 is
@@ -205,6 +248,7 @@ class CausalPathDiscovery {
  public:
   CausalPathDiscovery(const AcDag* dag, InterventionTarget* target,
                       EngineOptions options = {});
+  ~CausalPathDiscovery();  // out-of-line: budget members are fwd-declared
 
   /// Runs Algorithm 3. Returns the discovery report.
   Result<DiscoveryReport> Run();
@@ -227,6 +271,18 @@ class CausalPathDiscovery {
   /// Runs one group intervention; records history and returns the outcome.
   Result<TargetRunResult> Intervene(const std::vector<size_t>& item_indexes,
                                     const char* phase);
+  /// Budgeted round body: plans the SPRT allocation (under a "budget_plan"
+  /// span), then runs trials one at a time, stopping at the first failing
+  /// trial or when the allocation is spent, and feeds the outcome back
+  /// into the belief state and the planner's cost model.
+  Result<TargetRunResult> RunBudgetedRound(
+      const std::vector<PredicateId>& preds, uint64_t parent_span);
+  /// Trials a budgeted round on `preds` may run right now: the SPRT plan,
+  /// clamped by the remaining global execution budget (sets
+  /// budget_exhausted_ when the clamp bites).
+  int ClampToRemainingBudget(int planned);
+  /// True iff budgeting is on and the global execution budget is spent.
+  bool BudgetSpent() const;
   /// Records one round (history, counters, observer callbacks).
   void RecordRound(const std::vector<PredicateId>& preds,
                    const TargetRunResult& result, const char* phase);
@@ -257,6 +313,14 @@ class CausalPathDiscovery {
   /// Open phase span ("branch_prune" / "giwp") round spans parent under;
   /// 0 when telemetry is off or no phase span is open.
   uint64_t phase_span_ = 0;
+  /// Budgeting state (src/budget/); live iff options_.budget.enabled.
+  std::unique_ptr<BeliefState> belief_;
+  std::unique_ptr<BudgetPlanner> planner_;
+  /// target_->executions() at the start of this Run, for the global
+  /// execution budget's spend accounting.
+  uint64_t run_start_executions_ = 0;
+  /// Latched once the global budget runs out with work remaining.
+  bool budget_exhausted_ = false;
 };
 
 }  // namespace aid

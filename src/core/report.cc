@@ -50,6 +50,27 @@ std::string RenderReport(const DiscoveryReport& report, const AcDag& dag,
                      static_cast<unsigned long long>(report.executions));
   }
 
+  if (report.budgeted_trials_allocated > 0 || report.budget_exhausted) {
+    out << StrFormat(
+        "adaptive budgeting: %llu trials run, %lld saved vs fixed-trial, "
+        "%llu early stops\n",
+        static_cast<unsigned long long>(report.budgeted_trials_allocated),
+        static_cast<long long>(report.budgeted_trials_saved),
+        static_cast<unsigned long long>(report.budget_early_stops));
+  }
+  if (report.budget_exhausted) {
+    out << "WARNING: execution budget exhausted -- this is a best-effort "
+           "report; unresolved candidates and posterior confidence:\n";
+    for (const PredicateConfidence& c : report.confidence) {
+      if (c.causal_posterior <= 0.0 || c.causal_posterior >= 1.0) {
+        continue;  // certified verdicts are reported above
+      }
+      out << StrFormat("  - %s: P(causal) = %.2f\n",
+                       Describe(dag, c.id, options).c_str(),
+                       c.causal_posterior);
+    }
+  }
+
   if (report.analysis.ran) {
     out << StrFormat(
         "static analysis: pruned %llu of %llu AC-DAG edges (%llu of %llu "

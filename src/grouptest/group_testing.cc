@@ -22,9 +22,22 @@ bool SetOracle::Test(const std::vector<int>& items) {
 
 namespace {
 
+/// Repeats the oracle `allocator(items)` times (min 1); positive iff any
+/// repetition is. Each repetition counts one test.
+bool TestGroup(const std::vector<int>& items, GroupTestOracle& oracle,
+               const GroupTrialAllocator& allocator, int64_t* tests) {
+  const int repetitions = std::max(1, allocator(items));
+  for (int i = 0; i < repetitions; ++i) {
+    ++*tests;
+    if (oracle.Test(items)) return true;  // one positive is decisive
+  }
+  return false;
+}
+
 /// Recursively isolates the defectives in `items`, which is known positive.
 void Isolate(std::vector<int> items, GroupTestOracle& oracle,
-             std::vector<int>* defectives, int* tests) {
+             const GroupTrialAllocator& allocator, std::vector<int>* defectives,
+             int64_t* tests) {
   if (items.size() == 1) {
     defectives->push_back(items[0]);
     return;
@@ -32,30 +45,34 @@ void Isolate(std::vector<int> items, GroupTestOracle& oracle,
   const size_t half = (items.size() + 1) / 2;
   std::vector<int> left(items.begin(), items.begin() + half);
   std::vector<int> right(items.begin() + half, items.end());
-  ++*tests;
-  if (oracle.Test(left)) {
-    Isolate(std::move(left), oracle, defectives, tests);
+  if (TestGroup(left, oracle, allocator, tests)) {
+    Isolate(std::move(left), oracle, allocator, defectives, tests);
     // The right half may or may not contain further defectives.
-    ++*tests;
-    if (oracle.Test(right)) {
-      Isolate(std::move(right), oracle, defectives, tests);
+    if (TestGroup(right, oracle, allocator, tests)) {
+      Isolate(std::move(right), oracle, allocator, defectives, tests);
     }
   } else {
     // Left negative and the parent was positive: right must be positive.
-    Isolate(std::move(right), oracle, defectives, tests);
+    Isolate(std::move(right), oracle, allocator, defectives, tests);
   }
 }
 
 }  // namespace
 
 GroupTestResult AdaptiveGroupTest(int n, GroupTestOracle& oracle) {
+  return AdaptiveGroupTest(n, oracle,
+                           [](const std::vector<int>&) { return 1; });
+}
+
+GroupTestResult AdaptiveGroupTest(int n, GroupTestOracle& oracle,
+                                  const GroupTrialAllocator& allocator) {
   GroupTestResult result;
   if (n <= 0) return result;
   std::vector<int> all(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
-  ++result.tests;
-  if (oracle.Test(all)) {
-    Isolate(std::move(all), oracle, &result.defectives, &result.tests);
+  if (TestGroup(all, oracle, allocator, &result.tests)) {
+    Isolate(std::move(all), oracle, allocator, &result.defectives,
+            &result.tests);
   }
   std::sort(result.defectives.begin(), result.defectives.end());
   return result;

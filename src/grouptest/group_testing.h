@@ -34,18 +34,27 @@ class SetOracle : public GroupTestOracle {
  public:
   explicit SetOracle(std::vector<int> defectives);
   bool Test(const std::vector<int>& items) override;
-  int tests() const { return tests_; }
+  int64_t tests() const { return tests_; }
 
  private:
   std::vector<bool> is_defective_;
   int max_item_ = -1;
-  int tests_ = 0;
+  int64_t tests_ = 0;
 };
 
 struct GroupTestResult {
   std::vector<int> defectives;  ///< ascending
-  int tests = 0;                ///< oracle invocations
+  int64_t tests = 0;            ///< oracle invocations
 };
+
+/// Per-group repetition policy for noisy oracles: given the group about to
+/// be tested, returns how many times to repeat the oracle call (clamped to
+/// >= 1). The aggregate answer is positive iff ANY repetition is positive --
+/// the decision asymmetry of AID's interventions, where one failing trial is
+/// decisive but passes are only probabilistic. Budget-aware callers (e.g. a
+/// BudgetPlanner-backed allocator) hand out more repetitions for groups
+/// whose verdict is uncertain and fewer for decisive ones.
+using GroupTrialAllocator = std::function<int(const std::vector<int>&)>;
 
 /// Adaptive binary-splitting group testing over items {0, .., n-1}.
 ///
@@ -54,6 +63,13 @@ struct GroupTestResult {
 /// left half is negative the right half is known positive and its
 /// whole-group test is skipped). Worst case ~ D * ceil(log2 N) + D tests.
 GroupTestResult AdaptiveGroupTest(int n, GroupTestOracle& oracle);
+
+/// Same, with a per-group repetition allocator for noisy oracles. Each
+/// repetition counts as one test; the group's answer is positive iff any
+/// repetition was. The single-repetition overload above is equivalent to an
+/// allocator that always returns 1.
+GroupTestResult AdaptiveGroupTest(int n, GroupTestOracle& oracle,
+                                  const GroupTrialAllocator& allocator);
 
 /// Non-adaptive baseline: tests every item individually (n tests). The
 /// preferable strategy when D >= N / log2(N) (paper Section 2).

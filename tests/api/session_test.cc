@@ -237,6 +237,71 @@ TEST(SessionBuilderTest, DeferredKnobsOverrideEngineOptionOrder) {
   EXPECT_FALSE(session->options().engine.topological_order);
 }
 
+TEST(SessionBuilderTest, RejectsNonPositiveTrials) {
+  std::unique_ptr<GroundTruthModel> model = MakeModel(6, 2);
+  for (int trials : {0, -1, -100}) {
+    auto session = SessionBuilder()
+                       .WithModel(model.get())
+                       .WithTrials(trials)
+                       .Build();
+    ASSERT_FALSE(session.ok()) << "trials=" << trials;
+    EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(session.status().message().find(std::to_string(trials)),
+              std::string::npos)
+        << session.status();
+  }
+}
+
+TEST(SessionBuilderTest, RejectsAbsurdTrials) {
+  std::unique_ptr<GroundTruthModel> model = MakeModel(6, 2);
+  auto session = SessionBuilder()
+                     .WithModel(model.get())
+                     .WithTrials(kMaxTrialsPerIntervention + 1)
+                     .Build();
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionBuilderTest, RejectsInvalidTrialsFromEngineOptions) {
+  // The validation guards the effective engine options, not just the
+  // WithTrials knob.
+  std::unique_ptr<GroundTruthModel> model = MakeModel(6, 2);
+  EngineOptions options;
+  options.trials_per_intervention = 0;
+  auto session = SessionBuilder()
+                     .WithModel(model.get())
+                     .WithEngineOptions(options)
+                     .Build();
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionBuilderTest, RejectsInvalidBudgetOptions) {
+  std::unique_ptr<GroundTruthModel> model = MakeModel(6, 2);
+  BudgetOptions budget;
+  budget.enabled = true;
+  budget.error_tolerance = 0.75;  // must be in (0, 0.5)
+  auto session = SessionBuilder()
+                     .WithModel(model.get())
+                     .WithAdaptiveBudget(budget)
+                     .Build();
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionBuilderTest, AdaptiveBudgetLandsOnTheMainEngineOnly) {
+  std::unique_ptr<GroundTruthModel> model = MakeModel(6, 2);
+  auto session = SessionBuilder()
+                     .WithModel(model.get())
+                     .WithAdaptiveBudget()
+                     .WithTagtBaseline()
+                     .Build();
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_TRUE(session->options().engine.budget.enabled);
+  // The baseline stays fixed-trial so execution comparisons stay honest.
+  EXPECT_FALSE(session->options().tagt_baseline.budget.enabled);
+}
+
 // --- observer -------------------------------------------------------------
 
 class RecordingObserver : public Observer {

@@ -1,0 +1,111 @@
+// Tests of budget/advice.h: prior seeding from SD suspiciousness and user
+// suspects, plus BudgetOptions validation.
+
+#include "budget/advice.h"
+
+#include <gtest/gtest.h>
+
+#include "budget/options.h"
+
+namespace aid {
+namespace {
+
+TEST(AdvicePriorsTest, NoAdviceYieldsTheFlatPrior) {
+  // With no SD scores the blend collapses to the base prior regardless of
+  // sd_weight (an absent score contributes the base on both sides).
+  AdvicePriors advice;
+  const std::vector<PredicateId> candidates{1, 2, 3};
+  const std::vector<double> priors = SeedPriors(candidates, 0.5, advice);
+  ASSERT_EQ(priors.size(), candidates.size());
+  for (double p : priors) EXPECT_DOUBLE_EQ(p, 0.5);
+}
+
+TEST(AdvicePriorsTest, SdScoresBlendAgainstTheBase) {
+  AdvicePriors advice;
+  advice.sd_weight = 0.5;
+  advice.sd_scores = {{1, 1.0}, {2, 0.0}};
+  const std::vector<double> priors = SeedPriors({1, 2, 3}, 0.5, advice);
+  EXPECT_DOUBLE_EQ(priors[0], 0.75);  // 0.5*0.5 + 0.5*1.0
+  EXPECT_DOUBLE_EQ(priors[1], 0.25);  // 0.5*0.5 + 0.5*0.0
+  EXPECT_DOUBLE_EQ(priors[2], 0.5);   // unscored: base prior
+}
+
+TEST(AdvicePriorsTest, SdWeightZeroIgnoresScores) {
+  AdvicePriors advice;
+  advice.sd_weight = 0.0;
+  advice.sd_scores = {{1, 1.0}};
+  EXPECT_DOUBLE_EQ(SeedPriors({1}, 0.4, advice)[0], 0.4);
+}
+
+TEST(AdvicePriorsTest, SuspectsRaiseThePriorButNeverLowerIt) {
+  AdvicePriors advice;
+  advice.suspects = {1, 2};
+  advice.suspect_prior = 0.9;
+  advice.sd_weight = 0.5;
+  advice.sd_scores = {{2, 1.0}, {3, 1.0}};
+  // With base 0.9 the blend for id 2 is 0.95 > suspect_prior: kept.
+  const std::vector<double> priors = SeedPriors({1, 2, 3}, 0.9, advice);
+  EXPECT_DOUBLE_EQ(priors[0], 0.9);   // raised from the base to suspect_prior
+  EXPECT_DOUBLE_EQ(priors[1], 0.95);  // blend already above suspect_prior
+  EXPECT_DOUBLE_EQ(priors[2], 0.95);  // not a suspect: blend only
+}
+
+TEST(AdvicePriorsTest, PriorsNeverStartCertain) {
+  AdvicePriors advice;
+  advice.sd_weight = 1.0;
+  advice.sd_scores = {{1, 1.0}, {2, 0.0}};
+  const std::vector<double> priors = SeedPriors({1, 2}, 0.5, advice);
+  EXPECT_LT(priors[0], 1.0);
+  EXPECT_GT(priors[1], 0.0);
+}
+
+TEST(BudgetOptionsTest, DefaultsValidate) {
+  EXPECT_TRUE(ValidateBudgetOptions(BudgetOptions{}).ok());
+}
+
+TEST(BudgetOptionsTest, RejectsOutOfRangeKnobs) {
+  const auto expect_invalid = [](BudgetOptions options) {
+    const Status status = ValidateBudgetOptions(options);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  };
+  BudgetOptions o;
+  o.error_tolerance = 0.0;
+  expect_invalid(o);
+  o = {};
+  o.error_tolerance = 0.5;
+  expect_invalid(o);
+  o = {};
+  o.causal_prior = 1.0;
+  expect_invalid(o);
+  o = {};
+  o.max_trials_per_round = -1;
+  expect_invalid(o);
+  o = {};
+  o.max_trials_per_round = kMaxBudgetTrialsPerRound + 1;
+  expect_invalid(o);
+  o = {};
+  o.flakiness_prior_alpha = 0.0;
+  expect_invalid(o);
+  o = {};
+  o.flakiness_prior_beta = -1.0;
+  expect_invalid(o);
+  o = {};
+  o.topology_discount = 0.0;
+  expect_invalid(o);
+  o = {};
+  o.topology_discount = 1.5;
+  expect_invalid(o);
+  o = {};
+  o.cost_ewma_alpha = 0.0;
+  expect_invalid(o);
+  o = {};
+  o.advice.suspect_prior = 1.0;
+  expect_invalid(o);
+  o = {};
+  o.advice.sd_weight = 1.1;
+  expect_invalid(o);
+}
+
+}  // namespace
+}  // namespace aid

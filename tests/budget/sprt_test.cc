@@ -1,0 +1,187 @@
+// Engine-level tests of adaptive budgeting: SPRT determinism under the
+// seeded flaky oracle, early stopping on persisting rounds, execution
+// savings against the fixed-trial baseline, and graceful exhaustion of a
+// global execution budget.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "synth/generator.h"
+#include "synth/model.h"
+
+namespace aid {
+namespace {
+
+std::unique_ptr<GroundTruthModel> MakeModel(int max_threads = 12,
+                                            uint64_t seed = 7) {
+  SyntheticAppOptions options;
+  options.max_threads = max_threads;
+  options.seed = seed;
+  auto model = GenerateSyntheticApp(options);
+  EXPECT_TRUE(model.ok()) << model.status();
+  return std::move(*model);
+}
+
+DiscoveryReport RunBudgeted(const GroundTruthModel* model,
+                            double manifest_probability, uint64_t flaky_seed,
+                            int trials, BudgetOptions budget = {}) {
+  budget.enabled = true;
+  SessionBuilder builder;
+  if (manifest_probability < 1.0) {
+    builder.WithFlakyModel(model, manifest_probability, flaky_seed);
+  } else {
+    builder.WithModel(model);
+  }
+  auto session = builder.WithTrials(trials)
+                     .WithAdaptiveBudget(budget)
+                     .Build();
+  EXPECT_TRUE(session.ok()) << session.status();
+  auto report = session->Run();
+  EXPECT_TRUE(report.ok()) << report.status();
+  return report->discovery;
+}
+
+DiscoveryReport RunFixed(const GroundTruthModel* model,
+                         double manifest_probability, uint64_t flaky_seed,
+                         int trials) {
+  SessionBuilder builder;
+  if (manifest_probability < 1.0) {
+    builder.WithFlakyModel(model, manifest_probability, flaky_seed);
+  } else {
+    builder.WithModel(model);
+  }
+  auto session = builder.WithTrials(trials).Build();
+  EXPECT_TRUE(session.ok()) << session.status();
+  auto report = session->Run();
+  EXPECT_TRUE(report.ok()) << report.status();
+  return report->discovery;
+}
+
+TEST(SprtBudgetTest, DeterministicUnderTheSeededFlakyOracle) {
+  // Two budgeted runs over identically seeded flaky targets are
+  // bit-identical: the SPRT consumes trials one at a time, and the flaky
+  // coin flips are a pure function of (seed, global trial index).
+  std::unique_ptr<GroundTruthModel> model = MakeModel(10, 3);
+  const DiscoveryReport a =
+      RunBudgeted(model.get(), 0.8, /*flaky_seed=*/11, /*trials=*/5);
+  const DiscoveryReport b =
+      RunBudgeted(model.get(), 0.8, /*flaky_seed=*/11, /*trials=*/5);
+  EXPECT_TRUE(SameDiscoveryOutcome(a, b));
+  EXPECT_EQ(a.budgeted_trials_allocated, b.budgeted_trials_allocated);
+  EXPECT_EQ(a.budgeted_trials_saved, b.budgeted_trials_saved);
+  EXPECT_EQ(a.budget_early_stops, b.budget_early_stops);
+}
+
+TEST(SprtBudgetTest, DeterministicTargetSavesExecutions) {
+  std::unique_ptr<GroundTruthModel> model = MakeModel();
+  const DiscoveryReport fixed = RunFixed(model.get(), 1.0, 1, /*trials=*/3);
+  const DiscoveryReport budgeted =
+      RunBudgeted(model.get(), 1.0, 1, /*trials=*/3);
+
+  // Same verdicts, strictly cheaper: persisting rounds stop at the first
+  // failing trial instead of running all three.
+  EXPECT_EQ(budgeted.causal_path, fixed.causal_path);
+  EXPECT_EQ(budgeted.spurious, fixed.spurious);
+  EXPECT_LT(budgeted.executions, fixed.executions);
+  EXPECT_GT(budgeted.budgeted_trials_saved, 0);
+  EXPECT_GT(budgeted.budget_early_stops, 0u);
+  EXPECT_FALSE(budgeted.budget_exhausted);
+}
+
+TEST(SprtBudgetTest, FlakyTargetFindsTheSameRootCauseCheaper) {
+  std::unique_ptr<GroundTruthModel> model = MakeModel(10, 13);
+  const DiscoveryReport fixed =
+      RunFixed(model.get(), 0.8, /*flaky_seed=*/5, /*trials=*/5);
+  const DiscoveryReport budgeted =
+      RunBudgeted(model.get(), 0.8, /*flaky_seed=*/5, /*trials=*/5);
+
+  ASSERT_TRUE(fixed.has_root_cause());
+  ASSERT_TRUE(budgeted.has_root_cause());
+  EXPECT_EQ(budgeted.root_cause(), fixed.root_cause());
+  EXPECT_EQ(budgeted.root_cause(), model->root_cause());
+  EXPECT_LE(budgeted.executions, fixed.executions);
+}
+
+TEST(SprtBudgetTest, ConfidenceIsPinnedWhenTheBudgetSuffices) {
+  std::unique_ptr<GroundTruthModel> model = MakeModel(8, 5);
+  const DiscoveryReport budgeted =
+      RunBudgeted(model.get(), 1.0, 1, /*trials=*/3);
+  ASSERT_FALSE(budgeted.confidence.empty());
+  for (const PredicateConfidence& entry : budgeted.confidence) {
+    EXPECT_TRUE(entry.causal_posterior == 0.0 ||
+                entry.causal_posterior == 1.0)
+        << "predicate " << entry.id << " at " << entry.causal_posterior;
+  }
+  EXPECT_GT(budgeted.budgeted_trials_allocated, 0u);
+}
+
+TEST(SprtBudgetTest, ExhaustedBudgetDegradesGracefully) {
+  std::unique_ptr<GroundTruthModel> model = MakeModel();
+  BudgetOptions budget;
+  budget.max_executions = 4;  // far too small to finish discovery
+  const DiscoveryReport report =
+      RunBudgeted(model.get(), 1.0, 1, /*trials=*/3, budget);
+
+  EXPECT_TRUE(report.budget_exhausted);
+  EXPECT_LE(report.executions, 8u);  // one truncated round of slack at most
+  // Some candidates stay undecided, carried as in-between confidence.
+  bool undecided = false;
+  for (const PredicateConfidence& entry : report.confidence) {
+    if (entry.causal_posterior > 0.0 && entry.causal_posterior < 1.0) {
+      undecided = true;
+    }
+  }
+  EXPECT_TRUE(undecided);
+}
+
+TEST(SprtBudgetTest, RaisedCapAllowsMoreTrialsThanTheFixedCount) {
+  // max_trials_per_round > trials_per_intervention lets a noisy candidate
+  // earn more evidence than the fixed-trial engine would ever spend.
+  std::unique_ptr<GroundTruthModel> model = MakeModel(8, 9);
+  BudgetOptions budget;
+  budget.max_trials_per_round = 50;
+  budget.flakiness_prior_alpha = 1.0;  // weak prior: m starts at 0.5
+  budget.flakiness_prior_beta = 1.0;
+  const DiscoveryReport report =
+      RunBudgeted(model.get(), 1.0, 1, /*trials=*/2, budget);
+  ASSERT_TRUE(report.has_root_cause());
+  EXPECT_EQ(report.root_cause(), model->root_cause());
+}
+
+TEST(SprtBudgetTest, BudgetWorksUnderBatchedLinearScan) {
+  std::unique_ptr<GroundTruthModel> model = MakeModel(10, 3);
+  BudgetOptions budget;
+  budget.enabled = true;
+
+  auto fixed_session = SessionBuilder()
+                           .WithModel(model.get())
+                           .WithEngineOptions(EngineOptions::Linear())
+                           .WithBatchedDispatch()
+                           .WithTrials(3)
+                           .Build();
+  ASSERT_TRUE(fixed_session.ok()) << fixed_session.status();
+  auto fixed = fixed_session->Run();
+  ASSERT_TRUE(fixed.ok()) << fixed.status();
+
+  auto session = SessionBuilder()
+                     .WithModel(model.get())
+                     .WithEngineOptions(EngineOptions::Linear())
+                     .WithBatchedDispatch()
+                     .WithTrials(3)
+                     .WithAdaptiveBudget(budget)
+                     .Build();
+  ASSERT_TRUE(session.ok()) << session.status();
+  auto budgeted = session->Run();
+  ASSERT_TRUE(budgeted.ok()) << budgeted.status();
+
+  EXPECT_EQ(budgeted->discovery.causal_path, fixed->discovery.causal_path);
+  EXPECT_EQ(budgeted->discovery.spurious, fixed->discovery.spurious);
+  EXPECT_LE(budgeted->discovery.executions, fixed->discovery.executions);
+  EXPECT_GT(budgeted->discovery.budgeted_trials_allocated, 0u);
+}
+
+}  // namespace
+}  // namespace aid

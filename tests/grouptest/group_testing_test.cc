@@ -45,6 +45,54 @@ TEST(GroupTestingTest, EmptyPool) {
   EXPECT_EQ(AdaptiveGroupTest(0, oracle).tests, 0);
 }
 
+TEST(GroupTestingTest, AllocatorOfOneMatchesSingleTrialOverload) {
+  SetOracle fixed({3, 9});
+  auto baseline = AdaptiveGroupTest(16, fixed);
+  SetOracle repeated({3, 9});
+  auto adaptive = AdaptiveGroupTest(
+      16, repeated, [](const std::vector<int>&) { return 1; });
+  EXPECT_EQ(adaptive.defectives, baseline.defectives);
+  EXPECT_EQ(adaptive.tests, baseline.tests);
+}
+
+TEST(GroupTestingTest, AllocatorRepeatsNegativeGroups) {
+  // An always-3 allocator repeats each *negative* answer three times; a
+  // positive answer short-circuits on the first repetition (the decision
+  // asymmetry: one positive is decisive).
+  SetOracle oracle({});
+  auto result = AdaptiveGroupTest(
+      8, oracle, [](const std::vector<int>&) { return 3; });
+  EXPECT_TRUE(result.defectives.empty());
+  EXPECT_EQ(result.tests, 3);  // one negative whole-pool group, 3 trials
+  EXPECT_EQ(oracle.tests(), result.tests);
+
+  SetOracle positive({0, 1, 2, 3});
+  auto all = AdaptiveGroupTest(
+      4, positive, [](const std::vector<int>&) { return 3; });
+  EXPECT_EQ(all.defectives, (std::vector<int>{0, 1, 2, 3}));
+  // Every group tested is positive, so every answer costs exactly 1 trial:
+  // same count as the single-trial overload.
+  SetOracle single({0, 1, 2, 3});
+  EXPECT_EQ(all.tests, AdaptiveGroupTest(4, single).tests);
+}
+
+TEST(GroupTestingTest, AllocatorClampedToAtLeastOneTrial) {
+  SetOracle oracle({5});
+  auto result = AdaptiveGroupTest(
+      8, oracle, [](const std::vector<int>&) { return 0; });
+  EXPECT_EQ(result.defectives, (std::vector<int>{5}));
+}
+
+TEST(GroupTestingTest, AllocatorSeesTheGroupUnderTest) {
+  // Size-aware allocation: noisy verdicts on big groups get more trials.
+  SetOracle oracle({});
+  auto result = AdaptiveGroupTest(16, oracle, [](const std::vector<int>& g) {
+    return g.size() > 8 ? 2 : 1;
+  });
+  EXPECT_TRUE(result.defectives.empty());
+  EXPECT_EQ(result.tests, 2);  // whole pool (16 items) retried once
+}
+
 TEST(GroupTestingTest, BoundsHelpers) {
   EXPECT_EQ(AdaptiveGroupTestUpperBound(16, 2), 8);
   EXPECT_EQ(AdaptiveGroupTestUpperBound(0, 5), 0);
