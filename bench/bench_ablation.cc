@@ -40,7 +40,7 @@ double AverageRounds(const GroundTruthModel& model, EngineOptions options,
     options.seed = static_cast<uint64_t>(i) + 1;
     auto report = session->Run(options);
     if (!report.ok()) return -1;
-    total += report->discovery.rounds;
+    total += static_cast<double>(report->discovery.rounds);
   }
   return total / repeats;
 }
@@ -381,8 +381,8 @@ int main() {
           engine.trials_per_intervention = trials;
           auto report = session->Run(engine);
           if (report.ok()) {
-            std::printf("%7d | %7d %12llu\n", trials,
-                        report->discovery.rounds,
+            std::printf("%7d | %7llu %12llu\n", trials,
+                        (unsigned long long)report->discovery.rounds,
                         (unsigned long long)report->discovery.executions);
             profile.Metric("trials" + std::to_string(trials) + "_rounds",
                            report->discovery.rounds);

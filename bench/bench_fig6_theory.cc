@@ -79,8 +79,8 @@ int main() {
     }
 
     // Empirical: run both engines on ground-truth symmetric models.
-    int aid_rounds = 0;
-    int tagt_worst = 0;
+    uint64_t aid_rounds = 0;
+    uint64_t tagt_worst = 0;
     for (uint64_t seed = 1; seed <= 5; ++seed) {
       auto model = MakeSymmetricModel(shape.junctions, shape.branches,
                                       shape.chain_len, d, seed);
@@ -105,10 +105,11 @@ int main() {
         }
       }
     }
-    std::printf("%4d %4d %4d %4d | %9.2f %9.2f | %9.2f %9.2f | %9d %9d\n",
+    std::printf("%4d %4d %4d %4d | %9.2f %9.2f | %9.2f %9.2f | %9llu %9llu\n",
                 shape.junctions, shape.branches, shape.chain_len, d,
-                lower.cpd, lower.gt, upper.aid, upper.tagt, aid_rounds,
-                tagt_worst);
+                lower.cpd, lower.gt, upper.aid, upper.tagt,
+                static_cast<unsigned long long>(aid_rounds),
+                static_cast<unsigned long long>(tagt_worst));
     const std::string tag = "J" + std::to_string(shape.junctions) + "_B" +
                             std::to_string(shape.branches) + "_n" +
                             std::to_string(shape.chain_len);

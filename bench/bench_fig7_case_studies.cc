@@ -58,14 +58,15 @@ int main() {
     const int worst_tagt = static_cast<int>(
         report->causal_path_len() *
         CeilLog2(static_cast<uint64_t>(std::max(report->acdag_nodes, 2))));
-    std::printf("%-16s %4d (%3d)    %4d     %4d (%2d)    %3d (%2d)   %4d"
+    std::printf("%-16s %4d (%3d)    %4d     %4d (%2d)    %3llu (%2d)   %4llu"
                 "         %4d (%2d)\n",
                 study.name.c_str(), report->sd_predicates,
                 study.paper.sd_predicates, report->acdag_nodes,
                 report->causal_path_len(), study.paper.causal_path,
-                report->discovery.rounds, study.paper.aid_interventions,
-                report->tagt_baseline->rounds, worst_tagt,
-                study.paper.tagt_interventions);
+                static_cast<unsigned long long>(report->discovery.rounds),
+                study.paper.aid_interventions,
+                static_cast<unsigned long long>(report->tagt_baseline->rounds),
+                worst_tagt, study.paper.tagt_interventions);
     const bool root_ok =
         report->root_cause.find(study.expected_root_substring) !=
         std::string::npos;

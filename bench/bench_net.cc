@@ -119,12 +119,12 @@ int main(int argc, char** argv) {
   std::vector<RunStats> in_process;
   for (int w : workers) {
     RunStats stats = RunOnce(model->get(), {}, w, trials);
-    std::printf("%-14s %-8d %10.2f %12llu %12.2f %8d\n", "in_process", w,
+    std::printf("%-14s %-8d %10.2f %12llu %12.2f %8llu\n", "in_process", w,
                 stats.wall_ms,
                 (unsigned long long)stats.report.discovery.executions,
                 1000.0 * stats.wall_ms /
                     std::max<uint64_t>(1, stats.report.discovery.executions),
-                stats.report.discovery.rounds);
+                (unsigned long long)stats.report.discovery.rounds);
     profile.Metric("in_process_w" + std::to_string(w) + "_wall_ms",
                    stats.wall_ms);
     in_process.push_back(std::move(stats));
@@ -139,11 +139,12 @@ int main(int argc, char** argv) {
     const double base_us =
         1000.0 * in_process[i].wall_ms /
         std::max<uint64_t>(1, in_process[i].report.discovery.executions);
-    std::printf("%-14s %-8d %10.2f %12llu %12.2f %8d  (+%.2f us/trial RPC)\n",
+    std::printf("%-14s %-8d %10.2f %12llu %12.2f %8llu  (+%.2f us/trial RPC)\n",
                 "remote_fleet", w, stats.wall_ms,
                 (unsigned long long)stats.report.discovery.executions,
                 us_per_trial,
-                stats.report.discovery.rounds, us_per_trial - base_us);
+                (unsigned long long)stats.report.discovery.rounds,
+                us_per_trial - base_us);
     profile.Metric("remote_fleet_w" + std::to_string(w) + "_wall_ms",
                    stats.wall_ms);
     profile.Metric("remote_fleet_w" + std::to_string(w) + "_rpc_us_per_trial",

@@ -152,7 +152,7 @@ class HeteroLatencyTarget : public ReplicableTarget {
 
 struct RunStats {
   double ms = 0;
-  int rounds = 0;
+  uint64_t rounds = 0;
   uint64_t executions = 0;
   uint64_t speculative = 0;
   uint64_t steals = 0;
@@ -171,8 +171,8 @@ std::string PathKey(const DiscoveryReport& report) {
 }
 
 void PrintRow(const char* label, const RunStats& run, const RunStats& base) {
-  std::printf("%-22s | %9.2f %7.2fx %7d %11llu %6llu%s\n", label, run.ms,
-              base.ms / run.ms, run.rounds,
+  std::printf("%-22s | %9.2f %7.2fx %7llu %11llu %6llu%s\n", label, run.ms,
+              base.ms / run.ms, static_cast<unsigned long long>(run.rounds),
               static_cast<unsigned long long>(run.executions),
               static_cast<unsigned long long>(run.speculative),
               run.path == base.path ? "" : "  [PATH MISMATCH]");

@@ -82,8 +82,9 @@ class ProgressPrinter : public Observer {
                 std::string(SessionPhaseName(phase)).c_str());
   }
   void OnRoundFinished(const ObservedRound& round) override {
-    std::printf("[round %2d] %-6s intervened on %zu predicate(s) -> %s\n",
-                round.round, std::string(round.phase).c_str(),
+    std::printf("[round %2llu] %-6s intervened on %zu predicate(s) -> %s\n",
+                static_cast<unsigned long long>(round.round),
+                std::string(round.phase).c_str(),
                 round.intervened.size(),
                 round.failure_stopped ? "failure stopped" : "still failing");
   }
@@ -154,9 +155,10 @@ int main() {
                 (long long)report.discovery.budgeted_trials_saved,
                 (unsigned long long)report.discovery.budget_early_stops);
   }
-  std::printf("\nAID finished in %d intervention rounds (%llu re-executions)\n",
-              report.discovery.rounds,
-              (unsigned long long)report.discovery.executions);
+  std::printf(
+      "\nAID finished in %llu intervention rounds (%llu re-executions)\n",
+      (unsigned long long)report.discovery.rounds,
+      (unsigned long long)report.discovery.executions);
 
   std::printf("\nroot cause:\n  %s\n",
               report.has_root_cause() ? report.root_cause.c_str()

@@ -137,8 +137,8 @@ int main(int argc, char** argv) {
     if (telemetry != nullptr) builder.WithTelemetry(std::move(telemetry));
     AID_ASSIGN_OR_RETURN(Session session, builder.Build());
     AID_ASSIGN_OR_RETURN(SessionReport report, session.Run());
-    std::printf("%-12s rounds=%d executions=%llu root_cause=%s\n", label,
-                report.discovery.rounds,
+    std::printf("%-12s rounds=%llu executions=%llu root_cause=%s\n", label,
+                (unsigned long long)report.discovery.rounds,
                 (unsigned long long)report.discovery.executions,
                 report.has_root_cause() ? report.root_cause.c_str() : "(none)");
     return report;

@@ -102,6 +102,22 @@ std::vector<PredicateConfidence> BeliefState::Snapshot() const {
   return out;
 }
 
+std::vector<std::pair<PredicateId, double>> BeliefState::ExportState() const {
+  std::vector<std::pair<PredicateId, double>> out(posterior_.begin(),
+                                                  posterior_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BeliefState::RestoreState(
+    const std::vector<std::pair<PredicateId, double>>& posts,
+    double flaky_alpha, double flaky_beta) {
+  posterior_.clear();
+  for (const auto& [id, p] : posts) posterior_[id] = p;
+  flaky_alpha_ = flaky_alpha;
+  flaky_beta_ = flaky_beta;
+}
+
 double BeliefState::BinaryEntropy(double p) {
   if (p <= 0.0 || p >= 1.0) return 0.0;
   return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);

@@ -76,6 +76,16 @@ class BeliefState {
   /// Entropy of a Bernoulli(p) verdict in bits; 0 at p in {0, 1}.
   static double BinaryEntropy(double p);
 
+  /// Checkpoint support (core/discovery_state.h). ExportState returns every
+  /// posterior ascending by id; RestoreState replaces the posterior table
+  /// and the flakiness Beta posterior wholesale. The AC-DAG and options are
+  /// reconstructed by the owner, not carried here.
+  std::vector<std::pair<PredicateId, double>> ExportState() const;
+  void RestoreState(const std::vector<std::pair<PredicateId, double>>& posts,
+                    double flaky_alpha, double flaky_beta);
+  double flaky_alpha() const { return flaky_alpha_; }
+  double flaky_beta() const { return flaky_beta_; }
+
  private:
   const AcDag* dag_;
   BudgetOptions options_;

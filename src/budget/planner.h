@@ -62,6 +62,10 @@ class BudgetPlanner {
   /// Predicted per-trial cost in microseconds; 0 until first measured.
   double trial_cost_micros() const { return cost_ewma_; }
 
+  /// Checkpoint support: reinstates a cost EWMA captured by
+  /// trial_cost_micros() on another planner (core/discovery_state.h).
+  void RestoreCostEwma(double ewma) { cost_ewma_ = ewma; }
+
  private:
   BudgetOptions options_;
   const BeliefState* belief_;

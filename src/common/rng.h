@@ -93,6 +93,17 @@ class Rng {
     return Rng(SplitMix64(mix));
   }
 
+  /// Raw generator state, for checkpointing a stream mid-flight. `out` must
+  /// hold kStateWords words; LoadState resumes the exact stream SaveState
+  /// captured.
+  static constexpr size_t kStateWords = 4;
+  void SaveState(uint64_t out[kStateWords]) const {
+    std::copy(s_, s_ + kStateWords, out);
+  }
+  void LoadState(const uint64_t in[kStateWords]) {
+    std::copy(in, in + kStateWords, s_);
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
   uint64_t s_[4];

@@ -1,15 +1,7 @@
 #include "core/engine.h"
 
-#include <algorithm>
-#include <map>
-#include <numeric>
-#include <unordered_map>
-#include <unordered_set>
-
-#include "budget/belief.h"
-#include "budget/planner.h"
 #include "common/logging.h"
-#include "telemetry/telemetry.h"
+#include "core/discovery_state.h"
 
 namespace aid {
 
@@ -34,704 +26,18 @@ CausalPathDiscovery::CausalPathDiscovery(const AcDag* dag,
                                          EngineOptions options)
     : dag_(dag), target_(target), options_(options), rng_(options.seed) {}
 
-CausalPathDiscovery::~CausalPathDiscovery() = default;
-
 Result<DiscoveryReport> CausalPathDiscovery::Run() {
-  AID_RETURN_IF_ERROR(
-      ValidateTrialsPerIntervention(options_.trials_per_intervention));
-  if (options_.budget.enabled) {
-    AID_RETURN_IF_ERROR(ValidateBudgetOptions(options_.budget));
-  }
-  report_ = DiscoveryReport{};
-  causal_.clear();
-  spurious_.clear();
-  const uint64_t executions_before = target_->executions();
-  const TargetHealth health_before = target_->health();
-  const DispatchStats dispatch_before = target_->dispatch_stats();
-
-  Tracer* tracer =
-      options_.telemetry != nullptr ? options_.telemetry->tracer() : nullptr;
-  ScopedSpan discovery_span(tracer, "discovery");
-
-  candidates_.clear();
-  for (PredicateId id : dag_->nodes()) {
-    if (id != dag_->failure()) candidates_.push_back(id);
-  }
-
-  belief_.reset();
-  planner_.reset();
-  budget_exhausted_ = false;
-  run_start_executions_ = executions_before;
-  if (options_.budget.enabled) {
-    belief_ = std::make_unique<BeliefState>(dag_, options_.budget);
-    belief_->SeedCandidates(candidates_);
-    planner_ =
-        std::make_unique<BudgetPlanner>(options_.budget, belief_.get());
-  }
-
-  if (options_.branch_pruning && options_.topological_order) {
-    if (options_.observer) {
-      options_.observer->OnPhaseChanged(SessionPhase::kBranchPruning);
-    }
-    ScopedSpan phase_span(tracer, "branch_prune", discovery_span.id());
-    phase_span_ = phase_span.id();
-    AID_RETURN_IF_ERROR(BranchPrune());
-    phase_span_ = 0;
-  }
-
-  if (options_.observer) {
-    options_.observer->OnPhaseChanged(SessionPhase::kGiwp);
-  }
-  MakeSingletonItems(candidates_);
-  {
-    ScopedSpan phase_span(tracer, "giwp", discovery_span.id());
-    phase_span_ = phase_span.id();
-    AID_RETURN_IF_ERROR(Giwp(UndecidedItems()));
-    phase_span_ = 0;
-  }
-
-  // Assemble the causal path: causal predicates in topological order, then F
-  // (Definition 1: C0 .. Cn with Cn = F).
-  std::sort(causal_.begin(), causal_.end());
-  causal_.erase(std::unique(causal_.begin(), causal_.end()), causal_.end());
-  std::unordered_map<PredicateId, int> topo_pos;
-  {
-    int pos = 0;
-    for (PredicateId id : dag_->TopoOrder()) topo_pos[id] = pos++;
-  }
-  std::sort(causal_.begin(), causal_.end(),
-            [&](PredicateId a, PredicateId b) {
-              return topo_pos[a] < topo_pos[b];
-            });
-  report_.causal_path = causal_;
-  report_.causal_path.push_back(dag_->failure());
-
-  // Definition 1 sanity: the causal predicates should be totally ordered by
-  // reachability. When they are not (e.g. a conjunctive root cause on
-  // disjoint branches), flag the assumption violation instead of silently
-  // presenting an unordered set as a chain (Section 5.1).
-  report_.path_is_chain = true;
-  for (size_t i = 0; i + 1 < causal_.size(); ++i) {
-    if (!dag_->Reaches(causal_[i], causal_[i + 1])) {
-      report_.path_is_chain = false;
-      break;
-    }
-  }
-
-  std::sort(spurious_.begin(), spurious_.end());
-  spurious_.erase(std::unique(spurious_.begin(), spurious_.end()),
-                  spurious_.end());
-  report_.spurious = spurious_;
-  report_.executions = target_->executions() - executions_before;
-  const TargetHealth health_after = target_->health();
-  report_.respawns = health_after.respawns - health_before.respawns;
-  report_.crashed_trials =
-      health_after.crashed_trials - health_before.crashed_trials;
-  report_.timed_out_trials =
-      health_after.timed_out_trials - health_before.timed_out_trials;
-  const DispatchStats dispatch_after = target_->dispatch_stats();
-  report_.steals = dispatch_after.steals - dispatch_before.steals;
-  report_.straggler_wait_micros = dispatch_after.straggler_wait_micros -
-                                  dispatch_before.straggler_wait_micros;
-  report_.replica_trials = dispatch_after.replica_trials;
-  for (size_t i = 0; i < report_.replica_trials.size() &&
-                     i < dispatch_before.replica_trials.size();
-       ++i) {
-    report_.replica_trials[i] -= dispatch_before.replica_trials[i];
-  }
-  report_.budget_exhausted = budget_exhausted_;
-  if (belief_ != nullptr) report_.confidence = belief_->Snapshot();
-
-  // Fold the report's own deltas into the metrics registry, so the exported
-  // snapshot matches the DiscoveryReport EXACTLY (rounds were counted live
-  // in RecordRound; everything else lands here, at the quiescent end of the
-  // run). Substrates only feed latency histograms/EWMAs live -- totals come
-  // from the same numbers the report carries.
-  if (options_.telemetry != nullptr) {
-    MetricsRegistry& reg = options_.telemetry->metrics();
-    reg.GetCounter("aid_executions_total")->Add(report_.executions);
-    reg.GetCounter("aid_speculative_executions_total")
-        ->Add(report_.speculative_executions);
-    reg.GetCounter("aid_respawns_total")->Add(report_.respawns);
-    reg.GetCounter("aid_crashed_trials_total")->Add(report_.crashed_trials);
-    reg.GetCounter("aid_timed_out_trials_total")
-        ->Add(report_.timed_out_trials);
-    reg.GetCounter("aid_steals_total")->Add(report_.steals);
-    reg.GetCounter("aid_straggler_wait_micros_total")
-        ->Add(report_.straggler_wait_micros);
-    reg.GetCounter("aid_cancelled_chunks_total")
-        ->Add(dispatch_after.cancelled_chunks -
-              dispatch_before.cancelled_chunks);
-    if (options_.budget.enabled) {
-      reg.GetCounter("aid_budget_trials_allocated_total")
-          ->Add(report_.budgeted_trials_allocated);
-      if (report_.budgeted_trials_saved > 0) {
-        // Counters are monotone; a negative saving (cap raised above the
-        // fixed trial count) simply adds nothing.
-        reg.GetCounter("aid_budget_trials_saved_total")
-            ->Add(static_cast<uint64_t>(report_.budgeted_trials_saved));
-      }
-      reg.GetCounter("aid_budget_early_stops_total")
-          ->Add(report_.budget_early_stops);
-      reg.GetGauge("aid_budget_exhausted")->Set(budget_exhausted_ ? 1 : 0);
-    }
-  }
-  return report_;
-}
-
-void CausalPathDiscovery::Decide(size_t item, ItemDecision decision) {
-  AID_CHECK(decisions_[item] == ItemDecision::kUndecided);
-  decisions_[item] = decision;
-  const bool causal = decision == ItemDecision::kCausal;
-  std::vector<PredicateId>& sink = causal ? causal_ : spurious_;
-  for (PredicateId id : items_[item].preds) {
-    sink.push_back(id);
-    if (belief_ != nullptr) {
-      // Certified verdicts pin the budgeting posterior (and, for causal
-      // ones, propagate a discount over incomparable candidates).
-      if (causal) {
-        belief_->MarkCausal(id);
-      } else {
-        belief_->MarkSpurious(id);
-      }
-    }
-    if (options_.observer) {
-      options_.observer->OnPredicateDecided(id, causal);
-    }
-  }
-}
-
-void CausalPathDiscovery::MakeSingletonItems(
-    const std::vector<PredicateId>& preds) {
-  items_.clear();
-  decisions_.clear();
-  std::unordered_map<PredicateId, int> topo_pos;
-  {
-    int pos = 0;
-    for (PredicateId id : dag_->TopoOrder()) topo_pos[id] = pos++;
-  }
-  std::vector<PredicateId> ordered = preds;
-  if (options_.topological_order) {
-    std::sort(ordered.begin(), ordered.end(),
-              [&](PredicateId a, PredicateId b) {
-                return topo_pos[a] < topo_pos[b];
-              });
-  } else {
-    rng_.Shuffle(ordered);
-  }
-  items_.reserve(ordered.size());
-  for (size_t i = 0; i < ordered.size(); ++i) {
-    items_.push_back(Item{{ordered[i]}, static_cast<int>(i)});
-  }
-  decisions_.assign(items_.size(), ItemDecision::kUndecided);
-}
-
-std::vector<size_t> CausalPathDiscovery::UndecidedItems() const {
-  std::vector<size_t> out;
-  for (size_t i = 0; i < items_.size(); ++i) {
-    if (decisions_[i] == ItemDecision::kUndecided) out.push_back(i);
-  }
-  return out;
-}
-
-Status CausalPathDiscovery::Giwp(std::vector<size_t> pool) {
+  AID_RETURN_IF_ERROR(ValidateDiscoveryOptions(options_));
+  DiscoveryState state(dag_, options_, rng_);
   while (true) {
-    // Line 18: drop items decided in this or deeper/earlier rounds.
-    pool.erase(std::remove_if(pool.begin(), pool.end(),
-                              [&](size_t i) {
-                                return decisions_[i] !=
-                                       ItemDecision::kUndecided;
-                              }),
-               pool.end());
-    if (pool.empty()) return Status::OK();
-    if (BudgetSpent()) {
-      // Best effort: leave the remaining items undecided; the report
-      // carries their posteriors as confidence.
-      budget_exhausted_ = true;
-      return Status::OK();
-    }
-
-    const bool batched =
-        options_.batched_dispatch || options_.parallelism > 1;
-    if (options_.linear_scan && batched) {
-      AID_RETURN_IF_ERROR(GiwpLinearBatched(pool));
-      // An exhausted batch leaves its unfunded spans undecided, and the
-      // leftover budget cannot cover any of them (funding is greedy over
-      // every span the remainder could pay for) -- re-planning would spin.
-      if (budget_exhausted_) return Status::OK();
-      continue;  // re-filter; a second pass only runs if items stay undecided
-    }
-
-    // Line 4: the first half in (topological) order -- or a single item in
-    // linear-scan mode (the D >= N/log N regime, Section 2).
-    const size_t half = options_.linear_scan ? 1 : (pool.size() + 1) / 2;
-    std::vector<size_t> selected(pool.begin(), pool.begin() + half);
-
-    AID_ASSIGN_OR_RETURN(TargetRunResult result, Intervene(selected, "giwp"));
-    const bool failure_stopped = !result.AnyFailed();
-
-    if (failure_stopped) {
-      // Lines 6-12: a counterfactual cause is inside the group.
-      if (selected.size() == 1) {
-        Decide(selected[0], ItemDecision::kCausal);
-      } else {
-        AID_RETURN_IF_ERROR(Giwp(selected));
-      }
-    } else {
-      // Lines 13-14: intervened predicates did not avert the failure.
-      for (size_t i : selected) Decide(i, ItemDecision::kSpurious);
-    }
-
-    // Lines 15-17 (Definition 2): prune by counterfactual violations.
-    if (options_.predicate_pruning) {
-      InterventionalPruning(selected, result);
-    }
+    AID_ASSIGN_OR_RETURN(DiscoveryAction action, state.NextAction());
+    if (action.kind == DiscoveryAction::Kind::kDone) break;
+    AID_ASSIGN_OR_RETURN(ActionOutcome outcome,
+                         ExecuteDiscoveryAction(state, action, target_));
+    AID_RETURN_IF_ERROR(state.Feed(action, outcome));
   }
-}
-
-Status CausalPathDiscovery::GiwpLinearBatched(const std::vector<size_t>& pool) {
-  // Submit every singleton intervention of the scan as one batch, then
-  // consume the results in scan order. Items that Definition 2 pruning
-  // decides before their result is reached keep their pruning verdict; their
-  // speculative executions are the price of batching (see EngineOptions).
-  InterventionSpans spans;
-  spans.reserve(pool.size());
-  for (size_t i : pool) spans.push_back(items_[i].preds);
-
-  // Budgeted batches: one "budget_plan" span covers the whole round's
-  // allocation. Each span gets its own SPRT requirement; when a global
-  // execution budget cannot fund the full round, the highest-scoring
-  // (information gain per cost) spans are funded first and the rest are
-  // left undecided. Within a batch there is no mid-span early stop -- the
-  // substrate runs each span's whole allocation; that is the same batching
-  // trade-off speculative executions already embody.
-  std::vector<int> alloc(pool.size(), options_.trials_per_intervention);
-  std::vector<bool> funded(pool.size(), true);
-  if (options_.budget.enabled) {
-    ScopedSpan plan_span(
-        options_.telemetry != nullptr ? options_.telemetry->tracer()
-                                      : nullptr,
-        "budget_plan", phase_span_);
-    const int cap = options_.budget.max_trials_per_round > 0
-                        ? options_.budget.max_trials_per_round
-                        : options_.trials_per_intervention;
-    for (size_t k = 0; k < pool.size(); ++k) {
-      alloc[k] = planner_->PlanTrials(spans[k], cap);
-    }
-    if (options_.budget.max_executions > 0) {
-      const uint64_t spent = target_->executions() - run_start_executions_;
-      const uint64_t remaining =
-          spent >= options_.budget.max_executions
-              ? 0
-              : options_.budget.max_executions - spent;
-      uint64_t total = 0;
-      for (int a : alloc) total += static_cast<uint64_t>(a);
-      if (total > remaining) {
-        std::vector<size_t> order(pool.size());
-        std::iota(order.begin(), order.end(), size_t{0});
-        std::stable_sort(order.begin(), order.end(),
-                         [&](size_t a, size_t b) {
-                           return planner_->Score(spans[a], alloc[a]) >
-                                  planner_->Score(spans[b], alloc[b]);
-                         });
-        funded.assign(pool.size(), false);
-        uint64_t left = remaining;
-        for (size_t k : order) {
-          if (static_cast<uint64_t>(alloc[k]) <= left) {
-            funded[k] = true;
-            left -= static_cast<uint64_t>(alloc[k]);
-          }
-        }
-        budget_exhausted_ = true;
-      }
-    }
-  }
-
-  // One "round.batch" span covers the whole batched dispatch (the decisions
-  // it feeds are consumed below, outside the span); like Intervene, it is
-  // the active parent for substrate-side chunk/trial spans.
-  ScopedSpan batch_span;
-  if (options_.telemetry != nullptr &&
-      options_.telemetry->tracer() != nullptr) {
-    batch_span = ScopedSpan(options_.telemetry->tracer(), "round.batch",
-                            phase_span_);
-    options_.telemetry->SetActiveParent(batch_span.id());
-  }
-  std::vector<TargetRunResult> results(pool.size());
-  const uint64_t micros_before = target_->health().trial_micros;
-  uint64_t budgeted_trials = 0;
-  Status batch_status = Status::OK();
-  if (!options_.budget.enabled) {
-    Result<std::vector<TargetRunResult>> batch = target_->RunInterventionsBatch(
-        spans, options_.trials_per_intervention);
-    if (!batch.ok()) {
-      batch_status = batch.status();
-    } else if (batch->size() != pool.size()) {
-      // Backends are third-party code; a contract violation is their
-      // runtime error, not our programming error.
-      batch_status = Status::Internal(
-          "RunInterventionsBatch returned " + std::to_string(batch->size()) +
-          " results for " + std::to_string(spans.size()) + " spans");
-    } else {
-      results = std::move(*batch);
-    }
-  } else {
-    // Submit one sub-batch per distinct allocation (the batch interface
-    // takes a single trial count), then map results back to scan order.
-    std::map<int, std::vector<size_t>> buckets;
-    for (size_t k = 0; k < pool.size(); ++k) {
-      if (funded[k]) buckets[alloc[k]].push_back(k);
-    }
-    for (const auto& [trials, indexes] : buckets) {
-      InterventionSpans sub;
-      sub.reserve(indexes.size());
-      for (size_t k : indexes) sub.push_back(spans[k]);
-      Result<std::vector<TargetRunResult>> batch =
-          target_->RunInterventionsBatch(sub, trials);
-      if (!batch.ok()) {
-        batch_status = batch.status();
-        break;
-      }
-      if (batch->size() != indexes.size()) {
-        batch_status = Status::Internal(
-            "RunInterventionsBatch returned " +
-            std::to_string(batch->size()) + " results for " +
-            std::to_string(sub.size()) + " spans");
-        break;
-      }
-      for (size_t j = 0; j < indexes.size(); ++j) {
-        budgeted_trials += (*batch)[j].logs.size();
-        results[indexes[j]] = std::move((*batch)[j]);
-      }
-    }
-  }
-  if (options_.telemetry != nullptr) options_.telemetry->SetActiveParent(0);
-  batch_span.End();
-  AID_RETURN_IF_ERROR(batch_status);
-
-  if (options_.budget.enabled) {
-    planner_->ObserveRoundCost(
-        target_->health().trial_micros - micros_before,
-        static_cast<int>(budgeted_trials));
-    report_.budgeted_trials_allocated += budgeted_trials;
-    for (size_t k = 0; k < pool.size(); ++k) {
-      if (!funded[k]) continue;
-      report_.budgeted_trials_saved +=
-          static_cast<int64_t>(options_.trials_per_intervention) - alloc[k];
-    }
-  }
-
-  for (size_t k = 0; k < pool.size(); ++k) {
-    const size_t item = pool[k];
-    if (!funded[k]) continue;  // unfunded span: the item stays undecided
-    if (decisions_[item] != ItemDecision::kUndecided) {
-      // Pruning answered this span before its result was consumed: its
-      // executions were speculative (see DiscoveryReport).
-      report_.speculative_executions += results[k].logs.size();
-      continue;
-    }
-    const TargetRunResult& result = results[k];
-    if (options_.observer) {
-      options_.observer->OnRoundStarted(report_.rounds + 1, spans[k]);
-    }
-    RecordRound(spans[k], result, "giwp");
-    if (belief_ != nullptr) {
-      if (result.AnyFailed()) {
-        int passes = 0;
-        for (const PredicateLog& log : result.logs) {
-          if (log.failed) break;
-          ++passes;
-        }
-        belief_->ObservePersistingRound(passes);
-      } else {
-        belief_->ObserveStoppedRound(spans[k],
-                                     static_cast<int>(result.logs.size()));
-      }
-    }
-    Decide(item, result.AnyFailed() ? ItemDecision::kSpurious
-                                    : ItemDecision::kCausal);
-    if (options_.predicate_pruning) {
-      InterventionalPruning({item}, result);
-    }
-  }
-  return Status::OK();
-}
-
-Status CausalPathDiscovery::BranchPrune() {
-  // Iteratively reduce the AC-DAG (restricted to surviving candidates) to a
-  // chain by resolving one junction at a time.
-  std::vector<PredicateId> remaining = candidates_;
-  while (true) {
-    if (BudgetSpent()) {
-      budget_exhausted_ = true;
-      break;
-    }
-    AcDag sub = dag_->Restrict(remaining);
-    std::vector<std::vector<PredicateId>> levels = sub.TopoLevels();
-    std::vector<PredicateId> junction_members;
-    for (auto& level : levels) {
-      // The failure predicate is never part of a junction (it cannot be
-      // intervened); a level with >= 2 other members is a junction.
-      std::erase(level, sub.failure());
-      if (level.size() >= 2) {
-        junction_members = level;
-        break;
-      }
-    }
-    if (junction_members.empty()) break;
-    const std::vector<PredicateId>* junction = &junction_members;
-
-    // Algorithm 2 lines 8-12: one branch per junction member P --
-    // P plus all descendants of P that descend from no other member.
-    items_.clear();
-    for (PredicateId p : *junction) {
-      Item item;
-      item.preds.push_back(p);
-      for (PredicateId q : sub.Descendants(p)) {
-        if (q == sub.failure()) continue;
-        bool exclusive = true;
-        for (PredicateId other : *junction) {
-          if (other != p && sub.Reaches(other, q)) {
-            exclusive = false;
-            break;
-          }
-        }
-        if (exclusive) item.preds.push_back(q);
-      }
-      items_.push_back(std::move(item));
-    }
-    decisions_.assign(items_.size(), ItemDecision::kUndecided);
-
-    // Binary search for the (at most one) causal branch: under the
-    // deterministic-effect assumption the causal path continues through one
-    // branch, so log2(B) interventions resolve a B-way junction (S 6.3.1).
-    std::vector<size_t> live(items_.size());
-    for (size_t i = 0; i < live.size(); ++i) live[i] = i;
-    while (live.size() > 1) {
-      if (BudgetSpent()) {
-        budget_exhausted_ = true;
-        break;
-      }
-      const size_t half = (live.size() + 1) / 2;
-      std::vector<size_t> tested(live.begin(), live.begin() + half);
-      std::vector<size_t> rest(live.begin() + half, live.end());
-      AID_ASSIGN_OR_RETURN(TargetRunResult result,
-                           Intervene(tested, "branch"));
-      const bool failure_stopped = !result.AnyFailed();
-      const std::vector<size_t>& losers = failure_stopped ? rest : tested;
-      for (size_t i : losers) Decide(i, ItemDecision::kSpurious);
-      live = failure_stopped ? tested : rest;
-      if (options_.predicate_pruning) {
-        InterventionalPruning(tested, result);
-        // Pruning may have decided survivors; drop them from `live`.
-        live.erase(std::remove_if(live.begin(), live.end(),
-                                  [&](size_t i) {
-                                    return decisions_[i] ==
-                                           ItemDecision::kSpurious;
-                                  }),
-                   live.end());
-        if (live.empty()) break;
-      }
-    }
-
-    // Remove the losing branches' predicates from the candidate set.
-    std::unordered_set<PredicateId> removed;
-    for (size_t i = 0; i < items_.size(); ++i) {
-      if (decisions_[i] == ItemDecision::kSpurious) {
-        for (PredicateId id : items_[i].preds) removed.insert(id);
-      }
-    }
-    std::vector<PredicateId> next;
-    next.reserve(remaining.size());
-    for (PredicateId id : remaining) {
-      if (!removed.count(id)) next.push_back(id);
-    }
-    if (budget_exhausted_) {
-      // The budget ran out mid-junction: keep what the partial search
-      // decided and stop pruning (GIWP will bail the same way).
-      remaining = std::move(next);
-      break;
-    }
-    AID_CHECK(next.size() < remaining.size());  // progress is guaranteed
-    remaining = std::move(next);
-  }
-  candidates_ = remaining;
-  return Status::OK();
-}
-
-Result<TargetRunResult> CausalPathDiscovery::Intervene(
-    const std::vector<size_t>& item_indexes, const char* phase) {
-  std::vector<PredicateId> preds;
-  for (size_t i : item_indexes) {
-    preds.insert(preds.end(), items_[i].preds.begin(), items_[i].preds.end());
-  }
-  std::sort(preds.begin(), preds.end());
-  preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
-
-  if (options_.observer) {
-    options_.observer->OnRoundStarted(report_.rounds + 1, preds);
-  }
-  // The round span is published as the ACTIVE PARENT while the dispatch is
-  // in flight: worker threads (and the wire clients under them) parent
-  // their chunk/trial spans under it without the engine threading ids
-  // through the InterventionTarget interface. Rounds are serial, so one
-  // slot suffices.
-  ScopedSpan round_span;
-  if (options_.telemetry != nullptr &&
-      options_.telemetry->tracer() != nullptr) {
-    round_span = ScopedSpan(options_.telemetry->tracer(), "round",
-                            phase_span_);
-    options_.telemetry->SetActiveParent(round_span.id());
-  }
-  Result<TargetRunResult> result =
-      options_.budget.enabled
-          ? RunBudgetedRound(preds, round_span.id())
-          : target_->RunIntervened(preds, options_.trials_per_intervention);
-  if (options_.telemetry != nullptr) options_.telemetry->SetActiveParent(0);
-  round_span.End();
-  if (!result.ok()) return result.status();
-
-  RecordRound(preds, *result, phase);
-  return result;
-}
-
-Result<TargetRunResult> CausalPathDiscovery::RunBudgetedRound(
-    const std::vector<PredicateId>& preds, uint64_t parent_span) {
-  Tracer* tracer =
-      options_.telemetry != nullptr ? options_.telemetry->tracer() : nullptr;
-  int planned;
-  {
-    ScopedSpan plan_span(tracer, "budget_plan", parent_span);
-    const int cap = options_.budget.max_trials_per_round > 0
-                        ? options_.budget.max_trials_per_round
-                        : options_.trials_per_intervention;
-    planned = planner_->PlanTrials(preds, cap);
-  }
-  planned = ClampToRemainingBudget(planned);
-
-  // Trials run one at a time so a failing trial -- decisive proof the
-  // group is spurious -- ends the round immediately. Replicable targets
-  // make this equivalent, trial for trial, to one RunIntervened(preds, k)
-  // call truncated at the failure.
-  const uint64_t micros_before = target_->health().trial_micros;
-  TargetRunResult round;
-  bool failed = false;
-  int used = 0;
-  while (used < planned && !failed) {
-    AID_ASSIGN_OR_RETURN(TargetRunResult one,
-                         target_->RunIntervened(preds, 1));
-    used += one.logs.empty() ? 1 : static_cast<int>(one.logs.size());
-    for (PredicateLog& log : one.logs) {
-      failed = failed || log.failed;
-      round.logs.push_back(std::move(log));
-    }
-  }
-  planner_->ObserveRoundCost(target_->health().trial_micros - micros_before,
-                             used);
-
-  report_.budgeted_trials_allocated += static_cast<uint64_t>(used);
-  report_.budgeted_trials_saved +=
-      static_cast<int64_t>(options_.trials_per_intervention) - used;
-  if (failed) {
-    if (used < planned) ++report_.budget_early_stops;
-    belief_->ObservePersistingRound(used - 1);
-  } else {
-    belief_->ObserveStoppedRound(preds, used);
-  }
-  return round;
-}
-
-int CausalPathDiscovery::ClampToRemainingBudget(int planned) {
-  if (options_.budget.max_executions == 0) return planned;
-  const uint64_t spent = target_->executions() - run_start_executions_;
-  if (spent >= options_.budget.max_executions) return 1;  // callers guard
-  const uint64_t remaining = options_.budget.max_executions - spent;
-  if (static_cast<uint64_t>(planned) <= remaining) return planned;
-  // A truncated allocation still runs (partial evidence beats none); the
-  // loops notice the spent budget before the next round.
-  return static_cast<int>(remaining);
-}
-
-bool CausalPathDiscovery::BudgetSpent() const {
-  if (!options_.budget.enabled || options_.budget.max_executions == 0) {
-    return false;
-  }
-  return target_->executions() - run_start_executions_ >=
-         options_.budget.max_executions;
-}
-
-void CausalPathDiscovery::RecordRound(const std::vector<PredicateId>& preds,
-                                      const TargetRunResult& result,
-                                      const char* phase) {
-  ++report_.rounds;
-  if (options_.telemetry != nullptr) {
-    options_.telemetry->metrics().GetCounter("aid_rounds_total")->Add(1);
-  }
-  InterventionRound round;
-  round.intervened = preds;
-  round.failure_stopped = !result.AnyFailed();
-  round.phase = phase;
-  if (options_.observer) {
-    ObservedRound observed;
-    observed.round = report_.rounds;
-    observed.intervened = preds;
-    observed.failure_stopped = round.failure_stopped;
-    observed.phase = phase;
-    options_.observer->OnRoundFinished(observed);
-  }
-  report_.history.push_back(std::move(round));
-}
-
-bool CausalPathDiscovery::ItemReachesItem(size_t a, size_t b) const {
-  for (PredicateId pa : items_[a].preds) {
-    for (PredicateId pb : items_[b].preds) {
-      if (dag_->Reaches(pa, pb)) return true;
-    }
-  }
-  return false;
-}
-
-bool CausalPathDiscovery::ItemObserved(const Item& item,
-                                       const PredicateLog& log) const {
-  // A branch is a disjunction over its predicates (Algorithm 2 line 10).
-  for (PredicateId id : item.preds) {
-    if (log.Has(id)) return true;
-  }
-  return false;
-}
-
-void CausalPathDiscovery::InterventionalPruning(
-    const std::vector<size_t>& intervened, const TargetRunResult& result) {
-  std::unordered_set<size_t> intervened_set(intervened.begin(),
-                                            intervened.end());
-  for (size_t i = 0; i < items_.size(); ++i) {
-    if (decisions_[i] != ItemDecision::kUndecided) continue;
-    if (intervened_set.count(i)) continue;
-    // Ancestor guard (Definition 2): an ancestor of an intervened predicate
-    // may have had its causal influence muted by the intervention.
-    bool is_ancestor = false;
-    for (size_t j : intervened) {
-      if (ItemReachesItem(i, j)) {
-        is_ancestor = true;
-        break;
-      }
-    }
-    if (is_ancestor) continue;
-
-    for (const PredicateLog& log : result.logs) {
-      // A crashed or timed-out trial carries only a partial observation set
-      // (whatever the subject streamed before dying); concluding "P was
-      // absent" from it would prune soundly-causal predicates. Its failed
-      // flag still feeds the group verdict (AnyFailed), just not Definition
-      // 2's absence reasoning.
-      if (!log.complete()) continue;
-      const bool observed = ItemObserved(items_[i], log);
-      if ((observed && !log.failed) || (!observed && log.failed)) {
-        Decide(i, ItemDecision::kSpurious);
-        break;
-      }
-    }
-  }
+  rng_ = state.rng();
+  return state.Finalize();
 }
 
 }  // namespace aid

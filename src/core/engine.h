@@ -21,7 +21,6 @@
 #ifndef AID_CORE_ENGINE_H_
 #define AID_CORE_ENGINE_H_
 
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,8 +35,6 @@
 namespace aid {
 
 class Telemetry;       // telemetry/telemetry.h; nullable everywhere below
-class BeliefState;     // budget/belief.h; live iff budgeting is enabled
-class BudgetPlanner;   // budget/planner.h; live iff budgeting is enabled
 
 /// Upper bound on trials_per_intervention: past this a trial count is a
 /// typo, not robustness (each trial is a full application execution).
@@ -148,8 +145,10 @@ struct DiscoveryReport {
   std::vector<PredicateId> causal_path;
   /// Predicates proven non-causal.
   std::vector<PredicateId> spurious;
-  /// Number of intervention rounds (the paper's "#interventions").
-  int rounds = 0;
+  /// Number of intervention rounds (the paper's "#interventions"). 64-bit
+  /// like `executions`: a long-lived multi-tenant service accumulates
+  /// rounds across sessions far past what int can hold.
+  uint64_t rounds = 0;
   /// Total application executions the discovery run cost, speculative ones
   /// included (rounds * trials + speculative_executions on targets that run
   /// exactly `trials` executions per span). 64-bit end-to-end: fleet-scale
@@ -244,83 +243,30 @@ inline bool SameDiscoveryOutcome(const DiscoveryReport& a,
 /// Discovers the causal path explaining the failure in `dag` by intervening
 /// on `target`. The AC-DAG nodes must be intervenable on the target (the
 /// pipeline filters unsafe predicates before building the DAG).
+///
+/// Run() is a thin driver over the resumable round-state machine in
+/// core/discovery_state.h: plan (DiscoveryState::NextAction), execute
+/// (ExecuteDiscoveryAction -- the only target I/O), absorb
+/// (DiscoveryState::Feed), repeat. Callers that need to interleave many
+/// discoveries, or checkpoint one mid-flight, drive a DiscoveryState
+/// directly; the reports are bit-identical either way.
 class CausalPathDiscovery {
  public:
   CausalPathDiscovery(const AcDag* dag, InterventionTarget* target,
                       EngineOptions options = {});
-  ~CausalPathDiscovery();  // out-of-line: budget members are fwd-declared
 
   /// Runs Algorithm 3. Returns the discovery report.
   Result<DiscoveryReport> Run();
 
  private:
-  /// An engine item: a single predicate, or a branch (disjunction of the
-  /// branch predicates, Algorithm 2 lines 10-12) intervened as one unit.
-  struct Item {
-    std::vector<PredicateId> preds;
-    int order_key = 0;  ///< topological position (or random key for TAGT)
-  };
-  enum class ItemDecision : uint8_t { kUndecided, kCausal, kSpurious };
-
-  /// Algorithm 1 over the given items (indexes into items_).
-  Status Giwp(std::vector<size_t> pool);
-  /// Linear-scan GIWP submitting the whole pool as one batched round.
-  Status GiwpLinearBatched(const std::vector<size_t>& pool);
-  /// Algorithm 2; reduces candidate_ to the nodes of a chain.
-  Status BranchPrune();
-  /// Runs one group intervention; records history and returns the outcome.
-  Result<TargetRunResult> Intervene(const std::vector<size_t>& item_indexes,
-                                    const char* phase);
-  /// Budgeted round body: plans the SPRT allocation (under a "budget_plan"
-  /// span), then runs trials one at a time, stopping at the first failing
-  /// trial or when the allocation is spent, and feeds the outcome back
-  /// into the belief state and the planner's cost model.
-  Result<TargetRunResult> RunBudgetedRound(
-      const std::vector<PredicateId>& preds, uint64_t parent_span);
-  /// Trials a budgeted round on `preds` may run right now: the SPRT plan,
-  /// clamped by the remaining global execution budget (sets
-  /// budget_exhausted_ when the clamp bites).
-  int ClampToRemainingBudget(int planned);
-  /// True iff budgeting is on and the global execution budget is spent.
-  bool BudgetSpent() const;
-  /// Records one round (history, counters, observer callbacks).
-  void RecordRound(const std::vector<PredicateId>& preds,
-                   const TargetRunResult& result, const char* phase);
-  /// Marks an item causal/spurious and notifies the observer.
-  void Decide(size_t item, ItemDecision decision);
-  /// Definition 2: prunes undecided items using this round's logs.
-  void InterventionalPruning(const std::vector<size_t>& intervened,
-                             const TargetRunResult& result);
-  /// True iff any predicate of items_[a] reaches (;) any of items_[b].
-  bool ItemReachesItem(size_t a, size_t b) const;
-  bool ItemObserved(const Item& item, const PredicateLog& log) const;
-  /// Rebuilds items_ as singleton items over `preds`, ordered per options.
-  void MakeSingletonItems(const std::vector<PredicateId>& preds);
-  std::vector<size_t> UndecidedItems() const;
-
   const AcDag* dag_;
   InterventionTarget* target_;
   EngineOptions options_;
+  /// The engine's RNG stream. Each Run() hands the current position to its
+  /// DiscoveryState and copies the advanced position back, so repeated
+  /// discoveries keep consuming one stream (TAGT's random order counts on
+  /// it).
   Rng rng_;
-
-  std::vector<Item> items_;
-  std::vector<ItemDecision> decisions_;
-  std::vector<PredicateId> causal_;
-  std::vector<PredicateId> spurious_;
-  /// Candidate predicates surviving branch pruning.
-  std::vector<PredicateId> candidates_;
-  DiscoveryReport report_;
-  /// Open phase span ("branch_prune" / "giwp") round spans parent under;
-  /// 0 when telemetry is off or no phase span is open.
-  uint64_t phase_span_ = 0;
-  /// Budgeting state (src/budget/); live iff options_.budget.enabled.
-  std::unique_ptr<BeliefState> belief_;
-  std::unique_ptr<BudgetPlanner> planner_;
-  /// target_->executions() at the start of this Run, for the global
-  /// execution budget's spend accounting.
-  uint64_t run_start_executions_ = 0;
-  /// Latched once the global budget runs out with work remaining.
-  bool budget_exhausted_ = false;
 };
 
 }  // namespace aid

@@ -19,6 +19,7 @@
 #ifndef AID_CORE_OBSERVER_H_
 #define AID_CORE_OBSERVER_H_
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -51,7 +52,7 @@ inline std::string_view SessionPhaseName(SessionPhase phase) {
 
 /// One finished intervention round, as seen by observers.
 struct ObservedRound {
-  int round = 0;                        ///< 1-based round number
+  uint64_t round = 0;                   ///< 1-based round number
   std::vector<PredicateId> intervened;  ///< predicates forced to success
   bool failure_stopped = false;         ///< no execution failed
   std::string_view phase;               ///< "branch" or "giwp"
@@ -69,7 +70,7 @@ class Observer {
   /// as one batch first and rounds are delivered as their results are
   /// consumed, so this hook then fires after the physical execution --
   /// still immediately before the matching OnRoundFinished.
-  virtual void OnRoundStarted(int round,
+  virtual void OnRoundStarted(uint64_t round,
                               const std::vector<PredicateId>& intervened) {
     (void)round;
     (void)intervened;

@@ -40,13 +40,13 @@ std::string RenderReport(const DiscoveryReport& report, const AcDag& dag,
 
   if (report.speculative_executions > 0) {
     out << StrFormat(
-        "interventions: %d rounds, %llu executions (%llu speculative)\n",
-        report.rounds,
+        "interventions: %llu rounds, %llu executions (%llu speculative)\n",
+        static_cast<unsigned long long>(report.rounds),
         static_cast<unsigned long long>(report.executions),
         static_cast<unsigned long long>(report.speculative_executions));
   } else {
-    out << StrFormat("interventions: %d rounds, %llu executions\n",
-                     report.rounds,
+    out << StrFormat("interventions: %llu rounds, %llu executions\n",
+                     static_cast<unsigned long long>(report.rounds),
                      static_cast<unsigned long long>(report.executions));
   }
 

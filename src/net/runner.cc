@@ -82,6 +82,38 @@ uint64_t SteadyNowMicros() {
           .count());
 }
 
+/// How long the admission-rejection conversation may hold the accept loop.
+/// A well-behaved engine sends its SPEC right behind our HELLO, so the
+/// exchange is one round trip; the bound only caps a stalled peer.
+constexpr int kRejectDeadlineMs = 2000;
+
+/// Admission control at the cap: the daemon itself (no fork) speaks just
+/// enough of the protocol to return a structured error -- HELLO out, the
+/// client's opening frame (its SPEC) in, ERROR out. Reading the client's
+/// frame before replying matters: closing with the client's SPEC still in
+/// flight would raise a TCP reset that can destroy the queued ERROR before
+/// the client reads it, turning a clean "runner full" status into an opaque
+/// dropped connection.
+void RejectSession(int conn_fd, int max_sessions) {
+  SocketChannel channel(conn_fd);  // owns conn_fd; closes on return
+  HelloMsg hello;
+  hello.pid = static_cast<uint64_t>(::getpid());
+  if (!channel.Write(ProcMsgType::kHello, EncodeHello(hello),
+                     kRejectDeadlineMs)
+           .ok()) {
+    return;
+  }
+  (void)channel.Read(kRejectDeadlineMs);
+  (void)channel.Write(
+      ProcMsgType::kError,
+      EncodeError(Status::FailedPrecondition(
+          "runner at its session cap (--max-sessions " +
+          std::to_string(max_sessions) +
+          "): no replica slot for this connection; retry once a session "
+          "ends or raise the cap")),
+      kRejectDeadlineMs);
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Runner>> Runner::Start(RunnerOptions options) {
@@ -129,6 +161,17 @@ void Runner::AcceptLoop() {
       if (conn.status().code() == StatusCode::kDeadlineExceeded) continue;
       // The listen socket broke (or Stop() closed it): the daemon is done.
       return;
+    }
+    if (options_.max_sessions > 0) {
+      int live = 0;
+      {
+        std::lock_guard<std::mutex> lock(sessions_mu_);
+        live = static_cast<int>(session_pids_.size());
+      }
+      if (live >= options_.max_sessions) {
+        RejectSession(*conn, options_.max_sessions);
+        continue;
+      }
     }
     const pid_t pid = ::fork();
     if (pid < 0) {

@@ -54,6 +54,15 @@ struct RunnerOptions {
   /// tests stand up one deliberately slow runner to exercise latency-aware
   /// placement and work stealing. 0 = full speed.
   uint64_t trial_delay_us = 0;
+
+  /// Admission cap: with N live session children, the daemon answers the
+  /// next connection itself -- HELLO, then a structured FAILED_PRECONDITION
+  /// ERROR frame -- instead of forking another subject host
+  /// (`aid_runner --max-sessions N`). Each session child is a whole subject
+  /// replica; an unbounded fleet of engines could otherwise fork a runner
+  /// machine into the ground. 0 = unlimited (the historical behavior).
+  /// While at the cap, STATS connections are rejected too.
+  int max_sessions = 0;
 };
 
 class Runner {

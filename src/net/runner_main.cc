@@ -4,19 +4,25 @@
 // child running proc::RunSubjectHost) per accepted engine connection --
 // see src/net/runner.h and docs/remote_protocol.md.
 //
-// Usage: aid_runner [--host H] [--port P] [--slow-us N]
+// Usage: aid_runner [--host H] [--port P] [--slow-us N] [--max-sessions N]
 //        aid_runner --stats HOST:PORT
 //
-//   --host     bind address (default 127.0.0.1; 0.0.0.0 exposes the
-//              unauthenticated protocol to the network -- private networks
-//              only)
-//   --port     listen port (default 7601; 0 = ephemeral)
-//   --slow-us  extra latency per trial in microseconds (default 0): makes
-//              this runner deliberately slow, for heterogeneous-fleet
-//              benches/tests of the latency-aware scheduler
-//   --stats    client mode: connect to a running daemon and print its JSON
-//              stats document (uptime, sessions started, node-wide trial
-//              totals, trial latency histogram) to stdout, then exit
+//   --host          bind address (default 127.0.0.1; 0.0.0.0 exposes the
+//                   unauthenticated protocol to the network -- private
+//                   networks only)
+//   --port          listen port (default 7601; 0 = ephemeral)
+//   --slow-us       extra latency per trial in microseconds (default 0):
+//                   makes this runner deliberately slow, for heterogeneous-
+//                   fleet benches/tests of the latency-aware scheduler
+//   --max-sessions  admission cap (default 0 = unlimited): with N live
+//                   session children, further connections get a structured
+//                   FAILED_PRECONDITION ERROR frame instead of a fork --
+//                   an engine fleet cannot fork this machine into the
+//                   ground
+//   --stats         client mode: connect to a running daemon and print its
+//                   JSON stats document (uptime, sessions started,
+//                   node-wide trial totals, trial latency histogram) to
+//                   stdout, then exit
 //
 // Prints "aid_runner listening on H:P" once ready (scripts scrape it) and
 // runs until SIGINT/SIGTERM.
@@ -58,6 +64,9 @@ int main(int argc, char** argv) {
       const long long slow = std::atoll(argv[++i]);
       options.trial_delay_us =
           slow > 0 ? static_cast<uint64_t>(slow) : 0;
+    } else if (arg == "--max-sessions" && i + 1 < argc) {
+      const int cap = std::atoi(argv[++i]);
+      options.max_sessions = cap > 0 ? cap : 0;
     } else if (arg == "--stats" && i + 1 < argc) {
       auto stats = aid::FetchRunnerStats(argv[++i]);
       if (!stats.ok()) {
@@ -69,7 +78,8 @@ int main(int argc, char** argv) {
       return 0;
     } else {
       std::fprintf(stderr,
-                   "usage: aid_runner [--host H] [--port P] [--slow-us N]\n"
+                   "usage: aid_runner [--host H] [--port P] [--slow-us N] "
+                   "[--max-sessions N]\n"
                    "       aid_runner --stats HOST:PORT\n");
       return 2;
     }

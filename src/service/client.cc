@@ -1,0 +1,103 @@
+#include "service/client.h"
+
+#include <utility>
+
+#include "core/discovery_state.h"
+#include "proc/wire.h"
+
+namespace aid {
+
+#if AID_NET_SUPPORTED
+
+Result<std::unique_ptr<ServiceClient>> ServiceClient::Connect(
+    const Endpoint& endpoint, int timeout_ms) {
+  AID_ASSIGN_OR_RETURN(int fd, ConnectTo(endpoint, timeout_ms));
+  auto channel = std::make_unique<SocketChannel>(fd);
+  AID_ASSIGN_OR_RETURN(ProcFrame frame, channel->Read(timeout_ms));
+  if (frame.type == ProcMsgType::kError) {
+    AID_ASSIGN_OR_RETURN(ErrorMsg error, DecodeError(frame.payload));
+    return error.ToStatus();
+  }
+  if (frame.type != ProcMsgType::kHello) {
+    return Status::InvalidArgument(
+        "service client: expected HELLO, got " +
+        std::string(ServiceFrameName(frame.type)));
+  }
+  AID_ASSIGN_OR_RETURN(HelloMsg hello, DecodeServiceHello(frame.payload));
+  if (hello.version != kServiceProtocolVersion) {
+    return Status::InvalidArgument(
+        "service client: protocol version mismatch (peer " +
+        std::to_string(hello.version) + ", expected " +
+        std::to_string(kServiceProtocolVersion) + ")");
+  }
+  return std::unique_ptr<ServiceClient>(new ServiceClient(std::move(channel)));
+}
+
+Result<AcceptedMsg> ServiceClient::Submit(const ServiceSubmission& submission) {
+  SubmitMsg msg;
+  msg.label = submission.label;
+  AID_ASSIGN_OR_RETURN(msg.spec, EncodeSubjectSpec(submission.spec));
+  WireWriter engine;
+  EncodeEngineOptions(submission.engine, engine);
+  msg.engine = engine.Release();
+  msg.checkpoint_after_rounds = submission.checkpoint_after_rounds;
+  msg.state = submission.resume_state;
+  AID_RETURN_IF_ERROR(channel_->Write(AsProcMsgType(ServiceMsgType::kSubmit),
+                                      EncodeSubmit(msg)));
+  AID_ASSIGN_OR_RETURN(ProcFrame frame, channel_->Read());
+  if (frame.type == ProcMsgType::kError) {
+    AID_ASSIGN_OR_RETURN(ErrorMsg error, DecodeError(frame.payload));
+    return error.ToStatus();
+  }
+  if (frame.type != AsProcMsgType(ServiceMsgType::kAccepted)) {
+    return Status::InvalidArgument(
+        "service client: expected ACCEPTED, got " +
+        std::string(ServiceFrameName(frame.type)));
+  }
+  return DecodeAccepted(frame.payload);
+}
+
+Result<ServiceOutcome> ServiceClient::Await(int timeout_ms) {
+  AID_ASSIGN_OR_RETURN(ProcFrame frame, channel_->Read(timeout_ms));
+  if (frame.type == ProcMsgType::kError) {
+    AID_ASSIGN_OR_RETURN(ErrorMsg error, DecodeError(frame.payload));
+    return error.ToStatus();
+  }
+  ServiceOutcome outcome;
+  if (frame.type == AsProcMsgType(ServiceMsgType::kReport)) {
+    AID_ASSIGN_OR_RETURN(ReportMsg report, DecodeReportMsg(frame.payload));
+    outcome.report = std::move(report.report);
+    return outcome;
+  }
+  if (frame.type == AsProcMsgType(ServiceMsgType::kCheckpoint)) {
+    outcome.checkpointed = true;
+    AID_ASSIGN_OR_RETURN(outcome.checkpoint,
+                         DecodeCheckpoint(frame.payload));
+    return outcome;
+  }
+  return Status::InvalidArgument(
+      "service client: expected REPORT, CHECKPOINT or ERROR, got " +
+      std::string(ServiceFrameName(frame.type)));
+}
+
+#else  // !AID_NET_SUPPORTED
+
+Result<std::unique_ptr<ServiceClient>> ServiceClient::Connect(const Endpoint&,
+                                                              int) {
+  return Status::Unimplemented(
+      "ServiceClient: sockets are unavailable on this platform");
+}
+
+Result<AcceptedMsg> ServiceClient::Submit(const ServiceSubmission&) {
+  return Status::Unimplemented(
+      "ServiceClient: sockets are unavailable on this platform");
+}
+
+Result<ServiceOutcome> ServiceClient::Await(int) {
+  return Status::Unimplemented(
+      "ServiceClient: sockets are unavailable on this platform");
+}
+
+#endif  // AID_NET_SUPPORTED
+
+}  // namespace aid

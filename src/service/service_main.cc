@@ -1,0 +1,140 @@
+// aid_service: the multi-tenant discovery daemon.
+//
+// Listens on a TCP port and multiplexes N concurrent causal-path
+// discoveries over one shared execution substrate -- see src/service/
+// service.h and docs/service.md.
+//
+// Usage: aid_service [--host H] [--port P] [--workers N] [--max-sessions N]
+//                    [--quota N] [--fleet H:P,H:P] [--metrics-out FILE]
+//
+//   --host          bind address (default 127.0.0.1; 0.0.0.0 exposes the
+//                   unauthenticated protocol to the network -- private
+//                   networks only)
+//   --port          listen port (default 7602; 0 = ephemeral)
+//   --workers       session worker threads (default 2): the daemon's
+//                   cross-session execution parallelism
+//   --max-sessions  admission cap on concurrent sessions (default 8;
+//                   0 = unlimited); further SUBMITs get a structured
+//                   FAILED_PRECONDITION ERROR frame
+//   --quota         per-session execution quota (default 0 = none):
+//                   budgeted sessions get their global budget clamped to
+//                   it, unbudgeted sessions crossing it are stopped with
+//                   an ERROR
+//   --fleet         comma-separated aid_runner endpoints every session's
+//                   intervention replicas run on (default empty =
+//                   in-process targets)
+//   --metrics-out   write the daemon's metrics snapshot (MetricsJson) to
+//                   FILE at shutdown -- per-session labeled counters
+//                   included; CI validates multi-session runs from it
+//
+// Prints "aid_service listening on H:P" once ready (scripts scrape it) and
+// runs until SIGINT/SIGTERM.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/service.h"
+#include "telemetry/telemetry.h"
+
+#if AID_NET_SUPPORTED
+#include <signal.h>
+#include <unistd.h>
+
+namespace {
+
+volatile sig_atomic_t g_stop = 0;
+void HandleStop(int) { g_stop = 1; }
+
+std::vector<std::string> SplitFleet(const std::string& list) {
+  std::vector<std::string> endpoints;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > start) endpoints.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return endpoints;
+}
+
+}  // namespace
+#endif
+
+int main(int argc, char** argv) {
+  if (!aid::RemoteFleetSupported()) {
+    std::fprintf(stderr, "aid_service: unsupported on this platform\n");
+    return 3;
+  }
+#if AID_NET_SUPPORTED
+  aid::ServiceOptions options;
+  options.port = 7602;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      options.port = std::atoi(argv[++i]);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      options.workers = std::atoi(argv[++i]);
+    } else if (arg == "--max-sessions" && i + 1 < argc) {
+      const int cap = std::atoi(argv[++i]);
+      options.max_sessions = cap > 0 ? cap : 0;
+    } else if (arg == "--quota" && i + 1 < argc) {
+      const long long quota = std::atoll(argv[++i]);
+      options.session_quota = quota > 0 ? static_cast<uint64_t>(quota) : 0;
+    } else if (arg == "--fleet" && i + 1 < argc) {
+      options.fleet = SplitFleet(argv[++i]);
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: aid_service [--host H] [--port P] [--workers N] "
+                   "[--max-sessions N] [--quota N]\n"
+                   "                   [--fleet H:P,H:P] "
+                   "[--metrics-out FILE]\n");
+      return 2;
+    }
+  }
+  options.telemetry = aid::Telemetry::Create();
+
+  auto service = aid::DiscoveryService::Start(options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "aid_service: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("aid_service listening on %s:%d\n", (*service)->host().c_str(),
+              (*service)->port());
+  std::fflush(stdout);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleStop;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  while (g_stop == 0) {
+    ::usleep(100 * 1000);
+  }
+  (*service)->Stop();
+  if (!metrics_out.empty()) {
+    const std::string json =
+        aid::MetricsJson(options.telemetry->Snapshot().metrics);
+    std::FILE* file = std::fopen(metrics_out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "aid_service: cannot write %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+  }
+  std::printf("aid_service: stopped (%llu sessions served)\n",
+              static_cast<unsigned long long>((*service)->sessions_accepted()));
+  return 0;
+#else
+  return 3;
+#endif
+}

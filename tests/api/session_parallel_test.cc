@@ -255,7 +255,7 @@ TEST(SessionParallelTest, ObserverCallbacksStayOnTheDrivingThread) {
   class ThreadRecorder : public Observer {
    public:
     void OnPhaseChanged(SessionPhase) override { Record(); }
-    void OnRoundStarted(int, const std::vector<PredicateId>&) override {
+    void OnRoundStarted(uint64_t, const std::vector<PredicateId>&) override {
       Record();
     }
     void OnRoundFinished(const ObservedRound& round) override {
@@ -265,7 +265,7 @@ TEST(SessionParallelTest, ObserverCallbacksStayOnTheDrivingThread) {
     void OnPredicateDecided(PredicateId, bool) override { Record(); }
 
     std::set<std::thread::id> threads;
-    std::vector<int> rounds;
+    std::vector<uint64_t> rounds;
 
    private:
     void Record() { threads.insert(std::this_thread::get_id()); }

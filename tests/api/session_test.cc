@@ -309,7 +309,7 @@ class RecordingObserver : public Observer {
   void OnPhaseChanged(SessionPhase phase) override {
     phases.push_back(phase);
   }
-  void OnRoundStarted(int round, const std::vector<PredicateId>&) override {
+  void OnRoundStarted(uint64_t round, const std::vector<PredicateId>&) override {
     started.push_back(round);
   }
   void OnRoundFinished(const ObservedRound& round) override {
@@ -320,8 +320,8 @@ class RecordingObserver : public Observer {
   }
 
   std::vector<SessionPhase> phases;
-  std::vector<int> started;
-  std::vector<int> finished;
+  std::vector<uint64_t> started;
+  std::vector<uint64_t> finished;
   std::vector<PredicateId> causal_ids;
   std::vector<PredicateId> spurious_ids;
 };

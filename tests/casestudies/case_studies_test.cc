@@ -56,7 +56,8 @@ TEST_P(CaseStudyTest, PipelineFindsTheDocumentedRootCause) {
   const int worst_tagt =
       static_cast<int>(outcome->aid_path_len()) *
       CeilLog2(static_cast<uint64_t>(std::max(outcome->acdag_nodes, 2)));
-  EXPECT_LE(outcome->aid.rounds, std::max(worst_tagt, outcome->tagt.rounds))
+  EXPECT_LE(outcome->aid.rounds,
+            std::max<uint64_t>(worst_tagt, outcome->tagt.rounds))
       << study.name;
 
   // Both engines find the same root cause.

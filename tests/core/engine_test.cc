@@ -76,7 +76,7 @@ TEST(EngineFigure4Test, NaiveTagtNeedsMoreInterventions) {
   ASSERT_TRUE(dag.ok());
   // Any single random order can get lucky; compare the worst over several
   // seeds (the paper's Figure 7 reports TAGT's worst case).
-  int worst = 0;
+  uint64_t worst = 0;
   for (uint64_t seed = 1; seed <= 8; ++seed) {
     ModelTarget target(&fig.model);
     EngineOptions options = EngineOptions::Tagt();

@@ -1,0 +1,151 @@
+// Tests of the runner's admission cap (RunnerOptions::max_sessions,
+// `aid_runner --max-sessions N`): at the cap, a new connection gets a
+// structured FAILED_PRECONDITION ERROR frame from the daemon itself --
+// never an unbounded fork -- and a slot freed by a finished session admits
+// the next engine normally.
+
+#include "net/runner.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "net/channel.h"
+#include "net/remote_target.h"
+#include "net/socket.h"
+#include "proc/client.h"
+#include "proc/subject_spec.h"
+#include "synth/model.h"
+
+namespace aid {
+namespace {
+
+#if AID_NET_SUPPORTED
+
+std::unique_ptr<GroundTruthModel> ChainModel() {
+  auto model = std::make_unique<GroundTruthModel>();
+  model->AddFailure();
+  std::vector<PredicateId> chain;
+  for (int i = 0; i < 4; ++i) chain.push_back(model->AddPredicate(i));
+  for (int i = 0; i + 1 < 4; ++i) {
+    model->AddTemporalEdge(chain[static_cast<size_t>(i)],
+                           chain[static_cast<size_t>(i) + 1]);
+  }
+  model->SetCausalChain({chain[2]});
+  return model;
+}
+
+SubjectSpec ModelSpec(const GroundTruthModel* model) {
+  SubjectSpec spec;
+  spec.kind = SubjectKind::kModel;
+  spec.model = model;
+  return spec;
+}
+
+/// Dials the runner and performs the engine handshake; the admission
+/// verdict is whatever HandshakeSubject returns (READY -> OK with the
+/// catalog size, ERROR frame -> its carried Status).
+Result<uint32_t> TryHandshake(const Endpoint& endpoint,
+                              const SubjectSpec& spec) {
+  AID_ASSIGN_OR_RETURN(std::string spec_bytes, EncodeSubjectSpec(spec));
+  AID_ASSIGN_OR_RETURN(int fd, ConnectTo(endpoint, /*timeout_ms=*/5000));
+  SocketChannel channel(fd);
+  SubjectHandshake handshake;
+  handshake.peer = "capped runner";
+  return HandshakeSubject(channel, spec_bytes, handshake);
+}
+
+TEST(RunnerAdmissionTest, ConnectionPastTheCapGetsAStructuredError) {
+  auto model = ChainModel();
+  RunnerOptions options;
+  options.max_sessions = 1;
+  options.accept_poll_ms = 20;
+  auto runner = Runner::Start(options);
+  ASSERT_TRUE(runner.ok()) << runner.status();
+
+  // First engine occupies the only slot (the connection stays open).
+  auto occupant = RemoteTarget::Create({(*runner)->endpoint()},
+                                       ModelSpec(model.get()));
+  ASSERT_TRUE(occupant.ok()) << occupant.status();
+  auto trial = (*occupant)->RunIntervened({}, 1);
+  ASSERT_TRUE(trial.ok()) << trial.status();
+  ASSERT_EQ((*runner)->live_sessions(), 1);
+
+  // Second engine is turned away by the daemon itself: a clean
+  // FAILED_PRECONDITION naming the cap, not a dropped connection.
+  auto rejected = TryHandshake((*runner)->endpoint(), ModelSpec(model.get()));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(rejected.status().message().find("session cap"),
+            std::string::npos)
+      << rejected.status();
+  EXPECT_NE(rejected.status().message().find("--max-sessions 1"),
+            std::string::npos)
+      << rejected.status();
+
+  // The rejection forked nothing: still exactly one live session child.
+  EXPECT_EQ((*runner)->live_sessions(), 1);
+}
+
+TEST(RunnerAdmissionTest, FreedSlotAdmitsTheNextEngine) {
+  auto model = ChainModel();
+  RunnerOptions options;
+  options.max_sessions = 1;
+  options.accept_poll_ms = 20;
+  auto runner = Runner::Start(options);
+  ASSERT_TRUE(runner.ok()) << runner.status();
+
+  {
+    auto occupant = RemoteTarget::Create({(*runner)->endpoint()},
+                                         ModelSpec(model.get()));
+    ASSERT_TRUE(occupant.ok()) << occupant.status();
+    ASSERT_TRUE((*occupant)->RunIntervened({}, 1).ok());
+    auto rejected =
+        TryHandshake((*runner)->endpoint(), ModelSpec(model.get()));
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  }  // occupant hangs up; its session child exits
+
+  // The daemon reaps the finished child on its accept tick, freeing the
+  // slot; the retry the error message promises then succeeds.
+  Result<uint32_t> admitted = Status::Internal("never tried");
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    admitted = TryHandshake((*runner)->endpoint(), ModelSpec(model.get()));
+    if (admitted.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(admitted.ok()) << admitted.status();
+  EXPECT_EQ(*admitted, model->catalog().size());
+}
+
+TEST(RunnerAdmissionTest, UnlimitedByDefault) {
+  auto model = ChainModel();
+  auto runner = Runner::Start();  // max_sessions = 0
+  ASSERT_TRUE(runner.ok()) << runner.status();
+
+  std::vector<std::unique_ptr<RemoteTarget>> engines;
+  for (int i = 0; i < 3; ++i) {
+    auto remote = RemoteTarget::Create({(*runner)->endpoint()},
+                                       ModelSpec(model.get()));
+    ASSERT_TRUE(remote.ok()) << remote.status();
+    ASSERT_TRUE((*remote)->RunIntervened({}, 1).ok());
+    engines.push_back(std::move(*remote));
+  }
+  EXPECT_EQ((*runner)->live_sessions(), 3);
+}
+
+#else  // !AID_NET_SUPPORTED
+
+TEST(RunnerAdmissionTest, UnsupportedPlatformReportsUnimplemented) {
+  RunnerOptions options;
+  options.max_sessions = 1;
+  EXPECT_EQ(Runner::Start(options).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+#endif  // AID_NET_SUPPORTED
+
+}  // namespace
+}  // namespace aid
